@@ -1,0 +1,208 @@
+//! Blocking strategies: standard key blocking, schema-agnostic token
+//! blocking, BLAST-style meta-blocking, and MinHash-LSH blocking.
+
+use dcer_relation::{AttrId, Dataset, RelId};
+use dcer_similarity::tokenize;
+use std::collections::HashMap;
+
+/// Standard blocking: rows grouped by the exact (non-null) value of a key
+/// attribute. Returns the blocks (row-index lists).
+pub fn standard_blocks(dataset: &Dataset, rel: RelId, key: AttrId) -> Vec<Vec<u32>> {
+    let mut map: HashMap<String, Vec<u32>> = HashMap::new();
+    for (i, t) in dataset.relation(rel).tuples().iter().enumerate() {
+        let v = t.get(key);
+        if !v.is_null() {
+            map.entry(v.to_text()).or_default().push(i as u32);
+        }
+    }
+    let mut blocks: Vec<Vec<u32>> = map.into_values().filter(|b| b.len() > 1).collect();
+    blocks.sort();
+    blocks
+}
+
+/// Schema-agnostic token blocking (JedAI / SparkER): every token of every
+/// listed attribute spawns a block. Blocks larger than `max_block` are
+/// discarded (standard block purging).
+pub fn token_blocks(
+    dataset: &Dataset,
+    rel: RelId,
+    attrs: &[AttrId],
+    max_block: usize,
+) -> Vec<Vec<u32>> {
+    let mut map: HashMap<String, Vec<u32>> = HashMap::new();
+    for (i, t) in dataset.relation(rel).tuples().iter().enumerate() {
+        let mut seen = std::collections::HashSet::new();
+        for &a in attrs {
+            for tok in tokenize(&t.get(a).to_text()) {
+                if seen.insert(tok.clone()) {
+                    map.entry(tok).or_default().push(i as u32);
+                }
+            }
+        }
+    }
+    let mut blocks: Vec<Vec<u32>> = map
+        .into_values()
+        .filter(|b| b.len() > 1 && b.len() <= max_block)
+        .collect();
+    blocks.sort();
+    blocks
+}
+
+/// BLAST-style meta-blocking: weight every candidate pair by its number of
+/// common blocks (CBS weighting) and keep pairs whose weight is at least
+/// `threshold_frac` of the maximum weight. Returns candidate pairs (row
+/// indices, `a < b`).
+pub fn meta_blocking(blocks: &[Vec<u32>], threshold_frac: f64) -> Vec<(u32, u32)> {
+    let mut weights: HashMap<(u32, u32), u32> = HashMap::new();
+    for b in blocks {
+        for i in 0..b.len() {
+            for j in i + 1..b.len() {
+                let key = (b[i].min(b[j]), b[i].max(b[j]));
+                *weights.entry(key).or_insert(0) += 1;
+            }
+        }
+    }
+    let max_w = weights.values().copied().max().unwrap_or(0) as f64;
+    if max_w == 0.0 {
+        return Vec::new();
+    }
+    let cutoff = threshold_frac * max_w;
+    let mut pairs: Vec<(u32, u32)> = weights
+        .into_iter()
+        .filter(|&(_, w)| w as f64 >= cutoff)
+        .map(|(p, _)| p)
+        .collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+/// All within-block pairs, deduplicated (`a < b`).
+pub fn block_pairs(blocks: &[Vec<u32>]) -> Vec<(u32, u32)> {
+    let mut set = std::collections::HashSet::new();
+    for b in blocks {
+        for i in 0..b.len() {
+            for j in i + 1..b.len() {
+                set.insert((b[i].min(b[j]), b[i].max(b[j])));
+            }
+        }
+    }
+    let mut pairs: Vec<(u32, u32)> = set.into_iter().collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+/// MinHash-LSH blocking over the token sets of the given attributes (the
+/// LSH step DeepER uses before classification): `bands` bands of `rows_per_band`
+/// MinHash values each; tuples agreeing on any band share a block.
+pub fn minhash_lsh_blocks(
+    dataset: &Dataset,
+    rel: RelId,
+    attrs: &[AttrId],
+    bands: usize,
+    rows_per_band: usize,
+) -> Vec<Vec<u32>> {
+    fn hash_token(seed: u64, tok: &str) -> u64 {
+        let mut h = 0xcbf29ce484222325u64 ^ seed.wrapping_mul(0x9e3779b97f4a7c15);
+        for b in tok.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+    let num_hashes = bands * rows_per_band;
+    let mut map: HashMap<(usize, Vec<u64>), Vec<u32>> = HashMap::new();
+    for (i, t) in dataset.relation(rel).tuples().iter().enumerate() {
+        let mut tokens = Vec::new();
+        for &a in attrs {
+            tokens.extend(tokenize(&t.get(a).to_text()));
+        }
+        if tokens.is_empty() {
+            continue;
+        }
+        let signature: Vec<u64> = (0..num_hashes)
+            .map(|h| tokens.iter().map(|tok| hash_token(h as u64, tok)).min().unwrap())
+            .collect();
+        for band in 0..bands {
+            let key = signature[band * rows_per_band..(band + 1) * rows_per_band].to_vec();
+            map.entry((band, key)).or_default().push(i as u32);
+        }
+    }
+    let mut blocks: Vec<Vec<u32>> = map.into_values().filter(|b| b.len() > 1).collect();
+    blocks.sort();
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcer_relation::{Catalog, RelationSchema, Value, ValueType};
+    use std::sync::Arc;
+
+    fn dataset(rows: &[(&str, &str)]) -> Dataset {
+        let cat = Arc::new(
+            Catalog::from_schemas(vec![RelationSchema::of(
+                "R",
+                &[("k", ValueType::Str), ("text", ValueType::Str)],
+            )])
+            .unwrap(),
+        );
+        let mut d = Dataset::new(cat);
+        for (k, text) in rows {
+            let kv = if k.is_empty() { Value::Null } else { Value::str(*k) };
+            d.insert(0, vec![kv, Value::str(*text)]).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn standard_blocking_groups_by_key() {
+        let d = dataset(&[("a", "1"), ("a", "2"), ("b", "3"), ("", "4"), ("c", "5")]);
+        let blocks = standard_blocks(&d, 0, 0);
+        assert_eq!(blocks, vec![vec![0, 1]]); // singletons and nulls dropped
+    }
+
+    #[test]
+    fn token_blocking_is_schema_agnostic() {
+        let d = dataset(&[
+            ("x", "thinkpad carbon laptop"),
+            ("y", "thinkpad slim laptop"),
+            ("z", "apple macbook"),
+        ]);
+        let blocks = token_blocks(&d, 0, &[1], 100);
+        // "thinkpad" and "laptop" both produce {0,1}; dedup happens at pair level.
+        assert!(blocks.iter().any(|b| b == &vec![0, 1]));
+        assert!(!blocks.iter().any(|b| b.contains(&2)));
+        assert_eq!(block_pairs(&blocks), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn purging_drops_stopword_blocks() {
+        let d = dataset(&[("1", "the a"), ("2", "the b"), ("3", "the c"), ("4", "the d")]);
+        let blocks = token_blocks(&d, 0, &[1], 3);
+        assert!(blocks.iter().all(|b| b.len() <= 3), "{blocks:?}");
+    }
+
+    #[test]
+    fn meta_blocking_keeps_heavy_pairs() {
+        // Pair (0,1) shares 3 blocks, (0,2) shares 1.
+        let blocks = vec![vec![0, 1], vec![0, 1], vec![0, 1, 2]];
+        let strict = meta_blocking(&blocks, 0.9);
+        assert_eq!(strict, vec![(0, 1)]);
+        let lax = meta_blocking(&blocks, 0.1);
+        assert!(lax.contains(&(0, 2)));
+        assert!(meta_blocking(&[], 0.5).is_empty());
+    }
+
+    #[test]
+    fn lsh_blocks_similar_token_sets() {
+        let d = dataset(&[
+            ("1", "deep entity resolution in parallel databases"),
+            ("2", "deep entity resolution in parallel database"),
+            ("3", "quantum chromodynamics lattice simulation"),
+        ]);
+        let blocks = minhash_lsh_blocks(&d, 0, &[1], 8, 2);
+        let pairs = block_pairs(&blocks);
+        assert!(pairs.contains(&(0, 1)), "{pairs:?}");
+        assert!(!pairs.contains(&(0, 2)));
+    }
+}

@@ -1,0 +1,34 @@
+//! Baseline entity-resolution methods (Table V of the paper).
+//!
+//! The paper compares `DMatch` against eight external systems. Those are
+//! C++/Java/Spark codebases; this crate implements *algorithmic analogues*
+//! — each struct implements the published core algorithm of its system at
+//! library scale, documented per type (see `DESIGN.md` §5):
+//!
+//! | paper baseline | here | core algorithm |
+//! |---|---|---|
+//! | Dedoop [45] | [`DedoopLike`] | blocking keys + weighted-average similarity |
+//! | DisDedup [22] | [`DisDedupLike`] | same comparisons, triangle-distributed over `w` workers |
+//! | SparkER [35] | [`SparkErLike`] | schema-agnostic token blocking + BLAST-style meta-blocking |
+//! | JedAI [53] | [`JedAiLike`] | token blocking + non-learning profile similarity |
+//! | DeepER [25] | [`DeepErLike`] | MinHash-LSH blocking + trained pair classifier |
+//! | Ditto [48] / DeepMatcher [43] | [`PairwiseMlLike`] | trained classifier over candidate pairs |
+//! | ERBlox [12] | [`ErBloxLike`] | MD-style blocking keys + ML classification inside blocks |
+//! | windowing [39] | [`SortedNeighborhood`] | sort + sliding window |
+//!
+//! All baselines are **single-table** methods — exactly the limitation the
+//! paper exploits: none of them can use cross-table evidence or recursion,
+//! so they miss the relational-only duplicates that `DMatch` proves.
+
+pub mod blocking;
+pub mod matchers;
+pub mod scoring;
+pub mod windowing;
+
+pub use blocking::{meta_blocking, minhash_lsh_blocks, standard_blocks, token_blocks};
+pub use matchers::{
+    DedoopLike, DisDedupLike, DeepErLike, ErBloxLike, JedAiLike, Matcher, MatcherResult,
+    PairwiseMlLike, SparkErLike,
+};
+pub use scoring::{AttrSim, PairScorer, SimKind, WeightedScorer};
+pub use windowing::SortedNeighborhood;

@@ -1,0 +1,178 @@
+//! Pairwise similarity scoring for baseline matchers.
+
+use dcer_relation::{AttrId, Tuple};
+use dcer_similarity::{
+    jaccard_tokens, jaro_winkler, levenshtein_similarity, monge_elkan, ngram_cosine,
+};
+
+/// Which similarity function to apply to an attribute pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimKind {
+    /// 1 if equal non-null text, else 0.
+    Exact,
+    /// Normalized Levenshtein.
+    Levenshtein,
+    /// Jaro-Winkler (prefix weight 0.1).
+    JaroWinkler,
+    /// Character-3-gram cosine.
+    NgramCosine,
+    /// Symmetric Monge-Elkan.
+    MongeElkan,
+    /// Word-token Jaccard.
+    TokenJaccard,
+}
+
+impl SimKind {
+    /// Apply to two texts.
+    pub fn apply(self, a: &str, b: &str) -> f64 {
+        match self {
+            SimKind::Exact => f64::from(!a.is_empty() && a == b),
+            SimKind::Levenshtein => levenshtein_similarity(a, b),
+            SimKind::JaroWinkler => jaro_winkler(a, b, 0.1),
+            SimKind::NgramCosine => ngram_cosine(a, b, 3),
+            SimKind::MongeElkan => monge_elkan(a, b),
+            SimKind::TokenJaccard => jaccard_tokens(a, b),
+        }
+    }
+}
+
+/// One attribute comparison: attribute, similarity function, weight.
+#[derive(Debug, Clone, Copy)]
+pub struct AttrSim {
+    /// Attribute id within the target relation.
+    pub attr: AttrId,
+    /// Similarity function.
+    pub kind: SimKind,
+    /// Relative weight (normalized internally).
+    pub weight: f64,
+}
+
+impl AttrSim {
+    /// Construct.
+    pub fn new(attr: AttrId, kind: SimKind, weight: f64) -> AttrSim {
+        AttrSim { attr, kind, weight }
+    }
+}
+
+/// Scores a tuple pair in `[0, 1]`.
+pub trait PairScorer: Send + Sync {
+    /// Similarity of the pair.
+    fn score(&self, a: &Tuple, b: &Tuple) -> f64;
+}
+
+/// Weighted average of per-attribute similarities (Dedoop's "weight
+/// average matching"). Null attributes contribute score 0 at full weight —
+/// missing evidence is not a match.
+#[derive(Debug, Clone)]
+pub struct WeightedScorer {
+    sims: Vec<AttrSim>,
+    total_weight: f64,
+}
+
+impl WeightedScorer {
+    /// Build from attribute comparisons; weights are normalized.
+    pub fn new(sims: Vec<AttrSim>) -> WeightedScorer {
+        assert!(!sims.is_empty(), "scorer needs at least one attribute");
+        let total_weight: f64 = sims.iter().map(|s| s.weight).sum();
+        assert!(total_weight > 0.0, "weights must be positive");
+        WeightedScorer { sims, total_weight }
+    }
+
+    /// Uniform weights over attributes with a single similarity kind.
+    pub fn uniform(attrs: &[AttrId], kind: SimKind) -> WeightedScorer {
+        WeightedScorer::new(attrs.iter().map(|&a| AttrSim::new(a, kind, 1.0)).collect())
+    }
+}
+
+impl PairScorer for WeightedScorer {
+    fn score(&self, a: &Tuple, b: &Tuple) -> f64 {
+        let mut acc = 0.0;
+        for s in &self.sims {
+            let (va, vb) = (a.get(s.attr), b.get(s.attr));
+            if va.is_null() || vb.is_null() {
+                continue;
+            }
+            acc += s.weight * s.kind.apply(&va.to_text(), &vb.to_text());
+        }
+        acc / self.total_weight
+    }
+}
+
+/// Adapter: any registered ML model as a scorer over a fixed attribute
+/// vector (used by the DeepER / Ditto analogues).
+pub struct MlScorer {
+    model: std::sync::Arc<dyn dcer_ml::MlModel>,
+    attrs: Vec<AttrId>,
+}
+
+impl MlScorer {
+    /// Score pairs with `model` applied to `attrs` of both tuples.
+    pub fn new(model: std::sync::Arc<dyn dcer_ml::MlModel>, attrs: Vec<AttrId>) -> MlScorer {
+        MlScorer { model, attrs }
+    }
+}
+
+impl PairScorer for MlScorer {
+    fn score(&self, a: &Tuple, b: &Tuple) -> f64 {
+        let va: Vec<_> = self.attrs.iter().map(|&x| a.get(x).clone()).collect();
+        let vb: Vec<_> = self.attrs.iter().map(|&x| b.get(x).clone()).collect();
+        self.model.probability(&va, &vb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcer_relation::{Tid, Value};
+
+    fn tup(row: u32, vals: &[&str]) -> Tuple {
+        Tuple::new(
+            Tid::new(0, row),
+            vals.iter()
+                .map(|s| if s.is_empty() { Value::Null } else { Value::str(*s) })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn weighted_scorer_averages() {
+        let s = WeightedScorer::new(vec![
+            AttrSim::new(0, SimKind::Exact, 1.0),
+            AttrSim::new(1, SimKind::Exact, 3.0),
+        ]);
+        let a = tup(0, &["x", "y"]);
+        let b = tup(1, &["x", "z"]);
+        assert!((s.score(&a, &b) - 0.25).abs() < 1e-12);
+        assert!((s.score(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nulls_contribute_zero() {
+        let s = WeightedScorer::uniform(&[0, 1], SimKind::Exact);
+        let a = tup(0, &["x", ""]);
+        let b = tup(1, &["x", ""]);
+        assert!((s.score(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kinds_are_ordered_sensibly_on_typos() {
+        for kind in [
+            SimKind::Levenshtein,
+            SimKind::JaroWinkler,
+            SimKind::NgramCosine,
+            SimKind::MongeElkan,
+            SimKind::TokenJaccard,
+        ] {
+            let close = kind.apply("thinkpad x1 carbon", "thinkpad x1 crbon");
+            let far = kind.apply("thinkpad x1 carbon", "qq zz pp");
+            assert!(close > far, "{kind:?}");
+        }
+        assert_eq!(SimKind::Exact.apply("", ""), 0.0, "empty is not a match");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attribute")]
+    fn empty_scorer_panics() {
+        let _ = WeightedScorer::new(vec![]);
+    }
+}

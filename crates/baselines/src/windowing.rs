@@ -1,0 +1,98 @@
+//! Sorted-neighborhood windowing (Hernández & Stolfo's merge/purge [39]):
+//! sort tuples by a concatenated key, slide a window of size `w`, compare
+//! only tuples within the same window.
+
+use dcer_relation::{AttrId, Dataset, RelId};
+
+/// The classic windowing candidate generator.
+#[derive(Debug, Clone)]
+pub struct SortedNeighborhood {
+    /// Attributes concatenated into the sort key, in priority order.
+    pub key_attrs: Vec<AttrId>,
+    /// Window size `w ≥ 2`.
+    pub window: usize,
+}
+
+impl SortedNeighborhood {
+    /// Construct with a key and window size.
+    pub fn new(key_attrs: Vec<AttrId>, window: usize) -> SortedNeighborhood {
+        assert!(window >= 2);
+        assert!(!key_attrs.is_empty());
+        SortedNeighborhood { key_attrs, window }
+    }
+
+    /// Candidate row pairs (`a < b` by row index) within the sliding window.
+    pub fn candidate_pairs(&self, dataset: &Dataset, rel: RelId) -> Vec<(u32, u32)> {
+        let tuples = dataset.relation(rel).tuples();
+        let mut order: Vec<u32> = (0..tuples.len() as u32).collect();
+        order.sort_by_key(|&i| {
+            self.key_attrs
+                .iter()
+                .map(|&a| tuples[i as usize].get(a).to_text().to_lowercase())
+                .collect::<Vec<_>>()
+                .join("\u{1}")
+        });
+        let mut pairs = std::collections::HashSet::new();
+        for w in 0..order.len() {
+            for k in 1..self.window.min(order.len() - w) {
+                let (a, b) = (order[w], order[w + k]);
+                pairs.insert((a.min(b), a.max(b)));
+            }
+        }
+        let mut out: Vec<(u32, u32)> = pairs.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcer_relation::{Catalog, RelationSchema, ValueType};
+    use std::sync::Arc;
+
+    fn dataset(names: &[&str]) -> Dataset {
+        let cat = Arc::new(
+            Catalog::from_schemas(vec![RelationSchema::of("R", &[("name", ValueType::Str)])])
+                .unwrap(),
+        );
+        let mut d = Dataset::new(cat);
+        for n in names {
+            d.insert(0, vec![(*n).into()]).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn adjacent_sorted_names_become_candidates() {
+        // After sorting: "F. Smith"(1), "Ford Smith"(0), "Tony Brown"(2).
+        let d = dataset(&["Ford Smith", "F. Smith", "Tony Brown"]);
+        let sn = SortedNeighborhood::new(vec![0], 2);
+        let pairs = sn.candidate_pairs(&d, 0);
+        assert!(pairs.contains(&(0, 1)), "{pairs:?}");
+        assert!(!pairs.contains(&(1, 2)), "window 2 skips distance-2 neighbors");
+    }
+
+    #[test]
+    fn window_size_controls_pair_count() {
+        let d = dataset(&["a", "b", "c", "d", "e"]);
+        let small = SortedNeighborhood::new(vec![0], 2).candidate_pairs(&d, 0).len();
+        let large = SortedNeighborhood::new(vec![0], 4).candidate_pairs(&d, 0).len();
+        assert_eq!(small, 4);
+        assert_eq!(large, 4 + 3 + 2); // distances 1..3
+    }
+
+    #[test]
+    fn full_window_is_all_pairs() {
+        let d = dataset(&["c", "a", "b"]);
+        let sn = SortedNeighborhood::new(vec![0], 3);
+        assert_eq!(sn.candidate_pairs(&d, 0).len(), 3);
+    }
+
+    #[test]
+    fn empty_relation_yields_nothing() {
+        let d = dataset(&[]);
+        let sn = SortedNeighborhood::new(vec![0], 3);
+        assert!(sn.candidate_pairs(&d, 0).is_empty());
+    }
+}

@@ -1,0 +1,79 @@
+//! Micro-benchmarks of the hot kernels: similarity metrics, embeddings,
+//! union-find, inverted-index probes, and hash-function evaluation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dcer_chase::MatchSet;
+use dcer_ml::HashedNgramEmbedder;
+use dcer_relation::{Catalog, Dataset, HashIndex, RelationSchema, Tid, Value, ValueType};
+use dcer_similarity::*;
+use std::sync::Arc;
+
+fn bench_similarity(c: &mut Criterion) {
+    let a = "ThinkPad X1 Carbon 7th Gen : 14-Inch, 16GB RAM, 512GB Nvme SSD";
+    let b = "ThinkPad X1 Carbon 7th Gen 14\" - 16 GB RAM - 512 GB SSD";
+    let mut g = c.benchmark_group("similarity");
+    g.bench_function("levenshtein_60ch", |bch| bch.iter(|| levenshtein(black_box(a), black_box(b))));
+    g.bench_function("jaro_winkler_60ch", |bch| {
+        bch.iter(|| jaro_winkler(black_box(a), black_box(b), 0.1))
+    });
+    g.bench_function("ngram_cosine3_60ch", |bch| {
+        bch.iter(|| ngram_cosine(black_box(a), black_box(b), 3))
+    });
+    g.bench_function("monge_elkan_60ch", |bch| {
+        bch.iter(|| monge_elkan(black_box(a), black_box(b)))
+    });
+    g.finish();
+}
+
+fn bench_embedding(c: &mut Criterion) {
+    let e = HashedNgramEmbedder::default();
+    let text = "Deep and collective entity resolution in parallel databases";
+    let mut g = c.benchmark_group("embedding");
+    g.bench_function("embed_text_8_words", |b| b.iter(|| e.embed_text(black_box(text))));
+    g.bench_function("cosine_8_words", |b| {
+        b.iter(|| e.cosine(black_box(text), black_box("Deep entity matching in distributed databases")))
+    });
+    g.finish();
+}
+
+fn bench_union_find(c: &mut Criterion) {
+    c.bench_function("matchset_chain_merge_10k", |b| {
+        b.iter(|| {
+            let mut m = MatchSet::new();
+            for i in 0..10_000u32 {
+                m.merge(Tid::new(0, i), Tid::new(0, i + 1));
+            }
+            black_box(m.merge_count())
+        })
+    });
+    c.bench_function("matchset_query_after_merges", |b| {
+        let mut m = MatchSet::new();
+        for i in 0..10_000u32 {
+            m.merge(Tid::new(0, i % 100), Tid::new(0, i));
+        }
+        b.iter(|| black_box(m.are_matched(Tid::new(0, 17), Tid::new(0, 9_999))))
+    });
+}
+
+fn bench_index(c: &mut Criterion) {
+    let cat = Arc::new(
+        Catalog::from_schemas(vec![RelationSchema::of("R", &[("k", ValueType::Str)])]).unwrap(),
+    );
+    let mut d = Dataset::new(cat);
+    for i in 0..50_000 {
+        d.insert(0, vec![format!("key{}", i % 5_000).into()]).unwrap();
+    }
+    c.bench_function("hash_index_build_50k", |b| {
+        b.iter(|| black_box(HashIndex::build(&d, 0, 0)))
+    });
+    let idx = HashIndex::build(&d, 0, 0);
+    let probe = Value::str("key123");
+    c.bench_function("hash_index_probe", |b| b.iter(|| black_box(idx.lookup(&probe).len())));
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_similarity, bench_embedding, bench_union_find, bench_index
+}
+criterion_main!(kernels);

@@ -1,0 +1,521 @@
+//! Experiment drivers reproducing every table and figure of the paper's
+//! evaluation (Section VI). One subcommand per experiment:
+//!
+//! ```sh
+//! cargo run --release -p dcer-bench --bin experiments -- all
+//! cargo run --release -p dcer-bench --bin experiments -- table5 --scale 0.5
+//! ```
+//!
+//! Absolute numbers differ from the paper (their substrate was a
+//! 32-machine cluster over 30M-480M tuples; ours is a single container
+//! over scaled-down synthetic analogues — see `DESIGN.md` §4/§5). The
+//! *shapes* are the reproduction target: method ordering, ablation gaps,
+//! MQO savings, parallel speedups. Results are also appended as JSON to
+//! `results/experiments.jsonl` for archival.
+
+use dcer_bench::*;
+use dcer_eval::{format_series, format_table, table_json, Cell};
+use dcer_mrl::parse_rules;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Args {
+    command: String,
+    scale: f64,
+    workers: usize,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { command: "all".into(), scale: 1.0, workers: 16 };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                i += 1;
+                args.scale = argv[i].parse().expect("--scale <f64>");
+            }
+            "--workers" => {
+                i += 1;
+                args.workers = argv[i].parse().expect("--workers <n>");
+            }
+            cmd if !cmd.starts_with('-') => args.command = cmd.to_string(),
+            other => panic!("unknown flag {other}"),
+        }
+        i += 1;
+    }
+    args
+}
+
+fn archive(json: serde_json::Value) {
+    use std::io::Write;
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open("results/experiments.jsonl")
+    {
+        let _ = writeln!(f, "{json}");
+    }
+}
+
+fn emit(title: &str, headers: &[&str], rows: Vec<Vec<Cell>>) {
+    println!("{}", format_table(title, headers, &rows));
+    archive(table_json(title, headers, &rows));
+}
+
+/// Table V: F-measure and time for every method on the four labeled
+/// corpora.
+fn table5(scale: f64, workers: usize) {
+    let dup = 0.3;
+    let workloads = [
+        imdb_workload(scale, dup),
+        dblp_workload(scale, dup),
+        movie_workload(scale, dup),
+        songs_workload(scale, dup),
+    ];
+    // Baselines first (per paper layout), DMatch last. Build each
+    // workload's baseline set (and its trained classifier) once.
+    let per_workload: Vec<Vec<(String, RunResult)>> = workloads
+        .iter()
+        .map(|w| {
+            baselines_for(w)
+                .iter()
+                .map(|b| (b.name().to_string(), run_baseline(w, b.as_ref())))
+                .collect()
+        })
+        .collect();
+    let mut rows: Vec<Vec<Cell>> = Vec::new();
+    for bi in 0..per_workload[0].len() {
+        let mut row: Vec<Cell> = vec![Cell::Str(per_workload[0][bi].0.clone())];
+        for wl in &per_workload {
+            let r = &wl[bi].1;
+            row.push(Cell::F2(r.metrics.f_measure));
+            row.push(Cell::F3(r.wall_secs));
+        }
+        rows.push(row);
+    }
+    let mut row: Vec<Cell> = vec!["DMatch".into()];
+    for w in &workloads {
+        let (r, _) = run_dmatch(w, workers, true);
+        row.push(Cell::F2(r.metrics.f_measure));
+        row.push(Cell::F3(r.parallel_secs.unwrap()));
+    }
+    rows.push(row);
+    emit(
+        "Table V: accuracy (F) and time (s) on labeled corpora",
+        &[
+            "method", "IMDB F", "T(s)", "ACM-DBLP F", "T(s)", "Movie F", "T(s)", "Songs F",
+            "T(s)",
+        ],
+        rows,
+    );
+    println!(
+        "paper shape: DMatch within the top methods everywhere (paper avg F 0.95+);\n\
+         single-table baselines lose on the multi-table corpora (Movie, ACM-DBLP).\n"
+    );
+}
+
+/// Table VI: DMatch accuracy on TPCH and TFACC as Dup varies.
+fn table6(scale: f64, workers: usize) {
+    let dups = [0.1, 0.2, 0.3, 0.4, 0.5];
+    let mut rows = Vec::new();
+    for &dup in &dups {
+        let tp = tpch_workload(scale, dup);
+        let tf = tfacc_workload(scale, dup);
+        let (rp, _) = run_dmatch(&tp, workers, true);
+        let (rf, _) = run_dmatch(&tf, workers, true);
+        rows.push(vec![
+            Cell::F2(dup),
+            Cell::F3(rp.metrics.f_measure),
+            Cell::F3(rf.metrics.f_measure),
+        ]);
+    }
+    emit(
+        "Table VI: DMatch accuracy vs Dup",
+        &["Dup", "TPCH F", "TFACC F"],
+        rows,
+    );
+    println!("paper shape: F stays high (0.85-0.87 on TPCH) and degrades only slightly with Dup.\n");
+}
+
+/// Fig 6(a)/(b): accuracy of DMatch vs its ablations and the distributed
+/// baselines at Dup = 0.5.
+fn fig6_accuracy(scale: f64, workers: usize, tfacc: bool) {
+    let w = if tfacc { tfacc_workload(scale, 0.5) } else { tpch_workload(scale, 0.5) };
+    let title = if tfacc {
+        "Fig 6(b): accuracy on TFACC (Dup = 0.5)"
+    } else {
+        "Fig 6(a): accuracy on TPCH (Dup = 0.5)"
+    };
+    let mut rows = Vec::new();
+    let (full, _) = run_dmatch(&w, workers, true);
+    rows.push(vec![Cell::from("DMatch"), Cell::F3(full.metrics.f_measure)]);
+    let c = run_variant(&w, &w.session.collective_only(), workers);
+    rows.push(vec![Cell::from("DMatch_C"), Cell::F3(c.metrics.f_measure)]);
+    let d = run_variant(&w, &w.session.deep_only(4), workers);
+    rows.push(vec![Cell::from("DMatch_D"), Cell::F3(d.metrics.f_measure)]);
+    for b in baselines_for(&w) {
+        if ["Dedoop-like", "DisDedup-like", "SparkER-like"].contains(&b.name()) {
+            let r = run_baseline(&w, b.as_ref());
+            rows.push(vec![Cell::Str(b.name().to_string()), Cell::F3(r.metrics.f_measure)]);
+        }
+    }
+    emit(title, &["method", "F"], rows);
+    println!("paper shape: DMatch > DMatch_D > DMatch_C; distributed single-table baselines below DMatch.\n");
+}
+
+/// Fig 6(c)/(d): ER time vs Dup.
+fn fig6_time_vs_dup(scale: f64, workers: usize, tfacc: bool) {
+    let dups = [0.1, 0.2, 0.3, 0.4, 0.5];
+    let mut dmatch = Vec::new();
+    let mut sparker = Vec::new();
+    let mut disdedup = Vec::new();
+    for &dup in &dups {
+        // 8x base size: at the default container scale the Dup range adds
+        // only a handful of tuples and the trend drowns in noise.
+        let w = if tfacc { tfacc_workload(scale * 8.0, dup) } else { tpch_workload(scale * 8.0, dup) };
+        let (r, _) = run_dmatch(&w, workers, true);
+        dmatch.push(r.parallel_secs.unwrap());
+        for b in baselines_for(&w) {
+            let secs = || run_baseline(&w, b.as_ref()).wall_secs;
+            match b.name() {
+                "SparkER-like" => sparker.push(secs()),
+                "DisDedup-like" => disdedup.push(secs()),
+                _ => {}
+            }
+        }
+    }
+    let title = if tfacc {
+        "Fig 6(d): time vs Dup on TFACC (n = 16)"
+    } else {
+        "Fig 6(c): time vs Dup on TPCH (n = 16)"
+    };
+    let xs: Vec<String> = dups.iter().map(|d| format!("{d}")).collect();
+    println!(
+        "{}",
+        format_series(
+            title,
+            "Dup",
+            &xs,
+            &[
+                ("DMatch(s)", dmatch),
+                ("SparkER-like(s)", sparker),
+                ("DisDedup-like(s)", disdedup),
+            ],
+        )
+    );
+    println!("paper shape: all methods grow with Dup; DMatch stays competitive despite recursion.\n");
+}
+
+/// Fig 6(e)/(f): DMatch vs DMatch_noMQO as the predicate count per rule
+/// grows.
+fn fig6_time_vs_preds(scale: f64, workers: usize, tfacc: bool) {
+    let preds: Vec<usize> = if tfacc { vec![4, 5, 6, 7, 8] } else { vec![2, 4, 6, 8, 10] };
+    let mut with_mqo = Vec::new();
+    let mut without = Vec::new();
+    for &p in &preds {
+        let (data, _truth, catalog, src, registry) = if tfacc {
+            let w = tfacc_workload(scale * 4.0, 0.3);
+            (
+                w.data,
+                w.truth,
+                dcer_datagen::tfacc::catalog(),
+                dcer_datagen::tfacc::rules_source_predicates(10, p),
+                dcer_datagen::tfacc::make_registry(),
+            )
+        } else {
+            let w = tpch_workload(scale * 2.0, 0.3);
+            (
+                w.data,
+                w.truth,
+                dcer_datagen::tpch::catalog(),
+                dcer_datagen::tpch::rules_source_predicates(10, p),
+                dcer_datagen::tpch::make_registry(),
+            )
+        };
+        let rules = parse_rules(&catalog, &src).unwrap();
+        let session = dcer_core::DcerSession::new(catalog, rules, registry);
+        for (mqo, bucket) in [(true, &mut with_mqo), (false, &mut without)] {
+            let mut cfg = dcer_core::DmatchConfig::new(workers);
+            cfg.use_mqo = mqo;
+            let t0 = Instant::now();
+            let report = session.run_parallel(&data, &cfg).unwrap();
+            let _ = t0.elapsed();
+            bucket.push(report.partition_secs + report.simulated_er_secs);
+        }
+    }
+    let title = if tfacc {
+        "Fig 6(f): time vs |phi| on TFACC (n = 16, 10 rules)"
+    } else {
+        "Fig 6(e): time vs |phi| on TPCH (n = 16, 10 rules)"
+    };
+    let xs: Vec<String> = preds.iter().map(|p| p.to_string()).collect();
+    println!(
+        "{}",
+        format_series(title, "|phi|", &xs, &[("DMatch(s)", with_mqo), ("DMatch_noMQO(s)", without)])
+    );
+    println!("paper shape: time grows with |phi|; MQO's advantage grows with shared predicates.\n");
+}
+
+/// Fig 6(g)/(h): DMatch vs DMatch_noMQO as the rule count grows.
+fn fig6_time_vs_rules(scale: f64, workers: usize, tfacc: bool) {
+    let counts: Vec<usize> = if tfacc { vec![10, 15, 20, 25, 30] } else { vec![30, 45, 60, 75] };
+    let mut with_mqo = Vec::new();
+    let mut without = Vec::new();
+    for &k in &counts {
+        let (data, catalog, src, registry) = if tfacc {
+            let w = tfacc_workload(scale, 0.3);
+            (
+                w.data,
+                dcer_datagen::tfacc::catalog(),
+                dcer_datagen::tfacc::rules_source_scaled(k),
+                dcer_datagen::tfacc::make_registry(),
+            )
+        } else {
+            let w = tpch_workload(scale, 0.3);
+            (
+                w.data,
+                dcer_datagen::tpch::catalog(),
+                dcer_datagen::tpch::rules_source_scaled(k),
+                dcer_datagen::tpch::make_registry(),
+            )
+        };
+        let rules = parse_rules(&catalog, &src).unwrap();
+        let session = dcer_core::DcerSession::new(catalog, rules, registry);
+        for (mqo, bucket) in [(true, &mut with_mqo), (false, &mut without)] {
+            let mut cfg = dcer_core::DmatchConfig::new(workers);
+            cfg.use_mqo = mqo;
+            let report = session.run_parallel(&data, &cfg).unwrap();
+            bucket.push(report.partition_secs + report.simulated_er_secs);
+        }
+    }
+    let title = if tfacc {
+        "Fig 6(h): time vs ||Sigma|| on TFACC (n = 16)"
+    } else {
+        "Fig 6(g): time vs ||Sigma|| on TPCH (n = 16)"
+    };
+    let xs: Vec<String> = counts.iter().map(|c| c.to_string()).collect();
+    println!(
+        "{}",
+        format_series(title, "||Sigma||", &xs, &[("DMatch(s)", with_mqo), ("DMatch_noMQO(s)", without)])
+    );
+    println!("paper shape: more rules cost more; MQO sharing grows with the rule count.\n");
+}
+
+/// Fig 6(i)/(j): parallel scalability — simulated parallel ER time vs n.
+///
+/// Uses 8x the base data size and virtual-block factor 2: the paper's `n²`
+/// virtual blocks target multi-million-tuple fragments; at container scale
+/// their replication overhead would swamp the per-worker compute that the
+/// scalability claim (Theorem 7) is about. Partitioning time is excluded,
+/// matching the paper ("we only report the ER time").
+fn fig6_scalability(scale: f64, tfacc: bool) {
+    let ns = [4usize, 8, 16, 32];
+    let mut with_mqo = Vec::new();
+    let mut without = Vec::new();
+    let w = if tfacc { tfacc_workload(scale * 8.0, 0.3) } else { tpch_workload(scale * 8.0, 0.3) };
+    for &n in &ns {
+        for (mqo, bucket) in [(true, &mut with_mqo), (false, &mut without)] {
+            let mut cfg = dcer_core::DmatchConfig::new(n);
+            cfg.use_mqo = mqo;
+            cfg.virtual_factor = Some(2);
+            // Min of 3 runs: single-run makespans at container scale are
+            // noisy (tens of milliseconds).
+            let best = (0..3)
+                .map(|_| w.session.run_parallel(&w.data, &cfg).unwrap().simulated_er_secs)
+                .fold(f64::INFINITY, f64::min);
+            bucket.push(best);
+        }
+    }
+    let title = if tfacc {
+        "Fig 6(j): simulated parallel time vs n on TFACC"
+    } else {
+        "Fig 6(i): simulated parallel time vs n on TPCH"
+    };
+    let xs: Vec<String> = ns.iter().map(|n| n.to_string()).collect();
+    println!(
+        "{}",
+        format_series(title, "n", &xs, &[("DMatch(s)", with_mqo.clone()), ("DMatch_noMQO(s)", without)])
+    );
+    let speedup = with_mqo[0] / with_mqo[ns.len() - 1];
+    println!(
+        "speedup n=4 -> n=32: {speedup:.2}x (paper: 3.56x on TPCH). Parallel scalability\n\
+         (Theorem 7): time decreases as workers are added.\n"
+    );
+}
+
+/// Fig 6(k)/(l): time vs dataset scale factor.
+fn fig6_time_vs_scale(scale: f64, workers: usize, tfacc: bool) {
+    let factors = [0.05, 0.1, 0.25, 0.5, 1.0];
+    let mut with_mqo = Vec::new();
+    let mut without = Vec::new();
+    let mut sizes = Vec::new();
+    for &f in &factors {
+        let w = if tfacc {
+            tfacc_workload(scale * f * 2.5, 0.3)
+        } else {
+            tpch_workload(scale * f * 2.5, 0.3)
+        };
+        sizes.push(w.data.total_tuples());
+        let (r, _) = run_dmatch(&w, workers, true);
+        with_mqo.push(r.parallel_secs.unwrap());
+        let (r, _) = run_dmatch(&w, workers, false);
+        without.push(r.parallel_secs.unwrap());
+    }
+    let title = if tfacc {
+        "Fig 6(l): time vs scale on TFACC (n = 16)"
+    } else {
+        "Fig 6(k): time vs scale factor on TPCH (n = 16)"
+    };
+    let xs: Vec<String> = factors
+        .iter()
+        .zip(&sizes)
+        .map(|(f, s)| format!("{f} ({s}t)"))
+        .collect();
+    println!(
+        "{}",
+        format_series(title, "SF", &xs, &[("DMatch(s)", with_mqo), ("DMatch_noMQO(s)", without)])
+    );
+    println!("paper shape: near-linear growth with data size; MQO consistently ahead.\n");
+}
+
+/// Exp-2 "Partitioning": HyPart time vs ER time as n varies.
+fn partitioning(scale: f64) {
+    let w = tpch_workload(scale * 8.0, 0.3);
+    let mut rows = Vec::new();
+    for n in [4usize, 8, 16, 32] {
+        let (_, report) = run_dmatch(&w, n, true);
+        // The paper partitions in parallel too (its HyPart time *drops*
+        // from 18.19s to 11.49s as n grows); hashing and distribution
+        // shard trivially, so we report host partition time / n.
+        let par_partition = report.partition_secs / n as f64;
+        let frac = par_partition / (par_partition + report.simulated_er_secs);
+        rows.push(vec![
+            Cell::from(n),
+            Cell::F3(par_partition),
+            Cell::F3(report.simulated_er_secs),
+            Cell::F2(frac * 100.0),
+            Cell::F2(report.partition.replication_factor),
+            Cell::from(report.partition.hash_computations as i64),
+        ]);
+    }
+    emit(
+        "Exp-2: partitioning vs ER time on TPCH",
+        &["n", "HyPart(s)", "ER(s)", "partition %", "replication", "hash comps"],
+        rows,
+    );
+    println!("paper shape: ER time dominates; partitioning stays a small fraction (<= ~15%).\n");
+}
+
+/// Exp-4 case study: the discovered deep+collective rules and what they
+/// prove, including the 3-level recursion anecdote.
+fn case_study(scale: f64, workers: usize) {
+    let w = tpch_workload(scale, 0.4);
+    println!("== Exp-4 case study: TPCH rules (phi_a, phi_b) ==");
+    for r in w.session.rules().rules() {
+        println!(
+            "  {}\n    class {:?}, acyclic {}",
+            r.display(w.session.catalog()),
+            dcer_mrl::classify(r),
+            dcer_mrl::is_acyclic(r)
+        );
+    }
+    let (res, report) = run_dmatch(&w, workers, true);
+    println!(
+        "\nDMatch on TPCH: F = {:.3}, {} supersteps, {} routed matches",
+        res.metrics.f_measure, report.bsp.supersteps, report.bsp.messages
+    );
+    println!(
+        "supersteps > 1 confirm recursion across workers: matches deduced in one round\n\
+         unlock rules (phi_b needs customer matches; customers need nation matches) in the next."
+    );
+
+    let wb = dblp_workload(scale, 0.4);
+    println!("\n== Exp-4 case study: bibliographic rule (phi_c) ==");
+    for r in wb.session.rules().rules() {
+        println!("  {}", r.display(wb.session.catalog()));
+    }
+    let (res, _) = run_dmatch(&wb, workers, true);
+    println!("DMatch on ACM-DBLP: F = {:.3}", res.metrics.f_measure);
+}
+
+fn main() {
+    let args = parse_args();
+    let _ = std::fs::create_dir_all("results");
+    let t0 = Instant::now();
+    let mut ran = String::new();
+    let run = |name: &str| -> bool { args.command == "all" || args.command == name };
+
+    if run("table5") {
+        table5(args.scale, args.workers);
+        let _ = write!(ran, "table5 ");
+    }
+    if run("table6") {
+        table6(args.scale, args.workers);
+        let _ = write!(ran, "table6 ");
+    }
+    if run("fig6a") {
+        fig6_accuracy(args.scale, args.workers, false);
+        let _ = write!(ran, "fig6a ");
+    }
+    if run("fig6b") {
+        fig6_accuracy(args.scale, args.workers, true);
+        let _ = write!(ran, "fig6b ");
+    }
+    if run("fig6c") {
+        fig6_time_vs_dup(args.scale, args.workers, false);
+        let _ = write!(ran, "fig6c ");
+    }
+    if run("fig6d") {
+        fig6_time_vs_dup(args.scale, args.workers, true);
+        let _ = write!(ran, "fig6d ");
+    }
+    if run("fig6e") {
+        fig6_time_vs_preds(args.scale, args.workers, false);
+        let _ = write!(ran, "fig6e ");
+    }
+    if run("fig6f") {
+        fig6_time_vs_preds(args.scale, args.workers, true);
+        let _ = write!(ran, "fig6f ");
+    }
+    if run("fig6g") {
+        fig6_time_vs_rules(args.scale, args.workers, false);
+        let _ = write!(ran, "fig6g ");
+    }
+    if run("fig6h") {
+        fig6_time_vs_rules(args.scale, args.workers, true);
+        let _ = write!(ran, "fig6h ");
+    }
+    if run("fig6i") {
+        fig6_scalability(args.scale, false);
+        let _ = write!(ran, "fig6i ");
+    }
+    if run("fig6j") {
+        fig6_scalability(args.scale, true);
+        let _ = write!(ran, "fig6j ");
+    }
+    if run("fig6k") {
+        fig6_time_vs_scale(args.scale, args.workers, false);
+        let _ = write!(ran, "fig6k ");
+    }
+    if run("fig6l") {
+        fig6_time_vs_scale(args.scale, args.workers, true);
+        let _ = write!(ran, "fig6l ");
+    }
+    if run("partitioning") {
+        partitioning(args.scale);
+        let _ = write!(ran, "partitioning ");
+    }
+    if run("case_study") {
+        case_study(args.scale, args.workers);
+        let _ = write!(ran, "case_study ");
+    }
+    if ran.is_empty() {
+        eprintln!(
+            "unknown experiment `{}`; available: table5 table6 fig6a..fig6l partitioning case_study all",
+            args.command
+        );
+        std::process::exit(2);
+    }
+    eprintln!("\n[{ran}] completed in {:.1}s", t0.elapsed().as_secs_f64());
+}

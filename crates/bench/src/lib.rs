@@ -1,0 +1,357 @@
+//! Shared infrastructure for the experiment drivers (the `experiments`
+//! binary) and Criterion benchmarks: dataset construction, DMatch runners,
+//! and per-dataset baseline configurations.
+//!
+//! Every table and figure of the paper's Section VI has a corresponding
+//! subcommand in `experiments`; see `DESIGN.md` §4 for the index.
+
+use dcer_baselines::{
+    DedoopLike, DeepErLike, DisDedupLike, ErBloxLike, JedAiLike, Matcher, PairwiseMlLike,
+    SimKind, SparkErLike, WeightedScorer,
+};
+use dcer_core::{DcerSession, DmatchConfig, DmatchReport};
+use dcer_datagen::{bib, movies, songs, tfacc, tpch, GroundTruth};
+use dcer_eval::{evaluate_matchset, Metrics};
+use dcer_ml::TrainedPairClassifier;
+use dcer_relation::{AttrId, Dataset, RelId, Value};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+/// A benchmark dataset bundle: data, truth, session, and the relation /
+/// attributes single-table baselines operate on.
+pub struct Workload {
+    /// Dataset name as printed in tables.
+    pub name: &'static str,
+    /// The data.
+    pub data: Dataset,
+    /// Exact ground truth.
+    pub truth: GroundTruth,
+    /// DMatch session (catalog + rules + models).
+    pub session: DcerSession,
+    /// Target relation for single-table baselines.
+    pub target_rel: RelId,
+    /// Textual attributes baselines compare.
+    pub target_attrs: Vec<AttrId>,
+    /// Blocking key attribute for key-based baselines.
+    pub block_key: AttrId,
+}
+
+/// Global size multiplier applied to every workload (CLI `--scale`).
+pub fn scaled(base: usize, scale: f64) -> usize {
+    ((base as f64 * scale) as usize).max(8)
+}
+
+/// IMDB-style workload.
+pub fn imdb_workload(scale: f64, dup: f64) -> Workload {
+    let (data, truth) = movies::imdb_generate(&movies::ImdbConfig {
+        films: scaled(600, scale),
+        dup,
+        seed: 5,
+    });
+    let session = DcerSession::from_source(
+        movies::imdb_catalog(),
+        movies::imdb_rules_source(),
+        movies::make_registry(),
+    )
+    .unwrap();
+    Workload {
+        name: "IMDB",
+        data,
+        truth,
+        session,
+        target_rel: 0,
+        target_attrs: vec![1, 3],
+        block_key: 2, // year
+    }
+}
+
+/// ACM-DBLP-style workload.
+pub fn dblp_workload(scale: f64, dup: f64) -> Workload {
+    let (data, truth) =
+        bib::generate(&bib::BibConfig { articles: scaled(300, scale), dup, seed: 13 });
+    let session =
+        DcerSession::from_source(bib::catalog(), bib::rules_source(), bib::make_registry())
+            .unwrap();
+    Workload {
+        name: "ACM-DBLP",
+        data,
+        truth,
+        session,
+        target_rel: bib::rel::ARTICLE,
+        target_attrs: vec![1, 4],
+        block_key: 3, // year
+    }
+}
+
+/// Movie-style (5-table) workload.
+pub fn movie_workload(scale: f64, dup: f64) -> Workload {
+    let (data, truth) = movies::movie_generate(&movies::MovieConfig {
+        movies: scaled(400, scale),
+        dup,
+        seed: 17,
+    });
+    let session = DcerSession::from_source(
+        movies::movie_catalog(),
+        movies::movie_rules_source(),
+        movies::make_registry(),
+    )
+    .unwrap();
+    Workload {
+        name: "Movie",
+        data,
+        truth,
+        session,
+        target_rel: 0,
+        target_attrs: vec![1, 2, 3],
+        block_key: 2, // year
+    }
+}
+
+/// Songs-style workload.
+pub fn songs_workload(scale: f64, dup: f64) -> Workload {
+    let (data, truth) =
+        songs::generate(&songs::SongsConfig { songs: scaled(800, scale), dup, seed: 29 });
+    let session =
+        DcerSession::from_source(songs::catalog(), songs::rules_source(), songs::make_registry())
+            .unwrap();
+    Workload {
+        name: "Songs",
+        data,
+        truth,
+        session,
+        target_rel: 0,
+        target_attrs: vec![1, 2, 3],
+        block_key: 4, // year
+    }
+}
+
+/// TPCH workload (multi-table; baselines target `customer`).
+pub fn tpch_workload(scale: f64, dup: f64) -> Workload {
+    let (data, truth) = tpch::generate(&tpch::TpchConfig { scale: 0.05 * scale, dup, seed: 42 });
+    let session =
+        DcerSession::from_source(tpch::catalog(), tpch::rules_source(), tpch::make_registry())
+            .unwrap();
+    Workload {
+        name: "TPCH",
+        data,
+        truth,
+        session,
+        target_rel: tpch::rel::CUSTOMER,
+        // Name only: duplicate customers have Null addresses, which would
+        // sink any averaged similarity below threshold.
+        target_attrs: vec![1],
+        block_key: 4, // phone
+    }
+}
+
+/// TFACC workload (multi-table; baselines target `vehicle`).
+pub fn tfacc_workload(scale: f64, dup: f64) -> Workload {
+    let (data, truth) =
+        tfacc::generate(&tfacc::TfaccConfig { vehicles: scaled(400, scale), dup, seed: 23 });
+    let session =
+        DcerSession::from_source(tfacc::catalog(), tfacc::rules_source(), tfacc::make_registry())
+            .unwrap();
+    Workload {
+        name: "TFACC",
+        data,
+        truth,
+        session,
+        target_rel: tfacc::rel::VEHICLE,
+        target_attrs: vec![2, 4],
+        block_key: 2, // model
+    }
+}
+
+/// One accuracy/time measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct RunResult {
+    /// Accuracy vs the workload's truth.
+    pub metrics: Metrics,
+    /// Wall seconds (sequential work on this host).
+    pub wall_secs: f64,
+    /// Simulated parallel seconds (partitioning + BSP makespan), when
+    /// applicable.
+    pub parallel_secs: Option<f64>,
+}
+
+/// Run DMatch on a workload with `n` workers.
+pub fn run_dmatch(w: &Workload, n: usize, use_mqo: bool) -> (RunResult, DmatchReport) {
+    let t0 = Instant::now();
+    let mut cfg = DmatchConfig::new(n);
+    cfg.use_mqo = use_mqo;
+    let report = w.session.run_parallel(&w.data, &cfg).unwrap();
+    let wall = t0.elapsed().as_secs_f64();
+    let mut matches = report.outcome.matches.clone();
+    let metrics = evaluate_matchset(&mut matches, &w.truth);
+    (
+        RunResult {
+            metrics,
+            wall_secs: wall,
+            parallel_secs: Some(report.simulated_er_secs + report.partition_secs),
+        },
+        report,
+    )
+}
+
+/// Run a rule-subset DMatch variant (`DMatch_C` / `DMatch_D`).
+pub fn run_variant(w: &Workload, session: &DcerSession, n: usize) -> RunResult {
+    let t0 = Instant::now();
+    let report = session.run_parallel(&w.data, &DmatchConfig::new(n)).unwrap();
+    let wall = t0.elapsed().as_secs_f64();
+    let mut matches = report.outcome.matches.clone();
+    RunResult {
+        metrics: evaluate_matchset(&mut matches, &w.truth),
+        wall_secs: wall,
+        parallel_secs: Some(report.simulated_er_secs + report.partition_secs),
+    }
+}
+
+/// Train the pairwise classifier the ML baselines use: a 2:1 train/test
+/// split of the workload's labeled pairs (as in the paper's setup).
+pub fn train_baseline_classifier(w: &Workload) -> TrainedPairClassifier {
+    let tuples = w.data.relation(w.target_rel).tuples();
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let mut positives: Vec<(u32, u32)> = w
+        .truth
+        .pairs()
+        .into_iter()
+        .filter(|(a, b)| a.rel == w.target_rel && b.rel == w.target_rel)
+        .filter_map(|(a, b)| {
+            Some((
+                w.data.relation(w.target_rel).position(a)?,
+                w.data.relation(w.target_rel).position(b)?,
+            ))
+        })
+        .collect();
+    positives.sort_unstable();
+    positives.shuffle(&mut rng);
+    positives.truncate((positives.len() * 2 / 3).max(4));
+
+    let mut examples = Vec::new();
+    let vals = |row: usize| -> Vec<Value> {
+        w.target_attrs.iter().map(|&a| tuples[row].get(a).clone()).collect()
+    };
+    for &(i, j) in &positives {
+        examples.push((vals(i as usize), vals(j as usize), true));
+        // Two negatives per positive: shifted partners.
+        let k = (i as usize + 7) % tuples.len();
+        let l = (j as usize + 13) % tuples.len();
+        if !w.truth.are_duplicates(tuples[i as usize].tid, tuples[k].tid) && i as usize != k {
+            examples.push((vals(i as usize), vals(k), false));
+        }
+        if !w.truth.are_duplicates(tuples[j as usize].tid, tuples[l].tid) && j as usize != l {
+            examples.push((vals(j as usize), vals(l), false));
+        }
+    }
+    if examples.is_empty() {
+        examples.push((vec![Value::str("a")], vec![Value::str("a")], true));
+        examples.push((vec![Value::str("a")], vec![Value::str("zz")], false));
+    }
+    TrainedPairClassifier::train(&examples, 250, 0.5)
+}
+
+/// Build the eight baseline matchers for a workload.
+pub fn baselines_for(w: &Workload) -> Vec<Box<dyn Matcher>> {
+    let scorer = || -> Box<WeightedScorer> {
+        Box::new(WeightedScorer::uniform(&w.target_attrs, SimKind::MongeElkan))
+    };
+    let classifier = train_baseline_classifier(w);
+    vec![
+        Box::new(PairwiseMlLike {
+            label: "DeepMa.-like".into(),
+            rel: w.target_rel,
+            attrs: w.target_attrs.clone(),
+            classifier: classifier.clone(),
+            window: 4,
+        }),
+        Box::new(JedAiLike {
+            rel: w.target_rel,
+            token_attrs: w.target_attrs.clone(),
+            scorer: scorer(),
+            threshold: 0.82,
+        }),
+        Box::new(ErBloxLike {
+            rel: w.target_rel,
+            block_keys: vec![w.block_key],
+            attrs: w.target_attrs.clone(),
+            classifier: classifier.clone(),
+        }),
+        Box::new(DeepErLike {
+            rel: w.target_rel,
+            attrs: w.target_attrs.clone(),
+            classifier: classifier.clone(),
+            bands: 8,
+            rows_per_band: 2,
+        }),
+        Box::new(PairwiseMlLike {
+            label: "Ditto-like".into(),
+            rel: w.target_rel,
+            attrs: w.target_attrs.clone(),
+            classifier,
+            window: 8,
+        }),
+        Box::new(DisDedupLike {
+            rel: w.target_rel,
+            block_key: w.block_key,
+            scorer: scorer(),
+            threshold: 0.85,
+            workers: 16,
+        }),
+        Box::new(DedoopLike {
+            rel: w.target_rel,
+            block_key: w.block_key,
+            scorer: scorer(),
+            threshold: 0.85,
+        }),
+        Box::new(SparkErLike {
+            rel: w.target_rel,
+            token_attrs: w.target_attrs.clone(),
+            meta_threshold: 0.5,
+            scorer: scorer(),
+            threshold: 0.82,
+        }),
+    ]
+}
+
+/// Run one baseline on a workload.
+pub fn run_baseline(w: &Workload, m: &dyn Matcher) -> RunResult {
+    let mut result = m.run(&w.data);
+    let metrics = evaluate_matchset(&mut result.matches, &w.truth);
+    RunResult { metrics, wall_secs: result.secs, parallel_secs: None }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_build_and_dmatch_runs() {
+        for w in [
+            imdb_workload(0.2, 0.3),
+            dblp_workload(0.2, 0.3),
+            movie_workload(0.2, 0.3),
+            songs_workload(0.2, 0.3),
+            tpch_workload(0.5, 0.3),
+            tfacc_workload(0.2, 0.3),
+        ] {
+            let (r, _) = run_dmatch(&w, 2, true);
+            assert!(r.metrics.f_measure > 0.5, "{}: F = {}", w.name, r.metrics.f_measure);
+        }
+    }
+
+    #[test]
+    fn baselines_run_on_a_workload() {
+        let w = songs_workload(0.2, 0.3);
+        for b in baselines_for(&w) {
+            let r = run_baseline(&w, b.as_ref());
+            assert!(
+                (0.0..=1.0).contains(&r.metrics.f_measure),
+                "{}: {:?}",
+                b.name(),
+                r.metrics
+            );
+        }
+    }
+}

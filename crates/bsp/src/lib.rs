@@ -1,0 +1,407 @@
+//! A Bulk Synchronous Parallel (BSP [63]) runtime for the fixpoint model of
+//! Section III-B: `n` workers plus a master `P₀`, proceeding in supersteps.
+//! Each superstep every worker consumes its inbox and emits new facts; the
+//! master unions and routes them; the computation terminates at global
+//! quiescence (`ΔΓᵢ = ∅` for all `i`).
+//!
+//! Two execution modes (see `DESIGN.md` §5 — the paper ran on a 32-machine
+//! cluster, this library runs anywhere):
+//!
+//! - [`ExecutionMode::Threaded`]: every worker is a real OS thread
+//!   communicating over crossbeam channels — validates the algorithms under
+//!   true concurrency.
+//! - [`ExecutionMode::Simulated`]: workers run sequentially while the
+//!   runtime records each worker's busy time per superstep; the *simulated
+//!   parallel time* (makespan) is `Σ_steps max_worker(busy)` plus a
+//!   configurable per-byte communication cost. This measures exactly the
+//!   quantities parallel scalability (Theorem 7) is about, independent of
+//!   how many physical cores the host has.
+
+use std::time::Instant;
+
+/// Worker index within a run.
+pub type WorkerId = usize;
+
+/// A BSP worker. `initial` is the partial-evaluation superstep (`A` in the
+/// paper); `superstep` is the incremental step (`A_Δ`).
+pub trait Worker: Send {
+    /// The message type exchanged via the master.
+    type Msg: Send + Clone;
+
+    /// Superstep 0: compute local results from the worker's fragment.
+    fn initial(&mut self) -> Vec<Self::Msg>;
+
+    /// Superstep r ≥ 1: incorporate routed messages, return new local
+    /// results. Returning an empty vector signals local quiescence.
+    fn superstep(&mut self, inbox: Vec<Self::Msg>) -> Vec<Self::Msg>;
+}
+
+/// The master `P₀`: receives every worker's new facts and decides which
+/// workers must see them next superstep.
+pub trait Master<M>: Send {
+    /// Route messages emitted by worker `from`. Deliveries to `from` itself
+    /// are allowed (self-routing is filtered by the runtime).
+    fn route(&mut self, from: WorkerId, msgs: Vec<M>) -> Vec<(WorkerId, M)>;
+}
+
+/// How to execute the workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// Sequential execution with per-worker time accounting (simulated
+    /// cluster).
+    Simulated,
+    /// One OS thread per worker.
+    Threaded,
+}
+
+/// Cost model for the simulated cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Seconds per byte routed between workers (e.g. `8e-8` ≈ 100 Mbps as
+    /// in the paper's cluster). Zero ignores communication.
+    pub secs_per_byte: f64,
+    /// Fixed per-superstep synchronization barrier cost in seconds.
+    pub barrier_secs: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel { secs_per_byte: 8e-8, barrier_secs: 1e-4 }
+    }
+}
+
+/// Statistics of one BSP run.
+#[derive(Debug, Clone, Default)]
+pub struct BspStats {
+    /// Number of supersteps executed (including superstep 0).
+    pub supersteps: usize,
+    /// Total messages routed worker→worker (via the master).
+    pub messages: u64,
+    /// Total bytes routed (per the `msg_bytes` callback).
+    pub bytes: u64,
+    /// Per superstep: the maximum single-worker busy time (seconds).
+    pub step_max_secs: Vec<f64>,
+    /// Per superstep: the sum of worker busy times (seconds).
+    pub step_total_secs: Vec<f64>,
+    /// Per worker: total busy seconds across supersteps.
+    pub worker_busy_secs: Vec<f64>,
+    /// Simulated parallel time: Σ max-per-step + communication + barriers.
+    pub makespan_secs: f64,
+    /// Total compute across all workers (the sequential-equivalent work).
+    pub total_compute_secs: f64,
+    /// Wall-clock time of the whole run.
+    pub wall_secs: f64,
+}
+
+/// Run a BSP computation to global quiescence. `msg_bytes` sizes messages
+/// for communication accounting. Returns the workers (with their final
+/// state) and the run statistics.
+pub fn run_bsp<W: Worker>(
+    workers: Vec<W>,
+    master: &mut dyn Master<W::Msg>,
+    mode: ExecutionMode,
+    cost: &CostModel,
+    msg_bytes: impl Fn(&W::Msg) -> usize + Send + Sync,
+) -> (Vec<W>, BspStats) {
+    match mode {
+        ExecutionMode::Simulated => run_simulated(workers, master, cost, msg_bytes),
+        ExecutionMode::Threaded => run_threaded(workers, master, cost, msg_bytes),
+    }
+}
+
+fn account_step<M>(
+    stats: &mut BspStats,
+    cost: &CostModel,
+    durations: &[f64],
+    deliveries_bytes: u64,
+    deliveries_count: u64,
+) {
+    let max = durations.iter().copied().fold(0.0, f64::max);
+    let total: f64 = durations.iter().sum();
+    stats.step_max_secs.push(max);
+    stats.step_total_secs.push(total);
+    for (w, d) in durations.iter().enumerate() {
+        stats.worker_busy_secs[w] += d;
+    }
+    stats.supersteps += 1;
+    stats.messages += deliveries_count;
+    stats.bytes += deliveries_bytes;
+    stats.makespan_secs +=
+        max + cost.barrier_secs + deliveries_bytes as f64 * cost.secs_per_byte;
+    stats.total_compute_secs += total;
+    let _ = std::marker::PhantomData::<M>;
+}
+
+fn run_simulated<W: Worker>(
+    mut workers: Vec<W>,
+    master: &mut dyn Master<W::Msg>,
+    cost: &CostModel,
+    msg_bytes: impl Fn(&W::Msg) -> usize,
+) -> (Vec<W>, BspStats) {
+    let n = workers.len();
+    let wall = Instant::now();
+    let mut stats = BspStats { worker_busy_secs: vec![0.0; n], ..Default::default() };
+    let mut inboxes: Vec<Vec<W::Msg>> = (0..n).map(|_| Vec::new()).collect();
+    let mut first = true;
+    loop {
+        let mut durations = vec![0.0f64; n];
+        let mut outputs: Vec<Vec<W::Msg>> = Vec::with_capacity(n);
+        for (i, w) in workers.iter_mut().enumerate() {
+            let inbox = std::mem::take(&mut inboxes[i]);
+            let t0 = Instant::now();
+            let out = if first { w.initial() } else { w.superstep(inbox) };
+            durations[i] = t0.elapsed().as_secs_f64();
+            outputs.push(out);
+        }
+        first = false;
+        let mut dbytes = 0u64;
+        let mut dcount = 0u64;
+        let mut any = false;
+        for (i, out) in outputs.into_iter().enumerate() {
+            if out.is_empty() {
+                continue;
+            }
+            for (to, msg) in master.route(i, out) {
+                if to == i {
+                    continue;
+                }
+                dbytes += msg_bytes(&msg) as u64;
+                dcount += 1;
+                inboxes[to].push(msg);
+                any = true;
+            }
+        }
+        account_step::<W::Msg>(&mut stats, cost, &durations, dbytes, dcount);
+        if !any {
+            break;
+        }
+    }
+    stats.wall_secs = wall.elapsed().as_secs_f64();
+    (workers, stats)
+}
+
+fn run_threaded<W: Worker>(
+    workers: Vec<W>,
+    master: &mut dyn Master<W::Msg>,
+    cost: &CostModel,
+    msg_bytes: impl Fn(&W::Msg) -> usize + Send + Sync,
+) -> (Vec<W>, BspStats)
+where
+    W::Msg: Send,
+{
+    use crossbeam::channel;
+    let n = workers.len();
+    let wall = Instant::now();
+    let mut stats = BspStats { worker_busy_secs: vec![0.0; n], ..Default::default() };
+
+    // Channels: master -> worker (inbox or stop), worker -> master (output).
+    let mut to_workers = Vec::with_capacity(n);
+    let (out_tx, out_rx) = channel::unbounded::<(WorkerId, Vec<W::Msg>, f64)>();
+
+    let result = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for (i, mut w) in workers.into_iter().enumerate() {
+            let (tx, rx) = channel::unbounded::<Option<Vec<W::Msg>>>();
+            to_workers.push(tx);
+            let out_tx = out_tx.clone();
+            handles.push(scope.spawn(move |_| {
+                let mut first = true;
+                while let Ok(Some(inbox)) = rx.recv() {
+                    let t0 = Instant::now();
+                    let out = if first { w.initial() } else { w.superstep(inbox) };
+                    first = false;
+                    out_tx
+                        .send((i, out, t0.elapsed().as_secs_f64()))
+                        .expect("master alive");
+                }
+                w
+            }));
+        }
+        drop(out_tx);
+
+        let mut inboxes: Vec<Vec<W::Msg>> = (0..n).map(|_| Vec::new()).collect();
+        loop {
+            for (i, tx) in to_workers.iter().enumerate() {
+                tx.send(Some(std::mem::take(&mut inboxes[i]))).expect("worker alive");
+            }
+            let mut durations = vec![0.0f64; n];
+            let mut outputs: Vec<Option<Vec<W::Msg>>> = (0..n).map(|_| None).collect();
+            for _ in 0..n {
+                let (i, out, d) = out_rx.recv().expect("workers alive");
+                durations[i] = d;
+                outputs[i] = Some(out);
+            }
+            let mut dbytes = 0u64;
+            let mut dcount = 0u64;
+            let mut any = false;
+            for (i, out) in outputs.into_iter().enumerate() {
+                let out = out.unwrap();
+                if out.is_empty() {
+                    continue;
+                }
+                for (to, msg) in master.route(i, out) {
+                    if to == i {
+                        continue;
+                    }
+                    dbytes += msg_bytes(&msg) as u64;
+                    dcount += 1;
+                    inboxes[to].push(msg);
+                    any = true;
+                }
+            }
+            account_step::<W::Msg>(&mut stats, cost, &durations, dbytes, dcount);
+            if !any {
+                break;
+            }
+        }
+        for tx in &to_workers {
+            tx.send(None).expect("worker alive");
+        }
+        handles.into_iter().map(|h| h.join().expect("worker thread")).collect::<Vec<W>>()
+    })
+    .expect("bsp scope");
+
+    stats.wall_secs = wall.elapsed().as_secs_f64();
+    (result, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Toy computation: each worker holds a set of ints; a "fact" spreads
+    /// max values; workers emit when their local max increases. Converges
+    /// to the global max everywhere.
+    struct MaxWorker {
+        local_max: u64,
+    }
+    impl Worker for MaxWorker {
+        type Msg = u64;
+        fn initial(&mut self) -> Vec<u64> {
+            vec![self.local_max]
+        }
+        fn superstep(&mut self, inbox: Vec<u64>) -> Vec<u64> {
+            let incoming = inbox.into_iter().max().unwrap_or(0);
+            if incoming > self.local_max {
+                self.local_max = incoming;
+                vec![self.local_max]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    /// Broadcast master: every message goes to every other worker.
+    struct Broadcast {
+        n: usize,
+    }
+    impl Master<u64> for Broadcast {
+        fn route(&mut self, _from: WorkerId, msgs: Vec<u64>) -> Vec<(WorkerId, u64)> {
+            let mut out = Vec::new();
+            for m in msgs {
+                for w in 0..self.n {
+                    out.push((w, m));
+                }
+            }
+            out
+        }
+    }
+
+    fn run(mode: ExecutionMode) -> (Vec<MaxWorker>, BspStats) {
+        let workers: Vec<MaxWorker> =
+            [3u64, 17, 5, 11].into_iter().map(|m| MaxWorker { local_max: m }).collect();
+        let mut master = Broadcast { n: 4 };
+        run_bsp(workers, &mut master, mode, &CostModel::default(), |_| 8)
+    }
+
+    #[test]
+    fn simulated_converges_to_global_max() {
+        let (workers, stats) = run(ExecutionMode::Simulated);
+        assert!(workers.iter().all(|w| w.local_max == 17));
+        assert!(stats.supersteps >= 2);
+        assert!(stats.messages > 0);
+        assert_eq!(stats.bytes, stats.messages * 8);
+        assert_eq!(stats.step_max_secs.len(), stats.supersteps);
+        assert!(stats.makespan_secs > 0.0);
+        assert!(stats.makespan_secs <= stats.total_compute_secs + 1.0);
+    }
+
+    #[test]
+    fn threaded_converges_to_global_max() {
+        let (workers, stats) = run(ExecutionMode::Threaded);
+        assert!(workers.iter().all(|w| w.local_max == 17));
+        assert!(stats.supersteps >= 2);
+        assert_eq!(stats.worker_busy_secs.len(), 4);
+    }
+
+    #[test]
+    fn modes_agree_on_results_and_messages() {
+        let (_, sim) = run(ExecutionMode::Simulated);
+        let (_, thr) = run(ExecutionMode::Threaded);
+        assert_eq!(sim.messages, thr.messages);
+        assert_eq!(sim.supersteps, thr.supersteps);
+    }
+
+    #[test]
+    fn quiescent_from_start_terminates_after_one_step() {
+        struct Quiet;
+        impl Worker for Quiet {
+            type Msg = u64;
+            fn initial(&mut self) -> Vec<u64> {
+                Vec::new()
+            }
+            fn superstep(&mut self, _: Vec<u64>) -> Vec<u64> {
+                unreachable!("never reached without messages")
+            }
+        }
+        let mut master = Broadcast { n: 2 };
+        let (_, stats) = run_bsp(
+            vec![Quiet, Quiet],
+            &mut master,
+            ExecutionMode::Simulated,
+            &CostModel::default(),
+            |_| 0,
+        );
+        assert_eq!(stats.supersteps, 1);
+        assert_eq!(stats.messages, 0);
+    }
+
+    #[test]
+    fn self_routes_are_filtered() {
+        struct SelfMaster;
+        impl Master<u64> for SelfMaster {
+            fn route(&mut self, from: WorkerId, msgs: Vec<u64>) -> Vec<(WorkerId, u64)> {
+                msgs.into_iter().map(|m| (from, m)).collect()
+            }
+        }
+        let workers = vec![MaxWorker { local_max: 1 }, MaxWorker { local_max: 2 }];
+        let (_, stats) = run_bsp(
+            workers,
+            &mut SelfMaster,
+            ExecutionMode::Simulated,
+            &CostModel::default(),
+            |_| 8,
+        );
+        assert_eq!(stats.messages, 0, "self-deliveries never count");
+        assert_eq!(stats.supersteps, 1);
+    }
+
+    #[test]
+    fn communication_cost_enters_makespan() {
+        let free = CostModel { secs_per_byte: 0.0, barrier_secs: 0.0 };
+        let costly = CostModel { secs_per_byte: 1e-3, barrier_secs: 0.0 };
+        let workers = |_| -> Vec<MaxWorker> {
+            [3u64, 17].into_iter().map(|m| MaxWorker { local_max: m }).collect()
+        };
+        let (_, a) =
+            run_bsp(workers(()), &mut Broadcast { n: 2 }, ExecutionMode::Simulated, &free, |_| 100);
+        let (_, b) = run_bsp(
+            workers(()),
+            &mut Broadcast { n: 2 },
+            ExecutionMode::Simulated,
+            &costly,
+            |_| 100,
+        );
+        assert!(b.makespan_secs > a.makespan_secs);
+    }
+}

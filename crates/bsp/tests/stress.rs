@@ -1,0 +1,121 @@
+//! Stress tests for the BSP runtime: many workers, message storms, long
+//! chains of supersteps, and agreement between threaded and simulated
+//! execution under load.
+
+use dcer_bsp::{run_bsp, CostModel, ExecutionMode, Master, Worker, WorkerId};
+
+/// Gossip worker: holds a set of u32 tokens; each superstep it absorbs the
+/// inbox and emits tokens it has not yet broadcast. Converges when every
+/// worker holds the union.
+struct Gossip {
+    tokens: std::collections::BTreeSet<u32>,
+    broadcast: std::collections::BTreeSet<u32>,
+}
+
+impl Gossip {
+    fn new(seed: impl IntoIterator<Item = u32>) -> Gossip {
+        Gossip { tokens: seed.into_iter().collect(), broadcast: Default::default() }
+    }
+}
+
+impl Worker for Gossip {
+    type Msg = u32;
+    fn initial(&mut self) -> Vec<u32> {
+        let fresh: Vec<u32> = self.tokens.iter().copied().collect();
+        self.broadcast.extend(fresh.iter().copied());
+        fresh
+    }
+    fn superstep(&mut self, inbox: Vec<u32>) -> Vec<u32> {
+        self.tokens.extend(inbox.iter().copied());
+        let fresh: Vec<u32> =
+            self.tokens.iter().copied().filter(|t| !self.broadcast.contains(t)).collect();
+        self.broadcast.extend(fresh.iter().copied());
+        fresh
+    }
+}
+
+/// Ring master: tokens travel to the next worker only, so full propagation
+/// needs ~n supersteps (a long chain).
+struct Ring {
+    n: usize,
+}
+
+impl Master<u32> for Ring {
+    fn route(&mut self, from: WorkerId, msgs: Vec<u32>) -> Vec<(WorkerId, u32)> {
+        msgs.into_iter().map(|m| ((from + 1) % self.n, m)).collect()
+    }
+}
+
+fn run_ring(n: usize, mode: ExecutionMode) -> (Vec<Gossip>, dcer_bsp::BspStats) {
+    let workers: Vec<Gossip> = (0..n).map(|i| Gossip::new([i as u32])).collect();
+    run_bsp(workers, &mut Ring { n }, mode, &CostModel::default(), |_| 4)
+}
+
+#[test]
+fn ring_propagation_needs_n_supersteps() {
+    for mode in [ExecutionMode::Simulated, ExecutionMode::Threaded] {
+        let n = 24;
+        let (workers, stats) = run_ring(n, mode);
+        for w in &workers {
+            assert_eq!(w.tokens.len(), n, "{mode:?}: every worker saw every token");
+        }
+        assert!(stats.supersteps >= n, "{mode:?}: chain length forces ~n steps");
+        // Each token visits every worker once: n tokens x n hops.
+        assert_eq!(stats.messages, (n * n) as u64, "{mode:?}");
+    }
+}
+
+#[test]
+fn modes_agree_under_load() {
+    let (ws, sim) = run_ring(16, ExecutionMode::Simulated);
+    let (wt, thr) = run_ring(16, ExecutionMode::Threaded);
+    assert_eq!(sim.messages, thr.messages);
+    assert_eq!(sim.supersteps, thr.supersteps);
+    for (a, b) in ws.iter().zip(&wt) {
+        assert_eq!(a.tokens, b.tokens);
+    }
+}
+
+#[test]
+fn message_storm_with_many_threads() {
+    // 64 threaded workers, all-to-all broadcast of 8 tokens each: 512
+    // distinct tokens, every worker must converge to all of them.
+    struct AllToAll {
+        n: usize,
+    }
+    impl Master<u32> for AllToAll {
+        fn route(&mut self, _from: WorkerId, msgs: Vec<u32>) -> Vec<(WorkerId, u32)> {
+            let mut out = Vec::with_capacity(msgs.len() * self.n);
+            for m in msgs {
+                for w in 0..self.n {
+                    out.push((w, m));
+                }
+            }
+            out
+        }
+    }
+    let n = 64;
+    let workers: Vec<Gossip> =
+        (0..n).map(|i| Gossip::new((0..8).map(|j| (i * 8 + j) as u32))).collect();
+    let (workers, stats) = run_bsp(
+        workers,
+        &mut AllToAll { n },
+        ExecutionMode::Threaded,
+        &CostModel::default(),
+        |_| 4,
+    );
+    for w in &workers {
+        assert_eq!(w.tokens.len(), n * 8);
+    }
+    assert!(stats.messages >= (n * 8 * (n - 1)) as u64);
+    assert_eq!(stats.worker_busy_secs.len(), n);
+}
+
+#[test]
+fn makespan_is_bounded_by_total_compute_plus_overheads() {
+    let (_, stats) = run_ring(12, ExecutionMode::Simulated);
+    let overhead = stats.supersteps as f64 * CostModel::default().barrier_secs
+        + stats.bytes as f64 * CostModel::default().secs_per_byte;
+    assert!(stats.makespan_secs <= stats.total_compute_secs + overhead + 1e-6);
+    assert!(stats.makespan_secs >= stats.step_max_secs.iter().sum::<f64>());
+}

@@ -1,0 +1,206 @@
+//! The bounded dependency store `H` (Section V-A, structure (2)).
+//!
+//! A dependency `l₁ ∧ … ∧ l_n → l` records a support valuation whose
+//! recursive predicates `l_i` were unsatisfied when it was enumerated:
+//! whenever all `l_i` become valid, `l` must be enforced — *without*
+//! re-running the join. `H` is a pure cache bounded by a capacity `K`
+//! ("determined by the available memory" in the paper): when full, new
+//! dependencies are dropped and the engine falls back to update-driven join
+//! re-evaluation, so correctness never depends on `K`.
+
+use crate::facts::{ChaseState, Fact};
+use dcer_relation::Tid;
+
+/// An instantiated recursive predicate awaited by a dependency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pending {
+    /// Awaiting `a ~ b` in `E_id`.
+    Id(Tid, Tid),
+    /// Awaiting validation of signature `sig` on `(a, b)`.
+    Ml {
+        /// Signature id.
+        sig: u16,
+        /// Left tuple.
+        a: Tid,
+        /// Right tuple.
+        b: Tid,
+        /// Whether lookups normalize pair order.
+        symmetric: bool,
+    },
+}
+
+impl Pending {
+    fn holds(&self, state: &mut ChaseState) -> bool {
+        match *self {
+            Pending::Id(a, b) => state.holds_id(a, b),
+            Pending::Ml { sig, a, b, symmetric } => state.holds_ml(sig, a, b, symmetric),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Dep {
+    antecedents: Vec<Pending>,
+    head: Fact,
+}
+
+/// The bounded store of dependencies.
+#[derive(Debug)]
+pub struct DepStore {
+    deps: Vec<Dep>,
+    capacity: usize,
+    recorded: u64,
+    dropped: u64,
+    fired: u64,
+}
+
+impl DepStore {
+    /// Store with capacity `K`.
+    pub fn new(capacity: usize) -> DepStore {
+        DepStore { deps: Vec::new(), capacity, recorded: 0, dropped: 0, fired: 0 }
+    }
+
+    /// Record a dependency. Returns `false` (and counts a drop) when `H` is
+    /// full — the caller must then rely on update-driven re-evaluation.
+    pub fn record(&mut self, antecedents: Vec<Pending>, head: Fact) -> bool {
+        debug_assert!(!antecedents.is_empty(), "satisfied valuations fire directly");
+        if self.deps.len() >= self.capacity {
+            self.dropped += 1;
+            return false;
+        }
+        self.deps.push(Dep { antecedents, head });
+        self.recorded += 1;
+        true
+    }
+
+    /// Collect the heads of all dependencies that became ready (every
+    /// antecedent valid), removing them; also removes dependencies whose
+    /// head already holds (the paper's rule: once `l` is validated, all
+    /// dependencies `… → l` are dropped). The caller applies the returned
+    /// facts and calls again until the result is empty.
+    pub fn collect_ready(&mut self, state: &mut ChaseState) -> Vec<Fact> {
+        let mut ready = Vec::new();
+        self.deps.retain_mut(|dep| {
+            let head_holds = match dep.head {
+                Fact::Id(a, b) => state.holds_id(a, b),
+                Fact::Ml(..) => state.validated.contains(&dep.head),
+            };
+            if head_holds {
+                return false;
+            }
+            dep.antecedents.retain(|p| !p.holds(state));
+            if dep.antecedents.is_empty() {
+                ready.push(dep.head);
+                false
+            } else {
+                true
+            }
+        });
+        self.fired += ready.len() as u64;
+        ready
+    }
+
+    /// Whether any dependency was ever dropped for capacity.
+    pub fn overflowed(&self) -> bool {
+        self.dropped > 0
+    }
+
+    /// Live dependencies currently stored.
+    pub fn len(&self) -> usize {
+        self.deps.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.deps.is_empty()
+    }
+
+    /// (recorded, fired, dropped) counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.recorded, self.fired, self.dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(r: u32) -> Tid {
+        Tid::new(0, r)
+    }
+
+    #[test]
+    fn fires_when_all_antecedents_hold() {
+        let mut h = DepStore::new(10);
+        let mut st = ChaseState::new();
+        h.record(
+            vec![Pending::Id(t(1), t(2)), Pending::Id(t(3), t(4))],
+            Fact::id(t(5), t(6)),
+        );
+        assert!(h.collect_ready(&mut st).is_empty());
+        st.apply(Fact::id(t(1), t(2)));
+        assert!(h.collect_ready(&mut st).is_empty(), "one antecedent left");
+        assert_eq!(h.len(), 1);
+        st.apply(Fact::id(t(3), t(4)));
+        assert_eq!(h.collect_ready(&mut st), vec![Fact::id(t(5), t(6))]);
+        assert!(h.is_empty());
+        assert_eq!(h.counters(), (1, 1, 0));
+    }
+
+    #[test]
+    fn transitive_equivalence_satisfies_id_antecedents() {
+        let mut h = DepStore::new(10);
+        let mut st = ChaseState::new();
+        h.record(vec![Pending::Id(t(1), t(3))], Fact::id(t(8), t(9)));
+        st.apply(Fact::id(t(1), t(2)));
+        st.apply(Fact::id(t(2), t(3)));
+        assert_eq!(h.collect_ready(&mut st).len(), 1);
+    }
+
+    #[test]
+    fn ml_antecedent_requires_validation() {
+        let mut h = DepStore::new(10);
+        let mut st = ChaseState::new();
+        h.record(
+            vec![Pending::Ml { sig: 3, a: t(2), b: t(1), symmetric: true }],
+            Fact::id(t(5), t(6)),
+        );
+        assert!(h.collect_ready(&mut st).is_empty());
+        st.apply(Fact::ml(3, t(1), t(2), true));
+        assert_eq!(h.collect_ready(&mut st).len(), 1);
+    }
+
+    #[test]
+    fn dependency_with_already_valid_head_is_dropped() {
+        let mut h = DepStore::new(10);
+        let mut st = ChaseState::new();
+        st.apply(Fact::id(t(5), t(6)));
+        h.record(vec![Pending::Id(t(1), t(2))], Fact::id(t(5), t(6)));
+        assert!(h.collect_ready(&mut st).is_empty());
+        assert!(h.is_empty(), "head already holds — dropped, not fired");
+    }
+
+    #[test]
+    fn capacity_overflow_reported() {
+        let mut h = DepStore::new(1);
+        assert!(h.record(vec![Pending::Id(t(1), t(2))], Fact::id(t(3), t(4))));
+        assert!(!h.record(vec![Pending::Id(t(5), t(6))], Fact::id(t(7), t(8))));
+        assert!(h.overflowed());
+        assert_eq!(h.counters().2, 1);
+    }
+
+    #[test]
+    fn satisfied_antecedents_are_pruned_incrementally() {
+        let mut h = DepStore::new(10);
+        let mut st = ChaseState::new();
+        h.record(
+            vec![Pending::Id(t(1), t(2)), Pending::Id(t(3), t(4))],
+            Fact::id(t(5), t(6)),
+        );
+        st.apply(Fact::id(t(1), t(2)));
+        h.collect_ready(&mut st);
+        // Internal antecedent list shrank: satisfying the second now fires.
+        st.apply(Fact::id(t(3), t(4)));
+        assert_eq!(h.collect_ready(&mut st).len(), 1);
+    }
+}

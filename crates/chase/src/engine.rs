@@ -1,0 +1,794 @@
+//! The sequential `Match` algorithm (paper Fig. 3) and its incremental core
+//! `IncDeduce` (Fig. 4) — which double as the per-worker partial-evaluation
+//! (`A`) and incremental (`A_Δ`) algorithms of the parallel `DMatch`.
+//!
+//! ## How the two phases divide the work
+//!
+//! Because the *data* never changes during the chase — only the id/ML fact
+//! set `Γ` grows — the support valuations (those satisfying the atoms,
+//! constant and equality predicates) are fixed. `Deduce` enumerates them
+//! once with inverted indices:
+//!
+//! - valuations whose recursive predicates all hold **fire** their head;
+//! - valuations blocked only on *waitable* recursive predicates (id
+//!   predicates, or ML predicates some rule head can validate) are recorded
+//!   in the dependency store `H` as `l₁ ∧ … ∧ l_n → l`;
+//! - valuations blocked on an unwaitable false ML predicate are dead and
+//!   pruned during enumeration.
+//!
+//! `IncDeduce` then never re-runs full joins: it fires dependencies whose
+//! antecedents became valid. Only if `H` overflowed its capacity `K` does it
+//! fall back to update-driven join re-evaluation seeded by the new facts in
+//! `ΔΓ` — exactly the two strategies of Fig. 4 (lines 2-3 vs lines 4-7).
+
+use crate::deps::{DepStore, Pending};
+use crate::eval::{enumerate_valuations, ValuationSink};
+use crate::facts::{ChaseState, Fact, MlOracle, MlSigTable};
+use crate::plan::{CompiledHead, CompiledRule, RecPred};
+use crate::union_find::MatchSet;
+use dcer_ml::MlRegistry;
+use dcer_mrl::{RuleSet, TupleVar};
+use dcer_relation::{Dataset, IndexSet, RelId, Tid, Tuple};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Tuning knobs for the engine.
+#[derive(Debug, Clone)]
+pub struct ChaseConfig {
+    /// Capacity `K` of the dependency store `H`. Correctness never depends
+    /// on it; small values exercise the update-driven fallback.
+    pub dep_capacity: usize,
+    /// When `false`, skip `H` entirely and always use update-driven join
+    /// re-evaluation (used to cross-validate the two `IncDeduce` paths).
+    pub use_dep_cache: bool,
+    /// Share ML classifier results across rules with the same predicate
+    /// signature (an MQO-style evaluation sharing). `false` reproduces the
+    /// per-rule evaluation of `DMatch_noMQO`.
+    pub share_ml_across_rules: bool,
+}
+
+impl Default for ChaseConfig {
+    fn default() -> ChaseConfig {
+        ChaseConfig { dep_capacity: 1 << 20, use_dep_cache: true, share_ml_across_rules: true }
+    }
+}
+
+/// Counters reported by the engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaseStats {
+    /// Complete support valuations visited.
+    pub valuations: u64,
+    /// Facts newly deduced (id matches + validated predictions).
+    pub facts_deduced: u64,
+    /// Dependencies recorded in `H`.
+    pub deps_recorded: u64,
+    /// Dependencies fired from `H`.
+    pub deps_fired: u64,
+    /// Dependencies dropped because `H` was full.
+    pub deps_dropped: u64,
+    /// Seeded (update-driven) join re-evaluations.
+    pub seeded_joins: u64,
+    /// Real ML classifier invocations.
+    pub ml_calls: u64,
+    /// ML memo-cache hits.
+    pub ml_cache_hits: u64,
+    /// `IncDeduce` rounds executed.
+    pub rounds: u64,
+}
+
+impl ChaseStats {
+    /// Pointwise sum (aggregating worker stats).
+    pub fn add(&mut self, other: &ChaseStats) {
+        self.valuations += other.valuations;
+        self.facts_deduced += other.facts_deduced;
+        self.deps_recorded += other.deps_recorded;
+        self.deps_fired += other.deps_fired;
+        self.deps_dropped += other.deps_dropped;
+        self.seeded_joins += other.seeded_joins;
+        self.ml_calls += other.ml_calls;
+        self.ml_cache_hits += other.ml_cache_hits;
+        self.rounds += other.rounds;
+    }
+}
+
+/// The result of a chase run: the paper's `Γ`.
+#[derive(Debug)]
+pub struct ChaseOutcome {
+    /// Deduced matches with transitive closure.
+    pub matches: MatchSet,
+    /// Validated ML predictions.
+    pub validated: HashSet<Fact>,
+    /// Work counters.
+    pub stats: ChaseStats,
+}
+
+/// A new-fact event queued for update-driven processing; for id facts the
+/// two pre-merge classes bound the newly-true id pairs.
+#[derive(Debug)]
+struct DeltaEvent {
+    fact: Fact,
+    side_a: Vec<Tid>,
+    side_b: Vec<Tid>,
+}
+
+/// The `Match` engine over one dataset (or HyPart fragment).
+pub struct ChaseEngine {
+    plans: Vec<CompiledRule>,
+    sigs: MlSigTable,
+    dataset: Dataset,
+    indexes: IndexSet,
+    state: ChaseState,
+    deps: DepStore,
+    oracle: MlOracle,
+    pending: VecDeque<DeltaEvent>,
+    /// rel -> [(plan, rec_pred index)] for body id predicates.
+    id_pred_index: HashMap<RelId, Vec<(usize, usize)>>,
+    /// sig -> [(plan, rec_pred index)] for body ML predicates.
+    ml_pred_index: HashMap<u16, Vec<(usize, usize)>>,
+    use_dep_cache: bool,
+    share_ml_across_rules: bool,
+    /// Per-tuple rule masks from HyPart: when set, rule `i` only binds
+    /// tuples whose mask has bit `min(i, 127)`.
+    rule_scope: Option<std::sync::Arc<HashMap<Tid, u128>>>,
+    stats: ChaseStats,
+}
+
+impl ChaseEngine {
+    /// Build an engine for `dataset` with rule set `rules`, binding ML
+    /// models from `registry`.
+    pub fn new(
+        dataset: Dataset,
+        rules: &RuleSet,
+        registry: &MlRegistry,
+        config: &ChaseConfig,
+    ) -> Result<ChaseEngine, String> {
+        let sigs = MlSigTable::build(rules);
+        let plans = CompiledRule::compile_all(rules, &sigs);
+        let oracle = MlOracle::new(rules, registry)?;
+        let mut id_pred_index: HashMap<RelId, Vec<(usize, usize)>> = HashMap::new();
+        let mut ml_pred_index: HashMap<u16, Vec<(usize, usize)>> = HashMap::new();
+        for (pi, plan) in plans.iter().enumerate() {
+            for (ri, p) in plan.rec_preds.iter().enumerate() {
+                match p {
+                    RecPred::Id { left, .. } => {
+                        id_pred_index
+                            .entry(plan.atoms[left.0 as usize])
+                            .or_default()
+                            .push((pi, ri));
+                    }
+                    RecPred::Ml { sig, .. } => {
+                        ml_pred_index.entry(*sig).or_default().push((pi, ri));
+                    }
+                }
+            }
+        }
+        let capacity = if config.use_dep_cache { config.dep_capacity } else { 0 };
+        Ok(ChaseEngine {
+            plans,
+            sigs,
+            dataset,
+            indexes: IndexSet::new(),
+            state: ChaseState::new(),
+            deps: DepStore::new(capacity),
+            oracle,
+            pending: VecDeque::new(),
+            id_pred_index,
+            ml_pred_index,
+            use_dep_cache: config.use_dep_cache,
+            share_ml_across_rules: config.share_ml_across_rules,
+            rule_scope: None,
+            stats: ChaseStats::default(),
+        })
+    }
+
+    /// The fragment this engine operates on.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// Scope each rule's evaluation to the tuples HyPart distributed for it
+    /// (see [`dcer_relation::Tid`]-keyed masks in the partition result).
+    /// Tuples absent from the map are admitted for every rule.
+    pub fn set_rule_scope(&mut self, masks: std::sync::Arc<HashMap<Tid, u128>>) {
+        self.rule_scope = Some(masks);
+    }
+
+    /// Current chase state (read access for inspection).
+    pub fn state_mut(&mut self) -> &mut ChaseState {
+        &mut self.state
+    }
+
+    /// Snapshot of the counters (classifier counters refreshed).
+    pub fn stats(&self) -> ChaseStats {
+        let mut s = self.stats;
+        s.ml_calls = self.oracle.calls();
+        s.ml_cache_hits = self.oracle.hits();
+        let (rec, fired, dropped) = self.deps.counters();
+        s.deps_recorded = rec;
+        s.deps_fired = fired;
+        s.deps_dropped = dropped;
+        s
+    }
+
+    /// Whether update-driven re-evaluation is required (dep cache disabled
+    /// or overflowed).
+    fn needs_delta_joins(&self) -> bool {
+        !self.use_dep_cache || self.deps.overflowed()
+    }
+
+    /// `Match` (Fig. 3): `Deduce` once, then `IncDeduce` to local fixpoint.
+    /// Returns every fact newly deduced here.
+    pub fn run_local_fixpoint(&mut self) -> Vec<Fact> {
+        let mut out = Vec::new();
+        self.deduce(&mut out);
+        self.incdeduce_loop(&mut out);
+        out
+    }
+
+    /// `A_Δ`: incorporate facts received from other workers, then run
+    /// `IncDeduce` to local fixpoint. Returns only *locally* deduced new
+    /// facts (the received ones are already known to the sender/master).
+    pub fn apply_delta(&mut self, received: &[Fact]) -> Vec<Fact> {
+        for &f in received {
+            if let Some((side_a, side_b)) = self.state.apply(f) {
+                self.pending.push_back(DeltaEvent { fact: f, side_a, side_b });
+            }
+        }
+        let mut out = Vec::new();
+        self.incdeduce_loop(&mut out);
+        out
+    }
+
+    /// One full enumeration round over all rules (procedure `Deduce`).
+    fn deduce(&mut self, out: &mut Vec<Fact>) {
+        for pi in 0..self.plans.len() {
+            self.run_plan(pi, &[], out);
+        }
+    }
+
+    /// `IncDeduce` to fixpoint: alternate dependency firing with (when
+    /// needed) update-driven seeded joins until quiescent.
+    fn incdeduce_loop(&mut self, out: &mut Vec<Fact>) {
+        loop {
+            self.stats.rounds += 1;
+            let mut progressed = false;
+            // (1) Fire ready dependencies to exhaustion.
+            loop {
+                let ready = self.deps.collect_ready(&mut self.state);
+                if ready.is_empty() {
+                    break;
+                }
+                for fact in ready {
+                    progressed |= self.commit(fact, out);
+                }
+            }
+            // (2) Update-driven join re-evaluation, if `H` cannot be trusted
+            // to be complete.
+            if self.needs_delta_joins() {
+                while let Some(ev) = self.pending.pop_front() {
+                    progressed = true;
+                    self.delta_join(&ev, out);
+                }
+            } else {
+                self.pending.clear();
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    /// Apply a fact; on novelty, report it and queue its delta event.
+    fn commit(&mut self, fact: Fact, out: &mut Vec<Fact>) -> bool {
+        match self.state.apply(fact) {
+            Some((side_a, side_b)) => {
+                self.stats.facts_deduced += 1;
+                out.push(fact);
+                self.pending.push_back(DeltaEvent { fact, side_a, side_b });
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Enumerate (optionally seeded) valuations of one plan, firing heads or
+    /// recording dependencies.
+    fn run_plan(&mut self, plan_idx: usize, seeds: &[(TupleVar, u32)], out: &mut Vec<Fact>) {
+        // Split borrows: the sink needs the mutable state/oracle/deps while
+        // the enumerator walks dataset/indexes.
+        let share_ml = self.share_ml_across_rules;
+        let ChaseEngine {
+            plans, sigs, dataset, indexes, state, deps, oracle, stats, pending, rule_scope, ..
+        } = self;
+        let plan = &plans[plan_idx];
+        let rule_mask = 1u128 << plan.rule_idx.min(127);
+        let ml_scope = if share_ml { 0 } else { plan.rule_idx as u16 + 1 };
+        let mut sink = EngineSink {
+            plan,
+            dataset,
+            sigs,
+            state,
+            deps,
+            oracle,
+            pending,
+            out,
+            scope: rule_scope.as_deref(),
+            rule_mask,
+            ml_scope,
+            facts_deduced: 0,
+        };
+        let visited = enumerate_valuations(plan, dataset, indexes, seeds, &mut sink);
+        let newly = sink.facts_deduced;
+        stats.valuations += visited;
+        stats.facts_deduced += newly;
+    }
+
+    /// Update-driven re-evaluation for one new fact (Fig. 4, lines 4-7).
+    fn delta_join(&mut self, ev: &DeltaEvent, out: &mut Vec<Fact>) {
+        match ev.fact {
+            Fact::Id(a, _) => {
+                let rel = a.rel;
+                let Some(entries) = self.id_pred_index.get(&rel).cloned() else { return };
+                // Newly true id pairs are (x, y) with x, y on opposite
+                // pre-merge sides; restrict to tuples hosted locally.
+                let local = |tid: &Tid| self.dataset.relation(rel).position(*tid).map(|p| (*tid, p));
+                let xs: Vec<(Tid, u32)> = ev.side_a.iter().filter_map(local).collect();
+                let ys: Vec<(Tid, u32)> = ev.side_b.iter().filter_map(local).collect();
+                for (pi, ri) in entries {
+                    let RecPred::Id { left, right } = self.plans[pi].rec_preds[ri] else {
+                        continue;
+                    };
+                    if self.plans[pi].atoms[right.0 as usize] != rel {
+                        continue;
+                    }
+                    for &(_, xr) in &xs {
+                        for &(_, yr) in &ys {
+                            self.stats.seeded_joins += 2;
+                            self.run_plan(pi, &[(left, xr), (right, yr)], out);
+                            self.run_plan(pi, &[(left, yr), (right, xr)], out);
+                        }
+                    }
+                }
+            }
+            Fact::Ml(sig, a, b) => {
+                let Some(entries) = self.ml_pred_index.get(&sig).cloned() else { return };
+                for (pi, ri) in entries {
+                    let RecPred::Ml { left, right, symmetric, .. } = self.plans[pi].rec_preds[ri]
+                    else {
+                        continue;
+                    };
+                    let seed_pairs: &[(Tid, Tid)] =
+                        if symmetric { &[(a, b), (b, a)] } else { &[(a, b)] };
+                    for &(x, y) in seed_pairs {
+                        let (Some(xr), Some(yr)) = (
+                            self.dataset
+                                .relation(self.plans[pi].atoms[left.0 as usize])
+                                .position(x),
+                            self.dataset
+                                .relation(self.plans[pi].atoms[right.0 as usize])
+                                .position(y),
+                        ) else {
+                            continue;
+                        };
+                        self.stats.seeded_joins += 1;
+                        self.run_plan(pi, &[(left, xr), (right, yr)], out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Incremental ER under data insertions — the `ΔD` extension sketched
+    /// in the paper's Section V-A remark (and listed as future work in its
+    /// conclusion): add new tuples, then deduce exactly the consequences
+    /// that involve them.
+    ///
+    /// Only valuations touching at least one new tuple can newly satisfy a
+    /// precondition (the old data's valuations were exhausted by earlier
+    /// rounds), so we re-enumerate each rule seeded on the new rows, then
+    /// run `IncDeduce` to propagate. Returns the newly deduced facts.
+    pub fn insert_and_deduce(&mut self, tuples: Vec<dcer_relation::Tuple>) -> Vec<Fact> {
+        let mut new_rows: Vec<(RelId, u32)> = Vec::with_capacity(tuples.len());
+        for t in tuples {
+            let rel = t.tid.rel;
+            if self.dataset.relation(rel).contains(t.tid) {
+                continue;
+            }
+            self.dataset.insert_replica(t);
+            new_rows.push((rel, self.dataset.relation(rel).len() as u32 - 1));
+        }
+        if new_rows.is_empty() {
+            return Vec::new();
+        }
+        // Inverted indices are stale: rebuild lazily on next access.
+        self.indexes.clear();
+        let mut out = Vec::new();
+        for pi in 0..self.plans.len() {
+            for v in 0..self.plans[pi].num_vars() {
+                let var = TupleVar(v as u16);
+                let rel = self.plans[pi].atoms[v];
+                for &(r, row) in &new_rows {
+                    if r == rel {
+                        self.stats.seeded_joins += 1;
+                        self.run_plan(pi, &[(var, row)], &mut out);
+                    }
+                }
+            }
+        }
+        self.incdeduce_loop(&mut out);
+        out
+    }
+
+    /// Consume the engine, producing the final `Γ`.
+    pub fn into_outcome(self) -> ChaseOutcome {
+        let stats = self.stats();
+        ChaseOutcome { matches: self.state.matches, validated: self.state.validated, stats }
+    }
+}
+
+/// The sink wiring enumeration events into the engine's state.
+struct EngineSink<'a> {
+    plan: &'a CompiledRule,
+    dataset: &'a Dataset,
+    sigs: &'a MlSigTable,
+    state: &'a mut ChaseState,
+    deps: &'a mut DepStore,
+    oracle: &'a mut MlOracle,
+    pending: &'a mut VecDeque<DeltaEvent>,
+    out: &'a mut Vec<Fact>,
+    scope: Option<&'a HashMap<Tid, u128>>,
+    rule_mask: u128,
+    ml_scope: u16,
+    facts_deduced: u64,
+}
+
+impl EngineSink<'_> {
+    fn tuple(&self, v: TupleVar, rows: &[u32]) -> &Tuple {
+        &self.dataset.relation(self.plan.atoms[v.0 as usize]).tuples()[rows[v.0 as usize] as usize]
+    }
+}
+
+impl ValuationSink for EngineSink<'_> {
+    fn admit_row(&mut self, var: TupleVar, row: u32) -> bool {
+        let Some(scope) = self.scope else { return true };
+        let tid = self.dataset.relation(self.plan.atoms[var.0 as usize]).tuples()[row as usize].tid;
+        scope.get(&tid).is_none_or(|m| m & self.rule_mask != 0)
+    }
+
+    fn prune_rec(&mut self, pred: &RecPred, left: &Tuple, right: &Tuple) -> bool {
+        // Only an unwaitable false ML predicate is final — prune there.
+        if let RecPred::Ml { sig, symmetric, waitable: false, .. } = *pred {
+            !self.state.holds_ml(sig, left.tid, right.tid, symmetric)
+                && !self.oracle.predict(self.sigs, sig, left, right, self.ml_scope)
+        } else {
+            false
+        }
+    }
+
+    fn visit(&mut self, rows: &[u32]) {
+        // Evaluate recursive predicates; collect unsatisfied waitables.
+        let mut unsatisfied: Vec<Pending> = Vec::new();
+        for p in &self.plan.rec_preds {
+            match *p {
+                RecPred::Id { left, right } => {
+                    let (a, b) = (self.tuple(left, rows).tid, self.tuple(right, rows).tid);
+                    if !self.state.holds_id(a, b) {
+                        unsatisfied.push(Pending::Id(a, b));
+                    }
+                }
+                RecPred::Ml { sig, left, right, symmetric, waitable } => {
+                    let (lt, rt) = (self.tuple(left, rows).clone(), self.tuple(right, rows).clone());
+                    if self.state.holds_ml(sig, lt.tid, rt.tid, symmetric)
+                        || self.oracle.predict(self.sigs, sig, &lt, &rt, self.ml_scope)
+                    {
+                        continue;
+                    }
+                    if !waitable {
+                        return; // dead valuation (normally pruned earlier)
+                    }
+                    unsatisfied.push(Pending::Ml { sig, a: lt.tid, b: rt.tid, symmetric });
+                }
+            }
+        }
+        let head = match self.plan.head {
+            CompiledHead::Id(l, r) => {
+                let (a, b) = (self.tuple(l, rows).tid, self.tuple(r, rows).tid);
+                if a == b {
+                    return; // reflexive, already in Γ
+                }
+                Fact::id(a, b)
+            }
+            CompiledHead::Ml { sig, left, right, symmetric } => {
+                let (a, b) = (self.tuple(left, rows).tid, self.tuple(right, rows).tid);
+                if a == b {
+                    return; // self-prediction carries no information
+                }
+                Fact::ml(sig, a, b, symmetric)
+            }
+        };
+        if unsatisfied.is_empty() {
+            if let Some((side_a, side_b)) = self.state.apply(head) {
+                self.facts_deduced += 1;
+                self.out.push(head);
+                self.pending.push_back(DeltaEvent { fact: head, side_a, side_b });
+            }
+        } else {
+            // Skip recording if the head already holds.
+            let head_holds = match head {
+                Fact::Id(a, b) => self.state.holds_id(a, b),
+                Fact::Ml(..) => self.state.validated.contains(&head),
+            };
+            if !head_holds {
+                self.deps.record(unsatisfied, head);
+            }
+        }
+    }
+}
+
+/// Run the full sequential `Match` algorithm on a dataset.
+pub fn run_match(
+    dataset: &Dataset,
+    rules: &RuleSet,
+    registry: &MlRegistry,
+    config: &ChaseConfig,
+) -> Result<ChaseOutcome, String> {
+    let mut engine = ChaseEngine::new(dataset.clone(), rules, registry, config)?;
+    engine.run_local_fixpoint();
+    Ok(engine.into_outcome())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcer_ml::{EqualTextClassifier, NgramCosineClassifier};
+    use dcer_relation::{Catalog, RelationSchema, Value, ValueType};
+    use std::sync::Arc;
+
+    fn catalog() -> Arc<Catalog> {
+        Arc::new(
+            Catalog::from_schemas(vec![RelationSchema::of(
+                "R",
+                &[("k", ValueType::Str), ("x", ValueType::Str)],
+            )])
+            .unwrap(),
+        )
+    }
+
+    fn registry() -> MlRegistry {
+        let mut r = MlRegistry::new();
+        r.register("m", Arc::new(EqualTextClassifier));
+        r.register("sim", Arc::new(NgramCosineClassifier::new(0.5)));
+        r
+    }
+
+    fn configs() -> Vec<ChaseConfig> {
+        vec![
+            ChaseConfig::default(),
+            ChaseConfig { dep_capacity: 0, use_dep_cache: true, ..Default::default() }, // overflow path
+            ChaseConfig { dep_capacity: 0, use_dep_cache: false, ..Default::default() }, // pure delta joins
+            ChaseConfig { dep_capacity: 2, use_dep_cache: true, ..Default::default() }, // mixed
+        ]
+    }
+
+    #[test]
+    fn matches_naive_chase_on_recursive_rules_under_all_configs() {
+        let cat = catalog();
+        let mut d = Dataset::new(cat.clone());
+        for (k, x) in [
+            ("k1", "p"),
+            ("k1", "q"),
+            ("k2", "q"),
+            ("k2", "r"),
+            ("k3", "r"),
+            ("k4", "zz"),
+        ] {
+            d.insert(0, vec![k.into(), x.into()]).unwrap();
+        }
+        let rules = dcer_mrl::parse_rules(
+            &cat,
+            "match base: R(t), R(s), t.k = s.k -> t.id = s.id;
+             match step: R(t), R(s), R(u), t.id = s.id, s.x = u.x -> t.id = u.id",
+        )
+        .unwrap();
+        let reg = registry();
+        let mut reference = crate::naive::naive_chase(&d, &rules, &reg).unwrap();
+        let expected = reference.matches.clusters();
+        assert!(!expected.is_empty());
+        for cfg in configs() {
+            let mut outcome = run_match(&d, &rules, &reg, &cfg).unwrap();
+            assert_eq!(
+                outcome.matches.clusters(),
+                expected,
+                "config {cfg:?} diverged from naive chase"
+            );
+        }
+    }
+
+    #[test]
+    fn ml_validation_feeds_recursion_under_all_configs() {
+        let cat = catalog();
+        let mut d = Dataset::new(cat.clone());
+        let a = d.insert(0, vec!["k".into(), "xa".into()]).unwrap();
+        let b = d.insert(0, vec!["k".into(), "xb".into()]).unwrap();
+        let c = d.insert(0, vec!["other".into(), "xb".into()]).unwrap();
+        let rules = dcer_mrl::parse_rules(
+            &cat,
+            "match validate: R(t), R(s), t.k = s.k -> m(t.x, s.x);
+             match use: R(t), R(s), m(t.x, s.x) -> t.id = s.id",
+        )
+        .unwrap();
+        let reg = registry();
+        for cfg in configs() {
+            let mut outcome = run_match(&d, &rules, &reg, &cfg).unwrap();
+            assert!(outcome.matches.are_matched(a, b), "config {cfg:?}");
+            // b.x == c.x so the classifier itself fires `use` for (b, c).
+            assert!(outcome.matches.are_matched(b, c), "config {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn engine_stats_are_populated() {
+        let cat = catalog();
+        let mut d = Dataset::new(cat.clone());
+        d.insert(0, vec!["k".into(), "x".into()]).unwrap();
+        d.insert(0, vec!["k".into(), "y".into()]).unwrap();
+        let rules = dcer_mrl::parse_rules(
+            &cat,
+            "match r: R(t), R(s), t.k = s.k, m(t.x, s.x), t.id = s.id -> t.id = s.id",
+        )
+        .unwrap();
+        let outcome = run_match(&d, &rules, &registry(), &ChaseConfig::default()).unwrap();
+        assert!(outcome.stats.valuations > 0);
+        assert!(outcome.stats.ml_calls > 0);
+        assert!(outcome.stats.rounds > 0);
+    }
+
+    #[test]
+    fn apply_delta_triggers_downstream_matches() {
+        // Worker-style use: external match (a~b) arrives; local rule
+        // propagates to c via x equality.
+        let cat = catalog();
+        let mut d = Dataset::new(cat.clone());
+        let a = d.insert(0, vec!["ka".into(), "p".into()]).unwrap();
+        let b = d.insert(0, vec!["kb".into(), "q".into()]).unwrap();
+        let c = d.insert(0, vec!["kc".into(), "q".into()]).unwrap();
+        // Pin `t` to tuple a so the reflexive valuation t = s cannot fire
+        // anything on its own (a.x = "p" only rejoins a itself).
+        let rules = dcer_mrl::parse_rules(
+            &cat,
+            r#"match step: R(t), R(s), R(u), t.k = "ka", t.id = s.id, s.x = u.x -> t.id = u.id"#,
+        )
+        .unwrap();
+        for cfg in configs() {
+            let mut engine = ChaseEngine::new(d.clone(), &rules, &registry(), &cfg).unwrap();
+            let initial = engine.run_local_fixpoint();
+            assert!(initial.is_empty(), "no local matches without the external fact");
+            let new_facts = engine.apply_delta(&[Fact::id(a, b)]);
+            assert!(
+                new_facts.contains(&Fact::id(a, c)) || new_facts.contains(&Fact::id(b, c)),
+                "config {cfg:?}: got {new_facts:?}"
+            );
+            let mut outcome = engine.into_outcome();
+            assert!(outcome.matches.are_matched(a, c));
+        }
+    }
+
+    #[test]
+    fn constants_restrict_matches() {
+        let cat = catalog();
+        let mut d = Dataset::new(cat.clone());
+        let a = d.insert(0, vec!["k".into(), "v".into()]).unwrap();
+        let b = d.insert(0, vec!["k".into(), "v".into()]).unwrap();
+        let c = d.insert(0, vec!["k2".into(), "v".into()]).unwrap();
+        let rules = dcer_mrl::parse_rules(
+            &cat,
+            r#"match r: R(t), R(s), t.x = s.x, t.k = "k", s.k = "k" -> t.id = s.id"#,
+        )
+        .unwrap();
+        let mut outcome = run_match(&d, &rules, &registry(), &ChaseConfig::default()).unwrap();
+        assert!(outcome.matches.are_matched(a, b));
+        assert!(!outcome.matches.are_matched(a, c));
+    }
+
+    #[test]
+    fn run_match_reports_missing_model() {
+        let cat = catalog();
+        let d = Dataset::new(cat.clone());
+        let rules = dcer_mrl::parse_rules(
+            &cat,
+            "match r: R(t), R(s), nosuch(t.x, s.x) -> t.id = s.id",
+        )
+        .unwrap();
+        let err = run_match(&d, &rules, &MlRegistry::new(), &ChaseConfig::default());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn insert_and_deduce_matches_full_rerun() {
+        // ΔD extension: inserting tuples incrementally must converge to the
+        // same Γ as chasing the final dataset from scratch.
+        let cat = catalog();
+        let mut base = Dataset::new(cat.clone());
+        let a = base.insert(0, vec!["k1".into(), "p".into()]).unwrap();
+        let b = base.insert(0, vec!["k2".into(), "p".into()]).unwrap();
+        let rules = dcer_mrl::parse_rules(
+            &cat,
+            "match base: R(t), R(s), t.k = s.k -> t.id = s.id;
+             match step: R(t), R(s), R(u), t.id = s.id, s.x = u.x -> t.id = u.id",
+        )
+        .unwrap();
+        let reg = registry();
+        for cfg in configs() {
+            let mut engine = ChaseEngine::new(base.clone(), &rules, &reg, &cfg).unwrap();
+            engine.run_local_fixpoint();
+
+            // Insert c (matches a via k1) and d (x-linked to everything).
+            let mut full = base.clone();
+            let c = full.insert(0, vec!["k1".into(), "q".into()]).unwrap();
+            let d_tid = full.insert(0, vec!["k3".into(), "p".into()]).unwrap();
+            let new_tuples: Vec<_> =
+                [c, d_tid].iter().map(|&t| full.tuple(t).unwrap().clone()).collect();
+
+            let delta_facts = engine.insert_and_deduce(new_tuples);
+            assert!(!delta_facts.is_empty(), "config {cfg:?}");
+            let mut incremental = engine.into_outcome();
+
+            let mut scratch = run_match(&full, &rules, &reg, &cfg).unwrap();
+            assert_eq!(
+                incremental.matches.clusters(),
+                scratch.matches.clusters(),
+                "config {cfg:?}"
+            );
+            // a ~ c via base; step links x-sharers of matched tuples.
+            assert!(incremental.matches.are_matched(a, c));
+            let _ = (b, d_tid);
+        }
+    }
+
+    #[test]
+    fn insert_and_deduce_ignores_known_tuples_and_empty_batches() {
+        let cat = catalog();
+        let mut d = Dataset::new(cat.clone());
+        let a = d.insert(0, vec!["k".into(), "x".into()]).unwrap();
+        let rules =
+            dcer_mrl::parse_rules(&cat, "match r: R(t), R(s), t.k = s.k -> t.id = s.id").unwrap();
+        let mut engine =
+            ChaseEngine::new(d.clone(), &rules, &registry(), &ChaseConfig::default()).unwrap();
+        engine.run_local_fixpoint();
+        assert!(engine.insert_and_deduce(Vec::new()).is_empty());
+        let dup = d.tuple(a).unwrap().clone();
+        assert!(engine.insert_and_deduce(vec![dup]).is_empty(), "replica ignored");
+    }
+
+    #[test]
+    fn apply_delta_tolerates_unknown_tids() {
+        // Facts about tuples not hosted locally must be absorbed into the
+        // union-find without panicking (master routing normally prevents
+        // this, but robustness matters).
+        let cat = catalog();
+        let mut d = Dataset::new(cat.clone());
+        d.insert(0, vec!["k".into(), "x".into()]).unwrap();
+        let rules =
+            dcer_mrl::parse_rules(&cat, "match r: R(t), R(s), t.k = s.k -> t.id = s.id").unwrap();
+        let mut engine =
+            ChaseEngine::new(d, &rules, &registry(), &ChaseConfig::default()).unwrap();
+        engine.run_local_fixpoint();
+        let ghost_a = dcer_relation::Tid::new(0, 900);
+        let ghost_b = dcer_relation::Tid::new(0, 901);
+        let out = engine.apply_delta(&[Fact::id(ghost_a, ghost_b)]);
+        assert!(out.is_empty());
+        assert!(engine.state_mut().holds_id(ghost_a, ghost_b));
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let cat = catalog();
+        let mut d = Dataset::new(cat.clone());
+        let a = d.insert(0, vec![Value::Null, "v".into()]).unwrap();
+        let b = d.insert(0, vec![Value::Null, "w".into()]).unwrap();
+        let rules =
+            dcer_mrl::parse_rules(&cat, "match r: R(t), R(s), t.k = s.k -> t.id = s.id").unwrap();
+        let mut outcome = run_match(&d, &rules, &registry(), &ChaseConfig::default()).unwrap();
+        assert!(!outcome.matches.are_matched(a, b));
+        assert_eq!(outcome.matches.num_pairs(), 0);
+    }
+}

@@ -1,0 +1,400 @@
+//! The valuation enumerator: finds all valuations of a compiled rule whose
+//! non-recursive precondition (relation atoms, constant and equality
+//! predicates) holds in a dataset.
+//!
+//! The enumerator is a backtracking join over the rule's atoms. At every
+//! step it picks the cheapest *access path* for some unbound variable:
+//!
+//! 1. an inverted-index probe through an equality edge whose other side is
+//!    already bound (the hash joins of Section V-A),
+//! 2. an inverted-index probe on a constant predicate, or
+//! 3. a full scan of the variable's relation (only for genuinely
+//!    disconnected atoms, e.g. the all-pairs comparisons under a pure ML
+//!    predicate — inherent, as the paper notes).
+//!
+//! Recursive predicates never bind values, but the sink is notified the
+//! moment both of their variables are bound so it can prune branches whose
+//! ML predicate is false *and can never become validated*.
+//!
+//! The same routine powers full enumeration (`Deduce`) and the seeded,
+//! update-driven re-evaluation of `IncDeduce`: seeds pre-bind variables.
+
+use crate::plan::{CompiledRule, RecPred};
+use dcer_mrl::TupleVar;
+use dcer_relation::{Dataset, IndexSet, Tuple};
+
+/// Receiver for enumeration events.
+pub trait ValuationSink {
+    /// Whether this row may be bound to a tuple variable at all. The engine
+    /// uses this to scope a rule's evaluation to the tuples HyPart
+    /// distributed *for that rule* (sound: the rule's own distribution
+    /// covers all its valuations; replicas for other rules only create
+    /// redundant valuations that exist elsewhere anyway).
+    fn admit_row(&mut self, var: TupleVar, row: u32) -> bool {
+        let _ = (var, row);
+        true
+    }
+
+    /// Both variables of a recursive predicate just became bound. Return
+    /// `true` to prune this branch (only sound for predicates whose falsity
+    /// is final).
+    fn prune_rec(&mut self, pred: &RecPred, left: &Tuple, right: &Tuple) -> bool;
+
+    /// A complete support valuation; `rows[i]` is the row (within the
+    /// dataset's relation instance) bound to tuple variable `i`.
+    fn visit(&mut self, rows: &[u32]);
+}
+
+/// Enumerate all support valuations of `plan` in `dataset`, with variables
+/// in `seeds` pre-bound to the given rows. Returns the number of complete
+/// valuations visited.
+pub fn enumerate_valuations(
+    plan: &CompiledRule,
+    dataset: &Dataset,
+    indexes: &mut IndexSet,
+    seeds: &[(TupleVar, u32)],
+    sink: &mut dyn ValuationSink,
+) -> u64 {
+    let n = plan.num_vars();
+    let mut rows: Vec<Option<u32>> = vec![None; n];
+
+    // Pre-bind and validate seeds. (Seeds bypass `admit_row`: delta-driven
+    // re-evaluation must consider any locally hosted tuple.)
+    for &(v, row) in seeds {
+        let rel = plan.atoms[v.0 as usize];
+        if row as usize >= dataset.relation(rel).len() {
+            return 0;
+        }
+        rows[v.0 as usize] = Some(row);
+    }
+    for &(v, _) in seeds {
+        if !filters_hold(plan, dataset, &rows, v) {
+            return 0;
+        }
+    }
+    // Check predicates already fully bound by seeds (equality + recursive).
+    for e in &plan.eq_edges {
+        if let (Some(lr), Some(rr)) = (rows[e.left.0 .0 as usize], rows[e.right.0 .0 as usize]) {
+            let lt = &dataset.relation(plan.atoms[e.left.0 .0 as usize]).tuples()[lr as usize];
+            let rt = &dataset.relation(plan.atoms[e.right.0 .0 as usize]).tuples()[rr as usize];
+            if !lt.get(e.left.1).sql_eq(rt.get(e.right.1)) {
+                return 0;
+            }
+        }
+    }
+    for p in &plan.rec_preds {
+        let (l, r) = p.vars();
+        if let (Some(lr), Some(rr)) = (rows[l.0 as usize], rows[r.0 as usize]) {
+            let lt = dataset.relation(plan.atoms[l.0 as usize]).tuples()[lr as usize].clone();
+            let rt = dataset.relation(plan.atoms[r.0 as usize]).tuples()[rr as usize].clone();
+            if sink.prune_rec(p, &lt, &rt) {
+                return 0;
+            }
+        }
+    }
+
+    let mut count = 0;
+    descend(plan, dataset, indexes, &mut rows, sink, &mut count);
+    count
+}
+
+/// All constant filters of variable `v` hold under the current binding.
+fn filters_hold(plan: &CompiledRule, dataset: &Dataset, rows: &[Option<u32>], v: TupleVar) -> bool {
+    let Some(row) = rows[v.0 as usize] else { return true };
+    let t = &dataset.relation(plan.atoms[v.0 as usize]).tuples()[row as usize];
+    plan.const_filters[v.0 as usize]
+        .iter()
+        .all(|(a, c)| t.get(*a).sql_eq(c))
+}
+
+/// Candidate row source for the chosen variable.
+enum Access {
+    /// Probe rows from an index lookup (already materialized).
+    Probe(Vec<u32>),
+    /// Scan the whole relation.
+    Scan(u32),
+}
+
+fn descend(
+    plan: &CompiledRule,
+    dataset: &Dataset,
+    indexes: &mut IndexSet,
+    rows: &mut Vec<Option<u32>>,
+    sink: &mut dyn ValuationSink,
+    count: &mut u64,
+) {
+    // Complete?
+    let Some(_) = rows.iter().position(Option::is_none) else {
+        *count += 1;
+        let full: Vec<u32> = rows.iter().map(|r| r.unwrap()).collect();
+        sink.visit(&full);
+        return;
+    };
+
+    // Pick the cheapest access path among unbound variables.
+    let mut best: Option<(TupleVar, usize, Access)> = None; // (var, cost, access)
+    for i in 0..plan.num_vars() {
+        if rows[i].is_some() {
+            continue;
+        }
+        let v = TupleVar(i as u16);
+        let rel = plan.atoms[i];
+        // Equality edges with the other side bound.
+        for e in &plan.eq_edges {
+            let probe = if e.left.0 == v {
+                rows[e.right.0 .0 as usize].map(|r| {
+                    let other =
+                        &dataset.relation(plan.atoms[e.right.0 .0 as usize]).tuples()[r as usize];
+                    (e.left.1, other.get(e.right.1).clone())
+                })
+            } else if e.right.0 == v {
+                rows[e.left.0 .0 as usize].map(|r| {
+                    let other =
+                        &dataset.relation(plan.atoms[e.left.0 .0 as usize]).tuples()[r as usize];
+                    (e.right.1, other.get(e.left.1).clone())
+                })
+            } else {
+                None
+            };
+            if let Some((attr, value)) = probe {
+                if value.is_null() {
+                    // Null never joins: this branch is dead for v.
+                    best = Some((v, 0, Access::Probe(Vec::new())));
+                    continue;
+                }
+                let postings = indexes.get(dataset, rel, attr).lookup(&value);
+                if best.as_ref().is_none_or(|(_, c, _)| postings.len() < *c) {
+                    best = Some((v, postings.len(), Access::Probe(postings.to_vec())));
+                }
+            }
+        }
+        // Constant filters as access paths.
+        for (attr, c) in &plan.const_filters[i] {
+            let postings = indexes.get(dataset, rel, *attr).lookup(c);
+            if best.as_ref().is_none_or(|(_, cost, _)| postings.len() < *cost) {
+                best = Some((v, postings.len(), Access::Probe(postings.to_vec())));
+            }
+        }
+    }
+    let (var, _, access) = match best {
+        Some(b) => b,
+        None => {
+            // No connected unbound variable: fall back to scanning the
+            // smallest-unbound relation (cartesian step).
+            let (i, rel) = (0..plan.num_vars())
+                .filter(|&i| rows[i].is_none())
+                .map(|i| (i, plan.atoms[i]))
+                .min_by_key(|&(_, rel)| dataset.relation(rel).len())
+                .expect("at least one unbound variable");
+            (TupleVar(i as u16), 0, Access::Scan(dataset.relation(rel).len() as u32))
+        }
+    };
+
+    let candidates: Vec<u32> = match access {
+        Access::Probe(rows) => rows,
+        Access::Scan(len) => (0..len).collect(),
+    };
+    'cands: for row in candidates {
+        if !sink.admit_row(var, row) {
+            continue;
+        }
+        rows[var.0 as usize] = Some(row);
+        // Constant filters.
+        if !filters_hold(plan, dataset, rows, var) {
+            rows[var.0 as usize] = None;
+            continue;
+        }
+        // All equality edges now fully bound and touching `var`.
+        for e in &plan.eq_edges {
+            if e.left.0 != var && e.right.0 != var {
+                continue;
+            }
+            if let (Some(lr), Some(rr)) =
+                (rows[e.left.0 .0 as usize], rows[e.right.0 .0 as usize])
+            {
+                let lt = &dataset.relation(plan.atoms[e.left.0 .0 as usize]).tuples()[lr as usize];
+                let rt =
+                    &dataset.relation(plan.atoms[e.right.0 .0 as usize]).tuples()[rr as usize];
+                if !lt.get(e.left.1).sql_eq(rt.get(e.right.1)) {
+                    rows[var.0 as usize] = None;
+                    continue 'cands;
+                }
+            }
+        }
+        // Recursive predicates that just became fully bound.
+        for p in &plan.rec_preds {
+            let (l, r) = p.vars();
+            if l != var && r != var {
+                continue;
+            }
+            if let (Some(lr), Some(rr)) = (rows[l.0 as usize], rows[r.0 as usize]) {
+                let lt = dataset.relation(plan.atoms[l.0 as usize]).tuples()[lr as usize].clone();
+                let rt = dataset.relation(plan.atoms[r.0 as usize]).tuples()[rr as usize].clone();
+                if sink.prune_rec(p, &lt, &rt) {
+                    rows[var.0 as usize] = None;
+                    continue 'cands;
+                }
+            }
+        }
+        descend(plan, dataset, indexes, rows, sink, count);
+        rows[var.0 as usize] = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facts::MlSigTable;
+    use crate::plan::CompiledRule;
+    use dcer_mrl::parse_rules;
+    use dcer_relation::{Catalog, RelationSchema, Value, ValueType};
+    use std::sync::Arc;
+
+    struct Collect {
+        all: Vec<Vec<u32>>,
+        prune_ml: bool,
+    }
+    impl ValuationSink for Collect {
+        fn prune_rec(&mut self, pred: &RecPred, _l: &Tuple, _r: &Tuple) -> bool {
+            self.prune_ml && matches!(pred, RecPred::Ml { .. })
+        }
+        fn visit(&mut self, rows: &[u32]) {
+            self.all.push(rows.to_vec());
+        }
+    }
+
+    fn catalog() -> Arc<Catalog> {
+        Arc::new(
+            Catalog::from_schemas(vec![
+                RelationSchema::of("R", &[("k", ValueType::Str), ("v", ValueType::Str)]),
+                RelationSchema::of("S", &[("k", ValueType::Str), ("w", ValueType::Str)]),
+            ])
+            .unwrap(),
+        )
+    }
+
+    fn data() -> Dataset {
+        let mut d = Dataset::new(catalog());
+        d.insert(0, vec!["a".into(), "r0".into()]).unwrap(); // R row 0
+        d.insert(0, vec!["a".into(), "r1".into()]).unwrap(); // R row 1
+        d.insert(0, vec!["b".into(), "r2".into()]).unwrap(); // R row 2
+        d.insert(1, vec!["a".into(), "s0".into()]).unwrap(); // S row 0
+        d.insert(1, vec!["b".into(), "s1".into()]).unwrap(); // S row 1
+        d.insert(1, vec![Value::Null, "s2".into()]).unwrap(); // S row 2
+        d
+    }
+
+    fn compile(src: &str) -> (CompiledRule, Dataset) {
+        let d = data();
+        let rules = parse_rules(d.catalog(), src).unwrap();
+        let sigs = MlSigTable::build(&rules);
+        (CompiledRule::compile(&rules, &sigs, 0), d)
+    }
+
+    #[test]
+    fn equi_join_enumerates_exact_matches() {
+        let (plan, d) = compile("match j: R(t), S(s), t.k = s.k -> dummy(t.k, s.k)");
+        let mut idx = IndexSet::new();
+        let mut sink = Collect { all: vec![], prune_ml: false };
+        let n = enumerate_valuations(&plan, &d, &mut idx, &[], &mut sink);
+        // (R0,S0), (R1,S0), (R2,S1) — nulls never join.
+        assert_eq!(n, 3);
+        let mut got = sink.all;
+        got.sort();
+        assert_eq!(got, vec![vec![0, 0], vec![1, 0], vec![2, 1]]);
+    }
+
+    #[test]
+    fn self_join_includes_reflexive_and_both_orders() {
+        let (plan, d) = compile("match j: R(t), R(s), t.k = s.k -> t.id = s.id");
+        let mut idx = IndexSet::new();
+        let mut sink = Collect { all: vec![], prune_ml: false };
+        let n = enumerate_valuations(&plan, &d, &mut idx, &[], &mut sink);
+        // k=a: rows {0,1} -> 4 pairs; k=b: row {2} -> 1 pair.
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn constant_filter_prunes_scan() {
+        let (plan, d) =
+            compile(r#"match j: R(t), S(s), t.k = s.k, t.v = "r2" -> dummy(t.k, s.k)"#);
+        let mut idx = IndexSet::new();
+        let mut sink = Collect { all: vec![], prune_ml: false };
+        let n = enumerate_valuations(&plan, &d, &mut idx, &[], &mut sink);
+        assert_eq!(n, 1);
+        assert_eq!(sink.all, vec![vec![2, 1]]);
+    }
+
+    #[test]
+    fn disconnected_atoms_cross_product() {
+        let (plan, d) = compile("match j: R(t), S(s) -> dummy(t.k, s.k)");
+        let mut idx = IndexSet::new();
+        let mut sink = Collect { all: vec![], prune_ml: false };
+        let n = enumerate_valuations(&plan, &d, &mut idx, &[], &mut sink);
+        assert_eq!(n, 9); // 3 x 3
+    }
+
+    #[test]
+    fn ml_pruning_cuts_branches() {
+        let (plan, d) = compile("match j: R(t), S(s), m(t.k, s.k) -> dummy(t.k, s.k)");
+        let mut idx = IndexSet::new();
+        let mut sink = Collect { all: vec![], prune_ml: true };
+        let n = enumerate_valuations(&plan, &d, &mut idx, &[], &mut sink);
+        assert_eq!(n, 0);
+        let mut sink = Collect { all: vec![], prune_ml: false };
+        let n = enumerate_valuations(&plan, &d, &mut idx, &[], &mut sink);
+        assert_eq!(n, 9);
+    }
+
+    #[test]
+    fn seeds_restrict_enumeration() {
+        let (plan, d) = compile("match j: R(t), S(s), t.k = s.k -> dummy(t.k, s.k)");
+        let mut idx = IndexSet::new();
+        let mut sink = Collect { all: vec![], prune_ml: false };
+        let n =
+            enumerate_valuations(&plan, &d, &mut idx, &[(TupleVar(0), 1)], &mut sink);
+        assert_eq!(n, 1);
+        assert_eq!(sink.all, vec![vec![1, 0]]);
+    }
+
+    #[test]
+    fn inconsistent_seeds_yield_nothing() {
+        let (plan, d) = compile("match j: R(t), S(s), t.k = s.k -> dummy(t.k, s.k)");
+        let mut idx = IndexSet::new();
+        let mut sink = Collect { all: vec![], prune_ml: false };
+        // R row 0 has k=a, S row 1 has k=b: contradiction.
+        let n = enumerate_valuations(
+            &plan,
+            &d,
+            &mut idx,
+            &[(TupleVar(0), 0), (TupleVar(1), 1)],
+            &mut sink,
+        );
+        assert_eq!(n, 0);
+        // Out-of-range seed row.
+        let n = enumerate_valuations(&plan, &d, &mut idx, &[(TupleVar(0), 99)], &mut sink);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn seed_violating_constant_filter_yields_nothing() {
+        let (plan, d) =
+            compile(r#"match j: R(t), S(s), t.k = s.k, t.v = "r0" -> dummy(t.k, s.k)"#);
+        let mut idx = IndexSet::new();
+        let mut sink = Collect { all: vec![], prune_ml: false };
+        let n = enumerate_valuations(&plan, &d, &mut idx, &[(TupleVar(0), 1)], &mut sink);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn three_way_chain_join() {
+        let (plan, d) = compile(
+            "match j: R(t), S(s), R(u), t.k = s.k, s.k = u.k -> t.id = u.id",
+        );
+        let mut idx = IndexSet::new();
+        let mut sink = Collect { all: vec![], prune_ml: false };
+        let n = enumerate_valuations(&plan, &d, &mut idx, &[], &mut sink);
+        // k=a: R{0,1} x S{0} x R{0,1} = 4; k=b: R{2} x S{1} x R{2} = 1.
+        assert_eq!(n, 5);
+    }
+}

@@ -1,0 +1,396 @@
+//! Deduced facts, the chase state `Γ`, ML predicate signatures and the
+//! memoizing ML oracle.
+
+use crate::union_find::MatchSet;
+use dcer_ml::MlRegistry;
+use dcer_mrl::{Consequence, Predicate, RuleSet};
+use dcer_relation::{AttrId, RelId, Tid, Tuple, Value};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// A deduced element of `Γ`: either an id match or a validated ML
+/// prediction. Pairs are stored with `first <= second` (canonical form), so
+/// facts deduced by different workers compare equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Fact {
+    /// `(t.id, s.id)` — the tuples denote the same entity.
+    Id(Tid, Tid),
+    /// A validated prediction of the ML predicate with this signature
+    /// (see [`MlSigTable`]) on the given tuple pair.
+    Ml(u16, Tid, Tid),
+}
+
+impl Fact {
+    /// Canonical id fact.
+    pub fn id(a: Tid, b: Tid) -> Fact {
+        if a <= b {
+            Fact::Id(a, b)
+        } else {
+            Fact::Id(b, a)
+        }
+    }
+
+    /// Canonical validated-ML fact. `symmetric` signatures normalize the
+    /// pair order; asymmetric ones preserve it.
+    pub fn ml(sig: u16, a: Tid, b: Tid, symmetric: bool) -> Fact {
+        if symmetric && b < a {
+            Fact::Ml(sig, b, a)
+        } else {
+            Fact::Ml(sig, a, b)
+        }
+    }
+
+    /// The two tuple identities the fact involves.
+    pub fn tids(&self) -> (Tid, Tid) {
+        match *self {
+            Fact::Id(a, b) | Fact::Ml(_, a, b) => (a, b),
+        }
+    }
+
+    /// Approximate wire size in bytes (for communication accounting).
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Fact::Id(..) => 16,
+            Fact::Ml(..) => 18,
+        }
+    }
+}
+
+/// The signature of an ML predicate occurrence: model plus the relations and
+/// attribute vectors it is applied to. Rules sharing a signature share
+/// classifier calls *and* validated predictions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MlSig {
+    /// Interned model index (into [`RuleSet::model_names`]).
+    pub model: u16,
+    /// Relation and attribute vector of the left side.
+    pub left: (RelId, Vec<AttrId>),
+    /// Relation and attribute vector of the right side.
+    pub right: (RelId, Vec<AttrId>),
+}
+
+impl MlSig {
+    /// A signature is symmetric when both sides have the same relation and
+    /// attributes; symmetric signatures admit pair-order normalization.
+    pub fn is_symmetric(&self) -> bool {
+        self.left == self.right
+    }
+}
+
+/// Interning table for ML predicate signatures across a rule set.
+#[derive(Debug, Clone, Default)]
+pub struct MlSigTable {
+    sigs: Vec<MlSig>,
+    index: HashMap<MlSig, u16>,
+    /// Signature ids that appear as a rule *head* — predictions of these
+    /// signatures can become validated during the chase, so a false
+    /// classifier answer for them is not final ("waitable").
+    head_sigs: HashSet<u16>,
+}
+
+impl MlSigTable {
+    /// Build the table from a rule set (body and head ML predicates).
+    pub fn build(rules: &RuleSet) -> MlSigTable {
+        let mut table = MlSigTable::default();
+        for rule in rules.rules() {
+            for p in &rule.body {
+                if let Predicate::Ml { model, left, left_attrs, right, right_attrs } = p {
+                    table.intern(rules, model, rule.rel_of(*left), left_attrs, rule.rel_of(*right), right_attrs);
+                }
+            }
+            if let Consequence::Ml { model, left, left_attrs, right, right_attrs } = &rule.head {
+                let sig = table.intern(
+                    rules,
+                    model,
+                    rule.rel_of(*left),
+                    left_attrs,
+                    rule.rel_of(*right),
+                    right_attrs,
+                );
+                table.head_sigs.insert(sig);
+            }
+        }
+        table
+    }
+
+    fn intern(
+        &mut self,
+        rules: &RuleSet,
+        model: &str,
+        rel_l: RelId,
+        attrs_l: &[AttrId],
+        rel_r: RelId,
+        attrs_r: &[AttrId],
+    ) -> u16 {
+        let sig = MlSig {
+            model: rules.model_index(model).expect("validated rule set interns all models"),
+            left: (rel_l, attrs_l.to_vec()),
+            right: (rel_r, attrs_r.to_vec()),
+        };
+        if let Some(&i) = self.index.get(&sig) {
+            return i;
+        }
+        let i = self.sigs.len() as u16;
+        self.index.insert(sig.clone(), i);
+        self.sigs.push(sig);
+        i
+    }
+
+    /// Look up the id of a signature occurrence.
+    pub fn sig_id(
+        &self,
+        rules: &RuleSet,
+        model: &str,
+        rel_l: RelId,
+        attrs_l: &[AttrId],
+        rel_r: RelId,
+        attrs_r: &[AttrId],
+    ) -> Option<u16> {
+        let sig = MlSig {
+            model: rules.model_index(model)?,
+            left: (rel_l, attrs_l.to_vec()),
+            right: (rel_r, attrs_r.to_vec()),
+        };
+        self.index.get(&sig).copied()
+    }
+
+    /// Signature by id.
+    pub fn sig(&self, id: u16) -> &MlSig {
+        &self.sigs[id as usize]
+    }
+
+    /// Number of distinct signatures.
+    pub fn len(&self) -> usize {
+        self.sigs.len()
+    }
+
+    /// Whether there are no ML predicates at all.
+    pub fn is_empty(&self) -> bool {
+        self.sigs.is_empty()
+    }
+
+    /// Whether predictions of this signature can be validated by some rule
+    /// head (making a false classifier answer non-final).
+    pub fn is_waitable(&self, id: u16) -> bool {
+        self.head_sigs.contains(&id)
+    }
+}
+
+/// The evolving chase state: `E_id` plus validated ML predictions.
+#[derive(Debug, Clone, Default)]
+pub struct ChaseState {
+    /// Id matches with transitive closure.
+    pub matches: MatchSet,
+    /// Validated ML predictions, in canonical [`Fact`] form.
+    pub validated: HashSet<Fact>,
+}
+
+impl ChaseState {
+    /// Fresh state (Γ reflexive, nothing validated).
+    pub fn new() -> ChaseState {
+        ChaseState::default()
+    }
+
+    /// Apply a fact. Returns `None` if it was already known; for a new id
+    /// fact, returns the two pre-merge classes (used for update-driven
+    /// re-evaluation); for a new ML fact, returns empty class info.
+    pub fn apply(&mut self, fact: Fact) -> Option<(Vec<Tid>, Vec<Tid>)> {
+        match fact {
+            Fact::Id(a, b) => self.matches.merge(a, b),
+            Fact::Ml(..) => {
+                if self.validated.insert(fact) {
+                    Some((Vec::new(), Vec::new()))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Whether an id fact already holds.
+    pub fn holds_id(&mut self, a: Tid, b: Tid) -> bool {
+        self.matches.are_matched(a, b)
+    }
+
+    /// Whether an ML prediction with this signature is validated for the
+    /// pair (canonicalized when symmetric).
+    pub fn holds_ml(&self, sig: u16, a: Tid, b: Tid, symmetric: bool) -> bool {
+        self.validated.contains(&Fact::ml(sig, a, b, symmetric))
+    }
+
+    /// Total facts beyond reflexivity: merged pairs + validated predictions.
+    pub fn fact_count(&mut self) -> usize {
+        self.matches.num_pairs() + self.validated.len()
+    }
+}
+
+/// Memoizing ML oracle: evaluates classifier predicates, caching one boolean
+/// per `(signature, tuple pair)` — the paper's inverted index on ML
+/// predicates (Section V-A, structure (1b)).
+pub struct MlOracle {
+    models: Vec<Arc<dyn dcer_ml::MlModel>>,
+    cache: HashMap<(u16, Tid, Tid), bool>,
+    calls: u64,
+    hits: u64,
+}
+
+impl std::fmt::Debug for MlOracle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MlOracle")
+            .field("models", &self.models.len())
+            .field("cached", &self.cache.len())
+            .field("calls", &self.calls)
+            .field("hits", &self.hits)
+            .finish()
+    }
+}
+
+impl MlOracle {
+    /// Bind the rule set's model names against a registry. Fails with the
+    /// missing model's name if one is unregistered.
+    pub fn new(rules: &RuleSet, registry: &MlRegistry) -> Result<MlOracle, String> {
+        let mut models = Vec::with_capacity(rules.model_names().len());
+        for name in rules.model_names() {
+            let m = registry
+                .get(name)
+                .ok_or_else(|| format!("ML model `{name}` not registered"))?;
+            models.push(m.clone());
+        }
+        Ok(MlOracle { models, cache: HashMap::new(), calls: 0, hits: 0 })
+    }
+
+    /// Evaluate the classifier of `sig` on a tuple pair, memoized.
+    /// `scope` partitions the memo: with MQO-style sharing every caller
+    /// passes 0 (rules with the same signature share results); the
+    /// `DMatch_noMQO` baseline passes a per-rule scope, paying for every
+    /// rule separately.
+    pub fn predict(
+        &mut self,
+        table: &MlSigTable,
+        sig_id: u16,
+        left: &Tuple,
+        right: &Tuple,
+        scope: u16,
+    ) -> bool {
+        let sig = table.sig(sig_id);
+        let sig_key = sig_id ^ (scope << 8);
+        let key = if sig.is_symmetric() && right.tid < left.tid {
+            (sig_key, right.tid, left.tid)
+        } else {
+            (sig_key, left.tid, right.tid)
+        };
+        if let Some(&v) = self.cache.get(&key) {
+            self.hits += 1;
+            return v;
+        }
+        // Recompute in the canonical orientation so symmetric caching is
+        // consistent even for slightly asymmetric model implementations.
+        let (l, r) = if key.1 == left.tid { (left, right) } else { (right, left) };
+        let lv: Vec<Value> = sig.left.1.iter().map(|&a| l.get(a).clone()).collect();
+        let rv: Vec<Value> = sig.right.1.iter().map(|&a| r.get(a).clone()).collect();
+        let v = self.models[sig.model as usize].predict(&lv, &rv);
+        self.calls += 1;
+        self.cache.insert(key, v);
+        v
+    }
+
+    /// Number of real classifier invocations.
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+
+    /// Number of cache hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcer_ml::EqualTextClassifier;
+    use dcer_relation::{Catalog, Dataset, RelationSchema, ValueType};
+
+    fn t(row: u32) -> Tid {
+        Tid::new(0, row)
+    }
+
+    #[test]
+    fn fact_canonicalization() {
+        assert_eq!(Fact::id(t(2), t(1)), Fact::id(t(1), t(2)));
+        assert_eq!(Fact::ml(0, t(2), t(1), true), Fact::ml(0, t(1), t(2), true));
+        assert_ne!(Fact::ml(0, t(2), t(1), false), Fact::ml(0, t(1), t(2), false));
+    }
+
+    fn setup() -> (Arc<Catalog>, RuleSet) {
+        let cat = Arc::new(
+            Catalog::from_schemas(vec![RelationSchema::of(
+                "R",
+                &[("a", ValueType::Str), ("b", ValueType::Str)],
+            )])
+            .unwrap(),
+        );
+        let rules = dcer_mrl::parse_rules(
+            &cat,
+            "match r1: R(t), R(s), m(t.a, s.a) -> t.id = s.id;
+             match r2: R(t), R(s), t.b = s.b -> m(t.a, s.a);
+             match r3: R(t), R(s), m(t.b, s.b) -> t.id = s.id",
+        )
+        .unwrap();
+        (cat, rules)
+    }
+
+    #[test]
+    fn sig_table_interns_and_tracks_heads() {
+        let (_, rules) = setup();
+        let table = MlSigTable::build(&rules);
+        // m(t.a, s.a) shared by r1 body and r2 head; m(t.b, s.b) in r3 body.
+        assert_eq!(table.len(), 2);
+        let sig_a = table.sig_id(&rules, "m", 0, &[0], 0, &[0]).unwrap();
+        let sig_b = table.sig_id(&rules, "m", 0, &[1], 0, &[1]).unwrap();
+        assert!(table.is_waitable(sig_a), "validated by r2's head");
+        assert!(!table.is_waitable(sig_b));
+        assert!(table.sig(sig_a).is_symmetric());
+    }
+
+    #[test]
+    fn state_apply_dedups() {
+        let mut st = ChaseState::new();
+        assert!(st.apply(Fact::id(t(1), t(2))).is_some());
+        assert!(st.apply(Fact::id(t(2), t(1))).is_none());
+        assert!(st.apply(Fact::Ml(0, t(1), t(2))).is_some());
+        assert!(st.apply(Fact::Ml(0, t(1), t(2))).is_none());
+        assert!(st.holds_id(t(1), t(2)));
+        assert!(st.holds_ml(0, t(2), t(1), true));
+        assert!(!st.holds_ml(0, t(2), t(1), false));
+        assert_eq!(st.fact_count(), 2);
+    }
+
+    #[test]
+    fn oracle_caches_symmetrically() {
+        let (cat, rules) = setup();
+        let table = MlSigTable::build(&rules);
+        let mut reg = MlRegistry::new();
+        reg.register("m", Arc::new(EqualTextClassifier));
+        let mut oracle = MlOracle::new(&rules, &reg).unwrap();
+
+        let mut ds = Dataset::new(cat);
+        let a = ds.insert(0, vec!["x".into(), "y".into()]).unwrap();
+        let b = ds.insert(0, vec!["x".into(), "z".into()]).unwrap();
+        let (ta, tb) = (ds.tuple(a).unwrap().clone(), ds.tuple(b).unwrap().clone());
+        let sig = table.sig_id(&rules, "m", 0, &[0], 0, &[0]).unwrap();
+        assert!(oracle.predict(&table, sig, &ta, &tb, 0));
+        assert!(oracle.predict(&table, sig, &tb, &ta, 0));
+        // A different scope is a separate memo partition.
+        assert!(oracle.predict(&table, sig, &ta, &tb, 1));
+        assert_eq!(oracle.calls(), 2);
+        assert_eq!(oracle.hits(), 1);
+    }
+
+    #[test]
+    fn oracle_reports_missing_model() {
+        let (_, rules) = setup();
+        let reg = MlRegistry::new();
+        assert!(MlOracle::new(&rules, &reg).unwrap_err().contains('m'));
+    }
+}

@@ -1,0 +1,37 @@
+//! The chase-based fixpoint engine for deep and collective entity
+//! resolution (paper, Sections III and V-A).
+//!
+//! Deep and collective ER is modeled as a chase with a set `Σ` of MRLs: the
+//! match set `Γ` starts reflexive, and applying a rule whose precondition
+//! holds under a valuation adds either a match `(t.id, s.id)` or a
+//! *validated ML prediction* to `Γ`, until a fixpoint. The chase is
+//! Church–Rosser (Corollary 1): any rule order converges to the same `Γ`.
+//!
+//! Two implementations are provided:
+//!
+//! - [`naive::naive_chase`] — the textbook fixpoint (re-enumerates all
+//!   valuations every round); the correctness oracle for tests.
+//! - [`ChaseEngine`] — the paper's `Match` (Fig. 3): one full `Deduce`
+//!   round building inverted indices and a bounded dependency store `H`,
+//!   then update-driven `IncDeduce` rounds that either *fire* cached
+//!   dependencies or re-join only the valuations touched by new matches.
+//!
+//! The engine doubles as the per-worker algorithm of the parallel `DMatch`:
+//! `A` is [`ChaseEngine::run_local_fixpoint`] and `A_Δ` is
+//! [`ChaseEngine::apply_delta`].
+
+pub mod deps;
+pub mod engine;
+pub mod eval;
+pub mod facts;
+pub mod naive;
+pub mod plan;
+pub mod soft;
+pub mod union_find;
+
+pub use engine::{run_match, ChaseConfig, ChaseEngine, ChaseOutcome, ChaseStats};
+pub use facts::{ChaseState, Fact, MlOracle, MlSigTable};
+pub use naive::naive_chase;
+pub use soft::{soft_chase, SoftFact, SoftOutcome};
+pub use plan::{CompiledHead, CompiledRule, RecPred};
+pub use union_find::MatchSet;

@@ -1,0 +1,201 @@
+//! The textbook chase: re-enumerate every valuation of every rule each
+//! round until no new fact is deduced. Exponentially slower than
+//! [`crate::ChaseEngine`] but obviously correct — the oracle against which
+//! the optimized and parallel engines are verified (Church–Rosser means all
+//! of them must converge to the same `Γ`).
+
+use crate::facts::{ChaseState, Fact, MlOracle, MlSigTable};
+use crate::plan::{CompiledHead, CompiledRule, RecPred};
+use dcer_ml::MlRegistry;
+use dcer_mrl::RuleSet;
+use dcer_relation::{Dataset, Tid};
+
+/// Run the chase naively to fixpoint; returns the final state.
+///
+/// Intended for correctness tests at small scale: each round enumerates the
+/// full cross product of every rule's atoms.
+pub fn naive_chase(
+    dataset: &Dataset,
+    rules: &RuleSet,
+    registry: &MlRegistry,
+) -> Result<ChaseState, String> {
+    let sigs = MlSigTable::build(rules);
+    let plans = CompiledRule::compile_all(rules, &sigs);
+    let mut oracle = MlOracle::new(rules, registry)?;
+    let mut state = ChaseState::new();
+
+    loop {
+        let mut changed = false;
+        for plan in &plans {
+            let mut rows = vec![0u32; plan.num_vars()];
+            brute(dataset, plan, &sigs, &mut oracle, &mut state, &mut rows, 0, &mut changed);
+        }
+        if !changed {
+            return Ok(state);
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn brute(
+    dataset: &Dataset,
+    plan: &CompiledRule,
+    sigs: &MlSigTable,
+    oracle: &mut MlOracle,
+    state: &mut ChaseState,
+    rows: &mut Vec<u32>,
+    depth: usize,
+    changed: &mut bool,
+) {
+    if depth == plan.num_vars() {
+        if holds(dataset, plan, sigs, oracle, state, rows) {
+            let tid = |v: dcer_mrl::TupleVar| -> Tid {
+                dataset.relation(plan.atoms[v.0 as usize]).tuples()[rows[v.0 as usize] as usize].tid
+            };
+            let fact = match plan.head {
+                CompiledHead::Id(l, r) => {
+                    let (a, b) = (tid(l), tid(r));
+                    if a == b {
+                        return;
+                    }
+                    Fact::id(a, b)
+                }
+                CompiledHead::Ml { sig, left, right, symmetric } => {
+                    let (a, b) = (tid(left), tid(right));
+                    if a == b {
+                        return; // self-prediction carries no information
+                    }
+                    Fact::ml(sig, a, b, symmetric)
+                }
+            };
+            if state.apply(fact).is_some() {
+                *changed = true;
+            }
+        }
+        return;
+    }
+    let n = dataset.relation(plan.atoms[depth]).len() as u32;
+    for r in 0..n {
+        rows[depth] = r;
+        brute(dataset, plan, sigs, oracle, state, rows, depth + 1, changed);
+    }
+}
+
+fn holds(
+    dataset: &Dataset,
+    plan: &CompiledRule,
+    sigs: &MlSigTable,
+    oracle: &mut MlOracle,
+    state: &mut ChaseState,
+    rows: &[u32],
+) -> bool {
+    let tuple = |v: dcer_mrl::TupleVar| {
+        &dataset.relation(plan.atoms[v.0 as usize]).tuples()[rows[v.0 as usize] as usize]
+    };
+    for (i, filters) in plan.const_filters.iter().enumerate() {
+        let t = &dataset.relation(plan.atoms[i]).tuples()[rows[i] as usize];
+        if !filters.iter().all(|(a, c)| t.get(*a).sql_eq(c)) {
+            return false;
+        }
+    }
+    for e in &plan.eq_edges {
+        if !tuple(e.left.0).get(e.left.1).sql_eq(tuple(e.right.0).get(e.right.1)) {
+            return false;
+        }
+    }
+    for p in &plan.rec_preds {
+        match *p {
+            RecPred::Id { left, right } => {
+                let (a, b) = (tuple(left).tid, tuple(right).tid);
+                if !state.holds_id(a, b) {
+                    return false;
+                }
+            }
+            RecPred::Ml { sig, left, right, symmetric, .. } => {
+                let (lt, rt) = (tuple(left).clone(), tuple(right).clone());
+                if !state.holds_ml(sig, lt.tid, rt.tid, symmetric)
+                    && !oracle.predict(sigs, sig, &lt, &rt, 0)
+                {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcer_ml::EqualTextClassifier;
+    use dcer_relation::{Catalog, RelationSchema, ValueType};
+    use std::sync::Arc;
+
+    fn catalog() -> Arc<Catalog> {
+        Arc::new(
+            Catalog::from_schemas(vec![RelationSchema::of(
+                "R",
+                &[("k", ValueType::Str), ("x", ValueType::Str)],
+            )])
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn simple_md_fires() {
+        let cat = catalog();
+        let mut d = Dataset::new(cat.clone());
+        let a = d.insert(0, vec!["same".into(), "1".into()]).unwrap();
+        let b = d.insert(0, vec!["same".into(), "2".into()]).unwrap();
+        let c = d.insert(0, vec!["diff".into(), "3".into()]).unwrap();
+        let rules =
+            dcer_mrl::parse_rules(&cat, "match r: R(t), R(s), t.k = s.k -> t.id = s.id").unwrap();
+        let mut st = naive_chase(&d, &rules, &MlRegistry::new()).unwrap();
+        assert!(st.holds_id(a, b));
+        assert!(!st.holds_id(a, c));
+    }
+
+    #[test]
+    fn recursion_chains_through_id_predicates() {
+        // r1 matches via k; r2 propagates: if t~s (ids) and t.x = u.x then
+        // s~u... encoded as: R(t),R(s),R(u), t.id = s.id, s.x = u.x -> t.id = u.id
+        let cat = catalog();
+        let mut d = Dataset::new(cat.clone());
+        let a = d.insert(0, vec!["k1".into(), "p".into()]).unwrap();
+        let b = d.insert(0, vec!["k1".into(), "q".into()]).unwrap();
+        let c = d.insert(0, vec!["k2".into(), "q".into()]).unwrap();
+        let rules = dcer_mrl::parse_rules(
+            &cat,
+            "match base: R(t), R(s), t.k = s.k -> t.id = s.id;
+             match step: R(t), R(s), R(u), t.id = s.id, s.x = u.x -> t.id = u.id",
+        )
+        .unwrap();
+        let mut st = naive_chase(&d, &rules, &MlRegistry::new()).unwrap();
+        // base: a~b. step: t=a, s=b, u=c via b.x = c.x = "q" -> a~c.
+        assert!(st.holds_id(a, b));
+        assert!(st.holds_id(a, c));
+        assert_eq!(st.matches.clusters().len(), 1);
+    }
+
+    #[test]
+    fn ml_head_validates_and_feeds_body() {
+        // r1 validates m(x) for tuples sharing k; r2 requires m(x) validated
+        // OR classifier-true. With EqualTextClassifier on differing x values
+        // only the validated path can fire r2.
+        let cat = catalog();
+        let mut d = Dataset::new(cat.clone());
+        let a = d.insert(0, vec!["k".into(), "xa".into()]).unwrap();
+        let b = d.insert(0, vec!["k".into(), "xb".into()]).unwrap();
+        let rules = dcer_mrl::parse_rules(
+            &cat,
+            "match validate: R(t), R(s), t.k = s.k -> m(t.x, s.x);
+             match use: R(t), R(s), m(t.x, s.x) -> t.id = s.id",
+        )
+        .unwrap();
+        let mut reg = MlRegistry::new();
+        reg.register("m", Arc::new(EqualTextClassifier));
+        let mut st = naive_chase(&d, &rules, &reg).unwrap();
+        assert!(st.holds_id(a, b), "match via validated prediction");
+        assert!(!st.validated.is_empty());
+    }
+}

@@ -1,0 +1,368 @@
+//! The `DMatch` worker, master and driver.
+
+use dcer_bsp::{run_bsp, BspStats, CostModel, ExecutionMode, Master, Worker, WorkerId};
+use dcer_chase::{ChaseConfig, ChaseEngine, ChaseOutcome, ChaseState, ChaseStats, Fact};
+use dcer_hypart::{partition, HyPartConfig, PartitionStats};
+use dcer_ml::MlRegistry;
+use dcer_mrl::RuleSet;
+use dcer_relation::{Dataset, Tid};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Configuration for a `DMatch` run.
+#[derive(Debug, Clone)]
+pub struct DmatchConfig {
+    /// Number of workers `n`.
+    pub workers: usize,
+    /// Threaded or simulated execution.
+    pub execution: ExecutionMode,
+    /// Use MQO hash sharing in HyPart (`false` = the `DMatch_noMQO`
+    /// baseline of the paper's evaluation).
+    pub use_mqo: bool,
+    /// Per-worker chase configuration.
+    pub chase: ChaseConfig,
+    /// Communication cost model for the simulated cluster.
+    pub cost: CostModel,
+    /// Virtual-block factor for HyPart (default `workers`, i.e. `n²` cells).
+    pub virtual_factor: Option<usize>,
+}
+
+impl DmatchConfig {
+    /// Sensible defaults for `n` workers (simulated execution, MQO on).
+    pub fn new(workers: usize) -> DmatchConfig {
+        DmatchConfig {
+            workers,
+            execution: ExecutionMode::Simulated,
+            use_mqo: true,
+            chase: ChaseConfig::default(),
+            cost: CostModel::default(),
+            virtual_factor: None,
+        }
+    }
+
+    /// Switch to threaded execution.
+    pub fn threaded(mut self) -> DmatchConfig {
+        self.execution = ExecutionMode::Threaded;
+        self
+    }
+}
+
+/// One `DMatch` worker: a chase engine over its HyPart fragment.
+pub struct DmatchWorker {
+    engine: ChaseEngine,
+}
+
+impl DmatchWorker {
+    /// Wrap an engine.
+    pub fn new(engine: ChaseEngine) -> DmatchWorker {
+        DmatchWorker { engine }
+    }
+
+    /// Final per-worker statistics.
+    pub fn stats(&self) -> ChaseStats {
+        self.engine.stats()
+    }
+}
+
+impl Worker for DmatchWorker {
+    type Msg = Fact;
+
+    /// `A`: partial evaluation — local `Match` to fixpoint.
+    fn initial(&mut self) -> Vec<Fact> {
+        self.engine.run_local_fixpoint()
+    }
+
+    /// `A_Δ`: fold in routed matches, return newly deduced local facts.
+    fn superstep(&mut self, inbox: Vec<Fact>) -> Vec<Fact> {
+        self.engine.apply_delta(&inbox)
+    }
+}
+
+/// The `DMatch` master `P₀`: aggregates the global `Γ` and routes new
+/// matches to relevant workers.
+///
+/// Routing invariant: every worker knows, at all times, the global
+/// equivalences among the tuples *it hosts*. When a new match merges two
+/// global classes, each worker hosting tuples from both sides receives one
+/// linking pair of its own hosted representatives — its local union-find
+/// closes the rest (transitivity). Workers hosting only one side need
+/// nothing: their hosted tuples were already mutually linked. Validated ML
+/// predictions are routed to workers hosting both tuples (a local valuation
+/// needs both).
+pub struct DmatchMaster {
+    hosts: HashMap<Tid, Vec<u16>>,
+    state: ChaseState,
+}
+
+impl DmatchMaster {
+    /// Build from HyPart's routing table.
+    pub fn new(hosts: HashMap<Tid, Vec<u16>>) -> DmatchMaster {
+        DmatchMaster { hosts, state: ChaseState::new() }
+    }
+
+    /// The aggregated global state (the fixpoint `Γ` after the run).
+    pub fn into_state(self) -> ChaseState {
+        self.state
+    }
+
+    fn hosted(&self, t: &Tid) -> &[u16] {
+        self.hosts.get(t).map_or(&[], Vec::as_slice)
+    }
+}
+
+impl Master<Fact> for DmatchMaster {
+    fn route(&mut self, _from: WorkerId, msgs: Vec<Fact>) -> Vec<(WorkerId, Fact)> {
+        let mut out = Vec::new();
+        for fact in msgs {
+            match fact {
+                Fact::Id(a, b) => {
+                    let Some((side_a, side_b)) = self.state.apply(fact) else {
+                        continue; // duplicate across workers
+                    };
+                    // Representative per worker per side.
+                    let mut rep_a: HashMap<u16, Tid> = HashMap::new();
+                    for t in &side_a {
+                        for &w in self.hosted(t) {
+                            rep_a.entry(w).or_insert(*t);
+                        }
+                    }
+                    let mut rep_b: HashMap<u16, Tid> = HashMap::new();
+                    for t in &side_b {
+                        for &w in self.hosted(t) {
+                            rep_b.entry(w).or_insert(*t);
+                        }
+                    }
+                    for (&w, &ra) in &rep_a {
+                        if let Some(&rb) = rep_b.get(&w) {
+                            out.push((w as WorkerId, Fact::id(ra, rb)));
+                        }
+                    }
+                    let _ = (a, b);
+                }
+                Fact::Ml(_, a, b) => {
+                    if self.state.apply(fact).is_none() {
+                        continue;
+                    }
+                    let hb = self.hosted(&b).to_vec();
+                    for &w in self.hosted(&a) {
+                        if hb.contains(&w) {
+                            out.push((w as WorkerId, fact));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The full report of a `DMatch` run.
+#[derive(Debug)]
+pub struct DmatchReport {
+    /// The global `Γ`: matches + validated predictions + aggregated
+    /// chase counters.
+    pub outcome: ChaseOutcome,
+    /// HyPart statistics.
+    pub partition: PartitionStats,
+    /// BSP statistics (supersteps, messages, makespan).
+    pub bsp: BspStats,
+    /// Per-worker chase statistics.
+    pub worker_stats: Vec<ChaseStats>,
+    /// Wall time spent partitioning.
+    pub partition_secs: f64,
+    /// Wall time of the parallel phase.
+    pub er_secs: f64,
+    /// Simulated parallel ER time (partitioning excluded), i.e. the
+    /// makespan a real `n`-worker cluster would see.
+    pub simulated_er_secs: f64,
+}
+
+/// Run `DMatch` end to end: HyPart partition, then the BSP fixpoint.
+pub fn run_dmatch(
+    dataset: &Dataset,
+    rules: &RuleSet,
+    registry: &MlRegistry,
+    config: &DmatchConfig,
+) -> Result<DmatchReport, String> {
+    let t0 = Instant::now();
+    let mut hp = HyPartConfig::new(config.workers);
+    hp.use_mqo = config.use_mqo;
+    if let Some(v) = config.virtual_factor {
+        hp.virtual_factor = v;
+    }
+    let part = partition(dataset, rules, &hp);
+    let partition_secs = t0.elapsed().as_secs_f64();
+
+    // MQO also shares ML classifier results across rules with the same
+    // predicate signature; the noMQO baseline pays per rule.
+    let mut chase_cfg = config.chase.clone();
+    chase_cfg.share_ml_across_rules = config.use_mqo;
+    let mut workers = Vec::with_capacity(config.workers);
+    for (frag, masks) in part.fragments.into_iter().zip(part.rule_masks) {
+        let mut engine = ChaseEngine::new(frag, rules, registry, &chase_cfg)?;
+        // Scope each rule to the tuples HyPart distributed for it: the
+        // rule's own distribution covers all its valuations (Lemma 6), so
+        // skipping other rules' replicas removes only redundant work.
+        engine.set_rule_scope(std::sync::Arc::new(masks));
+        workers.push(DmatchWorker::new(engine));
+    }
+    let mut master = DmatchMaster::new(part.hosts);
+
+    let t1 = Instant::now();
+    let (workers, bsp) =
+        run_bsp(workers, &mut master, config.execution, &config.cost, Fact::size_bytes);
+    let er_secs = t1.elapsed().as_secs_f64();
+
+    // Aggregate: the master saw every deduced fact, so its state is Γ.
+    let mut stats = ChaseStats::default();
+    let worker_stats: Vec<ChaseStats> = workers.iter().map(DmatchWorker::stats).collect();
+    for ws in &worker_stats {
+        stats.add(ws);
+    }
+    let state = master.into_state();
+    let simulated_er_secs = bsp.makespan_secs;
+    Ok(DmatchReport {
+        outcome: ChaseOutcome { matches: state.matches, validated: state.validated, stats },
+        partition: part.stats,
+        bsp,
+        worker_stats,
+        partition_secs,
+        er_secs,
+        simulated_er_secs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcer_chase::run_match;
+    use dcer_ml::{EqualTextClassifier, NgramCosineClassifier};
+    use dcer_relation::{Catalog, RelationSchema, ValueType};
+    use std::sync::Arc;
+
+    fn catalog() -> Arc<Catalog> {
+        Arc::new(
+            Catalog::from_schemas(vec![
+                RelationSchema::of(
+                    "P",
+                    &[("k", ValueType::Str), ("x", ValueType::Str), ("fk", ValueType::Str)],
+                ),
+                RelationSchema::of("Q", &[("fk", ValueType::Str), ("y", ValueType::Str)]),
+            ])
+            .unwrap(),
+        )
+    }
+
+    fn dataset(n: usize) -> Dataset {
+        let mut d = Dataset::new(catalog());
+        for i in 0..n {
+            d.insert(
+                0,
+                vec![
+                    format!("k{}", i % 5).into(),
+                    format!("x{}", i % 4).into(),
+                    format!("f{}", i % 6).into(),
+                ],
+            )
+            .unwrap();
+        }
+        for i in 0..n / 2 {
+            d.insert(1, vec![format!("f{}", i % 6).into(), format!("y{}", i % 3).into()])
+                .unwrap();
+        }
+        d
+    }
+
+    fn rules() -> RuleSet {
+        dcer_mrl::parse_rules(
+            &catalog(),
+            "match md: P(t), P(s), t.k = s.k -> t.id = s.id;
+             match deep: P(t), P(s), P(u), t.id = s.id, s.x = u.x -> t.id = u.id;
+             match coll: P(t), P(s), Q(a), Q(b), t.fk = a.fk, s.fk = b.fk, a.y = b.y -> t.id = s.id;
+             match val: P(t), P(s), t.x = s.x -> m(t.k, s.k);
+             match use: P(t), P(s), m(t.k, s.k) -> t.id = s.id",
+        )
+        .unwrap()
+    }
+
+    fn registry() -> MlRegistry {
+        let mut r = MlRegistry::new();
+        r.register("m", Arc::new(EqualTextClassifier));
+        r.register("sim", Arc::new(NgramCosineClassifier::new(0.5)));
+        r
+    }
+
+    /// Proposition 8: DMatch deduces exactly the matches of the sequential
+    /// Match, for any worker count and in both execution modes.
+    #[test]
+    fn dmatch_equals_sequential_match() {
+        let d = dataset(24);
+        let rs = rules();
+        let reg = registry();
+        let mut seq = run_match(&d, &rs, &reg, &ChaseConfig::default()).unwrap();
+        let expected = seq.matches.clusters();
+        let expected_ml: std::collections::BTreeSet<Fact> =
+            seq.validated.iter().copied().collect();
+        assert!(!expected.is_empty(), "test data must produce matches");
+
+        for workers in [1, 2, 3, 4, 8] {
+            for mode in [ExecutionMode::Simulated, ExecutionMode::Threaded] {
+                let mut cfg = DmatchConfig::new(workers);
+                cfg.execution = mode;
+                let mut report = run_dmatch(&d, &rs, &reg, &cfg).unwrap();
+                assert_eq!(
+                    report.outcome.matches.clusters(),
+                    expected,
+                    "workers={workers} mode={mode:?}"
+                );
+                let got_ml: std::collections::BTreeSet<Fact> =
+                    report.outcome.validated.iter().copied().collect();
+                assert_eq!(got_ml, expected_ml, "workers={workers} mode={mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dmatch_agrees_under_no_mqo_and_tiny_dep_cache() {
+        let d = dataset(18);
+        let rs = rules();
+        let reg = registry();
+        let mut seq = run_match(&d, &rs, &reg, &ChaseConfig::default()).unwrap();
+        let expected = seq.matches.clusters();
+
+        let mut cfg = DmatchConfig::new(3);
+        cfg.use_mqo = false;
+        cfg.chase = ChaseConfig { dep_capacity: 1, use_dep_cache: true, ..Default::default() };
+        let mut report = run_dmatch(&d, &rs, &reg, &cfg).unwrap();
+        assert_eq!(report.outcome.matches.clusters(), expected);
+    }
+
+    #[test]
+    fn report_is_fully_populated() {
+        let d = dataset(16);
+        let report = run_dmatch(&d, &rules(), &registry(), &DmatchConfig::new(4)).unwrap();
+        assert_eq!(report.partition.workers, 4);
+        assert!(report.bsp.supersteps >= 1);
+        assert_eq!(report.worker_stats.len(), 4);
+        assert!(report.partition_secs >= 0.0);
+        assert!(report.simulated_er_secs > 0.0);
+        assert!(report.outcome.stats.valuations > 0);
+    }
+
+    #[test]
+    fn single_worker_needs_no_communication() {
+        let d = dataset(16);
+        let report = run_dmatch(&d, &rules(), &registry(), &DmatchConfig::new(1)).unwrap();
+        assert_eq!(report.bsp.messages, 0);
+        assert_eq!(report.bsp.supersteps, 1);
+    }
+
+    #[test]
+    fn only_facts_travel_never_tuples() {
+        // The message type is `Fact` (16-18 bytes); total bytes must be
+        // bounded by messages * 18 regardless of tuple sizes.
+        let d = dataset(24);
+        let report = run_dmatch(&d, &rules(), &registry(), &DmatchConfig::new(4)).unwrap();
+        assert!(report.bsp.bytes <= report.bsp.messages * 18);
+    }
+}

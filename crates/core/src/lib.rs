@@ -1,0 +1,26 @@
+//! `DMatch` — the parallel algorithm for deep and collective entity
+//! resolution (paper, Section V-B), and the high-level [`DcerSession`] API.
+//!
+//! `DMatch` implements the fixpoint model of Section III-B:
+//!
+//! 1. **Partition** the dataset with HyPart (`dcer-hypart`) so that every
+//!    valuation of every rule is local to some fragment (Lemma 6).
+//! 2. **Partial evaluation** (`A`): each worker runs the sequential `Match`
+//!    on its fragment (superstep 0).
+//! 3. **Incremental computation** (`A_Δ`): workers exchange only *newly
+//!    deduced matches* — never raw tuples — through the master, which
+//!    maintains the global equivalence relation and routes each new match to
+//!    the workers hosting both endpoints' classes; each worker folds the
+//!    delta in with `IncDeduce`.
+//! 4. Terminate at global quiescence; the master's state is the global `Γ`.
+//!
+//! `DMatch` is parallelly scalable relative to `Match` (Theorem 7): per-
+//! worker work shrinks as `1/n` because fragments shrink and only deltas are
+//! reprocessed; the experiment harness measures this with the simulated
+//! cluster of `dcer-bsp`.
+
+pub mod dmatch;
+pub mod session;
+
+pub use dmatch::{run_dmatch, DmatchConfig, DmatchReport, DmatchMaster, DmatchWorker};
+pub use session::DcerSession;

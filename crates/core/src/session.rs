@@ -1,0 +1,212 @@
+//! [`DcerSession`]: the high-level entry point binding a catalog, a rule
+//! set and an ML model registry, with sequential, naive and parallel
+//! execution plus the rule-subset variants used in the paper's evaluation
+//! (`DMatch_C`, `DMatch_D`).
+
+use crate::dmatch::{run_dmatch, DmatchConfig, DmatchReport};
+use dcer_chase::{naive_chase, run_match, ChaseConfig, ChaseOutcome, ChaseStats};
+use dcer_ml::MlRegistry;
+use dcer_mrl::RuleSet;
+use dcer_relation::{Catalog, Dataset};
+use std::sync::Arc;
+
+/// A configured deep-and-collective-ER session.
+#[derive(Clone)]
+pub struct DcerSession {
+    catalog: Arc<Catalog>,
+    rules: RuleSet,
+    registry: MlRegistry,
+    chase: ChaseConfig,
+}
+
+impl DcerSession {
+    /// Create a session. The rule set must be defined over `catalog`.
+    pub fn new(catalog: Arc<Catalog>, rules: RuleSet, registry: MlRegistry) -> DcerSession {
+        DcerSession { catalog, rules, registry, chase: ChaseConfig::default() }
+    }
+
+    /// Parse rules from MRL source text and create a session.
+    pub fn from_source(
+        catalog: Arc<Catalog>,
+        rule_src: &str,
+        registry: MlRegistry,
+    ) -> Result<DcerSession, String> {
+        let rules = dcer_mrl::parse_rules(&catalog, rule_src).map_err(|e| e.to_string())?;
+        Ok(DcerSession::new(catalog, rules, registry))
+    }
+
+    /// The session's catalog.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// The session's rule set.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// The session's model registry.
+    pub fn registry(&self) -> &MlRegistry {
+        &self.registry
+    }
+
+    /// Override the chase configuration.
+    pub fn with_chase_config(mut self, chase: ChaseConfig) -> DcerSession {
+        self.chase = chase;
+        self
+    }
+
+    /// Sequential `Match` (Section V-A). Panics on unregistered models —
+    /// use [`DcerSession::try_run_sequential`] to handle that gracefully.
+    pub fn run_sequential(&self, dataset: &Dataset) -> ChaseOutcome {
+        self.try_run_sequential(dataset).expect("session models registered")
+    }
+
+    /// Sequential `Match`, fallible.
+    pub fn try_run_sequential(&self, dataset: &Dataset) -> Result<ChaseOutcome, String> {
+        run_match(dataset, &self.rules, &self.registry, &self.chase)
+    }
+
+    /// The naive reference chase (test/verification use; exponential).
+    pub fn run_naive(&self, dataset: &Dataset) -> Result<ChaseOutcome, String> {
+        let state = naive_chase(dataset, &self.rules, &self.registry)?;
+        Ok(ChaseOutcome {
+            matches: state.matches,
+            validated: state.validated,
+            stats: ChaseStats::default(),
+        })
+    }
+
+    /// Build a long-lived incremental engine over `dataset`: run
+    /// [`dcer_chase::ChaseEngine::run_local_fixpoint`] once, then feed data
+    /// insertions through [`dcer_chase::ChaseEngine::insert_and_deduce`] —
+    /// the ΔD extension of Section V-A's remark.
+    pub fn incremental_engine(
+        &self,
+        dataset: &Dataset,
+    ) -> Result<dcer_chase::ChaseEngine, String> {
+        dcer_chase::ChaseEngine::new(dataset.clone(), &self.rules, &self.registry, &self.chase)
+    }
+
+    /// Parallel `DMatch` (Section V-B).
+    pub fn run_parallel(
+        &self,
+        dataset: &Dataset,
+        config: &DmatchConfig,
+    ) -> Result<DmatchReport, String> {
+        let mut cfg = config.clone();
+        cfg.chase = self.chase.clone();
+        run_dmatch(dataset, &self.rules, &self.registry, &cfg)
+    }
+
+    /// `DMatch_C`: collective ER only — keep rules *without* id predicates
+    /// in their preconditions (no recursion).
+    pub fn collective_only(&self) -> DcerSession {
+        let mut s = self.clone();
+        s.rules = self.rules.filtered(|r| !r.has_id_precondition());
+        s
+    }
+
+    /// `DMatch_D`: deep ER only — keep rules with at most `max_vars` tuple
+    /// variables (the paper uses 4, citing that real-life quality rules
+    /// rarely exceed 3).
+    pub fn deep_only(&self, max_vars: usize) -> DcerSession {
+        let mut s = self.clone();
+        s.rules = self.rules.filtered(|r| r.num_vars() <= max_vars);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcer_ml::EqualTextClassifier;
+    use dcer_relation::{RelationSchema, ValueType};
+
+    fn session() -> DcerSession {
+        let catalog = Arc::new(
+            Catalog::from_schemas(vec![RelationSchema::of(
+                "R",
+                &[("k", ValueType::Str), ("x", ValueType::Str)],
+            )])
+            .unwrap(),
+        );
+        let mut reg = MlRegistry::new();
+        reg.register("m", Arc::new(EqualTextClassifier));
+        DcerSession::from_source(
+            catalog,
+            "match md: R(t), R(s), t.k = s.k -> t.id = s.id;
+             match deep: R(t), R(s), R(u), t.id = s.id, s.x = u.x -> t.id = u.id",
+            reg,
+        )
+        .unwrap()
+    }
+
+    fn data() -> Dataset {
+        let mut d = Dataset::new(session().catalog().clone());
+        for (k, x) in [("a", "1"), ("a", "2"), ("b", "2"), ("b", "3"), ("c", "9")] {
+            d.insert(0, vec![k.into(), x.into()]).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn sequential_parallel_naive_agree() {
+        let s = session();
+        let d = data();
+        let mut seq = s.run_sequential(&d);
+        let mut naive = s.run_naive(&d).unwrap();
+        let mut par = s.run_parallel(&d, &DmatchConfig::new(3)).unwrap();
+        assert_eq!(seq.matches.clusters(), naive.matches.clusters());
+        assert_eq!(seq.matches.clusters(), par.outcome.matches.clusters());
+        assert_eq!(seq.matches.clusters().len(), 1, "recursion links a,b,c keys");
+    }
+
+    #[test]
+    fn collective_only_drops_recursive_rules() {
+        let s = session();
+        assert_eq!(s.rules().len(), 2);
+        let c = s.collective_only();
+        assert_eq!(c.rules().len(), 1);
+        assert_eq!(c.rules().rules()[0].name, "md");
+        // Without recursion the chain a-b-c via x cannot close.
+        let mut out = c.run_sequential(&data());
+        assert!(out.matches.clusters().len() > 1);
+    }
+
+    #[test]
+    fn deep_only_caps_variable_count() {
+        let s = session();
+        let d2 = s.deep_only(2);
+        assert_eq!(d2.rules().len(), 1);
+        let d3 = s.deep_only(3);
+        assert_eq!(d3.rules().len(), 2);
+    }
+
+    #[test]
+    fn from_source_surfaces_parse_errors() {
+        let catalog = Arc::new(
+            Catalog::from_schemas(vec![RelationSchema::of("R", &[("k", ValueType::Str)])])
+                .unwrap(),
+        );
+        let err =
+            DcerSession::from_source(catalog, "match broken: R(t) -> ", MlRegistry::new());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn missing_model_is_reported_not_panicking_via_try() {
+        let catalog = Arc::new(
+            Catalog::from_schemas(vec![RelationSchema::of("R", &[("k", ValueType::Str)])])
+                .unwrap(),
+        );
+        let s = DcerSession::from_source(
+            catalog.clone(),
+            "match r: R(t), R(s), nosuch(t.k, s.k) -> t.id = s.id",
+            MlRegistry::new(),
+        )
+        .unwrap();
+        let d = Dataset::new(catalog);
+        assert!(s.try_run_sequential(&d).is_err());
+    }
+}

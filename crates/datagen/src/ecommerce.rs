@@ -1,0 +1,523 @@
+//! The e-commerce fraud scenario of the paper's running example
+//! (Example 1, Tables I-IV), both verbatim and as a scalable generator.
+//!
+//! Schema: `Customers(cno, name, phone, addr, pref)`,
+//! `Shops(sno, sname, owner, email, loc)`,
+//! `Products(pno, pname, price, desc)`,
+//! `Orders(ono, buyer, seller, item, ip)`.
+
+use crate::noise::Noiser;
+use crate::truth::GroundTruth;
+use crate::vocab;
+use dcer_ml::{
+    EmbeddingCosineClassifier, MlRegistry, MongeElkanClassifier, NgramCosineClassifier,
+};
+use dcer_relation::{Catalog, Dataset, RelationSchema, Tid, Value, ValueType};
+use rand::Rng;
+use std::sync::Arc;
+
+/// The e-commerce catalog of Example 1.
+pub fn catalog() -> Arc<Catalog> {
+    Arc::new(
+        Catalog::from_schemas(vec![
+            RelationSchema::of(
+                "Customers",
+                &[
+                    ("cno", ValueType::Str),
+                    ("name", ValueType::Str),
+                    ("phone", ValueType::Str),
+                    ("addr", ValueType::Str),
+                    ("pref", ValueType::Str),
+                ],
+            ),
+            RelationSchema::of(
+                "Shops",
+                &[
+                    ("sno", ValueType::Str),
+                    ("sname", ValueType::Str),
+                    ("owner", ValueType::Str),
+                    ("email", ValueType::Str),
+                    ("loc", ValueType::Str),
+                ],
+            ),
+            RelationSchema::of(
+                "Products",
+                &[
+                    ("pno", ValueType::Str),
+                    ("pname", ValueType::Str),
+                    ("price", ValueType::Float),
+                    ("desc", ValueType::Str),
+                ],
+            ),
+            RelationSchema::of(
+                "Orders",
+                &[
+                    ("ono", ValueType::Str),
+                    ("buyer", ValueType::Str),
+                    ("seller", ValueType::Str),
+                    ("item", ValueType::Str),
+                    ("ip", ValueType::Str),
+                ],
+            ),
+        ])
+        .unwrap(),
+    )
+}
+
+/// Tables I-IV verbatim, and the ground truth of Example 3:
+/// `{c1,c2,c3}`, `{c4,c5}`, `{s4,s5}`, `{p2,p3}`.
+pub fn paper_example() -> (Dataset, GroundTruth) {
+    let mut d = Dataset::new(catalog());
+    let c = |d: &mut Dataset, row: [&str; 5]| {
+        d.insert(0, row.iter().map(|s| Value::parse_typed(s, ValueType::Str)).collect())
+            .unwrap()
+    };
+    // Table I (t1..t5).
+    let t1 = c(&mut d, ["c1", "Ford Smith", "(213) 243-9856", "1st Ave, LA", "clothing, makeup"]);
+    let t2 = c(&mut d, ["c2", "F. Smith", "(213) 333-0001", "1st Ave, LA", "clothing"]);
+    let t3 = c(&mut d, ["c3", "F. Smith", "(213) 333-0001", "1st Ave, LA", "dress"]);
+    let t4 = c(&mut d, ["c4", "Tony Brown", "(347) 981-3452", "9 Ave, NY", "sports"]);
+    let t5 = c(&mut d, ["c5", "T. Brown", "(347) 981-3452", "-", "sports"]);
+    // Table II (t6..t10).
+    let s = |d: &mut Dataset, row: [&str; 5]| {
+        d.insert(1, row.iter().map(|v| Value::parse_typed(v, ValueType::Str)).collect())
+            .unwrap()
+    };
+    let _t6 = s(&mut d, ["s1", "Comp. World", "c1", "FSm@g.com", "1st Ave, LA"]);
+    let _t7 = s(&mut d, ["s2", "Smith's Tech shop", "c2", "F_Sm@g.com", "1st Ave, LA"]);
+    let _t8 = s(&mut d, ["s3", "Lap. store", "c3", "jp@youp.com", "1st Ave, LA"]);
+    let t9 = s(&mut d, ["s4", "T's Store", "c4", "T.Brown@ga.com", "9 Ave, NY"]);
+    let t10 = s(&mut d, ["s5", "Tony's Store", "c5", "T.Brown@ga.com", "-"]);
+    // Table III (t11..t14).
+    let p = |d: &mut Dataset, pno: &str, pname: &str, price: f64, desc: &str| {
+        d.insert(2, vec![pno.into(), pname.into(), Value::Float(price), desc.into()])
+            .unwrap()
+    };
+    let _t11 = p(&mut d, "p1", "Apple MacBook", 1000.0, "Apple MacBook Air (13-inch, 8GB RAM, 256GB SSD)");
+    let t12 = p(&mut d, "p2", "ThinkPad", 2000.0, "ThinkPad X1 Carbon 7th Gen : 14-Inch, 16GB RAM, 512GB Nvme SSD");
+    let t13 = p(&mut d, "p3", "ThinkPad", 1800.0, "ThinkPad X1 Carbon 7th Gen 14\" - 16 GB RAM - 512 GB SSD");
+    let _t14 = p(&mut d, "p4", "Acer Laptop", 500.0, "Acer Aspire 5 Slim Laptop, 15.6 inches, 4GB DDR4, 128GB SSD, Backlit Keyboard");
+    // Table IV (t15..t18).
+    let o = |d: &mut Dataset, row: [&str; 5]| {
+        d.insert(3, row.iter().map(|v| Value::parse_typed(v, ValueType::Str)).collect())
+            .unwrap()
+    };
+    let _t15 = o(&mut d, ["o1", "c4", "s2", "p2", "156.33.14.7"]);
+    let _t16 = o(&mut d, ["o2", "c3", "s4", "p2", "113.55.126.9"]);
+    let _t17 = o(&mut d, ["o3", "c1", "s5", "p3", "113.55.126.9"]);
+    let _t18 = o(&mut d, ["o4", "c1", "s4", "p2", "143.32.11.2"]);
+
+    let mut truth = GroundTruth::new();
+    truth.add_cluster(&[t1, t2, t3]);
+    truth.add_cluster(&[t4, t5]);
+    truth.add_cluster(&[t9, t10]);
+    truth.add_cluster(&[t12, t13]);
+    (d, truth)
+}
+
+/// The MRLs `φ₁`–`φ₅` of Example 2, in `dcer` syntax.
+pub fn paper_rules_source() -> &'static str {
+    "# phi1: same name, phone and address -> same customer
+     match phi1: Customers(c), Customers(d),
+       c.name = d.name, c.phone = d.phone, c.addr = d.addr
+       -> c.id = d.id;
+
+     # phi2: same product name, ML-similar descriptions -> same product
+     match phi2: Products(p), Products(q),
+       p.pname = q.pname, m1(p.desc, q.desc)
+       -> p.id = q.id;
+
+     # phi3: similar shop names, same email, owners share a phone -> same shop
+     match phi3: Customers(c), Customers(d), Shops(s), Shops(t),
+       m2(s.sname, t.sname), s.email = t.email,
+       s.owner = c.cno, t.owner = d.cno, c.phone = d.phone
+       -> s.id = t.id;
+
+     # phi4: same address, similar names, and they bought the *same* product
+     # from the *same* shop at the same IP (deep: uses matches from phi2/phi3)
+     match phi4: Customers(c), Customers(d), Orders(o), Orders(q),
+       Products(p), Products(r), Shops(s), Shops(t),
+       c.cno = o.buyer, d.cno = q.buyer,
+       o.item = p.pno, q.item = r.pno,
+       o.seller = s.sno, q.seller = t.sno,
+       m3(c.name, d.name), c.addr = d.addr, o.ip = q.ip,
+       p.id = r.id, s.id = t.id
+       -> c.id = d.id;
+
+     # phi5: customers who bought the same item are predicted to have
+     # similar preferences (logical explanation of the ML prediction)
+     match phi5: Customers(c), Customers(d), Orders(o), Orders(q),
+       c.cno = o.buyer, d.cno = q.buyer, o.item = q.item
+       -> m4(c.pref, d.pref)"
+}
+
+/// `φ₁`–`φ₅` plus `φ₆`: if two shops match and their owners share a phone,
+/// the owners match.
+///
+/// Example 3 of the paper lists `(t4.id, t5.id)` — customers c4 ~ c5 — in
+/// its fixpoint `Γ`, but none of `φ₁`–`φ₅` can derive it: c5's address is
+/// missing so `φ₁`/`φ₄` cannot fire, and `φ₃` matches the *shops* s4/s5,
+/// not their owners (the example credits "φ₂ and φ₄", which cannot produce
+/// this pair either). `φ₆` is the natural inverse of `φ₃` that closes the
+/// gap; with it the chase converges to exactly the `Γ` of Example 3.
+pub fn paper_rules_source_extended() -> String {
+    format!(
+        "{};
+         # phi6: owners of matching shops who share a phone are the same
+         match phi6: Shops(s), Shops(u), Customers(c), Customers(d),
+           s.owner = c.cno, u.owner = d.cno, s.id = u.id, c.phone = d.phone
+           -> c.id = d.id",
+        paper_rules_source()
+    )
+}
+
+/// ML models `M₁`–`M₄` bound to the names used by
+/// [`paper_rules_source`].
+pub fn paper_registry() -> MlRegistry {
+    let mut r = MlRegistry::new();
+    // M1: long-text description similarity.
+    r.register("m1", Arc::new(NgramCosineClassifier::new(0.5)));
+    // M2: shop-name similarity ("T's Store" ~ "Tony's Store").
+    r.register("m2", Arc::new(EmbeddingCosineClassifier::new(0.35)));
+    // M3: person names with abbreviations ("Ford Smith" ~ "F. Smith").
+    r.register("m3", Arc::new(MongeElkanClassifier::new(0.8)));
+    // M4: preference similarity (only ever validated, never evaluated).
+    r.register("m4", Arc::new(NgramCosineClassifier::new(0.4)));
+    r
+}
+
+/// Configuration for the scalable e-commerce generator.
+#[derive(Debug, Clone)]
+pub struct EcommerceConfig {
+    /// Base customers (shops ≈ ⅓, products ≈ ½, orders ≈ 3×).
+    pub customers: usize,
+    /// Fraction of customers duplicated (split across difficulty classes).
+    pub dup_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EcommerceConfig {
+    fn default() -> EcommerceConfig {
+        EcommerceConfig { customers: 200, dup_rate: 0.2, seed: 7 }
+    }
+}
+
+/// Generate a scalable e-commerce dataset with fraud-style duplicate rings:
+/// customers with exact/abbreviated/typo'd duplicates, shops sharing emails
+/// and owner phones, products with reformatted descriptions, and order
+/// structures that make some customer duplicates provable only via `φ₄`
+/// (deep + collective).
+pub fn generate(cfg: &EcommerceConfig) -> (Dataset, GroundTruth) {
+    let mut d = Dataset::new(catalog());
+    let mut truth = GroundTruth::new();
+    let mut nz = Noiser::new(cfg.seed);
+
+    let n = cfg.customers.max(4);
+    let n_products = (n / 2).max(2);
+    let n_shops = (n / 3).max(2);
+
+    // Base customers.
+    let mut cust_tids: Vec<Tid> = Vec::with_capacity(n);
+    let mut cust_info: Vec<(String, String, String, String)> = Vec::with_capacity(n);
+    for i in 0..n {
+        let name = vocab::person_name(nz.rng());
+        let phone = vocab::phone(nz.rng());
+        let addr = vocab::address(nz.rng());
+        let pref = format!(
+            "{}, {}",
+            vocab::pick(nz.rng(), vocab::GENRES),
+            vocab::pick(nz.rng(), vocab::GENRES)
+        );
+        let tid = d
+            .insert(
+                0,
+                vec![
+                    format!("c{i}").into(),
+                    name.clone().into(),
+                    phone.clone().into(),
+                    addr.clone().into(),
+                    pref.into(),
+                ],
+            )
+            .unwrap();
+        cust_tids.push(tid);
+        cust_info.push((name, phone, addr, format!("c{i}")));
+    }
+
+    // Products, half of them with a reformatted twin.
+    let mut prod_keys: Vec<String> = Vec::new();
+    let mut prod_tids: Vec<Tid> = Vec::new();
+    for i in 0..n_products {
+        let name = vocab::product_name(nz.rng());
+        let desc = vocab::product_desc(nz.rng(), &name);
+        let price = 50.0 + nz.rng().random_range(0..2000) as f64;
+        let tid = d
+            .insert(
+                2,
+                vec![format!("p{i}").into(), name.clone().into(), Value::Float(price), desc.clone().into()],
+            )
+            .unwrap();
+        prod_keys.push(format!("p{i}"));
+        prod_tids.push(tid);
+        if nz.rng().random_bool(cfg.dup_rate) {
+            let desc2 = nz.reformat(&desc);
+            let price2 = nz.jitter(price, 10.0);
+            let tid2 = d
+                .insert(
+                    2,
+                    vec![
+                        format!("p{i}d").into(),
+                        name.into(),
+                        Value::Float(price2),
+                        desc2.into(),
+                    ],
+                )
+                .unwrap();
+            truth.add_pair(tid, tid2);
+            prod_keys.push(format!("p{i}d"));
+            prod_tids.push(tid2);
+        }
+    }
+
+    // Shops owned by customers; some shops duplicated with shared email.
+    let mut shop_keys: Vec<String> = Vec::new();
+    for i in 0..n_shops {
+        let owner_idx = nz.rng().random_range(0..n);
+        let sname = format!("{}'s {}", cust_info[owner_idx].0.split(' ').next().unwrap(), "Store");
+        let email = format!("shop{i}@mail.com");
+        let tid = d
+            .insert(
+                1,
+                vec![
+                    format!("s{i}").into(),
+                    sname.clone().into(),
+                    cust_info[owner_idx].3.clone().into(),
+                    email.clone().into(),
+                    cust_info[owner_idx].2.clone().into(),
+                ],
+            )
+            .unwrap();
+        shop_keys.push(format!("s{i}"));
+        // A duplicate shop: abbreviated name, same email, owned by a
+        // *duplicate customer* record sharing the owner's phone — only
+        // provable collectively (φ₃ correlates Shops with Customers).
+        if nz.rng().random_bool(cfg.dup_rate) {
+            let dup_owner_key = format!("c{owner_idx}s");
+            let (oname, ophone, _oaddr, _) = cust_info[owner_idx].clone();
+            let dup_owner_tid = d
+                .insert(
+                    0,
+                    vec![
+                        dup_owner_key.clone().into(),
+                        nz.abbreviate_name(&oname).into(),
+                        ophone.into(),
+                        Value::Null,
+                        "unknown".into(),
+                    ],
+                )
+                .unwrap();
+            truth.add_pair(cust_tids[owner_idx], dup_owner_tid);
+            let tid2 = d
+                .insert(
+                    1,
+                    vec![
+                        format!("s{i}d").into(),
+                        nz.abbreviate_name(&sname).into(),
+                        dup_owner_key.into(),
+                        email.into(),
+                        Value::Null,
+                    ],
+                )
+                .unwrap();
+            truth.add_pair(tid, tid2);
+            shop_keys.push(format!("s{i}d"));
+        }
+    }
+
+    // Plain customer duplicates: exact (same name/phone/addr, φ₁) or
+    // relational-only (shared address + abbreviated name + co-purchase
+    // evidence via orders below, φ₄).
+    let mut relational_dups: Vec<(usize, String)> = Vec::new();
+    for i in 0..n {
+        if !nz.rng().random_bool(cfg.dup_rate) {
+            continue;
+        }
+        let (name, phone, addr, _) = cust_info[i].clone();
+        if nz.rng().random_bool(0.5) {
+            let key = format!("c{i}x");
+            let tid = d
+                .insert(
+                    0,
+                    vec![key.into(), name.into(), phone.into(), addr.into(), "misc".into()],
+                )
+                .unwrap();
+            truth.add_pair(cust_tids[i], tid);
+        } else {
+            let key = format!("c{i}r");
+            let tid = d
+                .insert(
+                    0,
+                    vec![
+                        key.clone().into(),
+                        nz.abbreviate_name(&name).into(),
+                        vocab::phone(nz.rng()).into(), // different phone!
+                        addr.into(),
+                        "misc".into(),
+                    ],
+                )
+                .unwrap();
+            truth.add_pair(cust_tids[i], tid);
+            relational_dups.push((i, key));
+        }
+    }
+
+    // Orders: background traffic plus the co-purchase evidence that makes
+    // relational duplicates provable (same product, same shop, same IP).
+    let mut ono = 0usize;
+    let mut order = |d: &mut Dataset, buyer: &str, seller: &str, item: &str, ip: String| {
+        d.insert(
+            3,
+            vec![
+                format!("o{ono}").into(),
+                buyer.into(),
+                seller.into(),
+                item.into(),
+                ip.into(),
+            ],
+        )
+        .unwrap();
+        ono += 1;
+    };
+    for i in 0..n * 2 {
+        let b = format!("c{}", nz.rng().random_range(0..n));
+        let s = shop_keys[nz.rng().random_range(0..shop_keys.len())].clone();
+        let p = prod_keys[nz.rng().random_range(0..prod_keys.len())].clone();
+        let ip = format!(
+            "{}.{}.{}.{}",
+            nz.rng().random_range(1..255),
+            nz.rng().random_range(0..255),
+            nz.rng().random_range(0..255),
+            i % 251
+        );
+        order(&mut d, &b, &s, &p, ip);
+    }
+    for (orig_idx, dup_key) in relational_dups {
+        let shop = shop_keys[orig_idx % shop_keys.len()].clone();
+        let item = prod_keys[orig_idx % prod_keys.len()].clone();
+        let ip = format!("10.0.{}.{}", orig_idx % 255, (orig_idx * 7) % 255);
+        order(&mut d, &format!("c{orig_idx}"), &shop, &item, ip.clone());
+        order(&mut d, &dup_key, &shop, &item, ip);
+    }
+
+    (d, truth)
+}
+
+/// Rules for the scalable generator (φ₁/φ₂-style plus the deep-collective
+/// φ₄ analogue proving relational duplicates).
+pub fn generated_rules_source() -> &'static str {
+    "match g1: Customers(c), Customers(d),
+       c.name = d.name, c.phone = d.phone, c.addr = d.addr -> c.id = d.id;
+     match g2: Products(p), Products(q),
+       p.pname = q.pname, m1(p.desc, q.desc) -> p.id = q.id;
+     match g3: Customers(c), Customers(d), Shops(s), Shops(t),
+       m2(s.sname, t.sname), s.email = t.email,
+       s.owner = c.cno, t.owner = d.cno, c.phone = d.phone -> s.id = t.id;
+     match g4: Customers(c), Customers(d), Orders(o), Orders(q), Products(p), Products(r),
+       c.cno = o.buyer, d.cno = q.buyer, o.item = p.pno, q.item = r.pno,
+       m3(c.name, d.name), c.addr = d.addr, o.ip = q.ip, p.id = r.id
+       -> c.id = d.id"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_tables_have_paper_shapes() {
+        let (d, truth) = paper_example();
+        assert_eq!(d.relation(0).len(), 5);
+        assert_eq!(d.relation(1).len(), 5);
+        assert_eq!(d.relation(2).len(), 4);
+        assert_eq!(d.relation(3).len(), 4);
+        assert_eq!(d.total_tuples(), 18);
+        // Missing values load as Null.
+        assert!(d.tuple(Tid::new(0, 4)).unwrap().get(3).is_null());
+        assert_eq!(truth.num_clusters(), 4);
+        assert_eq!(truth.num_pairs(), 6); // {3 pairs in c-cluster} + 3 pairs
+    }
+
+    #[test]
+    fn paper_rules_parse_and_models_bind() {
+        let cat = catalog();
+        let rules = dcer_mrl::parse_rules(&cat, paper_rules_source()).unwrap();
+        assert_eq!(rules.len(), 5);
+        let reg = paper_registry();
+        for m in rules.model_names() {
+            assert!(reg.contains(m), "model {m} missing");
+        }
+        // phi4 is deep AND collective.
+        let phi4 = rules.rules().iter().find(|r| r.name == "phi4").unwrap();
+        assert!(phi4.has_id_precondition());
+        assert_eq!(phi4.num_vars(), 8);
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_scaled() {
+        let cfg = EcommerceConfig { customers: 50, dup_rate: 0.3, seed: 11 };
+        let (d1, t1) = generate(&cfg);
+        let (d2, t2) = generate(&cfg);
+        assert_eq!(d1.total_tuples(), d2.total_tuples());
+        assert_eq!(t1.num_pairs(), t2.num_pairs());
+        assert!(t1.num_pairs() > 0);
+        assert!(d1.relation(3).len() >= 100, "orders exist");
+    }
+
+    #[test]
+    fn generated_rules_parse_against_generated_data() {
+        let rules = dcer_mrl::parse_rules(&catalog(), generated_rules_source()).unwrap();
+        assert_eq!(rules.len(), 4);
+        let reg = paper_registry();
+        for m in rules.model_names() {
+            assert!(reg.contains(m));
+        }
+    }
+}
+
+#[cfg(test)]
+mod classifier_threshold_tests {
+    use super::*;
+    use dcer_relation::Value;
+
+    fn v(s: &str) -> Vec<Value> {
+        vec![Value::str(s)]
+    }
+
+    /// The registry thresholds must separate the paper's positive pairs
+    /// from its negative pairs on the verbatim table contents.
+    #[test]
+    fn paper_registry_separates_paper_pairs() {
+        let reg = paper_registry();
+        let m1 = reg.get("m1").unwrap();
+        assert!(m1.predict(
+            &v("ThinkPad X1 Carbon 7th Gen : 14-Inch, 16GB RAM, 512GB Nvme SSD"),
+            &v("ThinkPad X1 Carbon 7th Gen 14\" - 16 GB RAM - 512 GB SSD")
+        ));
+        assert!(!m1.predict(
+            &v("ThinkPad X1 Carbon 7th Gen : 14-Inch, 16GB RAM, 512GB Nvme SSD"),
+            &v("Apple MacBook Air (13-inch, 8GB RAM, 256GB SSD)")
+        ));
+
+        let m2 = reg.get("m2").unwrap();
+        assert!(m2.predict(&v("T's Store"), &v("Tony's Store")),
+            "m2 prob = {}", m2.probability(&v("T's Store"), &v("Tony's Store")));
+        assert!(!m2.predict(&v("Comp. World"), &v("Lap. store")),
+            "m2 prob = {}", m2.probability(&v("Comp. World"), &v("Lap. store")));
+
+        let m3 = reg.get("m3").unwrap();
+        assert!(m3.predict(&v("Ford Smith"), &v("F. Smith")),
+            "m3 prob = {}", m3.probability(&v("Ford Smith"), &v("F. Smith")));
+        assert!(m3.predict(&v("Tony Brown"), &v("T. Brown")));
+        assert!(!m3.predict(&v("Ford Smith"), &v("Tony Brown")));
+    }
+}

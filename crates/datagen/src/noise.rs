@@ -1,0 +1,189 @@
+//! Noise operators for duplicate injection: typos, abbreviations, token
+//! shuffles, format changes and dropped values — the textual damage that
+//! separates "easy" duplicates (equality rules suffice) from ones that need
+//! ML predicates.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use rand_chacha::rand_core::SeedableRng;
+
+/// A seeded noise generator.
+#[derive(Debug)]
+pub struct Noiser {
+    rng: ChaCha8Rng,
+}
+
+impl Noiser {
+    /// Deterministic noiser from a seed.
+    pub fn new(seed: u64) -> Noiser {
+        Noiser { rng: ChaCha8Rng::seed_from_u64(seed) }
+    }
+
+    /// Access the underlying RNG (for callers mixing in their own choices).
+    pub fn rng(&mut self) -> &mut ChaCha8Rng {
+        &mut self.rng
+    }
+
+    /// Introduce `n` random character-level edits (insert / delete /
+    /// substitute / adjacent transpose). Always returns a different string
+    /// for non-empty input and `n >= 1`.
+    pub fn typo(&mut self, s: &str, n: usize) -> String {
+        let mut chars: Vec<char> = s.chars().collect();
+        if chars.is_empty() {
+            return "x".to_string();
+        }
+        let original: Vec<char> = chars.clone();
+        for _ in 0..n.max(1) {
+            let op = self.rng.random_range(0..4);
+            let pos = self.rng.random_range(0..chars.len());
+            match op {
+                0 => {
+                    let c = (b'a' + self.rng.random_range(0..26)) as char;
+                    chars.insert(pos, c);
+                }
+                1 if chars.len() > 1 => {
+                    chars.remove(pos);
+                }
+                2 => {
+                    let c = (b'a' + self.rng.random_range(0..26)) as char;
+                    chars[pos] = c;
+                }
+                _ if chars.len() > 1 => {
+                    let p = pos.min(chars.len() - 2);
+                    chars.swap(p, p + 1);
+                }
+                _ => {
+                    chars[0] = (b'a' + self.rng.random_range(0..26)) as char;
+                }
+            }
+        }
+        if chars == original {
+            chars.push('x');
+        }
+        chars.into_iter().collect()
+    }
+
+    /// Abbreviate a person name: "Ford Smith" -> "F. Smith".
+    pub fn abbreviate_name(&mut self, name: &str) -> String {
+        let mut parts: Vec<&str> = name.split_whitespace().collect();
+        if parts.len() < 2 {
+            return name.to_string();
+        }
+        let first = parts.remove(0);
+        let initial: String = first.chars().take(1).collect();
+        format!("{initial}. {}", parts.join(" "))
+    }
+
+    /// Shuffle word order (keeps the token multiset).
+    pub fn shuffle_tokens(&mut self, s: &str) -> String {
+        let mut toks: Vec<&str> = s.split_whitespace().collect();
+        let n = toks.len();
+        for i in (1..n).rev() {
+            let j = self.rng.random_range(0..=i);
+            toks.swap(i, j);
+        }
+        toks.join(" ")
+    }
+
+    /// Reformat a description: replace separators and unit spellings, the
+    /// way the paper's ThinkPad example differs ("16GB RAM" vs "16 GB RAM").
+    pub fn reformat(&mut self, s: &str) -> String {
+        let mut out = s.replace(',', " -").replace("GB", " GB").replace("-inch", "\"");
+        if self.rng.random_bool(0.5) {
+            out = out.to_lowercase();
+        }
+        out.split_whitespace().collect::<Vec<_>>().join(" ")
+    }
+
+    /// With probability `p`, return `None` (a dropped / missing value).
+    pub fn maybe_drop(&mut self, s: &str, p: f64) -> Option<String> {
+        if self.rng.random_bool(p) {
+            None
+        } else {
+            Some(s.to_string())
+        }
+    }
+
+    /// Perturb a numeric value by up to `pct` percent.
+    pub fn jitter(&mut self, v: f64, pct: f64) -> f64 {
+        let f = 1.0 + (self.rng.random::<f64>() * 2.0 - 1.0) * pct / 100.0;
+        v * f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcer_ml::HashedNgramEmbedder;
+
+    #[test]
+    fn typo_changes_string_but_stays_close() {
+        let mut n = Noiser::new(3);
+        let s = "Thinkpad Carbon X1";
+        for k in 1..4 {
+            let t = n.typo(s, k);
+            assert_ne!(t, s);
+            let e = HashedNgramEmbedder::default();
+            assert!(e.cosine(s, &t) > 0.4, "typo({k}) drifted too far: {t}");
+        }
+    }
+
+    #[test]
+    fn typo_of_empty_is_nonempty() {
+        let mut n = Noiser::new(1);
+        assert!(!n.typo("", 2).is_empty());
+        assert_ne!(n.typo("a", 1), "a");
+    }
+
+    #[test]
+    fn abbreviation_matches_paper_example() {
+        let mut n = Noiser::new(0);
+        assert_eq!(n.abbreviate_name("Ford Smith"), "F. Smith");
+        assert_eq!(n.abbreviate_name("Tony Brown"), "T. Brown");
+        assert_eq!(n.abbreviate_name("Cher"), "Cher");
+    }
+
+    #[test]
+    fn shuffle_preserves_tokens() {
+        let mut n = Noiser::new(9);
+        let s = "alpha beta gamma delta";
+        let t = n.shuffle_tokens(s);
+        let mut a: Vec<&str> = s.split(' ').collect();
+        let mut b: Vec<&str> = t.split(' ').collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reformat_is_unit_style_change() {
+        let mut n = Noiser::new(4);
+        let s = "ThinkPad X1, 16GB RAM, 14.0-inch";
+        let t = n.reformat(s);
+        assert!(t.to_lowercase().contains("16 gb"), "{t}");
+        assert!(!t.contains(','));
+    }
+
+    #[test]
+    fn maybe_drop_respects_probability_extremes() {
+        let mut n = Noiser::new(5);
+        assert_eq!(n.maybe_drop("x", 0.0), Some("x".to_string()));
+        assert_eq!(n.maybe_drop("x", 1.0), None);
+    }
+
+    #[test]
+    fn jitter_bounds() {
+        let mut n = Noiser::new(6);
+        for _ in 0..100 {
+            let v = n.jitter(100.0, 5.0);
+            assert!((95.0..=105.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Noiser::new(42);
+        let mut b = Noiser::new(42);
+        assert_eq!(a.typo("hello world", 2), b.typo("hello world", 2));
+    }
+}

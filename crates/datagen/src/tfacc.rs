@@ -1,0 +1,407 @@
+//! TFACC-style generator: a multi-table vehicle-inspection corpus modeled
+//! on the UK Ministry of Transport MOT data the paper uses (19 tables,
+//! 480M tuples there; six tables at container scale here, preserving the
+//! foreign-key topology that makes the dataset *collective*: matching a
+//! test record requires matching its vehicle, which requires matching the
+//! vehicle's make — a 3-level chain like the paper's TPCH anecdote).
+
+use crate::noise::Noiser;
+use crate::truth::GroundTruth;
+use crate::vocab;
+use dcer_ml::{JaroWinklerClassifier, LevenshteinClassifier, MlRegistry};
+use dcer_relation::{Catalog, Dataset, RelationSchema, Value, ValueType};
+use rand::Rng;
+use std::sync::Arc;
+
+/// Relation ids within the TFACC catalog.
+pub mod rel {
+    /// `fueltype(fkey, fname)`.
+    pub const FUELTYPE: u16 = 0;
+    /// `make(mkey, mname, country)`.
+    pub const MAKE: u16 = 1;
+    /// `station(stkey, stname, city)`.
+    pub const STATION: u16 = 2;
+    /// `vehicle(vkey, mkey, model, fkey, plate)`.
+    pub const VEHICLE: u16 = 3;
+    /// `test(tkey, vkey, stkey, tdate, mileage, result)`.
+    pub const TEST: u16 = 4;
+    /// `defect(dkey, tkey, category, severity)`.
+    pub const DEFECT: u16 = 5;
+}
+
+/// Car makes.
+const MAKES: &[&str] = &[
+    "Volkswagen", "Toyota", "Renault", "Peugeot", "Vauxhall", "Mercedes", "Skoda", "Nissan",
+    "Honda", "Volvo", "Fiat", "Citroen", "Hyundai", "Mazda", "Subaru",
+];
+
+/// The TFACC catalog.
+pub fn catalog() -> Arc<Catalog> {
+    Arc::new(
+        Catalog::from_schemas(vec![
+            RelationSchema::of("fueltype", &[("fkey", ValueType::Int), ("fname", ValueType::Str)]),
+            RelationSchema::of(
+                "make",
+                &[("mkey", ValueType::Int), ("mname", ValueType::Str), ("country", ValueType::Str)],
+            ),
+            RelationSchema::of(
+                "station",
+                &[("stkey", ValueType::Int), ("stname", ValueType::Str), ("city", ValueType::Str)],
+            ),
+            RelationSchema::of(
+                "vehicle",
+                &[
+                    ("vkey", ValueType::Int),
+                    ("mkey", ValueType::Int),
+                    ("model", ValueType::Str),
+                    ("fkey", ValueType::Int),
+                    ("plate", ValueType::Str),
+                ],
+            ),
+            RelationSchema::of(
+                "test",
+                &[
+                    ("tkey", ValueType::Int),
+                    ("vkey", ValueType::Int),
+                    ("stkey", ValueType::Int),
+                    ("tdate", ValueType::Str),
+                    ("mileage", ValueType::Int),
+                    ("result", ValueType::Str),
+                ],
+            ),
+            RelationSchema::of(
+                "defect",
+                &[
+                    ("dkey", ValueType::Int),
+                    ("tkey", ValueType::Int),
+                    ("category", ValueType::Str),
+                    ("severity", ValueType::Int),
+                ],
+            ),
+        ])
+        .unwrap(),
+    )
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct TfaccConfig {
+    /// Number of vehicles (tests ≈ 2×, defects ≈ 1×).
+    pub vehicles: usize,
+    /// Duplicate fraction.
+    pub dup: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TfaccConfig {
+    fn default() -> TfaccConfig {
+        TfaccConfig { vehicles: 500, dup: 0.3, seed: 23 }
+    }
+}
+
+/// Generate a TFACC-style dataset plus ground truth.
+pub fn generate(cfg: &TfaccConfig) -> (Dataset, GroundTruth) {
+    let mut d = Dataset::new(catalog());
+    let mut truth = GroundTruth::new();
+    let mut nz = Noiser::new(cfg.seed);
+    let n_veh = cfg.vehicles.max(4);
+    let n_station = (n_veh / 25).max(2);
+
+    for (i, f) in ["Petrol", "Diesel", "Electric", "Hybrid", "LPG"].iter().enumerate() {
+        d.insert(rel::FUELTYPE, vec![Value::Int(i as i64), (*f).into()]).unwrap();
+    }
+
+    // Makes, some with typo'd duplicates.
+    let mut make_tids = Vec::new();
+    for (i, m) in MAKES.iter().enumerate() {
+        let t = d
+            .insert(
+                rel::MAKE,
+                vec![Value::Int(i as i64), (*m).into(), vocab::pick(nz.rng(), vocab::NATIONS).into()],
+            )
+            .unwrap();
+        make_tids.push(t);
+    }
+    let n_make_dups = ((cfg.dup * 6.0).round() as usize).clamp(1, MAKES.len());
+    let mut make_dups: Vec<(usize, i64)> = Vec::new();
+    for j in 0..n_make_dups {
+        let orig = (j * 5 + 1) % MAKES.len();
+        let key = (MAKES.len() + j) as i64;
+        let t = d
+            .insert(
+                rel::MAKE,
+                vec![Value::Int(key), nz.typo(MAKES[orig], 1).into(), Value::Null],
+            )
+            .unwrap();
+        truth.add_pair(make_tids[orig], t);
+        make_dups.push((orig, key));
+    }
+
+    // Stations, a few duplicated exactly (plain MD).
+    for i in 0..n_station {
+        // Station names carry their index: real MOT stations are distinct
+        // entities, and a tiny shared name pool would fabricate duplicates.
+        let name = format!("{} Test Centre {i}", vocab::pick(nz.rng(), vocab::STREETS));
+        let city = vocab::pick(nz.rng(), vocab::CITIES).to_string();
+        let t = d
+            .insert(
+                rel::STATION,
+                vec![Value::Int(i as i64), name.clone().into(), city.clone().into()],
+            )
+            .unwrap();
+        if nz.rng().random_bool(cfg.dup * 0.2) {
+            let t2 = d
+                .insert(
+                    rel::STATION,
+                    vec![Value::Int((n_station + i) as i64), name.into(), city.into()],
+                )
+                .unwrap();
+            truth.add_pair(t, t2);
+        }
+    }
+
+    // Vehicles; duplicates reference duplicate makes and carry a typo'd
+    // plate (deep level 2).
+    let mut veh_dups: Vec<(i64, i64)> = Vec::new();
+    let mut next_vkey = n_veh as i64;
+    let mut veh_meta: Vec<(i64, String, String)> = Vec::new(); // (mkey, model, plate)
+    for i in 0..n_veh {
+        let mkey = if i % 4 == 0 && !make_dups.is_empty() {
+            make_dups[i % make_dups.len()].0 as i64
+        } else {
+            (i % MAKES.len()) as i64
+        };
+        let model = format!("Model {}", (b'A' + (i % 20) as u8) as char);
+        // Random plates: deterministic arithmetic patterns would fabricate
+        // systematic near-duplicate plates across vehicles.
+        let plate = format!(
+            "{}{}{:02} {}{}{}",
+            (b'A' + nz.rng().random_range(0..26)) as char,
+            (b'A' + nz.rng().random_range(0..26)) as char,
+            nz.rng().random_range(0..70),
+            (b'A' + nz.rng().random_range(0..26)) as char,
+            (b'A' + nz.rng().random_range(0..26)) as char,
+            (b'A' + nz.rng().random_range(0..26)) as char,
+        );
+        let t = d
+            .insert(
+                rel::VEHICLE,
+                vec![
+                    Value::Int(i as i64),
+                    Value::Int(mkey),
+                    model.clone().into(),
+                    Value::Int((i % 5) as i64),
+                    plate.clone().into(),
+                ],
+            )
+            .unwrap();
+        veh_meta.push((mkey, model.clone(), plate.clone()));
+        if let Some(&(_, dup_mkey)) = make_dups.iter().find(|&&(o, _)| o as i64 == mkey) {
+            if nz.rng().random_bool(cfg.dup * 0.4) {
+                let key = next_vkey;
+                next_vkey += 1;
+                let t2 = d
+                    .insert(
+                        rel::VEHICLE,
+                        vec![
+                            Value::Int(key),
+                            Value::Int(dup_mkey),
+                            model.into(),
+                            Value::Int((i % 5) as i64),
+                            // ~15% of duplicates are heavily corrupted
+                            // (3 plate typos) — genuinely hard cases that
+                            // keep the accuracy ceiling realistic.
+                            {
+                                let k = if nz.rng().random_bool(0.15) { 3 } else { 1 };
+                                nz.typo(&plate, k).into()
+                            },
+                        ],
+                    )
+                    .unwrap();
+                truth.add_pair(t, t2);
+                veh_dups.push((i as i64, key));
+            }
+        }
+    }
+
+    // Tests; duplicates for duplicated vehicles share date + mileage
+    // (deep level 3). Defects hang off tests.
+    let n_tests = n_veh * 2;
+    let mut next_tkey = n_tests as i64;
+    let mut dkey = 0i64;
+    for i in 0..n_tests {
+        let vkey = (i % n_veh) as i64;
+        let date = format!("20{:02}-{:02}-{:02}", 10 + i % 14, 1 + i % 12, 1 + i % 28);
+        let mileage = 5_000 + (i as i64 * 137) % 120_000;
+        let result = if i % 4 == 0 { "FAIL" } else { "PASS" };
+        d.insert(
+            rel::TEST,
+            vec![
+                Value::Int(i as i64),
+                Value::Int(vkey),
+                Value::Int((i % n_station) as i64),
+                date.clone().into(),
+                Value::Int(mileage),
+                result.into(),
+            ],
+        )
+        .unwrap();
+        if result == "FAIL" {
+            d.insert(
+                rel::DEFECT,
+                vec![
+                    Value::Int(dkey),
+                    Value::Int(i as i64),
+                    vocab::pick(nz.rng(), &["brakes", "lights", "tyres", "steering", "emissions"])
+                        .into(),
+                    Value::Int(nz.rng().random_range(1..5)),
+                ],
+            )
+            .unwrap();
+            dkey += 1;
+        }
+        if let Some(&(_, dup_vkey)) = veh_dups.iter().find(|&&(o, _)| o == vkey) {
+            if nz.rng().random_bool(cfg.dup * 0.5) {
+                let test_tid =
+                    dcer_relation::Tid::new(rel::TEST, d.relation(rel::TEST).len() as u32 - 1);
+                let key = next_tkey;
+                next_tkey += 1;
+                let t2 = d
+                    .insert(
+                        rel::TEST,
+                        vec![
+                            Value::Int(key),
+                            Value::Int(dup_vkey),
+                            Value::Int((i % n_station) as i64),
+                            date.into(),
+                            Value::Int(mileage),
+                            result.into(),
+                        ],
+                    )
+                    .unwrap();
+                truth.add_pair(test_tid, t2);
+            }
+        }
+    }
+    let _ = veh_meta;
+    (d, truth)
+}
+
+/// The TFACC MRLs: make (ML) → vehicle (deep+collective) → test (deep),
+/// plus a plain station MD.
+pub fn rules_source() -> &'static str {
+    "match r_make: make(m), make(n), make_sim(m.mname, n.mname) -> m.id = n.id;
+
+     match r_vehicle: vehicle(v), vehicle(w), make(m), make(n),
+       v.mkey = m.mkey, w.mkey = n.mkey, m.id = n.id,
+       v.model = w.model, plate_sim(v.plate, w.plate)
+       -> v.id = w.id;
+
+     match r_test: test(t), test(u), vehicle(v), vehicle(w),
+       t.vkey = v.vkey, u.vkey = w.vkey, v.id = w.id,
+       t.tdate = u.tdate, t.mileage = u.mileage
+       -> t.id = u.id;
+
+     match r_station: station(s), station(t),
+       s.stname = t.stname, s.city = t.city -> s.id = t.id"
+}
+
+/// Models for [`rules_source`].
+pub fn make_registry() -> MlRegistry {
+    let mut r = MlRegistry::new();
+    // Jaro-Winkler tolerates transpositions in short make names
+    // ("Sokda" ~ 0.94) while distinct makes stay below ~0.8.
+    r.register("make_sim", Arc::new(JaroWinklerClassifier::new(0.88)));
+    // Edit distance, not token similarity: a plate typo can move the
+    // space ("OD22U AE") and destroy token structure entirely.
+    r.register("plate_sim", Arc::new(LevenshteinClassifier::new(0.7)));
+    r
+}
+
+/// Scale the rule set to `n` rules with MD variants (the `‖Σ‖` sweep on
+/// TFACC, Fig. 6(h)).
+pub fn rules_source_scaled(n: usize) -> String {
+    let mut src = rules_source().to_string();
+    let variants = [
+        ("vehicle", "model", "plate", "fkey"),
+        ("vehicle", "mkey", "model", "fkey"),
+        ("test", "tdate", "mileage", "result"),
+        ("test", "vkey", "tdate", "result"),
+        ("station", "stname", "city", "stkey"),
+        ("defect", "category", "severity", "tkey"),
+        ("make", "mname", "country", "mkey"),
+    ];
+    let mut i = 0;
+    while 4 + i < n {
+        let (relname, a, b, c) = variants[i % variants.len()];
+        src.push_str(&format!(
+            ";\n match extra{i}: {relname}(x), {relname}(y), x.{a} = y.{a}, x.{b} = y.{b}, x.{c} = y.{c} -> x.id = y.id"
+        ));
+        i += 1;
+    }
+    src
+}
+
+/// Rules with a controlled predicate count for the `|φ|` sweep on TFACC
+/// (Fig. 6(f)).
+pub fn rules_source_predicates(count: usize, preds: usize) -> String {
+    let attrs = ["vkey", "stkey", "tdate", "mileage", "result"];
+    let mut rules = Vec::with_capacity(count);
+    for r in 0..count {
+        let mut body: Vec<String> = vec!["test(x)".into(), "test(y)".into()];
+        for p in 0..preds.max(1) {
+            let a = attrs[(r + p) % attrs.len()];
+            body.push(format!("x.{a} = y.{a}"));
+        }
+        rules.push(format!("match p{r}: {} -> x.id = y.id", body.join(", ")));
+    }
+    rules.join(";\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_all_tables_with_duplicate_chain() {
+        let (d, truth) = generate(&TfaccConfig { vehicles: 200, dup: 0.5, seed: 3 });
+        for r in 0..6u16 {
+            assert!(!d.relation(r).is_empty(), "relation {r} empty");
+        }
+        assert!(truth.num_pairs() > 0);
+    }
+
+    #[test]
+    fn rules_parse_and_bind() {
+        let cat = catalog();
+        let rules = dcer_mrl::parse_rules(&cat, rules_source()).unwrap();
+        assert_eq!(rules.len(), 4);
+        let reg = make_registry();
+        for m in rules.model_names() {
+            assert!(reg.contains(m));
+        }
+        assert!(rules.rules().iter().any(|r| r.has_id_precondition()));
+    }
+
+    #[test]
+    fn scaled_rules_parse() {
+        let cat = catalog();
+        for n in [4, 10, 20, 30] {
+            let rules = dcer_mrl::parse_rules(&cat, &rules_source_scaled(n)).unwrap();
+            assert_eq!(rules.len(), n.max(4));
+        }
+        for p in [4, 6, 8] {
+            let rules = dcer_mrl::parse_rules(&cat, &rules_source_predicates(8, p)).unwrap();
+            assert_eq!(rules.len(), 8);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&TfaccConfig::default());
+        let b = generate(&TfaccConfig::default());
+        assert_eq!(a.0.total_tuples(), b.0.total_tuples());
+        assert_eq!(a.1.num_pairs(), b.1.num_pairs());
+    }
+}

@@ -1,0 +1,579 @@
+//! TPC-H-style generator (8 relations, foreign-key graph of the official
+//! `dbgen`), scaled to container size, with duplicate injection reproducing
+//! the paper's Exp-1(5) anecdote: duplicate orders are only provable after
+//! 3 levels of recursion — typo'd nations match first (ML), then the
+//! customers referencing them, then the orders placed by those customers.
+//!
+//! The paper's TPCH has 30M tuples at scale factor 1 on a 32-machine
+//! cluster; here SF 1 ≈ 30k tuples (a fixed 1000× scale-down, see
+//! `DESIGN.md` §4) and `dup` controls the injected duplicate fraction
+//! (the paper's `Dup`, in millions there, a fraction here).
+
+use crate::noise::Noiser;
+use crate::truth::GroundTruth;
+use crate::vocab;
+use dcer_ml::{MlRegistry, MongeElkanClassifier, NgramCosineClassifier};
+use dcer_relation::{Catalog, Dataset, RelationSchema, Tid, Value, ValueType};
+use rand::Rng;
+use std::sync::Arc;
+
+/// Relation ids within the TPC-H catalog, in catalog order.
+pub mod rel {
+    /// `region(rkey, name)`.
+    pub const REGION: u16 = 0;
+    /// `nation(nkey, name, rkey)`.
+    pub const NATION: u16 = 1;
+    /// `supplier(skey, sname, nkey, phone, acctbal)`.
+    pub const SUPPLIER: u16 = 2;
+    /// `part(pkey, pname, brand, pdesc, retailprice)`.
+    pub const PART: u16 = 3;
+    /// `partsupp(pkey, skey, supplycost)`.
+    pub const PARTSUPP: u16 = 4;
+    /// `customer(ckey, cname, nkey, addr, phone)`.
+    pub const CUSTOMER: u16 = 5;
+    /// `orders(okey, ckey, totalprice, orderdate, clerk)`.
+    pub const ORDERS: u16 = 6;
+    /// `lineitem(okey, pkey, skey, qty, extprice)`.
+    pub const LINEITEM: u16 = 7;
+}
+
+/// The TPC-H catalog.
+pub fn catalog() -> Arc<Catalog> {
+    Arc::new(
+        Catalog::from_schemas(vec![
+            RelationSchema::of("region", &[("rkey", ValueType::Int), ("name", ValueType::Str)]),
+            RelationSchema::of(
+                "nation",
+                &[("nkey", ValueType::Int), ("name", ValueType::Str), ("rkey", ValueType::Int)],
+            ),
+            RelationSchema::of(
+                "supplier",
+                &[
+                    ("skey", ValueType::Int),
+                    ("sname", ValueType::Str),
+                    ("nkey", ValueType::Int),
+                    ("phone", ValueType::Str),
+                    ("acctbal", ValueType::Float),
+                ],
+            ),
+            RelationSchema::of(
+                "part",
+                &[
+                    ("pkey", ValueType::Int),
+                    ("pname", ValueType::Str),
+                    ("brand", ValueType::Str),
+                    ("pdesc", ValueType::Str),
+                    ("retailprice", ValueType::Float),
+                ],
+            ),
+            RelationSchema::of(
+                "partsupp",
+                &[
+                    ("pkey", ValueType::Int),
+                    ("skey", ValueType::Int),
+                    ("supplycost", ValueType::Float),
+                ],
+            ),
+            RelationSchema::of(
+                "customer",
+                &[
+                    ("ckey", ValueType::Int),
+                    ("cname", ValueType::Str),
+                    ("nkey", ValueType::Int),
+                    ("addr", ValueType::Str),
+                    ("phone", ValueType::Str),
+                ],
+            ),
+            RelationSchema::of(
+                "orders",
+                &[
+                    ("okey", ValueType::Int),
+                    ("ckey", ValueType::Int),
+                    ("totalprice", ValueType::Float),
+                    ("orderdate", ValueType::Str),
+                    ("clerk", ValueType::Str),
+                ],
+            ),
+            RelationSchema::of(
+                "lineitem",
+                &[
+                    ("okey", ValueType::Int),
+                    ("pkey", ValueType::Int),
+                    ("skey", ValueType::Int),
+                    ("qty", ValueType::Int),
+                    ("extprice", ValueType::Float),
+                ],
+            ),
+        ])
+        .unwrap(),
+    )
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct TpchConfig {
+    /// Scale factor: SF 1 ≈ 30k tuples.
+    pub scale: f64,
+    /// Duplicate fraction (the paper's `Dup` knob), typically 0.1–0.5.
+    pub dup: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TpchConfig {
+    fn default() -> TpchConfig {
+        TpchConfig { scale: 0.1, dup: 0.3, seed: 42 }
+    }
+}
+
+/// Generate a TPC-H-style dataset plus ground truth.
+pub fn generate(cfg: &TpchConfig) -> (Dataset, GroundTruth) {
+    let sf = cfg.scale.max(0.001);
+    let n_supplier = ((200.0 * sf) as usize).max(3);
+    let n_part = ((4000.0 * sf) as usize).max(8);
+    let n_customer = ((3000.0 * sf) as usize).max(8);
+    let n_orders = ((6000.0 * sf) as usize).max(8);
+
+    let mut d = Dataset::new(catalog());
+    let mut truth = GroundTruth::new();
+    let mut nz = Noiser::new(cfg.seed);
+
+    // region / nation.
+    for (i, name) in ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"].iter().enumerate() {
+        d.insert(rel::REGION, vec![Value::Int(i as i64), (*name).into()]).unwrap();
+    }
+    let n_nation = vocab::NATIONS.len();
+    let mut nation_tids = Vec::with_capacity(n_nation);
+    for (i, name) in vocab::NATIONS.iter().enumerate() {
+        let t = d
+            .insert(
+                rel::NATION,
+                vec![Value::Int(i as i64), (*name).into(), Value::Int((i % 5) as i64)],
+            )
+            .unwrap();
+        nation_tids.push(t);
+    }
+    // Typo'd duplicate nations ("Argenztina"): next keys after originals.
+    let n_nation_dups = ((cfg.dup * 10.0).round() as usize).clamp(1, n_nation);
+    let mut nation_dup_keys: Vec<(usize, i64)> = Vec::new(); // (orig idx, dup key)
+    for j in 0..n_nation_dups {
+        let orig = (j * 7 + 3) % n_nation;
+        let key = (n_nation + j) as i64;
+        let t = d
+            .insert(
+                rel::NATION,
+                vec![
+                    Value::Int(key),
+                    nz.typo(vocab::NATIONS[orig], 1).into(),
+                    Value::Int((orig % 5) as i64),
+                ],
+            )
+            .unwrap();
+        truth.add_pair(nation_tids[orig], t);
+        nation_dup_keys.push((orig, key));
+    }
+
+    // supplier.
+    for i in 0..n_supplier {
+        d.insert(
+            rel::SUPPLIER,
+            vec![
+                Value::Int(i as i64),
+                format!("Supplier#{i:05}").into(),
+                Value::Int((i % n_nation) as i64),
+                vocab::phone(nz.rng()).into(),
+                Value::Float(nz.rng().random_range(-100..10000) as f64 / 10.0),
+            ],
+        )
+        .unwrap();
+    }
+
+    // part + partsupp; some parts duplicated with reformatted descriptions
+    // and an identical (supplier, supplycost) partsupp row -> provable via
+    // the paper's φ_a.
+    let mut part_tids = Vec::with_capacity(n_part);
+    let mut next_pkey = n_part as i64;
+    let mut part_dup_keys: Vec<(i64, i64)> = Vec::new();
+    for i in 0..n_part {
+        let name = vocab::product_name(nz.rng());
+        let desc = vocab::product_desc(nz.rng(), &name);
+        let price = 100.0 + nz.rng().random_range(0..100000) as f64 / 100.0;
+        let t = d
+            .insert(
+                rel::PART,
+                vec![
+                    Value::Int(i as i64),
+                    name.clone().into(),
+                    vocab::pick(nz.rng(), vocab::BRANDS).into(),
+                    desc.clone().into(),
+                    Value::Float(price),
+                ],
+            )
+            .unwrap();
+        part_tids.push(t);
+        let skey = (i % n_supplier) as i64;
+        let supplycost = (price * 0.6 * 100.0).round() / 100.0;
+        d.insert(rel::PARTSUPP, vec![Value::Int(i as i64), Value::Int(skey), Value::Float(supplycost)])
+            .unwrap();
+        if nz.rng().random_bool(cfg.dup * 0.15) {
+            let dup_key = next_pkey;
+            next_pkey += 1;
+            let t2 = d
+                .insert(
+                    rel::PART,
+                    vec![
+                        Value::Int(dup_key),
+                        name.into(),
+                        vocab::pick(nz.rng(), vocab::BRANDS).into(),
+                        nz.reformat(&desc).into(),
+                        Value::Float(nz.jitter(price, 5.0)),
+                    ],
+                )
+                .unwrap();
+            truth.add_pair(t, t2);
+            d.insert(
+                rel::PARTSUPP,
+                vec![Value::Int(dup_key), Value::Int(skey), Value::Float(supplycost)],
+            )
+            .unwrap();
+            part_dup_keys.push((i as i64, dup_key));
+        }
+    }
+
+    // customer; duplicates reference a *duplicate nation* and keep the
+    // phone, with an abbreviated name -> provable only after the nation
+    // match (deep level 2).
+    let mut cust_tids = Vec::with_capacity(n_customer);
+    let mut cust_info: Vec<(String, String)> = Vec::with_capacity(n_customer); // (name, phone)
+    let mut next_ckey = n_customer as i64;
+    let mut cust_dup_keys: Vec<(i64, i64)> = Vec::new();
+    for i in 0..n_customer {
+        let name = vocab::person_name(nz.rng());
+        let phone = vocab::phone(nz.rng());
+        // Bias some customers onto nations that have duplicates.
+        let nkey = if i % 3 == 0 && !nation_dup_keys.is_empty() {
+            nation_dup_keys[i % nation_dup_keys.len()].0 as i64
+        } else {
+            (i % n_nation) as i64
+        };
+        let t = d
+            .insert(
+                rel::CUSTOMER,
+                vec![
+                    Value::Int(i as i64),
+                    name.clone().into(),
+                    Value::Int(nkey),
+                    vocab::address(nz.rng()).into(),
+                    phone.clone().into(),
+                ],
+            )
+            .unwrap();
+        cust_tids.push(t);
+        cust_info.push((name.clone(), phone.clone()));
+        // Duplicate only customers whose nation has a duplicate record.
+        let dup_nation =
+            nation_dup_keys.iter().find(|(orig, _)| *orig as i64 == nkey).map(|&(_, k)| k);
+        if let Some(dup_nkey) = dup_nation {
+            if nz.rng().random_bool(cfg.dup * 0.4) {
+                let dup_key = next_ckey;
+                next_ckey += 1;
+                let t2 = d
+                    .insert(
+                        rel::CUSTOMER,
+                        vec![
+                            Value::Int(dup_key),
+                            nz.abbreviate_name(&name).into(),
+                            Value::Int(dup_nkey),
+                            Value::Null,
+                            phone.into(),
+                        ],
+                    )
+                    .unwrap();
+                truth.add_pair(t, t2);
+                cust_dup_keys.push((i as i64, dup_key));
+            }
+        }
+    }
+
+    // orders + lineitem; duplicated orders are placed by the *duplicate*
+    // customer with the same totalprice/orderdate, a typo'd clerk, and
+    // lineitems on the same parts -> provable only after the customer
+    // match (deep level 3), reproducing the paper's anecdote.
+    let mut next_okey = n_orders as i64;
+    for i in 0..n_orders {
+        let ckey = (i % n_customer) as i64;
+        let total = 500.0 + nz.rng().random_range(0..500000) as f64 / 100.0;
+        let date = format!(
+            "199{}-{:02}-{:02}",
+            nz.rng().random_range(2..9),
+            nz.rng().random_range(1..13),
+            nz.rng().random_range(1..29)
+        );
+        let clerk = format!("Clerk {}", vocab::person_name(nz.rng()));
+        d.insert(
+            rel::ORDERS,
+            vec![
+                Value::Int(i as i64),
+                Value::Int(ckey),
+                Value::Float(total),
+                date.clone().into(),
+                clerk.clone().into(),
+            ],
+        )
+        .unwrap();
+        let pkey = (i % n_part) as i64;
+        d.insert(
+            rel::LINEITEM,
+            vec![
+                Value::Int(i as i64),
+                Value::Int(pkey),
+                Value::Int(pkey % n_supplier as i64),
+                Value::Int(nz.rng().random_range(1..50)),
+                Value::Float(total / 2.0),
+            ],
+        )
+        .unwrap();
+        // Duplicate order if the customer has a duplicate record.
+        if let Some(&(_, dup_ckey)) = cust_dup_keys.iter().find(|&&(orig, _)| orig == ckey) {
+            if nz.rng().random_bool(cfg.dup * 0.5) {
+                let dup_okey = next_okey;
+                next_okey += 1;
+                let order_tid = Tid::new(rel::ORDERS, d.relation(rel::ORDERS).len() as u32 - 1);
+                let t2 = d
+                    .insert(
+                        rel::ORDERS,
+                        vec![
+                            Value::Int(dup_okey),
+                            Value::Int(dup_ckey),
+                            Value::Float(total),
+                            date.into(),
+                            // ~15% of duplicate orders have heavily typo'd
+                            // clerks — hard cases below any ML threshold.
+                            {
+                                let k = if nz.rng().random_bool(0.15) { 4 } else { 1 };
+                                nz.typo(&clerk, k).into()
+                            },
+                        ],
+                    )
+                    .unwrap();
+                truth.add_pair(order_tid, t2);
+                d.insert(
+                    rel::LINEITEM,
+                    vec![
+                        Value::Int(dup_okey),
+                        Value::Int(pkey),
+                        Value::Int(pkey % n_supplier as i64),
+                        Value::Int(nz.rng().random_range(1..50)),
+                        Value::Float(total / 2.0),
+                    ],
+                )
+                .unwrap();
+            }
+        }
+    }
+
+    let _ = (part_tids, cust_tids, part_dup_keys);
+    (d, truth)
+}
+
+/// The core TPC-H MRLs: the paper's case-study rules `φ_a` (parts) and
+/// `φ_b` (orders) plus the nation/customer rules forming the 3-level
+/// recursion chain.
+pub fn rules_source() -> &'static str {
+    "# nations with embedding-similar names in the same region match
+     match r_nation: nation(n), nation(m), n.rkey = m.rkey,
+       country_sim(n.name, m.name) -> n.id = m.id;
+
+     # phi_a: same supplier and supply cost, ML-similar descriptions
+     match phi_a: part(p), part(q), partsupp(ps), partsupp(qs),
+       supplier(s), supplier(t),
+       p.pkey = ps.pkey, q.pkey = qs.pkey,
+       ps.skey = s.skey, qs.skey = t.skey, s.id = t.id,
+       ps.supplycost = qs.supplycost, desc_sim(p.pdesc, q.pdesc)
+       -> p.id = q.id;
+
+     # customers: similar names, same phone, matching nations (deep level 2)
+     match r_customer: customer(c), customer(d), nation(n), nation(m),
+       c.nkey = n.nkey, d.nkey = m.nkey, n.id = m.id,
+       name_sim(c.cname, d.cname), c.phone = d.phone
+       -> c.id = d.id;
+
+     # phi_b: same totalprice/orderdate/clerk(ML)/partkey, matching
+     # customers (deep level 3)
+     match phi_b: orders(o), orders(q), customer(c), customer(e),
+       lineitem(l), lineitem(k),
+       o.ckey = c.ckey, q.ckey = e.ckey,
+       o.okey = l.okey, q.okey = k.okey,
+       o.totalprice = q.totalprice, o.orderdate = q.orderdate,
+       c.id = e.id, l.pkey = k.pkey, name_sim(o.clerk, q.clerk)
+       -> o.id = q.id;
+
+     # suppliers: plain MD
+     match r_supplier: supplier(s), supplier(t),
+       s.sname = t.sname, s.phone = t.phone -> s.id = t.id"
+}
+
+/// Models for [`rules_source`].
+pub fn make_registry() -> MlRegistry {
+    let mut r = MlRegistry::new();
+    // Plain 3-gram cosine separates one-typo country names ("Argenztina",
+    // ~0.75) from distinct ones sharing a word ("United States" vs
+    // "United Kingdom", ~0.53).
+    r.register("country_sim", Arc::new(NgramCosineClassifier::new(0.6)));
+    r.register("desc_sim", Arc::new(NgramCosineClassifier::new(0.55)));
+    r.register("name_sim", Arc::new(MongeElkanClassifier::new(0.85)));
+    r
+}
+
+/// Produce `n ≥ 5` rules by padding the core set with MD variants over
+/// attribute subsets — the workload knob for the paper's `‖Σ‖` sweep
+/// (Fig. 6(g)). Extra rules are sound (they require full equality on
+/// several attributes) but rarely fire.
+pub fn rules_source_scaled(n: usize) -> String {
+    let mut src = rules_source().to_string();
+    let variants = [
+        ("customer", "cname", "addr", "phone"),
+        ("customer", "cname", "phone", "nkey"),
+        ("supplier", "sname", "phone", "nkey"),
+        ("part", "pname", "brand", "pdesc"),
+        ("part", "pname", "pdesc", "retailprice"),
+        ("orders", "totalprice", "orderdate", "clerk"),
+        ("orders", "ckey", "orderdate", "clerk"),
+        ("nation", "name", "rkey", "nkey"),
+        ("lineitem", "okey", "pkey", "extprice"),
+        ("lineitem", "pkey", "qty", "extprice"),
+    ];
+    let mut i = 0;
+    while 5 + i < n {
+        let (relname, a, b, c) = variants[i % variants.len()];
+        let gen = i / variants.len();
+        src.push_str(&format!(
+            ";\n match extra{i}: {relname}(x), {relname}(y), x.{a} = y.{a}, x.{b} = y.{b}, x.{c} = y.{c}{}
+             -> x.id = y.id",
+            // Deeper variants add an id self-check to stay recursive.
+            if gen % 2 == 1 { ", x.id = y.id" } else { "" },
+        ));
+        i += 1;
+    }
+    src
+}
+
+/// Average predicate count per rule, controllable for the `|φ|` sweep
+/// (Fig. 6(e)): builds `count` customer-matching rules whose predicate
+/// list grows along a fixed schedule mixing equalities with ML predicates.
+/// Larger `|φ|` means more classifier work per support valuation; because
+/// every rule shares the same ML predicate instances, MQO's shared
+/// evaluation pays off more as `|φ|` grows — the paper's observation that
+/// "the more predicates MRLs contain, the more intermediate results these
+/// rules may share".
+pub fn rules_source_predicates(count: usize, preds: usize) -> String {
+    // All rules share the nkey anchor (25 nations -> broad candidate sets,
+    // so per-pair predicate work dominates) and a common ML prefix; each
+    // rule appends one distinguishing equality so rules are distinct but
+    // share their expensive predicates.
+    let schedule = [
+        "name_sim(c.cname, d.cname)",
+        "name_sim(c.addr, d.addr)",
+        "name_sim(c.phone, d.phone)",
+        "name_sim(c.cname, d.addr)",
+        "name_sim(c.addr, d.cname)",
+        "name_sim(c.phone, d.cname)",
+        "name_sim(c.cname, d.phone)",
+        "name_sim(c.addr, d.phone)",
+        "name_sim(c.phone, d.addr)",
+    ];
+    let tail = ["c.phone = d.phone", "c.cname = d.cname", "c.addr = d.addr", "c.ckey = d.ckey"];
+    let mut rules = Vec::with_capacity(count);
+    for r in 0..count {
+        let mut body = vec!["c.nkey = d.nkey".to_string()];
+        body.extend(schedule.iter().take(preds.max(2) - 2).map(|s| s.to_string()));
+        body.push(tail[r % tail.len()].to_string());
+        rules.push(format!(
+            "match p{r}: customer(c), customer(d), {} -> c.id = d.id",
+            body.join(", ")
+        ));
+    }
+    rules.join(";\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_all_eight_relations_with_fk_integrity() {
+        let (d, truth) = generate(&TpchConfig { scale: 0.05, dup: 0.4, seed: 1 });
+        for r in 0..8u16 {
+            assert!(!d.relation(r).is_empty(), "relation {r} empty");
+        }
+        assert!(truth.num_pairs() > 0);
+        // FK: every lineitem okey exists in orders.
+        let order_keys: std::collections::HashSet<i64> = d
+            .relation(rel::ORDERS)
+            .tuples()
+            .iter()
+            .map(|t| t.get(0).as_int().unwrap())
+            .collect();
+        for l in d.relation(rel::LINEITEM).tuples() {
+            assert!(order_keys.contains(&l.get(0).as_int().unwrap()));
+        }
+    }
+
+    #[test]
+    fn scale_controls_size() {
+        let small = generate(&TpchConfig { scale: 0.02, dup: 0.2, seed: 1 }).0.total_tuples();
+        let large = generate(&TpchConfig { scale: 0.2, dup: 0.2, seed: 1 }).0.total_tuples();
+        assert!(large > small * 4, "small={small} large={large}");
+    }
+
+    #[test]
+    fn dup_controls_truth_size() {
+        let lo = generate(&TpchConfig { scale: 0.1, dup: 0.1, seed: 1 }).1.num_pairs();
+        let hi = generate(&TpchConfig { scale: 0.1, dup: 0.5, seed: 1 }).1.num_pairs();
+        assert!(hi > lo, "lo={lo} hi={hi}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(&TpchConfig::default());
+        let b = generate(&TpchConfig::default());
+        assert_eq!(a.0.total_tuples(), b.0.total_tuples());
+        assert_eq!(a.1.num_pairs(), b.1.num_pairs());
+    }
+
+    #[test]
+    fn rules_parse_and_models_bind() {
+        let cat = catalog();
+        let rules = dcer_mrl::parse_rules(&cat, rules_source()).unwrap();
+        assert_eq!(rules.len(), 5);
+        let reg = make_registry();
+        for m in rules.model_names() {
+            assert!(reg.contains(m), "{m}");
+        }
+        let phi_b = rules.rules().iter().find(|r| r.name == "phi_b").unwrap();
+        assert!(phi_b.has_id_precondition());
+        assert_eq!(phi_b.num_vars(), 6);
+    }
+
+    #[test]
+    fn scaled_rules_parse_at_requested_sizes() {
+        let cat = catalog();
+        for n in [5, 10, 30, 75] {
+            let rules = dcer_mrl::parse_rules(&cat, &rules_source_scaled(n)).unwrap();
+            assert_eq!(rules.len(), n.max(5), "n={n}");
+        }
+    }
+
+    #[test]
+    fn predicate_sweep_rules_parse() {
+        let cat = catalog();
+        for preds in [2, 4, 8, 10] {
+            let rules =
+                dcer_mrl::parse_rules(&cat, &rules_source_predicates(10, preds)).unwrap();
+            assert_eq!(rules.len(), 10);
+            // Attribute subsets rotate modulo 5, so |φ| caps at 5 distinct
+            // equalities; the parser may dedup nothing, count raw preds.
+            assert!(rules.rules()[0].num_predicates() >= preds.min(5));
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Ground truth: which tuple identities refer to the same real-world
+//! entity. Built incrementally by the generators as they inject duplicates.
+
+use dcer_relation::Tid;
+use std::collections::{HashMap, HashSet};
+
+/// The labeled truth for one generated dataset.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    /// Entity clusters (each a set of tuple ids referring to one entity).
+    clusters: Vec<Vec<Tid>>,
+    /// Tid -> cluster index.
+    by_tid: HashMap<Tid, usize>,
+}
+
+impl GroundTruth {
+    /// Empty truth.
+    pub fn new() -> GroundTruth {
+        GroundTruth::default()
+    }
+
+    /// Record that all these tuples denote one entity. Tids already known
+    /// merge their clusters.
+    pub fn add_cluster(&mut self, tids: &[Tid]) {
+        if tids.is_empty() {
+            return;
+        }
+        // Find existing clusters touched.
+        let mut existing: Vec<usize> = tids
+            .iter()
+            .filter_map(|t| self.by_tid.get(t).copied())
+            .collect();
+        existing.sort_unstable();
+        existing.dedup();
+        let target = match existing.first() {
+            Some(&c) => c,
+            None => {
+                self.clusters.push(Vec::new());
+                self.clusters.len() - 1
+            }
+        };
+        // Merge other clusters into target (leaves empty husks behind;
+        // readers skip them).
+        for &c in existing.iter().skip(1).rev() {
+            let moved = std::mem::take(&mut self.clusters[c]);
+            for t in &moved {
+                self.by_tid.insert(*t, target);
+            }
+            self.clusters[target].extend(moved);
+        }
+        for t in tids {
+            self.by_tid.insert(*t, target);
+            if !self.clusters[target].contains(t) {
+                self.clusters[target].push(*t);
+            }
+        }
+    }
+
+    /// Record a pairwise match.
+    pub fn add_pair(&mut self, a: Tid, b: Tid) {
+        self.add_cluster(&[a, b]);
+    }
+
+    /// Whether two tuples are true duplicates.
+    pub fn are_duplicates(&self, a: Tid, b: Tid) -> bool {
+        a == b
+            || matches!(
+                (self.by_tid.get(&a), self.by_tid.get(&b)),
+                (Some(x), Some(y)) if x == y
+            )
+    }
+
+    /// All true-match pairs `(a, b)` with `a < b`.
+    pub fn pairs(&self) -> HashSet<(Tid, Tid)> {
+        let mut out = HashSet::new();
+        for c in &self.clusters {
+            for i in 0..c.len() {
+                for j in i + 1..c.len() {
+                    let (a, b) = (c[i].min(c[j]), c[i].max(c[j]));
+                    out.insert((a, b));
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of true-match pairs.
+    pub fn num_pairs(&self) -> usize {
+        self.clusters
+            .iter()
+            .filter(|c| c.len() > 1)
+            .map(|c| c.len() * (c.len() - 1) / 2)
+            .sum()
+    }
+
+    /// Number of non-singleton clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.clusters.iter().filter(|c| c.len() > 1).count()
+    }
+
+    /// Merge another truth (e.g. per-relation truths) into this one.
+    pub fn extend(&mut self, other: &GroundTruth) {
+        for c in &other.clusters {
+            if !c.is_empty() {
+                self.add_cluster(c);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(r: u32) -> Tid {
+        Tid::new(0, r)
+    }
+
+    #[test]
+    fn clusters_and_pairs() {
+        let mut g = GroundTruth::new();
+        g.add_cluster(&[t(1), t(2), t(3)]);
+        g.add_pair(t(7), t(8));
+        assert!(g.are_duplicates(t(1), t(3)));
+        assert!(!g.are_duplicates(t(1), t(7)));
+        assert!(g.are_duplicates(t(5), t(5)), "reflexive");
+        assert_eq!(g.num_pairs(), 4);
+        assert_eq!(g.num_clusters(), 2);
+        assert!(g.pairs().contains(&(t(1), t(2))));
+    }
+
+    #[test]
+    fn overlapping_clusters_merge() {
+        let mut g = GroundTruth::new();
+        g.add_pair(t(1), t(2));
+        g.add_pair(t(3), t(4));
+        g.add_pair(t(2), t(3));
+        assert!(g.are_duplicates(t(1), t(4)));
+        assert_eq!(g.num_clusters(), 1);
+        assert_eq!(g.num_pairs(), 6);
+    }
+
+    #[test]
+    fn extend_unions_truths() {
+        let mut a = GroundTruth::new();
+        a.add_pair(t(1), t(2));
+        let mut b = GroundTruth::new();
+        b.add_pair(t(2), t(3));
+        a.extend(&b);
+        assert!(a.are_duplicates(t(1), t(3)));
+    }
+
+    #[test]
+    fn duplicate_insertion_is_idempotent() {
+        let mut g = GroundTruth::new();
+        g.add_cluster(&[t(1), t(2)]);
+        g.add_cluster(&[t(1), t(2)]);
+        assert_eq!(g.num_pairs(), 1);
+    }
+}

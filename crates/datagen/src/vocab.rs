@@ -1,0 +1,171 @@
+//! Vocabulary pools and deterministic synthetic-text helpers shared by the
+//! generators.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// First names.
+pub const FIRST_NAMES: &[&str] = &[
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda", "David",
+    "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas",
+    "Sarah", "Charles", "Karen", "Ford", "Tony", "Wei", "Ling", "Carlos", "Ana", "Yuki",
+    "Amara", "Nadia", "Omar",
+];
+
+/// Last names.
+pub const LAST_NAMES: &[&str] = &[
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
+    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
+    "Moore", "Jackson", "Martin", "Chen", "Wang", "Kumar", "Ali", "Kowalski", "Novak",
+];
+
+/// Street names.
+pub const STREETS: &[&str] = &[
+    "1st Ave", "2nd Ave", "Main St", "Oak St", "Maple Dr", "Cedar Ln", "Park Rd", "Lake View",
+    "Hill St", "River Rd", "9 Ave", "Sunset Blvd", "Broadway", "Elm St", "Pine St",
+];
+
+/// Cities.
+pub const CITIES: &[&str] = &[
+    "LA", "NY", "Chicago", "Houston", "Phoenix", "Seattle", "Boston", "Denver", "Austin",
+    "Portland", "Miami", "Atlanta",
+];
+
+/// Countries (for the TPC-H nation table and the recursion anecdote).
+pub const NATIONS: &[&str] = &[
+    "Argentina", "Brazil", "Canada", "China", "Egypt", "France", "Germany", "India",
+    "Indonesia", "Iran", "Iraq", "Japan", "Jordan", "Kenya", "Morocco", "Mozambique", "Peru",
+    "Romania", "Russia", "Saudi Arabia", "United Kingdom", "United States", "Vietnam",
+    "Algeria", "Ethiopia",
+];
+
+/// Product brand words.
+pub const BRANDS: &[&str] = &[
+    "Acme", "Zenith", "Nova", "Orion", "Vertex", "Pulse", "Titan", "Lumen", "Quark", "Helix",
+];
+
+/// Product nouns.
+pub const PRODUCT_NOUNS: &[&str] = &[
+    "Laptop", "Keyboard", "Monitor", "Mouse", "Charger", "Tablet", "Camera", "Speaker",
+    "Router", "Drive", "Headset", "Printer",
+];
+
+/// Product adjectives for descriptions.
+pub const PRODUCT_ADJS: &[&str] = &[
+    "slim", "wireless", "ergonomic", "portable", "rugged", "compact", "backlit", "ultra",
+    "pro", "gaming", "silent", "fast",
+];
+
+/// Movie title words.
+pub const TITLE_WORDS: &[&str] = &[
+    "Midnight", "Shadow", "River", "Storm", "Garden", "Echo", "Crimson", "Silent", "Winter",
+    "Golden", "Last", "First", "Lost", "Hidden", "Broken", "Eternal", "Distant", "Savage",
+    "Gentle", "Burning", "Hollow", "Velvet", "Iron", "Paper", "Glass", "Violet", "Amber",
+    "Frozen", "Wandering", "Forgotten", "Scarlet", "Quiet", "Electric", "Wild", "Ancient",
+    "Falling", "Rising", "Northern", "Southern", "Emerald",
+];
+
+/// Music genre / movie genre words.
+pub const GENRES: &[&str] = &[
+    "drama", "comedy", "thriller", "romance", "sci-fi", "horror", "documentary", "action",
+    "jazz", "rock", "pop", "folk", "electronic", "classical",
+];
+
+/// Venue names for bibliographic data.
+pub const VENUES: &[&str] = &[
+    "ICDE", "SIGMOD", "VLDB", "KDD", "WWW", "CIKM", "EDBT", "ICDT", "PODS", "TKDE",
+];
+
+/// Pick a random element.
+pub fn pick<'a>(rng: &mut ChaCha8Rng, pool: &[&'a str]) -> &'a str {
+    pool[rng.random_range(0..pool.len())]
+}
+
+/// A synthetic person name `First [M.] Last`. Half the names carry a
+/// middle initial so full-name collisions across distinct people stay
+/// rare, as in real populations.
+pub fn person_name(rng: &mut ChaCha8Rng) -> String {
+    if rng.random_bool(0.5) {
+        let mid = (b'A' + rng.random_range(0..26)) as char;
+        format!("{} {mid}. {}", pick(rng, FIRST_NAMES), pick(rng, LAST_NAMES))
+    } else {
+        format!("{} {}", pick(rng, FIRST_NAMES), pick(rng, LAST_NAMES))
+    }
+}
+
+/// A synthetic US-style phone number.
+pub fn phone(rng: &mut ChaCha8Rng) -> String {
+    format!(
+        "({:03}) {:03}-{:04}",
+        rng.random_range(200..999),
+        rng.random_range(200..999),
+        rng.random_range(0..10000)
+    )
+}
+
+/// A synthetic street address `N Street, City`.
+pub fn address(rng: &mut ChaCha8Rng) -> String {
+    format!(
+        "{} {}, {}",
+        rng.random_range(1..2000),
+        pick(rng, STREETS),
+        pick(rng, CITIES)
+    )
+}
+
+/// A product name `Brand Noun N`.
+pub fn product_name(rng: &mut ChaCha8Rng) -> String {
+    format!(
+        "{} {} {}",
+        pick(rng, BRANDS),
+        pick(rng, PRODUCT_NOUNS),
+        rng.random_range(1..20)
+    )
+}
+
+/// A product description: name + adjectives + specs.
+pub fn product_desc(rng: &mut ChaCha8Rng, name: &str) -> String {
+    format!(
+        "{name} {} {} {}GB RAM {}GB SSD {:.1}-inch",
+        pick(rng, PRODUCT_ADJS),
+        pick(rng, PRODUCT_ADJS),
+        1 << rng.random_range(2..6),
+        64 << rng.random_range(0..5),
+        10.0 + rng.random_range(0..80) as f64 / 10.0,
+    )
+}
+
+/// A synthetic title of `words` words.
+pub fn title(rng: &mut ChaCha8Rng, words: usize) -> String {
+    (0..words.max(1))
+        .map(|_| pick(rng, TITLE_WORDS))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        assert_eq!(person_name(&mut a), person_name(&mut b));
+        assert_eq!(phone(&mut a), phone(&mut b));
+        assert_eq!(address(&mut a), address(&mut b));
+    }
+
+    #[test]
+    fn generated_shapes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let n = person_name(&mut rng);
+        assert!((2..=3).contains(&n.split(' ').count()), "{n}");
+        let p = phone(&mut rng);
+        assert!(p.starts_with('('));
+        let d = product_desc(&mut rng, "Acme Laptop 3");
+        assert!(d.contains("RAM") && d.contains("SSD"));
+        assert_eq!(title(&mut rng, 3).split(' ').count(), 3);
+    }
+}

@@ -1,0 +1,9 @@
+//! Evaluation harness: accuracy metrics (the paper measures F-measure =
+//! 2·P·R/(P+R) over deduced matches vs. ground truth), wall-clock timing,
+//! and plain-text table/series formatting for the experiment drivers.
+
+pub mod metrics;
+pub mod report;
+
+pub use metrics::{evaluate_matchset, evaluate_pairs, Metrics};
+pub use report::{format_series, format_table, table_json, Cell};

@@ -1,0 +1,133 @@
+//! Precision / recall / F-measure over match pairs.
+//!
+//! Following the paper: precision is the fraction of deduced matches that
+//! are true (per the ground truth), recall the fraction of true matches
+//! deduced, both computed over the *transitive closures* — a deduced
+//! cluster `{a,b,c}` asserts three pairs.
+
+use dcer_chase::MatchSet;
+use dcer_datagen::GroundTruth;
+use dcer_relation::Tid;
+use serde::Serialize;
+use std::collections::HashSet;
+
+/// Accuracy metrics of one run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Metrics {
+    /// Deduced-and-true / deduced.
+    pub precision: f64,
+    /// Deduced-and-true / true.
+    pub recall: f64,
+    /// Harmonic mean.
+    pub f_measure: f64,
+    /// Pairs deduced.
+    pub predicted: usize,
+    /// True pairs in the ground truth.
+    pub actual: usize,
+    /// Correctly deduced pairs.
+    pub true_positives: usize,
+}
+
+impl Metrics {
+    fn from_counts(tp: usize, predicted: usize, actual: usize) -> Metrics {
+        // Conventions: zero predictions are vacuously precise; an empty
+        // truth is vacuously recalled; predictions against an empty truth
+        // are all wrong (tp = 0 ⇒ precision 0).
+        let precision = if predicted == 0 { 1.0 } else { tp as f64 / predicted as f64 };
+        let recall = if actual == 0 { 1.0 } else { tp as f64 / actual as f64 };
+        let f_measure = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Metrics { precision, recall, f_measure, predicted, actual, true_positives: tp }
+    }
+}
+
+/// Evaluate a set of predicted pairs against the truth.
+pub fn evaluate_pairs(predicted: &[(Tid, Tid)], truth: &GroundTruth) -> Metrics {
+    let canon: HashSet<(Tid, Tid)> = predicted
+        .iter()
+        .map(|&(a, b)| if a <= b { (a, b) } else { (b, a) })
+        .filter(|(a, b)| a != b)
+        .collect();
+    let tp = canon.iter().filter(|(a, b)| truth.are_duplicates(*a, *b)).count();
+    Metrics::from_counts(tp, canon.len(), truth.num_pairs())
+}
+
+/// Evaluate a deduced [`MatchSet`] (its transitive closure) against the
+/// truth.
+pub fn evaluate_matchset(matches: &mut MatchSet, truth: &GroundTruth) -> Metrics {
+    let pairs = matches.all_pairs();
+    evaluate_pairs(&pairs, truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(r: u32) -> Tid {
+        Tid::new(0, r)
+    }
+
+    fn truth() -> GroundTruth {
+        let mut g = GroundTruth::new();
+        g.add_cluster(&[t(1), t(2), t(3)]); // 3 pairs
+        g.add_pair(t(10), t(11)); // 1 pair
+        g
+    }
+
+    #[test]
+    fn perfect_prediction() {
+        let m = evaluate_pairs(
+            &[(t(1), t(2)), (t(1), t(3)), (t(2), t(3)), (t(10), t(11))],
+            &truth(),
+        );
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f_measure, 1.0);
+        assert_eq!(m.true_positives, 4);
+    }
+
+    #[test]
+    fn partial_prediction() {
+        // 2 correct, 1 wrong, 4 actual.
+        let m = evaluate_pairs(&[(t(1), t(2)), (t(10), t(11)), (t(1), t(99))], &truth());
+        assert!((m.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall - 0.5).abs() < 1e-12);
+        let f = 2.0 * (2.0 / 3.0) * 0.5 / (2.0 / 3.0 + 0.5);
+        assert!((m.f_measure - f).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_order_and_duplicates_normalized() {
+        let m = evaluate_pairs(&[(t(2), t(1)), (t(1), t(2)), (t(1), t(1))], &truth());
+        assert_eq!(m.predicted, 1, "reversed/self/duplicate pairs collapse");
+        assert_eq!(m.true_positives, 1);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        let empty = GroundTruth::new();
+        let m = evaluate_pairs(&[], &empty);
+        assert_eq!((m.precision, m.recall, m.f_measure), (1.0, 1.0, 1.0));
+        let m = evaluate_pairs(&[(t(1), t(2))], &empty);
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.f_measure, 0.0);
+        let m = evaluate_pairs(&[], &truth());
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.f_measure, 0.0);
+    }
+
+    #[test]
+    fn matchset_closure_counts_transitive_pairs() {
+        let mut ms = MatchSet::new();
+        ms.merge(t(1), t(2));
+        ms.merge(t(2), t(3));
+        let m = evaluate_matchset(&mut ms, &truth());
+        assert_eq!(m.predicted, 3);
+        assert_eq!(m.true_positives, 3);
+        assert!((m.recall - 0.75).abs() < 1e-12);
+    }
+}

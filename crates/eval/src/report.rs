@@ -1,0 +1,205 @@
+//! Plain-text report formatting: aligned tables (for Table V / VI style
+//! output) and x/y series (for the Fig. 6 sweeps), with JSON export so
+//! `EXPERIMENTS.md` numbers are machine-traceable.
+
+use serde_json::Value as Json;
+
+/// One table cell.
+#[derive(Debug, Clone)]
+pub enum Cell {
+    /// Text.
+    Str(String),
+    /// Float rendered with 2 decimals (F-measures, seconds).
+    F2(f64),
+    /// Float rendered with 3 decimals.
+    F3(f64),
+    /// Integer.
+    Int(i64),
+    /// Missing / not applicable (`-`).
+    Na,
+}
+
+impl Cell {
+    fn render(&self) -> String {
+        match self {
+            Cell::Str(s) => s.clone(),
+            Cell::F2(v) => format!("{v:.2}"),
+            Cell::F3(v) => format!("{v:.3}"),
+            Cell::Int(v) => v.to_string(),
+            Cell::Na => "-".to_string(),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        match self {
+            Cell::Str(s) => Json::String(s.clone()),
+            Cell::F2(v) | Cell::F3(v) => {
+                serde_json::Number::from_f64(*v).map(Json::Number).unwrap_or(Json::Null)
+            }
+            Cell::Int(v) => Json::Number((*v).into()),
+            Cell::Na => Json::Null,
+        }
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Cell {
+        Cell::Str(s.to_string())
+    }
+}
+impl From<String> for Cell {
+    fn from(s: String) -> Cell {
+        Cell::Str(s)
+    }
+}
+impl From<f64> for Cell {
+    fn from(v: f64) -> Cell {
+        Cell::F2(v)
+    }
+}
+impl From<i64> for Cell {
+    fn from(v: i64) -> Cell {
+        Cell::Int(v)
+    }
+}
+impl From<usize> for Cell {
+    fn from(v: usize) -> Cell {
+        Cell::Int(v as i64)
+    }
+}
+
+/// Format an aligned text table with a title.
+pub fn format_table(title: &str, headers: &[&str], rows: &[Vec<Cell>]) -> String {
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| r.iter().map(Cell::render).collect())
+        .collect();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in &rendered {
+        for (i, c) in r.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for r in &rendered {
+        out.push_str(&fmt_row(r, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format an x/y multi-series sweep (one line per x, one column per
+/// series) — the textual form of a Fig. 6 panel.
+pub fn format_series(
+    title: &str,
+    x_label: &str,
+    xs: &[String],
+    series: &[(&str, Vec<f64>)],
+) -> String {
+    let mut headers: Vec<&str> = vec![x_label];
+    headers.extend(series.iter().map(|(n, _)| *n));
+    let rows: Vec<Vec<Cell>> = xs
+        .iter()
+        .enumerate()
+        .map(|(i, x)| {
+            let mut row: Vec<Cell> = vec![Cell::Str(x.clone())];
+            for (_, ys) in series {
+                row.push(ys.get(i).map_or(Cell::Na, |&v| Cell::F3(v)));
+            }
+            row
+        })
+        .collect();
+    format_table(title, &headers, &rows)
+}
+
+/// Serialize a table to JSON (experiment archival).
+pub fn table_json(title: &str, headers: &[&str], rows: &[Vec<Cell>]) -> Json {
+    Json::Object(
+        [
+            ("title".to_string(), Json::String(title.to_string())),
+            (
+                "headers".to_string(),
+                Json::Array(headers.iter().map(|h| Json::String(h.to_string())).collect()),
+            ),
+            (
+                "rows".to_string(),
+                Json::Array(
+                    rows.iter()
+                        .map(|r| Json::Array(r.iter().map(Cell::to_json).collect()))
+                        .collect(),
+                ),
+            ),
+        ]
+        .into_iter()
+        .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let s = format_table(
+            "Accuracy",
+            &["method", "F", "T(s)"],
+            &[
+                vec!["DMatch".into(), 0.95.into(), Cell::F2(3.48)],
+                vec!["SparkER-like".into(), 0.66.into(), Cell::Na],
+            ],
+        );
+        assert!(s.contains("== Accuracy =="));
+        assert!(s.contains("DMatch"));
+        assert!(s.contains("0.95"));
+        assert!(s.contains('-'), "NA cell renders as dash");
+        // Columns aligned: every data line has the same width.
+        let lines: Vec<&str> = s.lines().skip(1).collect();
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len() || w[1].is_empty()));
+    }
+
+    #[test]
+    fn series_renders_all_points() {
+        let s = format_series(
+            "Fig 6(i) TPCH: time vs n",
+            "n",
+            &["4".into(), "8".into(), "16".into()],
+            &[("DMatch", vec![10.0, 5.5, 3.0]), ("noMQO", vec![14.0, 8.0])],
+        );
+        assert!(s.contains("DMatch"));
+        assert!(s.contains("10.000"));
+        assert!(s.lines().count() >= 5);
+        assert!(s.contains('-'), "missing point renders as dash");
+    }
+
+    #[test]
+    fn json_roundtrip_shape() {
+        let j = table_json("t", &["a"], &[vec![Cell::Int(3)], vec![Cell::Na]]);
+        assert_eq!(j["title"], "t");
+        assert_eq!(j["rows"][0][0], 3);
+        assert!(j["rows"][1][0].is_null());
+    }
+
+    #[test]
+    fn cell_conversions() {
+        assert!(matches!(Cell::from("x"), Cell::Str(_)));
+        assert!(matches!(Cell::from(1.5f64), Cell::F2(_)));
+        assert!(matches!(Cell::from(3usize), Cell::Int(3)));
+    }
+}

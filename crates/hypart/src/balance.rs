@@ -1,0 +1,88 @@
+//! Workload balancing: assign virtual blocks (cells) to physical workers
+//! with the Longest-Processing-Time (LPT) greedy for minimum makespan —
+//! the classic 4/3-approximation the paper cites for distributing virtual
+//! blocks evenly [7].
+
+/// Assign `loads.len()` blocks to `workers` workers. Returns the worker
+/// index per block. Deterministic: blocks are processed heaviest-first
+/// (ties by block index), each going to the currently least-loaded worker
+/// (ties by worker index).
+pub fn lpt_assign(loads: &[u64], workers: usize) -> Vec<usize> {
+    assert!(workers > 0);
+    let mut order: Vec<usize> = (0..loads.len()).collect();
+    order.sort_by_key(|&b| (u64::MAX - loads[b], b));
+    let mut worker_load = vec![0u64; workers];
+    let mut assignment = vec![0usize; loads.len()];
+    for b in order {
+        let w = worker_load
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &l)| (l, i))
+            .map(|(i, _)| i)
+            .unwrap();
+        assignment[b] = w;
+        worker_load[w] += loads[b];
+    }
+    assignment
+}
+
+/// Makespan (max worker load) of an assignment.
+pub fn makespan(loads: &[u64], assignment: &[usize], workers: usize) -> u64 {
+    let mut worker_load = vec![0u64; workers];
+    for (b, &w) in assignment.iter().enumerate() {
+        worker_load[w] += loads[b];
+    }
+    worker_load.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balances_uniform_loads_perfectly() {
+        let loads = vec![10u64; 8];
+        let a = lpt_assign(&loads, 4);
+        assert_eq!(makespan(&loads, &a, 4), 20);
+    }
+
+    #[test]
+    fn lpt_on_classic_instance() {
+        // Loads {7,7,6,6,5,4,4,4,4,3}; 3 workers; optimum makespan 17, LPT
+        // achieves <= 4/3 * 17.
+        let loads = vec![7, 7, 6, 6, 5, 4, 4, 4, 4, 3];
+        let a = lpt_assign(&loads, 3);
+        let ms = makespan(&loads, &a, 3);
+        assert!(ms <= 22, "LPT bound violated: {ms}");
+        assert!(ms >= 17, "below optimum is impossible: {ms}");
+    }
+
+    #[test]
+    fn more_workers_never_hurt() {
+        let loads = vec![9, 8, 7, 3, 3, 2, 1];
+        let m4 = makespan(&loads, &lpt_assign(&loads, 4), 4);
+        let m2 = makespan(&loads, &lpt_assign(&loads, 2), 2);
+        assert!(m4 <= m2);
+    }
+
+    #[test]
+    fn empty_blocks_are_fine() {
+        let a = lpt_assign(&[], 3);
+        assert!(a.is_empty());
+        assert_eq!(makespan(&[], &a, 3), 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let loads = vec![5, 5, 5, 1, 9];
+        assert_eq!(lpt_assign(&loads, 2), lpt_assign(&loads, 2));
+    }
+
+    #[test]
+    fn single_worker_gets_everything() {
+        let loads = vec![3, 1, 4];
+        let a = lpt_assign(&loads, 1);
+        assert!(a.iter().all(|&w| w == 0));
+        assert_eq!(makespan(&loads, &a, 1), 8);
+    }
+}

@@ -1,0 +1,158 @@
+//! Deterministic, seedable hash functions for Hypercube coordinates, with a
+//! memo that realizes the MQO saving: a tuple hashed by the same function
+//! for the same key is computed once no matter how many rules need it.
+
+use dcer_mrl::VarKey;
+use dcer_relation::{Tuple, Value};
+use std::collections::HashMap;
+
+/// FNV-1a over bytes with a per-function seed.
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64 ^ seed.wrapping_mul(0x9e3779b97f4a7c15);
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn hash_value(seed: u64, v: &Value) -> u64 {
+    match v {
+        Value::Null => fnv1a(seed, b"\0null"),
+        Value::Bool(b) => fnv1a(seed, &[1, u8::from(*b)]),
+        Value::Int(i) => fnv1a(seed, &i.to_le_bytes()),
+        // Integral floats hash like their integer (mirrors Value::Hash).
+        Value::Float(f) if f.fract() == 0.0 && f.is_finite() && f.abs() < i64::MAX as f64 => {
+            fnv1a(seed, &(*f as i64).to_le_bytes())
+        }
+        Value::Float(f) => fnv1a(seed, &f.to_bits().to_le_bytes()),
+        Value::Str(s) => fnv1a(seed, s.as_bytes()),
+    }
+}
+
+/// Memoizing evaluator of the hash-function pool.
+///
+/// The counters separate real computations from memo hits: with MQO-shared
+/// function ids, different rules hashing the same `(tuple, key)` with the
+/// same function hit the memo; without sharing every rule pays again —
+/// exactly the cost difference of `DMatch` vs `DMatch_noMQO`.
+#[derive(Debug, Default)]
+pub struct HashMemo {
+    memo: HashMap<(usize, u64, u16), u64>,
+    computed: u64,
+    hits: u64,
+}
+
+impl HashMemo {
+    /// Empty memo.
+    pub fn new() -> HashMemo {
+        HashMemo::default()
+    }
+
+    /// Hash `tuple`'s `key` with function `fn_id`.
+    ///
+    /// The memo key uses the tuple identity plus a small discriminant of the
+    /// key kind; ML vectors of different attribute sets get different
+    /// discriminants via their first attribute.
+    pub fn hash(&mut self, fn_id: usize, tuple: &Tuple, key: &VarKey) -> u64 {
+        let disc: u16 = match key {
+            VarKey::Attr(a) => *a,
+            VarKey::Id => u16::MAX,
+            VarKey::MlVec(attrs) => u16::MAX - 1 - attrs.first().copied().unwrap_or(0),
+        };
+        let memo_key = (fn_id, tuple.tid.pack(), disc);
+        if let Some(&h) = self.memo.get(&memo_key) {
+            self.hits += 1;
+            return h;
+        }
+        let seed = fn_id as u64 + 1;
+        let h = match key {
+            VarKey::Attr(a) => hash_value(seed, tuple.get(*a)),
+            VarKey::Id => fnv1a(seed, &tuple.tid.pack().to_le_bytes()),
+            VarKey::MlVec(attrs) => {
+                let mut acc = seed;
+                for &a in attrs {
+                    acc = hash_value(acc, tuple.get(a));
+                }
+                acc
+            }
+        };
+        self.computed += 1;
+        self.memo.insert(memo_key, h);
+        h
+    }
+
+    /// Number of real hash computations.
+    pub fn computed(&self) -> u64 {
+        self.computed
+    }
+
+    /// Number of memo hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcer_relation::Tid;
+
+    fn tuple(row: u32, vals: Vec<Value>) -> Tuple {
+        Tuple::new(Tid::new(0, row), vals)
+    }
+
+    #[test]
+    fn deterministic_and_seed_dependent() {
+        let mut m = HashMemo::new();
+        let t = tuple(0, vec!["abc".into()]);
+        let h1 = m.hash(0, &t, &VarKey::Attr(0));
+        let mut m2 = HashMemo::new();
+        assert_eq!(h1, m2.hash(0, &t, &VarKey::Attr(0)));
+        assert_ne!(h1, m2.hash(1, &t, &VarKey::Attr(0)), "different functions differ");
+    }
+
+    #[test]
+    fn equal_values_hash_equal_across_tuples() {
+        let mut m = HashMemo::new();
+        let a = tuple(0, vec!["same".into()]);
+        let b = tuple(1, vec!["same".into()]);
+        assert_eq!(m.hash(3, &a, &VarKey::Attr(0)), m.hash(3, &b, &VarKey::Attr(0)));
+    }
+
+    #[test]
+    fn int_and_integral_float_collide() {
+        let mut m = HashMemo::new();
+        let a = tuple(0, vec![Value::Int(7)]);
+        let b = tuple(1, vec![Value::Float(7.0)]);
+        assert_eq!(m.hash(0, &a, &VarKey::Attr(0)), m.hash(0, &b, &VarKey::Attr(0)));
+    }
+
+    #[test]
+    fn memo_counts_hits() {
+        let mut m = HashMemo::new();
+        let t = tuple(0, vec!["x".into(), "y".into()]);
+        m.hash(0, &t, &VarKey::Attr(0));
+        m.hash(0, &t, &VarKey::Attr(0));
+        m.hash(0, &t, &VarKey::Attr(1));
+        assert_eq!(m.computed(), 2);
+        assert_eq!(m.hits(), 1);
+    }
+
+    #[test]
+    fn id_hash_distinguishes_tuples_with_equal_values() {
+        let mut m = HashMemo::new();
+        let a = tuple(0, vec!["same".into()]);
+        let b = tuple(1, vec!["same".into()]);
+        assert_ne!(m.hash(0, &a, &VarKey::Id), m.hash(0, &b, &VarKey::Id));
+    }
+
+    #[test]
+    fn ml_vector_hash_covers_all_attrs() {
+        let mut m = HashMemo::new();
+        let a = tuple(0, vec!["x".into(), "y".into()]);
+        let b = tuple(1, vec!["x".into(), "z".into()]);
+        let key = VarKey::MlVec(vec![0, 1]);
+        assert_ne!(m.hash(0, &a, &key), m.hash(0, &b, &key));
+    }
+}

@@ -1,0 +1,518 @@
+//! The HyPart partitioner (paper, Fig. 2): distribute a dataset into `n`
+//! fragments such that every valuation of every rule is fully contained in
+//! some fragment (Lemma 6), using MQO-shared hash functions, virtual blocks
+//! and LPT balancing.
+
+use crate::balance::lpt_assign;
+use crate::hash::HashMemo;
+use crate::shares::{allocate_shares, RoleCoverage};
+use dcer_mqo::{assign_hashes, MqoPlan, QueryPlan};
+use dcer_mrl::{Predicate, RuleSet, TupleVar, VarKey};
+use dcer_relation::{Dataset, Tid};
+use std::collections::{HashMap, HashSet};
+
+/// Partitioning configuration.
+#[derive(Debug, Clone)]
+pub struct HyPartConfig {
+    /// Number of physical workers `n`.
+    pub workers: usize,
+    /// Virtual-block factor: the initial cell count is
+    /// `workers * virtual_factor` (the paper uses `n²`, i.e. factor `n`).
+    pub virtual_factor: usize,
+    /// Share hash functions across rules (MQO). `false` reproduces the
+    /// `DMatch_noMQO` baseline.
+    pub use_mqo: bool,
+    /// Upper bound on the cell count.
+    pub max_cells: usize,
+    /// Skew threshold: refine (double the cells) while the max cell load
+    /// exceeds `skew_threshold × average`, up to `max_refinements` times —
+    /// the heavy-block reduction of Section IV's remarks.
+    pub skew_threshold: f64,
+    /// Maximum number of refinement rounds.
+    pub max_refinements: u32,
+}
+
+impl HyPartConfig {
+    /// Defaults for `n` workers: `n²` cells, MQO on.
+    pub fn new(workers: usize) -> HyPartConfig {
+        HyPartConfig {
+            workers,
+            virtual_factor: workers,
+            use_mqo: true,
+            max_cells: 1 << 14,
+            skew_threshold: 3.0,
+            max_refinements: 2,
+        }
+    }
+}
+
+/// Result of partitioning.
+#[derive(Debug)]
+pub struct Partition {
+    /// Fragments `W₁, …, W_n`, one per worker.
+    pub fragments: Vec<Dataset>,
+    /// Which workers host each tuple (sorted) — the master's routing table.
+    pub hosts: HashMap<Tid, Vec<u16>>,
+    /// Per fragment: which *rules* each hosted tuple was distributed for
+    /// (bit `i` = rule `i`; rules ≥ 128 share bit 127 conservatively).
+    /// A rule's valuations are fully covered by its own distribution
+    /// (Lemma 6), so its local evaluation may skip tuples replicated only
+    /// for other rules — removing the cross-rule redundancy that would
+    /// otherwise grow with the replication factor.
+    pub rule_masks: Vec<HashMap<Tid, u128>>,
+    /// Work and balance statistics.
+    pub stats: PartitionStats,
+}
+
+/// Bit for rule `i` in a rule mask (rules ≥ 128 collapse onto bit 127,
+/// which readers must treat as "any high rule" — a sound over-approximation).
+pub fn rule_bit(rule_idx: usize) -> u128 {
+    1u128 << rule_idx.min(127)
+}
+
+/// Statistics of one partitioning run.
+#[derive(Debug, Clone, Default)]
+pub struct PartitionStats {
+    /// Physical workers.
+    pub workers: usize,
+    /// Virtual blocks used (after refinement).
+    pub cells: usize,
+    /// `|H(Σ, D)|`: tuple replicas generated across rules (pre-dedup).
+    pub generated_tuples: u64,
+    /// Real hash computations performed.
+    pub hash_computations: u64,
+    /// Hash computations avoided by the MQO memo.
+    pub hash_memo_hits: u64,
+    /// Tuples per fragment (post-dedup).
+    pub fragment_sizes: Vec<usize>,
+    /// Σ fragment sizes / |D|.
+    pub replication_factor: f64,
+    /// Skew-refinement rounds taken.
+    pub refinements: u32,
+    /// Hash functions in the pool (MQO-shared or per-rule).
+    pub hash_functions: usize,
+}
+
+/// Per-rule distribution geometry derived from the MQO assignment.
+struct RuleGeometry {
+    /// Share per dimension (dimension order = `assignment.dim_order`).
+    shares: Vec<usize>,
+    /// Mixed-radix strides per dimension.
+    strides: Vec<usize>,
+    /// Rotation added to the cell index (mod the global cell count) so
+    /// rules on reduced sub-grids do not all pile onto the first cells.
+    offset: usize,
+    /// Per tuple variable: `(dim, hash_fn, key)` of covered dimensions, and
+    /// the variable's constant filters (distribution-time pruning).
+    roles: Vec<RoleInfo>,
+}
+
+struct RoleInfo {
+    rel: dcer_relation::RelId,
+    covered: Vec<(usize, usize, VarKey)>,
+    const_filters: Vec<(u16, dcer_relation::Value)>,
+}
+
+fn build_geometry(
+    rules: &RuleSet,
+    plan: &MqoPlan,
+    rule_idx: usize,
+    dataset: &Dataset,
+    cells: usize,
+    workers: usize,
+) -> RuleGeometry {
+    let rule = &rules.rules()[rule_idx];
+    let assignment = &plan.assignments[rule_idx];
+    let dims = assignment.num_dims().max(1);
+    // Wide rules replicate as the product of their uncovered shares, which
+    // grows steeply with the cell count; give them a smaller sub-grid
+    // (still >= 2 cells per worker, so Lemma 6 and parallelism hold) and
+    // let narrow rules use the full virtual-block grid.
+    let cells = if rule.num_vars() > 3 { cells.min((workers * 2).max(2)) } else { cells };
+
+    // Role coverage for share allocation: which dims each variable covers.
+    let mut roles: Vec<RoleInfo> = Vec::with_capacity(rule.num_vars());
+    for v in 0..rule.num_vars() as u16 {
+        let var = TupleVar(v);
+        let rel = rule.rel_of(var);
+        let mut covered = Vec::new();
+        for (pos, &dvar_idx) in assignment.dim_order.iter().enumerate() {
+            let d = &assignment.dvars[dvar_idx];
+            if let Some(key) = d.keys_of(var).next() {
+                covered.push((pos, assignment.hash_fn[dvar_idx], key.clone()));
+            }
+        }
+        let const_filters = rule
+            .body
+            .iter()
+            .filter_map(|p| match p {
+                Predicate::ConstEq { var: pv, attr, value } if *pv == var => {
+                    Some((*attr, value.clone()))
+                }
+                _ => None,
+            })
+            .collect();
+        roles.push(RoleInfo { rel, covered, const_filters });
+    }
+
+    let coverage: Vec<RoleCoverage> = roles
+        .iter()
+        .map(|r| RoleCoverage {
+            covered: r.covered.iter().map(|&(d, _, _)| d).collect(),
+            weight: dataset.relation(r.rel).len() as u64,
+        })
+        .collect();
+    let shares = allocate_shares(dims, cells, &coverage);
+    let mut strides = vec![1usize; dims];
+    for d in 1..dims {
+        strides[d] = strides[d - 1] * shares[d - 1];
+    }
+    RuleGeometry { shares, strides, roles, offset: (rule_idx * 7919) }
+}
+
+/// Partition `dataset` for `rules` into `config.workers` fragments.
+pub fn partition(dataset: &Dataset, rules: &RuleSet, config: &HyPartConfig) -> Partition {
+    assert!(config.workers > 0);
+    let qp = QueryPlan::build(rules);
+    let plan = assign_hashes(rules, &qp, config.use_mqo);
+
+    let mut cells = (config.workers * config.virtual_factor.max(1))
+        .clamp(config.workers, config.max_cells.max(config.workers));
+    let mut refinements = 0u32;
+    let mut memo = HashMemo::new();
+    #[allow(unused_assignments)]
+    let mut generated = 0u64;
+
+    let (cell_members, final_cells) = loop {
+        let mut cell_members: Vec<HashMap<Tid, u128>> = vec![HashMap::new(); cells];
+        generated = 0;
+
+        for rule_idx in 0..rules.len() {
+            let geom = build_geometry(rules, &plan, rule_idx, dataset, cells, config.workers);
+            for role in &geom.roles {
+                let tuples = dataset.relation(role.rel).tuples();
+                'tuples: for t in tuples {
+                    for (attr, c) in &role.const_filters {
+                        if !t.get(*attr).sql_eq(c) {
+                            continue 'tuples;
+                        }
+                    }
+                    // Coordinates on covered dims; broadcast elsewhere.
+                    let mut fixed: Vec<(usize, usize)> = Vec::with_capacity(role.covered.len());
+                    for (dim, fn_id, key) in &role.covered {
+                        let h = memo.hash(*fn_id, t, key);
+                        fixed.push((*dim, (h % geom.shares[*dim] as u64) as usize));
+                    }
+                    let free: Vec<usize> = (0..geom.shares.len())
+                        .filter(|d| !fixed.iter().any(|&(fd, _)| fd == *d))
+                        .filter(|&d| geom.shares[d] > 1)
+                        .collect();
+                    // Enumerate the broadcast product.
+                    let base: usize = fixed
+                        .iter()
+                        .map(|&(d, coord)| coord * geom.strides[d])
+                        .sum();
+                    let mut combo = vec![0usize; free.len()];
+                    loop {
+                        let cell: usize = (base
+                            + free
+                                .iter()
+                                .zip(&combo)
+                                .map(|(&d, &coord)| coord * geom.strides[d])
+                                .sum::<usize>()
+                            + geom.offset)
+                            % cells;
+                        *cell_members[cell].entry(t.tid).or_insert(0) |= rule_bit(rule_idx);
+                        generated += 1;
+                        // Advance the mixed-radix combo.
+                        let mut i = 0;
+                        loop {
+                            if i == free.len() {
+                                break;
+                            }
+                            combo[i] += 1;
+                            if combo[i] < geom.shares[free[i]] {
+                                break;
+                            }
+                            combo[i] = 0;
+                            i += 1;
+                        }
+                        if i == free.len() {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Skew check over non-empty cells.
+        let loads: Vec<u64> = cell_members.iter().map(|c| c.len() as u64).collect();
+        let total: u64 = loads.iter().sum();
+        let max = loads.iter().copied().max().unwrap_or(0);
+        let avg = total as f64 / cells as f64;
+        if refinements < config.max_refinements
+            && cells * 2 <= config.max_cells
+            && avg > 0.0
+            && (max as f64) > config.skew_threshold * avg
+        {
+            refinements += 1;
+            cells *= 2;
+            continue;
+        }
+        break (cell_members, cells);
+    };
+    let cells = final_cells;
+
+    // LPT-assign cells to workers.
+    let loads: Vec<u64> = cell_members.iter().map(|c| c.len() as u64).collect();
+    let assignment = lpt_assign(&loads, config.workers);
+
+    // Build fragments, per-fragment rule masks, and the routing table.
+    let mut fragments: Vec<Dataset> =
+        (0..config.workers).map(|_| Dataset::new(dataset.catalog().clone())).collect();
+    let mut rule_masks: Vec<HashMap<Tid, u128>> =
+        (0..config.workers).map(|_| HashMap::new()).collect();
+    let mut host_sets: HashMap<Tid, HashSet<u16>> = HashMap::new();
+    for (cell, members) in cell_members.iter().enumerate() {
+        let w = assignment[cell];
+        let mut sorted: Vec<(Tid, u128)> = members.iter().map(|(&t, &m)| (t, m)).collect();
+        sorted.sort_unstable_by_key(|&(t, _)| t);
+        for (tid, mask) in sorted {
+            let t = dataset.tuple(tid).expect("cell member exists in source");
+            fragments[w].insert_replica(t.clone());
+            *rule_masks[w].entry(tid).or_insert(0) |= mask;
+            host_sets.entry(tid).or_default().insert(w as u16);
+        }
+    }
+
+    // Tuples untouched by any rule still need a home for completeness
+    // (mask 0: no rule evaluates them).
+    for t in dataset.all_tuples() {
+        if !host_sets.contains_key(&t.tid) {
+            let w = (t.tid.pack() % config.workers as u64) as usize;
+            fragments[w].insert_replica(t.clone());
+            rule_masks[w].insert(t.tid, 0);
+            host_sets.entry(t.tid).or_default().insert(w as u16);
+        }
+    }
+
+    let hosts: HashMap<Tid, Vec<u16>> = host_sets
+        .into_iter()
+        .map(|(t, s)| {
+            let mut v: Vec<u16> = s.into_iter().collect();
+            v.sort_unstable();
+            (t, v)
+        })
+        .collect();
+    let fragment_sizes: Vec<usize> = fragments.iter().map(Dataset::total_tuples).collect();
+    let total_frag: usize = fragment_sizes.iter().sum();
+    let stats = PartitionStats {
+        workers: config.workers,
+        cells,
+        generated_tuples: generated,
+        hash_computations: memo.computed(),
+        hash_memo_hits: memo.hits(),
+        replication_factor: if dataset.total_tuples() == 0 {
+            0.0
+        } else {
+            total_frag as f64 / dataset.total_tuples() as f64
+        },
+        fragment_sizes,
+        refinements,
+        hash_functions: plan.num_hash_fns,
+    };
+    Partition { fragments, hosts, rule_masks, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcer_mrl::parse_rules;
+    use dcer_relation::{Catalog, RelationSchema, ValueType};
+    use std::sync::Arc;
+
+    fn catalog() -> Arc<Catalog> {
+        Arc::new(
+            Catalog::from_schemas(vec![
+                RelationSchema::of("R", &[("k", ValueType::Str), ("x", ValueType::Str)]),
+                RelationSchema::of("S", &[("k", ValueType::Str), ("y", ValueType::Str)]),
+            ])
+            .unwrap(),
+        )
+    }
+
+    fn dataset(n: usize) -> Dataset {
+        let mut d = Dataset::new(catalog());
+        for i in 0..n {
+            d.insert(0, vec![format!("k{}", i % 7).into(), format!("x{i}").into()])
+                .unwrap();
+            d.insert(1, vec![format!("k{}", i % 7).into(), format!("y{}", i % 3).into()])
+                .unwrap();
+        }
+        d
+    }
+
+    fn rules() -> RuleSet {
+        parse_rules(
+            &catalog(),
+            "match md: R(t), R(s), t.k = s.k -> t.id = s.id;
+             match coll: R(t), R(s), S(a), S(b), t.k = a.k, s.k = b.k, a.y = b.y -> t.id = s.id",
+        )
+        .unwrap()
+    }
+
+    /// Lemma 6 as a direct check: every valuation of every rule (computed by
+    /// brute force on the full dataset) must be fully contained in at least
+    /// one fragment.
+    fn assert_locality(d: &Dataset, rules: &RuleSet, p: &Partition) {
+        for rule in rules.rules() {
+            let mut rows = vec![0usize; rule.num_vars()];
+            check_valuations(d, rules, rule, &mut rows, 0, p);
+        }
+    }
+
+    fn check_valuations(
+        d: &Dataset,
+        rules: &RuleSet,
+        rule: &dcer_mrl::Rule,
+        rows: &mut Vec<usize>,
+        depth: usize,
+        p: &Partition,
+    ) {
+        if depth == rule.num_vars() {
+            // Only valuations satisfying the equality/constant predicates
+            // need co-location.
+            for pred in &rule.body {
+                match pred {
+                    Predicate::AttrEq { left, right } => {
+                        let lt = &d.relation(rule.rel_of(left.0)).tuples()[rows[left.0 .0 as usize]];
+                        let rt =
+                            &d.relation(rule.rel_of(right.0)).tuples()[rows[right.0 .0 as usize]];
+                        if !lt.get(left.1).sql_eq(rt.get(right.1)) {
+                            return;
+                        }
+                    }
+                    Predicate::ConstEq { var, attr, value } => {
+                        let t = &d.relation(rule.rel_of(*var)).tuples()[rows[var.0 as usize]];
+                        if !t.get(*attr).sql_eq(value) {
+                            return;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let tids: Vec<Tid> = (0..rule.num_vars())
+                .map(|v| d.relation(rule.rel_of(TupleVar(v as u16))).tuples()[rows[v]].tid)
+                .collect();
+            let colocated = p.fragments.iter().any(|f| {
+                tids.iter().all(|t| f.relation(t.rel).contains(*t))
+            });
+            assert!(colocated, "valuation {tids:?} of rule {} not co-located", rule.name);
+            return;
+        }
+        let n = d.relation(rule.rel_of(TupleVar(depth as u16))).len();
+        for r in 0..n {
+            rows[depth] = r;
+            check_valuations(d, rules, rule, rows, depth + 1, p);
+        }
+        let _ = rules;
+    }
+
+    #[test]
+    fn lemma6_locality_holds() {
+        let d = dataset(12);
+        let rs = rules();
+        for workers in [1, 2, 3, 4, 8] {
+            let p = partition(&d, &rs, &HyPartConfig::new(workers));
+            assert_eq!(p.fragments.len(), workers);
+            assert_locality(&d, &rs, &p);
+        }
+    }
+
+    #[test]
+    fn every_tuple_is_hosted() {
+        let d = dataset(10);
+        let p = partition(&d, &rules(), &HyPartConfig::new(4));
+        for t in d.all_tuples() {
+            let hosts = p.hosts.get(&t.tid).expect("tuple has a host");
+            assert!(!hosts.is_empty());
+            for &w in hosts {
+                assert!(p.fragments[w as usize].relation(t.tid.rel).contains(t.tid));
+            }
+        }
+        // Routing table and fragments agree exactly.
+        let from_frags: usize = p.stats.fragment_sizes.iter().sum();
+        let from_hosts: usize = p.hosts.values().map(Vec::len).sum();
+        assert_eq!(from_frags, from_hosts);
+    }
+
+    #[test]
+    fn mqo_reduces_hash_computations() {
+        let d = dataset(60);
+        let rs = rules();
+        let mut with = HyPartConfig::new(4);
+        with.use_mqo = true;
+        let mut without = HyPartConfig::new(4);
+        without.use_mqo = false;
+        let pw = partition(&d, &rs, &with);
+        let po = partition(&d, &rs, &without);
+        assert!(
+            pw.stats.hash_computations < po.stats.hash_computations,
+            "MQO {} !< noMQO {}",
+            pw.stats.hash_computations,
+            po.stats.hash_computations
+        );
+        assert!(pw.stats.hash_functions < po.stats.hash_functions);
+        // Locality must hold regardless.
+        assert_locality(&d, &rs, &pw);
+        assert_locality(&d, &rs, &po);
+    }
+
+    #[test]
+    fn single_worker_gets_whole_dataset() {
+        let d = dataset(8);
+        let p = partition(&d, &rules(), &HyPartConfig::new(1));
+        assert_eq!(p.fragments[0].total_tuples(), d.total_tuples());
+        assert!((p.stats.replication_factor - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_filter_prunes_distribution() {
+        let cat = catalog();
+        let mut d = Dataset::new(cat.clone());
+        for i in 0..20 {
+            d.insert(0, vec![format!("k{i}").into(), "keep".into()]).unwrap();
+        }
+        let rs_all = parse_rules(&cat, "match a: R(t), R(s), t.k = s.k -> t.id = s.id").unwrap();
+        let rs_const = parse_rules(
+            &cat,
+            r#"match a: R(t), R(s), t.k = s.k, t.x = "nomatch", s.x = "nomatch" -> t.id = s.id"#,
+        )
+        .unwrap();
+        let p_all = partition(&d, &rs_all, &HyPartConfig::new(2));
+        let p_const = partition(&d, &rs_const, &HyPartConfig::new(2));
+        assert!(p_const.stats.generated_tuples < p_all.stats.generated_tuples);
+        // Unreferenced tuples still get a home.
+        assert_eq!(p_const.hosts.len(), 20);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let d = dataset(25);
+        let p = partition(&d, &rules(), &HyPartConfig::new(4));
+        assert_eq!(p.stats.workers, 4);
+        assert!(p.stats.cells >= 4);
+        assert!(p.stats.generated_tuples > 0);
+        assert!(p.stats.replication_factor >= 1.0);
+        assert_eq!(p.stats.fragment_sizes.len(), 4);
+    }
+
+    #[test]
+    fn empty_dataset_partitions_cleanly() {
+        let d = Dataset::new(catalog());
+        let p = partition(&d, &rules(), &HyPartConfig::new(3));
+        assert_eq!(p.fragments.len(), 3);
+        assert!(p.hosts.is_empty());
+        assert_eq!(p.stats.replication_factor, 0.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Share allocation: factor the cell count `C` across a rule's hypercube
+//! dimensions to minimize total replication.
+//!
+//! The replication cost of an allocation `n₁, …, n_l` is
+//! `Σ_roles w_r · Π_{d ∉ covered(r)} n_d`: a tuple playing role `r` is
+//! broadcast over every dimension the role does not cover. Afrati & Ullman
+//! solve the continuous relaxation with Lagrange multipliers; since exact
+//! minimization over a rule *set* is NP-complete (Theorem 5), we use a
+//! greedy that assigns prime factors of `C` one at a time to the dimension
+//! where the factor hurts least — exact on a single factor, and within a
+//! small constant of the relaxation in practice.
+
+/// Which dimensions each tuple-variable role covers, with its weight
+/// (tuple count of the role's relation).
+#[derive(Debug, Clone)]
+pub struct RoleCoverage {
+    /// Dimensions (indices into the share vector) this role covers.
+    pub covered: Vec<usize>,
+    /// Number of tuples distributed for this role.
+    pub weight: u64,
+}
+
+fn prime_factors(mut c: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut p = 2;
+    while p * p <= c {
+        while c % p == 0 {
+            out.push(p);
+            c /= p;
+        }
+        p += 1;
+    }
+    if c > 1 {
+        out.push(c);
+    }
+    // Largest first: placing big factors greedily first avoids dead ends.
+    out.sort_unstable_by(|a, b| b.cmp(a));
+    out
+}
+
+/// Total replication cost of a share vector.
+pub fn replication_cost(shares: &[usize], roles: &[RoleCoverage]) -> u64 {
+    roles
+        .iter()
+        .map(|r| {
+            let mut broadcast = 1u64;
+            for (d, &s) in shares.iter().enumerate() {
+                if !r.covered.contains(&d) {
+                    broadcast = broadcast.saturating_mul(s as u64);
+                }
+            }
+            r.weight.saturating_mul(broadcast)
+        })
+        .sum()
+}
+
+/// Allocate shares for `dims` dimensions multiplying to exactly `cells`.
+/// Dimensions not worth a share get 1 (their coordinate collapses).
+pub fn allocate_shares(dims: usize, cells: usize, roles: &[RoleCoverage]) -> Vec<usize> {
+    assert!(dims > 0, "a rule always has at least one distinct variable");
+    let mut shares = vec![1usize; dims];
+    for p in prime_factors(cells.max(1)) {
+        // Try the factor on each dimension; keep the cheapest placement.
+        let mut best = (0usize, u64::MAX);
+        for d in 0..dims {
+            shares[d] *= p;
+            let cost = replication_cost(&shares, roles);
+            shares[d] /= p;
+            if cost < best.1 {
+                best = (d, cost);
+            }
+        }
+        shares[best.0] *= p;
+    }
+    shares
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prime_factorization() {
+        assert_eq!(prime_factors(16), vec![2, 2, 2, 2]);
+        assert_eq!(prime_factors(12), vec![3, 2, 2]);
+        assert_eq!(prime_factors(7), vec![7]);
+        assert_eq!(prime_factors(1), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn product_equals_cells() {
+        let roles = vec![
+            RoleCoverage { covered: vec![0, 1], weight: 100 },
+            RoleCoverage { covered: vec![1, 2], weight: 100 },
+        ];
+        for cells in [1, 2, 8, 12, 36, 64] {
+            let s = allocate_shares(3, cells, &roles);
+            assert_eq!(s.iter().product::<usize>(), cells, "cells={cells}");
+        }
+    }
+
+    #[test]
+    fn shared_dimension_attracts_shares() {
+        // Dim 1 is covered by both roles: putting shares there costs
+        // nothing; dims 0 and 2 each broadcast one role.
+        let roles = vec![
+            RoleCoverage { covered: vec![0, 1], weight: 1000 },
+            RoleCoverage { covered: vec![1, 2], weight: 1000 },
+        ];
+        let s = allocate_shares(3, 16, &roles);
+        assert_eq!(s[1], 16, "all shares go to the universally covered dim: {s:?}");
+    }
+
+    #[test]
+    fn classic_two_relation_join_splits_shares() {
+        // R(a,b) ⋈ S(b,c) on b with id dims for self-pairs is the classic
+        // case: with equal sizes, a broadcast-free dim takes everything;
+        // here roles cover disjoint dims so shares must split.
+        let roles = vec![
+            RoleCoverage { covered: vec![0], weight: 1000 },
+            RoleCoverage { covered: vec![1], weight: 1000 },
+        ];
+        let s = allocate_shares(2, 16, &roles);
+        assert_eq!(s.iter().product::<usize>(), 16);
+        // Equal weights -> balanced split 4 x 4.
+        assert_eq!(s, vec![4, 4]);
+    }
+
+    #[test]
+    fn skewed_weights_skew_the_split() {
+        // Role 1 is heavy and covers dim 1: growing dim 0 would broadcast
+        // it, so the shares concentrate on dim 1 (broadcasting only the
+        // tiny role 0).
+        let roles = vec![
+            RoleCoverage { covered: vec![0], weight: 1 },
+            RoleCoverage { covered: vec![1], weight: 100_000 },
+        ];
+        let s = allocate_shares(2, 16, &roles);
+        assert!(s[1] >= s[0], "heavy role should be broadcast least: {s:?}");
+        assert_eq!(s, vec![1, 16]);
+    }
+
+    #[test]
+    fn replication_cost_formula() {
+        let roles = vec![RoleCoverage { covered: vec![0], weight: 10 }];
+        // shares (2, 3): role covers dim 0, broadcast over dim 1 = 3.
+        assert_eq!(replication_cost(&[2, 3], &roles), 30);
+        assert_eq!(replication_cost(&[2, 1], &roles), 10);
+    }
+
+    #[test]
+    fn single_dim_takes_everything() {
+        let roles = vec![RoleCoverage { covered: vec![0], weight: 5 }];
+        assert_eq!(allocate_shares(1, 32, &roles), vec![32]);
+    }
+}

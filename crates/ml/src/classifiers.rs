@@ -1,0 +1,315 @@
+//! Concrete [`MlModel`] implementations.
+
+use crate::embed::HashedNgramEmbedder;
+use crate::features::pair_features;
+use crate::logistic::LogisticRegression;
+use crate::model::{values_to_text, MlModel};
+use dcer_relation::Value;
+use dcer_similarity::ngram_cosine;
+
+/// Thresholded character-3-gram cosine over the concatenated text — a cheap,
+/// calibration-free semantic-similarity predicate for long text such as
+/// product descriptions (rule `φ₂` of the paper's running example).
+#[derive(Debug, Clone)]
+pub struct NgramCosineClassifier {
+    threshold: f64,
+}
+
+impl NgramCosineClassifier {
+    /// Classifier firing when 3-gram cosine ≥ `threshold`.
+    pub fn new(threshold: f64) -> NgramCosineClassifier {
+        NgramCosineClassifier { threshold }
+    }
+}
+
+impl MlModel for NgramCosineClassifier {
+    fn probability(&self, left: &[Value], right: &[Value]) -> f64 {
+        ngram_cosine(&values_to_text(left), &values_to_text(right), 3)
+    }
+    fn threshold(&self) -> f64 {
+        self.threshold
+    }
+    fn describe(&self) -> String {
+        format!("ngram-cosine(3) >= {}", self.threshold)
+    }
+}
+
+/// Thresholded cosine in hashed-n-gram embedding space — the fastText
+/// substitute (see `DESIGN.md` §5) for semantic similarity of names,
+/// addresses and short phrases.
+#[derive(Debug, Clone)]
+pub struct EmbeddingCosineClassifier {
+    embedder: HashedNgramEmbedder,
+    threshold: f64,
+}
+
+impl EmbeddingCosineClassifier {
+    /// Classifier over the default 128-dimension embedder.
+    pub fn new(threshold: f64) -> EmbeddingCosineClassifier {
+        EmbeddingCosineClassifier { embedder: HashedNgramEmbedder::default(), threshold }
+    }
+
+    /// Classifier over a custom embedder.
+    pub fn with_embedder(embedder: HashedNgramEmbedder, threshold: f64) -> Self {
+        EmbeddingCosineClassifier { embedder, threshold }
+    }
+}
+
+impl MlModel for EmbeddingCosineClassifier {
+    fn probability(&self, left: &[Value], right: &[Value]) -> f64 {
+        self.embedder
+            .cosine(&values_to_text(left), &values_to_text(right))
+    }
+    fn threshold(&self) -> f64 {
+        self.threshold
+    }
+    fn describe(&self) -> String {
+        format!(
+            "embedding-cosine(d={}) >= {}",
+            self.embedder.dims(),
+            self.threshold
+        )
+    }
+}
+
+/// A *trained* pairwise classifier: logistic regression over the dense
+/// similarity feature map — the DeepER substitute (see `DESIGN.md` §5).
+#[derive(Debug, Clone)]
+pub struct TrainedPairClassifier {
+    embedder: HashedNgramEmbedder,
+    model: LogisticRegression,
+    threshold: f64,
+}
+
+impl TrainedPairClassifier {
+    /// Train from labeled pairs of attribute vectors. `threshold` is the
+    /// decision boundary on the predicted probability.
+    pub fn train(
+        examples: &[(Vec<Value>, Vec<Value>, bool)],
+        epochs: usize,
+        threshold: f64,
+    ) -> TrainedPairClassifier {
+        let embedder = HashedNgramEmbedder::default();
+        let featurized: Vec<(Vec<f64>, bool)> = examples
+            .iter()
+            .map(|(l, r, y)| (pair_features(&embedder, l, r), *y))
+            .collect();
+        let model = LogisticRegression::train(&featurized, epochs, 0.5, 1e-4);
+        TrainedPairClassifier { embedder, model, threshold }
+    }
+
+    /// Wrap an already-trained logistic model.
+    pub fn from_model(model: LogisticRegression, threshold: f64) -> TrainedPairClassifier {
+        TrainedPairClassifier { embedder: HashedNgramEmbedder::default(), model, threshold }
+    }
+
+    /// The underlying logistic model (weights are inspectable — the paper
+    /// stresses interpretability of ML predictions).
+    pub fn model(&self) -> &LogisticRegression {
+        &self.model
+    }
+}
+
+impl MlModel for TrainedPairClassifier {
+    fn probability(&self, left: &[Value], right: &[Value]) -> f64 {
+        self.model
+            .predict_proba(&pair_features(&self.embedder, left, right))
+    }
+    fn threshold(&self) -> f64 {
+        self.threshold
+    }
+    fn describe(&self) -> String {
+        format!("trained-pair-classifier >= {}", self.threshold)
+    }
+}
+
+/// Thresholded Jaro-Winkler similarity — the classic record-linkage metric
+/// for short names; transposition-tolerant ("Skoda" vs "Sokda" ~ 0.94).
+#[derive(Debug, Clone)]
+pub struct JaroWinklerClassifier {
+    threshold: f64,
+}
+
+impl JaroWinklerClassifier {
+    /// Classifier firing when Jaro-Winkler (prefix weight 0.1) >= `threshold`.
+    pub fn new(threshold: f64) -> JaroWinklerClassifier {
+        JaroWinklerClassifier { threshold }
+    }
+}
+
+impl MlModel for JaroWinklerClassifier {
+    fn probability(&self, left: &[Value], right: &[Value]) -> f64 {
+        dcer_similarity::jaro_winkler(&values_to_text(left), &values_to_text(right), 0.1)
+    }
+    fn threshold(&self) -> f64 {
+        self.threshold
+    }
+    fn describe(&self) -> String {
+        format!("jaro-winkler >= {}", self.threshold)
+    }
+}
+
+/// Thresholded normalized Levenshtein similarity — the right metric for
+/// code-like strings (license plates, product codes) where a typo can
+/// destroy token structure.
+#[derive(Debug, Clone)]
+pub struct LevenshteinClassifier {
+    threshold: f64,
+}
+
+impl LevenshteinClassifier {
+    /// Classifier firing when `1 - lev/max_len ≥ threshold`.
+    pub fn new(threshold: f64) -> LevenshteinClassifier {
+        LevenshteinClassifier { threshold }
+    }
+}
+
+impl MlModel for LevenshteinClassifier {
+    fn probability(&self, left: &[Value], right: &[Value]) -> f64 {
+        dcer_similarity::levenshtein_similarity(&values_to_text(left), &values_to_text(right))
+    }
+    fn threshold(&self) -> f64 {
+        self.threshold
+    }
+    fn describe(&self) -> String {
+        format!("levenshtein >= {}", self.threshold)
+    }
+}
+
+/// Thresholded symmetric Monge-Elkan similarity — strong on person names
+/// with abbreviations ("Ford Smith" vs "F. Smith"), the paper's `M₃`.
+#[derive(Debug, Clone)]
+pub struct MongeElkanClassifier {
+    threshold: f64,
+}
+
+impl MongeElkanClassifier {
+    /// Classifier firing when symmetric Monge-Elkan ≥ `threshold`.
+    pub fn new(threshold: f64) -> MongeElkanClassifier {
+        MongeElkanClassifier { threshold }
+    }
+}
+
+impl MlModel for MongeElkanClassifier {
+    fn probability(&self, left: &[Value], right: &[Value]) -> f64 {
+        dcer_similarity::monge_elkan(&values_to_text(left), &values_to_text(right))
+    }
+    fn threshold(&self) -> f64 {
+        self.threshold
+    }
+    fn describe(&self) -> String {
+        format!("monge-elkan >= {}", self.threshold)
+    }
+}
+
+/// Exact textual equality as a degenerate "classifier" — useful in tests and
+/// as the always-sound lower bound.
+#[derive(Debug, Clone, Default)]
+pub struct EqualTextClassifier;
+
+impl MlModel for EqualTextClassifier {
+    fn probability(&self, left: &[Value], right: &[Value]) -> f64 {
+        let (a, b) = (values_to_text(left), values_to_text(right));
+        f64::from(!a.trim().is_empty() && a == b)
+    }
+    fn describe(&self) -> String {
+        "equal-text".to_string()
+    }
+}
+
+/// Re-thresholds any inner model — the paper's note that a probabilistic
+/// model becomes a boolean ML predicate by fixing a threshold.
+pub struct ThresholdClassifier<M> {
+    inner: M,
+    threshold: f64,
+}
+
+impl<M: MlModel> ThresholdClassifier<M> {
+    /// Wrap `inner`, overriding its decision threshold.
+    pub fn new(inner: M, threshold: f64) -> ThresholdClassifier<M> {
+        ThresholdClassifier { inner, threshold }
+    }
+}
+
+impl<M: MlModel> MlModel for ThresholdClassifier<M> {
+    fn probability(&self, left: &[Value], right: &[Value]) -> f64 {
+        self.inner.probability(left, right)
+    }
+    fn threshold(&self) -> f64 {
+        self.threshold
+    }
+    fn describe(&self) -> String {
+        format!("{} rethresholded at {}", self.inner.describe(), self.threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Vec<Value> {
+        vec![Value::str(s)]
+    }
+
+    #[test]
+    fn ngram_cosine_classifier_on_paper_example() {
+        // φ₂: ThinkPad descriptions t12 vs t13 match; t11 (MacBook) does not.
+        let c = NgramCosineClassifier::new(0.5);
+        let t12 = v("ThinkPad X1 Carbon 7th Gen : 14-Inch, 16GB RAM, 512GB Nvme SSD");
+        let t13 = v("ThinkPad X1 Carbon 7th Gen 14\" - 16 GB RAM - 512 GB SSD");
+        let t11 = v("Apple MacBook Air (13-inch, 8GB RAM, 256GB SSD)");
+        assert!(c.predict(&t12, &t13));
+        assert!(!c.predict(&t12, &t11));
+    }
+
+    #[test]
+    fn embedding_classifier_handles_typos() {
+        let c = EmbeddingCosineClassifier::new(0.5);
+        assert!(c.predict(&v("Argentina"), &v("Argenztina")));
+        assert!(!c.predict(&v("Argentina"), &v("Mozambique")));
+    }
+
+    #[test]
+    fn trained_classifier_beats_chance_on_synthetic_pairs() {
+        let mut examples = Vec::new();
+        for i in 0..40 {
+            let name = format!("customer number {i} of main street");
+            let typo = format!("custmer number {i} of main stret");
+            let other = format!("completely different person {}", 39 - i);
+            examples.push((v(&name), v(&typo), true));
+            examples.push((v(&name), v(&other), false));
+        }
+        let c = TrainedPairClassifier::train(&examples, 400, 0.5);
+        let correct = examples
+            .iter()
+            .filter(|(l, r, y)| c.predict(l, r) == *y)
+            .count();
+        assert!(
+            correct as f64 / examples.len() as f64 > 0.9,
+            "accuracy {}",
+            correct as f64 / examples.len() as f64
+        );
+    }
+
+    #[test]
+    fn equal_text_classifier() {
+        let c = EqualTextClassifier;
+        assert!(c.predict(&v("x"), &v("x")));
+        assert!(!c.predict(&v("x"), &v("y")));
+        assert!(!c.predict(&[Value::Null], &[Value::Null]));
+    }
+
+    #[test]
+    fn threshold_wrapper_overrides() {
+        let strict = ThresholdClassifier::new(NgramCosineClassifier::new(0.1), 0.99);
+        assert!(!strict.predict(&v("thinkpad x1"), &v("thinkpad x2")));
+        let lax = ThresholdClassifier::new(NgramCosineClassifier::new(0.99), 0.1);
+        assert!(lax.predict(&v("thinkpad x1"), &v("thinkpad x2")));
+    }
+
+    #[test]
+    fn describe_mentions_threshold() {
+        assert!(NgramCosineClassifier::new(0.7).describe().contains("0.7"));
+        assert!(EmbeddingCosineClassifier::new(0.8).describe().contains("0.8"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Hashed character-n-gram embeddings — the subword mechanism of fastText
+//! (Bojanowski et al., TACL 2017) without corpus-trained weights: each word
+//! is the normalized bag of its character n-grams hashed into a fixed number
+//! of dimensions, and a text is the average of its word vectors. Two strings
+//! that share subword structure ("Argenztina" / "Argwentisna") land close in
+//! the embedded space even when token-level equality fails.
+
+use dcer_similarity::tokenize;
+
+/// Deterministic FNV-1a, so embeddings are stable across runs and platforms.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Embeds text into `dims`-dimensional vectors via hashed character n-grams.
+#[derive(Debug, Clone)]
+pub struct HashedNgramEmbedder {
+    dims: usize,
+    min_n: usize,
+    max_n: usize,
+}
+
+impl HashedNgramEmbedder {
+    /// Embedder with `dims` dimensions over n-grams of sizes
+    /// `min_n..=max_n` (fastText defaults: 3..=6; we default to 3..=5).
+    pub fn new(dims: usize, min_n: usize, max_n: usize) -> HashedNgramEmbedder {
+        assert!(dims > 0 && min_n > 0 && min_n <= max_n);
+        HashedNgramEmbedder { dims, min_n, max_n }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Embed one word: the L2-normalized bag of its hashed n-grams
+    /// (word padded with `<` and `>` boundary markers, as in fastText).
+    pub fn embed_word(&self, word: &str) -> Vec<f64> {
+        let mut v = vec![0.0; self.dims];
+        let padded: Vec<char> = std::iter::once('<')
+            .chain(word.to_lowercase().chars())
+            .chain(std::iter::once('>'))
+            .collect();
+        for n in self.min_n..=self.max_n {
+            if padded.len() < n {
+                continue;
+            }
+            for w in padded.windows(n) {
+                let gram: String = w.iter().collect();
+                let h = fnv1a(gram.as_bytes());
+                let dim = (h % self.dims as u64) as usize;
+                // Signed hashing halves collision bias.
+                let sign = if (h >> 63) == 0 { 1.0 } else { -1.0 };
+                v[dim] += sign;
+            }
+        }
+        normalize(&mut v);
+        v
+    }
+
+    /// Embed a text: the L2-normalized average of its word embeddings.
+    /// Empty / token-free text embeds to the zero vector.
+    pub fn embed_text(&self, text: &str) -> Vec<f64> {
+        let tokens = tokenize(text);
+        let mut v = vec![0.0; self.dims];
+        if tokens.is_empty() {
+            return v;
+        }
+        for t in &tokens {
+            for (acc, x) in v.iter_mut().zip(self.embed_word(t)) {
+                *acc += x;
+            }
+        }
+        normalize(&mut v);
+        v
+    }
+
+    /// Cosine similarity of the embeddings of two texts, clamped to `[0,1]`
+    /// (negative cosine — anti-correlated hash noise — counts as 0).
+    pub fn cosine(&self, a: &str, b: &str) -> f64 {
+        let (va, vb) = (self.embed_text(a), self.embed_text(b));
+        dot(&va, &vb).clamp(0.0, 1.0)
+    }
+}
+
+impl Default for HashedNgramEmbedder {
+    fn default() -> Self {
+        HashedNgramEmbedder::new(128, 3, 5)
+    }
+}
+
+fn normalize(v: &mut [f64]) {
+    let norm = dot(v, v).sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embeddings_are_unit_norm_or_zero() {
+        let e = HashedNgramEmbedder::default();
+        let v = e.embed_text("ThinkPad X1 Carbon");
+        assert!((dot(&v, &v) - 1.0).abs() < 1e-9);
+        let z = e.embed_text("   ...  ");
+        assert!(z.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn deterministic() {
+        let e = HashedNgramEmbedder::default();
+        assert_eq!(e.embed_text("same input"), e.embed_text("same input"));
+    }
+
+    #[test]
+    fn typo_variants_stay_close_unrelated_stay_far() {
+        let e = HashedNgramEmbedder::default();
+        let typo = e.cosine("Argentina", "Argenztina");
+        let unrelated = e.cosine("Argentina", "Mozambique");
+        // One inserted char in a 9-char word perturbs most 3..5-grams, so
+        // ~0.6 is the expected regime — still far above unrelated words.
+        assert!(typo > 0.5, "typo cosine {typo}");
+        assert!(typo > unrelated + 0.3, "typo {typo} vs unrelated {unrelated}");
+    }
+
+    #[test]
+    fn word_order_invariance_of_text_embedding() {
+        let e = HashedNgramEmbedder::default();
+        let s = e.cosine("carbon thinkpad x1", "thinkpad x1 carbon");
+        assert!(s > 0.999, "{s}");
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let e = HashedNgramEmbedder::default();
+        assert!(e.cosine("LAPTOP", "laptop") > 0.999);
+    }
+
+    #[test]
+    fn identity_cosine_is_one() {
+        let e = HashedNgramEmbedder::default();
+        assert!((e.cosine("ThinkPad", "ThinkPad") - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dims_constructor_validates() {
+        let e = HashedNgramEmbedder::new(16, 2, 4);
+        assert_eq!(e.dims(), 16);
+        assert_eq!(e.embed_word("ab").len(), 16);
+    }
+}

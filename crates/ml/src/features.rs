@@ -1,0 +1,123 @@
+//! Dense similarity features for a pair of attribute vectors — the feature
+//! map under [`crate::TrainedPairClassifier`].
+
+use crate::embed::HashedNgramEmbedder;
+use crate::model::values_to_text;
+use dcer_relation::Value;
+use dcer_similarity::{
+    jaccard_tokens, jaro_winkler, levenshtein_similarity, monge_elkan, ngram_cosine,
+    ngram_jaccard,
+};
+
+/// Names of the features produced by [`pair_features`], in order.
+pub const FEATURE_NAMES: [&str; 9] = [
+    "exact_eq",
+    "levenshtein",
+    "jaro_winkler",
+    "ngram_jaccard3",
+    "ngram_cosine3",
+    "token_jaccard",
+    "monge_elkan",
+    "embed_cosine",
+    "numeric_closeness",
+];
+
+/// Extract the feature vector for a pair of attribute vectors.
+///
+/// Text features run on the concatenated textual rendering; the numeric
+/// feature averages relative closeness over positions where both sides are
+/// numeric (1 when equal, decaying with relative difference).
+pub fn pair_features(
+    embedder: &HashedNgramEmbedder,
+    left: &[Value],
+    right: &[Value],
+) -> Vec<f64> {
+    let (a, b) = (values_to_text(left), values_to_text(right));
+    let exact = f64::from(!a.is_empty() && a == b);
+    let mut numeric_sum = 0.0;
+    let mut numeric_cnt = 0usize;
+    for (l, r) in left.iter().zip(right.iter()) {
+        if let (Some(x), Some(y)) = (l.as_float(), r.as_float()) {
+            let denom = x.abs().max(y.abs());
+            let closeness = if denom == 0.0 {
+                1.0
+            } else {
+                (1.0 - (x - y).abs() / denom).max(0.0)
+            };
+            numeric_sum += closeness;
+            numeric_cnt += 1;
+        }
+    }
+    let numeric = if numeric_cnt == 0 {
+        0.5 // uninformative midpoint when no numeric attributes exist
+    } else {
+        numeric_sum / numeric_cnt as f64
+    };
+    vec![
+        exact,
+        levenshtein_similarity(&a, &b),
+        jaro_winkler(&a, &b, 0.1),
+        ngram_jaccard(&a, &b, 3),
+        ngram_cosine(&a, &b, 3),
+        jaccard_tokens(&a, &b),
+        monge_elkan(&a, &b),
+        embedder.cosine(&a, &b),
+        numeric,
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn embedder() -> HashedNgramEmbedder {
+        HashedNgramEmbedder::new(64, 3, 4)
+    }
+
+    #[test]
+    fn feature_count_matches_names() {
+        let f = pair_features(&embedder(), &[Value::str("a")], &[Value::str("b")]);
+        assert_eq!(f.len(), FEATURE_NAMES.len());
+    }
+
+    #[test]
+    fn identical_pairs_score_high_everywhere() {
+        let v = vec![Value::str("ThinkPad X1"), Value::Int(2000)];
+        let f = pair_features(&embedder(), &v, &v);
+        assert_eq!(f[0], 1.0);
+        for (i, x) in f.iter().enumerate() {
+            assert!(*x > 0.99, "{} = {}", FEATURE_NAMES[i], x);
+        }
+    }
+
+    #[test]
+    fn all_features_bounded() {
+        let f = pair_features(
+            &embedder(),
+            &[Value::str("abc"), Value::Float(-5.0)],
+            &[Value::str("zzz zz z"), Value::Float(10.0)],
+        );
+        for (i, x) in f.iter().enumerate() {
+            assert!((0.0..=1.0).contains(x), "{} = {}", FEATURE_NAMES[i], x);
+        }
+    }
+
+    #[test]
+    fn numeric_closeness_behaviour() {
+        let e = embedder();
+        let close = pair_features(&e, &[Value::Int(100)], &[Value::Int(99)]);
+        let far = pair_features(&e, &[Value::Int(100)], &[Value::Int(5)]);
+        let idx = FEATURE_NAMES.iter().position(|&n| n == "numeric_closeness").unwrap();
+        assert!(close[idx] > 0.9);
+        assert!(far[idx] < 0.3);
+        // No numeric attributes -> neutral 0.5.
+        let none = pair_features(&e, &[Value::str("x")], &[Value::str("y")]);
+        assert_eq!(none[idx], 0.5);
+    }
+
+    #[test]
+    fn empty_strings_do_not_count_as_exact_match() {
+        let f = pair_features(&embedder(), &[Value::Null], &[Value::Null]);
+        assert_eq!(f[0], 0.0);
+    }
+}

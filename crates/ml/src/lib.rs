@@ -1,0 +1,41 @@
+//! ML predicates for MRLs.
+//!
+//! Section II of the paper embeds ML classifiers in matching rules as
+//! predicates `M(t[Ā], s[B̄])` that "return true if they predict that the two
+//! attribute vectors match". The chase treats `M` as an opaque boolean
+//! oracle, so any binary classifier slots in. The paper's experiments use
+//! DeepER (LSTM tuple embeddings) and fastText (subword embeddings); neither
+//! is available offline, so this crate provides faithful, self-contained
+//! substitutes (documented in `DESIGN.md` §5):
+//!
+//! - [`HashedNgramEmbedder`]: fastText's actual subword trick — character
+//!   n-grams hashed into a fixed-dimension bag vector — without the
+//!   corpus-trained weights ([`EmbeddingCosineClassifier`] thresholds its
+//!   cosine).
+//! - [`TrainedPairClassifier`]: DeepER's role — a *trained* model over a pair
+//!   of attribute vectors — realized as logistic regression over a dense
+//!   similarity feature map ([`features::pair_features`]).
+//! - [`NgramCosineClassifier`] / [`ThresholdClassifier`]: simple calibrated
+//!   predicates for rules that just need "semantically similar text".
+//!
+//! All models implement [`MlModel`]; rules refer to them by name through an
+//! [`MlRegistry`].
+
+pub mod classifiers;
+pub mod embed;
+pub mod features;
+pub mod logistic;
+pub mod model;
+pub mod registry;
+pub mod tfidf;
+
+pub use classifiers::{
+    EmbeddingCosineClassifier, EqualTextClassifier, JaroWinklerClassifier, LevenshteinClassifier,
+    MongeElkanClassifier, NgramCosineClassifier, ThresholdClassifier, TrainedPairClassifier,
+};
+pub use embed::HashedNgramEmbedder;
+pub use features::{pair_features, FEATURE_NAMES};
+pub use logistic::LogisticRegression;
+pub use model::{values_to_text, MlModel};
+pub use registry::MlRegistry;
+pub use tfidf::{TfIdfClassifier, TfIdfVectorizer};

@@ -1,0 +1,149 @@
+//! Binary logistic regression trained by full-batch gradient descent with
+//! L2 regularization. Small, deterministic, dependency-free — exactly what a
+//! trained pairwise ER classifier needs at this scale.
+
+/// A trained logistic-regression model `σ(w·x + b)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogisticRegression {
+    /// Feature weights.
+    pub weights: Vec<f64>,
+    /// Bias term.
+    pub bias: f64,
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl LogisticRegression {
+    /// Model with explicit parameters.
+    pub fn new(weights: Vec<f64>, bias: f64) -> LogisticRegression {
+        LogisticRegression { weights, bias }
+    }
+
+    /// Train on `(features, label)` examples.
+    ///
+    /// Full-batch gradient descent: `epochs` passes at learning rate `lr`
+    /// with L2 penalty `l2`. Deterministic (no shuffling needed for full
+    /// batches). Panics if examples are empty or have inconsistent arity.
+    pub fn train(examples: &[(Vec<f64>, bool)], epochs: usize, lr: f64, l2: f64) -> LogisticRegression {
+        assert!(!examples.is_empty(), "cannot train on zero examples");
+        let dim = examples[0].0.len();
+        assert!(
+            examples.iter().all(|(x, _)| x.len() == dim),
+            "inconsistent feature arity"
+        );
+        let n = examples.len() as f64;
+        let mut w = vec![0.0; dim];
+        let mut b = 0.0;
+        for _ in 0..epochs {
+            let mut gw = vec![0.0; dim];
+            let mut gb = 0.0;
+            for (x, y) in examples {
+                let p = sigmoid(x.iter().zip(&w).map(|(xi, wi)| xi * wi).sum::<f64>() + b);
+                let err = p - f64::from(*y);
+                for (g, xi) in gw.iter_mut().zip(x) {
+                    *g += err * xi;
+                }
+                gb += err;
+            }
+            for (wi, g) in w.iter_mut().zip(&gw) {
+                *wi -= lr * (g / n + l2 * *wi);
+            }
+            b -= lr * gb / n;
+        }
+        LogisticRegression { weights: w, bias: b }
+    }
+
+    /// Probability of the positive class.
+    pub fn predict_proba(&self, features: &[f64]) -> f64 {
+        debug_assert_eq!(features.len(), self.weights.len());
+        sigmoid(
+            features
+                .iter()
+                .zip(&self.weights)
+                .map(|(x, w)| x * w)
+                .sum::<f64>()
+                + self.bias,
+        )
+    }
+
+    /// Hard prediction at threshold 0.5.
+    pub fn predict(&self, features: &[f64]) -> bool {
+        self.predict_proba(features) >= 0.5
+    }
+
+    /// Classification accuracy on a labeled set.
+    pub fn accuracy(&self, examples: &[(Vec<f64>, bool)]) -> f64 {
+        if examples.is_empty() {
+            return 1.0;
+        }
+        let correct = examples
+            .iter()
+            .filter(|(x, y)| self.predict(x) == *y)
+            .count();
+        correct as f64 / examples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linearly_separable() -> Vec<(Vec<f64>, bool)> {
+        // Positive iff x0 + x1 > 1.
+        let mut ex = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                let (x0, x1) = (i as f64 / 10.0, j as f64 / 10.0);
+                ex.push((vec![x0, x1], x0 + x1 > 1.0));
+            }
+        }
+        ex
+    }
+
+    #[test]
+    fn learns_a_separable_problem() {
+        let ex = linearly_separable();
+        let m = LogisticRegression::train(&ex, 2000, 0.5, 1e-4);
+        assert!(m.accuracy(&ex) > 0.95, "accuracy {}", m.accuracy(&ex));
+        assert!(m.predict_proba(&[0.9, 0.9]) > 0.9);
+        assert!(m.predict_proba(&[0.1, 0.1]) < 0.1);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let ex = linearly_separable();
+        let a = LogisticRegression::train(&ex, 200, 0.5, 1e-4);
+        let b = LogisticRegression::train(&ex, 200, 0.5, 1e-4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sigmoid_extremes() {
+        assert!(sigmoid(100.0) > 0.999999);
+        assert!(sigmoid(-100.0) < 1e-6);
+        assert_eq!(sigmoid(0.0), 0.5);
+    }
+
+    #[test]
+    fn l2_shrinks_weights() {
+        let ex = linearly_separable();
+        let free = LogisticRegression::train(&ex, 500, 0.5, 0.0);
+        let reg = LogisticRegression::train(&ex, 500, 0.5, 0.5);
+        let norm = |m: &LogisticRegression| m.weights.iter().map(|w| w * w).sum::<f64>();
+        assert!(norm(&reg) < norm(&free));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero examples")]
+    fn empty_training_panics() {
+        let _ = LogisticRegression::train(&[], 10, 0.1, 0.0);
+    }
+
+    #[test]
+    fn accuracy_on_empty_set_is_one() {
+        let m = LogisticRegression::new(vec![1.0], 0.0);
+        assert_eq!(m.accuracy(&[]), 1.0);
+    }
+}

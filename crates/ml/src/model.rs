@@ -1,0 +1,70 @@
+//! The [`MlModel`] trait: the contract every embedded ML predicate satisfies.
+
+use dcer_relation::Value;
+
+/// A binary ML classifier usable as an MRL predicate `M(t[Ā], s[B̄])`.
+///
+/// Implementations must be deterministic (the chase's Church-Rosser property
+/// assumes predicate evaluation is a pure function) and symmetric-friendly:
+/// callers may memoize on unordered pairs, so `probability(a, b)` should
+/// equal `probability(b, a)` unless a model documents otherwise.
+pub trait MlModel: Send + Sync {
+    /// Probability in `[0, 1]` that the two attribute vectors refer to
+    /// matching entities.
+    fn probability(&self, left: &[Value], right: &[Value]) -> f64;
+
+    /// Decision threshold; [`MlModel::predict`] fires at or above it.
+    fn threshold(&self) -> f64 {
+        0.5
+    }
+
+    /// Boolean prediction — the value of the predicate `M(t[Ā], s[B̄])`.
+    fn predict(&self, left: &[Value], right: &[Value]) -> bool {
+        self.probability(left, right) >= self.threshold()
+    }
+
+    /// Human-readable description for logs and case studies.
+    fn describe(&self) -> String {
+        "ml-model".to_string()
+    }
+}
+
+/// Concatenate the textual rendering of an attribute vector — the canonical
+/// way text models consume `t[Ā]` (mirrors DeepER treating a tuple as the
+/// sequence of its attribute tokens).
+pub fn values_to_text(values: &[Value]) -> String {
+    let mut out = String::new();
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(&v.to_text());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Always(f64);
+    impl MlModel for Always {
+        fn probability(&self, _: &[Value], _: &[Value]) -> f64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn default_predict_uses_half_threshold() {
+        assert!(Always(0.5).predict(&[], &[]));
+        assert!(Always(0.9).predict(&[], &[]));
+        assert!(!Always(0.49).predict(&[], &[]));
+    }
+
+    #[test]
+    fn values_to_text_joins_with_spaces() {
+        let vs = vec![Value::str("ThinkPad"), Value::Int(2000), Value::Null];
+        assert_eq!(values_to_text(&vs), "ThinkPad 2000 ");
+        assert_eq!(values_to_text(&[]), "");
+    }
+}

@@ -1,0 +1,100 @@
+//! Model registry: rules reference classifiers by name; the registry binds
+//! names to [`MlModel`] instances at evaluation time.
+
+use crate::model::MlModel;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A named collection of ML models, shared (cheaply clonable) across the
+/// chase engine and all BSP workers.
+#[derive(Clone, Default)]
+pub struct MlRegistry {
+    models: HashMap<String, Arc<dyn MlModel>>,
+}
+
+impl MlRegistry {
+    /// Empty registry.
+    pub fn new() -> MlRegistry {
+        MlRegistry::default()
+    }
+
+    /// Register (or replace) a model under `name`.
+    pub fn register(&mut self, name: impl Into<String>, model: Arc<dyn MlModel>) {
+        self.models.insert(name.into(), model);
+    }
+
+    /// Look up a model by name.
+    pub fn get(&self, name: &str) -> Option<&Arc<dyn MlModel>> {
+        self.models.get(name)
+    }
+
+    /// Whether `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.models.contains_key(name)
+    }
+
+    /// Registered model names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.models.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+}
+
+impl std::fmt::Debug for MlRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MlRegistry")
+            .field("models", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifiers::{EqualTextClassifier, NgramCosineClassifier};
+
+    #[test]
+    fn register_get_replace() {
+        let mut r = MlRegistry::new();
+        assert!(r.is_empty());
+        r.register("sim", Arc::new(NgramCosineClassifier::new(0.5)));
+        r.register("eq", Arc::new(EqualTextClassifier));
+        assert_eq!(r.len(), 2);
+        assert!(r.contains("sim"));
+        assert!(!r.contains("nope"));
+        assert_eq!(r.names(), vec!["eq", "sim"]);
+        // Replacement keeps the count.
+        r.register("sim", Arc::new(NgramCosineClassifier::new(0.9)));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get("sim").unwrap().threshold(), 0.9);
+    }
+
+    #[test]
+    fn clone_shares_models() {
+        let mut r = MlRegistry::new();
+        r.register("eq", Arc::new(EqualTextClassifier));
+        let r2 = r.clone();
+        assert!(Arc::ptr_eq(
+            r.get("eq").unwrap(),
+            r2.get("eq").unwrap()
+        ));
+    }
+
+    #[test]
+    fn debug_lists_names() {
+        let mut r = MlRegistry::new();
+        r.register("m1", Arc::new(EqualTextClassifier));
+        assert!(format!("{r:?}").contains("m1"));
+    }
+}

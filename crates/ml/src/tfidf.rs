@@ -1,0 +1,262 @@
+//! Corpus-fitted TF-IDF vectors and a cosine classifier over them.
+//!
+//! Raw n-gram cosine treats every token alike; TF-IDF down-weights tokens
+//! that appear everywhere ("SSD", "RAM" in a laptop catalogue) so the
+//! comparison concentrates on the discriminative ones. Fit the vectorizer
+//! on the column the ML predicate will compare, then register a
+//! [`TfIdfClassifier`] like any other model.
+
+use crate::model::{values_to_text, MlModel};
+use dcer_relation::{AttrId, Dataset, RelId, Value};
+use dcer_similarity::tokenize;
+use std::collections::HashMap;
+
+/// A fitted TF-IDF vocabulary: token → (index, idf).
+#[derive(Debug, Clone)]
+pub struct TfIdfVectorizer {
+    vocab: HashMap<String, (u32, f64)>,
+    documents: usize,
+}
+
+impl TfIdfVectorizer {
+    /// Fit on an iterator of documents. `idf = ln((1 + N) / (1 + df)) + 1`
+    /// (the smoothed form), so unseen tokens can be given a default later.
+    pub fn fit<'a>(documents: impl IntoIterator<Item = &'a str>) -> TfIdfVectorizer {
+        let mut df: HashMap<String, u32> = HashMap::new();
+        let mut n_docs = 0usize;
+        for doc in documents {
+            n_docs += 1;
+            let mut seen = std::collections::HashSet::new();
+            for tok in tokenize(doc) {
+                if seen.insert(tok.clone()) {
+                    *df.entry(tok).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut vocab = HashMap::with_capacity(df.len());
+        for (i, (tok, d)) in df.into_iter().enumerate() {
+            let idf = ((1.0 + n_docs as f64) / (1.0 + d as f64)).ln() + 1.0;
+            vocab.insert(tok, (i as u32, idf));
+        }
+        TfIdfVectorizer { vocab, documents: n_docs }
+    }
+
+    /// Fit on the text of one attribute of one relation — the usual setup
+    /// for an ML predicate over that attribute.
+    pub fn fit_column(dataset: &Dataset, rel: RelId, attr: AttrId) -> TfIdfVectorizer {
+        let docs: Vec<String> = dataset
+            .relation(rel)
+            .tuples()
+            .iter()
+            .map(|t| t.get(attr).to_text())
+            .collect();
+        TfIdfVectorizer::fit(docs.iter().map(String::as_str))
+    }
+
+    /// Number of fitted documents.
+    pub fn documents(&self) -> usize {
+        self.documents
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Sparse L2-normalized TF-IDF vector of a text. Out-of-vocabulary
+    /// tokens get the maximum idf (they are maximally surprising).
+    pub fn vector(&self, text: &str) -> HashMap<u32, f64> {
+        let mut tf: HashMap<&str, u32> = HashMap::new();
+        let tokens = tokenize(text);
+        for t in &tokens {
+            *tf.entry(t.as_str()).or_insert(0) += 1;
+        }
+        let oov_idf = ((1.0 + self.documents as f64) / 1.0).ln() + 1.0;
+        // Out-of-vocabulary tokens share synthetic indices above the vocab.
+        let mut oov_next = self.vocab.len() as u32;
+        let mut oov_ids: HashMap<&str, u32> = HashMap::new();
+        let mut v: HashMap<u32, f64> = HashMap::new();
+        for (tok, &count) in &tf {
+            let (idx, idf) = match self.vocab.get(*tok) {
+                Some(&(i, idf)) => (i, idf),
+                None => {
+                    let id = *oov_ids.entry(tok).or_insert_with(|| {
+                        let id = oov_next;
+                        oov_next += 1;
+                        id
+                    });
+                    (id, oov_idf)
+                }
+            };
+            v.insert(idx, count as f64 * idf);
+        }
+        let norm: f64 = v.values().map(|x| x * x).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for x in v.values_mut() {
+                *x /= norm;
+            }
+        }
+        v
+    }
+
+    /// Cosine similarity of two texts under the fitted weights.
+    ///
+    /// Out-of-vocabulary tokens only match textually-equal tokens on the
+    /// other side (both sides derive the same synthetic index from the
+    /// union of the two texts' tokens).
+    pub fn cosine(&self, a: &str, b: &str) -> f64 {
+        let va = self.vector_joint(a, b, true);
+        let vb = self.vector_joint(a, b, false);
+        let dot: f64 = va
+            .iter()
+            .filter_map(|(k, x)| vb.get(k).map(|y| x * y))
+            .sum();
+        dot.clamp(0.0, 1.0)
+    }
+
+    /// Vector of `a` (or `b`) with OOV indices assigned consistently from
+    /// the union of both texts' tokens.
+    fn vector_joint(&self, a: &str, b: &str, first: bool) -> HashMap<u32, f64> {
+        let mut oov: HashMap<String, u32> = HashMap::new();
+        let mut next = self.vocab.len() as u32;
+        for tok in tokenize(a).into_iter().chain(tokenize(b)) {
+            if !self.vocab.contains_key(&tok) && !oov.contains_key(&tok) {
+                oov.insert(tok, next);
+                next += 1;
+            }
+        }
+        let text = if first { a } else { b };
+        let oov_idf = ((1.0 + self.documents as f64) / 1.0).ln() + 1.0;
+        let mut tf: HashMap<String, u32> = HashMap::new();
+        for t in tokenize(text) {
+            *tf.entry(t).or_insert(0) += 1;
+        }
+        let mut v: HashMap<u32, f64> = HashMap::new();
+        for (tok, count) in tf {
+            let (idx, idf) = match self.vocab.get(&tok) {
+                Some(&(i, idf)) => (i, idf),
+                None => (oov[&tok], oov_idf),
+            };
+            v.insert(idx, count as f64 * idf);
+        }
+        let norm: f64 = v.values().map(|x| x * x).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for x in v.values_mut() {
+                *x /= norm;
+            }
+        }
+        v
+    }
+}
+
+/// Thresholded TF-IDF cosine as an [`MlModel`].
+#[derive(Debug, Clone)]
+pub struct TfIdfClassifier {
+    vectorizer: TfIdfVectorizer,
+    threshold: f64,
+}
+
+impl TfIdfClassifier {
+    /// Classifier over a fitted vectorizer.
+    pub fn new(vectorizer: TfIdfVectorizer, threshold: f64) -> TfIdfClassifier {
+        TfIdfClassifier { vectorizer, threshold }
+    }
+}
+
+impl MlModel for TfIdfClassifier {
+    fn probability(&self, left: &[Value], right: &[Value]) -> f64 {
+        self.vectorizer.cosine(&values_to_text(left), &values_to_text(right))
+    }
+    fn threshold(&self) -> f64 {
+        self.threshold
+    }
+    fn describe(&self) -> String {
+        format!(
+            "tfidf-cosine(vocab={}, docs={}) >= {}",
+            self.vectorizer.vocab_size(),
+            self.vectorizer.documents(),
+            self.threshold
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> TfIdfVectorizer {
+        TfIdfVectorizer::fit([
+            "thinkpad laptop 16gb ram ssd",
+            "macbook laptop 8gb ram ssd",
+            "acer laptop 4gb ram ssd",
+            "dell laptop 8gb ram ssd",
+            "hp laptop 16gb ram ssd",
+        ])
+    }
+
+    #[test]
+    fn fit_counts_documents_and_vocab() {
+        let v = corpus();
+        assert_eq!(v.documents(), 5);
+        assert!(v.vocab_size() >= 9);
+    }
+
+    #[test]
+    fn common_tokens_are_downweighted() {
+        let v = corpus();
+        // "thinkpad ram" vs "macbook ram": shared token "ram" is in every
+        // document, so the cosine must be much lower than raw token overlap
+        // (0.5) would suggest.
+        let weighted = v.cosine("thinkpad ram", "macbook ram");
+        assert!(weighted < 0.3, "{weighted}");
+        // Two documents sharing the *rare* token score high.
+        let rare = v.cosine("thinkpad 16gb", "thinkpad cover");
+        assert!(rare > weighted, "rare {rare} vs common {weighted}");
+    }
+
+    #[test]
+    fn identity_and_disjoint() {
+        let v = corpus();
+        assert!((v.cosine("thinkpad 16gb ssd", "thinkpad 16gb ssd") - 1.0).abs() < 1e-9);
+        assert_eq!(v.cosine("thinkpad", "macbook"), 0.0);
+        assert_eq!(v.cosine("", ""), 0.0, "empty texts have zero vectors");
+    }
+
+    #[test]
+    fn oov_tokens_match_only_themselves() {
+        let v = corpus();
+        let same_oov = v.cosine("zebrafish", "zebrafish");
+        assert!((same_oov - 1.0).abs() < 1e-9);
+        assert_eq!(v.cosine("zebrafish", "platypus"), 0.0);
+    }
+
+    #[test]
+    fn classifier_wiring() {
+        let v = corpus();
+        let c = TfIdfClassifier::new(v, 0.5);
+        assert!(c.predict(
+            &[Value::str("thinkpad 16gb ram")],
+            &[Value::str("thinkpad 16gb ram ssd")]
+        ));
+        assert!(!c.predict(&[Value::str("thinkpad")], &[Value::str("macbook")]));
+        assert!(c.describe().contains("tfidf"));
+    }
+
+    #[test]
+    fn fit_column_reads_dataset() {
+        use dcer_relation::{Catalog, RelationSchema, ValueType};
+        let cat = std::sync::Arc::new(
+            Catalog::from_schemas(vec![RelationSchema::of(
+                "P",
+                &[("desc", ValueType::Str)],
+            )])
+            .unwrap(),
+        );
+        let mut d = dcer_relation::Dataset::new(cat);
+        d.insert(0, vec!["alpha beta".into()]).unwrap();
+        d.insert(0, vec!["alpha gamma".into()]).unwrap();
+        let v = TfIdfVectorizer::fit_column(&d, 0, 0);
+        assert_eq!(v.documents(), 2);
+        assert_eq!(v.vocab_size(), 3);
+    }
+}

@@ -1,0 +1,27 @@
+//! Multi-query optimization for HyPart (paper, Section IV).
+//!
+//! Partitioning a dataset with the Hypercube algorithm once *per rule* would
+//! recompute hash functions for every rule — and the paper proves that
+//! minimizing the total number of generated tuples over a rule set (MHFP) is
+//! NP-complete (Theorem 5). This crate implements the paper's heuristic:
+//!
+//! 1. build a *query plan* in which syntactically identical predicates of
+//!    different rules share a node ([`QueryPlan`]);
+//! 2. order the rules by how many other rules they share predicates with
+//!    (`SortQuery`, producing `O_r`);
+//! 3. order each rule's predicates by how many rules contain them (`O_p`);
+//! 4. assign hash functions to distinct variables following `O_r`/`O_p`,
+//!    reusing a function whenever a shared predicate already fixed one, and
+//!    order each rule's hypercube dimensions by the global hash-function
+//!    order `O_h` so tuples with the same hashes land on the same workers
+//!    ([`assign_hashes`]).
+//!
+//! The result ([`MqoPlan`]) tells the partitioner which hash function to
+//! apply to which distinct variable of every rule — and how many hash
+//! *computations* are saved versus the no-sharing baseline (`DMatch_noMQO`).
+
+pub mod plan;
+pub mod sharing;
+
+pub use plan::{PredSig, QueryPlan};
+pub use sharing::{assign_hashes, MqoPlan, RuleAssignment, SharingStats};

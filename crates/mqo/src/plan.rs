@@ -1,0 +1,240 @@
+//! The MQO query plan: canonical predicate signatures shared across rules
+//! (procedure `QPforMQO`), and the derived rule order `O_r` (procedure
+//! `SortQuery`).
+
+use dcer_mrl::{Consequence, Predicate, Rule, RuleSet};
+use dcer_relation::{AttrId, RelId, Value};
+use std::collections::{BTreeSet, HashMap};
+
+/// The canonical (rule-independent) signature of a predicate: two predicates
+/// of different rules share a plan node iff their signatures are equal.
+/// Variable names are erased; sides of symmetric predicates are sorted.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PredSig {
+    /// `R.A = c`.
+    Const(RelId, AttrId, Value),
+    /// `R.A = S.B`, sides sorted.
+    Eq((RelId, AttrId), (RelId, AttrId)),
+    /// `R.id = R.id` (id predicates are always within one relation).
+    Id(RelId),
+    /// `M(R[Ā], S[B̄])`, sides sorted when identical-typed.
+    Ml(String, (RelId, Vec<AttrId>), (RelId, Vec<AttrId>)),
+}
+
+impl PredSig {
+    /// Signature of a body predicate in the context of its rule.
+    pub fn of_predicate(rule: &Rule, p: &Predicate) -> PredSig {
+        match p {
+            Predicate::ConstEq { var, attr, value } => {
+                PredSig::Const(rule.rel_of(*var), *attr, value.clone())
+            }
+            Predicate::AttrEq { left, right } => {
+                let a = (rule.rel_of(left.0), left.1);
+                let b = (rule.rel_of(right.0), right.1);
+                if a <= b {
+                    PredSig::Eq(a, b)
+                } else {
+                    PredSig::Eq(b, a)
+                }
+            }
+            Predicate::IdEq { left, .. } => PredSig::Id(rule.rel_of(*left)),
+            Predicate::Ml { model, left, left_attrs, right, right_attrs } => {
+                let a = (rule.rel_of(*left), left_attrs.clone());
+                let b = (rule.rel_of(*right), right_attrs.clone());
+                if a <= b {
+                    PredSig::Ml(model.clone(), a, b)
+                } else {
+                    PredSig::Ml(model.clone(), b, a)
+                }
+            }
+        }
+    }
+
+    /// Signature of a rule head (heads share plan nodes too: a head id
+    /// predicate is the same logical object as a body id predicate).
+    pub fn of_head(rule: &Rule) -> PredSig {
+        match &rule.head {
+            Consequence::IdEq { left, .. } => PredSig::Id(rule.rel_of(*left)),
+            Consequence::Ml { model, left, left_attrs, right, right_attrs } => {
+                let a = (rule.rel_of(*left), left_attrs.clone());
+                let b = (rule.rel_of(*right), right_attrs.clone());
+                if a <= b {
+                    PredSig::Ml(model.clone(), a, b)
+                } else {
+                    PredSig::Ml(model.clone(), b, a)
+                }
+            }
+        }
+    }
+}
+
+/// The shared query plan over a rule set.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// Per rule: the signatures of its body predicates (in body order).
+    pub rule_sigs: Vec<Vec<PredSig>>,
+    /// Signature -> rules containing it (sorted, deduplicated).
+    pub sig_rules: HashMap<PredSig, Vec<usize>>,
+}
+
+impl QueryPlan {
+    /// Build the plan (`QPforMQO`).
+    pub fn build(rules: &RuleSet) -> QueryPlan {
+        let mut rule_sigs = Vec::with_capacity(rules.len());
+        let mut sig_rules: HashMap<PredSig, Vec<usize>> = HashMap::new();
+        for (i, rule) in rules.rules().iter().enumerate() {
+            let sigs: Vec<PredSig> =
+                rule.body.iter().map(|p| PredSig::of_predicate(rule, p)).collect();
+            for s in BTreeSet::from_iter(sigs.iter().cloned()) {
+                sig_rules.entry(s).or_default().push(i);
+            }
+            rule_sigs.push(sigs);
+        }
+        QueryPlan { rule_sigs, sig_rules }
+    }
+
+    /// `N_φ`: the set of *other* rules sharing at least one predicate with
+    /// rule `i` in the plan.
+    pub fn sharing_neighbors(&self, i: usize) -> BTreeSet<usize> {
+        let mut n = BTreeSet::new();
+        for sig in BTreeSet::from_iter(self.rule_sigs[i].iter()) {
+            for &j in &self.sig_rules[sig] {
+                if j != i {
+                    n.insert(j);
+                }
+            }
+        }
+        n
+    }
+
+    /// `S_φ = |N_φ|`.
+    pub fn sharing_score(&self, i: usize) -> usize {
+        self.sharing_neighbors(i).len()
+    }
+
+    /// `S_lp`: number of rules containing this predicate signature.
+    pub fn predicate_score(&self, sig: &PredSig) -> usize {
+        self.sig_rules.get(sig).map_or(0, Vec::len)
+    }
+
+    /// `SortQuery`: rules in descending `S_φ` (ties by original index) —
+    /// the order `O_r`.
+    pub fn rule_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.rule_sigs.len()).collect();
+        order.sort_by_key(|&i| (usize::MAX - self.sharing_score(i), i));
+        order
+    }
+
+    /// `O_p` for one rule: indices of its body predicates in descending
+    /// `S_lp` (ties by body position).
+    pub fn predicate_order(&self, i: usize) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.rule_sigs[i].len()).collect();
+        order.sort_by_key(|&p| {
+            (usize::MAX - self.predicate_score(&self.rule_sigs[i][p]), p)
+        });
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcer_mrl::parse_rules;
+    use dcer_relation::{Catalog, RelationSchema, ValueType};
+    use std::sync::Arc;
+
+    fn catalog() -> Arc<Catalog> {
+        Arc::new(
+            Catalog::from_schemas(vec![
+                RelationSchema::of(
+                    "C",
+                    &[("name", ValueType::Str), ("phone", ValueType::Str), ("addr", ValueType::Str)],
+                ),
+                RelationSchema::of("S", &[("owner", ValueType::Str), ("email", ValueType::Str)]),
+            ])
+            .unwrap(),
+        )
+    }
+
+    /// Mirror of the paper's Example 5 structure: φ₁ shares predicates with
+    /// φ₃ and φ₄; φ₂ shares with nobody.
+    fn example_rules() -> dcer_mrl::RuleSet {
+        parse_rules(
+            &catalog(),
+            "match phi1: C(t), C(s), t.name = s.name, t.phone = s.phone, t.addr = s.addr -> t.id = s.id;
+             match phi3: C(t), C(s), S(a), S(b), t.phone = s.phone, a.email = b.email -> a.id = b.id;
+             match phi4: C(t), C(s), t.addr = s.addr, m(t.name, s.name) -> t.id = s.id;
+             match phi2: S(a), S(b), a.owner = b.owner -> a.id = b.id",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shared_predicates_create_shared_nodes() {
+        let rules = example_rules();
+        let qp = QueryPlan::build(&rules);
+        let phone_sig = PredSig::Eq((0, 1), (0, 1));
+        assert_eq!(qp.sig_rules[&phone_sig], vec![0, 1]);
+        let addr_sig = PredSig::Eq((0, 2), (0, 2));
+        assert_eq!(qp.sig_rules[&addr_sig], vec![0, 2]);
+    }
+
+    #[test]
+    fn sharing_scores_match_paper_example_shape() {
+        let rules = example_rules();
+        let qp = QueryPlan::build(&rules);
+        // phi1 shares with phi3 (phone) and phi4 (addr): S = 2.
+        assert_eq!(qp.sharing_score(0), 2);
+        assert_eq!(qp.sharing_score(1), 1);
+        assert_eq!(qp.sharing_score(2), 1);
+        assert_eq!(qp.sharing_score(3), 0);
+        assert_eq!(qp.rule_order(), vec![0, 1, 2, 3]);
+        assert_eq!(qp.sharing_neighbors(0), BTreeSet::from([1, 2]));
+    }
+
+    #[test]
+    fn predicate_order_puts_shared_first() {
+        let rules = example_rules();
+        let qp = QueryPlan::build(&rules);
+        // For phi1: name (1 rule), phone (2 rules), addr (2 rules): phone
+        // and addr must precede name.
+        let order = qp.predicate_order(0);
+        let name_pos = order.iter().position(|&p| p == 0).unwrap();
+        let phone_pos = order.iter().position(|&p| p == 1).unwrap();
+        let addr_pos = order.iter().position(|&p| p == 2).unwrap();
+        assert!(phone_pos < name_pos && addr_pos < name_pos);
+    }
+
+    #[test]
+    fn eq_signature_is_order_insensitive() {
+        let rules = parse_rules(
+            &catalog(),
+            "match a: C(t), S(s), t.name = s.owner, t.phone = s.email -> m(t.name, s.owner);
+             match b: S(s), C(t), s.owner = t.name -> m(t.name, s.owner)",
+        )
+        .unwrap();
+        let qp = QueryPlan::build(&rules);
+        let sig = PredSig::Eq((0, 0), (1, 0));
+        assert_eq!(qp.sig_rules[&sig], vec![0, 1], "flipped sides share a node");
+    }
+
+    #[test]
+    fn head_signature_for_ml_and_id() {
+        let rules = example_rules();
+        let head_sig = PredSig::of_head(&rules.rules()[0]);
+        assert_eq!(head_sig, PredSig::Id(0));
+    }
+
+    #[test]
+    fn constants_with_different_values_do_not_share() {
+        let rules = parse_rules(
+            &catalog(),
+            r#"match a: C(t), C(s), t.name = "x", t.phone = s.phone -> t.id = s.id;
+               match b: C(t), C(s), t.name = "y", t.phone = s.phone -> t.id = s.id"#,
+        )
+        .unwrap();
+        let qp = QueryPlan::build(&rules);
+        assert_eq!(qp.predicate_score(&PredSig::Const(0, 0, Value::str("x"))), 1);
+        assert_eq!(qp.predicate_score(&PredSig::Eq((0, 1), (0, 1))), 2);
+    }
+}

@@ -1,0 +1,320 @@
+//! Shared hash-function assignment (procedure `AssignHash`).
+//!
+//! Every distinct variable of every rule needs a hash function for the
+//! Hypercube distribution. Assigning them independently per rule wastes
+//! work: a tuple's `h(t.A)` would be recomputed for every rule touching
+//! `A`. `assign_hashes` allocates functions from a global pool so that
+//!
+//! - occurrences of the same `(relation, attribute)` reuse one function
+//!   (transitively through equality predicates — the paper's Example 4
+//!   covers `φ₁`, `φ₂`, `φ₃` with 6 functions instead of 12);
+//! - id and ML-vector distinct variables reuse per
+//!   `(relation, kind, occurrence)` so self-join pairs keep two functions;
+//! - within each rule, dimensions are ordered by the global hash-function
+//!   order `O_h`, so tuples hashed with the same functions travel to the
+//!   same coordinates for every rule.
+
+use crate::plan::QueryPlan;
+use dcer_mrl::{distinct_variables, DistinctVar, RuleSet, VarKey};
+use dcer_relation::{AttrId, RelId};
+use std::collections::HashMap;
+
+/// A hash-function assignment for one rule.
+#[derive(Debug, Clone)]
+pub struct RuleAssignment {
+    /// The rule's distinct variables (canonical order of
+    /// [`distinct_variables`]).
+    pub dvars: Vec<DistinctVar>,
+    /// Global hash-function id per distinct variable.
+    pub hash_fn: Vec<usize>,
+    /// Dimension order: distinct-variable indices sorted by hash-function
+    /// id (`O_h`), then by index for stability.
+    pub dim_order: Vec<usize>,
+}
+
+impl RuleAssignment {
+    /// Number of hypercube dimensions for this rule.
+    pub fn num_dims(&self) -> usize {
+        self.dvars.len()
+    }
+}
+
+/// Sharing statistics — the measurable MQO effect.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharingStats {
+    /// Total distinct variables across rules.
+    pub total_dvars: usize,
+    /// Hash functions actually allocated.
+    pub hash_fns_used: usize,
+    /// Hash functions the no-sharing baseline would allocate
+    /// (= `total_dvars`).
+    pub hash_fns_without_sharing: usize,
+}
+
+/// The complete MQO plan consumed by the HyPart partitioner.
+#[derive(Debug, Clone)]
+pub struct MqoPlan {
+    /// `O_r`: rule indices in processing order.
+    pub rule_order: Vec<usize>,
+    /// Per-rule assignments, indexed by *original* rule index.
+    pub assignments: Vec<RuleAssignment>,
+    /// Number of distinct hash functions allocated.
+    pub num_hash_fns: usize,
+    /// Sharing statistics.
+    pub stats: SharingStats,
+}
+
+/// Global key under which hash functions are shared.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum GlobalKey {
+    /// `(relation, attribute)` — unified transitively via equality edges.
+    Attr(RelId, AttrId),
+    /// `(relation, occurrence#)` for id distinct variables.
+    Id(RelId, usize),
+    /// `(relation, attrs, occurrence#)` for ML-vector distinct variables.
+    Ml(RelId, Vec<AttrId>, usize),
+}
+
+/// Assign hash functions with sharing (`use_mqo = true`) or fresh functions
+/// per distinct variable (`use_mqo = false`, the `DMatch_noMQO` baseline).
+pub fn assign_hashes(rules: &RuleSet, qp: &QueryPlan, use_mqo: bool) -> MqoPlan {
+    let rule_order = qp.rule_order();
+    let n = rules.len();
+    let mut assignments: Vec<Option<RuleAssignment>> = vec![None; n];
+
+    // Global union-find over keys (flattened via a map to representative).
+    let mut key_fn: HashMap<GlobalKey, usize> = HashMap::new();
+    let mut next_fn = 0usize;
+    let mut total_dvars = 0usize;
+
+    for &ri in &rule_order {
+        let rule = &rules.rules()[ri];
+        let dvars = distinct_variables(rule);
+        total_dvars += dvars.len();
+        let mut id_occ: HashMap<RelId, usize> = HashMap::new();
+        let mut ml_occ: HashMap<(RelId, Vec<AttrId>), usize> = HashMap::new();
+
+        // Visit distinct variables in a predicate-priority order: dvars
+        // touched by higher-S_lp predicates first (the paper's O_p), so
+        // shared predicates grab the shared (low-numbered) functions.
+        let dvar_priority = dvar_order(qp, ri, rule, &dvars);
+
+        let mut hash_fn = vec![usize::MAX; dvars.len()];
+        for &di in &dvar_priority {
+            let d = &dvars[di];
+            // Global keys of all members; assigning the class means making
+            // every member key point at the same function.
+            let mut keys = Vec::with_capacity(d.members.len());
+            for (var, key) in &d.members {
+                let rel = rule.rel_of(*var);
+                let gk = match key {
+                    VarKey::Attr(a) => GlobalKey::Attr(rel, *a),
+                    VarKey::Id => {
+                        let occ = id_occ.entry(rel).or_insert(0);
+                        let k = GlobalKey::Id(rel, *occ);
+                        *occ += 1;
+                        k
+                    }
+                    VarKey::MlVec(attrs) => {
+                        let occ = ml_occ.entry((rel, attrs.clone())).or_insert(0);
+                        let k = GlobalKey::Ml(rel, attrs.clone(), *occ);
+                        *occ += 1;
+                        k
+                    }
+                };
+                keys.push(gk);
+            }
+            // Reuse an existing function if any member key has one.
+            let existing = if use_mqo {
+                keys.iter().find_map(|k| key_fn.get(k).copied())
+            } else {
+                None
+            };
+            let f = existing.unwrap_or_else(|| {
+                let f = next_fn;
+                next_fn += 1;
+                f
+            });
+            if use_mqo {
+                for k in keys {
+                    key_fn.entry(k).or_insert(f);
+                }
+            }
+            hash_fn[di] = f;
+        }
+
+        // O_h: dimensions ordered by hash-function id.
+        let mut dim_order: Vec<usize> = (0..dvars.len()).collect();
+        dim_order.sort_by_key(|&i| (hash_fn[i], i));
+        assignments[ri] = Some(RuleAssignment { dvars, hash_fn, dim_order });
+    }
+
+    let assignments: Vec<RuleAssignment> =
+        assignments.into_iter().map(|a| a.expect("every rule assigned")).collect();
+    MqoPlan {
+        rule_order,
+        num_hash_fns: next_fn,
+        stats: SharingStats {
+            total_dvars,
+            hash_fns_used: next_fn,
+            hash_fns_without_sharing: total_dvars,
+        },
+        assignments,
+    }
+}
+
+/// Order a rule's distinct variables so those touched by widely-shared
+/// predicates come first (`O_p` lifted from predicates to the distinct
+/// variables they bind).
+fn dvar_order(
+    qp: &QueryPlan,
+    rule_idx: usize,
+    rule: &dcer_mrl::Rule,
+    dvars: &[DistinctVar],
+) -> Vec<usize> {
+    // Score each dvar: the best (highest) S_lp of any predicate touching a
+    // member occurrence of it.
+    let mut scores = vec![0usize; dvars.len()];
+    for (pi, sig) in qp.rule_sigs[rule_idx].iter().enumerate() {
+        let score = qp.predicate_score(sig);
+        // Which dvars does this predicate touch? Those containing any
+        // occurrence of the predicate's variables+attrs.
+        let p = &rule.body[pi];
+        for (di, d) in dvars.iter().enumerate() {
+            let touches = match p {
+                dcer_mrl::Predicate::AttrEq { left, right } => {
+                    d.members.contains(&(left.0, VarKey::Attr(left.1)))
+                        || d.members.contains(&(right.0, VarKey::Attr(right.1)))
+                }
+                dcer_mrl::Predicate::IdEq { left, right } => {
+                    d.members.contains(&(*left, VarKey::Id))
+                        || d.members.contains(&(*right, VarKey::Id))
+                }
+                dcer_mrl::Predicate::Ml { left, left_attrs, right, right_attrs, .. } => {
+                    d.members.contains(&(*left, VarKey::MlVec(left_attrs.clone())))
+                        || d.members.contains(&(*right, VarKey::MlVec(right_attrs.clone())))
+                }
+                dcer_mrl::Predicate::ConstEq { .. } => false,
+            };
+            if touches {
+                scores[di] = scores[di].max(score);
+            }
+        }
+    }
+    let mut order: Vec<usize> = (0..dvars.len()).collect();
+    order.sort_by_key(|&i| (usize::MAX - scores[i], i));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcer_mrl::parse_rules;
+    use dcer_relation::{Catalog, RelationSchema, ValueType};
+    use std::sync::Arc;
+
+    /// Example 4 of the paper: R/S/T/P with mutual A=B swaps. With sharing,
+    /// 6 hash functions suffice for 12 distinct variables.
+    fn example4() -> dcer_mrl::RuleSet {
+        let cat = Arc::new(
+            Catalog::from_schemas(vec![
+                RelationSchema::of("R", &[("a", ValueType::Str), ("b", ValueType::Str)]),
+                RelationSchema::of("S", &[("a", ValueType::Str), ("b", ValueType::Str)]),
+                RelationSchema::of("T", &[("a", ValueType::Str), ("b", ValueType::Str)]),
+                RelationSchema::of("P", &[("a", ValueType::Str), ("b", ValueType::Str)]),
+            ])
+            .unwrap(),
+        );
+        parse_rules(
+            &cat,
+            "match phi1: R(t1), R(u1), S(t2), t1.b = t2.a, t2.b = t1.a -> t1.id = u1.id;
+             match phi2: R(t3), R(u3), T(t4), t3.b = t4.a, t4.b = t3.a -> t3.id = u3.id;
+             match phi3: T(t5), T(u5), P(t6), t5.b = t6.a, t6.b = t5.a -> t5.id = u5.id",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example4_sharing_reduces_function_count() {
+        let rules = example4();
+        let qp = QueryPlan::build(&rules);
+        let with = assign_hashes(&rules, &qp, true);
+        let without = assign_hashes(&rules, &qp, false);
+        assert!(
+            with.num_hash_fns < without.num_hash_fns,
+            "sharing {} !< baseline {}",
+            with.num_hash_fns,
+            without.num_hash_fns
+        );
+        assert_eq!(without.num_hash_fns, without.stats.total_dvars);
+    }
+
+    #[test]
+    fn equality_linked_attrs_share_one_function() {
+        let rules = example4();
+        let qp = QueryPlan::build(&rules);
+        let plan = assign_hashes(&rules, &qp, true);
+        // In phi1, the class {t1.b, t2.a} is one dvar with one function; in
+        // phi2 the class {t3.b, t4.a} must reuse R.b's function.
+        let a1 = &plan.assignments[0];
+        let a2 = &plan.assignments[1];
+        let fn_of = |a: &RuleAssignment, attr: AttrId| -> usize {
+            a.dvars
+                .iter()
+                .enumerate()
+                .find(|(_, d)| {
+                    d.members.iter().any(|(v, k)| {
+                        *k == VarKey::Attr(attr) && v.0 == 0 // t1 / t3 is var 0
+                    })
+                })
+                .map(|(i, _)| a.hash_fn[i])
+                .unwrap()
+        };
+        assert_eq!(fn_of(a1, 1), fn_of(a2, 1), "R.b shares across phi1/phi2");
+        assert_eq!(fn_of(a1, 0), fn_of(a2, 0), "R.a shares across phi1/phi2");
+    }
+
+    #[test]
+    fn id_occurrences_get_distinct_functions_within_a_rule() {
+        let rules = example4();
+        let qp = QueryPlan::build(&rules);
+        let plan = assign_hashes(&rules, &qp, true);
+        for a in &plan.assignments {
+            let id_fns: Vec<usize> = a
+                .dvars
+                .iter()
+                .zip(&a.hash_fn)
+                .filter(|(d, _)| d.members.iter().all(|(_, k)| *k == VarKey::Id))
+                .map(|(_, f)| *f)
+                .collect();
+            assert_eq!(id_fns.len(), 2, "two id dvars (head vars)");
+            assert_ne!(id_fns[0], id_fns[1], "self-pair ids need separate dims");
+        }
+    }
+
+    #[test]
+    fn dim_order_follows_hash_function_order() {
+        let rules = example4();
+        let qp = QueryPlan::build(&rules);
+        let plan = assign_hashes(&rules, &qp, true);
+        for a in &plan.assignments {
+            let fns: Vec<usize> = a.dim_order.iter().map(|&i| a.hash_fn[i]).collect();
+            let mut sorted = fns.clone();
+            sorted.sort_unstable();
+            assert_eq!(fns, sorted, "dims must be sorted by O_h");
+        }
+    }
+
+    #[test]
+    fn no_mqo_mode_never_shares() {
+        let rules = example4();
+        let qp = QueryPlan::build(&rules);
+        let plan = assign_hashes(&rules, &qp, false);
+        let mut seen = std::collections::HashSet::new();
+        for a in &plan.assignments {
+            for &f in &a.hash_fn {
+                assert!(seen.insert(f), "function {f} reused in noMQO mode");
+            }
+        }
+    }
+}

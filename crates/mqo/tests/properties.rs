@@ -1,0 +1,117 @@
+//! Property tests for the MQO hash assignment over randomly generated rule
+//! sets: totality, order invariants, cross-rule sharing soundness, and the
+//! no-sharing baseline.
+
+use dcer_mqo::{assign_hashes, QueryPlan};
+use dcer_mrl::{parse_rules, RuleSet, VarKey};
+use dcer_relation::{Catalog, RelationSchema, ValueType};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn catalog() -> Arc<Catalog> {
+    Arc::new(
+        Catalog::from_schemas(vec![
+            RelationSchema::of("R", &[("a", ValueType::Str), ("b", ValueType::Str), ("c", ValueType::Str)]),
+            RelationSchema::of("S", &[("a", ValueType::Str), ("b", ValueType::Str)]),
+        ])
+        .unwrap(),
+    )
+}
+
+/// Generate an MD-style rule over attribute indices.
+fn md_rule(name: usize, rel: &str, attrs: &[usize]) -> String {
+    let names = ["a", "b", "c"];
+    let arity = if rel == "S" { 2 } else { 3 };
+    let preds: Vec<String> =
+        attrs.iter().map(|&i| format!("t.{0} = s.{0}", names[i % arity])).collect();
+    format!("match r{name}: {rel}(t), {rel}(s), {} -> t.id = s.id", preds.join(", "))
+}
+
+fn rule_set(specs: &[(bool, Vec<usize>)]) -> RuleSet {
+    let src: String = specs
+        .iter()
+        .enumerate()
+        .map(|(i, (use_s, attrs))| {
+            format!("{};\n", md_rule(i, if *use_s { "S" } else { "R" }, attrs))
+        })
+        .collect();
+    parse_rules(&catalog(), &src).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn assignment_invariants(
+        specs in prop::collection::vec(
+            (any::<bool>(), prop::collection::vec(0usize..3, 1..3)),
+            1..6,
+        )
+    ) {
+        let rules = rule_set(&specs);
+        let qp = QueryPlan::build(&rules);
+
+        for use_mqo in [true, false] {
+            let plan = assign_hashes(&rules, &qp, use_mqo);
+            prop_assert_eq!(plan.assignments.len(), rules.len());
+            let mut seen_fns = std::collections::HashSet::new();
+            // Global key -> function: sharing must be consistent.
+            let mut attr_fn: HashMap<(u16, u16), usize> = HashMap::new();
+            for (ri, a) in plan.assignments.iter().enumerate() {
+                // Totality: every distinct variable has a function.
+                prop_assert_eq!(a.hash_fn.len(), a.dvars.len());
+                prop_assert!(a.hash_fn.iter().all(|&f| f < plan.num_hash_fns));
+                // O_h: dimension order sorted by function id.
+                let fns: Vec<usize> = a.dim_order.iter().map(|&i| a.hash_fn[i]).collect();
+                let mut sorted = fns.clone();
+                sorted.sort_unstable();
+                prop_assert_eq!(fns, sorted);
+                for (di, d) in a.dvars.iter().enumerate() {
+                    seen_fns.insert(a.hash_fn[di]);
+                    for (var, key) in &d.members {
+                        if let VarKey::Attr(attr) = key {
+                            let rel = rules.rules()[ri].rel_of(*var);
+                            if use_mqo {
+                                // Same (rel, attr) everywhere -> same fn.
+                                if let Some(&f) = attr_fn.get(&(rel, *attr)) {
+                                    prop_assert_eq!(
+                                        f, a.hash_fn[di],
+                                        "(rel {}, attr {}) got two functions", rel, attr
+                                    );
+                                } else {
+                                    attr_fn.insert((rel, *attr), a.hash_fn[di]);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // Allocation is dense: functions 0..num_hash_fns all used.
+            prop_assert_eq!(seen_fns.len(), plan.num_hash_fns);
+            if !use_mqo {
+                // Baseline never shares: one function per distinct variable.
+                prop_assert_eq!(plan.num_hash_fns, plan.stats.total_dvars);
+            } else {
+                prop_assert!(plan.num_hash_fns <= plan.stats.total_dvars);
+            }
+        }
+    }
+
+    #[test]
+    fn sharing_monotone_in_overlap(reps in 2usize..6) {
+        // N identical rules: with MQO the pool stays the size of one rule's
+        // distinct variables; without, it grows linearly.
+        let specs: Vec<(bool, Vec<usize>)> = (0..reps).map(|_| (false, vec![0, 1])).collect();
+        let rules = rule_set(&specs);
+        let qp = QueryPlan::build(&rules);
+        let with = assign_hashes(&rules, &qp, true);
+        let without = assign_hashes(&rules, &qp, false);
+        let per_rule = with.assignments[0].dvars.len();
+        // Identical rules share their attribute classes; only id dims stay
+        // per-occurrence (each rule re-derives them from the same global
+        // occurrence keys, so they also collapse across identical rules).
+        prop_assert!(with.num_hash_fns <= per_rule);
+        prop_assert_eq!(without.num_hash_fns, per_rule * reps);
+    }
+}

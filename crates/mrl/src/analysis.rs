@@ -1,0 +1,377 @@
+//! Static analysis of MRLs: deep/collective classification (Section III-A),
+//! *distinct variables* for Hypercube partitioning (Section IV), and
+//! hypergraph acyclicity via GYO reduction (Theorem 3).
+
+use crate::ast::{Consequence, Predicate, Rule, TupleVar};
+use dcer_relation::AttrId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Classification of an MRL per the paper's complexity analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleClass {
+    /// ≤2 tuple variables, no id predicate in the precondition — an
+    /// (extended) matching dependency; single-pass evaluable.
+    Simple,
+    /// Id predicates in the precondition, ≤2 tuple variables: recursive but
+    /// bounded-width (PTIME per Theorem 2(2)).
+    Deep,
+    /// More than 2 tuple variables, no recursion (NP-complete per
+    /// Theorem 2(1)).
+    Collective,
+    /// Both recursive and multi-table (NP-complete per Theorem 2(3)).
+    DeepCollective,
+}
+
+/// Classify one rule.
+pub fn classify(rule: &Rule) -> RuleClass {
+    let deep = rule.has_id_precondition();
+    let collective = rule.num_vars() > 2;
+    match (deep, collective) {
+        (false, false) => RuleClass::Simple,
+        (true, false) => RuleClass::Deep,
+        (false, true) => RuleClass::Collective,
+        (true, true) => RuleClass::DeepCollective,
+    }
+}
+
+/// What a tuple variable contributes to one distinct variable.
+///
+/// The paper extends the Hypercube's distinct variables with id attributes
+/// and ML attribute vectors: those "can only be computed by comparing all
+/// pairs of tuples", so each side is its own distinct variable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum VarKey {
+    /// An ordinary attribute (hash input = the attribute value).
+    Attr(AttrId),
+    /// The tuple identity (hash input = the tuple's `Tid`).
+    Id,
+    /// An ML attribute vector (hash input = the tuple's values at these
+    /// attributes).
+    MlVec(Vec<AttrId>),
+}
+
+/// One distinct variable of a rule: an equivalence class of
+/// `(tuple variable, key)` occurrences under the rule's equality predicates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistinctVar {
+    /// Members, sorted; equality predicates put both sides in one class.
+    pub members: Vec<(TupleVar, VarKey)>,
+}
+
+impl DistinctVar {
+    /// The keys variable `v` contributes to this distinct variable (a
+    /// variable can appear several times, e.g. `t.A = t.B` self-equality).
+    pub fn keys_of(&self, v: TupleVar) -> impl Iterator<Item = &VarKey> {
+        self.members.iter().filter(move |(m, _)| *m == v).map(|(_, k)| k)
+    }
+
+    /// Whether variable `v` participates.
+    pub fn involves(&self, v: TupleVar) -> bool {
+        self.members.iter().any(|(m, _)| *m == v)
+    }
+}
+
+/// Compute the distinct variables of a rule, in a canonical order (sorted by
+/// smallest member). Attribute occurrences linked by `t.A = s.B` share a
+/// class; each side of an id or ML predicate (body *or* head — the paper's
+/// Example 5 includes the head ids of `φ₁`) is its own class. Constant
+/// predicates contribute no distinct variable (they are evaluated as
+/// filters during distribution).
+pub fn distinct_variables(rule: &Rule) -> Vec<DistinctVar> {
+    // Union-find over occurrence keys.
+    let mut parent: BTreeMap<(TupleVar, VarKey), (TupleVar, VarKey)> = BTreeMap::new();
+    fn find(
+        parent: &mut BTreeMap<(TupleVar, VarKey), (TupleVar, VarKey)>,
+        k: (TupleVar, VarKey),
+    ) -> (TupleVar, VarKey) {
+        let p = parent.entry(k.clone()).or_insert_with(|| k.clone()).clone();
+        if p == k {
+            return k;
+        }
+        let root = find(parent, p);
+        parent.insert(k, root.clone());
+        root
+    }
+    fn union(
+        parent: &mut BTreeMap<(TupleVar, VarKey), (TupleVar, VarKey)>,
+        a: (TupleVar, VarKey),
+        b: (TupleVar, VarKey),
+    ) {
+        let (ra, rb) = (find(parent, a), find(parent, b));
+        if ra != rb {
+            // Smaller root wins for canonical ordering.
+            if ra < rb {
+                parent.insert(rb, ra);
+            } else {
+                parent.insert(ra, rb);
+            }
+        }
+    }
+
+    for p in &rule.body {
+        match p {
+            Predicate::AttrEq { left, right } => union(
+                &mut parent,
+                (left.0, VarKey::Attr(left.1)),
+                (right.0, VarKey::Attr(right.1)),
+            ),
+            Predicate::IdEq { left, right } => {
+                find(&mut parent, (*left, VarKey::Id));
+                find(&mut parent, (*right, VarKey::Id));
+            }
+            Predicate::Ml { left, left_attrs, right, right_attrs, .. } => {
+                find(&mut parent, (*left, VarKey::MlVec(left_attrs.clone())));
+                find(&mut parent, (*right, VarKey::MlVec(right_attrs.clone())));
+            }
+            Predicate::ConstEq { .. } => {}
+        }
+    }
+    match &rule.head {
+        Consequence::IdEq { left, right } => {
+            find(&mut parent, (*left, VarKey::Id));
+            find(&mut parent, (*right, VarKey::Id));
+        }
+        Consequence::Ml { left, left_attrs, right, right_attrs, .. } => {
+            find(&mut parent, (*left, VarKey::MlVec(left_attrs.clone())));
+            find(&mut parent, (*right, VarKey::MlVec(right_attrs.clone())));
+        }
+    }
+
+    // Group occurrences by root.
+    let keys: Vec<(TupleVar, VarKey)> = parent.keys().cloned().collect();
+    let mut classes: BTreeMap<(TupleVar, VarKey), BTreeSet<(TupleVar, VarKey)>> = BTreeMap::new();
+    for k in keys {
+        let root = find(&mut parent, k.clone());
+        classes.entry(root).or_default().insert(k);
+    }
+    classes
+        .into_values()
+        .map(|members| DistinctVar { members: members.into_iter().collect() })
+        .collect()
+}
+
+/// GYO acyclicity of the rule's precondition hypergraph (paper, Theorem 3):
+/// vertices are the distinct variables; one hyperedge per tuple variable
+/// containing the distinct variables it touches. Repeatedly remove *ears*
+/// (vertices in ≤1 edge; edges contained in another edge); acyclic iff at
+/// most one edge survives.
+pub fn is_acyclic(rule: &Rule) -> bool {
+    let dvars = distinct_variables(rule);
+    let mut edges: Vec<BTreeSet<usize>> = (0..rule.num_vars())
+        .map(|v| {
+            dvars
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.involves(TupleVar(v as u16)))
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect();
+
+    loop {
+        let mut changed = false;
+        // Remove vertices appearing in at most one edge.
+        let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
+        for e in &edges {
+            for &v in e {
+                *counts.entry(v).or_insert(0) += 1;
+            }
+        }
+        for e in &mut edges {
+            let before = e.len();
+            e.retain(|v| counts[v] > 1);
+            changed |= e.len() != before;
+        }
+        // Remove empty edges and edges contained in another edge.
+        let snapshot = edges.clone();
+        let before = edges.len();
+        let mut kept: Vec<BTreeSet<usize>> = Vec::with_capacity(edges.len());
+        'outer: for (i, e) in snapshot.iter().enumerate() {
+            if e.is_empty() {
+                continue;
+            }
+            for (j, f) in snapshot.iter().enumerate() {
+                if i != j && e.is_subset(f) && (e != f || i > j) {
+                    continue 'outer;
+                }
+            }
+            kept.push(e.clone());
+        }
+        changed |= kept.len() != before;
+        edges = kept;
+        if !changed {
+            break;
+        }
+    }
+    edges.len() <= 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Consequence, Predicate, Rule};
+
+    fn head(l: u16, r: u16) -> Consequence {
+        Consequence::IdEq { left: TupleVar(l), right: TupleVar(r) }
+    }
+
+    fn eq(lv: u16, la: AttrId, rv: u16, ra: AttrId) -> Predicate {
+        Predicate::AttrEq { left: (TupleVar(lv), la), right: (TupleVar(rv), ra) }
+    }
+
+    fn rule(atoms: Vec<u16>, body: Vec<Predicate>, h: Consequence) -> Rule {
+        Rule {
+            name: "r".into(),
+            var_names: (0..atoms.len()).map(|i| format!("t{i}")).collect(),
+            atoms,
+            body,
+            head: h,
+        }
+    }
+
+    #[test]
+    fn classification_matrix() {
+        // 2 vars, no id precondition.
+        let simple = rule(vec![0, 0], vec![eq(0, 1, 1, 1)], head(0, 1));
+        assert_eq!(classify(&simple), RuleClass::Simple);
+        // 2 vars with id precondition.
+        let deep = rule(
+            vec![0, 0],
+            vec![Predicate::IdEq { left: TupleVar(0), right: TupleVar(1) }],
+            head(0, 1),
+        );
+        assert_eq!(classify(&deep), RuleClass::Deep);
+        // 4 vars, no id precondition.
+        let collective = rule(vec![0, 0, 1, 1], vec![eq(0, 0, 2, 1)], head(0, 1));
+        assert_eq!(classify(&collective), RuleClass::Collective);
+        // Both.
+        let both = rule(
+            vec![0, 0, 1, 1],
+            vec![Predicate::IdEq { left: TupleVar(2), right: TupleVar(3) }],
+            head(0, 1),
+        );
+        assert_eq!(classify(&both), RuleClass::DeepCollective);
+    }
+
+    #[test]
+    fn distinct_vars_of_paper_phi1() {
+        // φ₁: Customers(t), Customers(s), t.name=s.name, t.phone=s.phone,
+        // t.addr=s.addr -> t.id=s.id. Expect 5 distinct vars: {t.name,s.name},
+        // {t.phone,s.phone}, {t.addr,s.addr}, {t.id}, {s.id}.
+        let r = rule(
+            vec![0, 0],
+            vec![eq(0, 1, 1, 1), eq(0, 2, 1, 2), eq(0, 3, 1, 3)],
+            head(0, 1),
+        );
+        let dv = distinct_variables(&r);
+        assert_eq!(dv.len(), 5);
+        let merged = dv.iter().filter(|d| d.members.len() == 2).count();
+        assert_eq!(merged, 3);
+        let ids = dv
+            .iter()
+            .filter(|d| d.members.iter().all(|(_, k)| *k == VarKey::Id))
+            .count();
+        assert_eq!(ids, 2, "head ids are separate distinct variables");
+    }
+
+    #[test]
+    fn equality_chains_collapse_into_one_class() {
+        // t0.a = t1.a, t1.a = t2.a -> one class of three members (+ head ids).
+        let r = rule(vec![0, 0, 0], vec![eq(0, 1, 1, 1), eq(1, 1, 2, 1)], head(0, 1));
+        let dv = distinct_variables(&r);
+        let big = dv.iter().find(|d| d.members.len() == 3).expect("chain class");
+        assert!(big.involves(TupleVar(0)) && big.involves(TupleVar(1)) && big.involves(TupleVar(2)));
+    }
+
+    #[test]
+    fn ml_sides_are_separate_distinct_vars() {
+        let r = rule(
+            vec![0, 0],
+            vec![Predicate::Ml {
+                model: "m".into(),
+                left: TupleVar(0),
+                left_attrs: vec![1, 2],
+                right: TupleVar(1),
+                right_attrs: vec![1, 2],
+            }],
+            head(0, 1),
+        );
+        let dv = distinct_variables(&r);
+        let ml_classes: Vec<_> = dv
+            .iter()
+            .filter(|d| d.members.iter().any(|(_, k)| matches!(k, VarKey::MlVec(_))))
+            .collect();
+        assert_eq!(ml_classes.len(), 2);
+        assert!(ml_classes.iter().all(|d| d.members.len() == 1));
+    }
+
+    #[test]
+    fn keys_of_returns_member_keys() {
+        let r = rule(vec![0, 0], vec![eq(0, 1, 1, 2)], head(0, 1));
+        let dv = distinct_variables(&r);
+        let class = dv.iter().find(|d| d.members.len() == 2).unwrap();
+        let keys: Vec<_> = class.keys_of(TupleVar(0)).collect();
+        assert_eq!(keys, vec![&VarKey::Attr(1)]);
+    }
+
+    #[test]
+    fn star_join_is_acyclic() {
+        // Orders joins Customers and Products: hyperedges form a tree.
+        // (Analysis functions never run validation, so the degenerate head
+        // is fine here.)
+        let r = rule(
+            vec![0, 1, 2],
+            vec![eq(1, 1, 0, 0), eq(1, 2, 2, 0)],
+            Consequence::IdEq { left: TupleVar(0), right: TupleVar(0) },
+        );
+        assert!(is_acyclic(&r));
+    }
+
+    #[test]
+    fn triangle_join_is_cyclic() {
+        // R(t0) S(t1) T(t2) with t0-t1, t1-t2, t2-t0 equalities on distinct
+        // attribute pairs: a 3-cycle.
+        let r = rule(
+            vec![0, 1, 2],
+            vec![eq(0, 0, 1, 0), eq(1, 1, 2, 1), eq(2, 2, 0, 2)],
+            Consequence::IdEq { left: TupleVar(0), right: TupleVar(0) },
+        );
+        assert!(!is_acyclic(&r));
+    }
+
+    #[test]
+    fn two_variable_rules_are_always_acyclic() {
+        let r = rule(
+            vec![0, 0],
+            vec![eq(0, 1, 1, 1), eq(0, 2, 1, 2), eq(0, 3, 1, 3)],
+            head(0, 1),
+        );
+        assert!(is_acyclic(&r));
+    }
+
+    #[test]
+    fn paper_phi4_is_cyclic_but_drops_to_acyclic_without_the_ip_edge() {
+        // φ₄ topology: Customers-Orders-Products / Orders-Shops chains per
+        // side plus cross-side equalities. The addr edge (c—c') together
+        // with c—o, c'—o' and the IP edge (o—o') closes a 4-cycle, so φ₄ is
+        // NOT acyclic; removing the IP equality breaks the cycle.
+        // Atoms: 0:c 1:c' 2:o 3:o' 4:p 5:p' 6:s 7:s' (rels arbitrary here).
+        let body = vec![
+            eq(0, 0, 2, 1), // c.cno = o.buyer
+            eq(1, 0, 3, 1),
+            eq(2, 3, 4, 0), // o.item = p.pno
+            eq(3, 3, 5, 0),
+            eq(2, 2, 6, 0), // o.seller = s.sno
+            eq(3, 2, 7, 0),
+            eq(0, 3, 1, 3), // c.addr = c'.addr
+            eq(2, 4, 3, 4), // o.IP = o'.IP
+        ];
+        let cyclic = rule(vec![0, 0, 1, 1, 2, 2, 3, 3], body.clone(), head(0, 1));
+        assert!(!is_acyclic(&cyclic));
+
+        let mut open = body;
+        open.pop(); // drop the IP edge
+        let acyclic = rule(vec![0, 0, 1, 1, 2, 2, 3, 3], open, head(0, 1));
+        assert!(is_acyclic(&acyclic));
+    }
+}

@@ -1,0 +1,578 @@
+//! Abstract syntax and validation of MRLs.
+
+use dcer_relation::{AttrId, Catalog, RelId, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// A tuple variable: an index into its rule's relation-atom list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TupleVar(pub u16);
+
+impl fmt::Display for TupleVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A body predicate of an MRL (relation atoms are implicit: the rule's atom
+/// list binds its tuple variables).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// `t.A = c`.
+    ConstEq {
+        /// Tuple variable.
+        var: TupleVar,
+        /// Attribute of the variable's relation.
+        attr: AttrId,
+        /// The constant.
+        value: Value,
+    },
+    /// `t.A = s.B` over compatible attributes.
+    AttrEq {
+        /// Left side `(variable, attribute)`.
+        left: (TupleVar, AttrId),
+        /// Right side `(variable, attribute)`.
+        right: (TupleVar, AttrId),
+    },
+    /// `t.id = s.id` — satisfied when the chase has matched the two tuples.
+    /// Both variables must range over the same relation (ids of different
+    /// relations have different types).
+    IdEq {
+        /// Left tuple variable.
+        left: TupleVar,
+        /// Right tuple variable.
+        right: TupleVar,
+    },
+    /// `M(t[Ā], s[B̄])` — an embedded ML classifier applied to two attribute
+    /// vectors. Satisfied when the classifier predicts true or the
+    /// prediction was validated by an earlier chase step.
+    Ml {
+        /// Registered model name.
+        model: String,
+        /// Left tuple variable.
+        left: TupleVar,
+        /// Attribute vector `Ā` of the left variable.
+        left_attrs: Vec<AttrId>,
+        /// Right tuple variable.
+        right: TupleVar,
+        /// Attribute vector `B̄` of the right variable.
+        right_attrs: Vec<AttrId>,
+    },
+}
+
+impl Predicate {
+    /// Tuple variables mentioned by this predicate.
+    pub fn vars(&self) -> Vec<TupleVar> {
+        match self {
+            Predicate::ConstEq { var, .. } => vec![*var],
+            Predicate::AttrEq { left, right } => vec![left.0, right.0],
+            Predicate::IdEq { left, right } | Predicate::Ml { left, right, .. } => {
+                vec![*left, *right]
+            }
+        }
+    }
+
+    /// Whether this predicate's truth can change during the chase (id and ML
+    /// predicates — the *recursive* predicates of Section V-A; equality and
+    /// constant predicates are fixed by the data).
+    pub fn is_recursive(&self) -> bool {
+        matches!(self, Predicate::IdEq { .. } | Predicate::Ml { .. })
+    }
+}
+
+/// The consequence `l` of an MRL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Consequence {
+    /// `t.id = s.id`: deduce a match.
+    IdEq {
+        /// Left tuple variable.
+        left: TupleVar,
+        /// Right tuple variable.
+        right: TupleVar,
+    },
+    /// `M(t[Ā], s[B̄])`: validate (and explain) an ML prediction.
+    Ml {
+        /// Registered model name.
+        model: String,
+        /// Left tuple variable.
+        left: TupleVar,
+        /// Attribute vector of the left variable.
+        left_attrs: Vec<AttrId>,
+        /// Right tuple variable.
+        right: TupleVar,
+        /// Attribute vector of the right variable.
+        right_attrs: Vec<AttrId>,
+    },
+}
+
+impl Consequence {
+    /// Tuple variables mentioned by the consequence.
+    pub fn vars(&self) -> Vec<TupleVar> {
+        match self {
+            Consequence::IdEq { left, right } | Consequence::Ml { left, right, .. } => {
+                vec![*left, *right]
+            }
+        }
+    }
+}
+
+/// One MRL `X → l`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Rule name (for diagnostics and experiment output).
+    pub name: String,
+    /// Relation atom per tuple variable: variable `TupleVar(i)` ranges over
+    /// relation `atoms[i]`.
+    pub atoms: Vec<RelId>,
+    /// Human-readable variable names, parallel to `atoms`.
+    pub var_names: Vec<String>,
+    /// The precondition `X` (conjunction).
+    pub body: Vec<Predicate>,
+    /// The consequence `l`.
+    pub head: Consequence,
+}
+
+impl Rule {
+    /// Number of tuple variables (the paper's `|Σ|` counts the maximum over
+    /// the rule set).
+    pub fn num_vars(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Number of predicates in the precondition (the paper's `|φ|`).
+    pub fn num_predicates(&self) -> usize {
+        self.body.len()
+    }
+
+    /// The relation a tuple variable ranges over.
+    pub fn rel_of(&self, v: TupleVar) -> RelId {
+        self.atoms[v.0 as usize]
+    }
+
+    /// Whether the precondition contains an id predicate — i.e., the rule
+    /// requires *deep* (recursive) evaluation.
+    pub fn has_id_precondition(&self) -> bool {
+        self.body.iter().any(|p| matches!(p, Predicate::IdEq { .. }))
+    }
+
+    /// Whether the precondition contains any ML predicate.
+    pub fn has_ml_precondition(&self) -> bool {
+        self.body.iter().any(|p| matches!(p, Predicate::Ml { .. }))
+    }
+
+    /// Names of ML models used anywhere in the rule.
+    pub fn ml_models(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self
+            .body
+            .iter()
+            .filter_map(|p| match p {
+                Predicate::Ml { model, .. } => Some(model.as_str()),
+                _ => None,
+            })
+            .collect();
+        if let Consequence::Ml { model, .. } = &self.head {
+            names.push(model);
+        }
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+
+    /// Validate the rule against a catalog: variables bound, attributes
+    /// exist, equality/ML attribute types compatible, id predicates within a
+    /// single relation, head variables bound.
+    pub fn validate(&self, catalog: &Catalog) -> Result<(), String> {
+        let n = self.atoms.len();
+        let check_var = |v: TupleVar| -> Result<(), String> {
+            if (v.0 as usize) < n {
+                Ok(())
+            } else {
+                Err(format!("rule `{}`: unbound tuple variable {v}", self.name))
+            }
+        };
+        let check_attr = |v: TupleVar, a: AttrId| -> Result<(), String> {
+            check_var(v)?;
+            let schema = catalog.schema(self.rel_of(v));
+            if (a as usize) < schema.arity() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "rule `{}`: attribute #{a} out of range for `{}`",
+                    self.name, schema.name
+                ))
+            }
+        };
+        let check_id = |l: TupleVar, r: TupleVar| -> Result<(), String> {
+            check_var(l)?;
+            check_var(r)?;
+            if self.rel_of(l) != self.rel_of(r) {
+                return Err(format!(
+                    "rule `{}`: id predicate between different relations `{}` and `{}`",
+                    self.name,
+                    catalog.schema(self.rel_of(l)).name,
+                    catalog.schema(self.rel_of(r)).name,
+                ));
+            }
+            Ok(())
+        };
+        let check_ml = |l: TupleVar,
+                        la: &[AttrId],
+                        r: TupleVar,
+                        ra: &[AttrId]|
+         -> Result<(), String> {
+            if la.is_empty() || la.len() != ra.len() {
+                return Err(format!(
+                    "rule `{}`: ML attribute vectors must be non-empty and of equal length",
+                    self.name
+                ));
+            }
+            for (&a, &b) in la.iter().zip(ra) {
+                check_attr(l, a)?;
+                check_attr(r, b)?;
+                let ta = catalog.schema(self.rel_of(l)).attr_type(a);
+                let tb = catalog.schema(self.rel_of(r)).attr_type(b);
+                if !ta.compatible(tb) {
+                    return Err(format!(
+                        "rule `{}`: incompatible ML attribute types {ta} vs {tb}",
+                        self.name
+                    ));
+                }
+            }
+            Ok(())
+        };
+
+        for (i, &rel) in self.atoms.iter().enumerate() {
+            if rel as usize >= catalog.len() {
+                return Err(format!(
+                    "rule `{}`: atom #{i} references unknown relation id {rel}",
+                    self.name
+                ));
+            }
+        }
+        if self.var_names.len() != n {
+            return Err(format!("rule `{}`: var_names/atoms length mismatch", self.name));
+        }
+        for p in &self.body {
+            match p {
+                Predicate::ConstEq { var, attr, value } => {
+                    check_attr(*var, *attr)?;
+                    if let Some(ty) = value.value_type() {
+                        let at = catalog.schema(self.rel_of(*var)).attr_type(*attr);
+                        if !ty.compatible(at) {
+                            return Err(format!(
+                                "rule `{}`: constant of type {ty} compared to attribute of type {at}",
+                                self.name
+                            ));
+                        }
+                    }
+                }
+                Predicate::AttrEq { left, right } => {
+                    check_attr(left.0, left.1)?;
+                    check_attr(right.0, right.1)?;
+                    let ta = catalog.schema(self.rel_of(left.0)).attr_type(left.1);
+                    let tb = catalog.schema(self.rel_of(right.0)).attr_type(right.1);
+                    if !ta.compatible(tb) {
+                        return Err(format!(
+                            "rule `{}`: incompatible equality types {ta} vs {tb}",
+                            self.name
+                        ));
+                    }
+                }
+                Predicate::IdEq { left, right } => check_id(*left, *right)?,
+                Predicate::Ml { left, left_attrs, right, right_attrs, .. } => {
+                    check_ml(*left, left_attrs, *right, right_attrs)?;
+                }
+            }
+        }
+        match &self.head {
+            Consequence::IdEq { left, right } => {
+                check_id(*left, *right)?;
+                if left == right {
+                    return Err(format!(
+                        "rule `{}`: trivial head `{left}.id = {left}.id`",
+                        self.name
+                    ));
+                }
+            }
+            Consequence::Ml { left, left_attrs, right, right_attrs, .. } => {
+                check_ml(*left, left_attrs, *right, right_attrs)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Render against a catalog in the paper's notation.
+    pub fn display(&self, catalog: &Catalog) -> String {
+        let vn = |v: TupleVar| self.var_names[v.0 as usize].clone();
+        let an = |v: TupleVar, a: AttrId| {
+            format!(
+                "{}.{}",
+                vn(v),
+                catalog.schema(self.rel_of(v)).attribute(a).name
+            )
+        };
+        let mut parts: Vec<String> = self
+            .atoms
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| format!("{}({})", catalog.schema(r).name, self.var_names[i]))
+            .collect();
+        for p in &self.body {
+            parts.push(match p {
+                Predicate::ConstEq { var, attr, value } => {
+                    format!("{} = {value:?}", an(*var, *attr))
+                }
+                Predicate::AttrEq { left, right } => {
+                    format!("{} = {}", an(left.0, left.1), an(right.0, right.1))
+                }
+                Predicate::IdEq { left, right } => {
+                    format!("{}.id = {}.id", vn(*left), vn(*right))
+                }
+                Predicate::Ml { model, left, left_attrs, right, right_attrs } => {
+                    format!(
+                        "{model}({}; {})",
+                        left_attrs.iter().map(|&a| an(*left, a)).collect::<Vec<_>>().join(", "),
+                        right_attrs.iter().map(|&a| an(*right, a)).collect::<Vec<_>>().join(", ")
+                    )
+                }
+            });
+        }
+        let head = match &self.head {
+            Consequence::IdEq { left, right } => {
+                format!("{}.id = {}.id", vn(*left), vn(*right))
+            }
+            Consequence::Ml { model, left, left_attrs, right, right_attrs } => format!(
+                "{model}({}; {})",
+                left_attrs.iter().map(|&a| an(*left, a)).collect::<Vec<_>>().join(", "),
+                right_attrs.iter().map(|&a| an(*right, a)).collect::<Vec<_>>().join(", ")
+            ),
+        };
+        format!("{}: {} -> {}", self.name, parts.join(" ∧ "), head)
+    }
+}
+
+/// A validated set of MRLs over a shared catalog — the paper's `Σ`.
+#[derive(Debug, Clone)]
+pub struct RuleSet {
+    catalog: Arc<Catalog>,
+    rules: Vec<Rule>,
+    /// Interned ML model names; predicates refer to models by index in the
+    /// engines.
+    model_names: Vec<String>,
+}
+
+impl RuleSet {
+    /// Build and validate a rule set.
+    pub fn new(catalog: Arc<Catalog>, rules: Vec<Rule>) -> Result<RuleSet, String> {
+        let mut model_names: Vec<String> = Vec::new();
+        for r in &rules {
+            r.validate(&catalog)?;
+            for m in r.ml_models() {
+                if !model_names.iter().any(|n| n == m) {
+                    model_names.push(m.to_string());
+                }
+            }
+        }
+        model_names.sort_unstable();
+        Ok(RuleSet { catalog, rules, model_names })
+    }
+
+    /// The catalog the rules are defined over.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// The rules — the paper's `Σ`; `‖Σ‖` is `self.rules().len()`.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Number of rules `‖Σ‖`.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The paper's `|Σ|`: the maximum number of tuple variables of any rule.
+    pub fn max_vars(&self) -> usize {
+        self.rules.iter().map(Rule::num_vars).max().unwrap_or(0)
+    }
+
+    /// All ML model names referenced by any rule, sorted.
+    pub fn model_names(&self) -> &[String] {
+        &self.model_names
+    }
+
+    /// Intern a model name to its dense index.
+    pub fn model_index(&self, name: &str) -> Option<u16> {
+        self.model_names
+            .binary_search_by(|n| n.as_str().cmp(name))
+            .ok()
+            .map(|i| i as u16)
+    }
+
+    /// Restrict to rules satisfying `keep` (used to build the paper's
+    /// `DMatch_C` / `DMatch_D` variants).
+    pub fn filtered(&self, keep: impl Fn(&Rule) -> bool) -> RuleSet {
+        let rules: Vec<Rule> = self.rules.iter().filter(|r| keep(r)).cloned().collect();
+        RuleSet::new(self.catalog.clone(), rules).expect("filtered subset of a valid rule set")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcer_relation::{RelationSchema, ValueType};
+
+    fn catalog() -> Arc<Catalog> {
+        Arc::new(
+            Catalog::from_schemas(vec![
+                RelationSchema::of(
+                    "Customers",
+                    &[("cno", ValueType::Str), ("name", ValueType::Str), ("phone", ValueType::Str)],
+                ),
+                RelationSchema::of(
+                    "Orders",
+                    &[("ono", ValueType::Str), ("buyer", ValueType::Str), ("total", ValueType::Float)],
+                ),
+            ])
+            .unwrap(),
+        )
+    }
+
+    fn md_rule() -> Rule {
+        Rule {
+            name: "phi1".into(),
+            atoms: vec![0, 0],
+            var_names: vec!["t".into(), "s".into()],
+            body: vec![
+                Predicate::AttrEq { left: (TupleVar(0), 1), right: (TupleVar(1), 1) },
+                Predicate::AttrEq { left: (TupleVar(0), 2), right: (TupleVar(1), 2) },
+            ],
+            head: Consequence::IdEq { left: TupleVar(0), right: TupleVar(1) },
+        }
+    }
+
+    #[test]
+    fn valid_md_rule_passes() {
+        assert_eq!(md_rule().validate(&catalog()), Ok(()));
+        assert!(!md_rule().has_id_precondition());
+        assert_eq!(md_rule().num_vars(), 2);
+        assert_eq!(md_rule().num_predicates(), 2);
+    }
+
+    #[test]
+    fn unbound_variable_rejected() {
+        let mut r = md_rule();
+        r.body.push(Predicate::IdEq { left: TupleVar(0), right: TupleVar(9) });
+        assert!(r.validate(&catalog()).unwrap_err().contains("unbound"));
+    }
+
+    #[test]
+    fn cross_relation_id_predicate_rejected() {
+        let r = Rule {
+            name: "bad".into(),
+            atoms: vec![0, 1],
+            var_names: vec!["t".into(), "o".into()],
+            body: vec![],
+            head: Consequence::IdEq { left: TupleVar(0), right: TupleVar(1) },
+        };
+        let err = r.validate(&catalog()).unwrap_err();
+        assert!(err.contains("different relations"), "{err}");
+    }
+
+    #[test]
+    fn incompatible_equality_types_rejected() {
+        let r = Rule {
+            name: "bad".into(),
+            atoms: vec![0, 1],
+            var_names: vec!["t".into(), "o".into()],
+            body: vec![Predicate::AttrEq { left: (TupleVar(0), 1), right: (TupleVar(1), 2) }],
+            head: Consequence::Ml {
+                model: "m".into(),
+                left: TupleVar(0),
+                left_attrs: vec![1],
+                right: TupleVar(1),
+                right_attrs: vec![0],
+            },
+        };
+        assert!(r.validate(&catalog()).unwrap_err().contains("incompatible equality"));
+    }
+
+    #[test]
+    fn ml_vector_arity_mismatch_rejected() {
+        let mut r = md_rule();
+        r.body.push(Predicate::Ml {
+            model: "m".into(),
+            left: TupleVar(0),
+            left_attrs: vec![1, 2],
+            right: TupleVar(1),
+            right_attrs: vec![1],
+        });
+        assert!(r.validate(&catalog()).unwrap_err().contains("equal length"));
+    }
+
+    #[test]
+    fn trivial_head_rejected() {
+        let mut r = md_rule();
+        r.head = Consequence::IdEq { left: TupleVar(0), right: TupleVar(0) };
+        assert!(r.validate(&catalog()).unwrap_err().contains("trivial"));
+    }
+
+    #[test]
+    fn constant_type_checked() {
+        let mut r = md_rule();
+        r.body.push(Predicate::ConstEq { var: TupleVar(0), attr: 1, value: Value::Int(3) });
+        assert!(r.validate(&catalog()).is_err());
+        let mut r = md_rule();
+        r.body.push(Predicate::ConstEq { var: TupleVar(0), attr: 1, value: Value::str("x") });
+        assert!(r.validate(&catalog()).is_ok());
+    }
+
+    #[test]
+    fn ruleset_interns_models() {
+        let mut r = md_rule();
+        r.body.push(Predicate::Ml {
+            model: "zeta".into(),
+            left: TupleVar(0),
+            left_attrs: vec![1],
+            right: TupleVar(1),
+            right_attrs: vec![1],
+        });
+        let mut r2 = md_rule();
+        r2.name = "phi2".into();
+        r2.head = Consequence::Ml {
+            model: "alpha".into(),
+            left: TupleVar(0),
+            left_attrs: vec![2],
+            right: TupleVar(1),
+            right_attrs: vec![2],
+        };
+        let rs = RuleSet::new(catalog(), vec![r, r2]).unwrap();
+        assert_eq!(rs.model_names(), &["alpha".to_string(), "zeta".to_string()]);
+        assert_eq!(rs.model_index("alpha"), Some(0));
+        assert_eq!(rs.model_index("zeta"), Some(1));
+        assert_eq!(rs.model_index("nope"), None);
+        assert_eq!(rs.max_vars(), 2);
+    }
+
+    #[test]
+    fn filtered_keeps_subset() {
+        let rs = RuleSet::new(catalog(), vec![md_rule()]).unwrap();
+        assert_eq!(rs.filtered(|_| false).len(), 0);
+        assert_eq!(rs.filtered(|_| true).len(), 1);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let cat = catalog();
+        let s = md_rule().display(&cat);
+        assert!(s.contains("Customers(t)"), "{s}");
+        assert!(s.contains("t.name = s.name"), "{s}");
+        assert!(s.contains("-> t.id = s.id"), "{s}");
+    }
+}

@@ -1,0 +1,30 @@
+//! The MRL rule language — *Matching Rules with mL* (paper, Section II).
+//!
+//! An MRL has the form `X → l` where the precondition `X` is a conjunction
+//! of predicates over a database schema and the consequence `l` is either an
+//! id predicate `t.id = s.id` (the tuples denote the same entity) or an ML
+//! predicate `M(t[Ā], s[B̄])` (the rule *validates* — and logically explains —
+//! the ML prediction). Predicates are:
+//!
+//! - relation atoms `R(t)` binding tuple variables,
+//! - constant predicates `t.A = c`,
+//! - equality predicates `t.A = s.B` over compatible attributes,
+//! - id predicates `t.id = s.id` (making a rule **deep**/recursive), and
+//! - ML predicates `M(t[Ā], s[B̄])` over compatible attribute vectors.
+//!
+//! MRLs strictly extend classic matching dependencies (MDs): an MD is an MRL
+//! with exactly two relation atoms, no constants and an id consequence.
+//! Rules with more than two atoms are **collective** (they correlate
+//! evidence across tables); the paper proves collective ER NP-complete and
+//! deep ER PTIME, with acyclic-rule preconditions restoring tractability —
+//! [`analysis::is_acyclic`] implements the GYO test used by that result.
+
+pub mod analysis;
+pub mod ast;
+pub mod parser;
+
+pub use analysis::{
+    classify, distinct_variables, is_acyclic, DistinctVar, RuleClass, VarKey,
+};
+pub use ast::{Consequence, Predicate, Rule, RuleSet, TupleVar};
+pub use parser::{parse_rules, ParseError};

@@ -1,0 +1,665 @@
+//! Text syntax for MRLs.
+//!
+//! The concrete syntax mirrors the paper's notation. Example (rule `φ₂` of
+//! the running example):
+//!
+//! ```text
+//! # products with the same name and ML-similar descriptions match
+//! match phi2:
+//!   Products(p), Products(q),
+//!   p.pname = q.pname,
+//!   m1(p.desc, q.desc)
+//!   -> p.id = q.id;
+//! ```
+//!
+//! - Rules start with `match <name>:` and end at `;` or end of input.
+//! - `R(t)` binds tuple variable `t` to relation `R`.
+//! - `t.A = s.B` is attribute equality; `t.A = "c"` / `t.A = 42` /
+//!   `t.A = true` are constant predicates.
+//! - `t.id = s.id` is the id predicate (`id` is the built-in identity — a
+//!   schema column literally named `id` is not addressable from rules).
+//! - `m(t.A, s.B)` is an ML predicate; vector form: `m(t[A1, A2], s[B1, B2])`.
+//! - `->` separates precondition from consequence. `#` starts a comment.
+
+use crate::ast::{Consequence, Predicate, Rule, RuleSet, TupleVar};
+use dcer_relation::{AttrId, Catalog, Value};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A parse or resolution failure with its source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Num(f64, bool), // value, is_integer
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Dot,
+    Eq,
+    Arrow,
+    Colon,
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let mut toks = Vec::new();
+    let mut line = 1usize;
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '(' => { chars.next(); toks.push((Tok::LParen, line)); }
+            ')' => { chars.next(); toks.push((Tok::RParen, line)); }
+            '[' => { chars.next(); toks.push((Tok::LBracket, line)); }
+            ']' => { chars.next(); toks.push((Tok::RBracket, line)); }
+            ',' => { chars.next(); toks.push((Tok::Comma, line)); }
+            ';' => { chars.next(); toks.push((Tok::Semi, line)); }
+            '.' => { chars.next(); toks.push((Tok::Dot, line)); }
+            '=' => { chars.next(); toks.push((Tok::Eq, line)); }
+            ':' => { chars.next(); toks.push((Tok::Colon, line)); }
+            '-' => {
+                chars.next();
+                match chars.peek() {
+                    Some('>') => {
+                        chars.next();
+                        toks.push((Tok::Arrow, line));
+                    }
+                    Some(d) if d.is_ascii_digit() => {
+                        let (v, int) = lex_number(&mut chars, line)?;
+                        toks.push((Tok::Num(-v, int), line));
+                    }
+                    _ => {
+                        return Err(ParseError { line, message: "expected `->` or number after `-`".into() });
+                    }
+                }
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                let mut closed = false;
+                while let Some(c) = chars.next() {
+                    match c {
+                        '"' => { closed = true; break; }
+                        '\\' => match chars.next() {
+                            Some('n') => s.push('\n'),
+                            Some('t') => s.push('\t'),
+                            Some(other) => s.push(other),
+                            None => break,
+                        },
+                        '\n' => {
+                            return Err(ParseError { line, message: "unterminated string".into() });
+                        }
+                        c => s.push(c),
+                    }
+                }
+                if !closed {
+                    return Err(ParseError { line, message: "unterminated string".into() });
+                }
+                toks.push((Tok::Str(s), line));
+            }
+            c if c.is_ascii_digit() => {
+                let (v, int) = lex_number(&mut chars, line)?;
+                toks.push((Tok::Num(v, int), line));
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push((Tok::Ident(s), line));
+            }
+            other => {
+                return Err(ParseError { line, message: format!("unexpected character `{other}`") });
+            }
+        }
+    }
+    Ok(toks)
+}
+
+fn lex_number(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    line: usize,
+) -> Result<(f64, bool), ParseError> {
+    let mut s = String::new();
+    let mut int = true;
+    while let Some(&c) = chars.peek() {
+        if c.is_ascii_digit() {
+            s.push(c);
+            chars.next();
+        } else if c == '.' && int {
+            // Lookahead: `.5` continues the number; `.attr` does not occur
+            // after digits in this grammar, so a dot inside a number is a
+            // decimal point only when followed by a digit.
+            let mut probe = chars.clone();
+            probe.next();
+            if probe.peek().is_some_and(|d| d.is_ascii_digit()) {
+                int = false;
+                s.push('.');
+                chars.next();
+            } else {
+                break;
+            }
+        } else {
+            break;
+        }
+    }
+    s.parse::<f64>()
+        .map(|v| (v, int))
+        .map_err(|_| ParseError { line, message: format!("bad number `{s}`") })
+}
+
+struct Parser<'a> {
+    toks: &'a [(Tok, usize)],
+    pos: usize,
+    catalog: &'a Catalog,
+}
+
+impl<'a> Parser<'a> {
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map_or(0, |(_, l)| *l)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError { line: self.line(), message: msg.into() }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn prev_line(&self) -> usize {
+        self.toks
+            .get(self.pos.saturating_sub(1))
+            .map_or(0, |(_, l)| *l)
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if t == tok => Ok(()),
+            other => Err(ParseError {
+                line: self.prev_line(),
+                message: format!("expected {tok:?}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(ParseError {
+                line: self.prev_line(),
+                message: format!("expected identifier, found {other:?}"),
+            }),
+        }
+    }
+
+    fn parse_rules(&mut self) -> Result<Vec<Rule>, ParseError> {
+        let mut rules = Vec::new();
+        while self.peek().is_some() {
+            rules.push(self.parse_rule()?);
+            if self.peek() == Some(&Tok::Semi) {
+                self.next();
+            }
+        }
+        Ok(rules)
+    }
+
+    fn parse_rule(&mut self) -> Result<Rule, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(kw)) if kw == "match" => {}
+            _ => return Err(self.err("rules must start with `match <name>:`")),
+        }
+        let name = self.ident()?;
+        self.expect(Tok::Colon)?;
+
+        let mut vars: HashMap<String, TupleVar> = HashMap::new();
+        let mut atoms = Vec::new();
+        let mut var_names = Vec::new();
+        let mut body = Vec::new();
+
+        loop {
+            if self.peek() == Some(&Tok::Arrow) {
+                self.next();
+                break;
+            }
+            self.parse_item(&mut vars, &mut atoms, &mut var_names, &mut body)?;
+            match self.peek() {
+                Some(Tok::Comma) => {
+                    self.next();
+                }
+                Some(Tok::Arrow) => {
+                    self.next();
+                    break;
+                }
+                other => return Err(self.err(format!("expected `,` or `->`, found {other:?}"))),
+            }
+        }
+
+        let head = self.parse_head(&vars, &atoms)?;
+        Ok(Rule { name, atoms, var_names, body, head })
+    }
+
+    /// One body item: relation atom, equality/constant predicate, id
+    /// predicate, or ML predicate.
+    fn parse_item(
+        &mut self,
+        vars: &mut HashMap<String, TupleVar>,
+        atoms: &mut Vec<u16>,
+        var_names: &mut Vec<String>,
+        body: &mut Vec<Predicate>,
+    ) -> Result<(), ParseError> {
+        let first = self.ident()?;
+        match self.peek() {
+            Some(Tok::LParen) => {
+                self.next();
+                // Relation atom `R(t)` or ML predicate `m(arg, arg)`.
+                if self.catalog.rel(&first).is_ok() && self.is_atom_body() {
+                    let var = self.ident()?;
+                    self.expect(Tok::RParen)?;
+                    let rel = self.catalog.rel(&first).unwrap();
+                    if vars.contains_key(&var) {
+                        return Err(self.err(format!("tuple variable `{var}` bound twice")));
+                    }
+                    let tv = TupleVar(atoms.len() as u16);
+                    vars.insert(var.clone(), tv);
+                    atoms.push(rel);
+                    var_names.push(var);
+                } else {
+                    let (left, left_attrs) = self.parse_ml_side(vars, atoms)?;
+                    self.expect(Tok::Comma)?;
+                    let (right, right_attrs) = self.parse_ml_side(vars, atoms)?;
+                    self.expect(Tok::RParen)?;
+                    body.push(Predicate::Ml { model: first, left, left_attrs, right, right_attrs });
+                }
+            }
+            Some(Tok::Dot) => {
+                self.next();
+                let attr_name = self.ident()?;
+                let var = *vars
+                    .get(&first)
+                    .ok_or_else(|| self.err(format!("unbound tuple variable `{first}`")))?;
+                self.expect(Tok::Eq)?;
+                if attr_name == "id" {
+                    let rvar_name = self.ident()?;
+                    self.expect(Tok::Dot)?;
+                    let rid = self.ident()?;
+                    if rid != "id" {
+                        return Err(self.err("id predicate must be `t.id = s.id`"));
+                    }
+                    let rvar = *vars
+                        .get(&rvar_name)
+                        .ok_or_else(|| self.err(format!("unbound tuple variable `{rvar_name}`")))?;
+                    body.push(Predicate::IdEq { left: var, right: rvar });
+                    return Ok(());
+                }
+                let attr = self.resolve_attr(atoms, var, &attr_name)?;
+                match self.peek().cloned() {
+                    Some(Tok::Str(s)) => {
+                        self.next();
+                        body.push(Predicate::ConstEq { var, attr, value: Value::str(s) });
+                    }
+                    Some(Tok::Num(v, int)) => {
+                        self.next();
+                        let value = if int { Value::Int(v as i64) } else { Value::Float(v) };
+                        body.push(Predicate::ConstEq { var, attr, value });
+                    }
+                    Some(Tok::Ident(id)) if id == "true" || id == "false" => {
+                        self.next();
+                        body.push(Predicate::ConstEq { var, attr, value: Value::Bool(id == "true") });
+                    }
+                    Some(Tok::Ident(_)) => {
+                        let rvar_name = self.ident()?;
+                        self.expect(Tok::Dot)?;
+                        let rattr_name = self.ident()?;
+                        let rvar = *vars.get(&rvar_name).ok_or_else(|| {
+                            self.err(format!("unbound tuple variable `{rvar_name}`"))
+                        })?;
+                        if rattr_name == "id" {
+                            return Err(self.err("cannot equate an attribute with an id"));
+                        }
+                        let rattr = self.resolve_attr(atoms, rvar, &rattr_name)?;
+                        body.push(Predicate::AttrEq { left: (var, attr), right: (rvar, rattr) });
+                    }
+                    other => return Err(self.err(format!("expected value or `var.attr`, found {other:?}"))),
+                }
+            }
+            other => return Err(self.err(format!("expected `(` or `.`, found {other:?}"))),
+        }
+        Ok(())
+    }
+
+    /// After `Rname(`: is the body a lone identifier followed by `)` —
+    /// i.e., a relation atom rather than an ML call on a same-named model?
+    fn is_atom_body(&self) -> bool {
+        matches!(
+            (self.toks.get(self.pos).map(|(t, _)| t), self.toks.get(self.pos + 1).map(|(t, _)| t)),
+            (Some(Tok::Ident(_)), Some(Tok::RParen))
+        )
+    }
+
+    /// One side of an ML predicate: `t.attr` or `t[attr, attr, ...]`.
+    fn parse_ml_side(
+        &mut self,
+        vars: &HashMap<String, TupleVar>,
+        atoms: &[u16],
+    ) -> Result<(TupleVar, Vec<AttrId>), ParseError> {
+        let var_name = self.ident()?;
+        let var = *vars
+            .get(&var_name)
+            .ok_or_else(|| self.err(format!("unbound tuple variable `{var_name}`")))?;
+        match self.next() {
+            Some(Tok::Dot) => {
+                let attr_name = self.ident()?;
+                let attr = self.resolve_attr(atoms, var, &attr_name)?;
+                Ok((var, vec![attr]))
+            }
+            Some(Tok::LBracket) => {
+                let mut attrs = Vec::new();
+                loop {
+                    let attr_name = self.ident()?;
+                    attrs.push(self.resolve_attr(atoms, var, &attr_name)?);
+                    match self.next() {
+                        Some(Tok::Comma) => continue,
+                        Some(Tok::RBracket) => break,
+                        other => {
+                            return Err(self.err(format!("expected `,` or `]`, found {other:?}")))
+                        }
+                    }
+                }
+                Ok((var, attrs))
+            }
+            other => Err(self.err(format!("expected `.` or `[`, found {other:?}"))),
+        }
+    }
+
+    fn resolve_attr(
+        &self,
+        atoms: &[u16],
+        var: TupleVar,
+        attr_name: &str,
+    ) -> Result<AttrId, ParseError> {
+        let rel = atoms[var.0 as usize];
+        self.catalog
+            .schema(rel)
+            .attr(attr_name)
+            .map_err(|e| self.err(e.to_string()))
+    }
+
+    fn parse_head(
+        &mut self,
+        vars: &HashMap<String, TupleVar>,
+        atoms: &[u16],
+    ) -> Result<Consequence, ParseError> {
+        let first = self.ident()?;
+        match self.peek() {
+            Some(Tok::Dot) => {
+                self.next();
+                let id = self.ident()?;
+                if id != "id" {
+                    return Err(self.err("head must be `t.id = s.id` or an ML predicate"));
+                }
+                self.expect(Tok::Eq)?;
+                let rvar_name = self.ident()?;
+                self.expect(Tok::Dot)?;
+                let rid = self.ident()?;
+                if rid != "id" {
+                    return Err(self.err("head must be `t.id = s.id`"));
+                }
+                let left = *vars
+                    .get(&first)
+                    .ok_or_else(|| self.err(format!("unbound tuple variable `{first}`")))?;
+                let right = *vars
+                    .get(&rvar_name)
+                    .ok_or_else(|| self.err(format!("unbound tuple variable `{rvar_name}`")))?;
+                Ok(Consequence::IdEq { left, right })
+            }
+            Some(Tok::LParen) => {
+                self.next();
+                let (left, left_attrs) = self.parse_ml_side(vars, atoms)?;
+                self.expect(Tok::Comma)?;
+                let (right, right_attrs) = self.parse_ml_side(vars, atoms)?;
+                self.expect(Tok::RParen)?;
+                Ok(Consequence::Ml { model: first, left, left_attrs, right, right_attrs })
+            }
+            other => Err(self.err(format!("expected head, found {other:?}"))),
+        }
+    }
+}
+
+/// Parse MRL source text against a catalog into a validated [`RuleSet`].
+pub fn parse_rules(catalog: &Arc<Catalog>, src: &str) -> Result<RuleSet, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks: &toks, pos: 0, catalog };
+    let rules = p.parse_rules()?;
+    RuleSet::new(catalog.clone(), rules).map_err(|message| ParseError { line: 0, message })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcer_relation::{RelationSchema, ValueType};
+
+    fn catalog() -> Arc<Catalog> {
+        Arc::new(
+            Catalog::from_schemas(vec![
+                RelationSchema::of(
+                    "Customers",
+                    &[
+                        ("cno", ValueType::Str),
+                        ("name", ValueType::Str),
+                        ("phone", ValueType::Str),
+                        ("addr", ValueType::Str),
+                    ],
+                ),
+                RelationSchema::of(
+                    "Orders",
+                    &[
+                        ("ono", ValueType::Str),
+                        ("buyer", ValueType::Str),
+                        ("total", ValueType::Float),
+                    ],
+                ),
+            ])
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn parses_md_style_rule() {
+        let rs = parse_rules(
+            &catalog(),
+            "match phi1: Customers(t), Customers(s), t.name = s.name, \
+             t.phone = s.phone, t.addr = s.addr -> t.id = s.id",
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 1);
+        let r = &rs.rules()[0];
+        assert_eq!(r.name, "phi1");
+        assert_eq!(r.num_vars(), 2);
+        assert_eq!(r.num_predicates(), 3);
+        assert!(matches!(r.head, Consequence::IdEq { .. }));
+    }
+
+    #[test]
+    fn parses_ml_and_constant_predicates() {
+        let rs = parse_rules(
+            &catalog(),
+            r#"
+            # deep + collective rule with ML
+            match phi4:
+              Customers(c), Customers(d), Orders(o), Orders(p),
+              c.cno = o.buyer, d.cno = p.buyer,
+              o.total = 100.5,
+              c.addr = "1st Ave, LA",
+              m3(c.name, d.name),
+              c.id = d.id
+              -> m4(c[name, addr], d[name, addr]);
+            "#,
+        )
+        .unwrap();
+        let r = &rs.rules()[0];
+        assert_eq!(r.num_vars(), 4);
+        assert!(r.has_id_precondition());
+        assert!(r.has_ml_precondition());
+        assert_eq!(r.ml_models(), vec!["m3", "m4"]);
+        assert!(r
+            .body
+            .iter()
+            .any(|p| matches!(p, Predicate::ConstEq { value: Value::Float(x), .. } if *x == 100.5)));
+        assert!(r
+            .body
+            .iter()
+            .any(|p| matches!(p, Predicate::ConstEq { value: Value::Str(s), .. } if &**s == "1st Ave, LA")));
+        match &r.head {
+            Consequence::Ml { model, left_attrs, right_attrs, .. } => {
+                assert_eq!(model, "m4");
+                assert_eq!(left_attrs.len(), 2);
+                assert_eq!(right_attrs.len(), 2);
+            }
+            other => panic!("unexpected head {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_multiple_rules() {
+        let rs = parse_rules(
+            &catalog(),
+            "match a: Customers(t), Customers(s), t.name = s.name -> t.id = s.id;
+             match b: Orders(o), Orders(p), o.buyer = p.buyer -> o.id = p.id",
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.rules()[1].name, "b");
+    }
+
+    #[test]
+    fn unknown_relation_is_an_error() {
+        let err = parse_rules(&catalog(), "match a: Shops(t), Shops(s) -> t.id = s.id")
+            .unwrap_err();
+        // `Shops` is treated as an ML model name, whose argument `t` is unbound.
+        assert!(err.message.contains("unbound") || err.message.contains("Shops"), "{err}");
+    }
+
+    #[test]
+    fn unknown_attribute_is_an_error() {
+        let err = parse_rules(
+            &catalog(),
+            "match a: Customers(t), Customers(s), t.nope = s.name -> t.id = s.id",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("nope"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_variable_is_an_error() {
+        let err = parse_rules(
+            &catalog(),
+            "match a: Customers(t), Customers(t) -> t.id = t.id",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("bound twice"), "{err}");
+    }
+
+    #[test]
+    fn negative_numbers_and_ints() {
+        let rs = parse_rules(
+            &catalog(),
+            "match a: Orders(o), Orders(p), o.total = -5, o.buyer = p.buyer -> o.id = p.id",
+        )
+        .unwrap();
+        assert!(rs.rules()[0]
+            .body
+            .iter()
+            .any(|p| matches!(p, Predicate::ConstEq { value: Value::Int(-5), .. })));
+    }
+
+    #[test]
+    fn error_carries_line_number() {
+        let err = parse_rules(
+            &catalog(),
+            "\n\nmatch a: Customers(t), Customers(s),\n  t.name = = -> t.id = s.id",
+        )
+        .unwrap_err();
+        assert_eq!(err.line, 4);
+    }
+
+    #[test]
+    fn cross_relation_id_head_rejected_by_validation() {
+        let err = parse_rules(
+            &catalog(),
+            "match a: Customers(t), Orders(o), t.cno = o.buyer -> t.id = o.id",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("different relations"), "{err}");
+    }
+
+    #[test]
+    fn string_escapes() {
+        let rs = parse_rules(
+            &catalog(),
+            r#"match a: Customers(t), Customers(s), t.name = "a\"b\nc" -> t.id = s.id"#,
+        )
+        .unwrap();
+        assert!(rs.rules()[0]
+            .body
+            .iter()
+            .any(|p| matches!(p, Predicate::ConstEq { value: Value::Str(s), .. } if &**s == "a\"b\nc")));
+    }
+
+    #[test]
+    fn display_roundtrips_through_parser() {
+        let cat = catalog();
+        let src = "match phi: Customers(t), Customers(s), t.name = s.name, \
+                   m(t.addr, s.addr) -> t.id = s.id";
+        let rs = parse_rules(&cat, src).unwrap();
+        let shown = rs.rules()[0].display(&cat);
+        assert!(shown.contains("m(t.addr; s.addr)"), "{shown}");
+    }
+}

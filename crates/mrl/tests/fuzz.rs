@@ -1,0 +1,88 @@
+//! Parser robustness: arbitrary input never panics, and generated
+//! well-formed rules always parse to the intended structure.
+
+use dcer_mrl::{classify, parse_rules, RuleClass};
+use dcer_relation::{Catalog, RelationSchema, ValueType};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn catalog() -> Arc<Catalog> {
+    Arc::new(
+        Catalog::from_schemas(vec![
+            RelationSchema::of("R", &[("a", ValueType::Str), ("b", ValueType::Str)]),
+            RelationSchema::of("S", &[("a", ValueType::Str), ("n", ValueType::Int)]),
+        ])
+        .unwrap(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes: the parser returns Ok or Err, never panics.
+    #[test]
+    fn arbitrary_input_never_panics(src in "\\PC{0,200}") {
+        let _ = parse_rules(&catalog(), &src);
+    }
+
+    /// Arbitrary *token soup* from the grammar's alphabet — much likelier
+    /// to reach deep parser states than fully random bytes.
+    #[test]
+    fn token_soup_never_panics(
+        toks in prop::collection::vec(
+            prop::sample::select(vec![
+                "match", "R", "S", "m", "t", "s", "(", ")", "[", "]", ",", ";",
+                ".", "=", "->", ":", "id", "a", "b", "n", "\"str\"", "4", "-3", "2.5",
+            ]),
+            0..40,
+        )
+    ) {
+        let src = toks.join(" ");
+        let _ = parse_rules(&catalog(), &src);
+    }
+
+    /// Structured generator: rules with a random mix of predicates always
+    /// parse, and their classification matches the construction.
+    #[test]
+    fn generated_rules_parse_and_classify(
+        n_extra_atoms in 0usize..3,
+        use_id_precond in any::<bool>(),
+        use_ml in any::<bool>(),
+        use_const in any::<bool>(),
+    ) {
+        let mut atoms = vec!["R(t0)".to_string(), "R(t1)".to_string()];
+        for i in 0..n_extra_atoms {
+            atoms.push(format!("S(u{i})"));
+        }
+        let mut preds = vec!["t0.a = t1.a".to_string()];
+        for i in 0..n_extra_atoms {
+            preds.push(format!("t0.a = u{i}.a"));
+        }
+        if use_id_precond {
+            preds.push("t0.id = t1.id".to_string());
+        }
+        if use_ml {
+            preds.push("m(t0.b, t1.b)".to_string());
+        }
+        if use_const {
+            preds.push("t0.b = \"c\"".to_string());
+        }
+        let src = format!(
+            "match gen: {}, {} -> t0.id = t1.id",
+            atoms.join(", "),
+            preds.join(", ")
+        );
+        let rules = parse_rules(&catalog(), &src).expect("generated rule must parse");
+        let r = &rules.rules()[0];
+        prop_assert_eq!(r.num_vars(), 2 + n_extra_atoms);
+        prop_assert_eq!(r.has_id_precondition(), use_id_precond);
+        prop_assert_eq!(r.has_ml_precondition(), use_ml);
+        let expected = match (use_id_precond, n_extra_atoms > 0) {
+            (false, false) => RuleClass::Simple,
+            (true, false) => RuleClass::Deep,
+            (false, true) => RuleClass::Collective,
+            (true, true) => RuleClass::DeepCollective,
+        };
+        prop_assert_eq!(classify(r), expected);
+    }
+}

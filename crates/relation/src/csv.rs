@@ -1,0 +1,290 @@
+//! Dependency-free CSV reading and writing.
+//!
+//! Supports RFC-4180-style quoting (`"` quotes, `""` escapes), embedded
+//! newlines inside quoted fields, and typed parsing against a
+//! [`RelationSchema`]. Empty fields and the literal `-` load as `Null`.
+
+use crate::dataset::Dataset;
+use crate::error::{Error, Result};
+use crate::schema::{AttrId, RelId, RelationSchema};
+use crate::value::Value;
+use std::io::{BufRead, Write};
+
+/// Parse one CSV record starting at `input[pos..]`. Returns the fields and
+/// the position just past the record's trailing newline, or `None` at EOF.
+fn parse_record(input: &str, mut pos: usize, line: &mut usize) -> Result<Option<(Vec<String>, usize)>> {
+    if pos >= input.len() {
+        return Ok(None);
+    }
+    let bytes = input.as_bytes();
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let start_line = *line;
+    loop {
+        if pos >= input.len() {
+            if in_quotes {
+                return Err(Error::Csv { line: start_line, message: "unterminated quote".into() });
+            }
+            fields.push(std::mem::take(&mut field));
+            return Ok(Some((fields, pos)));
+        }
+        let b = bytes[pos];
+        if in_quotes {
+            match b {
+                b'"' => {
+                    if bytes.get(pos + 1) == Some(&b'"') {
+                        field.push('"');
+                        pos += 2;
+                    } else {
+                        in_quotes = false;
+                        pos += 1;
+                    }
+                }
+                b'\n' => {
+                    *line += 1;
+                    field.push('\n');
+                    pos += 1;
+                }
+                _ => {
+                    // Copy one UTF-8 scalar.
+                    let ch_len = utf8_len(b);
+                    field.push_str(&input[pos..pos + ch_len]);
+                    pos += ch_len;
+                }
+            }
+        } else {
+            match b {
+                b'"' if field.is_empty() => {
+                    in_quotes = true;
+                    pos += 1;
+                }
+                b',' => {
+                    fields.push(std::mem::take(&mut field));
+                    pos += 1;
+                }
+                b'\r' if bytes.get(pos + 1) == Some(&b'\n') => {
+                    *line += 1;
+                    fields.push(std::mem::take(&mut field));
+                    return Ok(Some((fields, pos + 2)));
+                }
+                b'\n' => {
+                    *line += 1;
+                    fields.push(std::mem::take(&mut field));
+                    return Ok(Some((fields, pos + 1)));
+                }
+                _ => {
+                    let ch_len = utf8_len(b);
+                    field.push_str(&input[pos..pos + ch_len]);
+                    pos += ch_len;
+                }
+            }
+        }
+    }
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Parse a full CSV document into records.
+pub fn parse(input: &str) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut pos = 0;
+    let mut line = 1;
+    while let Some((fields, next)) = parse_record(input, pos, &mut line)? {
+        // Skip fully empty trailing lines.
+        if !(fields.len() == 1 && fields[0].is_empty()) {
+            records.push(fields);
+        }
+        pos = next;
+    }
+    Ok(records)
+}
+
+/// Quote a field if needed and append it to `out`.
+pub fn write_field(out: &mut String, field: &str) {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+    } else {
+        out.push_str(field);
+    }
+}
+
+/// Serialize records to CSV text.
+pub fn to_string(records: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    for rec in records {
+        for (i, f) in rec.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_field(&mut out, f);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Load CSV text (with a header row naming attributes) into relation `rel`
+/// of `dataset`. Header names must match the schema; columns may appear in
+/// any order. Returns the number of tuples loaded.
+pub fn load_into(dataset: &mut Dataset, rel: RelId, input: &str) -> Result<usize> {
+    let schema = dataset.catalog().schema(rel).clone();
+    let records = parse(input)?;
+    let Some((header, rows)) = records.split_first() else {
+        return Ok(0);
+    };
+    let mut order = Vec::with_capacity(header.len());
+    for name in header {
+        order.push(schema.attr(name)?);
+    }
+    let mut count = 0;
+    for (i, row) in rows.iter().enumerate() {
+        if row.len() != order.len() {
+            return Err(Error::Csv {
+                line: i + 2,
+                message: format!("expected {} fields, found {}", order.len(), row.len()),
+            });
+        }
+        let mut values = vec![Value::Null; schema.arity()];
+        for (field, &attr) in row.iter().zip(&order) {
+            values[attr as usize] = Value::parse_typed(field, schema.attr_type(attr));
+        }
+        dataset.insert(rel, values)?;
+        count += 1;
+    }
+    Ok(count)
+}
+
+/// Load CSV from a reader (see [`load_into`]).
+pub fn load_reader(dataset: &mut Dataset, rel: RelId, reader: &mut dyn BufRead) -> Result<usize> {
+    let mut buf = String::new();
+    reader.read_to_string(&mut buf)?;
+    load_into(dataset, rel, &buf)
+}
+
+/// Serialize relation `rel` of `dataset` as CSV with a header row.
+pub fn dump_relation(dataset: &Dataset, rel: RelId) -> String {
+    let schema: &RelationSchema = dataset.catalog().schema(rel);
+    let mut records = Vec::with_capacity(dataset.relation(rel).len() + 1);
+    records.push(schema.attributes.iter().map(|a| a.name.clone()).collect::<Vec<_>>());
+    for t in dataset.relation(rel).tuples() {
+        records.push(
+            (0..schema.arity() as AttrId)
+                .map(|a| match t.get(a) {
+                    Value::Null => String::new(),
+                    v => v.to_text(),
+                })
+                .collect(),
+        );
+    }
+    to_string(&records)
+}
+
+/// Write relation `rel` as CSV to a writer.
+pub fn dump_to(dataset: &Dataset, rel: RelId, w: &mut dyn Write) -> Result<()> {
+    w.write_all(dump_relation(dataset, rel).as_bytes())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Catalog, RelationSchema};
+    use crate::value::ValueType;
+    use std::sync::Arc;
+
+    fn dataset() -> Dataset {
+        Dataset::new(Arc::new(
+            Catalog::from_schemas(vec![RelationSchema::of(
+                "P",
+                &[
+                    ("pno", ValueType::Str),
+                    ("price", ValueType::Float),
+                    ("desc", ValueType::Str),
+                ],
+            )])
+            .unwrap(),
+        ))
+    }
+
+    #[test]
+    fn parses_quotes_and_embedded_commas() {
+        let recs = parse("a,\"b,c\",\"d\"\"e\"\nf,,g\n").unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0], vec!["a", "b,c", "d\"e"]);
+        assert_eq!(recs[1], vec!["f", "", "g"]);
+    }
+
+    #[test]
+    fn parses_embedded_newline_and_crlf() {
+        let recs = parse("x,\"line1\nline2\"\r\ny,z\n").unwrap();
+        assert_eq!(recs[0][1], "line1\nline2");
+        assert_eq!(recs[1], vec!["y", "z"]);
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        assert!(parse("a,\"oops\n").is_err());
+    }
+
+    #[test]
+    fn load_respects_header_order() {
+        let mut d = dataset();
+        let n = load_into(&mut d, 0, "price,pno,desc\n2000,p2,\"ThinkPad, X1\"\n1800,p3,-\n")
+            .unwrap();
+        assert_eq!(n, 2);
+        let t = &d.relation(0).tuples()[0];
+        assert_eq!(t.get(0), &Value::str("p2"));
+        assert_eq!(t.get(1), &Value::Float(2000.0));
+        assert_eq!(t.get(2), &Value::str("ThinkPad, X1"));
+        assert!(d.relation(0).tuples()[1].get(2).is_null());
+    }
+
+    #[test]
+    fn load_rejects_ragged_rows_and_unknown_columns() {
+        let mut d = dataset();
+        assert!(load_into(&mut d, 0, "pno,price,desc\na,1\n").is_err());
+        assert!(load_into(&mut d, 0, "pno,cost,desc\na,1,x\n").is_err());
+    }
+
+    #[test]
+    fn dump_roundtrips() {
+        let mut d = dataset();
+        load_into(&mut d, 0, "pno,price,desc\np1,9.5,\"has,comma\"\np2,3,\n").unwrap();
+        let text = dump_relation(&d, 0);
+        let mut d2 = dataset();
+        load_into(&mut d2, 0, &text).unwrap();
+        assert_eq!(
+            d.relation(0).tuples()[0].values,
+            d2.relation(0).tuples()[0].values
+        );
+        assert_eq!(
+            d.relation(0).tuples()[1].values,
+            d2.relation(0).tuples()[1].values
+        );
+    }
+
+    #[test]
+    fn writer_quoting() {
+        let mut s = String::new();
+        write_field(&mut s, "plain");
+        assert_eq!(s, "plain");
+        s.clear();
+        write_field(&mut s, "a\"b");
+        assert_eq!(s, "\"a\"\"b\"");
+    }
+}

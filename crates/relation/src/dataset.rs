@@ -1,0 +1,241 @@
+//! Relation instances and multi-relation datasets.
+//!
+//! A [`Dataset`] is the paper's `D = (D_1, ..., D_m)`. The same type also
+//! represents a HyPart *fragment* `W_i`: a fragment holds a subset of the
+//! original tuples (with their original [`Tid`]s preserved), so everything
+//! downstream — the chase, the incremental engine, the evaluator — operates
+//! uniformly on full datasets and fragments.
+
+use crate::error::{Error, Result};
+use crate::schema::{AttrId, Catalog, RelId};
+use crate::tuple::{Tid, Tuple};
+use crate::value::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One relation instance: a schema reference plus tuples.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    rel: RelId,
+    tuples: Vec<Tuple>,
+    /// Lazily maintained map from tuple identity to position in `tuples`.
+    by_tid: HashMap<Tid, usize>,
+}
+
+impl Relation {
+    /// Empty instance of relation `rel`.
+    pub fn new(rel: RelId) -> Relation {
+        Relation { rel, tuples: Vec::new(), by_tid: HashMap::new() }
+    }
+
+    /// The relation id this instance belongs to.
+    pub fn rel_id(&self) -> RelId {
+        self.rel
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the instance has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Append a tuple (identity must be unique within this instance).
+    pub fn push(&mut self, tuple: Tuple) {
+        debug_assert_eq!(tuple.tid.rel, self.rel);
+        self.by_tid.insert(tuple.tid, self.tuples.len());
+        self.tuples.push(tuple);
+    }
+
+    /// All tuples in insertion order.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Look up a tuple by identity.
+    pub fn by_tid(&self, tid: Tid) -> Option<&Tuple> {
+        self.by_tid.get(&tid).map(|&i| &self.tuples[i])
+    }
+
+    /// Whether a tuple with this identity is present.
+    pub fn contains(&self, tid: Tid) -> bool {
+        self.by_tid.contains_key(&tid)
+    }
+
+    /// Row position of a tuple identity within this instance (fragments
+    /// renumber rows, so this can differ from `tid.row`).
+    pub fn position(&self, tid: Tid) -> Option<u32> {
+        self.by_tid.get(&tid).map(|&i| i as u32)
+    }
+}
+
+/// A multi-relation dataset (or HyPart fragment) over a shared [`Catalog`].
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    catalog: Arc<Catalog>,
+    relations: Vec<Relation>,
+}
+
+impl Dataset {
+    /// Empty dataset over `catalog`.
+    pub fn new(catalog: Arc<Catalog>) -> Dataset {
+        let relations = (0..catalog.len() as RelId).map(Relation::new).collect();
+        Dataset { catalog, relations }
+    }
+
+    /// The catalog this dataset conforms to.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// Relation instance by id.
+    pub fn relation(&self, rel: RelId) -> &Relation {
+        &self.relations[rel as usize]
+    }
+
+    /// Mutable relation instance by id.
+    pub fn relation_mut(&mut self, rel: RelId) -> &mut Relation {
+        &mut self.relations[rel as usize]
+    }
+
+    /// Iterate all relation instances.
+    pub fn relations(&self) -> &[Relation] {
+        &self.relations
+    }
+
+    /// Total number of tuples across relations (the paper's `|D|`).
+    pub fn total_tuples(&self) -> usize {
+        self.relations.iter().map(Relation::len).sum()
+    }
+
+    /// Append a *new* tuple to relation `rel`, assigning the next row-number
+    /// identity. Returns the assigned [`Tid`]. Use this when building an
+    /// original dataset; use [`Dataset::insert_replica`] when building
+    /// fragments.
+    pub fn insert(&mut self, rel: RelId, values: Vec<Value>) -> Result<Tid> {
+        let schema = self.catalog.schema(rel).clone();
+        if values.len() != schema.arity() {
+            return Err(Error::ArityMismatch {
+                relation: schema.name.clone(),
+                expected: schema.arity(),
+                got: values.len(),
+            });
+        }
+        for (i, v) in values.iter().enumerate() {
+            if let Some(ty) = v.value_type() {
+                if !ty.compatible(schema.attr_type(i as AttrId)) {
+                    return Err(Error::TypeMismatch {
+                        relation: schema.name.clone(),
+                        attribute: schema.attribute(i as AttrId).name.clone(),
+                        expected: schema.attr_type(i as AttrId).name(),
+                        got: ty.name(),
+                    });
+                }
+            }
+        }
+        let r = &mut self.relations[rel as usize];
+        let tid = Tid::new(rel, r.len() as u32);
+        r.push(Tuple::new(tid, values));
+        Ok(tid)
+    }
+
+    /// Insert a replicated tuple, *preserving* its original identity. Used by
+    /// the partitioner to populate fragments. Duplicate replicas are ignored.
+    pub fn insert_replica(&mut self, tuple: Tuple) {
+        let r = &mut self.relations[tuple.tid.rel as usize];
+        if !r.contains(tuple.tid) {
+            r.push(tuple);
+        }
+    }
+
+    /// Look up a tuple anywhere in the dataset by identity.
+    pub fn tuple(&self, tid: Tid) -> Option<&Tuple> {
+        self.relations
+            .get(tid.rel as usize)
+            .and_then(|r| r.by_tid(tid))
+    }
+
+    /// Iterate all tuples of all relations.
+    pub fn all_tuples(&self) -> impl Iterator<Item = &Tuple> {
+        self.relations.iter().flat_map(|r| r.tuples().iter())
+    }
+
+    /// Approximate footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.all_tuples().map(Tuple::size_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelationSchema;
+    use crate::value::ValueType;
+
+    fn two_rel_catalog() -> Arc<Catalog> {
+        Arc::new(
+            Catalog::from_schemas(vec![
+                RelationSchema::of("R", &[("a", ValueType::Int), ("b", ValueType::Str)]),
+                RelationSchema::of("S", &[("x", ValueType::Str)]),
+            ])
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn insert_assigns_sequential_tids() {
+        let mut d = Dataset::new(two_rel_catalog());
+        let t0 = d.insert(0, vec![Value::Int(1), Value::str("p")]).unwrap();
+        let t1 = d.insert(0, vec![Value::Int(2), Value::str("q")]).unwrap();
+        let s0 = d.insert(1, vec![Value::str("z")]).unwrap();
+        assert_eq!(t0, Tid::new(0, 0));
+        assert_eq!(t1, Tid::new(0, 1));
+        assert_eq!(s0, Tid::new(1, 0));
+        assert_eq!(d.total_tuples(), 3);
+        assert_eq!(d.tuple(t1).unwrap().get(1), &Value::str("q"));
+    }
+
+    #[test]
+    fn insert_rejects_bad_arity_and_type() {
+        let mut d = Dataset::new(two_rel_catalog());
+        assert!(matches!(
+            d.insert(0, vec![Value::Int(1)]),
+            Err(Error::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            d.insert(0, vec![Value::str("no"), Value::str("p")]),
+            Err(Error::TypeMismatch { .. })
+        ));
+        // Nulls are always accepted.
+        assert!(d.insert(0, vec![Value::Null, Value::Null]).is_ok());
+    }
+
+    #[test]
+    fn replica_insertion_preserves_identity_and_dedups() {
+        let mut orig = Dataset::new(two_rel_catalog());
+        let tid = orig.insert(0, vec![Value::Int(5), Value::str("v")]).unwrap();
+        let tuple = orig.tuple(tid).unwrap().clone();
+
+        let mut frag = Dataset::new(two_rel_catalog());
+        frag.insert_replica(tuple.clone());
+        frag.insert_replica(tuple);
+        assert_eq!(frag.total_tuples(), 1);
+        assert_eq!(frag.tuple(tid).unwrap().tid, tid);
+    }
+
+    #[test]
+    fn numeric_compatibility_allows_int_into_float() {
+        let cat = Arc::new(
+            Catalog::from_schemas(vec![RelationSchema::of(
+                "F",
+                &[("x", ValueType::Float)],
+            )])
+            .unwrap(),
+        );
+        let mut d = Dataset::new(cat);
+        assert!(d.insert(0, vec![Value::Int(3)]).is_ok());
+    }
+}

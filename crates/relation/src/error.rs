@@ -1,0 +1,112 @@
+//! Error type shared by the relational substrate.
+
+use std::fmt;
+
+/// Errors raised while building or querying schemas, datasets and files.
+#[derive(Debug)]
+pub enum Error {
+    /// A relation name was not found in the catalog.
+    UnknownRelation(String),
+    /// An attribute name was not found in a relation schema.
+    UnknownAttribute {
+        /// Relation searched.
+        relation: String,
+        /// Attribute requested.
+        attribute: String,
+    },
+    /// A tuple's arity does not match its schema.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Arity declared by the schema.
+        expected: usize,
+        /// Arity of the offending tuple.
+        got: usize,
+    },
+    /// A tuple value has the wrong type for its attribute.
+    TypeMismatch {
+        /// Relation name.
+        relation: String,
+        /// Attribute name.
+        attribute: String,
+        /// Expected type name.
+        expected: &'static str,
+        /// Actual type name.
+        got: &'static str,
+    },
+    /// A schema was declared twice.
+    DuplicateRelation(String),
+    /// An attribute was declared twice within one schema.
+    DuplicateAttribute(String),
+    /// Malformed CSV input.
+    Csv {
+        /// 1-based line number.
+        line: usize,
+        /// Problem description.
+        message: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            Error::UnknownAttribute { relation, attribute } => {
+                write!(f, "unknown attribute `{relation}.{attribute}`")
+            }
+            Error::ArityMismatch { relation, expected, got } => write!(
+                f,
+                "arity mismatch for `{relation}`: schema has {expected} attributes, tuple has {got}"
+            ),
+            Error::TypeMismatch { relation, attribute, expected, got } => write!(
+                f,
+                "type mismatch for `{relation}.{attribute}`: expected {expected}, got {got}"
+            ),
+            Error::DuplicateRelation(name) => write!(f, "relation `{name}` declared twice"),
+            Error::DuplicateAttribute(name) => write!(f, "attribute `{name}` declared twice"),
+            Error::Csv { line, message } => write!(f, "csv error at line {line}: {message}"),
+            Error::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::UnknownAttribute {
+            relation: "Customers".into(),
+            attribute: "phon".into(),
+        };
+        assert!(e.to_string().contains("Customers.phon"));
+        let e = Error::ArityMismatch {
+            relation: "R".into(),
+            expected: 3,
+            got: 2,
+        };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('2'));
+    }
+}

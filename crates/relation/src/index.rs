@@ -1,0 +1,195 @@
+//! Secondary hash indexes (the paper's inverted indices, Section V-A).
+//!
+//! [`HashIndex`] maps an attribute value to the tuples carrying that value;
+//! it backs equality predicates `t.A = s.B` and constant predicates
+//! `t.A = c` during chase evaluation. [`IndexSet`] lazily builds and caches
+//! one index per `(relation, attribute)` over a dataset or fragment.
+
+use crate::dataset::Dataset;
+use crate::schema::{AttrId, RelId};
+use crate::tuple::Tid;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Inverted index over one attribute of one relation instance:
+/// `value -> [row positions]`. `Null` values are never indexed (they cannot
+/// satisfy equality predicates).
+#[derive(Debug, Clone, Default)]
+pub struct HashIndex {
+    map: HashMap<Value, Vec<u32>>,
+    entries: usize,
+}
+
+impl HashIndex {
+    /// Build an index over attribute `attr` of relation `rel` in `dataset`.
+    /// Postings hold positions into `dataset.relation(rel).tuples()`.
+    pub fn build(dataset: &Dataset, rel: RelId, attr: AttrId) -> HashIndex {
+        let tuples = dataset.relation(rel).tuples();
+        let mut map: HashMap<Value, Vec<u32>> = HashMap::with_capacity(tuples.len());
+        let mut entries = 0;
+        for (pos, t) in tuples.iter().enumerate() {
+            let v = t.get(attr);
+            if !v.is_null() {
+                map.entry(v.clone()).or_default().push(pos as u32);
+                entries += 1;
+            }
+        }
+        HashIndex { map, entries }
+    }
+
+    /// Row positions whose attribute equals `value` (empty for `Null`).
+    pub fn lookup(&self, value: &Value) -> &[u32] {
+        if value.is_null() {
+            return &[];
+        }
+        self.map.get(value).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of distinct indexed values.
+    pub fn distinct(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Number of indexed (non-null) entries.
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Iterate `(value, postings)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&Value, &[u32])> {
+        self.map.iter().map(|(v, p)| (v, p.as_slice()))
+    }
+}
+
+/// Lazily built cache of [`HashIndex`]es over one dataset.
+#[derive(Debug, Default)]
+pub struct IndexSet {
+    indexes: HashMap<(RelId, AttrId), HashIndex>,
+}
+
+impl IndexSet {
+    /// Empty cache.
+    pub fn new() -> IndexSet {
+        IndexSet::default()
+    }
+
+    /// Get (building on first use) the index for `(rel, attr)`.
+    pub fn get(&mut self, dataset: &Dataset, rel: RelId, attr: AttrId) -> &HashIndex {
+        self.indexes
+            .entry((rel, attr))
+            .or_insert_with(|| HashIndex::build(dataset, rel, attr))
+    }
+
+    /// Get the index if it was already built.
+    pub fn peek(&self, rel: RelId, attr: AttrId) -> Option<&HashIndex> {
+        self.indexes.get(&(rel, attr))
+    }
+
+    /// Drop all cached indexes (after the underlying data changed).
+    pub fn clear(&mut self) {
+        self.indexes.clear();
+    }
+
+    /// Number of built indexes.
+    pub fn len(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// Whether no index has been built.
+    pub fn is_empty(&self) -> bool {
+        self.indexes.is_empty()
+    }
+}
+
+/// Index from entity id ([`Tid`]) to the row position hosting it, for every
+/// relation in a fragment. Used when routing received matches to local rows.
+#[derive(Debug, Default)]
+pub struct TidIndex {
+    map: HashMap<Tid, u32>,
+}
+
+impl TidIndex {
+    /// Build over all relations of `dataset`.
+    pub fn build(dataset: &Dataset) -> TidIndex {
+        let mut map = HashMap::with_capacity(dataset.total_tuples());
+        for r in dataset.relations() {
+            for (pos, t) in r.tuples().iter().enumerate() {
+                map.insert(t.tid, pos as u32);
+            }
+        }
+        TidIndex { map }
+    }
+
+    /// Row position of `tid` in its relation, if hosted here.
+    pub fn position(&self, tid: Tid) -> Option<u32> {
+        self.map.get(&tid).copied()
+    }
+
+    /// Whether `tid` is hosted in the indexed fragment.
+    pub fn contains(&self, tid: Tid) -> bool {
+        self.map.contains_key(&tid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Catalog, RelationSchema};
+    use crate::value::ValueType;
+    use std::sync::Arc;
+
+    fn dataset() -> Dataset {
+        let cat = Arc::new(
+            Catalog::from_schemas(vec![RelationSchema::of(
+                "R",
+                &[("k", ValueType::Str), ("v", ValueType::Int)],
+            )])
+            .unwrap(),
+        );
+        let mut d = Dataset::new(cat);
+        d.insert(0, vec![Value::str("a"), Value::Int(1)]).unwrap();
+        d.insert(0, vec![Value::str("b"), Value::Int(2)]).unwrap();
+        d.insert(0, vec![Value::str("a"), Value::Int(3)]).unwrap();
+        d.insert(0, vec![Value::Null, Value::Int(4)]).unwrap();
+        d
+    }
+
+    #[test]
+    fn lookup_returns_all_matching_rows() {
+        let d = dataset();
+        let idx = HashIndex::build(&d, 0, 0);
+        assert_eq!(idx.lookup(&Value::str("a")), &[0, 2]);
+        assert_eq!(idx.lookup(&Value::str("b")), &[1]);
+        assert!(idx.lookup(&Value::str("z")).is_empty());
+        assert_eq!(idx.distinct(), 2);
+        assert_eq!(idx.entries(), 3);
+    }
+
+    #[test]
+    fn nulls_never_match() {
+        let d = dataset();
+        let idx = HashIndex::build(&d, 0, 0);
+        assert!(idx.lookup(&Value::Null).is_empty());
+    }
+
+    #[test]
+    fn index_set_caches() {
+        let d = dataset();
+        let mut set = IndexSet::new();
+        assert!(set.peek(0, 1).is_none());
+        let _ = set.get(&d, 0, 1);
+        assert!(set.peek(0, 1).is_some());
+        assert_eq!(set.len(), 1);
+        set.clear();
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn tid_index_positions() {
+        let d = dataset();
+        let idx = TidIndex::build(&d);
+        assert_eq!(idx.position(Tid::new(0, 2)), Some(2));
+        assert!(idx.contains(Tid::new(0, 0)));
+        assert!(!idx.contains(Tid::new(0, 99)));
+    }
+}

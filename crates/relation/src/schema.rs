@@ -1,0 +1,246 @@
+//! Relation schemas and catalogs.
+//!
+//! A [`Catalog`] is the paper's database schema `R = (R_1, ..., R_m)`.
+//! Relations and attributes are resolved once by name into dense numeric ids
+//! ([`RelId`], [`AttrId`]) that the rule compiler, partitioner and chase
+//! engine use everywhere else — string lookups never appear on hot paths.
+
+use crate::error::{Error, Result};
+use crate::value::ValueType;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Dense index of a relation within a [`Catalog`].
+pub type RelId = u16;
+
+/// Dense index of an attribute within a [`RelationSchema`].
+pub type AttrId = u16;
+
+/// A named, typed attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Attribute name, unique within its relation.
+    pub name: String,
+    /// Attribute type.
+    pub ty: ValueType,
+}
+
+impl Attribute {
+    /// Construct an attribute.
+    pub fn new(name: impl Into<String>, ty: ValueType) -> Attribute {
+        Attribute { name: name.into(), ty }
+    }
+}
+
+/// Schema of one relation: a name plus an ordered list of attributes.
+///
+/// Every relation additionally carries the paper's designated `id` attribute
+/// implicitly: it is the tuple identity [`crate::Tid`], not a stored column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RelationSchema {
+    /// Relation name, unique within the catalog.
+    pub name: String,
+    /// Ordered attributes.
+    pub attributes: Vec<Attribute>,
+    #[serde(skip)]
+    by_name: HashMap<String, AttrId>,
+}
+
+impl RelationSchema {
+    /// Build a schema; fails on duplicate attribute names.
+    pub fn new(name: impl Into<String>, attributes: Vec<Attribute>) -> Result<RelationSchema> {
+        let mut by_name = HashMap::with_capacity(attributes.len());
+        for (i, a) in attributes.iter().enumerate() {
+            if by_name.insert(a.name.clone(), i as AttrId).is_some() {
+                return Err(Error::DuplicateAttribute(a.name.clone()));
+            }
+        }
+        Ok(RelationSchema { name: name.into(), attributes, by_name })
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn of(name: &str, attrs: &[(&str, ValueType)]) -> RelationSchema {
+        RelationSchema::new(
+            name,
+            attrs.iter().map(|(n, t)| Attribute::new(*n, *t)).collect(),
+        )
+        .expect("duplicate attribute in schema literal")
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Resolve an attribute by name.
+    pub fn attr(&self, name: &str) -> Result<AttrId> {
+        self.by_name.get(name).copied().ok_or_else(|| Error::UnknownAttribute {
+            relation: self.name.clone(),
+            attribute: name.to_string(),
+        })
+    }
+
+    /// Attribute metadata by id.
+    pub fn attribute(&self, id: AttrId) -> &Attribute {
+        &self.attributes[id as usize]
+    }
+
+    /// The type of attribute `id`.
+    pub fn attr_type(&self, id: AttrId) -> ValueType {
+        self.attributes[id as usize].ty
+    }
+
+    /// Iterate `(AttrId, &Attribute)`.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &Attribute)> {
+        self.attributes.iter().enumerate().map(|(i, a)| (i as AttrId, a))
+    }
+}
+
+impl fmt::Display for RelationSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.attributes.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{}: {}", a.name, a.ty)?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// The database schema: an ordered collection of relation schemas.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    schemas: Vec<Arc<RelationSchema>>,
+    by_name: HashMap<String, RelId>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Build a catalog from schemas; fails on duplicate relation names.
+    pub fn from_schemas(schemas: Vec<RelationSchema>) -> Result<Catalog> {
+        let mut cat = Catalog::new();
+        for s in schemas {
+            cat.add(s)?;
+        }
+        Ok(cat)
+    }
+
+    /// Add a schema, returning its [`RelId`].
+    pub fn add(&mut self, schema: RelationSchema) -> Result<RelId> {
+        if self.by_name.contains_key(&schema.name) {
+            return Err(Error::DuplicateRelation(schema.name));
+        }
+        let id = self.schemas.len() as RelId;
+        self.by_name.insert(schema.name.clone(), id);
+        self.schemas.push(Arc::new(schema));
+        Ok(id)
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.schemas.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.schemas.is_empty()
+    }
+
+    /// Resolve a relation by name.
+    pub fn rel(&self, name: &str) -> Result<RelId> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| Error::UnknownRelation(name.to_string()))
+    }
+
+    /// Schema of relation `id`.
+    pub fn schema(&self, id: RelId) -> &Arc<RelationSchema> {
+        &self.schemas[id as usize]
+    }
+
+    /// Resolve `rel.attr` in one step.
+    pub fn attr(&self, rel: &str, attr: &str) -> Result<(RelId, AttrId)> {
+        let r = self.rel(rel)?;
+        let a = self.schema(r).attr(attr)?;
+        Ok((r, a))
+    }
+
+    /// Iterate `(RelId, &Arc<RelationSchema>)`.
+    pub fn iter(&self) -> impl Iterator<Item = (RelId, &Arc<RelationSchema>)> {
+        self.schemas.iter().enumerate().map(|(i, s)| (i as RelId, s))
+    }
+}
+
+impl fmt::Display for Catalog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.schemas {
+            writeln!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn customers() -> RelationSchema {
+        RelationSchema::of(
+            "Customers",
+            &[
+                ("cno", ValueType::Str),
+                ("name", ValueType::Str),
+                ("phone", ValueType::Str),
+                ("addr", ValueType::Str),
+                ("pref", ValueType::Str),
+            ],
+        )
+    }
+
+    #[test]
+    fn attribute_resolution() {
+        let s = customers();
+        assert_eq!(s.attr("phone").unwrap(), 2);
+        assert!(s.attr("nope").is_err());
+        assert_eq!(s.arity(), 5);
+        assert_eq!(s.attr_type(1), ValueType::Str);
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let r = RelationSchema::new(
+            "R",
+            vec![
+                Attribute::new("a", ValueType::Int),
+                Attribute::new("a", ValueType::Str),
+            ],
+        );
+        assert!(matches!(r, Err(Error::DuplicateAttribute(_))));
+    }
+
+    #[test]
+    fn catalog_resolution_and_duplicates() {
+        let mut cat = Catalog::new();
+        let c = cat.add(customers()).unwrap();
+        assert_eq!(cat.rel("Customers").unwrap(), c);
+        assert!(cat.rel("Shops").is_err());
+        assert!(cat.add(customers()).is_err());
+        let (r, a) = cat.attr("Customers", "addr").unwrap();
+        assert_eq!((r, a), (c, 3));
+    }
+
+    #[test]
+    fn display_formats_schema() {
+        let s = RelationSchema::of("R", &[("x", ValueType::Int)]);
+        assert_eq!(s.to_string(), "R(x: int)");
+    }
+}

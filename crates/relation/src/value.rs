@@ -1,0 +1,403 @@
+//! Dynamically typed attribute values.
+//!
+//! Values are cheap to clone (`Str` is an `Arc<str>`), hashable and totally
+//! ordered so they can serve as join keys and index keys. Equality used by
+//! *predicates* is [`Value::sql_eq`], which treats `Null` as unequal to
+//! everything (including itself), mirroring the paper's example data where
+//! missing attributes (`-`) never satisfy equality predicates. The `Eq`/`Ord`
+//! impls in contrast are total (with `Null == Null`) so values can be used as
+//! `HashMap`/`BTreeMap` keys.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// The type (domain) of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ValueType {
+    /// Boolean.
+    Bool,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Str,
+}
+
+impl ValueType {
+    /// Whether two attribute types are compatible in an equality or ML
+    /// predicate (`t.A = s.B` requires `A` and `B` to have the same type).
+    /// `Int` and `Float` are mutually compatible (numeric).
+    pub fn compatible(self, other: ValueType) -> bool {
+        use ValueType::*;
+        self == other || matches!((self, other), (Int, Float) | (Float, Int))
+    }
+
+    /// Short lowercase name used by the schema parser.
+    pub fn name(self) -> &'static str {
+        match self {
+            ValueType::Bool => "bool",
+            ValueType::Int => "int",
+            ValueType::Float => "float",
+            ValueType::Str => "str",
+        }
+    }
+
+    /// Parse a type name as produced by [`ValueType::name`].
+    pub fn parse(s: &str) -> Option<ValueType> {
+        match s {
+            "bool" => Some(ValueType::Bool),
+            "int" => Some(ValueType::Int),
+            "float" => Some(ValueType::Float),
+            "str" | "string" | "text" => Some(ValueType::Str),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A single attribute value.
+#[derive(Debug, Clone, Default)]
+pub enum Value {
+    /// Missing / unknown value. Never satisfies [`Value::sql_eq`].
+    #[default]
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float. `NaN` is normalized to a single bit pattern so hashing
+    /// and equality are well defined.
+    Float(f64),
+    /// Interned UTF-8 string; clones are reference bumps.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// The runtime type, or `None` for `Null`.
+    pub fn value_type(&self) -> Option<ValueType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(ValueType::Bool),
+            Value::Int(_) => Some(ValueType::Int),
+            Value::Float(_) => Some(ValueType::Float),
+            Value::Str(_) => Some(ValueType::Str),
+        }
+    }
+
+    /// Whether this is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Predicate equality: SQL-style, `Null` compares unequal to everything.
+    /// Numeric values compare across `Int`/`Float`.
+    pub fn sql_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => false,
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                (*a as f64) == *b
+            }
+            _ => self == other,
+        }
+    }
+
+    /// View as a string slice if this is a `Str` value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// View as an integer if this is an `Int` value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// View as a float, widening `Int`.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Render the value as text for ML feature extraction: strings verbatim,
+    /// numbers via `Display`, `Null` as the empty string.
+    pub fn to_text(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::Bool(b) => b.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => format!("{f}"),
+            Value::Str(s) => s.to_string(),
+        }
+    }
+
+    /// Parse a textual field into a value of the given type. Empty strings
+    /// and the literal `-` (the paper's missing-value marker) become `Null`.
+    pub fn parse_typed(field: &str, ty: ValueType) -> Value {
+        if field.is_empty() || field == "-" {
+            return Value::Null;
+        }
+        match ty {
+            ValueType::Bool => match field {
+                "true" | "1" | "t" => Value::Bool(true),
+                "false" | "0" | "f" => Value::Bool(false),
+                _ => Value::Null,
+            },
+            ValueType::Int => field.parse::<i64>().map_or(Value::Null, Value::Int),
+            ValueType::Float => field.parse::<f64>().map_or(Value::Null, Value::Float),
+            ValueType::Str => Value::str(field),
+        }
+    }
+
+    /// Canonical bit pattern for float hashing (`NaN` collapsed, `-0.0 == 0.0`).
+    fn float_bits(f: f64) -> u64 {
+        if f.is_nan() {
+            f64::NAN.to_bits()
+        } else if f == 0.0 {
+            0u64
+        } else {
+            f.to_bits()
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes (for communication-cost
+    /// accounting in the BSP runtime).
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) => 8,
+            Value::Str(s) => 8 + s.len(),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => {
+                Value::float_bits(*a) == Value::float_bits(*b)
+            }
+            (Value::Str(a), Value::Str(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Bool(b) => {
+                state.write_u8(1);
+                b.hash(state);
+            }
+            Value::Int(i) => {
+                state.write_u8(2);
+                // Hash ints by their float bits when they are exactly
+                // representable so Int(2) and Float(2.0) join keys collide.
+                i.hash(state);
+            }
+            Value::Float(f) => {
+                state.write_u8(2 + u8::from(f.fract() != 0.0 || f.is_nan()));
+                if f.fract() == 0.0 && f.is_finite() && (*f).abs() < (i64::MAX as f64) {
+                    (*f as i64).hash(state);
+                } else {
+                    Value::float_bits(*f).hash(state);
+                }
+            }
+            Value::Str(s) => {
+                state.write_u8(4);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total order: `Null < Bool < numeric < Str`; numerics compare by value.
+    fn cmp(&self, other: &Self) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) | Value::Float(_) => 2,
+                Value::Str(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (a, b) if rank(a) == 2 && rank(b) == 2 => {
+                let (x, y) = (a.as_float().unwrap(), b.as_float().unwrap());
+                x.partial_cmp(&y).unwrap_or_else(|| {
+                    Value::float_bits(x).cmp(&Value::float_bits(y))
+                })
+            }
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("-"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => f.write_str(s),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn null_is_sql_unequal_to_itself() {
+        assert!(!Value::Null.sql_eq(&Value::Null));
+        assert_eq!(Value::Null, Value::Null); // container equality is total
+    }
+
+    #[test]
+    fn numeric_cross_type_equality() {
+        assert!(Value::Int(2).sql_eq(&Value::Float(2.0)));
+        assert!(!Value::Int(2).sql_eq(&Value::Float(2.5)));
+        assert_eq!(hash_of(&Value::Int(2)), hash_of(&Value::Float(2.0)));
+    }
+
+    #[test]
+    fn nan_is_self_equal_in_container_semantics() {
+        let a = Value::Float(f64::NAN);
+        let b = Value::Float(f64::NAN);
+        assert_eq!(a, b);
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn negative_zero_equals_zero() {
+        assert_eq!(Value::Float(-0.0), Value::Float(0.0));
+        assert_eq!(hash_of(&Value::Float(-0.0)), hash_of(&Value::Float(0.0)));
+    }
+
+    #[test]
+    fn parse_typed_handles_missing_markers() {
+        assert!(Value::parse_typed("", ValueType::Str).is_null());
+        assert!(Value::parse_typed("-", ValueType::Int).is_null());
+        assert_eq!(Value::parse_typed("42", ValueType::Int), Value::Int(42));
+        assert_eq!(
+            Value::parse_typed("4.5", ValueType::Float),
+            Value::Float(4.5)
+        );
+        assert_eq!(Value::parse_typed("t", ValueType::Bool), Value::Bool(true));
+        assert_eq!(Value::parse_typed("x", ValueType::Int), Value::Null);
+    }
+
+    #[test]
+    fn ordering_is_total_and_ranked() {
+        let mut vs = vec![
+            Value::str("b"),
+            Value::Int(3),
+            Value::Null,
+            Value::Bool(true),
+            Value::Float(1.5),
+            Value::str("a"),
+        ];
+        vs.sort();
+        assert_eq!(vs[0], Value::Null);
+        assert_eq!(vs[1], Value::Bool(true));
+        assert_eq!(vs[2], Value::Float(1.5));
+        assert_eq!(vs[3], Value::Int(3));
+        assert_eq!(vs[4], Value::str("a"));
+        assert_eq!(vs[5], Value::str("b"));
+    }
+
+    #[test]
+    fn type_compatibility() {
+        assert!(ValueType::Int.compatible(ValueType::Float));
+        assert!(ValueType::Str.compatible(ValueType::Str));
+        assert!(!ValueType::Str.compatible(ValueType::Int));
+    }
+
+    #[test]
+    fn display_roundtrip_for_strings() {
+        let v = Value::str("ThinkPad X1");
+        assert_eq!(v.to_string(), "ThinkPad X1");
+        assert_eq!(v.to_text(), "ThinkPad X1");
+        assert_eq!(Value::Null.to_string(), "-");
+    }
+
+    #[test]
+    fn size_bytes_accounts_for_string_length() {
+        assert_eq!(Value::Int(1).size_bytes(), 8);
+        assert_eq!(Value::str("abc").size_bytes(), 11);
+    }
+}

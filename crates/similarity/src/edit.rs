@@ -1,0 +1,154 @@
+//! Edit-distance family: Levenshtein, bounded Levenshtein, and
+//! Damerau-Levenshtein (adjacent transpositions), all operating on Unicode
+//! scalar values.
+
+/// Levenshtein distance between `a` and `b` (insert/delete/substitute, unit
+/// costs). `O(|a|·|b|)` time, `O(min(|a|,|b|))` space.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let (short, long): (Vec<char>, Vec<char>) = {
+        let av: Vec<char> = a.chars().collect();
+        let bv: Vec<char> = b.chars().collect();
+        if av.len() <= bv.len() { (av, bv) } else { (bv, av) }
+    };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur = vec![0usize; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// Levenshtein distance, early-exiting with `None` once the distance is
+/// guaranteed to exceed `bound`. Used by blocking baselines where only
+/// near-duplicates matter.
+pub fn levenshtein_bounded(a: &str, b: &str, bound: usize) -> Option<usize> {
+    let av: Vec<char> = a.chars().collect();
+    let bv: Vec<char> = b.chars().collect();
+    if av.len().abs_diff(bv.len()) > bound {
+        return None;
+    }
+    let (short, long) = if av.len() <= bv.len() { (av, bv) } else { (bv, av) };
+    if short.is_empty() {
+        return (long.len() <= bound).then_some(long.len());
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur = vec![0usize; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        let mut row_min = cur[0];
+        for (j, &sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+            row_min = row_min.min(cur[j + 1]);
+        }
+        if row_min > bound {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let d = prev[short.len()];
+    (d <= bound).then_some(d)
+}
+
+/// Damerau-Levenshtein distance (restricted: adjacent transpositions count
+/// as one edit).
+pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
+    let av: Vec<char> = a.chars().collect();
+    let bv: Vec<char> = b.chars().collect();
+    let (n, m) = (av.len(), bv.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+    // Three rolling rows: i-2, i-1, i.
+    let mut row2: Vec<usize> = vec![0; m + 1];
+    let mut row1: Vec<usize> = (0..=m).collect();
+    let mut row0: Vec<usize> = vec![0; m + 1];
+    for i in 1..=n {
+        row0[0] = i;
+        for j in 1..=m {
+            let cost = usize::from(av[i - 1] != bv[j - 1]);
+            let mut d = (row1[j - 1] + cost)
+                .min(row1[j] + 1)
+                .min(row0[j - 1] + 1);
+            if i > 1 && j > 1 && av[i - 1] == bv[j - 2] && av[i - 2] == bv[j - 1] {
+                d = d.min(row2[j - 2] + 1);
+            }
+            row0[j] = d;
+        }
+        std::mem::swap(&mut row2, &mut row1);
+        std::mem::swap(&mut row1, &mut row0);
+    }
+    row1[m]
+}
+
+/// Levenshtein distance normalized to a similarity in `[0, 1]`:
+/// `1 - d / max(|a|, |b|)`; empty-vs-empty scores 1.
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_distances() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn unicode_counts_scalars_not_bytes() {
+        assert_eq!(levenshtein("café", "cafe"), 1);
+        assert_eq!(levenshtein("日本語", "日本"), 1);
+    }
+
+    #[test]
+    fn bounded_matches_exact_within_bound() {
+        assert_eq!(levenshtein_bounded("kitten", "sitting", 3), Some(3));
+        assert_eq!(levenshtein_bounded("kitten", "sitting", 2), None);
+        assert_eq!(levenshtein_bounded("abc", "xyzabc", 2), None); // length gap 3 > 2
+        assert_eq!(levenshtein_bounded("same", "same", 0), Some(0));
+    }
+
+    #[test]
+    fn damerau_counts_transposition_once() {
+        assert_eq!(damerau_levenshtein("ca", "ac"), 1);
+        assert_eq!(levenshtein("ca", "ac"), 2);
+        assert_eq!(damerau_levenshtein("argentina", "argenztina"), 1);
+        assert_eq!(damerau_levenshtein("abcdef", "abcdef"), 0);
+        assert_eq!(damerau_levenshtein("", "xy"), 2);
+    }
+
+    #[test]
+    fn similarity_normalization() {
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "abc"), 1.0);
+        assert!((levenshtein_similarity("abcd", "abcx") - 0.75).abs() < 1e-12);
+        assert_eq!(levenshtein_similarity("ab", "xy"), 0.0);
+    }
+
+    #[test]
+    fn triangle_inequality_spot_checks() {
+        let (a, b, c) = ("ford smith", "f. smith", "t. brown");
+        assert!(levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c));
+    }
+}

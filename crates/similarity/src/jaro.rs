@@ -1,0 +1,111 @@
+//! Jaro and Jaro-Winkler similarity — the classic record-linkage measures
+//! for short strings like person names ("Ford Smith" vs "F. Smith").
+
+/// Jaro similarity in `[0, 1]`.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let av: Vec<char> = a.chars().collect();
+    let bv: Vec<char> = b.chars().collect();
+    let (n, m) = (av.len(), bv.len());
+    if n == 0 && m == 0 {
+        return 1.0;
+    }
+    if n == 0 || m == 0 {
+        return 0.0;
+    }
+    let window = (n.max(m) / 2).saturating_sub(1);
+    let mut b_used = vec![false; m];
+    let mut matches = 0usize;
+    let mut a_matched = Vec::with_capacity(n.min(m));
+    for (i, &ca) in av.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(m);
+        for j in lo..hi {
+            if !b_used[j] && bv[j] == ca {
+                b_used[j] = true;
+                a_matched.push((i, ca));
+                matches += 1;
+                break;
+            }
+        }
+    }
+    if matches == 0 {
+        return 0.0;
+    }
+    // Count transpositions between the matched sequences.
+    let b_matched: Vec<char> = b_used
+        .iter()
+        .zip(&bv)
+        .filter_map(|(&u, &c)| u.then_some(c))
+        .collect();
+    let transpositions = a_matched
+        .iter()
+        .zip(&b_matched)
+        .filter(|((_, ca), cb)| ca != *cb)
+        .count();
+    let m_f = matches as f64;
+    (m_f / n as f64 + m_f / m as f64 + (m_f - transpositions as f64 / 2.0) / m_f) / 3.0
+}
+
+/// Jaro-Winkler similarity: Jaro boosted by the length of the common prefix
+/// (up to 4 chars) scaled by `prefix_weight` (conventionally `0.1`; values
+/// above `0.25` would break the `[0,1]` bound and are clamped).
+pub fn jaro_winkler(a: &str, b: &str, prefix_weight: f64) -> f64 {
+    let p = prefix_weight.clamp(0.0, 0.25);
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count();
+    j + prefix as f64 * p * (1.0 - j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-3, "{a} != {b}");
+    }
+
+    #[test]
+    fn textbook_values() {
+        close(jaro("MARTHA", "MARHTA"), 0.9444);
+        close(jaro("DIXON", "DICKSONX"), 0.7667);
+        close(jaro("JELLYFISH", "SMELLYFISH"), 0.8963);
+    }
+
+    #[test]
+    fn winkler_boosts_common_prefix() {
+        close(jaro_winkler("MARTHA", "MARHTA", 0.1), 0.9611);
+        assert!(jaro_winkler("prefix_abc", "prefix_xyz", 0.1) > jaro("prefix_abc", "prefix_xyz"));
+        // No prefix -> no boost.
+        assert_eq!(
+            jaro_winkler("abc", "xbc", 0.1),
+            jaro("abc", "xbc")
+        );
+    }
+
+    #[test]
+    fn bounds_and_identity() {
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("a", ""), 0.0);
+        assert_eq!(jaro("same", "same"), 1.0);
+        assert_eq!(jaro_winkler("same", "same", 0.1), 1.0);
+        assert_eq!(jaro("ab", "cd"), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        for (a, b) in [("tony brown", "t. brown"), ("abcd", "dcba"), ("x", "xy")] {
+            assert!((jaro(a, b) - jaro(b, a)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weight_is_clamped() {
+        let unclamped = jaro_winkler("aaaa_long", "aaaa_різне", 5.0);
+        assert!(unclamped <= 1.0);
+    }
+}

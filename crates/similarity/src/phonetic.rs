@@ -1,0 +1,77 @@
+//! Phonetic codes. Soundex is used by blocking baselines as a cheap
+//! typo-robust blocking key for person names.
+
+/// American Soundex code of the first alphabetic word of `s` (4 chars,
+/// letter + 3 digits, zero-padded). Returns `"0000"` for inputs with no
+/// ASCII letters.
+pub fn soundex(s: &str) -> String {
+    fn code(c: char) -> u8 {
+        match c.to_ascii_lowercase() {
+            'b' | 'f' | 'p' | 'v' => b'1',
+            'c' | 'g' | 'j' | 'k' | 'q' | 's' | 'x' | 'z' => b'2',
+            'd' | 't' => b'3',
+            'l' => b'4',
+            'm' | 'n' => b'5',
+            'r' => b'6',
+            _ => b'0', // vowels, h, w, y and non-letters
+        }
+    }
+    let letters: Vec<char> = s
+        .chars()
+        .skip_while(|c| !c.is_ascii_alphabetic())
+        .take_while(|c| c.is_ascii_alphabetic())
+        .collect();
+    let Some((&first, rest)) = letters.split_first() else {
+        return "0000".to_string();
+    };
+    let mut out = String::with_capacity(4);
+    out.push(first.to_ascii_uppercase());
+    let mut prev = code(first);
+    for &c in rest {
+        let k = code(c);
+        // h and w are transparent: they do not reset the previous code.
+        if matches!(c.to_ascii_lowercase(), 'h' | 'w') {
+            continue;
+        }
+        if k != b'0' && k != prev {
+            out.push(k as char);
+            if out.len() == 4 {
+                break;
+            }
+        }
+        prev = k;
+    }
+    while out.len() < 4 {
+        out.push('0');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_codes() {
+        assert_eq!(soundex("Robert"), "R163");
+        assert_eq!(soundex("Rupert"), "R163");
+        assert_eq!(soundex("Ashcraft"), "A261"); // h transparent
+        assert_eq!(soundex("Tymczak"), "T522");
+        assert_eq!(soundex("Pfister"), "P236");
+        assert_eq!(soundex("Honeyman"), "H555");
+    }
+
+    #[test]
+    fn typos_often_share_codes() {
+        assert_eq!(soundex("Smith"), soundex("Smyth"));
+        assert_eq!(soundex("Brown"), soundex("Browne"));
+    }
+
+    #[test]
+    fn only_first_word_and_edge_cases() {
+        assert_eq!(soundex("  Tony Brown"), soundex("Tony"));
+        assert_eq!(soundex(""), "0000");
+        assert_eq!(soundex("123"), "0000");
+        assert_eq!(soundex("A"), "A000");
+    }
+}

@@ -1,0 +1,183 @@
+//! Word-token similarity: Jaccard, Dice, overlap, token-count cosine, and
+//! the hybrid Monge-Elkan measure (max Jaro-Winkler per token, averaged).
+
+use crate::jaro::jaro_winkler;
+use std::collections::{HashMap, HashSet};
+
+/// Split into lowercase alphanumeric tokens; punctuation separates tokens.
+pub fn tokenize(s: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    for c in s.chars() {
+        if c.is_alphanumeric() {
+            cur.extend(c.to_lowercase());
+        } else if !cur.is_empty() {
+            tokens.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        tokens.push(cur);
+    }
+    tokens
+}
+
+fn token_set(s: &str) -> HashSet<String> {
+    tokenize(s).into_iter().collect()
+}
+
+/// Jaccard similarity of word-token sets.
+pub fn jaccard_tokens(a: &str, b: &str) -> f64 {
+    let (sa, sb) = (token_set(a), token_set(b));
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let union = sa.len() + sb.len() - inter;
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Dice coefficient `2|A∩B| / (|A|+|B|)` of word-token sets.
+pub fn dice_coefficient(a: &str, b: &str) -> f64 {
+    let (sa, sb) = (token_set(a), token_set(b));
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let denom = sa.len() + sb.len();
+    if denom == 0 {
+        1.0
+    } else {
+        2.0 * inter as f64 / denom as f64
+    }
+}
+
+/// Overlap coefficient `|A∩B| / min(|A|,|B|)` of word-token sets.
+pub fn overlap_coefficient(a: &str, b: &str) -> f64 {
+    let (sa, sb) = (token_set(a), token_set(b));
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let min = sa.len().min(sb.len());
+    if min == 0 {
+        0.0
+    } else {
+        inter as f64 / min as f64
+    }
+}
+
+/// Cosine similarity of word-token count vectors.
+pub fn cosine_token_counts(a: &str, b: &str) -> f64 {
+    let mut ca: HashMap<String, u32> = HashMap::new();
+    for t in tokenize(a) {
+        *ca.entry(t).or_insert(0) += 1;
+    }
+    let mut cb: HashMap<String, u32> = HashMap::new();
+    for t in tokenize(b) {
+        *cb.entry(t).or_insert(0) += 1;
+    }
+    if ca.is_empty() && cb.is_empty() {
+        return 1.0;
+    }
+    let dot: f64 = ca
+        .iter()
+        .filter_map(|(k, &x)| cb.get(k).map(|&y| x as f64 * y as f64))
+        .sum();
+    let na: f64 = ca.values().map(|&c| (c as f64).powi(2)).sum::<f64>().sqrt();
+    let nb: f64 = cb.values().map(|&c| (c as f64).powi(2)).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot / (na * nb)).clamp(0.0, 1.0)
+}
+
+/// Symmetrized Monge-Elkan: for each token of `a`, the best Jaro-Winkler
+/// match among tokens of `b`, averaged; then averaged with the reverse
+/// direction so the result is symmetric.
+pub fn monge_elkan(a: &str, b: &str) -> f64 {
+    fn directed(xs: &[String], ys: &[String]) -> f64 {
+        if xs.is_empty() {
+            return if ys.is_empty() { 1.0 } else { 0.0 };
+        }
+        let total: f64 = xs
+            .iter()
+            .map(|x| {
+                ys.iter()
+                    .map(|y| jaro_winkler(x, y, 0.1))
+                    .fold(0.0, f64::max)
+            })
+            .sum();
+        total / xs.len() as f64
+    }
+    let (ta, tb) = (tokenize(a), tokenize(b));
+    (directed(&ta, &tb) + directed(&tb, &ta)) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizer_lowercases_and_splits_punctuation() {
+        assert_eq!(
+            tokenize("ThinkPad X1-Carbon (7th Gen)!"),
+            vec!["thinkpad", "x1", "carbon", "7th", "gen"]
+        );
+        assert!(tokenize("...").is_empty());
+        assert_eq!(tokenize("日本 語"), vec!["日本", "語"]);
+    }
+
+    #[test]
+    fn jaccard_dice_overlap_relationships() {
+        let (a, b) = ("apple macbook air", "apple macbook pro");
+        let j = jaccard_tokens(a, b);
+        let d = dice_coefficient(a, b);
+        let o = overlap_coefficient(a, b);
+        assert!((j - 0.5).abs() < 1e-12); // 2 shared / 4 union
+        assert!((d - 2.0 / 3.0).abs() < 1e-12);
+        assert!((o - 2.0 / 3.0).abs() < 1e-12);
+        assert!(j <= d && d <= o); // always holds for set measures
+    }
+
+    #[test]
+    fn overlap_is_one_for_subset() {
+        assert_eq!(
+            overlap_coefficient("tony brown", "tony brown store"),
+            1.0
+        );
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        assert_eq!(jaccard_tokens("", ""), 1.0);
+        assert_eq!(jaccard_tokens("", "abc"), 0.0);
+        assert_eq!(overlap_coefficient("!!!", "abc"), 0.0);
+        assert_eq!(cosine_token_counts("", ""), 1.0);
+        assert_eq!(monge_elkan("", ""), 1.0);
+        assert_eq!(monge_elkan("", "x"), 0.0);
+    }
+
+    #[test]
+    fn monge_elkan_tolerates_typos_per_token() {
+        let s = monge_elkan("tony's store", "tonys store");
+        assert!(s > 0.9, "{s}");
+        assert!(monge_elkan("smith's tech shop", "smiths tech shop") > 0.9);
+        assert!((monge_elkan("a b", "b a") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monge_elkan_is_symmetric() {
+        let (a, b) = ("comp world", "computer world ltd");
+        assert!((monge_elkan(a, b) - monge_elkan(b, a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_counts_repeats() {
+        assert!(cosine_token_counts("go go go", "go") > 0.99);
+        assert!(cosine_token_counts("a a b", "a b b") < 1.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Deduplicating a TPC-H-style database with the paper's case-study rules
+//! `φ_a` (parts) and `φ_b` (orders), demonstrating the 3-level recursion of
+//! Exp-1(5): typo'd nations match first, then the customers referencing
+//! them, then the orders those customers placed.
+//!
+//! ```sh
+//! cargo run --release --example tpch_dedup
+//! ```
+
+use dcer::prelude::*;
+use dcer_datagen::tpch;
+use dcer_eval::evaluate_matchset;
+
+fn main() {
+    let cfg = tpch::TpchConfig { scale: 0.1, dup: 0.4, seed: 42 };
+    let (data, truth) = tpch::generate(&cfg);
+    println!(
+        "TPC-H-style dataset: {} tuples, {} true duplicate pairs\n",
+        data.total_tuples(),
+        truth.num_pairs()
+    );
+
+    let session =
+        DcerSession::from_source(tpch::catalog(), tpch::rules_source(), tpch::make_registry())
+            .unwrap();
+
+    // Full deep + collective ER on 8 simulated workers.
+    let report = session.run_parallel(&data, &DmatchConfig::new(8)).unwrap();
+    let mut outcome = report.outcome;
+    let m = evaluate_matchset(&mut outcome.matches, &truth);
+    println!("DMatch (deep + collective):");
+    println!("  precision {:.3}  recall {:.3}  F-measure {:.3}", m.precision, m.recall, m.f_measure);
+    println!(
+        "  partitioning {:.3}s (replication x{:.2}), ER {} supersteps, {} routed matches",
+        report.partition_secs, report.partition.replication_factor,
+        report.bsp.supersteps, report.bsp.messages
+    );
+
+    // The recursion chain, traced on one concrete duplicate order that the
+    // chase actually proved (some order duplicates carry heavy clerk typos
+    // and legitimately stay unproven).
+    let nation_pair = truth.pairs().into_iter().find(|(a, _)| a.rel == tpch::rel::NATION);
+    let order_pair = truth
+        .pairs()
+        .into_iter()
+        .find(|&(a, b)| a.rel == tpch::rel::ORDERS && outcome.matches.are_matched(a, b));
+    if let (Some((n1, n2)), Some((o1, o2))) = (nation_pair, order_pair) {
+        println!("\n3-level recursion trace:");
+        println!(
+            "  level 1: nations {:?} ~ {:?} ({} vs {})",
+            n1, n2,
+            data.tuple(n1).unwrap().get(1),
+            data.tuple(n2).unwrap().get(1)
+        );
+        println!("  level 2: customers referencing them match (name + phone evidence)");
+        println!(
+            "  level 3: orders {:?} ~ {:?} match via the customer match: {}",
+            o1, o2,
+            outcome.matches.are_matched(o1, o2)
+        );
+    }
+
+    // Ablations: what the paper's DMatch_C / DMatch_D variants would find.
+    for (label, variant) in [
+        ("DMatch_C (collective only, no recursion)", session.collective_only()),
+        ("DMatch_D (deep only, <=4 tuple variables)", session.deep_only(4)),
+    ] {
+        let mut o = variant.run_parallel(&data, &DmatchConfig::new(8)).unwrap().outcome;
+        let m = evaluate_matchset(&mut o.matches, &truth);
+        println!("\n{label}:");
+        println!("  precision {:.3}  recall {:.3}  F-measure {:.3}", m.precision, m.recall, m.f_measure);
+    }
+}

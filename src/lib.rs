@@ -1,0 +1,84 @@
+//! # dcer — Deep and Collective Entity Resolution in Parallel
+//!
+//! A from-scratch Rust implementation of the system described in
+//! *"Deep and Collective Entity Resolution in Parallel"* (Deng, Fan, Lu, Luo,
+//! Zhu, An — ICDE 2022): **MRLs** (matching rules with embedded ML
+//! predicates), a chase-based **fixpoint model** for deep (recursive) and
+//! collective (multi-table) ER, the **HyPart** Hypercube+MQO data
+//! partitioner, and the parallelly scalable **DMatch** BSP algorithm.
+//!
+//! This facade crate re-exports every subsystem:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`relation`] | schemas, values, tuples, datasets, CSV, hash indexes |
+//! | [`similarity`] | string-similarity metrics feeding ML predicates |
+//! | [`ml`] | ML predicate framework: embedders, classifiers, registry |
+//! | [`mrl`] | the MRL rule language: AST, parser, analysis |
+//! | [`chase`] | sequential `Match`: `Deduce` + `IncDeduce` fixpoint engine |
+//! | [`mqo`] | multi-query-optimized plan and shared hash assignment |
+//! | [`hypart`] | Hypercube partitioning with virtual blocks & balancing |
+//! | [`bsp`] | master/worker BSP cluster runtime (threaded & simulated) |
+//! | [`core`] | the parallel `DMatch` algorithm and high-level session API |
+//! | [`datagen`] | synthetic dataset generators with ground truth |
+//! | [`discovery`] | evidence-set MRL mining |
+//! | [`eval`] | precision/recall/F-measure and experiment harness |
+//! | [`baselines`] | comparison methods used by the paper's evaluation |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dcer::prelude::*;
+//!
+//! // Schema with one relation and an ML predicate on `desc`.
+//! let catalog = std::sync::Arc::new(Catalog::from_schemas(vec![
+//!     RelationSchema::of("Products", &[
+//!         ("pname", ValueType::Str),
+//!         ("desc", ValueType::Str),
+//!     ]),
+//! ]).unwrap());
+//!
+//! let mut data = Dataset::new(catalog.clone());
+//! data.insert(0, vec!["ThinkPad".into(),
+//!     "ThinkPad X1 Carbon 7th Gen 14-Inch 16GB RAM".into()]).unwrap();
+//! data.insert(0, vec!["ThinkPad".into(),
+//!     "ThinkPad X1 Carbon 7th Gen 14\" - 16 GB RAM".into()]).unwrap();
+//!
+//! // phi: same name + similar description (ML) -> same entity.
+//! let rules = dcer::mrl::parse_rules(&catalog,
+//!     "match products: Products(p), Products(q), p.pname = q.pname, \
+//!      sim(p.desc, q.desc) -> p.id = q.id").unwrap();
+//!
+//! let mut models = MlRegistry::new();
+//! models.register("sim", std::sync::Arc::new(
+//!     dcer::ml::NgramCosineClassifier::new(0.5)));
+//!
+//! let session = DcerSession::new(catalog, rules, models);
+//! let mut outcome = session.run_sequential(&data);
+//! assert!(outcome.matches.are_matched(Tid::new(0, 0), Tid::new(0, 1)));
+//! ```
+
+pub use dcer_baselines as baselines;
+pub use dcer_bsp as bsp;
+pub use dcer_chase as chase;
+pub use dcer_core as core;
+pub use dcer_datagen as datagen;
+pub use dcer_discovery as discovery;
+pub use dcer_eval as eval;
+pub use dcer_hypart as hypart;
+pub use dcer_ml as ml;
+pub use dcer_mqo as mqo;
+pub use dcer_mrl as mrl;
+pub use dcer_relation as relation;
+pub use dcer_similarity as similarity;
+
+/// The most commonly used types, re-exported flat.
+pub mod prelude {
+    pub use dcer_chase::{ChaseOutcome, MatchSet};
+    pub use dcer_core::{DcerSession, DmatchConfig, DmatchReport};
+    pub use dcer_ml::MlRegistry;
+    pub use dcer_mrl::{parse_rules, Rule, RuleSet};
+    pub use dcer_relation::{
+        Catalog, Dataset, RelationSchema, Tid, Tuple, Value, ValueType,
+    };
+}

@@ -1,0 +1,173 @@
+//! End-to-end tests of the `dcer` command-line binary: schema parsing,
+//! rule checking, matching (sequential and parallel) and rule discovery,
+//! all through the real executable.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dcer"))
+}
+
+struct Fixture {
+    dir: PathBuf,
+}
+
+impl Fixture {
+    fn new(name: &str) -> Fixture {
+        let dir = std::env::temp_dir().join(format!("dcer-cli-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let f = Fixture { dir };
+        f.write(
+            "schema.txt",
+            "Person(pid: str, name: str, email: str)\nAccount(owner: str, iban: str)\n",
+        );
+        f.write(
+            "person.csv",
+            "pid,name,email\n\
+             p1,Ada Lovelace,ada@calc.org\n\
+             p2,A. Lovelace,ada@calc.org\n\
+             p3,Ada K. Lovelace,ada.k@calc.org\n\
+             p4,Charles Babbage,cb@engine.org\n",
+        );
+        f.write("account.csv", "owner,iban\np2,GB00-1234\np3,GB00-1234\np4,GB99-9999\n");
+        f.write(
+            "rules.mrl",
+            "match by_email: Person(a), Person(b), monge_75(a.name, b.name), \
+               a.email = b.email -> a.id = b.id;\n\
+             match by_account: Person(a), Person(b), Account(x), Account(y), \
+               a.pid = x.owner, b.pid = y.owner, x.iban = y.iban, \
+               monge_75(a.name, b.name) -> a.id = b.id\n",
+        );
+        f
+    }
+
+    fn write(&self, name: &str, contents: &str) {
+        std::fs::write(self.dir.join(name), contents).unwrap();
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.dir.join(name).to_string_lossy().into_owned()
+    }
+}
+
+#[test]
+fn check_validates_rules_and_reports_classes() {
+    let f = Fixture::new("check");
+    let out = bin()
+        .args(["check", "--schema", &f.path("schema.txt"), "--rules", &f.path("rules.mrl")])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("2 rules parse and validate"));
+    assert!(stdout.contains("class Collective"));
+}
+
+#[test]
+fn match_finds_transitive_cluster_sequential_and_parallel() {
+    let f = Fixture::new("match");
+    for extra in [vec!["--sequential"], vec!["--workers", "3"]] {
+        let mut args = vec![
+            "match".to_string(),
+            "--schema".into(),
+            f.path("schema.txt"),
+            "--data".into(),
+            format!("Person={}", f.path("person.csv")),
+            "--data".into(),
+            format!("Account={}", f.path("account.csv")),
+            "--rules".into(),
+            f.path("rules.mrl"),
+        ];
+        args.extend(extra.iter().map(|s| s.to_string()));
+        let out = bin().args(&args).output().unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        // p1~p2 (email), p2~p3 (account), p1~p3 (transitivity).
+        for pair in ["p1,p2", "p2,p3", "p1,p3"] {
+            assert!(stdout.contains(pair), "{extra:?}: missing {pair} in:\n{stdout}");
+        }
+        assert!(!stdout.contains("p4"), "Babbage must not match anyone");
+    }
+}
+
+#[test]
+fn match_writes_output_file() {
+    let f = Fixture::new("out");
+    let out_path = f.path("matches.csv");
+    let out = bin()
+        .args([
+            "match",
+            "--schema",
+            &f.path("schema.txt"),
+            "--data",
+            &format!("Person={}", f.path("person.csv")),
+            "--data",
+            &format!("Account={}", f.path("account.csv")),
+            "--rules",
+            &f.path("rules.mrl"),
+            "--sequential",
+            "--output",
+            &out_path,
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let written = std::fs::read_to_string(&out_path).unwrap();
+    assert!(written.starts_with("relation,left,right"));
+    assert_eq!(written.lines().count(), 4); // header + 3 pairs
+}
+
+#[test]
+fn discover_mines_rules_from_labels() {
+    let f = Fixture::new("discover");
+    f.write("songs_schema.txt", "song(title: str, artist: str, year: int)\n");
+    let mut csv = String::from("title,artist,year\n");
+    let mut labels = String::from("left,right\n");
+    for i in 0..40 {
+        csv.push_str(&format!("song number {i},artist {}\u{20}band,19{:02}\n", i % 7, i % 50));
+        csv.push_str(&format!("song number {i},artist {}\u{20}band,19{:02}\n", i % 7, i % 50));
+        labels.push_str(&format!("{},{}\n", 2 * i, 2 * i + 1));
+    }
+    f.write("songs.csv", &csv);
+    f.write("labels.csv", &labels);
+    let out = bin()
+        .args([
+            "discover",
+            "--schema",
+            &f.path("songs_schema.txt"),
+            "--data",
+            &format!("song={}", f.path("songs.csv")),
+            "--relation",
+            "song",
+            "--labels",
+            &f.path("labels.csv"),
+            "--min-support",
+            "10",
+            "--min-confidence",
+            "0.95",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("rules mined"), "{stdout}");
+    assert!(stdout.contains("-> t.id = s.id"), "{stdout}");
+}
+
+#[test]
+fn helpful_errors() {
+    let out = bin().args(["match"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--schema"));
+
+    let f = Fixture::new("badrule");
+    f.write("bad.mrl", "match x: Person(a) -> a.id = a.id");
+    let out = bin()
+        .args(["check", "--schema", &f.path("schema.txt"), "--rules", &f.path("bad.mrl")])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("trivial"));
+}

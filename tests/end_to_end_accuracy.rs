@@ -1,0 +1,115 @@
+//! End-to-end accuracy on every generated corpus: DMatch with the
+//! corpus's rule set must reach a high F-measure against the exact ground
+//! truth, and the paper's DMatch_C / DMatch_D ablations must lose recall
+//! (they cannot prove the relational-only duplicates).
+
+use dcer::prelude::*;
+use dcer_datagen::{bib, ecommerce, movies, songs, tfacc, tpch};
+use dcer_eval::evaluate_matchset;
+
+fn f_measure(session: &DcerSession, data: &Dataset, truth: &dcer_datagen::GroundTruth) -> f64 {
+    let mut report = session.run_parallel(data, &DmatchConfig::new(4)).unwrap();
+    evaluate_matchset(&mut report.outcome.matches, truth).f_measure
+}
+
+#[test]
+fn tpch_accuracy_and_ablations() {
+    let (d, truth) = tpch::generate(&tpch::TpchConfig { scale: 0.05, dup: 0.4, seed: 7 });
+    let s = DcerSession::from_source(tpch::catalog(), tpch::rules_source(), tpch::make_registry())
+        .unwrap();
+    let full = f_measure(&s, &d, &truth);
+    assert!(full > 0.85, "DMatch F on TPCH = {full}");
+    // Collective-only (no recursion) misses the order/customer chains.
+    let c = f_measure(&s.collective_only(), &d, &truth);
+    // Deep-only (≤4 tuple variables) drops phi_a (6 vars) and phi_b (6 vars).
+    let dd = f_measure(&s.deep_only(4), &d, &truth);
+    assert!(c < full, "DMatch_C {c} must lose recall vs {full}");
+    assert!(dd < full, "DMatch_D {dd} must lose recall vs {full}");
+}
+
+#[test]
+fn tfacc_accuracy_and_recursion_need() {
+    let (d, truth) = tfacc::generate(&tfacc::TfaccConfig { vehicles: 250, dup: 0.5, seed: 3 });
+    let s =
+        DcerSession::from_source(tfacc::catalog(), tfacc::rules_source(), tfacc::make_registry())
+            .unwrap();
+    let full = f_measure(&s, &d, &truth);
+    assert!(full > 0.85, "DMatch F on TFACC = {full}");
+    let c = f_measure(&s.collective_only(), &d, &truth);
+    assert!(c < full, "collective-only {c} vs full {full}");
+}
+
+#[test]
+fn imdb_songs_accuracy() {
+    let (d, truth) = movies::imdb_generate(&movies::ImdbConfig { films: 300, dup: 0.3, seed: 5 });
+    let s = DcerSession::from_source(
+        movies::imdb_catalog(),
+        movies::imdb_rules_source(),
+        movies::make_registry(),
+    )
+    .unwrap();
+    let f = f_measure(&s, &d, &truth);
+    assert!(f > 0.8, "IMDB-like F = {f}");
+
+    let (d, truth) = songs::generate(&songs::SongsConfig { songs: 400, dup: 0.3, seed: 5 });
+    let s = DcerSession::from_source(songs::catalog(), songs::rules_source(), songs::make_registry())
+        .unwrap();
+    let f = f_measure(&s, &d, &truth);
+    assert!(f > 0.75, "Songs-like F = {f}");
+}
+
+#[test]
+fn movie_and_bib_collective_accuracy() {
+    let (d, truth) = movies::movie_generate(&movies::MovieConfig { movies: 250, dup: 0.4, seed: 5 });
+    let s = DcerSession::from_source(
+        movies::movie_catalog(),
+        movies::movie_rules_source(),
+        movies::make_registry(),
+    )
+    .unwrap();
+    let f = f_measure(&s, &d, &truth);
+    assert!(f > 0.8, "Movie-like F = {f}");
+
+    let (d, truth) = bib::generate(&bib::BibConfig { articles: 200, dup: 0.4, seed: 5 });
+    let s = DcerSession::from_source(bib::catalog(), bib::rules_source(), bib::make_registry())
+        .unwrap();
+    let f = f_measure(&s, &d, &truth);
+    assert!(f > 0.8, "Bib (phi_c) F = {f}");
+}
+
+#[test]
+fn ecommerce_generated_accuracy() {
+    let (d, truth) =
+        ecommerce::generate(&ecommerce::EcommerceConfig { customers: 150, dup_rate: 0.3, seed: 5 });
+    let s = DcerSession::from_source(
+        ecommerce::catalog(),
+        ecommerce::generated_rules_source(),
+        ecommerce::paper_registry(),
+    )
+    .unwrap();
+    let f = f_measure(&s, &d, &truth);
+    assert!(f > 0.75, "ecommerce F = {f}");
+}
+
+#[test]
+fn mined_rules_catch_duplicates() {
+    // Discovery end-to-end: mine bi-variable MRLs on Songs, chase with
+    // them, and beat a 0.6 F floor.
+    let (d, truth) = songs::generate(&songs::SongsConfig { songs: 300, dup: 0.4, seed: 9 });
+    let reg = songs::make_registry();
+    let space = dcer_discovery::predicate_space(
+        d.catalog(),
+        0,
+        &[("title_sim".into(), vec![1]), ("artist_sim".into(), vec![2])],
+    );
+    // Exhaustive evidence: mined confidence equals population precision.
+    let evidence =
+        dcer_discovery::build_evidence_exhaustive(&d, 0, &truth, &space, &reg, 400).unwrap();
+    let mined = dcer_discovery::mine_rules(&evidence, space.len(), 10, 0.97, 3);
+    assert!(!mined.is_empty());
+    let rules = dcer_discovery::to_rule_set(d.catalog(), 0, &space, &mined, "mined_").unwrap();
+    let session = DcerSession::new(d.catalog().clone(), rules, reg);
+    let mut outcome = session.run_sequential(&d);
+    let m = evaluate_matchset(&mut outcome.matches, &truth);
+    assert!(m.f_measure > 0.6, "mined-rule F = {} (p={}, r={})", m.f_measure, m.precision, m.recall);
+}
