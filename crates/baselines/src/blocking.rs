@@ -40,10 +40,8 @@ pub fn token_blocks(
             }
         }
     }
-    let mut blocks: Vec<Vec<u32>> = map
-        .into_values()
-        .filter(|b| b.len() > 1 && b.len() <= max_block)
-        .collect();
+    let mut blocks: Vec<Vec<u32>> =
+        map.into_values().filter(|b| b.len() > 1 && b.len() <= max_block).collect();
     blocks.sort();
     blocks
 }
@@ -67,11 +65,8 @@ pub fn meta_blocking(blocks: &[Vec<u32>], threshold_frac: f64) -> Vec<(u32, u32)
         return Vec::new();
     }
     let cutoff = threshold_frac * max_w;
-    let mut pairs: Vec<(u32, u32)> = weights
-        .into_iter()
-        .filter(|&(_, w)| w as f64 >= cutoff)
-        .map(|(p, _)| p)
-        .collect();
+    let mut pairs: Vec<(u32, u32)> =
+        weights.into_iter().filter(|&(_, w)| w as f64 >= cutoff).map(|(p, _)| p).collect();
     pairs.sort_unstable();
     pairs
 }

@@ -27,7 +27,7 @@ pub mod windowing;
 
 pub use blocking::{meta_blocking, minhash_lsh_blocks, standard_blocks, token_blocks};
 pub use matchers::{
-    DedoopLike, DisDedupLike, DeepErLike, ErBloxLike, JedAiLike, Matcher, MatcherResult,
+    DedoopLike, DeepErLike, DisDedupLike, ErBloxLike, JedAiLike, Matcher, MatcherResult,
     PairwiseMlLike, SparkErLike,
 };
 pub use scoring::{AttrSim, PairScorer, SimKind, WeightedScorer};

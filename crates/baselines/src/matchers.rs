@@ -3,7 +3,9 @@
 //! LSH) followed by pairwise scoring at a threshold, with the result closed
 //! transitively — the conventional ER pipeline the paper contrasts with.
 
-use crate::blocking::{block_pairs, meta_blocking, minhash_lsh_blocks, standard_blocks, token_blocks};
+use crate::blocking::{
+    block_pairs, meta_blocking, minhash_lsh_blocks, standard_blocks, token_blocks,
+};
 use crate::scoring::PairScorer;
 use crate::windowing::SortedNeighborhood;
 use dcer_chase::MatchSet;
@@ -436,7 +438,8 @@ mod tests {
         let mut r = m.run(&d);
         assert!(r.matches.are_matched(tid(3), tid(4)));
 
-        let e = ErBloxLike { rel: 0, block_keys: vec![1], attrs: vec![0, 1], classifier: trained() };
+        let e =
+            ErBloxLike { rel: 0, block_keys: vec![1], attrs: vec![0, 1], classifier: trained() };
         let mut r = e.run(&d);
         assert!(r.matches.are_matched(tid(3), tid(4)));
         assert!(!r.matches.are_matched(tid(0), tid(2)), "different blocks");

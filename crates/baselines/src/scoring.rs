@@ -128,9 +128,7 @@ mod tests {
     fn tup(row: u32, vals: &[&str]) -> Tuple {
         Tuple::new(
             Tid::new(0, row),
-            vals.iter()
-                .map(|s| if s.is_empty() { Value::Null } else { Value::str(*s) })
-                .collect(),
+            vals.iter().map(|s| if s.is_empty() { Value::Null } else { Value::str(*s) }).collect(),
         )
     }
 

@@ -1,0 +1,159 @@
+//! BSP exchange benchmark: zero-copy `DeltaBatch` routing versus a
+//! clone-per-recipient baseline, on the acceptance workload of 8 workers
+//! each broadcasting 100k facts.
+//!
+//! Measures three levels:
+//!   * `route/*`   — the raw fan-out cost of handing one payload to the 7
+//!     peers (Arc bump vs `Vec<Fact>` deep copy);
+//!   * `exchange/*` — a full `run_bsp` superstep with all 8 workers
+//!     broadcasting, including mailbox delivery and cost accounting;
+//!   * `merge/*`   — folding a 7-batch inbox with `DeltaBatch::merge_all`.
+//!
+//! After measuring, the headline throughputs and the arc-vs-clone speedups
+//! are written to `BENCH_bsp_exchange.json` at the workspace root so the
+//! zero-copy claim is recorded alongside the code.
+
+use criterion::{black_box, Criterion};
+use dcer_bsp::{run_bsp, CostModel, ExecutionMode, Message, Worker, WorkerId};
+use dcer_chase::{BatchStats, DeltaBatch, Fact};
+use dcer_relation::Tid;
+
+const WORKERS: usize = 8;
+const FACTS: usize = 100_000;
+
+/// Distinct Id facts; every pair canonicalizes to a unique fact so the
+/// batch keeps exactly `n` entries.
+fn workload(n: usize) -> Vec<Fact> {
+    (0..n).map(|i| Fact::id(Tid::new(0, i as u32), Tid::new(1, i as u32))).collect()
+}
+
+/// Baseline message: owns its facts, so routing it to `k` recipients
+/// deep-copies the payload `k` times. This is exactly what the pre-batch
+/// runtime did with `Vec<Fact>` deltas.
+#[derive(Clone)]
+struct OwnedBatch(Vec<Fact>);
+
+impl Message for OwnedBatch {
+    fn size_bytes(&self) -> usize {
+        self.0.iter().map(Fact::size_bytes).sum()
+    }
+
+    fn unit_count(&self) -> usize {
+        self.0.len()
+    }
+}
+
+/// Worker that broadcasts its payload in superstep 0 and then quiesces —
+/// the communication skeleton of one DMatch exchange round.
+struct BroadcastOnce<M: Message> {
+    id: WorkerId,
+    shards: usize,
+    payload: M,
+}
+
+impl<M: Message> Worker for BroadcastOnce<M> {
+    type Msg = M;
+
+    fn initial(&mut self) -> Vec<(WorkerId, M)> {
+        (0..self.shards).filter(|&w| w != self.id).map(|w| (w, self.payload.clone())).collect()
+    }
+
+    fn superstep(&mut self, inbox: Vec<M>) -> Vec<(WorkerId, M)> {
+        black_box(inbox);
+        Vec::new()
+    }
+}
+
+fn exchange_workers<M: Message + Clone>(payload: &M) -> Vec<BroadcastOnce<M>> {
+    (0..WORKERS).map(|id| BroadcastOnce { id, shards: WORKERS, payload: payload.clone() }).collect()
+}
+
+fn main() {
+    let mut c = Criterion::default().sample_size(20);
+    let facts = workload(FACTS);
+    let batch = DeltaBatch::new(facts.clone());
+    assert_eq!(batch.len(), FACTS, "workload facts must be distinct");
+
+    // Raw fan-out: one sender hands its delta to the 7 peers.
+    c.bench_function("route/arc_batch", |b| {
+        b.iter(|| {
+            let routed: Vec<DeltaBatch> = (1..WORKERS).map(|_| batch.clone()).collect();
+            black_box(routed)
+        })
+    });
+    c.bench_function("route/clone_per_recipient", |b| {
+        b.iter(|| {
+            let routed: Vec<Vec<Fact>> = (1..WORKERS).map(|_| facts.clone()).collect();
+            black_box(routed)
+        })
+    });
+
+    // Full BSP round: all 8 workers broadcast, mailboxes are delivered,
+    // bytes are accounted.
+    let cost = CostModel::default();
+    c.bench_function("exchange/arc_batch_8w_100k", |b| {
+        b.iter(|| black_box(run_bsp(exchange_workers(&batch), ExecutionMode::Simulated, &cost)))
+    });
+    c.bench_function("exchange/clone_8w_100k", |b| {
+        let owned = OwnedBatch(facts.clone());
+        b.iter(|| black_box(run_bsp(exchange_workers(&owned), ExecutionMode::Simulated, &cost)))
+    });
+
+    // Receiver side: fold a 7-batch inbox into one delta.
+    let inbox: Vec<DeltaBatch> = (1..WORKERS).map(|_| batch.clone()).collect();
+    c.bench_function("merge/inbox_7x100k", |b| {
+        b.iter(|| {
+            let mut stats = BatchStats::default();
+            black_box(DeltaBatch::merge_all(&inbox, &mut stats))
+        })
+    });
+
+    c.report();
+    write_report(&c);
+}
+
+/// Record the acceptance numbers at `<workspace>/BENCH_bsp_exchange.json`.
+fn write_report(c: &Criterion) {
+    use serde_json::{Map, Value};
+
+    let mean = |id: &str| {
+        c.results()
+            .iter()
+            .find(|r| r.id == id)
+            .map(|r| r.mean_ns)
+            .unwrap_or_else(|| panic!("missing bench result {id}"))
+    };
+    // Facts crossing the exchange in one full round: each of the 8 workers
+    // broadcasts its 100k facts to 7 peers.
+    let routed_facts = (WORKERS * (WORKERS - 1) * FACTS) as f64;
+    let throughput = |ns: f64| routed_facts / (ns / 1e9);
+
+    let exchange_arc_ns = mean("exchange/arc_batch_8w_100k");
+    let exchange_clone_ns = mean("exchange/clone_8w_100k");
+    let route_arc_ns = mean("route/arc_batch");
+    let route_clone_ns = mean("route/clone_per_recipient");
+
+    let bench = |ns: f64| {
+        let mut m = Map::new();
+        m.insert("mean_ns", Value::from(ns));
+        m.insert("facts_per_sec", Value::from(throughput(ns)));
+        Value::Object(m)
+    };
+    let mut root = Map::new();
+    root.insert("bench", Value::from("bsp_exchange"));
+    root.insert("workers", Value::from(WORKERS));
+    root.insert("facts_per_worker", Value::from(FACTS));
+    root.insert("routed_facts_per_round", Value::from(routed_facts));
+    root.insert("exchange_arc_batch", bench(exchange_arc_ns));
+    root.insert("exchange_clone_per_recipient", bench(exchange_clone_ns));
+    root.insert("exchange_speedup", Value::from(exchange_clone_ns / exchange_arc_ns));
+    root.insert("route_arc_batch_ns", Value::from(route_arc_ns));
+    root.insert("route_clone_per_recipient_ns", Value::from(route_clone_ns));
+    root.insert("route_speedup", Value::from(route_clone_ns / route_arc_ns));
+    root.insert("merge_inbox_7x100k_ns", Value::from(mean("merge/inbox_7x100k")));
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_bsp_exchange.json");
+    let body = serde_json::to_string_pretty(&Value::Object(root)).expect("render json");
+    std::fs::write(path, body + "\n").expect("write BENCH_bsp_exchange.json");
+    eprintln!("wrote {path}");
+}

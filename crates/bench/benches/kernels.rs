@@ -12,7 +12,9 @@ fn bench_similarity(c: &mut Criterion) {
     let a = "ThinkPad X1 Carbon 7th Gen : 14-Inch, 16GB RAM, 512GB Nvme SSD";
     let b = "ThinkPad X1 Carbon 7th Gen 14\" - 16 GB RAM - 512 GB SSD";
     let mut g = c.benchmark_group("similarity");
-    g.bench_function("levenshtein_60ch", |bch| bch.iter(|| levenshtein(black_box(a), black_box(b))));
+    g.bench_function("levenshtein_60ch", |bch| {
+        bch.iter(|| levenshtein(black_box(a), black_box(b)))
+    });
     g.bench_function("jaro_winkler_60ch", |bch| {
         bch.iter(|| jaro_winkler(black_box(a), black_box(b), 0.1))
     });
@@ -31,7 +33,9 @@ fn bench_embedding(c: &mut Criterion) {
     let mut g = c.benchmark_group("embedding");
     g.bench_function("embed_text_8_words", |b| b.iter(|| e.embed_text(black_box(text))));
     g.bench_function("cosine_8_words", |b| {
-        b.iter(|| e.cosine(black_box(text), black_box("Deep entity matching in distributed databases")))
+        b.iter(|| {
+            e.cosine(black_box(text), black_box("Deep entity matching in distributed databases"))
+        })
     });
     g.finish();
 }
@@ -63,9 +67,7 @@ fn bench_index(c: &mut Criterion) {
     for i in 0..50_000 {
         d.insert(0, vec![format!("key{}", i % 5_000).into()]).unwrap();
     }
-    c.bench_function("hash_index_build_50k", |b| {
-        b.iter(|| black_box(HashIndex::build(&d, 0, 0)))
-    });
+    c.bench_function("hash_index_build_50k", |b| b.iter(|| black_box(HashIndex::build(&d, 0, 0))));
     let idx = HashIndex::build(&d, 0, 0);
     let probe = Value::str("key123");
     c.bench_function("hash_index_probe", |b| b.iter(|| black_box(idx.lookup(&probe).len())));

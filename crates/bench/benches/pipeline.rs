@@ -82,8 +82,7 @@ fn bench_dmatch(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("workers", n), &n, |b, &n| {
             b.iter(|| {
                 black_box(
-                    dcer_core::run_dmatch(&data, &rules, &registry, &DmatchConfig::new(n))
-                        .unwrap(),
+                    dcer_core::run_dmatch(&data, &rules, &registry, &DmatchConfig::new(n)).unwrap(),
                 )
             })
         });

@@ -49,10 +49,8 @@ fn parse_args() -> Args {
 
 fn archive(json: serde_json::Value) {
     use std::io::Write;
-    if let Ok(mut f) = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open("results/experiments.jsonl")
+    if let Ok(mut f) =
+        std::fs::OpenOptions::new().create(true).append(true).open("results/experiments.jsonl")
     {
         let _ = writeln!(f, "{json}");
     }
@@ -103,10 +101,7 @@ fn table5(scale: f64, workers: usize) {
     rows.push(row);
     emit(
         "Table V: accuracy (F) and time (s) on labeled corpora",
-        &[
-            "method", "IMDB F", "T(s)", "ACM-DBLP F", "T(s)", "Movie F", "T(s)", "Songs F",
-            "T(s)",
-        ],
+        &["method", "IMDB F", "T(s)", "ACM-DBLP F", "T(s)", "Movie F", "T(s)", "Songs F", "T(s)"],
         rows,
     );
     println!(
@@ -130,12 +125,10 @@ fn table6(scale: f64, workers: usize) {
             Cell::F3(rf.metrics.f_measure),
         ]);
     }
-    emit(
-        "Table VI: DMatch accuracy vs Dup",
-        &["Dup", "TPCH F", "TFACC F"],
-        rows,
+    emit("Table VI: DMatch accuracy vs Dup", &["Dup", "TPCH F", "TFACC F"], rows);
+    println!(
+        "paper shape: F stays high (0.85-0.87 on TPCH) and degrades only slightly with Dup.\n"
     );
-    println!("paper shape: F stays high (0.85-0.87 on TPCH) and degrades only slightly with Dup.\n");
 }
 
 /// Fig 6(a)/(b): accuracy of DMatch vs its ablations and the distributed
@@ -173,7 +166,8 @@ fn fig6_time_vs_dup(scale: f64, workers: usize, tfacc: bool) {
     for &dup in &dups {
         // 8x base size: at the default container scale the Dup range adds
         // only a handful of tuples and the trend drowns in noise.
-        let w = if tfacc { tfacc_workload(scale * 8.0, dup) } else { tpch_workload(scale * 8.0, dup) };
+        let w =
+            if tfacc { tfacc_workload(scale * 8.0, dup) } else { tpch_workload(scale * 8.0, dup) };
         let (r, _) = run_dmatch(&w, workers, true);
         dmatch.push(r.parallel_secs.unwrap());
         for b in baselines_for(&w) {
@@ -197,14 +191,12 @@ fn fig6_time_vs_dup(scale: f64, workers: usize, tfacc: bool) {
             title,
             "Dup",
             &xs,
-            &[
-                ("DMatch(s)", dmatch),
-                ("SparkER-like(s)", sparker),
-                ("DisDedup-like(s)", disdedup),
-            ],
+            &[("DMatch(s)", dmatch), ("SparkER-like(s)", sparker), ("DisDedup-like(s)", disdedup),],
         )
     );
-    println!("paper shape: all methods grow with Dup; DMatch stays competitive despite recursion.\n");
+    println!(
+        "paper shape: all methods grow with Dup; DMatch stays competitive despite recursion.\n"
+    );
 }
 
 /// Fig 6(e)/(f): DMatch vs DMatch_noMQO as the predicate count per rule
@@ -252,7 +244,12 @@ fn fig6_time_vs_preds(scale: f64, workers: usize, tfacc: bool) {
     let xs: Vec<String> = preds.iter().map(|p| p.to_string()).collect();
     println!(
         "{}",
-        format_series(title, "|phi|", &xs, &[("DMatch(s)", with_mqo), ("DMatch_noMQO(s)", without)])
+        format_series(
+            title,
+            "|phi|",
+            &xs,
+            &[("DMatch(s)", with_mqo), ("DMatch_noMQO(s)", without)]
+        )
     );
     println!("paper shape: time grows with |phi|; MQO's advantage grows with shared predicates.\n");
 }
@@ -297,7 +294,12 @@ fn fig6_time_vs_rules(scale: f64, workers: usize, tfacc: bool) {
     let xs: Vec<String> = counts.iter().map(|c| c.to_string()).collect();
     println!(
         "{}",
-        format_series(title, "||Sigma||", &xs, &[("DMatch(s)", with_mqo), ("DMatch_noMQO(s)", without)])
+        format_series(
+            title,
+            "||Sigma||",
+            &xs,
+            &[("DMatch(s)", with_mqo), ("DMatch_noMQO(s)", without)]
+        )
     );
     println!("paper shape: more rules cost more; MQO sharing grows with the rule count.\n");
 }
@@ -335,7 +337,12 @@ fn fig6_scalability(scale: f64, tfacc: bool) {
     let xs: Vec<String> = ns.iter().map(|n| n.to_string()).collect();
     println!(
         "{}",
-        format_series(title, "n", &xs, &[("DMatch(s)", with_mqo.clone()), ("DMatch_noMQO(s)", without)])
+        format_series(
+            title,
+            "n",
+            &xs,
+            &[("DMatch(s)", with_mqo.clone()), ("DMatch_noMQO(s)", without)]
+        )
     );
     let speedup = with_mqo[0] / with_mqo[ns.len() - 1];
     println!(
@@ -367,11 +374,7 @@ fn fig6_time_vs_scale(scale: f64, workers: usize, tfacc: bool) {
     } else {
         "Fig 6(k): time vs scale factor on TPCH (n = 16)"
     };
-    let xs: Vec<String> = factors
-        .iter()
-        .zip(&sizes)
-        .map(|(f, s)| format!("{f} ({s}t)"))
-        .collect();
+    let xs: Vec<String> = factors.iter().zip(&sizes).map(|(f, s)| format!("{f} ({s}t)")).collect();
     println!(
         "{}",
         format_series(title, "SF", &xs, &[("DMatch(s)", with_mqo), ("DMatch_noMQO(s)", without)])
@@ -437,6 +440,31 @@ fn case_study(scale: f64, workers: usize) {
     }
     let (res, _) = run_dmatch(&wb, workers, true);
     println!("DMatch on ACM-DBLP: F = {:.3}", res.metrics.f_measure);
+}
+
+/// Dump the complete execution statistics of one DMatch run — BSP exchange
+/// counters, per-worker chase counters, batch construction/merge counters
+/// and partitioning geometry — as a single JSON record, straight from the
+/// `Serialize` impls on the stats structs.
+fn stats_dump(scale: f64, workers: usize) {
+    use serde_json::{to_value, Map, Value};
+
+    let w = tpch_workload(scale, 0.4);
+    let (res, report) = run_dmatch(&w, workers, true);
+    let mut m = Map::new();
+    m.insert("experiment", Value::from("stats"));
+    m.insert("dataset", Value::from("tpch"));
+    m.insert("scale", Value::from(scale));
+    m.insert("workers", Value::from(workers));
+    m.insert("f_measure", Value::from(res.metrics.f_measure));
+    m.insert("bsp", to_value(&report.bsp));
+    m.insert("batch", to_value(&report.batch));
+    m.insert("partition", to_value(&report.partition));
+    m.insert("worker_chase", to_value(&report.worker_stats));
+    let record = Value::Object(m);
+    println!("== Execution statistics (one DMatch run on TPCH) ==");
+    println!("{}", serde_json::to_string_pretty(&record).unwrap());
+    archive(record);
 }
 
 fn main() {
@@ -510,9 +538,13 @@ fn main() {
         case_study(args.scale, args.workers);
         let _ = write!(ran, "case_study ");
     }
+    if run("stats") {
+        stats_dump(args.scale, args.workers);
+        let _ = write!(ran, "stats ");
+    }
     if ran.is_empty() {
         eprintln!(
-            "unknown experiment `{}`; available: table5 table6 fig6a..fig6l partitioning case_study all",
+            "unknown experiment `{}`; available: table5 table6 fig6a..fig6l partitioning case_study stats all",
             args.command
         );
         std::process::exit(2);

@@ -6,8 +6,8 @@
 //! subcommand in `experiments`; see `DESIGN.md` §4 for the index.
 
 use dcer_baselines::{
-    DedoopLike, DeepErLike, DisDedupLike, ErBloxLike, JedAiLike, Matcher, PairwiseMlLike,
-    SimKind, SparkErLike, WeightedScorer,
+    DedoopLike, DeepErLike, DisDedupLike, ErBloxLike, JedAiLike, Matcher, PairwiseMlLike, SimKind,
+    SparkErLike, WeightedScorer,
 };
 use dcer_core::{DcerSession, DmatchConfig, DmatchReport};
 use dcer_datagen::{bib, movies, songs, tfacc, tpch, GroundTruth};
@@ -45,11 +45,8 @@ pub fn scaled(base: usize, scale: f64) -> usize {
 
 /// IMDB-style workload.
 pub fn imdb_workload(scale: f64, dup: f64) -> Workload {
-    let (data, truth) = movies::imdb_generate(&movies::ImdbConfig {
-        films: scaled(600, scale),
-        dup,
-        seed: 5,
-    });
+    let (data, truth) =
+        movies::imdb_generate(&movies::ImdbConfig { films: scaled(600, scale), dup, seed: 5 });
     let session = DcerSession::from_source(
         movies::imdb_catalog(),
         movies::imdb_rules_source(),
@@ -87,11 +84,8 @@ pub fn dblp_workload(scale: f64, dup: f64) -> Workload {
 
 /// Movie-style (5-table) workload.
 pub fn movie_workload(scale: f64, dup: f64) -> Workload {
-    let (data, truth) = movies::movie_generate(&movies::MovieConfig {
-        movies: scaled(400, scale),
-        dup,
-        seed: 17,
-    });
+    let (data, truth) =
+        movies::movie_generate(&movies::MovieConfig { movies: scaled(400, scale), dup, seed: 17 });
     let session = DcerSession::from_source(
         movies::movie_catalog(),
         movies::movie_rules_source(),
@@ -346,12 +340,7 @@ mod tests {
         let w = songs_workload(0.2, 0.3);
         for b in baselines_for(&w) {
             let r = run_baseline(&w, b.as_ref());
-            assert!(
-                (0.0..=1.0).contains(&r.metrics.f_measure),
-                "{}: {:?}",
-                b.name(),
-                r.metrics
-            );
+            assert!((0.0..=1.0).contains(&r.metrics.f_measure), "{}: {:?}", b.name(), r.metrics);
         }
     }
 }

@@ -1,15 +1,27 @@
 //! A Bulk Synchronous Parallel (BSP [63]) runtime for the fixpoint model of
-//! Section III-B: `n` workers plus a master `P₀`, proceeding in supersteps.
-//! Each superstep every worker consumes its inbox and emits new facts; the
-//! master unions and routes them; the computation terminates at global
+//! Section III-B: `n` workers proceeding in supersteps until global
 //! quiescence (`ΔΓᵢ = ∅` for all `i`).
 //!
-//! Two execution modes (see `DESIGN.md` §5 — the paper ran on a 32-machine
-//! cluster, this library runs anywhere):
+//! ## Sharded exchange
 //!
-//! - [`ExecutionMode::Threaded`]: every worker is a real OS thread
-//!   communicating over crossbeam channels — validates the algorithms under
-//!   true concurrency.
+//! Unlike the classical formulation where a master `P₀` receives, unions and
+//! re-routes every fact, workers here route *directly by destination shard*:
+//! [`Worker::superstep`] returns `(recipient, message)` pairs and the runtime
+//! deposits each message straight into the recipient's mailbox. The
+//! coordinator role is reduced to what `P₀` fundamentally must do — detect
+//! global quiescence (a superstep that delivered nothing) — so no single
+//! process is a serialization point for message payloads.
+//!
+//! Messages implement [`Message`] and are expected to be *cheaply shareable*:
+//! routing one batch to `k` recipients costs `k` clones of the message
+//! handle (an `Arc` bump for `DeltaBatch`-style types), never a deep copy of
+//! the payload.
+//!
+//! ## Execution modes (see `DESIGN.md` §5)
+//!
+//! - [`ExecutionMode::Threaded`]: every worker is a real OS thread; mailboxes
+//!   are shared-memory queues synchronized by per-superstep barriers —
+//!   validates the algorithms under true concurrency.
 //! - [`ExecutionMode::Simulated`]: workers run sequentially while the
 //!   runtime records each worker's busy time per superstep; the *simulated
 //!   parallel time* (makespan) is `Σ_steps max_worker(busy)` plus a
@@ -17,31 +29,61 @@
 //!   quantities parallel scalability (Theorem 7) is about, independent of
 //!   how many physical cores the host has.
 
+use serde::Serialize;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
 use std::time::Instant;
 
 /// Worker index within a run.
 pub type WorkerId = usize;
 
-/// A BSP worker. `initial` is the partial-evaluation superstep (`A` in the
-/// paper); `superstep` is the incremental step (`A_Δ`).
-pub trait Worker: Send {
-    /// The message type exchanged via the master.
-    type Msg: Send + Clone;
+/// A routable message: cheap to clone (hand an `Arc`-backed batch to `k`
+/// recipients with `k` pointer bumps) and sized exactly for communication
+/// accounting.
+pub trait Message: Send + Clone + 'static {
+    /// Exact wire size of the payload in bytes.
+    fn size_bytes(&self) -> usize;
 
-    /// Superstep 0: compute local results from the worker's fragment.
-    fn initial(&mut self) -> Vec<Self::Msg>;
-
-    /// Superstep r ≥ 1: incorporate routed messages, return new local
-    /// results. Returning an empty vector signals local quiescence.
-    fn superstep(&mut self, inbox: Vec<Self::Msg>) -> Vec<Self::Msg>;
+    /// Number of logical units (facts) carried; `1` for scalar messages.
+    fn unit_count(&self) -> usize {
+        1
+    }
 }
 
-/// The master `P₀`: receives every worker's new facts and decides which
-/// workers must see them next superstep.
-pub trait Master<M>: Send {
-    /// Route messages emitted by worker `from`. Deliveries to `from` itself
-    /// are allowed (self-routing is filtered by the runtime).
-    fn route(&mut self, from: WorkerId, msgs: Vec<M>) -> Vec<(WorkerId, M)>;
+macro_rules! scalar_message {
+    ($($t:ty),*) => {$(
+        impl Message for $t {
+            fn size_bytes(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
+        }
+    )*};
+}
+
+scalar_message!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A BSP worker. `initial` is the partial-evaluation superstep (`A` in the
+/// paper); `superstep` is the incremental step (`A_Δ`). Both return messages
+/// *already routed* to their destination shards; deliveries to `self` are
+/// filtered by the runtime.
+pub trait Worker: Send {
+    /// The message type exchanged between shards.
+    type Msg: Message;
+
+    /// Superstep 0: compute local results from the worker's fragment and
+    /// route them.
+    fn initial(&mut self) -> Vec<(WorkerId, Self::Msg)>;
+
+    /// Superstep r ≥ 1: incorporate delivered messages, route new local
+    /// results. Returning nothing signals local quiescence.
+    fn superstep(&mut self, inbox: Vec<Self::Msg>) -> Vec<(WorkerId, Self::Msg)>;
+
+    /// Units received over the whole run that the worker already knew
+    /// (duplicates absorbed by local dedup). Read once at the end of the
+    /// run for [`BspStats::deduped_facts`].
+    fn absorbed_duplicates(&self) -> u64 {
+        0
+    }
 }
 
 /// How to execute the workers.
@@ -55,7 +97,7 @@ pub enum ExecutionMode {
 }
 
 /// Cost model for the simulated cluster.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize)]
 pub struct CostModel {
     /// Seconds per byte routed between workers (e.g. `8e-8` ≈ 100 Mbps as
     /// in the paper's cluster). Zero ignores communication.
@@ -71,14 +113,20 @@ impl Default for CostModel {
 }
 
 /// Statistics of one BSP run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize)]
 pub struct BspStats {
     /// Number of supersteps executed (including superstep 0).
     pub supersteps: usize,
-    /// Total messages routed worker→worker (via the master).
+    /// Batches (messages) delivered worker→worker.
+    pub batches: u64,
+    /// Logical units (facts) delivered: Σ `unit_count` over deliveries.
     pub messages: u64,
-    /// Total bytes routed (per the `msg_bytes` callback).
+    /// Total bytes delivered (per [`Message::size_bytes`]).
     pub bytes: u64,
+    /// Bytes received per destination shard.
+    pub shard_bytes: Vec<u64>,
+    /// Units delivered that recipients already knew (absorbed duplicates).
+    pub deduped_facts: u64,
     /// Per superstep: the maximum single-worker busy time (seconds).
     pub step_max_secs: Vec<f64>,
     /// Per superstep: the sum of worker busy times (seconds).
@@ -93,225 +141,224 @@ pub struct BspStats {
     pub wall_secs: f64,
 }
 
-/// Run a BSP computation to global quiescence. `msg_bytes` sizes messages
-/// for communication accounting. Returns the workers (with their final
-/// state) and the run statistics.
+impl BspStats {
+    fn new(n: usize) -> BspStats {
+        BspStats { worker_busy_secs: vec![0.0; n], shard_bytes: vec![0; n], ..Default::default() }
+    }
+
+    fn account_step(&mut self, cost: &CostModel, durations: &[f64], step_bytes: u64) {
+        let max = durations.iter().copied().fold(0.0, f64::max);
+        let total: f64 = durations.iter().sum();
+        self.step_max_secs.push(max);
+        self.step_total_secs.push(total);
+        for (w, d) in durations.iter().enumerate() {
+            self.worker_busy_secs[w] += d;
+        }
+        self.supersteps += 1;
+        self.makespan_secs += max + cost.barrier_secs + step_bytes as f64 * cost.secs_per_byte;
+        self.total_compute_secs += total;
+    }
+}
+
+/// Run a BSP computation to global quiescence. Returns the workers (with
+/// their final state) and the run statistics.
 pub fn run_bsp<W: Worker>(
     workers: Vec<W>,
-    master: &mut dyn Master<W::Msg>,
     mode: ExecutionMode,
     cost: &CostModel,
-    msg_bytes: impl Fn(&W::Msg) -> usize + Send + Sync,
 ) -> (Vec<W>, BspStats) {
     match mode {
-        ExecutionMode::Simulated => run_simulated(workers, master, cost, msg_bytes),
-        ExecutionMode::Threaded => run_threaded(workers, master, cost, msg_bytes),
+        ExecutionMode::Simulated => run_simulated(workers, cost),
+        ExecutionMode::Threaded => run_threaded(workers, cost),
     }
 }
 
-fn account_step<M>(
-    stats: &mut BspStats,
-    cost: &CostModel,
-    durations: &[f64],
-    deliveries_bytes: u64,
-    deliveries_count: u64,
-) {
-    let max = durations.iter().copied().fold(0.0, f64::max);
-    let total: f64 = durations.iter().sum();
-    stats.step_max_secs.push(max);
-    stats.step_total_secs.push(total);
-    for (w, d) in durations.iter().enumerate() {
-        stats.worker_busy_secs[w] += d;
-    }
-    stats.supersteps += 1;
-    stats.messages += deliveries_count;
-    stats.bytes += deliveries_bytes;
-    stats.makespan_secs +=
-        max + cost.barrier_secs + deliveries_bytes as f64 * cost.secs_per_byte;
-    stats.total_compute_secs += total;
-    let _ = std::marker::PhantomData::<M>;
-}
-
-fn run_simulated<W: Worker>(
-    mut workers: Vec<W>,
-    master: &mut dyn Master<W::Msg>,
-    cost: &CostModel,
-    msg_bytes: impl Fn(&W::Msg) -> usize,
-) -> (Vec<W>, BspStats) {
+fn run_simulated<W: Worker>(mut workers: Vec<W>, cost: &CostModel) -> (Vec<W>, BspStats) {
     let n = workers.len();
     let wall = Instant::now();
-    let mut stats = BspStats { worker_busy_secs: vec![0.0; n], ..Default::default() };
+    let mut stats = BspStats::new(n);
     let mut inboxes: Vec<Vec<W::Msg>> = (0..n).map(|_| Vec::new()).collect();
     let mut first = true;
     loop {
         let mut durations = vec![0.0f64; n];
-        let mut outputs: Vec<Vec<W::Msg>> = Vec::with_capacity(n);
+        let mut routed: Vec<(WorkerId, WorkerId, W::Msg)> = Vec::new();
         for (i, w) in workers.iter_mut().enumerate() {
             let inbox = std::mem::take(&mut inboxes[i]);
             let t0 = Instant::now();
             let out = if first { w.initial() } else { w.superstep(inbox) };
             durations[i] = t0.elapsed().as_secs_f64();
-            outputs.push(out);
+            routed.extend(out.into_iter().map(|(to, m)| (i, to, m)));
         }
         first = false;
-        let mut dbytes = 0u64;
-        let mut dcount = 0u64;
+        let mut step_bytes = 0u64;
         let mut any = false;
-        for (i, out) in outputs.into_iter().enumerate() {
-            if out.is_empty() {
-                continue;
+        for (from, to, msg) in routed {
+            if to == from {
+                continue; // self-routes are free and filtered
             }
-            for (to, msg) in master.route(i, out) {
-                if to == i {
-                    continue;
-                }
-                dbytes += msg_bytes(&msg) as u64;
-                dcount += 1;
-                inboxes[to].push(msg);
-                any = true;
-            }
+            assert!(to < n, "routed to nonexistent shard {to}");
+            let b = msg.size_bytes() as u64;
+            step_bytes += b;
+            stats.bytes += b;
+            stats.shard_bytes[to] += b;
+            stats.batches += 1;
+            stats.messages += msg.unit_count() as u64;
+            inboxes[to].push(msg);
+            any = true;
         }
-        account_step::<W::Msg>(&mut stats, cost, &durations, dbytes, dcount);
+        stats.account_step(cost, &durations, step_bytes);
         if !any {
             break;
         }
     }
+    stats.deduped_facts = workers.iter().map(|w| w.absorbed_duplicates()).sum();
     stats.wall_secs = wall.elapsed().as_secs_f64();
     (workers, stats)
 }
 
-fn run_threaded<W: Worker>(
-    workers: Vec<W>,
-    master: &mut dyn Master<W::Msg>,
-    cost: &CostModel,
-    msg_bytes: impl Fn(&W::Msg) -> usize + Send + Sync,
-) -> (Vec<W>, BspStats)
-where
-    W::Msg: Send,
-{
-    use crossbeam::channel;
+/// Per-thread measurements, merged into [`BspStats`] after the join.
+#[derive(Default)]
+struct ShardLog {
+    compute_secs: Vec<f64>,
+    recv_bytes_per_step: Vec<u64>,
+    recv_bytes: u64,
+    sent_batches: u64,
+    sent_units: u64,
+    absorbed: u64,
+}
+
+fn run_threaded<W: Worker>(workers: Vec<W>, cost: &CostModel) -> (Vec<W>, BspStats) {
     let n = workers.len();
     let wall = Instant::now();
-    let mut stats = BspStats { worker_busy_secs: vec![0.0; n], ..Default::default() };
 
-    // Channels: master -> worker (inbox or stop), worker -> master (output).
-    let mut to_workers = Vec::with_capacity(n);
-    let (out_tx, out_rx) = channel::unbounded::<(WorkerId, Vec<W::Msg>, f64)>();
+    // Sharded mailboxes: worker threads deposit directly into the
+    // recipient's slot — no coordinator touches payloads.
+    let mailboxes: Vec<Mutex<Vec<W::Msg>>> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
+    let barrier = Barrier::new(n);
+    let delivered = AtomicU64::new(0);
+    let halt = AtomicBool::new(false);
 
-    let result = crossbeam::thread::scope(|scope| {
+    let mut results: Vec<Option<(W, ShardLog)>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n);
-        for (i, mut w) in workers.into_iter().enumerate() {
-            let (tx, rx) = channel::unbounded::<Option<Vec<W::Msg>>>();
-            to_workers.push(tx);
-            let out_tx = out_tx.clone();
-            handles.push(scope.spawn(move |_| {
+        for (me, mut w) in workers.into_iter().enumerate() {
+            let mailboxes = &mailboxes;
+            let barrier = &barrier;
+            let delivered = &delivered;
+            let halt = &halt;
+            handles.push(scope.spawn(move || {
+                let mut log = ShardLog::default();
+                let mut inbox: Vec<W::Msg> = Vec::new();
                 let mut first = true;
-                while let Ok(Some(inbox)) = rx.recv() {
+                loop {
                     let t0 = Instant::now();
-                    let out = if first { w.initial() } else { w.superstep(inbox) };
+                    let out =
+                        if first { w.initial() } else { w.superstep(std::mem::take(&mut inbox)) };
                     first = false;
-                    out_tx
-                        .send((i, out, t0.elapsed().as_secs_f64()))
-                        .expect("master alive");
+                    log.compute_secs.push(t0.elapsed().as_secs_f64());
+                    for (to, msg) in out {
+                        if to == me {
+                            continue; // self-routes are free and filtered
+                        }
+                        assert!(to < n, "routed to nonexistent shard {to}");
+                        log.sent_batches += 1;
+                        log.sent_units += msg.unit_count() as u64;
+                        delivered.fetch_add(1, Ordering::Relaxed);
+                        mailboxes[to].lock().expect("mailbox poisoned").push(msg);
+                    }
+                    barrier.wait(); // all deposits visible
+
+                    inbox = std::mem::take(&mut *mailboxes[me].lock().expect("mailbox poisoned"));
+                    let step_recv: u64 = inbox.iter().map(|m| m.size_bytes() as u64).sum();
+                    log.recv_bytes_per_step.push(step_recv);
+                    log.recv_bytes += step_recv;
+                    if barrier.wait().is_leader() {
+                        // Coordinator duty: quiescence detection, nothing else.
+                        halt.store(delivered.swap(0, Ordering::Relaxed) == 0, Ordering::Relaxed);
+                    }
+                    barrier.wait(); // halt decision visible
+                    if halt.load(Ordering::Relaxed) {
+                        break;
+                    }
                 }
-                w
+                log.absorbed = w.absorbed_duplicates();
+                (w, log)
             }));
         }
-        drop(out_tx);
-
-        let mut inboxes: Vec<Vec<W::Msg>> = (0..n).map(|_| Vec::new()).collect();
-        loop {
-            for (i, tx) in to_workers.iter().enumerate() {
-                tx.send(Some(std::mem::take(&mut inboxes[i]))).expect("worker alive");
-            }
-            let mut durations = vec![0.0f64; n];
-            let mut outputs: Vec<Option<Vec<W::Msg>>> = (0..n).map(|_| None).collect();
-            for _ in 0..n {
-                let (i, out, d) = out_rx.recv().expect("workers alive");
-                durations[i] = d;
-                outputs[i] = Some(out);
-            }
-            let mut dbytes = 0u64;
-            let mut dcount = 0u64;
-            let mut any = false;
-            for (i, out) in outputs.into_iter().enumerate() {
-                let out = out.unwrap();
-                if out.is_empty() {
-                    continue;
-                }
-                for (to, msg) in master.route(i, out) {
-                    if to == i {
-                        continue;
-                    }
-                    dbytes += msg_bytes(&msg) as u64;
-                    dcount += 1;
-                    inboxes[to].push(msg);
-                    any = true;
-                }
-            }
-            account_step::<W::Msg>(&mut stats, cost, &durations, dbytes, dcount);
-            if !any {
-                break;
-            }
+        for (i, h) in handles.into_iter().enumerate() {
+            results[i] = Some(h.join().expect("worker thread panicked"));
         }
-        for tx in &to_workers {
-            tx.send(None).expect("worker alive");
-        }
-        handles.into_iter().map(|h| h.join().expect("worker thread")).collect::<Vec<W>>()
-    })
-    .expect("bsp scope");
+    });
 
+    let (mut final_workers, mut logs) = (Vec::with_capacity(n), Vec::with_capacity(n));
+    for r in results {
+        let (w, log) = r.expect("worker result");
+        final_workers.push(w);
+        logs.push(log);
+    }
+
+    let supersteps = logs.iter().map(|l| l.compute_secs.len()).max().unwrap_or(0);
+    let mut stats = BspStats::new(n);
+    for step in 0..supersteps {
+        let durations: Vec<f64> =
+            logs.iter().map(|l| l.compute_secs.get(step).copied().unwrap_or(0.0)).collect();
+        let step_bytes: u64 =
+            logs.iter().map(|l| l.recv_bytes_per_step.get(step).copied().unwrap_or(0)).sum();
+        stats.account_step(cost, &durations, step_bytes);
+    }
+    for (i, log) in logs.iter().enumerate() {
+        stats.batches += log.sent_batches;
+        stats.messages += log.sent_units;
+        stats.bytes += log.recv_bytes;
+        stats.shard_bytes[i] = log.recv_bytes;
+        stats.deduped_facts += log.absorbed;
+    }
     stats.wall_secs = wall.elapsed().as_secs_f64();
-    (result, stats)
+    (final_workers, stats)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    /// Toy computation: each worker holds a set of ints; a "fact" spreads
-    /// max values; workers emit when their local max increases. Converges
-    /// to the global max everywhere.
+    /// Toy computation: a "fact" spreads max values; workers emit to every
+    /// peer when their local max increases. Converges to the global max
+    /// everywhere.
     struct MaxWorker {
+        id: WorkerId,
+        peers: usize,
         local_max: u64,
     }
+
+    impl MaxWorker {
+        fn broadcast(&self) -> Vec<(WorkerId, u64)> {
+            (0..self.peers).filter(|&w| w != self.id).map(|w| (w, self.local_max)).collect()
+        }
+    }
+
     impl Worker for MaxWorker {
         type Msg = u64;
-        fn initial(&mut self) -> Vec<u64> {
-            vec![self.local_max]
+        fn initial(&mut self) -> Vec<(WorkerId, u64)> {
+            self.broadcast()
         }
-        fn superstep(&mut self, inbox: Vec<u64>) -> Vec<u64> {
+        fn superstep(&mut self, inbox: Vec<u64>) -> Vec<(WorkerId, u64)> {
             let incoming = inbox.into_iter().max().unwrap_or(0);
             if incoming > self.local_max {
                 self.local_max = incoming;
-                vec![self.local_max]
+                self.broadcast()
             } else {
                 Vec::new()
             }
         }
     }
 
-    /// Broadcast master: every message goes to every other worker.
-    struct Broadcast {
-        n: usize,
-    }
-    impl Master<u64> for Broadcast {
-        fn route(&mut self, _from: WorkerId, msgs: Vec<u64>) -> Vec<(WorkerId, u64)> {
-            let mut out = Vec::new();
-            for m in msgs {
-                for w in 0..self.n {
-                    out.push((w, m));
-                }
-            }
-            out
-        }
+    fn fleet(maxes: &[u64]) -> Vec<MaxWorker> {
+        let n = maxes.len();
+        maxes.iter().enumerate().map(|(id, &m)| MaxWorker { id, peers: n, local_max: m }).collect()
     }
 
     fn run(mode: ExecutionMode) -> (Vec<MaxWorker>, BspStats) {
-        let workers: Vec<MaxWorker> =
-            [3u64, 17, 5, 11].into_iter().map(|m| MaxWorker { local_max: m }).collect();
-        let mut master = Broadcast { n: 4 };
-        run_bsp(workers, &mut master, mode, &CostModel::default(), |_| 8)
+        run_bsp(fleet(&[3, 17, 5, 11]), mode, &CostModel::default())
     }
 
     #[test]
@@ -319,11 +366,12 @@ mod tests {
         let (workers, stats) = run(ExecutionMode::Simulated);
         assert!(workers.iter().all(|w| w.local_max == 17));
         assert!(stats.supersteps >= 2);
-        assert!(stats.messages > 0);
-        assert_eq!(stats.bytes, stats.messages * 8);
+        assert!(stats.batches > 0);
+        assert_eq!(stats.bytes, stats.batches * 8);
+        assert_eq!(stats.messages, stats.batches, "scalar messages carry one unit");
         assert_eq!(stats.step_max_secs.len(), stats.supersteps);
+        assert_eq!(stats.shard_bytes.iter().sum::<u64>(), stats.bytes);
         assert!(stats.makespan_secs > 0.0);
-        assert!(stats.makespan_secs <= stats.total_compute_secs + 1.0);
     }
 
     #[test]
@@ -332,13 +380,16 @@ mod tests {
         assert!(workers.iter().all(|w| w.local_max == 17));
         assert!(stats.supersteps >= 2);
         assert_eq!(stats.worker_busy_secs.len(), 4);
+        assert_eq!(stats.shard_bytes.iter().sum::<u64>(), stats.bytes);
     }
 
     #[test]
-    fn modes_agree_on_results_and_messages() {
+    fn modes_agree_on_results_and_traffic() {
         let (_, sim) = run(ExecutionMode::Simulated);
         let (_, thr) = run(ExecutionMode::Threaded);
+        assert_eq!(sim.batches, thr.batches);
         assert_eq!(sim.messages, thr.messages);
+        assert_eq!(sim.bytes, thr.bytes);
         assert_eq!(sim.supersteps, thr.supersteps);
     }
 
@@ -347,61 +398,57 @@ mod tests {
         struct Quiet;
         impl Worker for Quiet {
             type Msg = u64;
-            fn initial(&mut self) -> Vec<u64> {
+            fn initial(&mut self) -> Vec<(WorkerId, u64)> {
                 Vec::new()
             }
-            fn superstep(&mut self, _: Vec<u64>) -> Vec<u64> {
+            fn superstep(&mut self, _: Vec<u64>) -> Vec<(WorkerId, u64)> {
                 unreachable!("never reached without messages")
             }
         }
-        let mut master = Broadcast { n: 2 };
-        let (_, stats) = run_bsp(
-            vec![Quiet, Quiet],
-            &mut master,
-            ExecutionMode::Simulated,
-            &CostModel::default(),
-            |_| 0,
-        );
-        assert_eq!(stats.supersteps, 1);
-        assert_eq!(stats.messages, 0);
+        for mode in [ExecutionMode::Simulated, ExecutionMode::Threaded] {
+            let (_, stats) = run_bsp(vec![Quiet, Quiet], mode, &CostModel::default());
+            assert_eq!(stats.supersteps, 1, "{mode:?}");
+            assert_eq!(stats.batches, 0, "{mode:?}");
+        }
     }
 
     #[test]
     fn self_routes_are_filtered() {
-        struct SelfMaster;
-        impl Master<u64> for SelfMaster {
-            fn route(&mut self, from: WorkerId, msgs: Vec<u64>) -> Vec<(WorkerId, u64)> {
-                msgs.into_iter().map(|m| (from, m)).collect()
+        struct Selfish {
+            id: WorkerId,
+        }
+        impl Worker for Selfish {
+            type Msg = u64;
+            fn initial(&mut self) -> Vec<(WorkerId, u64)> {
+                vec![(self.id, 7)]
+            }
+            fn superstep(&mut self, inbox: Vec<u64>) -> Vec<(WorkerId, u64)> {
+                assert!(inbox.is_empty(), "self-routed messages must not arrive");
+                Vec::new()
             }
         }
-        let workers = vec![MaxWorker { local_max: 1 }, MaxWorker { local_max: 2 }];
-        let (_, stats) = run_bsp(
-            workers,
-            &mut SelfMaster,
-            ExecutionMode::Simulated,
-            &CostModel::default(),
-            |_| 8,
-        );
-        assert_eq!(stats.messages, 0, "self-deliveries never count");
-        assert_eq!(stats.supersteps, 1);
+        for mode in [ExecutionMode::Simulated, ExecutionMode::Threaded] {
+            let (_, stats) =
+                run_bsp(vec![Selfish { id: 0 }, Selfish { id: 1 }], mode, &CostModel::default());
+            assert_eq!(stats.batches, 0, "{mode:?}: self-deliveries never count");
+            assert_eq!(stats.supersteps, 1, "{mode:?}");
+        }
     }
 
     #[test]
     fn communication_cost_enters_makespan() {
         let free = CostModel { secs_per_byte: 0.0, barrier_secs: 0.0 };
         let costly = CostModel { secs_per_byte: 1e-3, barrier_secs: 0.0 };
-        let workers = |_| -> Vec<MaxWorker> {
-            [3u64, 17].into_iter().map(|m| MaxWorker { local_max: m }).collect()
-        };
-        let (_, a) =
-            run_bsp(workers(()), &mut Broadcast { n: 2 }, ExecutionMode::Simulated, &free, |_| 100);
-        let (_, b) = run_bsp(
-            workers(()),
-            &mut Broadcast { n: 2 },
-            ExecutionMode::Simulated,
-            &costly,
-            |_| 100,
-        );
+        let (_, a) = run_bsp(fleet(&[3, 17]), ExecutionMode::Simulated, &free);
+        let (_, b) = run_bsp(fleet(&[3, 17]), ExecutionMode::Simulated, &costly);
         assert!(b.makespan_secs > a.makespan_secs);
+    }
+
+    #[test]
+    fn stats_serialize_to_json() {
+        let (_, stats) = run(ExecutionMode::Simulated);
+        let j = serde_json::to_value(&stats);
+        assert_eq!(j["supersteps"], stats.supersteps);
+        assert!(!j["shard_bytes"].is_null());
     }
 }

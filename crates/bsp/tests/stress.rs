@@ -2,53 +2,85 @@
 //! chains of supersteps, and agreement between threaded and simulated
 //! execution under load.
 
-use dcer_bsp::{run_bsp, CostModel, ExecutionMode, Master, Worker, WorkerId};
+use dcer_bsp::{run_bsp, CostModel, ExecutionMode, Worker, WorkerId};
+use std::collections::BTreeSet;
 
 /// Gossip worker: holds a set of u32 tokens; each superstep it absorbs the
-/// inbox and emits tokens it has not yet broadcast. Converges when every
+/// inbox and routes tokens it has not yet forwarded. Converges when every
 /// worker holds the union.
 struct Gossip {
-    tokens: std::collections::BTreeSet<u32>,
-    broadcast: std::collections::BTreeSet<u32>,
+    id: WorkerId,
+    tokens: BTreeSet<u32>,
+    forwarded: BTreeSet<u32>,
+    /// Destination shards for each fresh token.
+    fanout: Fanout,
+    n: usize,
+    absorbed: u64,
+}
+
+#[derive(Clone, Copy)]
+enum Fanout {
+    /// Tokens travel to the next worker only: full propagation needs ~n
+    /// supersteps (a long chain).
+    Ring,
+    /// Tokens go to every other shard.
+    Broadcast,
 }
 
 impl Gossip {
-    fn new(seed: impl IntoIterator<Item = u32>) -> Gossip {
-        Gossip { tokens: seed.into_iter().collect(), broadcast: Default::default() }
+    fn new(id: usize, n: usize, fanout: Fanout, seed: impl IntoIterator<Item = u32>) -> Gossip {
+        Gossip {
+            id,
+            tokens: seed.into_iter().collect(),
+            forwarded: BTreeSet::new(),
+            fanout,
+            n,
+            absorbed: 0,
+        }
+    }
+
+    fn route_fresh(&mut self) -> Vec<(WorkerId, u32)> {
+        let fresh: Vec<u32> =
+            self.tokens.iter().copied().filter(|t| !self.forwarded.contains(t)).collect();
+        self.forwarded.extend(fresh.iter().copied());
+        let mut out = Vec::new();
+        for t in fresh {
+            match self.fanout {
+                Fanout::Ring => out.push(((self.id + 1) % self.n, t)),
+                Fanout::Broadcast => {
+                    out.extend((0..self.n).filter(|&w| w != self.id).map(|w| (w, t)))
+                }
+            }
+        }
+        out
     }
 }
 
 impl Worker for Gossip {
     type Msg = u32;
-    fn initial(&mut self) -> Vec<u32> {
-        let fresh: Vec<u32> = self.tokens.iter().copied().collect();
-        self.broadcast.extend(fresh.iter().copied());
-        fresh
-    }
-    fn superstep(&mut self, inbox: Vec<u32>) -> Vec<u32> {
-        self.tokens.extend(inbox.iter().copied());
-        let fresh: Vec<u32> =
-            self.tokens.iter().copied().filter(|t| !self.broadcast.contains(t)).collect();
-        self.broadcast.extend(fresh.iter().copied());
-        fresh
-    }
-}
 
-/// Ring master: tokens travel to the next worker only, so full propagation
-/// needs ~n supersteps (a long chain).
-struct Ring {
-    n: usize,
-}
+    fn initial(&mut self) -> Vec<(WorkerId, u32)> {
+        self.route_fresh()
+    }
 
-impl Master<u32> for Ring {
-    fn route(&mut self, from: WorkerId, msgs: Vec<u32>) -> Vec<(WorkerId, u32)> {
-        msgs.into_iter().map(|m| ((from + 1) % self.n, m)).collect()
+    fn superstep(&mut self, inbox: Vec<u32>) -> Vec<(WorkerId, u32)> {
+        for t in inbox {
+            if !self.tokens.insert(t) {
+                self.absorbed += 1;
+            }
+        }
+        self.route_fresh()
+    }
+
+    fn absorbed_duplicates(&self) -> u64 {
+        self.absorbed
     }
 }
 
 fn run_ring(n: usize, mode: ExecutionMode) -> (Vec<Gossip>, dcer_bsp::BspStats) {
-    let workers: Vec<Gossip> = (0..n).map(|i| Gossip::new([i as u32])).collect();
-    run_bsp(workers, &mut Ring { n }, mode, &CostModel::default(), |_| 4)
+    let workers: Vec<Gossip> =
+        (0..n).map(|i| Gossip::new(i, n, Fanout::Ring, [i as u32])).collect();
+    run_bsp(workers, mode, &CostModel::default())
 }
 
 #[test]
@@ -61,7 +93,8 @@ fn ring_propagation_needs_n_supersteps() {
         }
         assert!(stats.supersteps >= n, "{mode:?}: chain length forces ~n steps");
         // Each token visits every worker once: n tokens x n hops.
-        assert_eq!(stats.messages, (n * n) as u64, "{mode:?}");
+        assert_eq!(stats.batches, (n * n) as u64, "{mode:?}");
+        assert_eq!(stats.messages, stats.batches, "{mode:?}: scalar messages");
     }
 }
 
@@ -69,7 +102,8 @@ fn ring_propagation_needs_n_supersteps() {
 fn modes_agree_under_load() {
     let (ws, sim) = run_ring(16, ExecutionMode::Simulated);
     let (wt, thr) = run_ring(16, ExecutionMode::Threaded);
-    assert_eq!(sim.messages, thr.messages);
+    assert_eq!(sim.batches, thr.batches);
+    assert_eq!(sim.bytes, thr.bytes);
     assert_eq!(sim.supersteps, thr.supersteps);
     for (a, b) in ws.iter().zip(&wt) {
         assert_eq!(a.tokens, b.tokens);
@@ -80,35 +114,29 @@ fn modes_agree_under_load() {
 fn message_storm_with_many_threads() {
     // 64 threaded workers, all-to-all broadcast of 8 tokens each: 512
     // distinct tokens, every worker must converge to all of them.
-    struct AllToAll {
-        n: usize,
-    }
-    impl Master<u32> for AllToAll {
-        fn route(&mut self, _from: WorkerId, msgs: Vec<u32>) -> Vec<(WorkerId, u32)> {
-            let mut out = Vec::with_capacity(msgs.len() * self.n);
-            for m in msgs {
-                for w in 0..self.n {
-                    out.push((w, m));
-                }
-            }
-            out
-        }
-    }
     let n = 64;
-    let workers: Vec<Gossip> =
-        (0..n).map(|i| Gossip::new((0..8).map(|j| (i * 8 + j) as u32))).collect();
-    let (workers, stats) = run_bsp(
-        workers,
-        &mut AllToAll { n },
-        ExecutionMode::Threaded,
-        &CostModel::default(),
-        |_| 4,
-    );
+    let workers: Vec<Gossip> = (0..n)
+        .map(|i| Gossip::new(i, n, Fanout::Broadcast, (0..8).map(|j| (i * 8 + j) as u32)))
+        .collect();
+    let (workers, stats) = run_bsp(workers, ExecutionMode::Threaded, &CostModel::default());
     for w in &workers {
         assert_eq!(w.tokens.len(), n * 8);
     }
-    assert!(stats.messages >= (n * 8 * (n - 1)) as u64);
+    assert!(stats.batches >= (n * 8 * (n - 1)) as u64);
     assert_eq!(stats.worker_busy_secs.len(), n);
+    assert_eq!(stats.shard_bytes.len(), n);
+}
+
+#[test]
+fn duplicates_absorbed_are_counted() {
+    // Broadcast gossip delivers every token to every worker exactly once per
+    // forwarding worker; with several seeds in common, recipients absorb
+    // duplicates and the runtime reports them.
+    let n = 8;
+    let workers: Vec<Gossip> =
+        (0..n).map(|i| Gossip::new(i, n, Fanout::Broadcast, [0u32, i as u32])).collect();
+    let (_, stats) = run_bsp(workers, ExecutionMode::Simulated, &CostModel::default());
+    assert!(stats.deduped_facts > 0, "shared token 0 must be absorbed as duplicate");
 }
 
 #[test]

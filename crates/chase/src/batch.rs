@@ -1,0 +1,299 @@
+//! `DeltaBatch`: the zero-copy unit of fact exchange.
+//!
+//! Every stage of the execution stack — `Deduce` output, BSP routing,
+//! `IncDeduce` input — moves facts as immutable, sorted, deduplicated
+//! batches backed by an `Arc<[Fact]>`. Routing a batch to `k` recipients
+//! is `k` reference-count bumps; no `Fact` is ever deep-copied on the
+//! exchange path. Sorting buys `O(log n)` membership tests and linear-time
+//! merges, and the exact wire size is computed once at construction so
+//! the BSP cost model can account for bytes in `O(1)`.
+
+use crate::facts::Fact;
+use serde::Serialize;
+use std::sync::Arc;
+
+/// An immutable, canonically ordered, duplicate-free batch of facts.
+///
+/// Cloning is an `Arc` bump. Two batches constructed from the same multiset
+/// of facts are bit-identical regardless of insertion order, which makes
+/// batch equality usable as a convergence check.
+#[derive(Debug, Clone)]
+pub struct DeltaBatch {
+    facts: Arc<[Fact]>,
+    /// Exact serialized size, cached at construction.
+    wire_bytes: usize,
+}
+
+impl DeltaBatch {
+    /// Canonicalize `facts`: sort, drop duplicates, freeze.
+    pub fn new(mut facts: Vec<Fact>) -> DeltaBatch {
+        facts.sort_unstable();
+        facts.dedup();
+        DeltaBatch::from_canonical(facts.into())
+    }
+
+    /// The empty batch (no allocation beyond the shared empty slice).
+    pub fn empty() -> DeltaBatch {
+        DeltaBatch { facts: Arc::from([] as [Fact; 0]), wire_bytes: 0 }
+    }
+
+    /// Wrap an already sorted, deduplicated slice without copying.
+    ///
+    /// Callers (merge, canonical constructors) must uphold the invariant;
+    /// it is checked in debug builds.
+    fn from_canonical(facts: Arc<[Fact]>) -> DeltaBatch {
+        debug_assert!(facts.windows(2).all(|w| w[0] < w[1]), "batch must be sorted + deduped");
+        let wire_bytes = facts.iter().map(Fact::size_bytes).sum();
+        DeltaBatch { facts, wire_bytes }
+    }
+
+    /// Number of distinct facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// True when the batch carries no facts.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// `O(log n)` membership test over the canonical order.
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.facts.binary_search(fact).is_ok()
+    }
+
+    /// The facts in canonical order.
+    pub fn as_slice(&self) -> &[Fact] {
+        &self.facts
+    }
+
+    /// Iterate the facts in canonical order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Fact> {
+        self.facts.iter()
+    }
+
+    /// Copy out into a `Vec` (test/bridge convenience; the exchange path
+    /// never needs this).
+    pub fn to_vec(&self) -> Vec<Fact> {
+        self.facts.to_vec()
+    }
+
+    /// Exact wire size in bytes (`O(1)`, cached at construction).
+    pub fn size_bytes(&self) -> usize {
+        self.wire_bytes
+    }
+
+    /// Union of two batches as a linear-time sorted merge.
+    ///
+    /// When either side is empty the other is shared, not copied, so
+    /// folding an inbox of batches with `merge` degenerates to an `Arc`
+    /// bump in the common single-sender case.
+    pub fn merge(&self, other: &DeltaBatch) -> DeltaBatch {
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        let (a, b) = (&self.facts, &other.facts);
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        DeltaBatch::from_canonical(out.into())
+    }
+
+    /// Union of many batches, counting cross-batch duplicates into `stats`.
+    pub fn merge_all<'a, I>(batches: I, stats: &mut BatchStats) -> DeltaBatch
+    where
+        I: IntoIterator<Item = &'a DeltaBatch>,
+    {
+        let mut acc = DeltaBatch::empty();
+        for b in batches {
+            let before = acc.len() + b.len();
+            acc = acc.merge(b);
+            stats.merges += 1;
+            stats.merge_dups += (before - acc.len()) as u64;
+        }
+        acc
+    }
+}
+
+impl Default for DeltaBatch {
+    fn default() -> DeltaBatch {
+        DeltaBatch::empty()
+    }
+}
+
+impl PartialEq for DeltaBatch {
+    fn eq(&self, other: &DeltaBatch) -> bool {
+        self.facts == other.facts
+    }
+}
+
+impl Eq for DeltaBatch {}
+
+impl From<Vec<Fact>> for DeltaBatch {
+    fn from(facts: Vec<Fact>) -> DeltaBatch {
+        DeltaBatch::new(facts)
+    }
+}
+
+impl FromIterator<Fact> for DeltaBatch {
+    fn from_iter<I: IntoIterator<Item = Fact>>(iter: I) -> DeltaBatch {
+        DeltaBatch::new(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a DeltaBatch {
+    type Item = &'a Fact;
+    type IntoIter = std::slice::Iter<'a, Fact>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.facts.iter()
+    }
+}
+
+/// Batches ride the BSP exchange directly: `Clone` is an `Arc` bump, the
+/// cost model reads the cached wire size, and per-fact accounting comes
+/// from the batch length.
+impl dcer_bsp::Message for DeltaBatch {
+    fn size_bytes(&self) -> usize {
+        self.wire_bytes
+    }
+
+    fn unit_count(&self) -> usize {
+        self.len()
+    }
+}
+
+/// Counters for batch construction and merging on the exchange path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct BatchStats {
+    /// Batches built from raw deduction output.
+    pub built: u64,
+    /// Facts fed into batch construction (before dedup).
+    pub facts_in: u64,
+    /// Distinct facts that survived canonicalization.
+    pub facts_out: u64,
+    /// Pairwise merges performed while folding inboxes.
+    pub merges: u64,
+    /// Cross-batch duplicates collapsed by merging.
+    pub merge_dups: u64,
+}
+
+impl BatchStats {
+    /// Record one canonicalization: `raw` facts in, `batch.len()` out.
+    pub fn record_build(&mut self, raw: usize, batch: &DeltaBatch) {
+        self.built += 1;
+        self.facts_in += raw as u64;
+        self.facts_out += batch.len() as u64;
+    }
+
+    /// Duplicates removed at construction time (within-batch).
+    pub fn dedup_removed(&self) -> u64 {
+        self.facts_in - self.facts_out
+    }
+
+    /// Pointwise sum (aggregating worker stats).
+    pub fn add(&mut self, other: &BatchStats) {
+        self.built += other.built;
+        self.facts_in += other.facts_in;
+        self.facts_out += other.facts_out;
+        self.merges += other.merges;
+        self.merge_dups += other.merge_dups;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcer_bsp::Message;
+    use dcer_relation::Tid;
+
+    fn t(rel: u16, row: u32) -> Tid {
+        Tid { rel, row }
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let b = DeltaBatch::new(vec![
+            Fact::id(t(0, 5), t(0, 1)),
+            Fact::id(t(0, 1), t(0, 5)), // same fact, canonicalized orientation
+            Fact::ml(3, t(1, 2), t(1, 9), true),
+            Fact::id(t(0, 0), t(0, 2)),
+        ]);
+        assert_eq!(b.len(), 3);
+        assert!(b.as_slice().windows(2).all(|w| w[0] < w[1]));
+        assert!(b.contains(&Fact::id(t(0, 5), t(0, 1))));
+        assert!(!b.contains(&Fact::id(t(0, 5), t(0, 2))));
+    }
+
+    #[test]
+    fn equality_is_insertion_order_independent() {
+        let a = DeltaBatch::new(vec![Fact::id(t(0, 1), t(0, 2)), Fact::id(t(0, 3), t(0, 4))]);
+        let b = DeltaBatch::new(vec![Fact::id(t(0, 3), t(0, 4)), Fact::id(t(0, 1), t(0, 2))]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merge_unions_without_duplicates() {
+        let a = DeltaBatch::new(vec![Fact::id(t(0, 1), t(0, 2)), Fact::id(t(0, 5), t(0, 6))]);
+        let b = DeltaBatch::new(vec![Fact::id(t(0, 1), t(0, 2)), Fact::id(t(0, 7), t(0, 8))]);
+        let m = a.merge(&b);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m, b.merge(&a));
+        assert_eq!(m.size_bytes(), m.iter().map(Fact::size_bytes).sum::<usize>());
+    }
+
+    #[test]
+    fn merge_with_empty_shares_storage() {
+        let a = DeltaBatch::new(vec![Fact::id(t(0, 1), t(0, 2))]);
+        let m = a.merge(&DeltaBatch::empty());
+        assert!(Arc::ptr_eq(&a.facts, &m.facts), "empty merge must not copy");
+        let m2 = DeltaBatch::empty().merge(&a);
+        assert!(Arc::ptr_eq(&a.facts, &m2.facts));
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let a = DeltaBatch::new(vec![Fact::id(t(0, 1), t(0, 2))]);
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.facts, &b.facts));
+    }
+
+    #[test]
+    fn message_impl_reports_cached_sizes() {
+        let a =
+            DeltaBatch::new(vec![Fact::id(t(0, 1), t(0, 2)), Fact::ml(1, t(1, 1), t(1, 2), true)]);
+        assert_eq!(Message::size_bytes(&a), Fact::ID_WIRE_BYTES + Fact::ML_WIRE_BYTES);
+        assert_eq!(a.unit_count(), 2);
+    }
+
+    #[test]
+    fn merge_all_counts_cross_batch_duplicates() {
+        let a = DeltaBatch::new(vec![Fact::id(t(0, 1), t(0, 2))]);
+        let b = DeltaBatch::new(vec![Fact::id(t(0, 1), t(0, 2)), Fact::id(t(0, 3), t(0, 4))]);
+        let mut stats = BatchStats::default();
+        let m = DeltaBatch::merge_all([&a, &b], &mut stats);
+        assert_eq!(m.len(), 2);
+        assert_eq!(stats.merges, 2);
+        assert_eq!(stats.merge_dups, 1);
+    }
+}

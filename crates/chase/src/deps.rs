@@ -133,10 +133,7 @@ mod tests {
     fn fires_when_all_antecedents_hold() {
         let mut h = DepStore::new(10);
         let mut st = ChaseState::new();
-        h.record(
-            vec![Pending::Id(t(1), t(2)), Pending::Id(t(3), t(4))],
-            Fact::id(t(5), t(6)),
-        );
+        h.record(vec![Pending::Id(t(1), t(2)), Pending::Id(t(3), t(4))], Fact::id(t(5), t(6)));
         assert!(h.collect_ready(&mut st).is_empty());
         st.apply(Fact::id(t(1), t(2)));
         assert!(h.collect_ready(&mut st).is_empty(), "one antecedent left");
@@ -193,10 +190,7 @@ mod tests {
     fn satisfied_antecedents_are_pruned_incrementally() {
         let mut h = DepStore::new(10);
         let mut st = ChaseState::new();
-        h.record(
-            vec![Pending::Id(t(1), t(2)), Pending::Id(t(3), t(4))],
-            Fact::id(t(5), t(6)),
-        );
+        h.record(vec![Pending::Id(t(1), t(2)), Pending::Id(t(3), t(4))], Fact::id(t(5), t(6)));
         st.apply(Fact::id(t(1), t(2)));
         h.collect_ready(&mut st);
         // Internal antecedent list shrank: satisfying the second now fires.

@@ -21,6 +21,7 @@
 //! fall back to update-driven join re-evaluation seeded by the new facts in
 //! `ΔΓ` — exactly the two strategies of Fig. 4 (lines 2-3 vs lines 4-7).
 
+use crate::batch::DeltaBatch;
 use crate::deps::{DepStore, Pending};
 use crate::eval::{enumerate_valuations, ValuationSink};
 use crate::facts::{ChaseState, Fact, MlOracle, MlSigTable};
@@ -53,7 +54,7 @@ impl Default for ChaseConfig {
 }
 
 /// Counters reported by the engine.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct ChaseStats {
     /// Complete support valuations visited.
     pub valuations: u64,
@@ -73,6 +74,10 @@ pub struct ChaseStats {
     pub ml_cache_hits: u64,
     /// `IncDeduce` rounds executed.
     pub rounds: u64,
+    /// Facts received from peers via `IncDeduce`.
+    pub facts_received: u64,
+    /// Received facts already known locally (absorbed, not re-applied).
+    pub facts_absorbed: u64,
 }
 
 impl ChaseStats {
@@ -87,6 +92,8 @@ impl ChaseStats {
         self.ml_calls += other.ml_calls;
         self.ml_cache_hits += other.ml_cache_hits;
         self.rounds += other.rounds;
+        self.facts_received += other.facts_received;
+        self.facts_absorbed += other.facts_absorbed;
     }
 }
 
@@ -215,22 +222,42 @@ impl ChaseEngine {
         !self.use_dep_cache || self.deps.overflowed()
     }
 
-    /// `Match` (Fig. 3): `Deduce` once, then `IncDeduce` to local fixpoint.
-    /// Returns every fact newly deduced here.
+    /// `Match` (Fig. 3) as a batch: `Deduce` once, then `IncDeduce` to local
+    /// fixpoint, emitting the canonical [`DeltaBatch`] of every fact newly
+    /// deduced here. This is the partial-evaluation step `A` of the paper,
+    /// and its output is what the BSP exchange routes to peers.
+    pub fn deduce(&mut self) -> DeltaBatch {
+        DeltaBatch::new(self.run_local_fixpoint())
+    }
+
+    /// `A_Δ` as a batch: absorb a batch received from peers (duplicates are
+    /// counted and skipped, not re-applied), run `IncDeduce` to local
+    /// fixpoint, and emit the batch of *locally* deduced new facts.
+    pub fn incdeduce(&mut self, received: &DeltaBatch) -> DeltaBatch {
+        DeltaBatch::new(self.apply_delta(received.as_slice()))
+    }
+
+    /// Vec-level form of [`ChaseEngine::deduce`]: `Deduce` once, then
+    /// `IncDeduce` to local fixpoint. Returns every fact newly deduced here
+    /// in deduction order.
     pub fn run_local_fixpoint(&mut self) -> Vec<Fact> {
         let mut out = Vec::new();
-        self.deduce(&mut out);
+        self.deduce_round(&mut out);
         self.incdeduce_loop(&mut out);
         out
     }
 
-    /// `A_Δ`: incorporate facts received from other workers, then run
-    /// `IncDeduce` to local fixpoint. Returns only *locally* deduced new
-    /// facts (the received ones are already known to the sender/master).
+    /// Vec-level form of [`ChaseEngine::incdeduce`]: incorporate facts
+    /// received from other workers, then run `IncDeduce` to local fixpoint.
+    /// Returns only *locally* deduced new facts (the received ones are
+    /// already known to the sender).
     pub fn apply_delta(&mut self, received: &[Fact]) -> Vec<Fact> {
+        self.stats.facts_received += received.len() as u64;
         for &f in received {
             if let Some((side_a, side_b)) = self.state.apply(f) {
                 self.pending.push_back(DeltaEvent { fact: f, side_a, side_b });
+            } else {
+                self.stats.facts_absorbed += 1;
             }
         }
         let mut out = Vec::new();
@@ -239,7 +266,7 @@ impl ChaseEngine {
     }
 
     /// One full enumeration round over all rules (procedure `Deduce`).
-    fn deduce(&mut self, out: &mut Vec<Fact>) {
+    fn deduce_round(&mut self, out: &mut Vec<Fact>) {
         for pi in 0..self.plans.len() {
             self.run_plan(pi, &[], out);
         }
@@ -297,7 +324,17 @@ impl ChaseEngine {
         // the enumerator walks dataset/indexes.
         let share_ml = self.share_ml_across_rules;
         let ChaseEngine {
-            plans, sigs, dataset, indexes, state, deps, oracle, stats, pending, rule_scope, ..
+            plans,
+            sigs,
+            dataset,
+            indexes,
+            state,
+            deps,
+            oracle,
+            stats,
+            pending,
+            rule_scope,
+            ..
         } = self;
         let plan = &plans[plan_idx];
         let rule_mask = 1u128 << plan.rule_idx.min(127);
@@ -327,10 +364,13 @@ impl ChaseEngine {
         match ev.fact {
             Fact::Id(a, _) => {
                 let rel = a.rel;
-                let Some(entries) = self.id_pred_index.get(&rel).cloned() else { return };
+                let Some(entries) = self.id_pred_index.get(&rel).cloned() else {
+                    return;
+                };
                 // Newly true id pairs are (x, y) with x, y on opposite
                 // pre-merge sides; restrict to tuples hosted locally.
-                let local = |tid: &Tid| self.dataset.relation(rel).position(*tid).map(|p| (*tid, p));
+                let local =
+                    |tid: &Tid| self.dataset.relation(rel).position(*tid).map(|p| (*tid, p));
                 let xs: Vec<(Tid, u32)> = ev.side_a.iter().filter_map(local).collect();
                 let ys: Vec<(Tid, u32)> = ev.side_b.iter().filter_map(local).collect();
                 for (pi, ri) in entries {
@@ -350,7 +390,9 @@ impl ChaseEngine {
                 }
             }
             Fact::Ml(sig, a, b) => {
-                let Some(entries) = self.ml_pred_index.get(&sig).cloned() else { return };
+                let Some(entries) = self.ml_pred_index.get(&sig).cloned() else {
+                    return;
+                };
                 for (pi, ri) in entries {
                     let RecPred::Ml { left, right, symmetric, .. } = self.plans[pi].rec_preds[ri]
                     else {
@@ -476,7 +518,8 @@ impl ValuationSink for EngineSink<'_> {
                     }
                 }
                 RecPred::Ml { sig, left, right, symmetric, waitable } => {
-                    let (lt, rt) = (self.tuple(left, rows).clone(), self.tuple(right, rows).clone());
+                    let (lt, rt) =
+                        (self.tuple(left, rows).clone(), self.tuple(right, rows).clone());
                     if self.state.holds_ml(sig, lt.tid, rt.tid, symmetric)
                         || self.oracle.predict(self.sigs, sig, &lt, &rt, self.ml_scope)
                     {
@@ -565,7 +608,7 @@ mod tests {
             ChaseConfig::default(),
             ChaseConfig { dep_capacity: 0, use_dep_cache: true, ..Default::default() }, // overflow path
             ChaseConfig { dep_capacity: 0, use_dep_cache: false, ..Default::default() }, // pure delta joins
-            ChaseConfig { dep_capacity: 2, use_dep_cache: true, ..Default::default() }, // mixed
+            ChaseConfig { dep_capacity: 2, use_dep_cache: true, ..Default::default() },  // mixed
         ]
     }
 
@@ -573,14 +616,9 @@ mod tests {
     fn matches_naive_chase_on_recursive_rules_under_all_configs() {
         let cat = catalog();
         let mut d = Dataset::new(cat.clone());
-        for (k, x) in [
-            ("k1", "p"),
-            ("k1", "q"),
-            ("k2", "q"),
-            ("k2", "r"),
-            ("k3", "r"),
-            ("k4", "zz"),
-        ] {
+        for (k, x) in
+            [("k1", "p"), ("k1", "q"), ("k2", "q"), ("k2", "r"), ("k3", "r"), ("k4", "zz")]
+        {
             d.insert(0, vec![k.into(), x.into()]).unwrap();
         }
         let rules = dcer_mrl::parse_rules(
@@ -693,11 +731,9 @@ mod tests {
     fn run_match_reports_missing_model() {
         let cat = catalog();
         let d = Dataset::new(cat.clone());
-        let rules = dcer_mrl::parse_rules(
-            &cat,
-            "match r: R(t), R(s), nosuch(t.x, s.x) -> t.id = s.id",
-        )
-        .unwrap();
+        let rules =
+            dcer_mrl::parse_rules(&cat, "match r: R(t), R(s), nosuch(t.x, s.x) -> t.id = s.id")
+                .unwrap();
         let err = run_match(&d, &rules, &MlRegistry::new(), &ChaseConfig::default());
         assert!(err.is_err());
     }
@@ -769,8 +805,7 @@ mod tests {
         d.insert(0, vec!["k".into(), "x".into()]).unwrap();
         let rules =
             dcer_mrl::parse_rules(&cat, "match r: R(t), R(s), t.k = s.k -> t.id = s.id").unwrap();
-        let mut engine =
-            ChaseEngine::new(d, &rules, &registry(), &ChaseConfig::default()).unwrap();
+        let mut engine = ChaseEngine::new(d, &rules, &registry(), &ChaseConfig::default()).unwrap();
         engine.run_local_fixpoint();
         let ghost_a = dcer_relation::Tid::new(0, 900);
         let ghost_b = dcer_relation::Tid::new(0, 901);

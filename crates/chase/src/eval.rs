@@ -100,11 +100,11 @@ pub fn enumerate_valuations(
 
 /// All constant filters of variable `v` hold under the current binding.
 fn filters_hold(plan: &CompiledRule, dataset: &Dataset, rows: &[Option<u32>], v: TupleVar) -> bool {
-    let Some(row) = rows[v.0 as usize] else { return true };
+    let Some(row) = rows[v.0 as usize] else {
+        return true;
+    };
     let t = &dataset.relation(plan.atoms[v.0 as usize]).tuples()[row as usize];
-    plan.const_filters[v.0 as usize]
-        .iter()
-        .all(|(a, c)| t.get(*a).sql_eq(c))
+    plan.const_filters[v.0 as usize].iter().all(|(a, c)| t.get(*a).sql_eq(c))
 }
 
 /// Candidate row source for the chosen variable.
@@ -209,12 +209,10 @@ fn descend(
             if e.left.0 != var && e.right.0 != var {
                 continue;
             }
-            if let (Some(lr), Some(rr)) =
-                (rows[e.left.0 .0 as usize], rows[e.right.0 .0 as usize])
+            if let (Some(lr), Some(rr)) = (rows[e.left.0 .0 as usize], rows[e.right.0 .0 as usize])
             {
                 let lt = &dataset.relation(plan.atoms[e.left.0 .0 as usize]).tuples()[lr as usize];
-                let rt =
-                    &dataset.relation(plan.atoms[e.right.0 .0 as usize]).tuples()[rr as usize];
+                let rt = &dataset.relation(plan.atoms[e.right.0 .0 as usize]).tuples()[rr as usize];
                 if !lt.get(e.left.1).sql_eq(rt.get(e.right.1)) {
                     rows[var.0 as usize] = None;
                     continue 'cands;
@@ -316,8 +314,7 @@ mod tests {
 
     #[test]
     fn constant_filter_prunes_scan() {
-        let (plan, d) =
-            compile(r#"match j: R(t), S(s), t.k = s.k, t.v = "r2" -> dummy(t.k, s.k)"#);
+        let (plan, d) = compile(r#"match j: R(t), S(s), t.k = s.k, t.v = "r2" -> dummy(t.k, s.k)"#);
         let mut idx = IndexSet::new();
         let mut sink = Collect { all: vec![], prune_ml: false };
         let n = enumerate_valuations(&plan, &d, &mut idx, &[], &mut sink);
@@ -351,8 +348,7 @@ mod tests {
         let (plan, d) = compile("match j: R(t), S(s), t.k = s.k -> dummy(t.k, s.k)");
         let mut idx = IndexSet::new();
         let mut sink = Collect { all: vec![], prune_ml: false };
-        let n =
-            enumerate_valuations(&plan, &d, &mut idx, &[(TupleVar(0), 1)], &mut sink);
+        let n = enumerate_valuations(&plan, &d, &mut idx, &[(TupleVar(0), 1)], &mut sink);
         assert_eq!(n, 1);
         assert_eq!(sink.all, vec![vec![1, 0]]);
     }
@@ -378,8 +374,7 @@ mod tests {
 
     #[test]
     fn seed_violating_constant_filter_yields_nothing() {
-        let (plan, d) =
-            compile(r#"match j: R(t), S(s), t.k = s.k, t.v = "r0" -> dummy(t.k, s.k)"#);
+        let (plan, d) = compile(r#"match j: R(t), S(s), t.k = s.k, t.v = "r0" -> dummy(t.k, s.k)"#);
         let mut idx = IndexSet::new();
         let mut sink = Collect { all: vec![], prune_ml: false };
         let n = enumerate_valuations(&plan, &d, &mut idx, &[(TupleVar(0), 1)], &mut sink);
@@ -388,9 +383,7 @@ mod tests {
 
     #[test]
     fn three_way_chain_join() {
-        let (plan, d) = compile(
-            "match j: R(t), S(s), R(u), t.k = s.k, s.k = u.k -> t.id = u.id",
-        );
+        let (plan, d) = compile("match j: R(t), S(s), R(u), t.k = s.k, s.k = u.k -> t.id = u.id");
         let mut idx = IndexSet::new();
         let mut sink = Collect { all: vec![], prune_ml: false };
         let n = enumerate_valuations(&plan, &d, &mut idx, &[], &mut sink);

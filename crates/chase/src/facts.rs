@@ -47,11 +47,20 @@ impl Fact {
         }
     }
 
-    /// Approximate wire size in bytes (for communication accounting).
+    /// Exact wire size of an id fact: the two tuple ids.
+    pub const ID_WIRE_BYTES: usize = 2 * std::mem::size_of::<Tid>();
+
+    /// Exact wire size of a validated-ML fact: the two tuple ids plus the
+    /// predicate signature.
+    pub const ML_WIRE_BYTES: usize = 2 * std::mem::size_of::<Tid>() + std::mem::size_of::<u16>();
+
+    /// Wire size in bytes (for communication accounting), derived from the
+    /// field layouts rather than hardcoded so the cost model tracks the
+    /// actual representation.
     pub fn size_bytes(&self) -> usize {
         match self {
-            Fact::Id(..) => 16,
-            Fact::Ml(..) => 18,
+            Fact::Id(..) => Fact::ID_WIRE_BYTES,
+            Fact::Ml(..) => Fact::ML_WIRE_BYTES,
         }
     }
 }
@@ -95,7 +104,14 @@ impl MlSigTable {
         for rule in rules.rules() {
             for p in &rule.body {
                 if let Predicate::Ml { model, left, left_attrs, right, right_attrs } = p {
-                    table.intern(rules, model, rule.rel_of(*left), left_attrs, rule.rel_of(*right), right_attrs);
+                    table.intern(
+                        rules,
+                        model,
+                        rule.rel_of(*left),
+                        left_attrs,
+                        rule.rel_of(*right),
+                        right_attrs,
+                    );
                 }
             }
             if let Consequence::Ml { model, left, left_attrs, right, right_attrs } = &rule.head {
@@ -251,9 +267,8 @@ impl MlOracle {
     pub fn new(rules: &RuleSet, registry: &MlRegistry) -> Result<MlOracle, String> {
         let mut models = Vec::with_capacity(rules.model_names().len());
         for name in rules.model_names() {
-            let m = registry
-                .get(name)
-                .ok_or_else(|| format!("ML model `{name}` not registered"))?;
+            let m =
+                registry.get(name).ok_or_else(|| format!("ML model `{name}` not registered"))?;
             models.push(m.clone());
         }
         Ok(MlOracle { models, cache: HashMap::new(), calls: 0, hits: 0 })

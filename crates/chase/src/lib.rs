@@ -17,9 +17,12 @@
 //!   dependencies or re-join only the valuations touched by new matches.
 //!
 //! The engine doubles as the per-worker algorithm of the parallel `DMatch`:
-//! `A` is [`ChaseEngine::run_local_fixpoint`] and `A_Δ` is
-//! [`ChaseEngine::apply_delta`].
+//! `A` is [`ChaseEngine::deduce`] and `A_Δ` is [`ChaseEngine::incdeduce`],
+//! both speaking [`DeltaBatch`] — the immutable, sorted, `Arc`-backed unit
+//! of fact exchange that the BSP runtime routes between workers without
+//! deep-copying facts.
 
+pub mod batch;
 pub mod deps;
 pub mod engine;
 pub mod eval;
@@ -29,9 +32,10 @@ pub mod plan;
 pub mod soft;
 pub mod union_find;
 
+pub use batch::{BatchStats, DeltaBatch};
 pub use engine::{run_match, ChaseConfig, ChaseEngine, ChaseOutcome, ChaseStats};
 pub use facts::{ChaseState, Fact, MlOracle, MlSigTable};
 pub use naive::naive_chase;
-pub use soft::{soft_chase, SoftFact, SoftOutcome};
 pub use plan::{CompiledHead, CompiledRule, RecPred};
+pub use soft::{soft_chase, SoftFact, SoftOutcome};
 pub use union_find::MatchSet;

@@ -252,8 +252,7 @@ mod tests {
     #[test]
     fn nonrecursive_rule_detected() {
         let cat = Arc::new(
-            Catalog::from_schemas(vec![RelationSchema::of("R", &[("k", ValueType::Str)])])
-                .unwrap(),
+            Catalog::from_schemas(vec![RelationSchema::of("R", &[("k", ValueType::Str)])]).unwrap(),
         );
         let rules =
             dcer_mrl::parse_rules(&cat, "match a: R(t), R(s), t.k = s.k -> t.id = s.id").unwrap();

@@ -281,11 +281,7 @@ mod tests {
         fn probability(&self, left: &[Value], right: &[Value]) -> f64 {
             let key = format!("{}|{}", left[0], right[0]);
             let rkey = format!("{}|{}", right[0], left[0]);
-            self.0
-                .iter()
-                .find(|(k, _)| *k == key || *k == rkey)
-                .map(|(_, p)| *p)
-                .unwrap_or(0.0)
+            self.0.iter().find(|(k, _)| *k == key || *k == rkey).map(|(_, p)| *p).unwrap_or(0.0)
         }
     }
 
@@ -364,10 +360,7 @@ mod tests {
         )
         .unwrap();
         let mut reg = MlRegistry::new();
-        reg.register(
-            "m",
-            Arc::new(Table(vec![("ka|kc", 0.6), ("ka|kb", 0.9), ("kb|kc", 0.85)])),
-        );
+        reg.register("m", Arc::new(Table(vec![("ka|kc", 0.6), ("ka|kb", 0.9), ("kb|kc", 0.85)])));
         let out = soft_chase(&d, &rules, &reg, 0.1).unwrap();
         assert!((out.match_confidence(a, c) - 0.85).abs() < 1e-9);
         let _ = (a, b);
@@ -407,10 +400,7 @@ mod tests {
         )
         .unwrap();
         let mut reg = MlRegistry::new();
-        reg.register(
-            "m",
-            Arc::new(Table(vec![("ka|kb", 0.9), ("kb|kc", 0.3), ("ka|kc", 0.55)])),
-        );
+        reg.register("m", Arc::new(Table(vec![("ka|kb", 0.9), ("kb|kc", 0.3), ("ka|kc", 0.55)])));
         let soft = soft_chase(&d, &rules, &reg, 0.5).unwrap();
         let hard = crate::naive::naive_chase(&d, &rules, &reg).unwrap();
         let mut hard = hard;

@@ -67,11 +67,8 @@ impl MatchSet {
         }
         let before_a = self.members[ra as usize].clone();
         let before_b = self.members[rb as usize].clone();
-        let (winner, loser) = if self.rank[ra as usize] >= self.rank[rb as usize] {
-            (ra, rb)
-        } else {
-            (rb, ra)
-        };
+        let (winner, loser) =
+            if self.rank[ra as usize] >= self.rank[rb as usize] { (ra, rb) } else { (rb, ra) };
         if self.rank[winner as usize] == self.rank[loser as usize] {
             self.rank[winner as usize] += 1;
         }
@@ -149,10 +146,7 @@ impl MatchSet {
 
     /// Number of matched pairs (without materializing them).
     pub fn num_pairs(&mut self) -> usize {
-        self.clusters()
-            .iter()
-            .map(|c| c.len() * (c.len() - 1) / 2)
-            .sum()
+        self.clusters().iter().map(|c| c.len() * (c.len() - 1) / 2).sum()
     }
 }
 
@@ -211,10 +205,7 @@ mod tests {
         let clusters = m.clusters();
         assert_eq!(clusters, vec![vec![t(1), t(2), t(3)], vec![t(7), t(8)]]);
         assert_eq!(m.num_pairs(), 4);
-        assert_eq!(
-            m.all_pairs(),
-            vec![(t(1), t(2)), (t(1), t(3)), (t(2), t(3)), (t(7), t(8))]
-        );
+        assert_eq!(m.all_pairs(), vec![(t(1), t(2)), (t(1), t(3)), (t(2), t(3)), (t(7), t(8))]);
     }
 
     #[test]

@@ -19,12 +19,9 @@ fn setup() -> (Dataset, dcer_mrl::RuleSet, MlRegistry) {
     // left_i and right_i share x (mergeable by `bridge`); extra_i shares y
     // with right_i (reachable only through the recursive rules).
     for i in 0..10 {
-        d.insert(0, vec!["left".into(), format!("x{i}").into(), format!("ly{i}").into()])
-            .unwrap();
-        d.insert(0, vec!["right".into(), format!("x{i}").into(), format!("y{i}").into()])
-            .unwrap();
-        d.insert(0, vec!["mid".into(), format!("mx{i}").into(), format!("y{i}").into()])
-            .unwrap();
+        d.insert(0, vec!["left".into(), format!("x{i}").into(), format!("ly{i}").into()]).unwrap();
+        d.insert(0, vec!["right".into(), format!("x{i}").into(), format!("y{i}").into()]).unwrap();
+        d.insert(0, vec!["mid".into(), format!("mx{i}").into(), format!("y{i}").into()]).unwrap();
     }
     // The recursive rules come FIRST and their tuple variables are pinned
     // to different `k` constants, so no reflexive valuation can satisfy
@@ -52,10 +49,7 @@ fn dep_cache_replaces_seeded_joins() {
     assert!(cached.stats.deps_recorded > 0, "H is exercised");
     assert!(cached.stats.deps_fired > 0, "H fires");
     assert_eq!(cached.stats.deps_dropped, 0, "H never overflows here");
-    assert_eq!(
-        cached.stats.seeded_joins, 0,
-        "with a complete H no join is ever re-run"
-    );
+    assert_eq!(cached.stats.seeded_joins, 0, "with a complete H no join is ever re-run");
 
     let fallback = run_match(
         &d,

@@ -53,8 +53,7 @@ fn build_dataset(rows_p: &[(u8, u8, u8)], rows_q: &[(u8, u8)]) -> Dataset {
         .unwrap();
     }
     for &(fk, y) in rows_q {
-        d.insert(1, vec![format!("f{}", fk % 4).into(), format!("y{}", y % 3).into()])
-            .unwrap();
+        d.insert(1, vec![format!("f{}", fk % 4).into(), format!("y{}", y % 3).into()]).unwrap();
     }
     d
 }

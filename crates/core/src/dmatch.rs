@@ -1,13 +1,15 @@
-//! The `DMatch` worker, master and driver.
+//! `DMatch`: the parallel executor as a configuration of the unified
+//! [pipeline](crate::pipeline) — HyPart partition, per-shard `Deduce`,
+//! broadcast exchange of [`dcer_chase::DeltaBatch`]es, `IncDeduce` to
+//! global quiescence.
 
-use dcer_bsp::{run_bsp, BspStats, CostModel, ExecutionMode, Master, Worker, WorkerId};
-use dcer_chase::{ChaseConfig, ChaseEngine, ChaseOutcome, ChaseState, ChaseStats, Fact};
-use dcer_hypart::{partition, HyPartConfig, PartitionStats};
+use crate::pipeline::{run_pipeline, ExecutorKind, PipelineConfig, PipelineReport};
+use dcer_bsp::{BspStats, CostModel, ExecutionMode};
+use dcer_chase::{BatchStats, ChaseConfig, ChaseOutcome, ChaseStats};
+use dcer_hypart::PartitionStats;
 use dcer_ml::MlRegistry;
 use dcer_mrl::RuleSet;
-use dcer_relation::{Dataset, Tid};
-use std::collections::HashMap;
-use std::time::Instant;
+use dcer_relation::Dataset;
 
 /// Configuration for a `DMatch` run.
 #[derive(Debug, Clone)]
@@ -45,114 +47,18 @@ impl DmatchConfig {
         self.execution = ExecutionMode::Threaded;
         self
     }
-}
 
-/// One `DMatch` worker: a chase engine over its HyPart fragment.
-pub struct DmatchWorker {
-    engine: ChaseEngine,
-}
-
-impl DmatchWorker {
-    /// Wrap an engine.
-    pub fn new(engine: ChaseEngine) -> DmatchWorker {
-        DmatchWorker { engine }
-    }
-
-    /// Final per-worker statistics.
-    pub fn stats(&self) -> ChaseStats {
-        self.engine.stats()
-    }
-}
-
-impl Worker for DmatchWorker {
-    type Msg = Fact;
-
-    /// `A`: partial evaluation — local `Match` to fixpoint.
-    fn initial(&mut self) -> Vec<Fact> {
-        self.engine.run_local_fixpoint()
-    }
-
-    /// `A_Δ`: fold in routed matches, return newly deduced local facts.
-    fn superstep(&mut self, inbox: Vec<Fact>) -> Vec<Fact> {
-        self.engine.apply_delta(&inbox)
-    }
-}
-
-/// The `DMatch` master `P₀`: aggregates the global `Γ` and routes new
-/// matches to relevant workers.
-///
-/// Routing invariant: every worker knows, at all times, the global
-/// equivalences among the tuples *it hosts*. When a new match merges two
-/// global classes, each worker hosting tuples from both sides receives one
-/// linking pair of its own hosted representatives — its local union-find
-/// closes the rest (transitivity). Workers hosting only one side need
-/// nothing: their hosted tuples were already mutually linked. Validated ML
-/// predictions are routed to workers hosting both tuples (a local valuation
-/// needs both).
-pub struct DmatchMaster {
-    hosts: HashMap<Tid, Vec<u16>>,
-    state: ChaseState,
-}
-
-impl DmatchMaster {
-    /// Build from HyPart's routing table.
-    pub fn new(hosts: HashMap<Tid, Vec<u16>>) -> DmatchMaster {
-        DmatchMaster { hosts, state: ChaseState::new() }
-    }
-
-    /// The aggregated global state (the fixpoint `Γ` after the run).
-    pub fn into_state(self) -> ChaseState {
-        self.state
-    }
-
-    fn hosted(&self, t: &Tid) -> &[u16] {
-        self.hosts.get(t).map_or(&[], Vec::as_slice)
-    }
-}
-
-impl Master<Fact> for DmatchMaster {
-    fn route(&mut self, _from: WorkerId, msgs: Vec<Fact>) -> Vec<(WorkerId, Fact)> {
-        let mut out = Vec::new();
-        for fact in msgs {
-            match fact {
-                Fact::Id(a, b) => {
-                    let Some((side_a, side_b)) = self.state.apply(fact) else {
-                        continue; // duplicate across workers
-                    };
-                    // Representative per worker per side.
-                    let mut rep_a: HashMap<u16, Tid> = HashMap::new();
-                    for t in &side_a {
-                        for &w in self.hosted(t) {
-                            rep_a.entry(w).or_insert(*t);
-                        }
-                    }
-                    let mut rep_b: HashMap<u16, Tid> = HashMap::new();
-                    for t in &side_b {
-                        for &w in self.hosted(t) {
-                            rep_b.entry(w).or_insert(*t);
-                        }
-                    }
-                    for (&w, &ra) in &rep_a {
-                        if let Some(&rb) = rep_b.get(&w) {
-                            out.push((w as WorkerId, Fact::id(ra, rb)));
-                        }
-                    }
-                    let _ = (a, b);
-                }
-                Fact::Ml(_, a, b) => {
-                    if self.state.apply(fact).is_none() {
-                        continue;
-                    }
-                    let hb = self.hosted(&b).to_vec();
-                    for &w in self.hosted(&a) {
-                        if hb.contains(&w) {
-                            out.push((w as WorkerId, fact));
-                        }
-                    }
-                }
-            }
+    /// The equivalent pipeline configuration.
+    pub fn pipeline(&self) -> PipelineConfig {
+        PipelineConfig {
+            executor: ExecutorKind::Parallel,
+            workers: self.workers,
+            execution: self.execution,
+            use_mqo: self.use_mqo,
+            chase: self.chase.clone(),
+            cost: self.cost,
+            virtual_factor: self.virtual_factor,
         }
-        out
     }
 }
 
@@ -164,10 +70,12 @@ pub struct DmatchReport {
     pub outcome: ChaseOutcome,
     /// HyPart statistics.
     pub partition: PartitionStats,
-    /// BSP statistics (supersteps, messages, makespan).
+    /// BSP statistics (supersteps, batches, per-shard bytes, makespan).
     pub bsp: BspStats,
     /// Per-worker chase statistics.
     pub worker_stats: Vec<ChaseStats>,
+    /// Batch construction/merge counters over the exchange.
+    pub batch: BatchStats,
     /// Wall time spent partitioning.
     pub partition_secs: f64,
     /// Wall time of the parallel phase.
@@ -177,65 +85,36 @@ pub struct DmatchReport {
     pub simulated_er_secs: f64,
 }
 
-/// Run `DMatch` end to end: HyPart partition, then the BSP fixpoint.
+impl From<PipelineReport> for DmatchReport {
+    fn from(r: PipelineReport) -> DmatchReport {
+        DmatchReport {
+            outcome: r.outcome,
+            partition: r.partition.expect("parallel pipeline always partitions"),
+            bsp: r.bsp,
+            worker_stats: r.worker_stats,
+            batch: r.batch,
+            partition_secs: r.partition_secs,
+            er_secs: r.er_secs,
+            simulated_er_secs: r.simulated_er_secs,
+        }
+    }
+}
+
+/// Run `DMatch` end to end: HyPart partition, then the batched BSP
+/// fixpoint, all through the unified pipeline.
 pub fn run_dmatch(
     dataset: &Dataset,
     rules: &RuleSet,
     registry: &MlRegistry,
     config: &DmatchConfig,
 ) -> Result<DmatchReport, String> {
-    let t0 = Instant::now();
-    let mut hp = HyPartConfig::new(config.workers);
-    hp.use_mqo = config.use_mqo;
-    if let Some(v) = config.virtual_factor {
-        hp.virtual_factor = v;
-    }
-    let part = partition(dataset, rules, &hp);
-    let partition_secs = t0.elapsed().as_secs_f64();
-
-    // MQO also shares ML classifier results across rules with the same
-    // predicate signature; the noMQO baseline pays per rule.
-    let mut chase_cfg = config.chase.clone();
-    chase_cfg.share_ml_across_rules = config.use_mqo;
-    let mut workers = Vec::with_capacity(config.workers);
-    for (frag, masks) in part.fragments.into_iter().zip(part.rule_masks) {
-        let mut engine = ChaseEngine::new(frag, rules, registry, &chase_cfg)?;
-        // Scope each rule to the tuples HyPart distributed for it: the
-        // rule's own distribution covers all its valuations (Lemma 6), so
-        // skipping other rules' replicas removes only redundant work.
-        engine.set_rule_scope(std::sync::Arc::new(masks));
-        workers.push(DmatchWorker::new(engine));
-    }
-    let mut master = DmatchMaster::new(part.hosts);
-
-    let t1 = Instant::now();
-    let (workers, bsp) =
-        run_bsp(workers, &mut master, config.execution, &config.cost, Fact::size_bytes);
-    let er_secs = t1.elapsed().as_secs_f64();
-
-    // Aggregate: the master saw every deduced fact, so its state is Γ.
-    let mut stats = ChaseStats::default();
-    let worker_stats: Vec<ChaseStats> = workers.iter().map(DmatchWorker::stats).collect();
-    for ws in &worker_stats {
-        stats.add(ws);
-    }
-    let state = master.into_state();
-    let simulated_er_secs = bsp.makespan_secs;
-    Ok(DmatchReport {
-        outcome: ChaseOutcome { matches: state.matches, validated: state.validated, stats },
-        partition: part.stats,
-        bsp,
-        worker_stats,
-        partition_secs,
-        er_secs,
-        simulated_er_secs,
-    })
+    run_pipeline(dataset, rules, registry, &config.pipeline()).map(DmatchReport::from)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dcer_chase::run_match;
+    use dcer_chase::{run_match, Fact};
     use dcer_ml::{EqualTextClassifier, NgramCosineClassifier};
     use dcer_relation::{Catalog, RelationSchema, ValueType};
     use std::sync::Arc;
@@ -267,8 +146,7 @@ mod tests {
             .unwrap();
         }
         for i in 0..n / 2 {
-            d.insert(1, vec![format!("f{}", i % 6).into(), format!("y{}", i % 3).into()])
-                .unwrap();
+            d.insert(1, vec![format!("f{}", i % 6).into(), format!("y{}", i % 3).into()]).unwrap();
         }
         d
     }
@@ -301,8 +179,7 @@ mod tests {
         let reg = registry();
         let mut seq = run_match(&d, &rs, &reg, &ChaseConfig::default()).unwrap();
         let expected = seq.matches.clusters();
-        let expected_ml: std::collections::BTreeSet<Fact> =
-            seq.validated.iter().copied().collect();
+        let expected_ml: std::collections::BTreeSet<Fact> = seq.validated.iter().copied().collect();
         assert!(!expected.is_empty(), "test data must produce matches");
 
         for workers in [1, 2, 3, 4, 8] {
@@ -347,6 +224,7 @@ mod tests {
         assert!(report.partition_secs >= 0.0);
         assert!(report.simulated_er_secs > 0.0);
         assert!(report.outcome.stats.valuations > 0);
+        assert!(report.batch.built >= 4, "every shard built its Deduce batch");
     }
 
     #[test]
@@ -359,10 +237,11 @@ mod tests {
 
     #[test]
     fn only_facts_travel_never_tuples() {
-        // The message type is `Fact` (16-18 bytes); total bytes must be
-        // bounded by messages * 18 regardless of tuple sizes.
+        // The exchange carries `Fact`s (16-18 bytes each) inside batches;
+        // total bytes must be bounded by facts * the largest fact size
+        // regardless of tuple sizes.
         let d = dataset(24);
         let report = run_dmatch(&d, &rules(), &registry(), &DmatchConfig::new(4)).unwrap();
-        assert!(report.bsp.bytes <= report.bsp.messages * 18);
+        assert!(report.bsp.bytes <= report.bsp.messages * Fact::ML_WIRE_BYTES as u64);
     }
 }

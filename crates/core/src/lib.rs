@@ -18,9 +18,19 @@
 //! worker work shrinks as `1/n` because fragments shrink and only deltas are
 //! reprocessed; the experiment harness measures this with the simulated
 //! cluster of `dcer-bsp`.
+//!
+//! All three strategies — sequential, naive and parallel — run through the
+//! unified [`pipeline`] (partition → `Deduce` → exchange → `IncDeduce`
+//! fixpoint); they differ only in how their per-shard [`Deducer`]s are
+//! built.
 
 pub mod dmatch;
+pub mod pipeline;
 pub mod session;
 
-pub use dmatch::{run_dmatch, DmatchConfig, DmatchReport, DmatchMaster, DmatchWorker};
+pub use dmatch::{run_dmatch, DmatchConfig, DmatchReport};
+pub use pipeline::{
+    run_pipeline, Deducer, EngineDeducer, ExecutorKind, PipelineConfig, PipelineReport,
+    ShardWorker, StaticDeducer,
+};
 pub use session::DcerSession;

@@ -4,7 +4,8 @@
 //! (`DMatch_C`, `DMatch_D`).
 
 use crate::dmatch::{run_dmatch, DmatchConfig, DmatchReport};
-use dcer_chase::{naive_chase, run_match, ChaseConfig, ChaseOutcome, ChaseStats};
+use crate::pipeline::{run_pipeline, PipelineConfig};
+use dcer_chase::{ChaseConfig, ChaseOutcome};
 use dcer_ml::MlRegistry;
 use dcer_mrl::RuleSet;
 use dcer_relation::{Catalog, Dataset};
@@ -62,29 +63,26 @@ impl DcerSession {
         self.try_run_sequential(dataset).expect("session models registered")
     }
 
-    /// Sequential `Match`, fallible.
+    /// Sequential `Match`, fallible. Runs through the unified pipeline as
+    /// its single-shard configuration.
     pub fn try_run_sequential(&self, dataset: &Dataset) -> Result<ChaseOutcome, String> {
-        run_match(dataset, &self.rules, &self.registry, &self.chase)
+        let mut cfg = PipelineConfig::sequential();
+        cfg.chase = self.chase.clone();
+        run_pipeline(dataset, &self.rules, &self.registry, &cfg).map(|r| r.outcome)
     }
 
-    /// The naive reference chase (test/verification use; exponential).
+    /// The naive reference chase (test/verification use; exponential),
+    /// replayed through the same pipeline.
     pub fn run_naive(&self, dataset: &Dataset) -> Result<ChaseOutcome, String> {
-        let state = naive_chase(dataset, &self.rules, &self.registry)?;
-        Ok(ChaseOutcome {
-            matches: state.matches,
-            validated: state.validated,
-            stats: ChaseStats::default(),
-        })
+        run_pipeline(dataset, &self.rules, &self.registry, &PipelineConfig::naive())
+            .map(|r| r.outcome)
     }
 
     /// Build a long-lived incremental engine over `dataset`: run
     /// [`dcer_chase::ChaseEngine::run_local_fixpoint`] once, then feed data
     /// insertions through [`dcer_chase::ChaseEngine::insert_and_deduce`] —
     /// the ΔD extension of Section V-A's remark.
-    pub fn incremental_engine(
-        &self,
-        dataset: &Dataset,
-    ) -> Result<dcer_chase::ChaseEngine, String> {
+    pub fn incremental_engine(&self, dataset: &Dataset) -> Result<dcer_chase::ChaseEngine, String> {
         dcer_chase::ChaseEngine::new(dataset.clone(), &self.rules, &self.registry, &self.chase)
     }
 
@@ -186,19 +184,16 @@ mod tests {
     #[test]
     fn from_source_surfaces_parse_errors() {
         let catalog = Arc::new(
-            Catalog::from_schemas(vec![RelationSchema::of("R", &[("k", ValueType::Str)])])
-                .unwrap(),
+            Catalog::from_schemas(vec![RelationSchema::of("R", &[("k", ValueType::Str)])]).unwrap(),
         );
-        let err =
-            DcerSession::from_source(catalog, "match broken: R(t) -> ", MlRegistry::new());
+        let err = DcerSession::from_source(catalog, "match broken: R(t) -> ", MlRegistry::new());
         assert!(err.is_err());
     }
 
     #[test]
     fn missing_model_is_reported_not_panicking_via_try() {
         let catalog = Arc::new(
-            Catalog::from_schemas(vec![RelationSchema::of("R", &[("k", ValueType::Str)])])
-                .unwrap(),
+            Catalog::from_schemas(vec![RelationSchema::of("R", &[("k", ValueType::Str)])]).unwrap(),
         );
         let s = DcerSession::from_source(
             catalog.clone(),

@@ -36,10 +36,7 @@ pub fn catalog() -> Arc<Catalog> {
                     ("abstract_", ValueType::Str),
                 ],
             ),
-            RelationSchema::of(
-                "author",
-                &[("aukey", ValueType::Int), ("auname", ValueType::Str)],
-            ),
+            RelationSchema::of("author", &[("aukey", ValueType::Int), ("auname", ValueType::Str)]),
             RelationSchema::of(
                 "article_author",
                 &[("akey", ValueType::Int), ("aukey", ValueType::Int)],
@@ -92,9 +89,7 @@ pub fn generate(cfg: &BibConfig) -> (Dataset, GroundTruth) {
     let mut author_tids = Vec::with_capacity(n_auth);
     for i in 0..n_auth {
         let name = vocab::person_name(nz.rng());
-        let t = d
-            .insert(rel::AUTHOR, vec![Value::Int(i as i64), name.clone().into()])
-            .unwrap();
+        let t = d.insert(rel::AUTHOR, vec![Value::Int(i as i64), name.clone().into()]).unwrap();
         author_names.push(name);
         author_tids.push(t);
     }
@@ -149,10 +144,7 @@ pub fn generate(cfg: &BibConfig) -> (Dataset, GroundTruth) {
             let au2 = d
                 .insert(
                     rel::AUTHOR,
-                    vec![
-                        Value::Int(aukey),
-                        nz.typo(&author_names[first], 1).into(),
-                    ],
+                    vec![Value::Int(aukey), nz.typo(&author_names[first], 1).into()],
                 )
                 .unwrap();
             truth.add_pair(author_tids[first], au2);

@@ -9,9 +9,7 @@
 use crate::noise::Noiser;
 use crate::truth::GroundTruth;
 use crate::vocab;
-use dcer_ml::{
-    EmbeddingCosineClassifier, MlRegistry, MongeElkanClassifier, NgramCosineClassifier,
-};
+use dcer_ml::{EmbeddingCosineClassifier, MlRegistry, MongeElkanClassifier, NgramCosineClassifier};
 use dcer_relation::{Catalog, Dataset, RelationSchema, Tid, Value, ValueType};
 use rand::Rng;
 use std::sync::Arc;
@@ -69,8 +67,7 @@ pub fn catalog() -> Arc<Catalog> {
 pub fn paper_example() -> (Dataset, GroundTruth) {
     let mut d = Dataset::new(catalog());
     let c = |d: &mut Dataset, row: [&str; 5]| {
-        d.insert(0, row.iter().map(|s| Value::parse_typed(s, ValueType::Str)).collect())
-            .unwrap()
+        d.insert(0, row.iter().map(|s| Value::parse_typed(s, ValueType::Str)).collect()).unwrap()
     };
     // Table I (t1..t5).
     let t1 = c(&mut d, ["c1", "Ford Smith", "(213) 243-9856", "1st Ave, LA", "clothing, makeup"]);
@@ -80,8 +77,7 @@ pub fn paper_example() -> (Dataset, GroundTruth) {
     let t5 = c(&mut d, ["c5", "T. Brown", "(347) 981-3452", "-", "sports"]);
     // Table II (t6..t10).
     let s = |d: &mut Dataset, row: [&str; 5]| {
-        d.insert(1, row.iter().map(|v| Value::parse_typed(v, ValueType::Str)).collect())
-            .unwrap()
+        d.insert(1, row.iter().map(|v| Value::parse_typed(v, ValueType::Str)).collect()).unwrap()
     };
     let _t6 = s(&mut d, ["s1", "Comp. World", "c1", "FSm@g.com", "1st Ave, LA"]);
     let _t7 = s(&mut d, ["s2", "Smith's Tech shop", "c2", "F_Sm@g.com", "1st Ave, LA"]);
@@ -90,17 +86,34 @@ pub fn paper_example() -> (Dataset, GroundTruth) {
     let t10 = s(&mut d, ["s5", "Tony's Store", "c5", "T.Brown@ga.com", "-"]);
     // Table III (t11..t14).
     let p = |d: &mut Dataset, pno: &str, pname: &str, price: f64, desc: &str| {
-        d.insert(2, vec![pno.into(), pname.into(), Value::Float(price), desc.into()])
-            .unwrap()
+        d.insert(2, vec![pno.into(), pname.into(), Value::Float(price), desc.into()]).unwrap()
     };
-    let _t11 = p(&mut d, "p1", "Apple MacBook", 1000.0, "Apple MacBook Air (13-inch, 8GB RAM, 256GB SSD)");
-    let t12 = p(&mut d, "p2", "ThinkPad", 2000.0, "ThinkPad X1 Carbon 7th Gen : 14-Inch, 16GB RAM, 512GB Nvme SSD");
-    let t13 = p(&mut d, "p3", "ThinkPad", 1800.0, "ThinkPad X1 Carbon 7th Gen 14\" - 16 GB RAM - 512 GB SSD");
-    let _t14 = p(&mut d, "p4", "Acer Laptop", 500.0, "Acer Aspire 5 Slim Laptop, 15.6 inches, 4GB DDR4, 128GB SSD, Backlit Keyboard");
+    let _t11 =
+        p(&mut d, "p1", "Apple MacBook", 1000.0, "Apple MacBook Air (13-inch, 8GB RAM, 256GB SSD)");
+    let t12 = p(
+        &mut d,
+        "p2",
+        "ThinkPad",
+        2000.0,
+        "ThinkPad X1 Carbon 7th Gen : 14-Inch, 16GB RAM, 512GB Nvme SSD",
+    );
+    let t13 = p(
+        &mut d,
+        "p3",
+        "ThinkPad",
+        1800.0,
+        "ThinkPad X1 Carbon 7th Gen 14\" - 16 GB RAM - 512 GB SSD",
+    );
+    let _t14 = p(
+        &mut d,
+        "p4",
+        "Acer Laptop",
+        500.0,
+        "Acer Aspire 5 Slim Laptop, 15.6 inches, 4GB DDR4, 128GB SSD, Backlit Keyboard",
+    );
     // Table IV (t15..t18).
     let o = |d: &mut Dataset, row: [&str; 5]| {
-        d.insert(3, row.iter().map(|v| Value::parse_typed(v, ValueType::Str)).collect())
-            .unwrap()
+        d.insert(3, row.iter().map(|v| Value::parse_typed(v, ValueType::Str)).collect()).unwrap()
     };
     let _t15 = o(&mut d, ["o1", "c4", "s2", "p2", "156.33.14.7"]);
     let _t16 = o(&mut d, ["o2", "c3", "s4", "p2", "113.55.126.9"]);
@@ -255,7 +268,12 @@ pub fn generate(cfg: &EcommerceConfig) -> (Dataset, GroundTruth) {
         let tid = d
             .insert(
                 2,
-                vec![format!("p{i}").into(), name.clone().into(), Value::Float(price), desc.clone().into()],
+                vec![
+                    format!("p{i}").into(),
+                    name.clone().into(),
+                    Value::Float(price),
+                    desc.clone().into(),
+                ],
             )
             .unwrap();
         prod_keys.push(format!("p{i}"));
@@ -266,12 +284,7 @@ pub fn generate(cfg: &EcommerceConfig) -> (Dataset, GroundTruth) {
             let tid2 = d
                 .insert(
                     2,
-                    vec![
-                        format!("p{i}d").into(),
-                        name.into(),
-                        Value::Float(price2),
-                        desc2.into(),
-                    ],
+                    vec![format!("p{i}d").into(), name.into(), Value::Float(price2), desc2.into()],
                 )
                 .unwrap();
             truth.add_pair(tid, tid2);
@@ -347,10 +360,7 @@ pub fn generate(cfg: &EcommerceConfig) -> (Dataset, GroundTruth) {
         if nz.rng().random_bool(0.5) {
             let key = format!("c{i}x");
             let tid = d
-                .insert(
-                    0,
-                    vec![key.into(), name.into(), phone.into(), addr.into(), "misc".into()],
-                )
+                .insert(0, vec![key.into(), name.into(), phone.into(), addr.into(), "misc".into()])
                 .unwrap();
             truth.add_pair(cust_tids[i], tid);
         } else {
@@ -378,13 +388,7 @@ pub fn generate(cfg: &EcommerceConfig) -> (Dataset, GroundTruth) {
     let mut order = |d: &mut Dataset, buyer: &str, seller: &str, item: &str, ip: String| {
         d.insert(
             3,
-            vec![
-                format!("o{ono}").into(),
-                buyer.into(),
-                seller.into(),
-                item.into(),
-                ip.into(),
-            ],
+            vec![format!("o{ono}").into(), buyer.into(), seller.into(), item.into(), ip.into()],
         )
         .unwrap();
         ono += 1;
@@ -509,14 +513,23 @@ mod classifier_threshold_tests {
         ));
 
         let m2 = reg.get("m2").unwrap();
-        assert!(m2.predict(&v("T's Store"), &v("Tony's Store")),
-            "m2 prob = {}", m2.probability(&v("T's Store"), &v("Tony's Store")));
-        assert!(!m2.predict(&v("Comp. World"), &v("Lap. store")),
-            "m2 prob = {}", m2.probability(&v("Comp. World"), &v("Lap. store")));
+        assert!(
+            m2.predict(&v("T's Store"), &v("Tony's Store")),
+            "m2 prob = {}",
+            m2.probability(&v("T's Store"), &v("Tony's Store"))
+        );
+        assert!(
+            !m2.predict(&v("Comp. World"), &v("Lap. store")),
+            "m2 prob = {}",
+            m2.probability(&v("Comp. World"), &v("Lap. store"))
+        );
 
         let m3 = reg.get("m3").unwrap();
-        assert!(m3.predict(&v("Ford Smith"), &v("F. Smith")),
-            "m3 prob = {}", m3.probability(&v("Ford Smith"), &v("F. Smith")));
+        assert!(
+            m3.predict(&v("Ford Smith"), &v("F. Smith")),
+            "m3 prob = {}",
+            m3.probability(&v("Ford Smith"), &v("F. Smith"))
+        );
         assert!(m3.predict(&v("Tony Brown"), &v("T. Brown")));
         assert!(!m3.predict(&v("Ford Smith"), &v("Tony Brown")));
     }

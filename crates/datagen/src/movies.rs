@@ -76,8 +76,8 @@ pub fn imdb_generate(cfg: &ImdbConfig) -> (Dataset, GroundTruth) {
             let key = next;
             next += 1;
             let (title2, director2) = match i % 3 {
-                0 => (title.clone(), director.clone()), // exact
-                1 => (nz.typo(&title, 1), director.clone()), // typo
+                0 => (title.clone(), director.clone()),              // exact
+                1 => (nz.typo(&title, 1), director.clone()),         // typo
                 _ => (title.clone(), nz.abbreviate_name(&director)), // semantic
             };
             let t2 = d
@@ -150,7 +150,11 @@ pub fn movie_catalog() -> Arc<Catalog> {
             ),
             RelationSchema::of(
                 "studio",
-                &[("studiokey", ValueType::Int), ("sname", ValueType::Str), ("city", ValueType::Str)],
+                &[
+                    ("studiokey", ValueType::Int),
+                    ("sname", ValueType::Str),
+                    ("city", ValueType::Str),
+                ],
             ),
         ])
         .unwrap(),
@@ -193,19 +197,13 @@ pub fn movie_generate(cfg: &MovieConfig) -> (Dataset, GroundTruth) {
         let name = vocab::person_name(nz.rng());
         let country = vocab::pick(nz.rng(), vocab::NATIONS).to_string();
         let t = d
-            .insert(
-                1,
-                vec![Value::Int(i as i64), name.clone().into(), country.clone().into()],
-            )
+            .insert(1, vec![Value::Int(i as i64), name.clone().into(), country.clone().into()])
             .unwrap();
         if nz.rng().random_bool(cfg.dup * 0.6) {
             let key = next_dkey;
             next_dkey += 1;
             let t2 = d
-                .insert(
-                    1,
-                    vec![Value::Int(key), nz.abbreviate_name(&name).into(), country.into()],
-                )
+                .insert(1, vec![Value::Int(key), nz.abbreviate_name(&name).into(), country.into()])
                 .unwrap();
             truth.add_pair(t, t2);
             dir_dups.push((i as i64, key));

@@ -90,8 +90,7 @@ pub fn generate(cfg: &SongsConfig) -> (Dataset, GroundTruth) {
                 2 => (nz.typo(&title, 1), artist.clone(), Value::Null.to_text()),
                 _ => (title.clone(), nz.abbreviate_name(&artist), album.clone()),
             };
-            let album_v: Value =
-                if album2.is_empty() { Value::Null } else { album2.into() };
+            let album_v: Value = if album2.is_empty() { Value::Null } else { album2.into() };
             let t2 = d
                 .insert(
                     0,

@@ -31,8 +31,21 @@ pub mod rel {
 
 /// Car makes.
 const MAKES: &[&str] = &[
-    "Volkswagen", "Toyota", "Renault", "Peugeot", "Vauxhall", "Mercedes", "Skoda", "Nissan",
-    "Honda", "Volvo", "Fiat", "Citroen", "Hyundai", "Mazda", "Subaru",
+    "Volkswagen",
+    "Toyota",
+    "Renault",
+    "Peugeot",
+    "Vauxhall",
+    "Mercedes",
+    "Skoda",
+    "Nissan",
+    "Honda",
+    "Volvo",
+    "Fiat",
+    "Citroen",
+    "Hyundai",
+    "Mazda",
+    "Subaru",
 ];
 
 /// The TFACC catalog.
@@ -118,7 +131,11 @@ pub fn generate(cfg: &TfaccConfig) -> (Dataset, GroundTruth) {
         let t = d
             .insert(
                 rel::MAKE,
-                vec![Value::Int(i as i64), (*m).into(), vocab::pick(nz.rng(), vocab::NATIONS).into()],
+                vec![
+                    Value::Int(i as i64),
+                    (*m).into(),
+                    vocab::pick(nz.rng(), vocab::NATIONS).into(),
+                ],
             )
             .unwrap();
         make_tids.push(t);
@@ -129,10 +146,7 @@ pub fn generate(cfg: &TfaccConfig) -> (Dataset, GroundTruth) {
         let orig = (j * 5 + 1) % MAKES.len();
         let key = (MAKES.len() + j) as i64;
         let t = d
-            .insert(
-                rel::MAKE,
-                vec![Value::Int(key), nz.typo(MAKES[orig], 1).into(), Value::Null],
-            )
+            .insert(rel::MAKE, vec![Value::Int(key), nz.typo(MAKES[orig], 1).into(), Value::Null])
             .unwrap();
         truth.add_pair(make_tids[orig], t);
         make_dups.push((orig, key));

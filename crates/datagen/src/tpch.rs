@@ -213,8 +213,11 @@ pub fn generate(cfg: &TpchConfig) -> (Dataset, GroundTruth) {
         part_tids.push(t);
         let skey = (i % n_supplier) as i64;
         let supplycost = (price * 0.6 * 100.0).round() / 100.0;
-        d.insert(rel::PARTSUPP, vec![Value::Int(i as i64), Value::Int(skey), Value::Float(supplycost)])
-            .unwrap();
+        d.insert(
+            rel::PARTSUPP,
+            vec![Value::Int(i as i64), Value::Int(skey), Value::Float(supplycost)],
+        )
+        .unwrap();
         if nz.rng().random_bool(cfg.dup * 0.15) {
             let dup_key = next_pkey;
             next_pkey += 1;
@@ -508,12 +511,8 @@ mod tests {
         }
         assert!(truth.num_pairs() > 0);
         // FK: every lineitem okey exists in orders.
-        let order_keys: std::collections::HashSet<i64> = d
-            .relation(rel::ORDERS)
-            .tuples()
-            .iter()
-            .map(|t| t.get(0).as_int().unwrap())
-            .collect();
+        let order_keys: std::collections::HashSet<i64> =
+            d.relation(rel::ORDERS).tuples().iter().map(|t| t.get(0).as_int().unwrap()).collect();
         for l in d.relation(rel::LINEITEM).tuples() {
             assert!(order_keys.contains(&l.get(0).as_int().unwrap()));
         }
@@ -568,8 +567,7 @@ mod tests {
     fn predicate_sweep_rules_parse() {
         let cat = catalog();
         for preds in [2, 4, 8, 10] {
-            let rules =
-                dcer_mrl::parse_rules(&cat, &rules_source_predicates(10, preds)).unwrap();
+            let rules = dcer_mrl::parse_rules(&cat, &rules_source_predicates(10, preds)).unwrap();
             assert_eq!(rules.len(), 10);
             // Attribute subsets rotate modulo 5, so |φ| caps at 5 distinct
             // equalities; the parser may dedup nothing, count raw preds.

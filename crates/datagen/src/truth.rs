@@ -26,10 +26,8 @@ impl GroundTruth {
             return;
         }
         // Find existing clusters touched.
-        let mut existing: Vec<usize> = tids
-            .iter()
-            .filter_map(|t| self.by_tid.get(t).copied())
-            .collect();
+        let mut existing: Vec<usize> =
+            tids.iter().filter_map(|t| self.by_tid.get(t).copied()).collect();
         existing.sort_unstable();
         existing.dedup();
         let target = match existing.first() {
@@ -86,11 +84,7 @@ impl GroundTruth {
 
     /// Number of true-match pairs.
     pub fn num_pairs(&self) -> usize {
-        self.clusters
-            .iter()
-            .filter(|c| c.len() > 1)
-            .map(|c| c.len() * (c.len() - 1) / 2)
-            .sum()
+        self.clusters.iter().filter(|c| c.len() > 1).map(|c| c.len() * (c.len() - 1) / 2).sum()
     }
 
     /// Number of non-singleton clusters.

@@ -6,23 +6,85 @@ use rand_chacha::ChaCha8Rng;
 
 /// First names.
 pub const FIRST_NAMES: &[&str] = &[
-    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda", "David",
-    "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas",
-    "Sarah", "Charles", "Karen", "Ford", "Tony", "Wei", "Ling", "Carlos", "Ana", "Yuki",
-    "Amara", "Nadia", "Omar",
+    "James",
+    "Mary",
+    "Robert",
+    "Patricia",
+    "John",
+    "Jennifer",
+    "Michael",
+    "Linda",
+    "David",
+    "Elizabeth",
+    "William",
+    "Barbara",
+    "Richard",
+    "Susan",
+    "Joseph",
+    "Jessica",
+    "Thomas",
+    "Sarah",
+    "Charles",
+    "Karen",
+    "Ford",
+    "Tony",
+    "Wei",
+    "Ling",
+    "Carlos",
+    "Ana",
+    "Yuki",
+    "Amara",
+    "Nadia",
+    "Omar",
 ];
 
 /// Last names.
 pub const LAST_NAMES: &[&str] = &[
-    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
-    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
-    "Moore", "Jackson", "Martin", "Chen", "Wang", "Kumar", "Ali", "Kowalski", "Novak",
+    "Smith",
+    "Johnson",
+    "Williams",
+    "Brown",
+    "Jones",
+    "Garcia",
+    "Miller",
+    "Davis",
+    "Rodriguez",
+    "Martinez",
+    "Hernandez",
+    "Lopez",
+    "Gonzalez",
+    "Wilson",
+    "Anderson",
+    "Thomas",
+    "Taylor",
+    "Moore",
+    "Jackson",
+    "Martin",
+    "Chen",
+    "Wang",
+    "Kumar",
+    "Ali",
+    "Kowalski",
+    "Novak",
 ];
 
 /// Street names.
 pub const STREETS: &[&str] = &[
-    "1st Ave", "2nd Ave", "Main St", "Oak St", "Maple Dr", "Cedar Ln", "Park Rd", "Lake View",
-    "Hill St", "River Rd", "9 Ave", "Sunset Blvd", "Broadway", "Elm St", "Pine St",
+    "1st Ave",
+    "2nd Ave",
+    "Main St",
+    "Oak St",
+    "Maple Dr",
+    "Cedar Ln",
+    "Park Rd",
+    "Lake View",
+    "Hill St",
+    "River Rd",
+    "9 Ave",
+    "Sunset Blvd",
+    "Broadway",
+    "Elm St",
+    "Pine St",
 ];
 
 /// Cities.
@@ -33,48 +95,124 @@ pub const CITIES: &[&str] = &[
 
 /// Countries (for the TPC-H nation table and the recursion anecdote).
 pub const NATIONS: &[&str] = &[
-    "Argentina", "Brazil", "Canada", "China", "Egypt", "France", "Germany", "India",
-    "Indonesia", "Iran", "Iraq", "Japan", "Jordan", "Kenya", "Morocco", "Mozambique", "Peru",
-    "Romania", "Russia", "Saudi Arabia", "United Kingdom", "United States", "Vietnam",
-    "Algeria", "Ethiopia",
+    "Argentina",
+    "Brazil",
+    "Canada",
+    "China",
+    "Egypt",
+    "France",
+    "Germany",
+    "India",
+    "Indonesia",
+    "Iran",
+    "Iraq",
+    "Japan",
+    "Jordan",
+    "Kenya",
+    "Morocco",
+    "Mozambique",
+    "Peru",
+    "Romania",
+    "Russia",
+    "Saudi Arabia",
+    "United Kingdom",
+    "United States",
+    "Vietnam",
+    "Algeria",
+    "Ethiopia",
 ];
 
 /// Product brand words.
-pub const BRANDS: &[&str] = &[
-    "Acme", "Zenith", "Nova", "Orion", "Vertex", "Pulse", "Titan", "Lumen", "Quark", "Helix",
-];
+pub const BRANDS: &[&str] =
+    &["Acme", "Zenith", "Nova", "Orion", "Vertex", "Pulse", "Titan", "Lumen", "Quark", "Helix"];
 
 /// Product nouns.
 pub const PRODUCT_NOUNS: &[&str] = &[
-    "Laptop", "Keyboard", "Monitor", "Mouse", "Charger", "Tablet", "Camera", "Speaker",
-    "Router", "Drive", "Headset", "Printer",
+    "Laptop", "Keyboard", "Monitor", "Mouse", "Charger", "Tablet", "Camera", "Speaker", "Router",
+    "Drive", "Headset", "Printer",
 ];
 
 /// Product adjectives for descriptions.
 pub const PRODUCT_ADJS: &[&str] = &[
-    "slim", "wireless", "ergonomic", "portable", "rugged", "compact", "backlit", "ultra",
-    "pro", "gaming", "silent", "fast",
+    "slim",
+    "wireless",
+    "ergonomic",
+    "portable",
+    "rugged",
+    "compact",
+    "backlit",
+    "ultra",
+    "pro",
+    "gaming",
+    "silent",
+    "fast",
 ];
 
 /// Movie title words.
 pub const TITLE_WORDS: &[&str] = &[
-    "Midnight", "Shadow", "River", "Storm", "Garden", "Echo", "Crimson", "Silent", "Winter",
-    "Golden", "Last", "First", "Lost", "Hidden", "Broken", "Eternal", "Distant", "Savage",
-    "Gentle", "Burning", "Hollow", "Velvet", "Iron", "Paper", "Glass", "Violet", "Amber",
-    "Frozen", "Wandering", "Forgotten", "Scarlet", "Quiet", "Electric", "Wild", "Ancient",
-    "Falling", "Rising", "Northern", "Southern", "Emerald",
+    "Midnight",
+    "Shadow",
+    "River",
+    "Storm",
+    "Garden",
+    "Echo",
+    "Crimson",
+    "Silent",
+    "Winter",
+    "Golden",
+    "Last",
+    "First",
+    "Lost",
+    "Hidden",
+    "Broken",
+    "Eternal",
+    "Distant",
+    "Savage",
+    "Gentle",
+    "Burning",
+    "Hollow",
+    "Velvet",
+    "Iron",
+    "Paper",
+    "Glass",
+    "Violet",
+    "Amber",
+    "Frozen",
+    "Wandering",
+    "Forgotten",
+    "Scarlet",
+    "Quiet",
+    "Electric",
+    "Wild",
+    "Ancient",
+    "Falling",
+    "Rising",
+    "Northern",
+    "Southern",
+    "Emerald",
 ];
 
 /// Music genre / movie genre words.
 pub const GENRES: &[&str] = &[
-    "drama", "comedy", "thriller", "romance", "sci-fi", "horror", "documentary", "action",
-    "jazz", "rock", "pop", "folk", "electronic", "classical",
+    "drama",
+    "comedy",
+    "thriller",
+    "romance",
+    "sci-fi",
+    "horror",
+    "documentary",
+    "action",
+    "jazz",
+    "rock",
+    "pop",
+    "folk",
+    "electronic",
+    "classical",
 ];
 
 /// Venue names for bibliographic data.
-pub const VENUES: &[&str] = &[
-    "ICDE", "SIGMOD", "VLDB", "KDD", "WWW", "CIKM", "EDBT", "ICDT", "PODS", "TKDE",
-];
+pub const VENUES: &[&str] =
+    &["ICDE", "SIGMOD", "VLDB", "KDD", "WWW", "CIKM", "EDBT", "ICDT", "PODS", "TKDE"];
 
 /// Pick a random element.
 pub fn pick<'a>(rng: &mut ChaCha8Rng, pool: &[&'a str]) -> &'a str {
@@ -105,22 +243,12 @@ pub fn phone(rng: &mut ChaCha8Rng) -> String {
 
 /// A synthetic street address `N Street, City`.
 pub fn address(rng: &mut ChaCha8Rng) -> String {
-    format!(
-        "{} {}, {}",
-        rng.random_range(1..2000),
-        pick(rng, STREETS),
-        pick(rng, CITIES)
-    )
+    format!("{} {}, {}", rng.random_range(1..2000), pick(rng, STREETS), pick(rng, CITIES))
 }
 
 /// A product name `Brand Noun N`.
 pub fn product_name(rng: &mut ChaCha8Rng) -> String {
-    format!(
-        "{} {} {}",
-        pick(rng, BRANDS),
-        pick(rng, PRODUCT_NOUNS),
-        rng.random_range(1..20)
-    )
+    format!("{} {} {}", pick(rng, BRANDS), pick(rng, PRODUCT_NOUNS), rng.random_range(1..20))
 }
 
 /// A product description: name + adjectives + specs.
@@ -137,10 +265,7 @@ pub fn product_desc(rng: &mut ChaCha8Rng, name: &str) -> String {
 
 /// A synthetic title of `words` words.
 pub fn title(rng: &mut ChaCha8Rng, words: usize) -> String {
-    (0..words.max(1))
-        .map(|_| pick(rng, TITLE_WORDS))
-        .collect::<Vec<_>>()
-        .join(" ")
+    (0..words.max(1)).map(|_| pick(rng, TITLE_WORDS)).collect::<Vec<_>>().join(" ")
 }
 
 #[cfg(test)]

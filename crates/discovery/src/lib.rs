@@ -70,6 +70,7 @@ pub struct Evidence {
 
 /// Sample up to `max_pos` positive and `max_neg` negative pairs of
 /// relation `rel` and evaluate the predicate space on each.
+#[allow(clippy::too_many_arguments)]
 pub fn build_evidence(
     dataset: &Dataset,
     rel: RelId,
@@ -91,10 +92,7 @@ pub fn build_evidence(
         .into_iter()
         .filter(|(a, b)| a.rel == rel && b.rel == rel)
         .filter_map(|(a, b)| {
-            Some((
-                dataset.relation(rel).position(a)?,
-                dataset.relation(rel).position(b)?,
-            ))
+            Some((dataset.relation(rel).position(a)?, dataset.relation(rel).position(b)?))
         })
         .collect();
     positives.sort_unstable();
@@ -251,9 +249,7 @@ pub fn mine_rules(
             for p in start..space_len {
                 let m = mask | (1 << p);
                 // Minimality: skip if a subset already emitted.
-                if results.iter().any(|r| {
-                    r.preds.iter().all(|&q| m & (1 << q) != 0)
-                }) {
+                if results.iter().any(|r| r.preds.iter().all(|&q| m & (1 << q) != 0)) {
                     continue;
                 }
                 let (pos, total) = eval(m);
@@ -373,8 +369,7 @@ mod tests {
             0,
             &[("title_sim".into(), vec![1]), ("artist_sim".into(), vec![2])],
         );
-        let evidence =
-            build_evidence(&d, 0, &truth, &space, &reg, 200, 400, 1).unwrap();
+        let evidence = build_evidence(&d, 0, &truth, &space, &reg, 200, 400, 1).unwrap();
         assert!(evidence.iter().any(|e| e.label));
         assert!(evidence.iter().any(|e| !e.label));
         let mined = mine_rules(&evidence, space.len(), 8, 0.9, 3);

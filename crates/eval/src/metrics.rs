@@ -79,10 +79,8 @@ mod tests {
 
     #[test]
     fn perfect_prediction() {
-        let m = evaluate_pairs(
-            &[(t(1), t(2)), (t(1), t(3)), (t(2), t(3)), (t(10), t(11))],
-            &truth(),
-        );
+        let m =
+            evaluate_pairs(&[(t(1), t(2)), (t(1), t(3)), (t(2), t(3)), (t(10), t(11))], &truth());
         assert_eq!(m.precision, 1.0);
         assert_eq!(m.recall, 1.0);
         assert_eq!(m.f_measure, 1.0);

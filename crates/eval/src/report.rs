@@ -70,10 +70,8 @@ impl From<usize> for Cell {
 
 /// Format an aligned text table with a title.
 pub fn format_table(title: &str, headers: &[&str], rows: &[Vec<Cell>]) -> String {
-    let rendered: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| r.iter().map(Cell::render).collect())
-        .collect();
+    let rendered: Vec<Vec<String>> =
+        rows.iter().map(|r| r.iter().map(Cell::render).collect()).collect();
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for r in &rendered {
         for (i, c) in r.iter().enumerate() {

@@ -14,12 +14,8 @@ pub fn lpt_assign(loads: &[u64], workers: usize) -> Vec<usize> {
     let mut worker_load = vec![0u64; workers];
     let mut assignment = vec![0usize; loads.len()];
     for b in order {
-        let w = worker_load
-            .iter()
-            .enumerate()
-            .min_by_key(|&(i, &l)| (l, i))
-            .map(|(i, _)| i)
-            .unwrap();
+        let w =
+            worker_load.iter().enumerate().min_by_key(|&(i, &l)| (l, i)).map(|(i, _)| i).unwrap();
         assignment[b] = w;
         worker_load[w] += loads[b];
     }

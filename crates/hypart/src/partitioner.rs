@@ -9,6 +9,7 @@ use crate::shares::{allocate_shares, RoleCoverage};
 use dcer_mqo::{assign_hashes, MqoPlan, QueryPlan};
 use dcer_mrl::{Predicate, RuleSet, TupleVar, VarKey};
 use dcer_relation::{Dataset, Tid};
+use serde::Serialize;
 use std::collections::{HashMap, HashSet};
 
 /// Partitioning configuration.
@@ -71,7 +72,7 @@ pub fn rule_bit(rule_idx: usize) -> u128 {
 }
 
 /// Statistics of one partitioning run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, Serialize)]
 pub struct PartitionStats {
     /// Physical workers.
     pub workers: usize,
@@ -208,10 +209,7 @@ pub fn partition(dataset: &Dataset, rules: &RuleSet, config: &HyPartConfig) -> P
                         .filter(|&d| geom.shares[d] > 1)
                         .collect();
                     // Enumerate the broadcast product.
-                    let base: usize = fixed
-                        .iter()
-                        .map(|&(d, coord)| coord * geom.strides[d])
-                        .sum();
+                    let base: usize = fixed.iter().map(|&(d, coord)| coord * geom.strides[d]).sum();
                     let mut combo = vec![0usize; free.len()];
                     loop {
                         let cell: usize = (base
@@ -344,10 +342,8 @@ mod tests {
     fn dataset(n: usize) -> Dataset {
         let mut d = Dataset::new(catalog());
         for i in 0..n {
-            d.insert(0, vec![format!("k{}", i % 7).into(), format!("x{i}").into()])
-                .unwrap();
-            d.insert(1, vec![format!("k{}", i % 7).into(), format!("y{}", i % 3).into()])
-                .unwrap();
+            d.insert(0, vec![format!("k{}", i % 7).into(), format!("x{i}").into()]).unwrap();
+            d.insert(1, vec![format!("k{}", i % 7).into(), format!("y{}", i % 3).into()]).unwrap();
         }
         d
     }
@@ -385,7 +381,8 @@ mod tests {
             for pred in &rule.body {
                 match pred {
                     Predicate::AttrEq { left, right } => {
-                        let lt = &d.relation(rule.rel_of(left.0)).tuples()[rows[left.0 .0 as usize]];
+                        let lt =
+                            &d.relation(rule.rel_of(left.0)).tuples()[rows[left.0 .0 as usize]];
                         let rt =
                             &d.relation(rule.rel_of(right.0)).tuples()[rows[right.0 .0 as usize]];
                         if !lt.get(left.1).sql_eq(rt.get(right.1)) {
@@ -404,9 +401,8 @@ mod tests {
             let tids: Vec<Tid> = (0..rule.num_vars())
                 .map(|v| d.relation(rule.rel_of(TupleVar(v as u16))).tuples()[rows[v]].tid)
                 .collect();
-            let colocated = p.fragments.iter().any(|f| {
-                tids.iter().all(|t| f.relation(t.rel).contains(*t))
-            });
+            let colocated =
+                p.fragments.iter().any(|f| tids.iter().all(|t| f.relation(t.rel).contains(*t)));
             assert!(colocated, "valuation {tids:?} of rule {} not co-located", rule.name);
             return;
         }

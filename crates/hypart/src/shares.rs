@@ -24,7 +24,7 @@ fn prime_factors(mut c: usize) -> Vec<usize> {
     let mut out = Vec::new();
     let mut p = 2;
     while p * p <= c {
-        while c % p == 0 {
+        while c.is_multiple_of(p) {
             out.push(p);
             c /= p;
         }

@@ -57,18 +57,13 @@ impl EmbeddingCosineClassifier {
 
 impl MlModel for EmbeddingCosineClassifier {
     fn probability(&self, left: &[Value], right: &[Value]) -> f64 {
-        self.embedder
-            .cosine(&values_to_text(left), &values_to_text(right))
+        self.embedder.cosine(&values_to_text(left), &values_to_text(right))
     }
     fn threshold(&self) -> f64 {
         self.threshold
     }
     fn describe(&self) -> String {
-        format!(
-            "embedding-cosine(d={}) >= {}",
-            self.embedder.dims(),
-            self.threshold
-        )
+        format!("embedding-cosine(d={}) >= {}", self.embedder.dims(), self.threshold)
     }
 }
 
@@ -90,10 +85,8 @@ impl TrainedPairClassifier {
         threshold: f64,
     ) -> TrainedPairClassifier {
         let embedder = HashedNgramEmbedder::default();
-        let featurized: Vec<(Vec<f64>, bool)> = examples
-            .iter()
-            .map(|(l, r, y)| (pair_features(&embedder, l, r), *y))
-            .collect();
+        let featurized: Vec<(Vec<f64>, bool)> =
+            examples.iter().map(|(l, r, y)| (pair_features(&embedder, l, r), *y)).collect();
         let model = LogisticRegression::train(&featurized, epochs, 0.5, 1e-4);
         TrainedPairClassifier { embedder, model, threshold }
     }
@@ -112,8 +105,7 @@ impl TrainedPairClassifier {
 
 impl MlModel for TrainedPairClassifier {
     fn probability(&self, left: &[Value], right: &[Value]) -> f64 {
-        self.model
-            .predict_proba(&pair_features(&self.embedder, left, right))
+        self.model.predict_proba(&pair_features(&self.embedder, left, right))
     }
     fn threshold(&self) -> f64 {
         self.threshold
@@ -280,10 +272,7 @@ mod tests {
             examples.push((v(&name), v(&other), false));
         }
         let c = TrainedPairClassifier::train(&examples, 400, 0.5);
-        let correct = examples
-            .iter()
-            .filter(|(l, r, y)| c.predict(l, r) == *y)
-            .count();
+        let correct = examples.iter().filter(|(l, r, y)| c.predict(l, r) == *y).count();
         assert!(
             correct as f64 / examples.len() as f64 > 0.9,
             "accuracy {}",

@@ -5,8 +5,7 @@ use crate::embed::HashedNgramEmbedder;
 use crate::model::values_to_text;
 use dcer_relation::Value;
 use dcer_similarity::{
-    jaccard_tokens, jaro_winkler, levenshtein_similarity, monge_elkan, ngram_cosine,
-    ngram_jaccard,
+    jaccard_tokens, jaro_winkler, levenshtein_similarity, monge_elkan, ngram_cosine, ngram_jaccard,
 };
 
 /// Names of the features produced by [`pair_features`], in order.
@@ -27,11 +26,7 @@ pub const FEATURE_NAMES: [&str; 9] = [
 /// Text features run on the concatenated textual rendering; the numeric
 /// feature averages relative closeness over positions where both sides are
 /// numeric (1 when equal, decaying with relative difference).
-pub fn pair_features(
-    embedder: &HashedNgramEmbedder,
-    left: &[Value],
-    right: &[Value],
-) -> Vec<f64> {
+pub fn pair_features(embedder: &HashedNgramEmbedder, left: &[Value], right: &[Value]) -> Vec<f64> {
     let (a, b) = (values_to_text(left), values_to_text(right));
     let exact = f64::from(!a.is_empty() && a == b);
     let mut numeric_sum = 0.0;
@@ -39,11 +34,7 @@ pub fn pair_features(
     for (l, r) in left.iter().zip(right.iter()) {
         if let (Some(x), Some(y)) = (l.as_float(), r.as_float()) {
             let denom = x.abs().max(y.abs());
-            let closeness = if denom == 0.0 {
-                1.0
-            } else {
-                (1.0 - (x - y).abs() / denom).max(0.0)
-            };
+            let closeness = if denom == 0.0 { 1.0 } else { (1.0 - (x - y).abs() / denom).max(0.0) };
             numeric_sum += closeness;
             numeric_cnt += 1;
         }

@@ -26,13 +26,15 @@ impl LogisticRegression {
     /// Full-batch gradient descent: `epochs` passes at learning rate `lr`
     /// with L2 penalty `l2`. Deterministic (no shuffling needed for full
     /// batches). Panics if examples are empty or have inconsistent arity.
-    pub fn train(examples: &[(Vec<f64>, bool)], epochs: usize, lr: f64, l2: f64) -> LogisticRegression {
+    pub fn train(
+        examples: &[(Vec<f64>, bool)],
+        epochs: usize,
+        lr: f64,
+        l2: f64,
+    ) -> LogisticRegression {
         assert!(!examples.is_empty(), "cannot train on zero examples");
         let dim = examples[0].0.len();
-        assert!(
-            examples.iter().all(|(x, _)| x.len() == dim),
-            "inconsistent feature arity"
-        );
+        assert!(examples.iter().all(|(x, _)| x.len() == dim), "inconsistent feature arity");
         let n = examples.len() as f64;
         let mut w = vec![0.0; dim];
         let mut b = 0.0;
@@ -58,14 +60,7 @@ impl LogisticRegression {
     /// Probability of the positive class.
     pub fn predict_proba(&self, features: &[f64]) -> f64 {
         debug_assert_eq!(features.len(), self.weights.len());
-        sigmoid(
-            features
-                .iter()
-                .zip(&self.weights)
-                .map(|(x, w)| x * w)
-                .sum::<f64>()
-                + self.bias,
-        )
+        sigmoid(features.iter().zip(&self.weights).map(|(x, w)| x * w).sum::<f64>() + self.bias)
     }
 
     /// Hard prediction at threshold 0.5.
@@ -78,10 +73,7 @@ impl LogisticRegression {
         if examples.is_empty() {
             return 1.0;
         }
-        let correct = examples
-            .iter()
-            .filter(|(x, y)| self.predict(x) == *y)
-            .count();
+        let correct = examples.iter().filter(|(x, y)| self.predict(x) == *y).count();
         correct as f64 / examples.len() as f64
     }
 }

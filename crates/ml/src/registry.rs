@@ -53,9 +53,7 @@ impl MlRegistry {
 
 impl std::fmt::Debug for MlRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MlRegistry")
-            .field("models", &self.names())
-            .finish()
+        f.debug_struct("MlRegistry").field("models", &self.names()).finish()
     }
 }
 
@@ -85,10 +83,7 @@ mod tests {
         let mut r = MlRegistry::new();
         r.register("eq", Arc::new(EqualTextClassifier));
         let r2 = r.clone();
-        assert!(Arc::ptr_eq(
-            r.get("eq").unwrap(),
-            r2.get("eq").unwrap()
-        ));
+        assert!(Arc::ptr_eq(r.get("eq").unwrap(), r2.get("eq").unwrap()));
     }
 
     #[test]

@@ -44,12 +44,8 @@ impl TfIdfVectorizer {
     /// Fit on the text of one attribute of one relation — the usual setup
     /// for an ML predicate over that attribute.
     pub fn fit_column(dataset: &Dataset, rel: RelId, attr: AttrId) -> TfIdfVectorizer {
-        let docs: Vec<String> = dataset
-            .relation(rel)
-            .tuples()
-            .iter()
-            .map(|t| t.get(attr).to_text())
-            .collect();
+        let docs: Vec<String> =
+            dataset.relation(rel).tuples().iter().map(|t| t.get(attr).to_text()).collect();
         TfIdfVectorizer::fit(docs.iter().map(String::as_str))
     }
 
@@ -107,10 +103,7 @@ impl TfIdfVectorizer {
     pub fn cosine(&self, a: &str, b: &str) -> f64 {
         let va = self.vector_joint(a, b, true);
         let vb = self.vector_joint(a, b, false);
-        let dot: f64 = va
-            .iter()
-            .filter_map(|(k, x)| vb.get(k).map(|y| x * y))
-            .sum();
+        let dot: f64 = va.iter().filter_map(|(k, x)| vb.get(k).map(|y| x * y)).sum();
         dot.clamp(0.0, 1.0)
     }
 
@@ -234,10 +227,9 @@ mod tests {
     fn classifier_wiring() {
         let v = corpus();
         let c = TfIdfClassifier::new(v, 0.5);
-        assert!(c.predict(
-            &[Value::str("thinkpad 16gb ram")],
-            &[Value::str("thinkpad 16gb ram ssd")]
-        ));
+        assert!(
+            c.predict(&[Value::str("thinkpad 16gb ram")], &[Value::str("thinkpad 16gb ram ssd")])
+        );
         assert!(!c.predict(&[Value::str("thinkpad")], &[Value::str("macbook")]));
         assert!(c.describe().contains("tfidf"));
     }
@@ -246,11 +238,8 @@ mod tests {
     fn fit_column_reads_dataset() {
         use dcer_relation::{Catalog, RelationSchema, ValueType};
         let cat = std::sync::Arc::new(
-            Catalog::from_schemas(vec![RelationSchema::of(
-                "P",
-                &[("desc", ValueType::Str)],
-            )])
-            .unwrap(),
+            Catalog::from_schemas(vec![RelationSchema::of("P", &[("desc", ValueType::Str)])])
+                .unwrap(),
         );
         let mut d = dcer_relation::Dataset::new(cat);
         d.insert(0, vec!["alpha beta".into()]).unwrap();

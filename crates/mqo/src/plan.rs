@@ -129,9 +129,7 @@ impl QueryPlan {
     /// `S_lp` (ties by body position).
     pub fn predicate_order(&self, i: usize) -> Vec<usize> {
         let mut order: Vec<usize> = (0..self.rule_sigs[i].len()).collect();
-        order.sort_by_key(|&p| {
-            (usize::MAX - self.predicate_score(&self.rule_sigs[i][p]), p)
-        });
+        order.sort_by_key(|&p| (usize::MAX - self.predicate_score(&self.rule_sigs[i][p]), p));
         order
     }
 }
@@ -148,7 +146,11 @@ mod tests {
             Catalog::from_schemas(vec![
                 RelationSchema::of(
                     "C",
-                    &[("name", ValueType::Str), ("phone", ValueType::Str), ("addr", ValueType::Str)],
+                    &[
+                        ("name", ValueType::Str),
+                        ("phone", ValueType::Str),
+                        ("addr", ValueType::Str),
+                    ],
                 ),
                 RelationSchema::of("S", &[("owner", ValueType::Str), ("email", ValueType::Str)]),
             ])

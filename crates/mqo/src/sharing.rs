@@ -125,11 +125,8 @@ pub fn assign_hashes(rules: &RuleSet, qp: &QueryPlan, use_mqo: bool) -> MqoPlan 
                 keys.push(gk);
             }
             // Reuse an existing function if any member key has one.
-            let existing = if use_mqo {
-                keys.iter().find_map(|k| key_fn.get(k).copied())
-            } else {
-                None
-            };
+            let existing =
+                if use_mqo { keys.iter().find_map(|k| key_fn.get(k).copied()) } else { None };
             let f = existing.unwrap_or_else(|| {
                 let f = next_fn;
                 next_fn += 1;

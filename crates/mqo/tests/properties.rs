@@ -12,7 +12,10 @@ use std::sync::Arc;
 fn catalog() -> Arc<Catalog> {
     Arc::new(
         Catalog::from_schemas(vec![
-            RelationSchema::of("R", &[("a", ValueType::Str), ("b", ValueType::Str), ("c", ValueType::Str)]),
+            RelationSchema::of(
+                "R",
+                &[("a", ValueType::Str), ("b", ValueType::Str), ("c", ValueType::Str)],
+            ),
             RelationSchema::of("S", &[("a", ValueType::Str), ("b", ValueType::Str)]),
         ])
         .unwrap(),

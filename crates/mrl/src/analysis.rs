@@ -110,11 +110,9 @@ pub fn distinct_variables(rule: &Rule) -> Vec<DistinctVar> {
 
     for p in &rule.body {
         match p {
-            Predicate::AttrEq { left, right } => union(
-                &mut parent,
-                (left.0, VarKey::Attr(left.1)),
-                (right.0, VarKey::Attr(right.1)),
-            ),
+            Predicate::AttrEq { left, right } => {
+                union(&mut parent, (left.0, VarKey::Attr(left.1)), (right.0, VarKey::Attr(right.1)))
+            }
             Predicate::IdEq { left, right } => {
                 find(&mut parent, (*left, VarKey::Id));
                 find(&mut parent, (*right, VarKey::Id));
@@ -258,19 +256,12 @@ mod tests {
         // φ₁: Customers(t), Customers(s), t.name=s.name, t.phone=s.phone,
         // t.addr=s.addr -> t.id=s.id. Expect 5 distinct vars: {t.name,s.name},
         // {t.phone,s.phone}, {t.addr,s.addr}, {t.id}, {s.id}.
-        let r = rule(
-            vec![0, 0],
-            vec![eq(0, 1, 1, 1), eq(0, 2, 1, 2), eq(0, 3, 1, 3)],
-            head(0, 1),
-        );
+        let r = rule(vec![0, 0], vec![eq(0, 1, 1, 1), eq(0, 2, 1, 2), eq(0, 3, 1, 3)], head(0, 1));
         let dv = distinct_variables(&r);
         assert_eq!(dv.len(), 5);
         let merged = dv.iter().filter(|d| d.members.len() == 2).count();
         assert_eq!(merged, 3);
-        let ids = dv
-            .iter()
-            .filter(|d| d.members.iter().all(|(_, k)| *k == VarKey::Id))
-            .count();
+        let ids = dv.iter().filter(|d| d.members.iter().all(|(_, k)| *k == VarKey::Id)).count();
         assert_eq!(ids, 2, "head ids are separate distinct variables");
     }
 
@@ -280,7 +271,9 @@ mod tests {
         let r = rule(vec![0, 0, 0], vec![eq(0, 1, 1, 1), eq(1, 1, 2, 1)], head(0, 1));
         let dv = distinct_variables(&r);
         let big = dv.iter().find(|d| d.members.len() == 3).expect("chain class");
-        assert!(big.involves(TupleVar(0)) && big.involves(TupleVar(1)) && big.involves(TupleVar(2)));
+        assert!(
+            big.involves(TupleVar(0)) && big.involves(TupleVar(1)) && big.involves(TupleVar(2))
+        );
     }
 
     #[test]
@@ -341,11 +334,7 @@ mod tests {
 
     #[test]
     fn two_variable_rules_are_always_acyclic() {
-        let r = rule(
-            vec![0, 0],
-            vec![eq(0, 1, 1, 1), eq(0, 2, 1, 2), eq(0, 3, 1, 3)],
-            head(0, 1),
-        );
+        let r = rule(vec![0, 0], vec![eq(0, 1, 1, 1), eq(0, 2, 1, 2), eq(0, 3, 1, 3)], head(0, 1));
         assert!(is_acyclic(&r));
     }
 

@@ -215,31 +215,28 @@ impl Rule {
             }
             Ok(())
         };
-        let check_ml = |l: TupleVar,
-                        la: &[AttrId],
-                        r: TupleVar,
-                        ra: &[AttrId]|
-         -> Result<(), String> {
-            if la.is_empty() || la.len() != ra.len() {
-                return Err(format!(
-                    "rule `{}`: ML attribute vectors must be non-empty and of equal length",
-                    self.name
-                ));
-            }
-            for (&a, &b) in la.iter().zip(ra) {
-                check_attr(l, a)?;
-                check_attr(r, b)?;
-                let ta = catalog.schema(self.rel_of(l)).attr_type(a);
-                let tb = catalog.schema(self.rel_of(r)).attr_type(b);
-                if !ta.compatible(tb) {
+        let check_ml =
+            |l: TupleVar, la: &[AttrId], r: TupleVar, ra: &[AttrId]| -> Result<(), String> {
+                if la.is_empty() || la.len() != ra.len() {
                     return Err(format!(
-                        "rule `{}`: incompatible ML attribute types {ta} vs {tb}",
+                        "rule `{}`: ML attribute vectors must be non-empty and of equal length",
                         self.name
                     ));
                 }
-            }
-            Ok(())
-        };
+                for (&a, &b) in la.iter().zip(ra) {
+                    check_attr(l, a)?;
+                    check_attr(r, b)?;
+                    let ta = catalog.schema(self.rel_of(l)).attr_type(a);
+                    let tb = catalog.schema(self.rel_of(r)).attr_type(b);
+                    if !ta.compatible(tb) {
+                        return Err(format!(
+                            "rule `{}`: incompatible ML attribute types {ta} vs {tb}",
+                            self.name
+                        ));
+                    }
+                }
+                Ok(())
+            };
 
         for (i, &rel) in self.atoms.iter().enumerate() {
             if rel as usize >= catalog.len() {
@@ -305,11 +302,7 @@ impl Rule {
     pub fn display(&self, catalog: &Catalog) -> String {
         let vn = |v: TupleVar| self.var_names[v.0 as usize].clone();
         let an = |v: TupleVar, a: AttrId| {
-            format!(
-                "{}.{}",
-                vn(v),
-                catalog.schema(self.rel_of(v)).attribute(a).name
-            )
+            format!("{}.{}", vn(v), catalog.schema(self.rel_of(v)).attribute(a).name)
         };
         let mut parts: Vec<String> = self
             .atoms
@@ -409,10 +402,7 @@ impl RuleSet {
 
     /// Intern a model name to its dense index.
     pub fn model_index(&self, name: &str) -> Option<u16> {
-        self.model_names
-            .binary_search_by(|n| n.as_str().cmp(name))
-            .ok()
-            .map(|i| i as u16)
+        self.model_names.binary_search_by(|n| n.as_str().cmp(name)).ok().map(|i| i as u16)
     }
 
     /// Restrict to rules satisfying `keep` (used to build the paper's
@@ -437,7 +427,11 @@ mod tests {
                 ),
                 RelationSchema::of(
                     "Orders",
-                    &[("ono", ValueType::Str), ("buyer", ValueType::Str), ("total", ValueType::Float)],
+                    &[
+                        ("ono", ValueType::Str),
+                        ("buyer", ValueType::Str),
+                        ("total", ValueType::Float),
+                    ],
                 ),
             ])
             .unwrap(),

@@ -23,8 +23,6 @@ pub mod analysis;
 pub mod ast;
 pub mod parser;
 
-pub use analysis::{
-    classify, distinct_variables, is_acyclic, DistinctVar, RuleClass, VarKey,
-};
+pub use analysis::{classify, distinct_variables, is_acyclic, DistinctVar, RuleClass, VarKey};
 pub use ast::{Consequence, Predicate, Rule, RuleSet, TupleVar};
 pub use parser::{parse_rules, ParseError};

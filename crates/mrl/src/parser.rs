@@ -82,15 +82,42 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                     }
                 }
             }
-            '(' => { chars.next(); toks.push((Tok::LParen, line)); }
-            ')' => { chars.next(); toks.push((Tok::RParen, line)); }
-            '[' => { chars.next(); toks.push((Tok::LBracket, line)); }
-            ']' => { chars.next(); toks.push((Tok::RBracket, line)); }
-            ',' => { chars.next(); toks.push((Tok::Comma, line)); }
-            ';' => { chars.next(); toks.push((Tok::Semi, line)); }
-            '.' => { chars.next(); toks.push((Tok::Dot, line)); }
-            '=' => { chars.next(); toks.push((Tok::Eq, line)); }
-            ':' => { chars.next(); toks.push((Tok::Colon, line)); }
+            '(' => {
+                chars.next();
+                toks.push((Tok::LParen, line));
+            }
+            ')' => {
+                chars.next();
+                toks.push((Tok::RParen, line));
+            }
+            '[' => {
+                chars.next();
+                toks.push((Tok::LBracket, line));
+            }
+            ']' => {
+                chars.next();
+                toks.push((Tok::RBracket, line));
+            }
+            ',' => {
+                chars.next();
+                toks.push((Tok::Comma, line));
+            }
+            ';' => {
+                chars.next();
+                toks.push((Tok::Semi, line));
+            }
+            '.' => {
+                chars.next();
+                toks.push((Tok::Dot, line));
+            }
+            '=' => {
+                chars.next();
+                toks.push((Tok::Eq, line));
+            }
+            ':' => {
+                chars.next();
+                toks.push((Tok::Colon, line));
+            }
             '-' => {
                 chars.next();
                 match chars.peek() {
@@ -103,7 +130,10 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                         toks.push((Tok::Num(-v, int), line));
                     }
                     _ => {
-                        return Err(ParseError { line, message: "expected `->` or number after `-`".into() });
+                        return Err(ParseError {
+                            line,
+                            message: "expected `->` or number after `-`".into(),
+                        });
                     }
                 }
             }
@@ -113,7 +143,10 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                 let mut closed = false;
                 while let Some(c) = chars.next() {
                     match c {
-                        '"' => { closed = true; break; }
+                        '"' => {
+                            closed = true;
+                            break;
+                        }
                         '\\' => match chars.next() {
                             Some('n') => s.push('\n'),
                             Some('t') => s.push('\t'),
@@ -148,7 +181,10 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                 toks.push((Tok::Ident(s), line));
             }
             other => {
-                return Err(ParseError { line, message: format!("unexpected character `{other}`") });
+                return Err(ParseError {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                });
             }
         }
     }
@@ -195,9 +231,7 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn line(&self) -> usize {
-        self.toks
-            .get(self.pos.min(self.toks.len().saturating_sub(1)))
-            .map_or(0, |(_, l)| *l)
+        self.toks.get(self.pos.min(self.toks.len().saturating_sub(1))).map_or(0, |(_, l)| *l)
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
@@ -215,9 +249,7 @@ impl<'a> Parser<'a> {
     }
 
     fn prev_line(&self) -> usize {
-        self.toks
-            .get(self.pos.saturating_sub(1))
-            .map_or(0, |(_, l)| *l)
+        self.toks.get(self.pos.saturating_sub(1)).map_or(0, |(_, l)| *l)
     }
 
     fn expect(&mut self, tok: Tok) -> Result<(), ParseError> {
@@ -352,7 +384,11 @@ impl<'a> Parser<'a> {
                     }
                     Some(Tok::Ident(id)) if id == "true" || id == "false" => {
                         self.next();
-                        body.push(Predicate::ConstEq { var, attr, value: Value::Bool(id == "true") });
+                        body.push(Predicate::ConstEq {
+                            var,
+                            attr,
+                            value: Value::Bool(id == "true"),
+                        });
                     }
                     Some(Tok::Ident(_)) => {
                         let rvar_name = self.ident()?;
@@ -367,7 +403,11 @@ impl<'a> Parser<'a> {
                         let rattr = self.resolve_attr(atoms, rvar, &rattr_name)?;
                         body.push(Predicate::AttrEq { left: (var, attr), right: (rvar, rattr) });
                     }
-                    other => return Err(self.err(format!("expected value or `var.attr`, found {other:?}"))),
+                    other => {
+                        return Err(
+                            self.err(format!("expected value or `var.attr`, found {other:?}"))
+                        )
+                    }
                 }
             }
             other => return Err(self.err(format!("expected `(` or `.`, found {other:?}"))),
@@ -426,10 +466,7 @@ impl<'a> Parser<'a> {
         attr_name: &str,
     ) -> Result<AttrId, ParseError> {
         let rel = atoms[var.0 as usize];
-        self.catalog
-            .schema(rel)
-            .attr(attr_name)
-            .map_err(|e| self.err(e.to_string()))
+        self.catalog.schema(rel).attr(attr_name).map_err(|e| self.err(e.to_string()))
     }
 
     fn parse_head(
@@ -549,10 +586,9 @@ mod tests {
         assert!(r.has_id_precondition());
         assert!(r.has_ml_precondition());
         assert_eq!(r.ml_models(), vec!["m3", "m4"]);
-        assert!(r
-            .body
-            .iter()
-            .any(|p| matches!(p, Predicate::ConstEq { value: Value::Float(x), .. } if *x == 100.5)));
+        assert!(r.body.iter().any(
+            |p| matches!(p, Predicate::ConstEq { value: Value::Float(x), .. } if *x == 100.5)
+        ));
         assert!(r
             .body
             .iter()
@@ -581,8 +617,8 @@ mod tests {
 
     #[test]
     fn unknown_relation_is_an_error() {
-        let err = parse_rules(&catalog(), "match a: Shops(t), Shops(s) -> t.id = s.id")
-            .unwrap_err();
+        let err =
+            parse_rules(&catalog(), "match a: Shops(t), Shops(s) -> t.id = s.id").unwrap_err();
         // `Shops` is treated as an ML model name, whose argument `t` is unbound.
         assert!(err.message.contains("unbound") || err.message.contains("Shops"), "{err}");
     }
@@ -599,11 +635,8 @@ mod tests {
 
     #[test]
     fn duplicate_variable_is_an_error() {
-        let err = parse_rules(
-            &catalog(),
-            "match a: Customers(t), Customers(t) -> t.id = t.id",
-        )
-        .unwrap_err();
+        let err = parse_rules(&catalog(), "match a: Customers(t), Customers(t) -> t.id = t.id")
+            .unwrap_err();
         assert!(err.message.contains("bound twice"), "{err}");
     }
 
@@ -647,10 +680,9 @@ mod tests {
             r#"match a: Customers(t), Customers(s), t.name = "a\"b\nc" -> t.id = s.id"#,
         )
         .unwrap();
-        assert!(rs.rules()[0]
-            .body
-            .iter()
-            .any(|p| matches!(p, Predicate::ConstEq { value: Value::Str(s), .. } if &**s == "a\"b\nc")));
+        assert!(rs.rules()[0].body.iter().any(
+            |p| matches!(p, Predicate::ConstEq { value: Value::Str(s), .. } if &**s == "a\"b\nc")
+        ));
     }
 
     #[test]

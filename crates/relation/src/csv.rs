@@ -12,7 +12,11 @@ use std::io::{BufRead, Write};
 
 /// Parse one CSV record starting at `input[pos..]`. Returns the fields and
 /// the position just past the record's trailing newline, or `None` at EOF.
-fn parse_record(input: &str, mut pos: usize, line: &mut usize) -> Result<Option<(Vec<String>, usize)>> {
+fn parse_record(
+    input: &str,
+    mut pos: usize,
+    line: &mut usize,
+) -> Result<Option<(Vec<String>, usize)>> {
     if pos >= input.len() {
         return Ok(None);
     }
@@ -211,11 +215,7 @@ mod tests {
         Dataset::new(Arc::new(
             Catalog::from_schemas(vec![RelationSchema::of(
                 "P",
-                &[
-                    ("pno", ValueType::Str),
-                    ("price", ValueType::Float),
-                    ("desc", ValueType::Str),
-                ],
+                &[("pno", ValueType::Str), ("price", ValueType::Float), ("desc", ValueType::Str)],
             )])
             .unwrap(),
         ))
@@ -244,8 +244,8 @@ mod tests {
     #[test]
     fn load_respects_header_order() {
         let mut d = dataset();
-        let n = load_into(&mut d, 0, "price,pno,desc\n2000,p2,\"ThinkPad, X1\"\n1800,p3,-\n")
-            .unwrap();
+        let n =
+            load_into(&mut d, 0, "price,pno,desc\n2000,p2,\"ThinkPad, X1\"\n1800,p3,-\n").unwrap();
         assert_eq!(n, 2);
         let t = &d.relation(0).tuples()[0];
         assert_eq!(t.get(0), &Value::str("p2"));
@@ -268,14 +268,8 @@ mod tests {
         let text = dump_relation(&d, 0);
         let mut d2 = dataset();
         load_into(&mut d2, 0, &text).unwrap();
-        assert_eq!(
-            d.relation(0).tuples()[0].values,
-            d2.relation(0).tuples()[0].values
-        );
-        assert_eq!(
-            d.relation(0).tuples()[1].values,
-            d2.relation(0).tuples()[1].values
-        );
+        assert_eq!(d.relation(0).tuples()[0].values, d2.relation(0).tuples()[0].values);
+        assert_eq!(d.relation(0).tuples()[1].values, d2.relation(0).tuples()[1].values);
     }
 
     #[test]

@@ -153,9 +153,7 @@ impl Dataset {
 
     /// Look up a tuple anywhere in the dataset by identity.
     pub fn tuple(&self, tid: Tid) -> Option<&Tuple> {
-        self.relations
-            .get(tid.rel as usize)
-            .and_then(|r| r.by_tid(tid))
+        self.relations.get(tid.rel as usize).and_then(|r| r.by_tid(tid))
     }
 
     /// Iterate all tuples of all relations.
@@ -201,10 +199,7 @@ mod tests {
     #[test]
     fn insert_rejects_bad_arity_and_type() {
         let mut d = Dataset::new(two_rel_catalog());
-        assert!(matches!(
-            d.insert(0, vec![Value::Int(1)]),
-            Err(Error::ArityMismatch { .. })
-        ));
+        assert!(matches!(d.insert(0, vec![Value::Int(1)]), Err(Error::ArityMismatch { .. })));
         assert!(matches!(
             d.insert(0, vec![Value::str("no"), Value::str("p")]),
             Err(Error::TypeMismatch { .. })
@@ -229,11 +224,8 @@ mod tests {
     #[test]
     fn numeric_compatibility_allows_int_into_float() {
         let cat = Arc::new(
-            Catalog::from_schemas(vec![RelationSchema::of(
-                "F",
-                &[("x", ValueType::Float)],
-            )])
-            .unwrap(),
+            Catalog::from_schemas(vec![RelationSchema::of("F", &[("x", ValueType::Float)])])
+                .unwrap(),
         );
         let mut d = Dataset::new(cat);
         assert!(d.insert(0, vec![Value::Int(3)]).is_ok());

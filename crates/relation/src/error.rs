@@ -96,16 +96,9 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = Error::UnknownAttribute {
-            relation: "Customers".into(),
-            attribute: "phon".into(),
-        };
+        let e = Error::UnknownAttribute { relation: "Customers".into(), attribute: "phon".into() };
         assert!(e.to_string().contains("Customers.phon"));
-        let e = Error::ArityMismatch {
-            relation: "R".into(),
-            expected: 3,
-            got: 2,
-        };
+        let e = Error::ArityMismatch { relation: "R".into(), expected: 3, got: 2 };
         assert!(e.to_string().contains('3'));
         assert!(e.to_string().contains('2'));
     }

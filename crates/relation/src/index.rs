@@ -75,9 +75,7 @@ impl IndexSet {
 
     /// Get (building on first use) the index for `(rel, attr)`.
     pub fn get(&mut self, dataset: &Dataset, rel: RelId, attr: AttrId) -> &HashIndex {
-        self.indexes
-            .entry((rel, attr))
-            .or_insert_with(|| HashIndex::build(dataset, rel, attr))
+        self.indexes.entry((rel, attr)).or_insert_with(|| HashIndex::build(dataset, rel, attr))
     }
 
     /// Get the index if it was already built.

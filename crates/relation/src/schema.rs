@@ -62,11 +62,8 @@ impl RelationSchema {
 
     /// Convenience constructor from `(name, type)` pairs.
     pub fn of(name: &str, attrs: &[(&str, ValueType)]) -> RelationSchema {
-        RelationSchema::new(
-            name,
-            attrs.iter().map(|(n, t)| Attribute::new(*n, *t)).collect(),
-        )
-        .expect("duplicate attribute in schema literal")
+        RelationSchema::new(name, attrs.iter().map(|(n, t)| Attribute::new(*n, *t)).collect())
+            .expect("duplicate attribute in schema literal")
     }
 
     /// Number of attributes.
@@ -156,10 +153,7 @@ impl Catalog {
 
     /// Resolve a relation by name.
     pub fn rel(&self, name: &str) -> Result<RelId> {
-        self.by_name
-            .get(name)
-            .copied()
-            .ok_or_else(|| Error::UnknownRelation(name.to_string()))
+        self.by_name.get(name).copied().ok_or_else(|| Error::UnknownRelation(name.to_string()))
     }
 
     /// Schema of relation `id`.
@@ -219,10 +213,7 @@ mod tests {
     fn duplicate_attribute_rejected() {
         let r = RelationSchema::new(
             "R",
-            vec![
-                Attribute::new("a", ValueType::Int),
-                Attribute::new("a", ValueType::Str),
-            ],
+            vec![Attribute::new("a", ValueType::Int), Attribute::new("a", ValueType::Str)],
         );
         assert!(matches!(r, Err(Error::DuplicateAttribute(_))));
     }

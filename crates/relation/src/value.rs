@@ -199,9 +199,7 @@ impl PartialEq for Value {
             (Value::Null, Value::Null) => true,
             (Value::Bool(a), Value::Bool(b)) => a == b,
             (Value::Int(a), Value::Int(b)) => a == b,
-            (Value::Float(a), Value::Float(b)) => {
-                Value::float_bits(*a) == Value::float_bits(*b)
-            }
+            (Value::Float(a), Value::Float(b)) => Value::float_bits(*a) == Value::float_bits(*b),
             (Value::Str(a), Value::Str(b)) => a == b,
             _ => false,
         }
@@ -263,9 +261,7 @@ impl Ord for Value {
             (Value::Str(a), Value::Str(b)) => a.cmp(b),
             (a, b) if rank(a) == 2 && rank(b) == 2 => {
                 let (x, y) = (a.as_float().unwrap(), b.as_float().unwrap());
-                x.partial_cmp(&y).unwrap_or_else(|| {
-                    Value::float_bits(x).cmp(&Value::float_bits(y))
-                })
+                x.partial_cmp(&y).unwrap_or_else(|| Value::float_bits(x).cmp(&Value::float_bits(y)))
             }
             (a, b) => rank(a).cmp(&rank(b)),
         }
@@ -353,17 +349,14 @@ mod tests {
         assert!(Value::parse_typed("", ValueType::Str).is_null());
         assert!(Value::parse_typed("-", ValueType::Int).is_null());
         assert_eq!(Value::parse_typed("42", ValueType::Int), Value::Int(42));
-        assert_eq!(
-            Value::parse_typed("4.5", ValueType::Float),
-            Value::Float(4.5)
-        );
+        assert_eq!(Value::parse_typed("4.5", ValueType::Float), Value::Float(4.5));
         assert_eq!(Value::parse_typed("t", ValueType::Bool), Value::Bool(true));
         assert_eq!(Value::parse_typed("x", ValueType::Int), Value::Null);
     }
 
     #[test]
     fn ordering_is_total_and_ranked() {
-        let mut vs = vec![
+        let mut vs = [
             Value::str("b"),
             Value::Int(3),
             Value::Null,

@@ -8,7 +8,11 @@ pub fn levenshtein(a: &str, b: &str) -> usize {
     let (short, long): (Vec<char>, Vec<char>) = {
         let av: Vec<char> = a.chars().collect();
         let bv: Vec<char> = b.chars().collect();
-        if av.len() <= bv.len() { (av, bv) } else { (bv, av) }
+        if av.len() <= bv.len() {
+            (av, bv)
+        } else {
+            (bv, av)
+        }
     };
     if short.is_empty() {
         return long.len();
@@ -78,9 +82,7 @@ pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
         row0[0] = i;
         for j in 1..=m {
             let cost = usize::from(av[i - 1] != bv[j - 1]);
-            let mut d = (row1[j - 1] + cost)
-                .min(row1[j] + 1)
-                .min(row0[j - 1] + 1);
+            let mut d = (row1[j - 1] + cost).min(row1[j] + 1).min(row0[j - 1] + 1);
             if i > 1 && j > 1 && av[i - 1] == bv[j - 2] && av[i - 2] == bv[j - 1] {
                 d = d.min(row2[j - 2] + 1);
             }

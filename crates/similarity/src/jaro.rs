@@ -32,16 +32,9 @@ pub fn jaro(a: &str, b: &str) -> f64 {
         return 0.0;
     }
     // Count transpositions between the matched sequences.
-    let b_matched: Vec<char> = b_used
-        .iter()
-        .zip(&bv)
-        .filter_map(|(&u, &c)| u.then_some(c))
-        .collect();
-    let transpositions = a_matched
-        .iter()
-        .zip(&b_matched)
-        .filter(|((_, ca), cb)| ca != *cb)
-        .count();
+    let b_matched: Vec<char> =
+        b_used.iter().zip(&bv).filter_map(|(&u, &c)| u.then_some(c)).collect();
+    let transpositions = a_matched.iter().zip(&b_matched).filter(|((_, ca), cb)| ca != *cb).count();
     let m_f = matches as f64;
     (m_f / n as f64 + m_f / m as f64 + (m_f - transpositions as f64 / 2.0) / m_f) / 3.0
 }
@@ -52,12 +45,7 @@ pub fn jaro(a: &str, b: &str) -> f64 {
 pub fn jaro_winkler(a: &str, b: &str, prefix_weight: f64) -> f64 {
     let p = prefix_weight.clamp(0.0, 0.25);
     let j = jaro(a, b);
-    let prefix = a
-        .chars()
-        .zip(b.chars())
-        .take(4)
-        .take_while(|(x, y)| x == y)
-        .count();
+    let prefix = a.chars().zip(b.chars()).take(4).take_while(|(x, y)| x == y).count();
     j + prefix as f64 * p * (1.0 - j)
 }
 
@@ -81,10 +69,7 @@ mod tests {
         close(jaro_winkler("MARTHA", "MARHTA", 0.1), 0.9611);
         assert!(jaro_winkler("prefix_abc", "prefix_xyz", 0.1) > jaro("prefix_abc", "prefix_xyz"));
         // No prefix -> no boost.
-        assert_eq!(
-            jaro_winkler("abc", "xbc", 0.1),
-            jaro("abc", "xbc")
-        );
+        assert_eq!(jaro_winkler("abc", "xbc", 0.1), jaro("abc", "xbc"));
     }
 
     #[test]

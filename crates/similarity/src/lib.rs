@@ -21,8 +21,8 @@ pub use jaro::{jaro, jaro_winkler};
 pub use ngram::{ngram_cosine, ngram_jaccard, ngrams};
 pub use phonetic::soundex;
 pub use token::{
-    dice_coefficient, jaccard_tokens, monge_elkan, overlap_coefficient, tokenize,
-    cosine_token_counts,
+    cosine_token_counts, dice_coefficient, jaccard_tokens, monge_elkan, overlap_coefficient,
+    tokenize,
 };
 
 #[cfg(test)]
@@ -34,7 +34,8 @@ mod tests {
     /// between. Fine-grained behaviour is tested per-module.
     #[test]
     fn sanity_matrix() {
-        let sims: Vec<(&str, fn(&str, &str) -> f64)> = vec![
+        type NamedSim = (&'static str, fn(&str, &str) -> f64);
+        let sims: Vec<NamedSim> = vec![
             ("levenshtein", levenshtein_similarity),
             ("jaro", jaro),
             ("jaro_winkler", |a, b| jaro_winkler(a, b, 0.1)),

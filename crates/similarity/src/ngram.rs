@@ -8,9 +8,9 @@ use std::collections::HashMap;
 pub fn ngrams(s: &str, n: usize) -> HashMap<String, u32> {
     let n = n.max(1);
     let mut padded: Vec<char> = Vec::new();
-    padded.extend(std::iter::repeat('#').take(n - 1));
+    padded.extend(std::iter::repeat_n('#', n - 1));
     padded.extend(s.to_lowercase().chars());
-    padded.extend(std::iter::repeat('#').take(n - 1));
+    padded.extend(std::iter::repeat_n('#', n - 1));
     let mut grams = HashMap::new();
     if padded.len() < n {
         return grams;
@@ -44,10 +44,8 @@ pub fn ngram_cosine(a: &str, b: &str, n: usize) -> f64 {
     if ga.is_empty() && gb.is_empty() {
         return 1.0;
     }
-    let dot: f64 = ga
-        .iter()
-        .filter_map(|(k, &ca)| gb.get(k).map(|&cb| ca as f64 * cb as f64))
-        .sum();
+    let dot: f64 =
+        ga.iter().filter_map(|(k, &ca)| gb.get(k).map(|&cb| ca as f64 * cb as f64)).sum();
     let na: f64 = ga.values().map(|&c| (c as f64).powi(2)).sum::<f64>().sqrt();
     let nb: f64 = gb.values().map(|&c| (c as f64).powi(2)).sum::<f64>().sqrt();
     if na == 0.0 || nb == 0.0 {

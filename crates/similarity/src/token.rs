@@ -83,10 +83,7 @@ pub fn cosine_token_counts(a: &str, b: &str) -> f64 {
     if ca.is_empty() && cb.is_empty() {
         return 1.0;
     }
-    let dot: f64 = ca
-        .iter()
-        .filter_map(|(k, &x)| cb.get(k).map(|&y| x as f64 * y as f64))
-        .sum();
+    let dot: f64 = ca.iter().filter_map(|(k, &x)| cb.get(k).map(|&y| x as f64 * y as f64)).sum();
     let na: f64 = ca.values().map(|&c| (c as f64).powi(2)).sum::<f64>().sqrt();
     let nb: f64 = cb.values().map(|&c| (c as f64).powi(2)).sum::<f64>().sqrt();
     if na == 0.0 || nb == 0.0 {
@@ -103,14 +100,8 @@ pub fn monge_elkan(a: &str, b: &str) -> f64 {
         if xs.is_empty() {
             return if ys.is_empty() { 1.0 } else { 0.0 };
         }
-        let total: f64 = xs
-            .iter()
-            .map(|x| {
-                ys.iter()
-                    .map(|y| jaro_winkler(x, y, 0.1))
-                    .fold(0.0, f64::max)
-            })
-            .sum();
+        let total: f64 =
+            xs.iter().map(|x| ys.iter().map(|y| jaro_winkler(x, y, 0.1)).fold(0.0, f64::max)).sum();
         total / xs.len() as f64
     }
     let (ta, tb) = (tokenize(a), tokenize(b));
@@ -145,10 +136,7 @@ mod tests {
 
     #[test]
     fn overlap_is_one_for_subset() {
-        assert_eq!(
-            overlap_coefficient("tony brown", "tony brown store"),
-            1.0
-        );
+        assert_eq!(overlap_coefficient("tony brown", "tony brown store"), 1.0);
     }
 
     #[test]

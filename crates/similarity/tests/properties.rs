@@ -38,7 +38,8 @@ proptest! {
 
     #[test]
     fn similarities_bounded_symmetric_reflexive(a in any_word(), b in any_word()) {
-        let fns: Vec<(&str, Box<dyn Fn(&str, &str) -> f64>)> = vec![
+        type NamedSim = (&'static str, Box<dyn Fn(&str, &str) -> f64>);
+        let fns: Vec<NamedSim> = vec![
             ("lev", Box::new(levenshtein_similarity)),
             ("jaro", Box::new(jaro)),
             ("jw", Box::new(|x: &str, y: &str| jaro_winkler(x, y, 0.1))),

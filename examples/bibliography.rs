@@ -26,11 +26,7 @@ fn main() {
     println!("\nrules:");
     for r in session.rules().rules() {
         println!("  {}", r.display(session.catalog()));
-        println!(
-            "    class: {:?}, acyclic: {}",
-            dcer::mrl::classify(r),
-            dcer::mrl::is_acyclic(r)
-        );
+        println!("    class: {:?}, acyclic: {}", dcer::mrl::classify(r), dcer::mrl::is_acyclic(r));
     }
 
     let report = session.run_parallel(&data, &DmatchConfig::new(4)).unwrap();

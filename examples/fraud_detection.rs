@@ -17,8 +17,11 @@ fn name_of(data: &Dataset, tid: Tid) -> String {
 
 fn main() {
     let (data, _truth) = ecommerce::paper_example();
-    println!("Tables I-IV loaded: {} tuples over {} relations\n", data.total_tuples(),
-        data.catalog().len());
+    println!(
+        "Tables I-IV loaded: {} tuples over {} relations\n",
+        data.total_tuples(),
+        data.catalog().len()
+    );
 
     let session = DcerSession::from_source(
         ecommerce::catalog(),

@@ -14,16 +14,9 @@ fn main() {
         Catalog::from_schemas(vec![
             RelationSchema::of(
                 "Person",
-                &[
-                    ("pid", ValueType::Str),
-                    ("name", ValueType::Str),
-                    ("email", ValueType::Str),
-                ],
+                &[("pid", ValueType::Str), ("name", ValueType::Str), ("email", ValueType::Str)],
             ),
-            RelationSchema::of(
-                "Account",
-                &[("owner", ValueType::Str), ("iban", ValueType::Str)],
-            ),
+            RelationSchema::of("Account", &[("owner", ValueType::Str), ("iban", ValueType::Str)]),
         ])
         .unwrap(),
     );
@@ -59,10 +52,7 @@ fn main() {
 
     // 4. ML predicates are ordinary registered models.
     let mut models = MlRegistry::new();
-    models.register(
-        "name_sim",
-        Arc::new(dcer::ml::MongeElkanClassifier::new(0.75)),
-    );
+    models.register("name_sim", Arc::new(dcer::ml::MongeElkanClassifier::new(0.75)));
 
     let session = DcerSession::from_source(catalog, rules, models).unwrap();
 
@@ -91,6 +81,14 @@ fn main() {
     println!(
         "  {} supersteps, {} routed matches, {} bytes",
         report.bsp.supersteps, report.bsp.messages, report.bsp.bytes
+    );
+    // Facts cross the exchange as shared DeltaBatches: routing one batch to
+    // k peers is k reference-count bumps, never a deep copy.
+    println!(
+        "  {} delta batches exchanged ({} built, {} duplicates collapsed)",
+        report.bsp.batches,
+        report.batch.built,
+        report.batch.dedup_removed() + report.batch.merge_dups
     );
     let mut par = report.outcome;
     assert_eq!(par.matches.clusters(), outcome.matches.clusters());

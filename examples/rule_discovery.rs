@@ -57,12 +57,9 @@ fn main() {
     );
 
     // Compare with the hand-written rule set.
-    let hand = DcerSession::from_source(
-        songs::catalog(),
-        songs::rules_source(),
-        songs::make_registry(),
-    )
-    .unwrap();
+    let hand =
+        DcerSession::from_source(songs::catalog(), songs::rules_source(), songs::make_registry())
+            .unwrap();
     let mut o = hand.run_sequential(&data);
     let hm = evaluate_matchset(&mut o.matches, &truth);
     println!(

@@ -16,8 +16,8 @@ fn label(data: &Dataset, t: Tid) -> String {
 
 fn main() {
     let (data, _) = ecommerce::paper_example();
-    let rules = parse_rules(&ecommerce::catalog(), &ecommerce::paper_rules_source_extended())
-        .unwrap();
+    let rules =
+        parse_rules(&ecommerce::catalog(), &ecommerce::paper_rules_source_extended()).unwrap();
     let registry = ecommerce::paper_registry();
 
     println!("boolean chase (threshold decisions):");

@@ -29,11 +29,16 @@ fn main() {
     let mut outcome = report.outcome;
     let m = evaluate_matchset(&mut outcome.matches, &truth);
     println!("DMatch (deep + collective):");
-    println!("  precision {:.3}  recall {:.3}  F-measure {:.3}", m.precision, m.recall, m.f_measure);
+    println!(
+        "  precision {:.3}  recall {:.3}  F-measure {:.3}",
+        m.precision, m.recall, m.f_measure
+    );
     println!(
         "  partitioning {:.3}s (replication x{:.2}), ER {} supersteps, {} routed matches",
-        report.partition_secs, report.partition.replication_factor,
-        report.bsp.supersteps, report.bsp.messages
+        report.partition_secs,
+        report.partition.replication_factor,
+        report.bsp.supersteps,
+        report.bsp.messages
     );
 
     // The recursion chain, traced on one concrete duplicate order that the
@@ -48,14 +53,16 @@ fn main() {
         println!("\n3-level recursion trace:");
         println!(
             "  level 1: nations {:?} ~ {:?} ({} vs {})",
-            n1, n2,
+            n1,
+            n2,
             data.tuple(n1).unwrap().get(1),
             data.tuple(n2).unwrap().get(1)
         );
         println!("  level 2: customers referencing them match (name + phone evidence)");
         println!(
             "  level 3: orders {:?} ~ {:?} match via the customer match: {}",
-            o1, o2,
+            o1,
+            o2,
             outcome.matches.are_matched(o1, o2)
         );
     }
@@ -68,6 +75,9 @@ fn main() {
         let mut o = variant.run_parallel(&data, &DmatchConfig::new(8)).unwrap().outcome;
         let m = evaluate_matchset(&mut o.matches, &truth);
         println!("\n{label}:");
-        println!("  precision {:.3}  recall {:.3}  F-measure {:.3}", m.precision, m.recall, m.f_measure);
+        println!(
+            "  precision {:.3}  recall {:.3}  F-measure {:.3}",
+            m.precision, m.recall, m.f_measure
+        );
     }
 }

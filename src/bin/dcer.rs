@@ -48,10 +48,8 @@ impl Cli {
                     flags.entry(name.to_string()).or_default().push("true".into());
                 } else {
                     i += 1;
-                    let v = args
-                        .get(i)
-                        .ok_or_else(|| format!("flag --{name} needs a value"))?
-                        .clone();
+                    let v =
+                        args.get(i).ok_or_else(|| format!("flag --{name} needs a value"))?.clone();
                     flags.entry(name.to_string()).or_default().push(v);
                 }
             } else {
@@ -143,9 +141,8 @@ fn load_schema(path: &str) -> Result<Arc<Catalog>, String> {
 fn load_data(catalog: &Arc<Catalog>, specs: &[String]) -> Result<Dataset, String> {
     let mut data = Dataset::new(catalog.clone());
     for spec in specs {
-        let (rel_name, path) = spec
-            .split_once('=')
-            .ok_or_else(|| format!("--data must be REL=FILE, got `{spec}`"))?;
+        let (rel_name, path) =
+            spec.split_once('=').ok_or_else(|| format!("--data must be REL=FILE, got `{spec}`"))?;
         let rel = catalog.rel(rel_name).map_err(|e| e.to_string())?;
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         let n = dcer::relation::csv::load_into(&mut data, rel, &text)
@@ -219,7 +216,8 @@ fn cmd_match(cli: &Cli) -> Result<(), String> {
         eprintln!("running sequential Match over {} tuples", data.total_tuples());
         session.try_run_sequential(&data)?
     } else {
-        let workers: usize = cli.one("workers")?.parse().map_err(|_| "--workers must be a number")?;
+        let workers: usize =
+            cli.one("workers")?.parse().map_err(|_| "--workers must be a number")?;
         eprintln!("running DMatch with {workers} workers over {} tuples", data.total_tuples());
         let report = session.run_parallel(&data, &DmatchConfig::new(workers))?;
         eprintln!(
@@ -294,16 +292,16 @@ fn cmd_discover(cli: &Cli) -> Result<(), String> {
     }
 
     let space = dcer::discovery::predicate_space(&catalog, rel, &ml_candidates);
-    let evidence = dcer::discovery::build_evidence_exhaustive(
-        &data, rel, &truth, &space, &registry, 1000,
-    )?;
+    let evidence =
+        dcer::discovery::build_evidence_exhaustive(&data, rel, &truth, &space, &registry, 1000)?;
     let min_support: usize =
         cli.opt("min-support").unwrap_or("10").parse().map_err(|_| "bad --min-support")?;
     let min_conf: f64 =
         cli.opt("min-confidence").unwrap_or("0.97").parse().map_err(|_| "bad --min-confidence")?;
     let max_preds: usize =
         cli.opt("max-preds").unwrap_or("3").parse().map_err(|_| "bad --max-preds")?;
-    let mined = dcer::discovery::mine_rules(&evidence, space.len(), min_support, min_conf, max_preds);
+    let mined =
+        dcer::discovery::mine_rules(&evidence, space.len(), min_support, min_conf, max_preds);
     let rules = dcer::discovery::to_rule_set(&catalog, rel, &space, &mined, "mined_")?;
     println!("# {} rules mined from {} evidence pairs", rules.len(), evidence.len());
     for (r, m) in rules.rules().iter().zip(&mined) {

@@ -78,7 +78,5 @@ pub mod prelude {
     pub use dcer_core::{DcerSession, DmatchConfig, DmatchReport};
     pub use dcer_ml::MlRegistry;
     pub use dcer_mrl::{parse_rules, Rule, RuleSet};
-    pub use dcer_relation::{
-        Catalog, Dataset, RelationSchema, Tid, Tuple, Value, ValueType,
-    };
+    pub use dcer_relation::{Catalog, Dataset, RelationSchema, Tid, Tuple, Value, ValueType};
 }

@@ -73,11 +73,8 @@ fn incremental_arrival_of_orders_reaches_the_same_fixpoint() {
 
 #[test]
 fn incremental_customer_arrivals_on_generated_data() {
-    let (full, _truth) = ecommerce::generate(&ecommerce::EcommerceConfig {
-        customers: 60,
-        dup_rate: 0.4,
-        seed: 3,
-    });
+    let (full, _truth) =
+        ecommerce::generate(&ecommerce::EcommerceConfig { customers: 60, dup_rate: 0.4, seed: 3 });
     let s = DcerSession::from_source(
         ecommerce::catalog(),
         ecommerce::generated_rules_source(),
@@ -99,8 +96,7 @@ fn incremental_customer_arrivals_on_generated_data() {
     }
     let mut engine = s.incremental_engine(&base).unwrap();
     engine.run_local_fixpoint();
-    let held: Vec<_> =
-        customers[customers.len() - holdback..].iter().cloned().collect();
+    let held: Vec<_> = customers[customers.len() - holdback..].to_vec();
     for chunk in held.chunks(7) {
         engine.insert_and_deduce(chunk.to_vec());
     }

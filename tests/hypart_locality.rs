@@ -65,9 +65,7 @@ fn recurse(d: &Dataset, rule: &Rule, rows: &mut Vec<usize>, depth: usize, fragme
             .map(|v| d.relation(rule.rel_of(TupleVar(v as u16))).tuples()[rows[v]].tid)
             .collect();
         assert!(
-            fragments
-                .iter()
-                .any(|f| tids.iter().all(|t| f.relation(t.rel).contains(*t))),
+            fragments.iter().any(|f| tids.iter().all(|t| f.relation(t.rel).contains(*t))),
             "valuation {tids:?} of `{}` not co-located",
             rule.name
         );

@@ -34,10 +34,8 @@ fn verbatim_rules_yield_gamma_without_t4_t5() {
     )
     .unwrap();
     let mut outcome = s.run_sequential(&data);
-    let expected: Vec<Vec<Tid>> = expected_clusters()
-        .into_iter()
-        .filter(|c| !c.contains(&t(4)))
-        .collect();
+    let expected: Vec<Vec<Tid>> =
+        expected_clusters().into_iter().filter(|c| !c.contains(&t(4))).collect();
     assert_eq!(outcome.matches.clusters(), expected);
 }
 
@@ -57,12 +55,8 @@ fn t(paper_idx: u32) -> Tid {
 /// Example 3's fixpoint: {(t1,t3),(t2,t3),(t4,t5),(t9,t10),(t12,t13)} plus
 /// transitivity, i.e. clusters {t1,t2,t3}, {t4,t5}, {t9,t10}, {t12,t13}.
 fn expected_clusters() -> Vec<Vec<Tid>> {
-    let mut clusters = vec![
-        vec![t(1), t(2), t(3)],
-        vec![t(4), t(5)],
-        vec![t(9), t(10)],
-        vec![t(12), t(13)],
-    ];
+    let mut clusters =
+        vec![vec![t(1), t(2), t(3)], vec![t(4), t(5)], vec![t(9), t(10)], vec![t(12), t(13)]];
     for c in &mut clusters {
         c.sort_unstable();
     }
@@ -78,8 +72,7 @@ fn sequential_chase_reproduces_example_3() {
 
     // Γ_M of Example 3: M4 validated for the customer pairs buying the same
     // item — (t1,t3), (t1,t4), (t3,t4) — and nothing else.
-    let mut validated: Vec<(Tid, Tid)> =
-        outcome.validated.iter().map(|f| f.tids()).collect();
+    let mut validated: Vec<(Tid, Tid)> = outcome.validated.iter().map(|f| f.tids()).collect();
     validated.sort_unstable();
     assert_eq!(validated, vec![(t(1), t(3)), (t(1), t(4)), (t(3), t(4))]);
 }

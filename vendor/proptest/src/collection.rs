@@ -1,0 +1,63 @@
+//! Collection strategies (`prop::collection`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// Length specification accepted by [`vec`] and friends.
+pub trait SizeRange {
+    /// Draw a length.
+    fn pick(&self, rng: &mut TestRng) -> usize;
+    /// Largest admissible length (used to clamp subsequence sizes).
+    fn upper(&self) -> usize;
+}
+
+impl SizeRange for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+    fn upper(&self) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty size range");
+        self.start + rng.below(self.end - self.start)
+    }
+    fn upper(&self) -> usize {
+        self.end.saturating_sub(1)
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty size range");
+        start + rng.below(end - start + 1)
+    }
+    fn upper(&self) -> usize {
+        *self.end()
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Vector of values from `element`, with length drawn from `size`.
+pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+    VecStrategy { element, size }
+}

@@ -1,0 +1,58 @@
+//! Sampling strategies over fixed pools (`prop::sample`).
+
+use crate::collection::SizeRange;
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::fmt;
+
+/// Strategy picking one element of a fixed pool.
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    pool: Vec<T>,
+}
+
+impl<T: Clone + fmt::Debug> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.pool[rng.below(self.pool.len())].clone()
+    }
+}
+
+/// Uniformly select one element of `pool`.
+pub fn select<T: Clone + fmt::Debug>(pool: Vec<T>) -> Select<T> {
+    assert!(!pool.is_empty(), "select from empty pool");
+    Select { pool }
+}
+
+/// Strategy picking an order-preserving subsequence of a fixed pool.
+#[derive(Debug, Clone)]
+pub struct Subsequence<T, R> {
+    pool: Vec<T>,
+    size: R,
+}
+
+impl<T: Clone + fmt::Debug, R: SizeRange + fmt::Debug> Strategy for Subsequence<T, R> {
+    type Value = Vec<T>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+        let len = self.size.pick(rng).min(self.pool.len());
+        // Reservoir-style pick of `len` distinct indices, then emit in order.
+        let mut chosen = vec![false; self.pool.len()];
+        let mut picked = 0;
+        while picked < len {
+            let i = rng.below(self.pool.len());
+            if !chosen[i] {
+                chosen[i] = true;
+                picked += 1;
+            }
+        }
+        self.pool.iter().zip(&chosen).filter(|(_, &c)| c).map(|(v, _)| v.clone()).collect()
+    }
+}
+
+/// Order-preserving subsequence of `pool` with size drawn from `size`.
+pub fn subsequence<T: Clone + fmt::Debug, R: SizeRange + fmt::Debug>(
+    pool: Vec<T>,
+    size: R,
+) -> Subsequence<T, R> {
+    Subsequence { pool, size }
+}

@@ -1,0 +1,23 @@
+//! The [`Strategy`] trait: a deterministic value generator.
+
+use crate::test_runner::TestRng;
+use std::fmt;
+
+/// A source of random test inputs.
+///
+/// Unlike upstream proptest there is no value tree and no shrinking: a
+/// strategy simply samples a value from the given RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: fmt::Debug;
+
+    /// Sample one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}

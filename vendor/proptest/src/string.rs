@@ -1,0 +1,153 @@
+//! Regex-pattern string strategies.
+//!
+//! `&'static str` implements [`Strategy`] by interpreting the string as a
+//! tiny regex dialect: literal characters, character classes (`[a-z0-9,.-]`
+//! with ranges), the `\PC` escape (any printable ASCII character), and
+//! `{m,n}` / `{n}` repetition on the preceding token. This covers every
+//! pattern the workspace tests use; anything else panics loudly.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Tok {
+    /// One of a fixed set of characters.
+    Class(Vec<char>),
+    /// Any printable ASCII character (stand-in for `\PC`).
+    Printable,
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    tok: Tok,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pat: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let tok = match chars[i] {
+            '[' => {
+                i += 1;
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    if chars[i] == '\\' {
+                        i += 1;
+                        set.push(chars[i]);
+                        i += 1;
+                    } else if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        assert!(lo <= hi, "bad range in class: {pat}");
+                        set.extend((lo..=hi).filter(|c| c.is_ascii()));
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in pattern: {pat}");
+                i += 1; // consume ']'
+                Tok::Class(set)
+            }
+            '\\' => {
+                i += 1;
+                match chars.get(i) {
+                    Some('P') => {
+                        // `\PC`: not-a-control-character. Approximate with
+                        // printable ASCII.
+                        assert_eq!(chars.get(i + 1), Some(&'C'), "unsupported escape in {pat}");
+                        i += 2;
+                        Tok::Printable
+                    }
+                    Some(&c) => {
+                        i += 1;
+                        Tok::Class(vec![c])
+                    }
+                    None => panic!("dangling backslash in pattern: {pat}"),
+                }
+            }
+            c => {
+                assert!(
+                    !matches!(c, '(' | ')' | '|' | '*' | '+' | '?' | '.'),
+                    "unsupported regex feature {c:?} in pattern: {pat}"
+                );
+                i += 1;
+                Tok::Class(vec![c])
+            }
+        };
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            i += 1;
+            let mut num = String::new();
+            while chars[i].is_ascii_digit() {
+                num.push(chars[i]);
+                i += 1;
+            }
+            let min: usize = num.parse().expect("bad repetition count");
+            let max = if chars[i] == ',' {
+                i += 1;
+                let mut num2 = String::new();
+                while chars[i].is_ascii_digit() {
+                    num2.push(chars[i]);
+                    i += 1;
+                }
+                num2.parse().expect("bad repetition bound")
+            } else {
+                min
+            };
+            assert_eq!(chars[i], '}', "unterminated repetition in {pat}");
+            i += 1;
+            (min, max)
+        } else {
+            (1, 1)
+        };
+        pieces.push(Piece { tok, min, max });
+    }
+    pieces
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pieces = parse_pattern(self);
+        let mut out = String::new();
+        for p in &pieces {
+            let n = p.min + rng.below(p.max - p.min + 1);
+            for _ in 0..n {
+                match &p.tok {
+                    Tok::Class(set) => out.push(set[rng.below(set.len())]),
+                    Tok::Printable => out.push((0x20u8 + rng.below(0x5f) as u8) as char),
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_pattern_stays_in_alphabet() {
+        let mut rng = TestRng::for_test("word");
+        for _ in 0..200 {
+            let s = "[a-zA-Z0-9 ,.'-]{0,24}".generate(&mut rng);
+            assert!(s.chars().count() <= 24);
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || " ,.'-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn printable_pattern_is_printable() {
+        let mut rng = TestRng::for_test("pc");
+        for _ in 0..50 {
+            let s = "\\PC{0,200}".generate(&mut rng);
+            assert!(s.len() <= 200);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Offline stand-in for the `rand` crate (0.9 API subset).
+//!
+//! The build container has no network access to crates.io, so the workspace
+//! vendors the exact API surface it consumes: [`RngCore`], [`Rng`] with
+//! `random_range`/`random_bool`, [`SeedableRng`], and
+//! [`seq::SliceRandom::shuffle`]. Distributions, thread-local RNGs and the
+//! wider strategy zoo are intentionally absent.
+
+pub mod seq;
+
+/// Core source of randomness: a 64-bit generator.
+pub trait RngCore {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill a byte slice with random data.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Element types [`Rng::random_range`] can draw uniformly.
+///
+/// Mirrors upstream's structure: `SampleRange` has a single blanket impl
+/// per range shape so type inference can pin the element type from the
+/// range expression (per-type range impls would leave integer literals
+/// ambiguous and default them to `i32`).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draw from `[start, end)` (`inclusive = false`) or `[start, end]`.
+    fn sample_in(start: Self, end: Self, inclusive: bool, rng: &mut dyn RngCore) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in(start: $t, end: $t, inclusive: bool, rng: &mut dyn RngCore) -> $t {
+                let span = (end as i128 - start as i128) as u128 + inclusive as u128;
+                let v = ((rng.next_u64() as u128) % span) as i128 + start as i128;
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_in(start: f64, end: f64, _inclusive: bool, rng: &mut dyn RngCore) -> f64 {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        start + unit * (end - start)
+    }
+}
+
+/// Ranges that can be sampled from by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draw one value.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        assert!(self.start < self.end, "empty range in random_range");
+        T::sample_in(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty inclusive range in random_range");
+        T::sample_in(start, end, true, rng)
+    }
+}
+
+/// User-facing random-value methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform draw from a range.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Uniform draw over a type's standard distribution (`f64` in `[0, 1)`;
+    /// integers over their full range).
+    fn random<T: Random>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::random(self)
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types [`Rng::random`] can draw from their standard distribution.
+pub trait Random {
+    /// Draw one value.
+    fn random(rng: &mut dyn RngCore) -> Self;
+}
+
+impl Random for f64 {
+    fn random(rng: &mut dyn RngCore) -> f64 {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Random for u64 {
+    fn random(rng: &mut dyn RngCore) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Random for u32 {
+    fn random(rng: &mut dyn RngCore) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Random for bool {
+    fn random(rng: &mut dyn RngCore) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Deterministically constructible generators.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Construct from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64` via SplitMix64 expansion (matches the spirit,
+    /// not the bit-exact output, of upstream `rand`).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Lcg(7);
+        for _ in 0..1000 {
+            let v: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: i64 = rng.random_range(-100..10000);
+            assert!((-100..10000).contains(&w));
+            let x: u8 = rng.random_range(0..=4);
+            assert!(x <= 4);
+            let f: f64 = rng.random_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut rng = Lcg(3);
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+}

@@ -1,0 +1,72 @@
+//! Slice sampling helpers (`rand::seq` subset).
+
+use crate::Rng;
+
+/// Random slice operations.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<R: Rng>(&mut self, rng: &mut R);
+
+    /// Uniformly pick one element.
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            let i = (rng.next_u64() % self.len() as u64) as usize;
+            Some(&self[i])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RngCore, SeedableRng};
+
+    struct Sm(u64);
+    impl RngCore for Sm {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+    impl SeedableRng for Sm {
+        type Seed = [u8; 8];
+        fn from_seed(seed: [u8; 8]) -> Sm {
+            Sm(u64::from_le_bytes(seed))
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut Sm::seed_from_u64(1));
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn choose_handles_empty() {
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut Sm::seed_from_u64(2)).is_none());
+        assert!([7u8].choose(&mut Sm::seed_from_u64(2)).is_some());
+    }
+}

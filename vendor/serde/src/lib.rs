@@ -1,0 +1,161 @@
+//! Offline stand-in for `serde`.
+//!
+//! The container cannot reach crates.io, so this crate replaces serde's
+//! generic data model with the one concrete model this workspace needs:
+//! serialization into an in-memory JSON [`json::Value`] tree (re-exported by
+//! the vendored `serde_json`). [`Serialize`] therefore has a single required
+//! method producing a `Value`; [`Deserialize`] is a marker trait because no
+//! code in the workspace currently deserializes. The `#[derive(Serialize,
+//! Deserialize)]` macros come from the vendored `serde_derive` and honor
+//! `#[serde(skip)]`.
+
+pub mod json;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Serialize into an in-memory JSON value.
+pub trait Serialize {
+    /// The JSON representation of `self`.
+    fn to_json_value(&self) -> json::Value;
+}
+
+/// Marker for deserializable types. No workspace code deserializes yet; the
+/// derive emits an empty impl so signatures stay source-compatible with
+/// upstream serde.
+pub trait Deserialize: Sized {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> json::Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> json::Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_json_value(&self) -> json::Value {
+        (**self).to_json_value()
+    }
+}
+
+impl Serialize for json::Value {
+    fn to_json_value(&self) -> json::Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Bool(*self)
+    }
+}
+
+macro_rules! serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> json::Value {
+                json::Value::Number(json::Number::from(*self as i64))
+            }
+        }
+    )*};
+}
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> json::Value {
+                json::Value::Number(json::Number::from_u64(*self as u64))
+            }
+        }
+    )*};
+}
+
+serialize_signed!(i8, i16, i32, i64, isize);
+serialize_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> json::Value {
+        json::Number::from_f64(*self as f64).map(json::Value::Number).unwrap_or(json::Value::Null)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> json::Value {
+        json::Number::from_f64(*self).map(json::Value::Number).unwrap_or(json::Value::Null)
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::String(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> json::Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => json::Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<V: Serialize, S> Serialize for HashMap<String, V, S> {
+    fn to_json_value(&self) -> json::Value {
+        // Sort for deterministic output: HashMap iteration order is random.
+        let mut entries: Vec<(&String, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        json::Value::Object(
+            entries.into_iter().map(|(k, v)| (k.clone(), v.to_json_value())).collect(),
+        )
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_json_value(&self) -> json::Value {
+        json::Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_json_value())).collect())
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($n:tt $t:ident),+)),*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json_value(&self) -> json::Value {
+                json::Value::Array(vec![$(self.$n.to_json_value()),+])
+            }
+        }
+    )*};
+}
+
+serialize_tuple!((0 A, 1 B), (0 A, 1 B, 2 C), (0 A, 1 B, 2 C, 3 D));

@@ -1,0 +1,313 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! vendored serde's JSON-value data model by walking the raw
+//! `proc_macro::TokenStream` — the container has no `syn`/`quote`, so the
+//! item grammar is parsed by hand. Supported shapes (everything this
+//! workspace derives on): non-generic named structs (with `#[serde(skip)]`
+//! fields), tuple/unit structs, and enums with unit, tuple, or named-field
+//! variants. Anything fancier panics at compile time with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct NamedField {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<NamedField>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<NamedField>),
+    TupleStruct(Vec<bool>),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn is_punct(t: &TokenTree, ch: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn ident_of(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(i) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+/// Skip a leading run of attributes starting at `i`; returns the index after
+/// them and whether any was `#[serde(skip)]`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut skip = false;
+    while i + 1 < tokens.len() && is_punct(&tokens[i], '#') {
+        if let TokenTree::Group(g) = &tokens[i + 1] {
+            if g.delimiter() == Delimiter::Bracket {
+                skip |= attr_is_serde_skip(g.stream());
+                i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    (i, skip)
+}
+
+fn attr_is_serde_skip(attr: TokenStream) -> bool {
+    let toks: Vec<TokenTree> = attr.into_iter().collect();
+    if toks.len() == 2 && ident_of(&toks[0]).as_deref() == Some("serde") {
+        if let TokenTree::Group(args) = &toks[1] {
+            return args.stream().into_iter().any(|t| ident_of(&t).as_deref() == Some("skip"));
+        }
+    }
+    false
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...) at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if i < tokens.len() && ident_of(&tokens[i]).as_deref() == Some("pub") {
+        i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Skip tokens until a top-level comma (tracking `<...>` nesting) and return
+/// the index just past it (or the end).
+fn skip_past_comma(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle = 0i32;
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return i + 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<NamedField> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, skip) = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, next);
+        let name = ident_of(&tokens[i]).expect("expected field name");
+        i += 1;
+        assert!(is_punct(&tokens[i], ':'), "expected `:` after field `{name}`");
+        i = skip_past_comma(&tokens, i + 1);
+        fields.push(NamedField { name, skip });
+    }
+    fields
+}
+
+fn parse_tuple_fields(body: TokenStream) -> Vec<bool> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut skips = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, skip) = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, next);
+        i = skip_past_comma(&tokens, i);
+        skips.push(skip);
+    }
+    skips
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, _) = skip_attrs(&tokens, i);
+        i = next;
+        let name = ident_of(&tokens[i]).expect("expected variant name");
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(parse_tuple_fields(g.stream()).len())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        i = skip_past_comma(&tokens, i);
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    loop {
+        let (next, _) = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, next);
+        match ident_of(&tokens[i]).as_deref() {
+            Some("struct") | Some("enum") => break,
+            _ => i += 1,
+        }
+    }
+    let is_struct = ident_of(&tokens[i]).as_deref() == Some("struct");
+    i += 1;
+    let name = ident_of(&tokens[i]).expect("expected type name");
+    i += 1;
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        panic!("vendored serde_derive does not support generic type `{name}`");
+    }
+    let shape = if is_struct {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(parse_tuple_fields(g.stream()))
+            }
+            Some(t) if is_punct(t, ';') => Shape::UnitStruct,
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        }
+    };
+    Item { name, shape }
+}
+
+fn serialize_body(item: &Item) -> String {
+    let name = &item.name;
+    match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut b = String::from("let mut m = serde::json::Map::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                b.push_str(&format!(
+                    "m.insert(\"{0}\", serde::Serialize::to_json_value(&self.{0}));\n",
+                    f.name
+                ));
+            }
+            b.push_str("serde::json::Value::Object(m)");
+            b
+        }
+        Shape::TupleStruct(skips) => {
+            let live: Vec<usize> = (0..skips.len()).filter(|&i| !skips[i]).collect();
+            match live.as_slice() {
+                [] => "serde::json::Value::Null".to_string(),
+                [only] => format!("serde::Serialize::to_json_value(&self.{only})"),
+                many => {
+                    let items: Vec<String> = many
+                        .iter()
+                        .map(|i| format!("serde::Serialize::to_json_value(&self.{i})"))
+                        .collect();
+                    format!("serde::json::Value::Array(vec![{}])", items.join(", "))
+                }
+            }
+        }
+        Shape::UnitStruct => "serde::json::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => serde::json::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let payload = if *arity == 1 {
+                            "serde::Serialize::to_json_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_json_value({b})"))
+                                .collect();
+                            format!("serde::json::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {{\n\
+                             let mut m = serde::json::Map::new();\n\
+                             m.insert(\"{vn}\", {payload});\n\
+                             serde::json::Value::Object(m)\n}}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = String::from("let mut inner = serde::json::Map::new();\n");
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            inner.push_str(&format!(
+                                "inner.insert(\"{0}\", serde::Serialize::to_json_value({0}));\n",
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{\n{inner}\
+                             let mut m = serde::json::Map::new();\n\
+                             m.insert(\"{vn}\", serde::json::Value::Object(inner));\n\
+                             serde::json::Value::Object(m)\n}}\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    }
+}
+
+/// Derive `serde::Serialize` (serialization into the vendored JSON tree).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = serialize_body(&item);
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {} {{\n\
+         fn to_json_value(&self) -> serde::json::Value {{\n{}\n}}\n}}",
+        item.name, body
+    )
+    .parse()
+    .expect("generated Serialize impl must parse")
+}
+
+/// Derive the marker `serde::Deserialize` (no workspace code deserializes).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("#[automatically_derived]\nimpl serde::Deserialize for {} {{}}", item.name)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}

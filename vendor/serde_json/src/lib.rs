@@ -1,0 +1,86 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! [`Value`], [`Number`] and [`Map`] live in the vendored `serde` (they are
+//! its serialization data model) and are re-exported here under the upstream
+//! names, together with [`to_value`] / [`to_string`] / [`to_string_pretty`].
+//! There is no parser: no workspace code deserializes JSON.
+
+pub use serde::json::{Map, Number, Value};
+
+/// Serialize any [`serde::Serialize`] into a [`Value`].
+pub fn to_value<T: serde::Serialize>(value: &T) -> Value {
+    value.to_json_value()
+}
+
+/// Serialize into compact JSON text. Infallible (upstream returns `Result`;
+/// every error path there involves non-string keys or I/O, neither of which
+/// exists in this model), but keeps the `Result` shape for source
+/// compatibility.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, std::fmt::Error> {
+    Ok(value.to_json_value().to_string())
+}
+
+/// Serialize into indented JSON text.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, std::fmt::Error> {
+    let mut out = String::new();
+    pretty(&value.to_json_value(), 0, &mut out);
+    Ok(out)
+}
+
+fn pretty(v: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad_in);
+                pretty(item, indent + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(m) if !m.is_empty() => {
+            out.push_str("{\n");
+            let n = m.len();
+            for (i, (k, val)) in m.iter().enumerate() {
+                out.push_str(&pad_in);
+                out.push_str(&Value::String(k.clone()).to_string());
+                out.push_str(": ");
+                pretty(val, indent + 1, out);
+                if i + 1 < n {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+        other => out.push_str(&other.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_string_of_primitives() {
+        assert_eq!(to_string(&3i64).unwrap(), "3");
+        assert_eq!(to_string(&"hi").unwrap(), "\"hi\"");
+        assert_eq!(to_string(&vec![1u32, 2]).unwrap(), "[1,2]");
+    }
+
+    #[test]
+    fn pretty_nests() {
+        let v = Value::Object(
+            [("a".to_string(), Value::Array(vec![Value::from(1i64)]))].into_iter().collect(),
+        );
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"a\": [\n"));
+    }
+}
