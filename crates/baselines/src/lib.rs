@@ -7,14 +7,14 @@
 //!
 //! | paper baseline | here | core algorithm |
 //! |---|---|---|
-//! | Dedoop [45] | [`DedoopLike`] | blocking keys + weighted-average similarity |
-//! | DisDedup [22] | [`DisDedupLike`] | same comparisons, triangle-distributed over `w` workers |
-//! | SparkER [35] | [`SparkErLike`] | schema-agnostic token blocking + BLAST-style meta-blocking |
-//! | JedAI [53] | [`JedAiLike`] | token blocking + non-learning profile similarity |
-//! | DeepER [25] | [`DeepErLike`] | MinHash-LSH blocking + trained pair classifier |
-//! | Ditto [48] / DeepMatcher [43] | [`PairwiseMlLike`] | trained classifier over candidate pairs |
-//! | ERBlox [12] | [`ErBloxLike`] | MD-style blocking keys + ML classification inside blocks |
-//! | windowing [39] | [`SortedNeighborhood`] | sort + sliding window |
+//! | Dedoop \[45\] | [`DedoopLike`] | blocking keys + weighted-average similarity |
+//! | DisDedup \[22\] | [`DisDedupLike`] | same comparisons, triangle-distributed over `w` workers |
+//! | SparkER \[35\] | [`SparkErLike`] | schema-agnostic token blocking + BLAST-style meta-blocking |
+//! | JedAI \[53\] | [`JedAiLike`] | token blocking + non-learning profile similarity |
+//! | DeepER \[25\] | [`DeepErLike`] | MinHash-LSH blocking + trained pair classifier |
+//! | Ditto \[48\] / DeepMatcher \[43\] | [`PairwiseMlLike`] | trained classifier over candidate pairs |
+//! | ERBlox \[12\] | [`ErBloxLike`] | MD-style blocking keys + ML classification inside blocks |
+//! | windowing \[39\] | [`SortedNeighborhood`] | sort + sliding window |
 //!
 //! All baselines are **single-table** methods — exactly the limitation the
 //! paper exploits: none of them can use cross-table evidence or recursion,

@@ -50,7 +50,7 @@ fn score_pairs(
     m
 }
 
-/// Dedoop analogue [45]: standard blocking on a key attribute, then
+/// Dedoop analogue \[45\]: standard blocking on a key attribute, then
 /// weighted-average similarity matching within blocks.
 pub struct DedoopLike {
     /// Target relation.
@@ -76,7 +76,7 @@ impl Matcher for DedoopLike {
     }
 }
 
-/// DisDedup analogue [22]: the *same* comparisons as Dedoop but distributed
+/// DisDedup analogue \[22\]: the *same* comparisons as Dedoop but distributed
 /// over `w` virtual workers with the triangle distribution of Chu et al.,
 /// reporting the resulting balance. Accuracy equals Dedoop's; the point of
 /// the analogue is its distribution behaviour.
@@ -128,7 +128,7 @@ impl Matcher for DisDedupLike {
     }
 }
 
-/// SparkER analogue [35]: schema-agnostic token blocking + BLAST-style
+/// SparkER analogue \[35\]: schema-agnostic token blocking + BLAST-style
 /// meta-blocking, then similarity matching on the surviving pairs.
 pub struct SparkErLike {
     /// Target relation.
@@ -157,7 +157,7 @@ impl Matcher for SparkErLike {
     }
 }
 
-/// JedAI analogue [53]: token blocking + non-learning, structure-agnostic
+/// JedAI analogue \[53\]: token blocking + non-learning, structure-agnostic
 /// profile similarity (no meta-blocking pruning beyond purging).
 pub struct JedAiLike {
     /// Target relation.
@@ -184,7 +184,7 @@ impl Matcher for JedAiLike {
     }
 }
 
-/// DeepER analogue [25]: MinHash-LSH blocking, then a *trained* pair
+/// DeepER analogue \[25\]: MinHash-LSH blocking, then a *trained* pair
 /// classifier on the candidates.
 pub struct DeepErLike {
     /// Target relation.
@@ -222,7 +222,7 @@ impl Matcher for DeepErLike {
     }
 }
 
-/// Ditto / DeepMatcher analogue [48], [43]: a trained pairwise classifier
+/// Ditto / DeepMatcher analogue \[48\], \[43\]: a trained pairwise classifier
 /// over candidates from a generous union of windowing and token blocking
 /// (pure quadratic comparison is intractable even for the originals; both
 /// systems are run behind candidate generation in practice).
@@ -265,7 +265,7 @@ impl Matcher for PairwiseMlLike {
     }
 }
 
-/// ERBlox analogue [12]: matching-dependency-style blocking keys (exact
+/// ERBlox analogue \[12\]: matching-dependency-style blocking keys (exact
 /// equality on the key attributes) with ML classification inside blocks.
 pub struct ErBloxLike {
     /// Target relation.

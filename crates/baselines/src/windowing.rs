@@ -1,4 +1,4 @@
-//! Sorted-neighborhood windowing (Hernández & Stolfo's merge/purge [39]):
+//! Sorted-neighborhood windowing (Hernández & Stolfo's merge/purge \[39\]):
 //! sort tuples by a concatenated key, slide a window of size `w`, compare
 //! only tuples within the same window.
 

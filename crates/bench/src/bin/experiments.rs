@@ -448,9 +448,14 @@ fn case_study(scale: f64, workers: usize) {
 /// `Serialize` impls on the stats structs.
 fn stats_dump(scale: f64, workers: usize) {
     use serde_json::{to_value, Map, Value};
+    use std::sync::Arc;
 
+    let collector = Arc::new(dcer_obs::InMemoryCollector::new());
+    dcer_obs::install(collector.clone());
     let w = tpch_workload(scale, 0.4);
     let (res, report) = run_dmatch(&w, workers, true);
+    dcer_obs::uninstall();
+
     let mut m = Map::new();
     m.insert("experiment", Value::from("stats"));
     m.insert("dataset", Value::from("tpch"));
@@ -461,10 +466,108 @@ fn stats_dump(scale: f64, workers: usize) {
     m.insert("batch", to_value(&report.batch));
     m.insert("partition", to_value(&report.partition));
     m.insert("worker_chase", to_value(&report.worker_stats));
+    m.insert("metrics", metrics_value(&collector.metrics()));
     let record = Value::Object(m);
     println!("== Execution statistics (one DMatch run on TPCH) ==");
     println!("{}", serde_json::to_string_pretty(&record).unwrap());
     archive(record);
+}
+
+/// Render a metrics snapshot as a flat JSON object: `"name"` or
+/// `"name[label]"` keys, counters/gauges as numbers, histograms as summary
+/// objects with their non-empty `[lo, hi, count)` buckets.
+fn metrics_value(snapshot: &[(String, Option<u32>, dcer_obs::Metric)]) -> serde_json::Value {
+    use serde_json::{Map, Value};
+
+    let mut out = Map::new();
+    for (name, label, metric) in snapshot {
+        let key = match label {
+            Some(l) => format!("{name}[{l}]"),
+            None => name.clone(),
+        };
+        let value = match metric {
+            dcer_obs::Metric::Counter(v) => Value::from(*v),
+            dcer_obs::Metric::Gauge(v) => Value::from(*v),
+            dcer_obs::Metric::Histogram(h) => {
+                let mut obj = Map::new();
+                obj.insert("count", Value::from(h.count()));
+                obj.insert("sum", Value::from(h.sum()));
+                obj.insert("min", h.min().map_or(Value::Null, Value::from));
+                obj.insert("max", h.max().map_or(Value::Null, Value::from));
+                obj.insert("mean", h.mean().map_or(Value::Null, Value::from));
+                let buckets: Vec<Value> = h
+                    .nonzero_buckets()
+                    .into_iter()
+                    .map(|(lo, hi, c)| {
+                        Value::from(vec![Value::from(lo), Value::from(hi), Value::from(c)])
+                    })
+                    .collect();
+                obj.insert("buckets", Value::from(buckets));
+                Value::Object(obj)
+            }
+        };
+        out.insert(key, value);
+    }
+    Value::Object(out)
+}
+
+/// Run DMatch on the bibliographic workload under a live trace collector
+/// and export the observability artifacts: `results/trace.json` (Chrome
+/// trace-event JSON — load in Perfetto or `about:tracing`) and
+/// `results/metrics.json` (the stats record of [`stats_dump`] merged with
+/// the flat metrics registry). Self-checks that the trace covers the four
+/// pipeline phases so CI can run this as a smoke test.
+fn trace_run(scale: f64, workers: usize) {
+    use serde_json::{to_value, Map, Value};
+    use std::sync::Arc;
+
+    let collector = Arc::new(dcer_obs::InMemoryCollector::new());
+    dcer_obs::install(collector.clone());
+    let w = dblp_workload(scale, 0.3);
+    let (res, report) = run_dmatch(&w, workers, true);
+    dcer_obs::uninstall();
+
+    let trace = collector.chrome_trace();
+    std::fs::write("results/trace.json", &trace).expect("write results/trace.json");
+
+    let mut m = Map::new();
+    m.insert("experiment", Value::from("trace"));
+    m.insert("dataset", Value::from("dblp"));
+    m.insert("scale", Value::from(scale));
+    m.insert("workers", Value::from(workers));
+    m.insert("f_measure", Value::from(res.metrics.f_measure));
+    m.insert("bsp", to_value(&report.bsp));
+    m.insert("batch", to_value(&report.batch));
+    m.insert("partition", to_value(&report.partition));
+    m.insert("worker_chase", to_value(&report.worker_stats));
+    m.insert("metrics", metrics_value(&collector.metrics()));
+    let record = Value::Object(m);
+    let pretty = serde_json::to_string_pretty(&record).unwrap();
+    std::fs::write("results/metrics.json", &pretty).expect("write results/metrics.json");
+
+    let names = collector.span_names();
+    for phase in ["partition", "deduce", "exchange", "incdeduce"] {
+        assert!(names.contains(&phase), "trace is missing the `{phase}` phase span; got {names:?}");
+    }
+    let tracks = collector.track_names();
+    let worker_tracks = tracks.values().filter(|n| n.starts_with("worker-")).count();
+    assert!(worker_tracks > 0, "trace has no per-worker tracks; got {tracks:?}");
+
+    println!("== Trace (one DMatch run on ACM-DBLP) ==");
+    println!(
+        "spans: {}  instants: {}  tracks: {} ({} worker)  metric series: {}",
+        collector.spans().len(),
+        collector.instants().len(),
+        tracks.len(),
+        worker_tracks,
+        collector.metrics().len()
+    );
+    println!("phases: {}", names.join(" "));
+    println!(
+        "wrote results/trace.json ({} bytes) — open in Perfetto or about:tracing",
+        trace.len()
+    );
+    println!("wrote results/metrics.json ({} bytes)", pretty.len());
 }
 
 fn main() {
@@ -542,9 +645,13 @@ fn main() {
         stats_dump(args.scale, args.workers);
         let _ = write!(ran, "stats ");
     }
+    if run("trace") {
+        trace_run(args.scale, args.workers);
+        let _ = write!(ran, "trace ");
+    }
     if ran.is_empty() {
         eprintln!(
-            "unknown experiment `{}`; available: table5 table6 fig6a..fig6l partitioning case_study stats all",
+            "unknown experiment `{}`; available: table5 table6 fig6a..fig6l partitioning case_study stats trace all",
             args.command
         );
         std::process::exit(2);

@@ -1,4 +1,4 @@
-//! A Bulk Synchronous Parallel (BSP [63]) runtime for the fixpoint model of
+//! A Bulk Synchronous Parallel (BSP \[63\]) runtime for the fixpoint model of
 //! Section III-B: `n` workers proceeding in supersteps until global
 //! quiescence (`ΔΓᵢ = ∅` for all `i`).
 //!
@@ -97,10 +97,19 @@ pub enum ExecutionMode {
 }
 
 /// Cost model for the simulated cluster.
+///
+/// ```
+/// let cost = dcer_bsp::CostModel::default();
+/// // 8e-8 s/B = 12.5 MB/s = 1e8 bit/s = 100 Mbit/s.
+/// assert!((cost.secs_per_byte - 8e-8).abs() < 1e-20);
+/// assert!((1.0 / cost.secs_per_byte * 8.0 - 100e6).abs() < 1e-3);
+/// assert!((cost.barrier_secs - 1e-4).abs() < 1e-12);
+/// ```
 #[derive(Debug, Clone, Copy, Serialize)]
 pub struct CostModel {
-    /// Seconds per byte routed between workers (e.g. `8e-8` ≈ 100 Mbps as
-    /// in the paper's cluster). Zero ignores communication.
+    /// Seconds per byte routed between workers. The default `8e-8` s/B is
+    /// 12.5 MB/s ≈ 100 Mbit/s — the network of the paper's evaluation
+    /// cluster. Zero ignores communication.
     pub secs_per_byte: f64,
     /// Fixed per-superstep synchronization barrier cost in seconds.
     pub barrier_secs: f64,
@@ -146,6 +155,32 @@ impl BspStats {
         BspStats { worker_busy_secs: vec![0.0; n], shard_bytes: vec![0; n], ..Default::default() }
     }
 
+    /// Publish this run's aggregates into the global [`dcer_obs`] registry
+    /// (no-op unless a recorder is installed). Scalars become `bsp.*`
+    /// counters/gauges; per-shard series carry the shard index as label.
+    pub fn publish(&self) {
+        if !dcer_obs::enabled() {
+            return;
+        }
+        dcer_obs::counter_add("bsp.supersteps", self.supersteps as u64);
+        dcer_obs::counter_add("bsp.batches", self.batches);
+        dcer_obs::counter_add("bsp.messages", self.messages);
+        dcer_obs::counter_add("bsp.bytes", self.bytes);
+        dcer_obs::counter_add("bsp.deduped_facts", self.deduped_facts);
+        dcer_obs::gauge_set("bsp.makespan_secs", self.makespan_secs);
+        dcer_obs::gauge_set("bsp.total_compute_secs", self.total_compute_secs);
+        dcer_obs::gauge_set("bsp.wall_secs", self.wall_secs);
+        for (i, &b) in self.shard_bytes.iter().enumerate() {
+            dcer_obs::counter_add_labeled("bsp.shard_bytes", i as u32, b);
+        }
+        for (i, &s) in self.worker_busy_secs.iter().enumerate() {
+            dcer_obs::gauge_set_labeled("bsp.worker_busy_secs", i as u32, s);
+        }
+        for &m in &self.step_max_secs {
+            dcer_obs::histogram_record("bsp.step_max_us", (m * 1e6) as u64);
+        }
+    }
+
     fn account_step(&mut self, cost: &CostModel, durations: &[f64], step_bytes: u64) {
         let max = durations.iter().copied().fold(0.0, f64::max);
         let total: f64 = durations.iter().sum();
@@ -167,9 +202,27 @@ pub fn run_bsp<W: Worker>(
     mode: ExecutionMode,
     cost: &CostModel,
 ) -> (Vec<W>, BspStats) {
-    match mode {
+    if workers.is_empty() {
+        // Without this, the simulated loop would still account one empty
+        // superstep while the threaded path spawns nothing — the one stats
+        // divergence between the executors.
+        return (workers, BspStats::new(0));
+    }
+    let (workers, stats) = match mode {
         ExecutionMode::Simulated => run_simulated(workers, cost),
         ExecutionMode::Threaded => run_threaded(workers, cost),
+    };
+    stats.publish();
+    (workers, stats)
+}
+
+/// The phase-span name for a superstep: superstep 0 runs the partial
+/// evaluation `A` ("deduce"), later supersteps run `A_Δ` ("incdeduce").
+fn step_span_name(first: bool) -> &'static str {
+    if first {
+        "deduce"
+    } else {
+        "incdeduce"
     }
 }
 
@@ -177,19 +230,30 @@ fn run_simulated<W: Worker>(mut workers: Vec<W>, cost: &CostModel) -> (Vec<W>, B
     let n = workers.len();
     let wall = Instant::now();
     let mut stats = BspStats::new(n);
+    // Virtual trace tracks: the simulated cluster runs on one OS thread,
+    // but each worker still gets its own timeline in the exported trace.
+    let tracks: Vec<dcer_obs::TrackId> = if dcer_obs::enabled() {
+        (0..n).map(|i| dcer_obs::alloc_track(&format!("worker-{i}"))).collect()
+    } else {
+        vec![dcer_obs::TrackId::UNTRACKED; n]
+    };
     let mut inboxes: Vec<Vec<W::Msg>> = (0..n).map(|_| Vec::new()).collect();
     let mut first = true;
+    let mut step = 0u64;
     loop {
         let mut durations = vec![0.0f64; n];
         let mut routed: Vec<(WorkerId, WorkerId, W::Msg)> = Vec::new();
         for (i, w) in workers.iter_mut().enumerate() {
             let inbox = std::mem::take(&mut inboxes[i]);
+            let span = dcer_obs::span_on(step_span_name(first), tracks[i]).with_arg("step", step);
             let t0 = Instant::now();
             let out = if first { w.initial() } else { w.superstep(inbox) };
             durations[i] = t0.elapsed().as_secs_f64();
+            drop(span);
             routed.extend(out.into_iter().map(|(to, m)| (i, to, m)));
         }
         first = false;
+        let exchange = dcer_obs::span("exchange").with_arg("step", step);
         let mut step_bytes = 0u64;
         let mut any = false;
         for (from, to, msg) in routed {
@@ -203,10 +267,14 @@ fn run_simulated<W: Worker>(mut workers: Vec<W>, cost: &CostModel) -> (Vec<W>, B
             stats.shard_bytes[to] += b;
             stats.batches += 1;
             stats.messages += msg.unit_count() as u64;
+            dcer_obs::histogram_record("bsp.batch_bytes", b);
             inboxes[to].push(msg);
             any = true;
         }
+        dcer_obs::histogram_record("bsp.step_bytes", step_bytes);
+        drop(exchange);
         stats.account_step(cost, &durations, step_bytes);
+        step += 1;
         if !any {
             break;
         }
@@ -247,15 +315,24 @@ fn run_threaded<W: Worker>(workers: Vec<W>, cost: &CostModel) -> (Vec<W>, BspSta
             let delivered = &delivered;
             let halt = &halt;
             handles.push(scope.spawn(move || {
+                if dcer_obs::enabled() {
+                    dcer_obs::name_current_track(&format!("worker-{me}"));
+                }
                 let mut log = ShardLog::default();
                 let mut inbox: Vec<W::Msg> = Vec::new();
                 let mut first = true;
+                let mut step = 0u64;
                 loop {
+                    let span = dcer_obs::span(step_span_name(first)).with_arg("step", step);
                     let t0 = Instant::now();
                     let out =
                         if first { w.initial() } else { w.superstep(std::mem::take(&mut inbox)) };
                     first = false;
                     log.compute_secs.push(t0.elapsed().as_secs_f64());
+                    drop(span);
+                    // The exchange span covers deposit, barrier wait (time
+                    // spent blocked on stragglers), and inbox drain.
+                    let exchange = dcer_obs::span("exchange").with_arg("step", step);
                     for (to, msg) in out {
                         if to == me {
                             continue; // self-routes are free and filtered
@@ -263,6 +340,7 @@ fn run_threaded<W: Worker>(workers: Vec<W>, cost: &CostModel) -> (Vec<W>, BspSta
                         assert!(to < n, "routed to nonexistent shard {to}");
                         log.sent_batches += 1;
                         log.sent_units += msg.unit_count() as u64;
+                        dcer_obs::histogram_record("bsp.batch_bytes", msg.size_bytes() as u64);
                         delivered.fetch_add(1, Ordering::Relaxed);
                         mailboxes[to].lock().expect("mailbox poisoned").push(msg);
                     }
@@ -272,11 +350,14 @@ fn run_threaded<W: Worker>(workers: Vec<W>, cost: &CostModel) -> (Vec<W>, BspSta
                     let step_recv: u64 = inbox.iter().map(|m| m.size_bytes() as u64).sum();
                     log.recv_bytes_per_step.push(step_recv);
                     log.recv_bytes += step_recv;
+                    dcer_obs::histogram_record("bsp.worker_recv_bytes", step_recv);
                     if barrier.wait().is_leader() {
                         // Coordinator duty: quiescence detection, nothing else.
                         halt.store(delivered.swap(0, Ordering::Relaxed) == 0, Ordering::Relaxed);
                     }
                     barrier.wait(); // halt decision visible
+                    drop(exchange);
+                    step += 1;
                     if halt.load(Ordering::Relaxed) {
                         break;
                     }

@@ -219,6 +219,20 @@ impl BatchStats {
         self.merges += other.merges;
         self.merge_dups += other.merge_dups;
     }
+
+    /// Publish these counters into the global [`dcer_obs`] registry under
+    /// `batch.*` (no-op unless a recorder is installed).
+    pub fn publish(&self) {
+        if !dcer_obs::enabled() {
+            return;
+        }
+        dcer_obs::counter_add("batch.built", self.built);
+        dcer_obs::counter_add("batch.facts_in", self.facts_in);
+        dcer_obs::counter_add("batch.facts_out", self.facts_out);
+        dcer_obs::counter_add("batch.merges", self.merges);
+        dcer_obs::counter_add("batch.merge_dups", self.merge_dups);
+        dcer_obs::counter_add("batch.dedup_removed", self.dedup_removed());
+    }
 }
 
 #[cfg(test)]

@@ -95,6 +95,30 @@ impl ChaseStats {
         self.facts_received += other.facts_received;
         self.facts_absorbed += other.facts_absorbed;
     }
+
+    /// Publish these counters into the global [`dcer_obs`] registry under
+    /// `chase.*`, labeled with the worker index when given (no-op unless a
+    /// recorder is installed).
+    pub fn publish(&self, worker: Option<u32>) {
+        if !dcer_obs::enabled() {
+            return;
+        }
+        let add = |name, value| match worker {
+            Some(w) => dcer_obs::counter_add_labeled(name, w, value),
+            None => dcer_obs::counter_add(name, value),
+        };
+        add("chase.valuations", self.valuations);
+        add("chase.facts_deduced", self.facts_deduced);
+        add("chase.deps_recorded", self.deps_recorded);
+        add("chase.deps_fired", self.deps_fired);
+        add("chase.deps_dropped", self.deps_dropped);
+        add("chase.seeded_joins", self.seeded_joins);
+        add("chase.ml_calls", self.ml_calls);
+        add("chase.ml_cache_hits", self.ml_cache_hits);
+        add("chase.rounds", self.rounds);
+        add("chase.facts_received", self.facts_received);
+        add("chase.facts_absorbed", self.facts_absorbed);
+    }
 }
 
 /// The result of a chase run: the paper's `Γ`.
@@ -242,8 +266,15 @@ impl ChaseEngine {
     /// in deduction order.
     pub fn run_local_fixpoint(&mut self) -> Vec<Fact> {
         let mut out = Vec::new();
-        self.deduce_round(&mut out);
-        self.incdeduce_loop(&mut out);
+        {
+            let _deduce = dcer_obs::span("chase.deduce");
+            self.deduce_round(&mut out);
+        }
+        {
+            let _inc = dcer_obs::span("chase.incdeduce");
+            self.incdeduce_loop(&mut out);
+        }
+        dcer_obs::histogram_record("chase.delta_facts", out.len() as u64);
         out
     }
 
@@ -252,6 +283,8 @@ impl ChaseEngine {
     /// Returns only *locally* deduced new facts (the received ones are
     /// already known to the sender).
     pub fn apply_delta(&mut self, received: &[Fact]) -> Vec<Fact> {
+        let _inc = dcer_obs::span("chase.incdeduce");
+        dcer_obs::histogram_record("chase.recv_facts", received.len() as u64);
         self.stats.facts_received += received.len() as u64;
         for &f in received {
             if let Some((side_a, side_b)) = self.state.apply(f) {
@@ -262,12 +295,15 @@ impl ChaseEngine {
         }
         let mut out = Vec::new();
         self.incdeduce_loop(&mut out);
+        dcer_obs::histogram_record("chase.delta_facts", out.len() as u64);
         out
     }
 
     /// One full enumeration round over all rules (procedure `Deduce`).
     fn deduce_round(&mut self, out: &mut Vec<Fact>) {
         for pi in 0..self.plans.len() {
+            let _rule =
+                dcer_obs::span("chase.rule").with_arg("rule", self.plans[pi].rule_idx as u64);
             self.run_plan(pi, &[], out);
         }
     }
@@ -276,6 +312,7 @@ impl ChaseEngine {
     /// needed) update-driven seeded joins until quiescent.
     fn incdeduce_loop(&mut self, out: &mut Vec<Fact>) {
         loop {
+            let _round = dcer_obs::span("chase.round").with_arg("round", self.stats.rounds);
             self.stats.rounds += 1;
             let mut progressed = false;
             // (1) Fire ready dependencies to exhaustion.

@@ -290,7 +290,10 @@ pub fn run_pipeline(
             if let Some(v) = config.virtual_factor {
                 hp.virtual_factor = v;
             }
-            let part = partition(dataset, rules, &hp);
+            let part = {
+                let _span = dcer_obs::span("partition").with_arg("workers", config.workers as u64);
+                partition(dataset, rules, &hp)
+            };
             let partition_secs = t0.elapsed().as_secs_f64();
 
             // MQO also shares ML classifier results across rules with the
@@ -325,18 +328,27 @@ fn drive<D: Deducer>(
         deducers.into_iter().enumerate().map(|(i, d)| ShardWorker::new(i, n, d)).collect();
 
     let t0 = Instant::now();
-    let (mut shards, bsp) = run_bsp(shards, config.execution, &config.cost);
+    let (mut shards, bsp) = {
+        let _span = dcer_obs::span("pipeline.er").with_arg("shards", n as u64);
+        run_bsp(shards, config.execution, &config.cost)
+    };
     let er_secs = t0.elapsed().as_secs_f64();
 
     let worker_stats: Vec<ChaseStats> = shards.iter().map(|s| s.deducer.stats()).collect();
     let mut stats = ChaseStats::default();
-    for ws in &worker_stats {
+    for (i, ws) in worker_stats.iter().enumerate() {
         stats.add(ws);
+        ws.publish(Some(i as u32));
     }
+    stats.publish(None);
     let mut batch = BatchStats::default();
     for s in &shards {
         batch.add(&s.batch_stats);
     }
+    batch.publish();
+    dcer_obs::gauge_set("pipeline.partition_secs", partition_secs);
+    dcer_obs::gauge_set("pipeline.er_secs", er_secs);
+    dcer_obs::gauge_set("pipeline.simulated_er_secs", bsp.makespan_secs);
 
     // Broadcast exchange: every deduced fact reached every shard, so each
     // replica holds the global Γ — read it off shard 0.

@@ -66,6 +66,7 @@ impl DcerSession {
     /// Sequential `Match`, fallible. Runs through the unified pipeline as
     /// its single-shard configuration.
     pub fn try_run_sequential(&self, dataset: &Dataset) -> Result<ChaseOutcome, String> {
+        let _span = dcer_obs::span("session.sequential");
         let mut cfg = PipelineConfig::sequential();
         cfg.chase = self.chase.clone();
         run_pipeline(dataset, &self.rules, &self.registry, &cfg).map(|r| r.outcome)
@@ -74,6 +75,7 @@ impl DcerSession {
     /// The naive reference chase (test/verification use; exponential),
     /// replayed through the same pipeline.
     pub fn run_naive(&self, dataset: &Dataset) -> Result<ChaseOutcome, String> {
+        let _span = dcer_obs::span("session.naive");
         run_pipeline(dataset, &self.rules, &self.registry, &PipelineConfig::naive())
             .map(|r| r.outcome)
     }
@@ -92,6 +94,7 @@ impl DcerSession {
         dataset: &Dataset,
         config: &DmatchConfig,
     ) -> Result<DmatchReport, String> {
+        let _span = dcer_obs::span("session.parallel");
         let mut cfg = config.clone();
         cfg.chase = self.chase.clone();
         run_dmatch(dataset, &self.rules, &self.registry, &cfg)

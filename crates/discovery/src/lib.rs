@@ -1,7 +1,7 @@
 //! MRL discovery (paper, Section VI "MRLs").
 //!
 //! The paper mines its rule sets by extending the denial-constraint
-//! discovery of Chu et al. [23]: build a predicate space, collect an
+//! discovery of Chu et al. \[23\]: build a predicate space, collect an
 //! *evidence set* (for every sampled tuple pair, the set of predicates it
 //! satisfies — with ML predicates treated uniformly with equalities), then
 //! emit rules whose preconditions are minimal predicate sets meeting

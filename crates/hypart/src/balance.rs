@@ -1,7 +1,7 @@
 //! Workload balancing: assign virtual blocks (cells) to physical workers
 //! with the Longest-Processing-Time (LPT) greedy for minimum makespan —
 //! the classic 4/3-approximation the paper cites for distributing virtual
-//! blocks evenly [7].
+//! blocks evenly \[7\].
 
 /// Assign `loads.len()` blocks to `workers` workers. Returns the worker
 /// index per block. Deterministic: blocks are processed heaviest-first

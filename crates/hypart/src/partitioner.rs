@@ -92,6 +92,30 @@ pub struct PartitionStats {
     pub refinements: u32,
     /// Hash functions in the pool (MQO-shared or per-rule).
     pub hash_functions: usize,
+    /// MQO sharing statistics from the hash assignment this run used.
+    pub sharing: dcer_mqo::SharingStats,
+}
+
+impl PartitionStats {
+    /// Publish these counters into the global [`dcer_obs`] registry under
+    /// `hypart.*` (no-op unless a recorder is installed). The nested
+    /// [`sharing`](Self::sharing) stats are not re-published here —
+    /// [`dcer_mqo::assign_hashes`] already publishes them as `mqo.*`.
+    pub fn publish(&self) {
+        if !dcer_obs::enabled() {
+            return;
+        }
+        dcer_obs::counter_add("hypart.cells", self.cells as u64);
+        dcer_obs::counter_add("hypart.generated_tuples", self.generated_tuples);
+        dcer_obs::counter_add("hypart.hash_computations", self.hash_computations);
+        dcer_obs::counter_add("hypart.hash_memo_hits", self.hash_memo_hits);
+        dcer_obs::counter_add("hypart.refinements", self.refinements as u64);
+        dcer_obs::counter_add("hypart.hash_functions", self.hash_functions as u64);
+        dcer_obs::gauge_set("hypart.replication_factor", self.replication_factor);
+        for (i, &size) in self.fragment_sizes.iter().enumerate() {
+            dcer_obs::gauge_set_labeled("hypart.fragment_tuples", i as u32, size as f64);
+        }
+    }
 }
 
 /// Per-rule distribution geometry derived from the MQO assignment.
@@ -185,6 +209,7 @@ pub fn partition(dataset: &Dataset, rules: &RuleSet, config: &HyPartConfig) -> P
     let mut generated = 0u64;
 
     let (cell_members, final_cells) = loop {
+        let _distribute = dcer_obs::span("hypart.distribute").with_arg("cells", cells as u64);
         let mut cell_members: Vec<HashMap<Tid, u128>> = vec![HashMap::new(); cells];
         generated = 0;
 
@@ -261,6 +286,7 @@ pub fn partition(dataset: &Dataset, rules: &RuleSet, config: &HyPartConfig) -> P
     };
     let cells = final_cells;
 
+    let _assign = dcer_obs::span("hypart.assign").with_arg("cells", cells as u64);
     // LPT-assign cells to workers.
     let loads: Vec<u64> = cell_members.iter().map(|c| c.len() as u64).collect();
     let assignment = lpt_assign(&loads, config.workers);
@@ -318,7 +344,9 @@ pub fn partition(dataset: &Dataset, rules: &RuleSet, config: &HyPartConfig) -> P
         fragment_sizes,
         refinements,
         hash_functions: plan.num_hash_fns,
+        sharing: plan.stats,
     };
+    stats.publish();
     Partition { fragments, hosts, rule_masks, stats }
 }
 

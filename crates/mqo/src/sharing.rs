@@ -40,7 +40,7 @@ impl RuleAssignment {
 }
 
 /// Sharing statistics — the measurable MQO effect.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize)]
 pub struct SharingStats {
     /// Total distinct variables across rules.
     pub total_dvars: usize,
@@ -49,6 +49,24 @@ pub struct SharingStats {
     /// Hash functions the no-sharing baseline would allocate
     /// (= `total_dvars`).
     pub hash_fns_without_sharing: usize,
+}
+
+impl SharingStats {
+    /// Hash functions saved by sharing versus the no-MQO baseline.
+    pub fn hash_fns_saved(&self) -> usize {
+        self.hash_fns_without_sharing.saturating_sub(self.hash_fns_used)
+    }
+
+    /// Publish these counters into the global [`dcer_obs`] registry under
+    /// `mqo.*` (no-op unless a recorder is installed).
+    pub fn publish(&self) {
+        if !dcer_obs::enabled() {
+            return;
+        }
+        dcer_obs::counter_add("mqo.dvars_total", self.total_dvars as u64);
+        dcer_obs::counter_add("mqo.hash_fns_used", self.hash_fns_used as u64);
+        dcer_obs::counter_add("mqo.hash_fns_saved", self.hash_fns_saved() as u64);
+    }
 }
 
 /// The complete MQO plan consumed by the HyPart partitioner.
@@ -148,16 +166,10 @@ pub fn assign_hashes(rules: &RuleSet, qp: &QueryPlan, use_mqo: bool) -> MqoPlan 
 
     let assignments: Vec<RuleAssignment> =
         assignments.into_iter().map(|a| a.expect("every rule assigned")).collect();
-    MqoPlan {
-        rule_order,
-        num_hash_fns: next_fn,
-        stats: SharingStats {
-            total_dvars,
-            hash_fns_used: next_fn,
-            hash_fns_without_sharing: total_dvars,
-        },
-        assignments,
-    }
+    let stats =
+        SharingStats { total_dvars, hash_fns_used: next_fn, hash_fns_without_sharing: total_dvars };
+    stats.publish();
+    MqoPlan { rule_order, num_hash_fns: next_fn, stats, assignments }
 }
 
 /// Order a rule's distinct variables so those touched by widely-shared

@@ -1,0 +1,176 @@
+//! The in-memory [`Recorder`]: buffers span events, aggregates metrics
+//! into a [`MetricsRegistry`], and exports both after the run.
+
+use crate::export;
+use crate::metrics::{Metric, MetricsRegistry};
+use crate::recorder::{Label, Recorder};
+use crate::span::TrackId;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// A closed span as captured by [`InMemoryCollector`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span name (`"partition"`, `"chase.rule"`, …).
+    pub name: &'static str,
+    /// The track (thread or virtual worker timeline) it ran on.
+    pub track: TrackId,
+    /// Start, in monotonic nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Nesting depth on the emitting thread's span stack (0 = top level).
+    pub depth: u32,
+    /// Optional numeric argument (superstep, rule index, …).
+    pub arg: Option<(&'static str, u64)>,
+}
+
+/// An instantaneous event as captured by [`InMemoryCollector`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstantEvent {
+    /// Event name.
+    pub name: &'static str,
+    /// The track it was marked on.
+    pub track: TrackId,
+    /// Timestamp in monotonic nanoseconds since the process trace epoch.
+    pub ts_ns: u64,
+}
+
+/// A [`Recorder`] that keeps everything in memory for post-run export.
+///
+/// Spans and instants are appended to locked vectors (completion order);
+/// metrics aggregate into an embedded [`MetricsRegistry`]. Export with
+/// [`chrome_trace`](Self::chrome_trace) (Perfetto / `about:tracing`) and
+/// [`metrics_json`](Self::metrics_json).
+#[derive(Debug, Default)]
+pub struct InMemoryCollector {
+    spans: Mutex<Vec<SpanEvent>>,
+    instants: Mutex<Vec<InstantEvent>>,
+    track_names: Mutex<BTreeMap<TrackId, String>>,
+    registry: MetricsRegistry,
+}
+
+impl InMemoryCollector {
+    /// An empty collector.
+    pub fn new() -> InMemoryCollector {
+        InMemoryCollector::default()
+    }
+
+    /// All captured spans, in completion order.
+    pub fn spans(&self) -> Vec<SpanEvent> {
+        self.spans.lock().expect("collector lock poisoned").clone()
+    }
+
+    /// All captured instantaneous events, in emission order.
+    pub fn instants(&self) -> Vec<InstantEvent> {
+        self.instants.lock().expect("collector lock poisoned").clone()
+    }
+
+    /// Registered track names, keyed by track id.
+    pub fn track_names(&self) -> BTreeMap<TrackId, String> {
+        self.track_names.lock().expect("collector lock poisoned").clone()
+    }
+
+    /// The embedded metrics registry.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Snapshot of all metric series as `(name, label, metric)`, sorted.
+    pub fn metrics(&self) -> Vec<(String, Label, Metric)> {
+        self.registry.snapshot()
+    }
+
+    /// Distinct span names seen, sorted.
+    pub fn span_names(&self) -> Vec<&'static str> {
+        let mut names: Vec<&'static str> =
+            self.spans.lock().expect("collector lock poisoned").iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        names
+    }
+
+    /// Render everything as Chrome trace-event JSON (see [`export`]).
+    pub fn chrome_trace(&self) -> String {
+        export::chrome_trace(&self.spans(), &self.instants(), &self.track_names())
+    }
+
+    /// Render the metric snapshot as a flat JSON object (see [`export`]).
+    pub fn metrics_json(&self) -> String {
+        export::metrics_json(&self.metrics())
+    }
+}
+
+impl Recorder for InMemoryCollector {
+    fn span(
+        &self,
+        name: &'static str,
+        track: TrackId,
+        start_ns: u64,
+        dur_ns: u64,
+        depth: u32,
+        arg: Option<(&'static str, u64)>,
+    ) {
+        self.spans.lock().expect("collector lock poisoned").push(SpanEvent {
+            name,
+            track,
+            start_ns,
+            dur_ns,
+            depth,
+            arg,
+        });
+    }
+
+    fn instant(&self, name: &'static str, track: TrackId, ts_ns: u64) {
+        self.instants.lock().expect("collector lock poisoned").push(InstantEvent {
+            name,
+            track,
+            ts_ns,
+        });
+    }
+
+    fn counter_add(&self, name: &'static str, label: Label, value: u64) {
+        self.registry.counter_add(name, label, value);
+    }
+
+    fn gauge_set(&self, name: &'static str, label: Label, value: f64) {
+        self.registry.gauge_set(name, label, value);
+    }
+
+    fn histogram_record(&self, name: &'static str, label: Label, value: u64) {
+        self.registry.histogram_record(name, label, value);
+    }
+
+    fn name_track(&self, track: TrackId, name: &str) {
+        self.track_names.lock().expect("collector lock poisoned").insert(track, name.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collector_captures_all_event_kinds() {
+        let c = InMemoryCollector::new();
+        c.name_track(TrackId(1), "main");
+        c.span("phase", TrackId(1), 10, 5, 0, Some(("k", 3)));
+        c.instant("tick", TrackId(1), 12);
+        c.counter_add("c", None, 2);
+        c.gauge_set("g", Some(0), 0.5);
+        c.histogram_record("h", None, 9);
+        assert_eq!(c.spans().len(), 1);
+        assert_eq!(c.instants().len(), 1);
+        assert_eq!(c.track_names().get(&TrackId(1)).map(String::as_str), Some("main"));
+        assert_eq!(c.metrics().len(), 3);
+        assert_eq!(c.span_names(), vec!["phase"]);
+    }
+
+    #[test]
+    fn last_track_name_wins() {
+        let c = InMemoryCollector::new();
+        c.name_track(TrackId(2), "thread-2");
+        c.name_track(TrackId(2), "worker-0");
+        assert_eq!(c.track_names().get(&TrackId(2)).map(String::as_str), Some("worker-0"));
+    }
+}

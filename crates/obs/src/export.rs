@@ -1,0 +1,226 @@
+//! Serialization of collected events: Chrome trace-event JSON (the format
+//! Perfetto and `about:tracing` load) and a flat metrics JSON object.
+//!
+//! Hand-rolled writers keep the crate dependency-free. Both formats are
+//! plain JSON; numbers use decimal notation only (non-finite gauges render
+//! as `null`) so any standards-compliant parser accepts the output.
+
+use crate::collect::{InstantEvent, SpanEvent};
+use crate::metrics::{Histogram, Metric};
+use crate::recorder::Label;
+use crate::span::TrackId;
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// Render spans, instants, and track names as Chrome trace-event JSON.
+///
+/// Layout: one process (`pid` 0); each [`TrackId`] becomes a `tid` with a
+/// `thread_name` metadata record; spans are complete (`"ph":"X"`) events
+/// with microsecond `ts`/`dur` and their depth plus optional argument under
+/// `args`; instants are thread-scoped (`"ph":"i"`) events.
+pub fn chrome_trace(
+    spans: &[SpanEvent],
+    instants: &[InstantEvent],
+    track_names: &BTreeMap<TrackId, String>,
+) -> String {
+    let mut out = String::with_capacity(64 + 160 * (spans.len() + instants.len()));
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for (track, name) in track_names {
+        sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\"args\":{{\"name\":{}}}}}",
+            track.0,
+            json_string(name)
+        );
+        // sort_index keeps Perfetto's row order stable by track id rather
+        // than by first-event time.
+        sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\"args\":{{\"sort_index\":{}}}}}",
+            track.0, track.0
+        );
+    }
+    for s in spans {
+        sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"ph\":\"X\",\"pid\":0,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"depth\":{}",
+            json_string(s.name),
+            s.track.0,
+            micros(s.start_ns),
+            micros(s.dur_ns),
+            s.depth
+        );
+        if let Some((key, value)) = s.arg {
+            let _ = write!(out, ",{}:{}", json_string(key), value);
+        }
+        out.push_str("}}");
+    }
+    for i in instants {
+        sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"ph\":\"i\",\"pid\":0,\"tid\":{},\"ts\":{},\"s\":\"t\"}}",
+            json_string(i.name),
+            i.track.0,
+            micros(i.ts_ns)
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Render a metric snapshot (from
+/// [`MetricsRegistry::snapshot`](crate::MetricsRegistry::snapshot)) as one
+/// flat JSON object. Labeled series render as `"name[label]"`; counters
+/// and gauges become numbers, histograms become summary objects with
+/// `count`/`sum`/`min`/`max`/`mean` and their non-empty `[lo, hi, count)`
+/// buckets.
+pub fn metrics_json(snapshot: &[(String, Label, Metric)]) -> String {
+    let mut out = String::with_capacity(32 + 48 * snapshot.len());
+    out.push('{');
+    let mut first = true;
+    for (name, label, metric) in snapshot {
+        sep(&mut out, &mut first);
+        let key = match label {
+            Some(l) => format!("{name}[{l}]"),
+            None => name.clone(),
+        };
+        let _ = write!(out, "{}:", json_string(&key));
+        match metric {
+            Metric::Counter(c) => {
+                let _ = write!(out, "{c}");
+            }
+            Metric::Gauge(g) => out.push_str(&json_f64(*g)),
+            Metric::Histogram(h) => out.push_str(&histogram_json(h)),
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn histogram_json(h: &Histogram) -> String {
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"buckets\":[",
+        h.count(),
+        h.sum(),
+        h.min().unwrap_or(0),
+        h.max().unwrap_or(0),
+        json_f64(h.mean().unwrap_or(0.0))
+    );
+    let mut first = true;
+    for (lo, hi, count) in h.nonzero_buckets() {
+        sep(&mut out, &mut first);
+        let _ = write!(out, "[{lo},{hi},{count}]");
+    }
+    out.push_str("]}");
+    out
+}
+
+fn sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push(',');
+    }
+}
+
+/// Nanoseconds rendered as a microsecond decimal literal (`"ts"`/`"dur"`
+/// are microseconds in the trace-event format).
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // Rust's Display for f64 never emits exponent notation or
+        // NaN/inf here, so the result is always a valid JSON number.
+        let s = format!("{v}");
+        if s.contains('.') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chrome_trace_shape() {
+        let mut names = BTreeMap::new();
+        names.insert(TrackId(1), "worker-0".to_string());
+        let spans = vec![SpanEvent {
+            name: "deduce",
+            track: TrackId(1),
+            start_ns: 1500,
+            dur_ns: 2500,
+            depth: 1,
+            arg: Some(("step", 3)),
+        }];
+        let instants = vec![InstantEvent { name: "barrier", track: TrackId(1), ts_ns: 4000 }];
+        let json = chrome_trace(&spans, &instants, &names);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"worker-0\""));
+        assert!(json.contains("\"ts\":1.500,\"dur\":2.500"));
+        assert!(json.contains("\"step\":3"));
+        assert!(json.contains("\"ph\":\"i\""));
+    }
+
+    #[test]
+    fn metrics_json_shape() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(5);
+        let snapshot = vec![
+            ("bsp.bytes".to_string(), None, Metric::Counter(128)),
+            ("busy_secs".to_string(), Some(2), Metric::Gauge(0.5)),
+            ("delta".to_string(), None, Metric::Histogram(Box::new(h))),
+        ];
+        let json = metrics_json(&snapshot);
+        assert!(json.contains("\"bsp.bytes\":128"));
+        assert!(json.contains("\"busy_secs[2]\":0.5"));
+        assert!(json.contains("\"count\":2,\"sum\":5"));
+        assert!(json.contains("[0,1,1]"));
+        assert!(json.contains("[4,8,1]"));
+    }
+
+    #[test]
+    fn json_escaping_and_floats() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_f64(2.0), "2.0");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(micros(1234567), "1234.567");
+    }
+}

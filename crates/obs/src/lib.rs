@@ -1,0 +1,117 @@
+//! Unified tracing and metrics for the dcer execution stack.
+//!
+//! The paper's evaluation (Section VI, Fig. 6(c)–(l)) attributes time and
+//! communication to individual phases — partitioning, `Deduce`, exchange,
+//! `IncDeduce` rounds. This crate is the substrate that makes the same
+//! attribution possible in our reproduction: every execution-layer crate
+//! emits *spans* (named, timed intervals on a track) and *metrics*
+//! (counters, gauges, log-bucketed histograms) through one global,
+//! pluggable [`Recorder`].
+//!
+//! ## Design
+//!
+//! - **Off by default, free when off.** With no recorder installed every
+//!   instrumentation call is a single relaxed atomic load and an early
+//!   return: no clock read, no thread-local touch, no allocation (asserted
+//!   by the `noop_alloc` integration test).
+//! - **Thread-aware spans.** [`span()`] opens an RAII guard on the calling
+//!   thread's track (allocated lazily, named after the thread); nested
+//!   guards maintain a thread-local span stack whose depth is recorded
+//!   with each span. [`span_on`] targets an explicit [`TrackId`] instead,
+//!   which is how the *simulated* BSP executor gives each virtual worker
+//!   its own timeline while running on one OS thread.
+//! - **Pluggable sinks.** [`Recorder`] is the sink interface;
+//!   [`NoopRecorder`] drops everything, [`InMemoryCollector`] aggregates
+//!   metrics into a [`MetricsRegistry`] and buffers span events for export
+//!   as Chrome trace-event JSON ([`InMemoryCollector::chrome_trace`],
+//!   loadable in Perfetto / `about:tracing`) or a flat metrics JSON
+//!   ([`InMemoryCollector::metrics_json`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//!
+//! let collector = Arc::new(dcer_obs::InMemoryCollector::new());
+//! dcer_obs::install(collector.clone());
+//! {
+//!     let _outer = dcer_obs::span("partition");
+//!     let _inner = dcer_obs::span("hypart.distribute").with_arg("cells", 16);
+//!     dcer_obs::counter_add("hypart.hash_computations", 42);
+//! }
+//! dcer_obs::uninstall();
+//! assert_eq!(collector.spans().len(), 2);
+//! assert!(collector.chrome_trace().contains("\"partition\""));
+//! ```
+
+pub mod collect;
+pub mod export;
+pub mod metrics;
+pub mod recorder;
+pub mod span;
+
+pub use collect::{InMemoryCollector, SpanEvent};
+pub use metrics::{Histogram, Metric, MetricsRegistry};
+pub use recorder::{enabled, install, uninstall, Label, NoopRecorder, Recorder};
+pub use span::{alloc_track, current_track, name_current_track, span, span_depth, span_on};
+pub use span::{SpanGuard, TrackId};
+
+use recorder::with;
+
+/// Add `value` to the unlabeled counter `name`.
+#[inline]
+pub fn counter_add(name: &'static str, value: u64) {
+    if enabled() {
+        with(|r| r.counter_add(name, None, value));
+    }
+}
+
+/// Add `value` to counter `name` under numeric label `label` (by
+/// convention a worker/shard index).
+#[inline]
+pub fn counter_add_labeled(name: &'static str, label: u32, value: u64) {
+    if enabled() {
+        with(|r| r.counter_add(name, Some(label), value));
+    }
+}
+
+/// Set the unlabeled gauge `name` to `value`.
+#[inline]
+pub fn gauge_set(name: &'static str, value: f64) {
+    if enabled() {
+        with(|r| r.gauge_set(name, None, value));
+    }
+}
+
+/// Set gauge `name` under `label` to `value`.
+#[inline]
+pub fn gauge_set_labeled(name: &'static str, label: u32, value: f64) {
+    if enabled() {
+        with(|r| r.gauge_set(name, Some(label), value));
+    }
+}
+
+/// Record `value` into the log-bucketed histogram `name`.
+#[inline]
+pub fn histogram_record(name: &'static str, value: u64) {
+    if enabled() {
+        with(|r| r.histogram_record(name, None, value));
+    }
+}
+
+/// Record `value` into histogram `name` under `label`.
+#[inline]
+pub fn histogram_record_labeled(name: &'static str, label: u32, value: u64) {
+    if enabled() {
+        with(|r| r.histogram_record(name, Some(label), value));
+    }
+}
+
+/// Mark an instantaneous event on the current thread's track.
+#[inline]
+pub fn instant(name: &'static str) {
+    if enabled() {
+        let track = current_track();
+        with(|r| r.instant(name, track, recorder::now_ns()));
+    }
+}

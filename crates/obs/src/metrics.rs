@@ -1,0 +1,250 @@
+//! The metrics registry: labeled counters, gauges, and log-bucketed
+//! histograms keyed by `(name, label)`.
+//!
+//! Metric names are `&'static str` by design — instrumentation sites name
+//! their series at compile time, so the registry never allocates keys.
+//! Labels are optional small integers ([`Label`]), by convention a
+//! worker/shard index; the unlabeled series is the process-wide aggregate.
+
+use crate::recorder::Label;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Number of histogram buckets: bucket 0 holds exact zeros, buckets
+/// `1..=64` hold `[2^(i-1), 2^i)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A fixed-size log₂-bucketed histogram of `u64` samples.
+///
+/// Bucket 0 counts exact zeros; bucket `i` (for `i >= 1`) counts values in
+/// `[2^(i-1), 2^i)`. 65 buckets cover the full `u64` range, so recording
+/// never saturates or clips.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram { buckets: [0; HISTOGRAM_BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// The bucket index `value` falls into: 0 for 0, else
+    /// `64 - value.leading_zeros()` so that bucket `i` spans
+    /// `[2^(i-1), 2^i)`.
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// The half-open value range `[lo, hi)` covered by `bucket`; bucket 0
+    /// is the degenerate `[0, 1)`, and the top bucket's `hi` saturates at
+    /// `u64::MAX`.
+    pub fn bucket_range(bucket: usize) -> (u64, u64) {
+        assert!(bucket < HISTOGRAM_BUCKETS, "bucket {bucket} out of range");
+        if bucket == 0 {
+            (0, 1)
+        } else {
+            let lo = 1u64 << (bucket - 1);
+            let hi = if bucket == 64 { u64::MAX } else { 1u64 << bucket };
+            (lo, hi)
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, or `None` if empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded sample, or `None` if empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean of all samples, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.sum as f64 / self.count as f64)
+    }
+
+    /// The raw bucket counts.
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Non-empty buckets as `(lo, hi, count)` ranges, for compact export.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = Self::bucket_range(i);
+                (lo, hi, c)
+            })
+            .collect()
+    }
+}
+
+/// One metric series: monotonically increasing counter, last-write gauge,
+/// or distribution histogram.
+///
+/// The histogram is boxed so the enum stays pointer-sized-ish: a
+/// [`Histogram`] is ~550 bytes of buckets, and most series are counters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// A monotonically increasing count.
+    Counter(u64),
+    /// A last-value-wins measurement.
+    Gauge(f64),
+    /// A log-bucketed sample distribution.
+    Histogram(Box<Histogram>),
+}
+
+/// A thread-safe map of `(name, label)` → [`Metric`].
+///
+/// Type mismatches (e.g. `counter_add` on a name previously used as a
+/// gauge) resolve by resetting the series to the newly requested type —
+/// instrumentation must never panic the host process.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    series: Mutex<BTreeMap<(&'static str, Label), Metric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Add `value` to the counter at `(name, label)`, creating it at zero.
+    pub fn counter_add(&self, name: &'static str, label: Label, value: u64) {
+        let mut series = self.series.lock().expect("metrics lock poisoned");
+        match series.entry((name, label)).or_insert(Metric::Counter(0)) {
+            Metric::Counter(c) => *c = c.saturating_add(value),
+            other => *other = Metric::Counter(value),
+        }
+    }
+
+    /// Set the gauge at `(name, label)` to `value`.
+    pub fn gauge_set(&self, name: &'static str, label: Label, value: f64) {
+        let mut series = self.series.lock().expect("metrics lock poisoned");
+        series.insert((name, label), Metric::Gauge(value));
+    }
+
+    /// Record `value` into the histogram at `(name, label)`.
+    pub fn histogram_record(&self, name: &'static str, label: Label, value: u64) {
+        let mut series = self.series.lock().expect("metrics lock poisoned");
+        match series.entry((name, label)).or_insert_with(|| Metric::Histogram(Box::default())) {
+            Metric::Histogram(h) => h.record(value),
+            other => {
+                let mut h = Box::new(Histogram::new());
+                h.record(value);
+                *other = Metric::Histogram(h);
+            }
+        }
+    }
+
+    /// Fetch one series by exact key.
+    pub fn get(&self, name: &'static str, label: Label) -> Option<Metric> {
+        self.series.lock().expect("metrics lock poisoned").get(&(name, label)).cloned()
+    }
+
+    /// Snapshot every series, sorted by `(name, label)`.
+    pub fn snapshot(&self) -> Vec<(String, Label, Metric)> {
+        self.series
+            .lock()
+            .expect("metrics lock poisoned")
+            .iter()
+            .map(|(&(name, label), metric)| (name.to_string(), label, metric.clone()))
+            .collect()
+    }
+
+    /// Number of distinct series.
+    pub fn len(&self) -> usize {
+        self.series.lock().expect("metrics lock poisoned").len()
+    }
+
+    /// Whether no series have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_per_label() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("c", None, 2);
+        reg.counter_add("c", None, 3);
+        reg.counter_add("c", Some(1), 7);
+        assert_eq!(reg.get("c", None), Some(Metric::Counter(5)));
+        assert_eq!(reg.get("c", Some(1)), Some(Metric::Counter(7)));
+        assert_eq!(reg.get("c", Some(2)), None);
+    }
+
+    #[test]
+    fn gauge_is_last_write_wins() {
+        let reg = MetricsRegistry::new();
+        reg.gauge_set("g", None, 1.5);
+        reg.gauge_set("g", None, -2.0);
+        assert_eq!(reg.get("g", None), Some(Metric::Gauge(-2.0)));
+    }
+
+    #[test]
+    fn type_conflict_resets_series() {
+        let reg = MetricsRegistry::new();
+        reg.gauge_set("x", None, 9.0);
+        reg.counter_add("x", None, 4);
+        assert_eq!(reg.get("x", None), Some(Metric::Counter(4)));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("b", None, 1);
+        reg.counter_add("a", Some(2), 1);
+        reg.counter_add("a", None, 1);
+        let names: Vec<(String, Label)> =
+            reg.snapshot().into_iter().map(|(n, l, _)| (n, l)).collect();
+        assert_eq!(
+            names,
+            vec![("a".to_string(), None), ("a".to_string(), Some(2)), ("b".to_string(), None)]
+        );
+    }
+}

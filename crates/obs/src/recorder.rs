@@ -1,0 +1,144 @@
+//! The pluggable sink behind all instrumentation: the [`Recorder`] trait,
+//! the process-global install point, and the monotonic clock every event is
+//! stamped with.
+//!
+//! The hot-path contract: [`enabled`] is a single relaxed atomic load, and
+//! every instrumentation helper checks it *before* touching the clock, any
+//! thread-local, or the recorder lock. With no recorder installed, tracing
+//! therefore compiles down to "load, branch, return".
+
+use crate::span::TrackId;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
+
+/// Optional numeric label on a metric — by convention a worker/shard index.
+/// `None` is the unlabeled (global) series.
+pub type Label = Option<u32>;
+
+/// A sink for spans, instants and metric updates.
+///
+/// Implementations must be cheap and non-blocking where possible: they are
+/// called from worker hot loops (though only while a recorder is
+/// installed). All methods take `&self`; implementations synchronize
+/// internally.
+pub trait Recorder: Send + Sync {
+    /// A closed span: `name` ran on `track` from `start_ns` for `dur_ns`
+    /// (monotonic nanoseconds since [`now_ns`]'s epoch), at nesting `depth`
+    /// (0 = top level), with an optional numeric argument.
+    fn span(
+        &self,
+        name: &'static str,
+        track: TrackId,
+        start_ns: u64,
+        dur_ns: u64,
+        depth: u32,
+        arg: Option<(&'static str, u64)>,
+    );
+
+    /// An instantaneous event on `track` at `ts_ns`.
+    fn instant(&self, name: &'static str, track: TrackId, ts_ns: u64);
+
+    /// Add `value` to counter `name` under `label`.
+    fn counter_add(&self, name: &'static str, label: Label, value: u64);
+
+    /// Set gauge `name` under `label` to `value`.
+    fn gauge_set(&self, name: &'static str, label: Label, value: f64);
+
+    /// Record `value` into log-bucketed histogram `name` under `label`.
+    fn histogram_record(&self, name: &'static str, label: Label, value: u64);
+
+    /// Associate a human-readable name with a track (thread or virtual
+    /// worker timeline).
+    fn name_track(&self, track: TrackId, name: &str);
+}
+
+/// The recorder that drops everything — the semantic default. Installing it
+/// is equivalent to (but marginally slower than) installing nothing, since
+/// the enabled flag stays up; it exists for tests and for explicitly
+/// silencing a previously installed collector.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn span(
+        &self,
+        _: &'static str,
+        _: TrackId,
+        _: u64,
+        _: u64,
+        _: u32,
+        _: Option<(&'static str, u64)>,
+    ) {
+    }
+    fn instant(&self, _: &'static str, _: TrackId, _: u64) {}
+    fn counter_add(&self, _: &'static str, _: Label, _: u64) {}
+    fn gauge_set(&self, _: &'static str, _: Label, _: f64) {}
+    fn histogram_record(&self, _: &'static str, _: Label, _: u64) {}
+    fn name_track(&self, _: TrackId, _: &str) {}
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static RECORDER: RwLock<Option<Arc<dyn Recorder>>> = RwLock::new(None);
+
+/// Whether a recorder is currently installed. One relaxed atomic load —
+/// the gate every instrumentation site checks first.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Install `recorder` as the process-global sink, replacing any previous
+/// one. Instrumentation becomes live immediately on all threads.
+pub fn install(recorder: Arc<dyn Recorder>) {
+    *RECORDER.write().expect("recorder lock poisoned") = Some(recorder);
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Remove the global recorder (instrumentation goes back to free) and
+/// return it, so callers can export what it collected.
+pub fn uninstall() -> Option<Arc<dyn Recorder>> {
+    ENABLED.store(false, Ordering::SeqCst);
+    RECORDER.write().expect("recorder lock poisoned").take()
+}
+
+/// Run `f` against the installed recorder, if any. Callers gate on
+/// [`enabled`] first so the lock is only touched while tracing is live.
+#[inline]
+pub(crate) fn with(f: impl FnOnce(&dyn Recorder)) {
+    if let Some(r) = RECORDER.read().expect("recorder lock poisoned").as_ref() {
+        f(&**r);
+    }
+}
+
+/// Monotonic nanoseconds since the first observation in this process.
+/// All spans and instants share this epoch, so timestamps from different
+/// threads interleave correctly in the exported trace.
+#[inline]
+pub fn now_ns() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn noop_recorder_accepts_everything() {
+        let r = NoopRecorder;
+        r.span("s", TrackId(1), 0, 10, 0, Some(("k", 1)));
+        r.instant("i", TrackId(1), 0);
+        r.counter_add("c", None, 1);
+        r.gauge_set("g", Some(3), 1.5);
+        r.histogram_record("h", None, 7);
+        r.name_track(TrackId(1), "t");
+    }
+}

@@ -1,0 +1,156 @@
+//! RAII span tracing over per-thread (or virtual) tracks.
+//!
+//! A *track* is one timeline in the exported trace: OS threads get one
+//! lazily on first use (named after the thread), and executors that
+//! multiplex several logical workers onto one thread — the simulated BSP
+//! cluster — allocate explicit virtual tracks with [`alloc_track`] so each
+//! worker still renders as its own row in Perfetto.
+//!
+//! Guards nest: each thread keeps a span stack whose depth is recorded
+//! with the span, and [`span_depth`] exposes it for tests. Dropping the
+//! guard closes the span; when no recorder is installed the guard is inert
+//! and its construction touches neither the clock nor any thread-local.
+
+use crate::recorder::{enabled, now_ns, with};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identifies one timeline (trace row). `TrackId(0)` is the reserved
+/// "untracked" id used by inert guards; real ids start at 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TrackId(pub u64);
+
+impl TrackId {
+    /// The placeholder track of inert guards (never emitted).
+    pub const UNTRACKED: TrackId = TrackId(0);
+}
+
+static NEXT_TRACK: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_TRACK: Cell<u64> = const { Cell::new(0) };
+    static SPAN_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Allocate a fresh track and register `name` for it with the recorder.
+/// Used for virtual per-worker timelines; returns [`TrackId::UNTRACKED`]
+/// when tracing is off (allocating ids without a recorder would leak
+/// unnamed rows into a later trace).
+pub fn alloc_track(name: &str) -> TrackId {
+    if !enabled() {
+        return TrackId::UNTRACKED;
+    }
+    let id = TrackId(NEXT_TRACK.fetch_add(1, Ordering::Relaxed));
+    with(|r| r.name_track(id, name));
+    id
+}
+
+/// The calling thread's track, allocated and named after the thread on
+/// first use.
+pub fn current_track() -> TrackId {
+    THREAD_TRACK.with(|t| {
+        if t.get() != 0 {
+            return TrackId(t.get());
+        }
+        let id = NEXT_TRACK.fetch_add(1, Ordering::Relaxed);
+        t.set(id);
+        let cur = std::thread::current();
+        match cur.name() {
+            Some(name) => with(|r| r.name_track(TrackId(id), name)),
+            None => with(|r| r.name_track(TrackId(id), &format!("thread-{id}"))),
+        }
+        TrackId(id)
+    })
+}
+
+/// Rename the calling thread's track (e.g. `worker-3` inside a BSP worker
+/// thread). No-op while tracing is off.
+pub fn name_current_track(name: &str) {
+    if enabled() {
+        let track = current_track();
+        with(|r| r.name_track(track, name));
+    }
+}
+
+/// Current nesting depth of the calling thread's span stack.
+pub fn span_depth() -> u32 {
+    SPAN_DEPTH.with(Cell::get)
+}
+
+/// Open a span named `name` on the calling thread's track. Close it by
+/// dropping the returned guard.
+#[must_use = "the span closes when the guard drops; binding it to _ closes it immediately"]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::inert(name);
+    }
+    SpanGuard::open(name, current_track())
+}
+
+/// Open a span on an explicit track (a virtual worker timeline from
+/// [`alloc_track`]). The span still participates in the *calling thread's*
+/// depth stack.
+#[must_use = "the span closes when the guard drops; binding it to _ closes it immediately"]
+pub fn span_on(name: &'static str, track: TrackId) -> SpanGuard {
+    if !enabled() || track == TrackId::UNTRACKED {
+        return SpanGuard::inert(name);
+    }
+    SpanGuard::open(name, track)
+}
+
+/// An open span; dropping it records the interval with the recorder.
+pub struct SpanGuard {
+    name: &'static str,
+    track: TrackId,
+    start_ns: u64,
+    depth: u32,
+    arg: Option<(&'static str, u64)>,
+    active: bool,
+}
+
+impl SpanGuard {
+    fn inert(name: &'static str) -> SpanGuard {
+        SpanGuard {
+            name,
+            track: TrackId::UNTRACKED,
+            start_ns: 0,
+            depth: 0,
+            arg: None,
+            active: false,
+        }
+    }
+
+    fn open(name: &'static str, track: TrackId) -> SpanGuard {
+        let depth = SPAN_DEPTH.with(|d| {
+            let depth = d.get();
+            d.set(depth + 1);
+            depth
+        });
+        SpanGuard { name, track, start_ns: now_ns(), depth, arg: None, active: true }
+    }
+
+    /// Attach one numeric argument (superstep, round, rule index…) shown in
+    /// the trace viewer's detail pane.
+    #[must_use = "with_arg returns the guard; dropping the result closes the span"]
+    pub fn with_arg(mut self, key: &'static str, value: u64) -> SpanGuard {
+        if self.active {
+            self.arg = Some((key, value));
+        }
+        self
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        SPAN_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let end = now_ns();
+        // The recorder may have been uninstalled mid-span; `with` then
+        // drops the event, but the depth stack above stays balanced.
+        with(|r| {
+            r.span(self.name, self.track, self.start_ns, end - self.start_ns, self.depth, self.arg)
+        });
+    }
+}

@@ -1,0 +1,56 @@
+//! Asserts the "free when off" contract: with no recorder installed, the
+//! full instrumentation surface performs zero heap allocations.
+//!
+//! Lives in its own integration binary so the counting global allocator
+//! and the single-threaded measurement can't interact with other tests.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn disabled_instrumentation_does_not_allocate() {
+    assert!(!dcer_obs::enabled(), "test requires no recorder installed");
+    // Warm up lazily initialized state outside the measured window (the
+    // monotonic epoch; thread-locals stay untouched while disabled).
+    {
+        let _s = dcer_obs::span("warmup");
+    }
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..1000 {
+        let _outer = dcer_obs::span("phase").with_arg("step", i);
+        let _inner = dcer_obs::span_on("work", dcer_obs::alloc_track("virtual"));
+        dcer_obs::counter_add("c", i);
+        dcer_obs::counter_add_labeled("cl", 3, i);
+        dcer_obs::gauge_set("g", i as f64);
+        dcer_obs::gauge_set_labeled("gl", 3, i as f64);
+        dcer_obs::histogram_record("h", i);
+        dcer_obs::histogram_record_labeled("hl", 3, i);
+        dcer_obs::instant("tick");
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(after - before, 0, "disabled instrumentation allocated {} times", after - before);
+}

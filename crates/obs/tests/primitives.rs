@@ -1,0 +1,180 @@
+//! Integration tests for the obs primitives: histogram bucket boundaries,
+//! nested and cross-thread span lifetimes, and recorder install/uninstall
+//! semantics.
+//!
+//! Tests that install the process-global recorder serialize on [`GLOBAL`]
+//! so the harness's default parallelism can't interleave their events.
+
+use dcer_obs::{Histogram, InMemoryCollector, Metric, TrackId};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+fn global_lock() -> MutexGuard<'static, ()> {
+    GLOBAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn histogram_bucket_boundaries() {
+    // Bucket 0 is exact zeros; bucket i >= 1 covers [2^(i-1), 2^i).
+    assert_eq!(Histogram::bucket_index(0), 0);
+    assert_eq!(Histogram::bucket_index(1), 1);
+    assert_eq!(Histogram::bucket_index(2), 2);
+    assert_eq!(Histogram::bucket_index(3), 2);
+    assert_eq!(Histogram::bucket_index(4), 3);
+    assert_eq!(Histogram::bucket_index(7), 3);
+    assert_eq!(Histogram::bucket_index(8), 4);
+    for i in 1..=63u32 {
+        let lo = 1u64 << (i - 1);
+        let hi = 1u64 << i;
+        assert_eq!(Histogram::bucket_index(lo), i as usize, "lower edge of bucket {i}");
+        assert_eq!(Histogram::bucket_index(hi - 1), i as usize, "upper edge of bucket {i}");
+        assert_eq!(Histogram::bucket_range(i as usize), (lo, hi));
+    }
+    assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+    assert_eq!(Histogram::bucket_range(0), (0, 1));
+    assert_eq!(Histogram::bucket_range(64), (1u64 << 63, u64::MAX));
+}
+
+#[test]
+fn histogram_summary_statistics() {
+    let mut h = Histogram::new();
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.min(), None);
+    assert_eq!(h.max(), None);
+    assert_eq!(h.mean(), None);
+    for v in [0, 1, 6, 9] {
+        h.record(v);
+    }
+    assert_eq!(h.count(), 4);
+    assert_eq!(h.sum(), 16);
+    assert_eq!(h.min(), Some(0));
+    assert_eq!(h.max(), Some(9));
+    assert_eq!(h.mean(), Some(4.0));
+    // 0 → bucket 0, 1 → bucket 1, 6 → bucket 3 [4,8), 9 → bucket 4 [8,16).
+    assert_eq!(h.nonzero_buckets(), vec![(0, 1, 1), (1, 2, 1), (4, 8, 1), (8, 16, 1)]);
+}
+
+#[test]
+fn nested_spans_record_depth_and_close_inside_out() {
+    let _g = global_lock();
+    let collector = Arc::new(InMemoryCollector::new());
+    dcer_obs::install(collector.clone());
+    {
+        let _outer = dcer_obs::span("outer");
+        assert_eq!(dcer_obs::span_depth(), 1);
+        {
+            let _inner = dcer_obs::span("inner").with_arg("round", 2);
+            assert_eq!(dcer_obs::span_depth(), 2);
+        }
+        assert_eq!(dcer_obs::span_depth(), 1);
+    }
+    assert_eq!(dcer_obs::span_depth(), 0);
+    dcer_obs::uninstall();
+
+    let spans = collector.spans();
+    assert_eq!(spans.len(), 2);
+    // Inner closes first; spans land in completion order.
+    assert_eq!(spans[0].name, "inner");
+    assert_eq!(spans[0].depth, 1);
+    assert_eq!(spans[0].arg, Some(("round", 2)));
+    assert_eq!(spans[1].name, "outer");
+    assert_eq!(spans[1].depth, 0);
+    assert_eq!(spans[0].track, spans[1].track);
+    // The inner interval nests within the outer one.
+    assert!(spans[0].start_ns >= spans[1].start_ns);
+    assert!(spans[0].start_ns + spans[0].dur_ns <= spans[1].start_ns + spans[1].dur_ns);
+}
+
+#[test]
+fn cross_thread_spans_get_distinct_named_tracks() {
+    let _g = global_lock();
+    let collector = Arc::new(InMemoryCollector::new());
+    dcer_obs::install(collector.clone());
+    let handles: Vec<_> = (0..2)
+        .map(|i| {
+            std::thread::Builder::new()
+                .name(format!("xt-worker-{i}"))
+                .spawn(move || {
+                    let _s = dcer_obs::span("work").with_arg("worker", i);
+                    dcer_obs::current_track()
+                })
+                .expect("spawn")
+        })
+        .collect();
+    let tracks: Vec<TrackId> = handles.into_iter().map(|h| h.join().expect("join")).collect();
+    dcer_obs::uninstall();
+
+    assert_ne!(tracks[0], tracks[1]);
+    let names = collector.track_names();
+    let mut seen: Vec<&str> =
+        tracks.iter().map(|t| names.get(t).expect("track named").as_str()).collect();
+    seen.sort_unstable();
+    assert_eq!(seen, vec!["xt-worker-0", "xt-worker-1"]);
+    let spans = collector.spans();
+    assert_eq!(spans.len(), 2);
+    // Each span sits on its own thread's track at depth 0.
+    assert_ne!(spans[0].track, spans[1].track);
+    assert!(spans.iter().all(|s| s.depth == 0));
+}
+
+#[test]
+fn virtual_tracks_give_simulated_workers_their_own_timeline() {
+    let _g = global_lock();
+    let collector = Arc::new(InMemoryCollector::new());
+    dcer_obs::install(collector.clone());
+    let t0 = dcer_obs::alloc_track("sim-worker-0");
+    let t1 = dcer_obs::alloc_track("sim-worker-1");
+    {
+        let _a = dcer_obs::span_on("deduce", t0);
+        let _b = dcer_obs::span_on("deduce", t1);
+    }
+    dcer_obs::uninstall();
+
+    assert_ne!(t0, t1);
+    assert_ne!(t0, TrackId::UNTRACKED);
+    let spans = collector.spans();
+    assert_eq!(spans.len(), 2);
+    let tracks: Vec<TrackId> = spans.iter().map(|s| s.track).collect();
+    assert!(tracks.contains(&t0) && tracks.contains(&t1));
+    let names = collector.track_names();
+    assert_eq!(names.get(&t0).map(String::as_str), Some("sim-worker-0"));
+    assert_eq!(names.get(&t1).map(String::as_str), Some("sim-worker-1"));
+}
+
+#[test]
+fn disabled_instrumentation_is_inert() {
+    let _g = global_lock();
+    assert!(!dcer_obs::enabled());
+    // No recorder: guards are inert, depth never moves, tracks stay
+    // unallocated, and metric calls vanish.
+    {
+        let _s = dcer_obs::span("ghost").with_arg("k", 1);
+        assert_eq!(dcer_obs::span_depth(), 0);
+    }
+    assert_eq!(dcer_obs::alloc_track("ghost-track"), TrackId::UNTRACKED);
+    dcer_obs::counter_add("ghost.counter", 5);
+    dcer_obs::histogram_record("ghost.hist", 5);
+
+    // Installing afterwards shows none of it was buffered anywhere.
+    let collector = Arc::new(InMemoryCollector::new());
+    dcer_obs::install(collector.clone());
+    dcer_obs::uninstall();
+    assert!(collector.spans().is_empty());
+    assert!(collector.metrics().is_empty());
+}
+
+#[test]
+fn uninstall_returns_collector_and_disables() {
+    let _g = global_lock();
+    let collector = Arc::new(InMemoryCollector::new());
+    dcer_obs::install(collector.clone());
+    assert!(dcer_obs::enabled());
+    dcer_obs::counter_add("parity.check", 1);
+    let returned = dcer_obs::uninstall().expect("a recorder was installed");
+    assert!(!dcer_obs::enabled());
+    assert!(dcer_obs::uninstall().is_none());
+    // The returned recorder is the same collector we installed.
+    drop(returned);
+    assert_eq!(collector.registry().get("parity.check", None), Some(Metric::Counter(1)));
+}
