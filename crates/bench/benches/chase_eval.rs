@@ -1,0 +1,204 @@
+//! Valuation-enumeration benchmark: the compiled-program enumerator
+//! (dictionary-encoded probes, static join order, reusable scratch) versus
+//! the original greedy enumerator, on the join shapes that dominate the
+//! chase: string-keyed equi-join, three-atom chain join, seeded delta
+//! re-joins (`IncDeduce`), and a constant-filtered join.
+//!
+//! The headline acceptance number is the equi-join speedup at 100k rows
+//! per relation. After measuring, results are written to
+//! `BENCH_chase_eval.json` at the workspace root (or, with
+//! `CHASE_EVAL_QUICK` set, a reduced run to
+//! `results/BENCH_chase_eval_quick.json` for the CI smoke job).
+
+use criterion::{black_box, Criterion};
+use dcer_chase::{
+    enumerate_valuations_greedy, enumerate_with_program, CompiledRule, EvalScratch, MlSigTable,
+    RecPred, RuleProgram, ValuationSink,
+};
+use dcer_mrl::TupleVar;
+use dcer_relation::{Catalog, Dataset, IndexSet, RelationSchema, Tuple, ValueType};
+use std::sync::Arc;
+
+/// Counting sink: no storage, so the measurement is the enumerator itself.
+struct CountOnly(u64);
+
+impl ValuationSink for CountOnly {
+    fn prune_rec(&mut self, _p: &RecPred, _l: &Tuple, _r: &Tuple) -> bool {
+        false
+    }
+    fn visit(&mut self, rows: &[u32]) {
+        self.0 += rows.len() as u64;
+    }
+}
+
+struct Workload {
+    dataset: Dataset,
+    plans: Vec<CompiledRule>,
+}
+
+/// `rows` tuples per relation; every key appears twice in R and twice in S,
+/// so the equi-join output is linear in `rows` (each R row meets 2 S rows).
+/// R.v marks ~1% of rows "hot" for the constant-filter shape.
+fn workload(rows: usize) -> Workload {
+    let cat = Arc::new(
+        Catalog::from_schemas(vec![
+            RelationSchema::of("R", &[("k", ValueType::Str), ("v", ValueType::Str)]),
+            RelationSchema::of("S", &[("k", ValueType::Str), ("w", ValueType::Str)]),
+        ])
+        .unwrap(),
+    );
+    let mut dataset = Dataset::new(cat);
+    let keys = rows / 2;
+    for i in 0..rows {
+        let v = if i % 100 == 0 { "hot".to_string() } else { format!("v{}", i % 37) };
+        dataset.insert(0, vec![format!("key{}", i % keys).into(), v.into()]).unwrap();
+        dataset.insert(1, vec![format!("key{}", i % keys).into(), format!("w{i}").into()]).unwrap();
+    }
+    let rules = dcer_mrl::parse_rules(
+        dataset.catalog(),
+        r#"match equi: R(t), S(s), t.k = s.k -> dummy(t.k, s.k);
+           match chain: R(t), S(s), R(u), t.k = s.k, s.k = u.k -> t.id = u.id;
+           match constf: R(t), S(s), t.k = s.k, t.v = "hot" -> dummy(t.k, s.k)"#,
+    )
+    .unwrap();
+    let sigs = MlSigTable::build(&rules);
+    Workload { dataset, plans: CompiledRule::compile_all(&rules, &sigs) }
+}
+
+fn main() {
+    let quick = std::env::var_os("CHASE_EVAL_QUICK").is_some();
+    let rows = if quick { 5_000 } else { 100_000 };
+    let samples = if quick { 10 } else { 20 };
+    let mut c = Criterion::default().sample_size(samples);
+
+    let w = workload(rows);
+    let d = &w.dataset;
+
+    // Pre-build indexes and programs outside the measured loops: program
+    // compilation happens once per rule per index generation in the engine.
+    let mut indexes = IndexSet::new();
+    let programs: Vec<RuleProgram> =
+        w.plans.iter().map(|p| RuleProgram::compile(p, d, &mut indexes)).collect();
+    let mut scratch = EvalScratch::new();
+
+    let mut expected = Vec::new();
+    for (name, pi) in [("equi_join", 0), ("chain_join", 1), ("const_filter", 2)] {
+        let plan = &w.plans[pi];
+        let program = &programs[pi];
+        let mut sink = CountOnly(0);
+        let n = enumerate_with_program(program, plan, d, &indexes, &[], &mut scratch, &mut sink);
+        let mut gsink = CountOnly(0);
+        let g = enumerate_valuations_greedy(plan, d, &mut indexes, &[], &mut gsink);
+        assert_eq!(n, g, "{name}: enumerators disagree");
+        expected.push(n);
+
+        c.bench_function(format!("{name}/compiled").as_str(), |b| {
+            b.iter(|| {
+                let mut sink = CountOnly(0);
+                black_box(enumerate_with_program(
+                    program,
+                    plan,
+                    d,
+                    &indexes,
+                    &[],
+                    &mut scratch,
+                    &mut sink,
+                ))
+            })
+        });
+        c.bench_function(format!("{name}/greedy").as_str(), |b| {
+            b.iter(|| {
+                let mut sink = CountOnly(0);
+                black_box(enumerate_valuations_greedy(plan, d, &mut indexes, &[], &mut sink))
+            })
+        });
+    }
+
+    // Seeded delta-join (`IncDeduce` shape): re-evaluate the equi-join rule
+    // for a block of seed rows, as update-driven re-joins do.
+    let seed_count = (rows / 100).max(1) as u32;
+    let plan = &w.plans[0];
+    let program = &programs[0];
+    c.bench_function("seeded_delta/compiled", |b| {
+        b.iter(|| {
+            let mut sink = CountOnly(0);
+            for row in 0..seed_count {
+                black_box(enumerate_with_program(
+                    program,
+                    plan,
+                    d,
+                    &indexes,
+                    &[(TupleVar(0), row)],
+                    &mut scratch,
+                    &mut sink,
+                ));
+            }
+            sink.0
+        })
+    });
+    c.bench_function("seeded_delta/greedy", |b| {
+        b.iter(|| {
+            let mut sink = CountOnly(0);
+            for row in 0..seed_count {
+                black_box(enumerate_valuations_greedy(
+                    plan,
+                    d,
+                    &mut indexes,
+                    &[(TupleVar(0), row)],
+                    &mut sink,
+                ));
+            }
+            sink.0
+        })
+    });
+
+    c.report();
+    write_report(&c, rows, seed_count, &expected, quick);
+}
+
+/// Record the acceptance numbers (`<shape>.speedup` = greedy / compiled).
+fn write_report(c: &Criterion, rows: usize, seeds: u32, valuations: &[u64], quick: bool) {
+    use serde_json::{Map, Value};
+
+    let mean = |id: &str| {
+        c.results()
+            .iter()
+            .find(|r| r.id == id)
+            .map(|r| r.mean_ns)
+            .unwrap_or_else(|| panic!("missing bench result {id}"))
+    };
+
+    let mut root = Map::new();
+    root.insert("bench", Value::from("chase_eval"));
+    root.insert("rows_per_relation", Value::from(rows));
+    root.insert("quick", Value::from(quick));
+    for (i, shape) in ["equi_join", "chain_join", "const_filter"].iter().enumerate() {
+        let compiled = mean(&format!("{shape}/compiled"));
+        let greedy = mean(&format!("{shape}/greedy"));
+        let mut m = Map::new();
+        m.insert("compiled_ns", Value::from(compiled));
+        m.insert("greedy_ns", Value::from(greedy));
+        m.insert("speedup", Value::from(greedy / compiled));
+        m.insert("valuations", Value::from(valuations[i]));
+        root.insert(shape.to_string(), Value::Object(m));
+    }
+    let compiled = mean("seeded_delta/compiled");
+    let greedy = mean("seeded_delta/greedy");
+    let mut m = Map::new();
+    m.insert("compiled_ns", Value::from(compiled));
+    m.insert("greedy_ns", Value::from(greedy));
+    m.insert("speedup", Value::from(greedy / compiled));
+    m.insert("seeds", Value::from(seeds as i64));
+    root.insert("seeded_delta", Value::Object(m));
+
+    let path = if quick {
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+        std::fs::create_dir_all(dir).expect("create results dir");
+        format!("{dir}/BENCH_chase_eval_quick.json")
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_chase_eval.json").to_string()
+    };
+    let body = serde_json::to_string_pretty(&Value::Object(root)).expect("render json");
+    std::fs::write(&path, body + "\n").expect("write chase_eval report");
+    eprintln!("wrote {path}");
+}

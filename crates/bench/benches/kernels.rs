@@ -4,7 +4,9 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use dcer_chase::MatchSet;
 use dcer_ml::HashedNgramEmbedder;
-use dcer_relation::{Catalog, Dataset, HashIndex, RelationSchema, Tid, Value, ValueType};
+use dcer_relation::{
+    Catalog, Dataset, HashIndex, RelationSchema, Tid, Value, ValueDict, ValueType,
+};
 use dcer_similarity::*;
 use std::sync::Arc;
 
@@ -67,10 +69,20 @@ fn bench_index(c: &mut Criterion) {
     for i in 0..50_000 {
         d.insert(0, vec![format!("key{}", i % 5_000).into()]).unwrap();
     }
-    c.bench_function("hash_index_build_50k", |b| b.iter(|| black_box(HashIndex::build(&d, 0, 0))));
-    let idx = HashIndex::build(&d, 0, 0);
+    c.bench_function("hash_index_build_50k", |b| {
+        b.iter(|| {
+            let mut dict = ValueDict::new();
+            black_box(HashIndex::build(&d, 0, 0, &mut dict))
+        })
+    });
+    let mut dict = ValueDict::new();
+    let idx = HashIndex::build(&d, 0, 0, &mut dict);
     let probe = Value::str("key123");
-    c.bench_function("hash_index_probe", |b| b.iter(|| black_box(idx.lookup(&probe).len())));
+    c.bench_function("hash_index_probe", |b| b.iter(|| black_box(idx.lookup(&dict, &probe).len())));
+    let code = dict.code_of(&probe).unwrap();
+    c.bench_function("hash_index_probe_code", |b| {
+        b.iter(|| black_box(idx.lookup_code(code).len()))
+    });
 }
 
 criterion_group! {

@@ -23,9 +23,10 @@
 
 use crate::batch::DeltaBatch;
 use crate::deps::{DepStore, Pending};
-use crate::eval::{enumerate_valuations, ValuationSink};
+use crate::eval::{enumerate_with_program, EvalScratch, ValuationSink};
 use crate::facts::{ChaseState, Fact, MlOracle, MlSigTable};
 use crate::plan::{CompiledHead, CompiledRule, RecPred};
+use crate::program::RuleProgram;
 use crate::union_find::MatchSet;
 use dcer_ml::MlRegistry;
 use dcer_mrl::{RuleSet, TupleVar};
@@ -144,6 +145,11 @@ struct DeltaEvent {
 /// The `Match` engine over one dataset (or HyPart fragment).
 pub struct ChaseEngine {
     plans: Vec<CompiledRule>,
+    /// Compiled access programs, one per plan, built lazily against the
+    /// current index generation (cleared with the indexes).
+    programs: Vec<Option<RuleProgram>>,
+    /// Reusable enumeration scratch shared by every `run_plan` call.
+    scratch: EvalScratch,
     sigs: MlSigTable,
     dataset: Dataset,
     indexes: IndexSet,
@@ -194,6 +200,8 @@ impl ChaseEngine {
         }
         let capacity = if config.use_dep_cache { config.dep_capacity } else { 0 };
         Ok(ChaseEngine {
+            programs: vec![None; plans.len()],
+            scratch: EvalScratch::new(),
             plans,
             sigs,
             dataset,
@@ -357,11 +365,18 @@ impl ChaseEngine {
     /// Enumerate (optionally seeded) valuations of one plan, firing heads or
     /// recording dependencies.
     fn run_plan(&mut self, plan_idx: usize, seeds: &[(TupleVar, u32)], out: &mut Vec<Fact>) {
+        // Compile the plan's access program once per index generation.
+        if self.programs[plan_idx].is_none() {
+            self.programs[plan_idx] =
+                Some(RuleProgram::compile(&self.plans[plan_idx], &self.dataset, &mut self.indexes));
+        }
         // Split borrows: the sink needs the mutable state/oracle/deps while
         // the enumerator walks dataset/indexes.
         let share_ml = self.share_ml_across_rules;
         let ChaseEngine {
             plans,
+            programs,
+            scratch,
             sigs,
             dataset,
             indexes,
@@ -374,6 +389,7 @@ impl ChaseEngine {
             ..
         } = self;
         let plan = &plans[plan_idx];
+        let program = programs[plan_idx].as_ref().expect("compiled above");
         let rule_mask = 1u128 << plan.rule_idx.min(127);
         let ml_scope = if share_ml { 0 } else { plan.rule_idx as u16 + 1 };
         let mut sink = EngineSink {
@@ -390,7 +406,8 @@ impl ChaseEngine {
             ml_scope,
             facts_deduced: 0,
         };
-        let visited = enumerate_valuations(plan, dataset, indexes, seeds, &mut sink);
+        let visited =
+            enumerate_with_program(program, plan, dataset, indexes, seeds, scratch, &mut sink);
         let newly = sink.facts_deduced;
         stats.valuations += visited;
         stats.facts_deduced += newly;
@@ -478,8 +495,13 @@ impl ChaseEngine {
         if new_rows.is_empty() {
             return Vec::new();
         }
-        // Inverted indices are stale: rebuild lazily on next access.
+        // Inverted indices are stale: rebuild lazily on next access. The
+        // compiled programs hold slots and codes of the old generation, so
+        // they go with them.
         self.indexes.clear();
+        for p in &mut self.programs {
+            *p = None;
+        }
         let mut out = Vec::new();
         for pi in 0..self.plans.len() {
             for v in 0..self.plans[pi].num_vars() {

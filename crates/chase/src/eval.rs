@@ -2,26 +2,39 @@
 //! non-recursive precondition (relation atoms, constant and equality
 //! predicates) holds in a dataset.
 //!
-//! The enumerator is a backtracking join over the rule's atoms. At every
-//! step it picks the cheapest *access path* for some unbound variable:
+//! Enumeration executes a [`RuleProgram`] — a join order compiled once per
+//! rule from index cardinalities (see [`crate::program`]) — with an
+//! explicit frame stack instead of recursion. At each step the candidate
+//! source is, in preference order:
 //!
 //! 1. an inverted-index probe through an equality edge whose other side is
-//!    already bound (the hash joins of Section V-A),
-//! 2. an inverted-index probe on a constant predicate, or
-//! 3. a full scan of the variable's relation (only for genuinely
+//!    already bound (the hash joins of Section V-A), compared by
+//!    dictionary code — no `Value` is hashed or cloned per probe,
+//! 2. an inverted-index probe on a constant predicate, compiled to its
+//!    code once per program,
+//! 3. a lazy full scan of the variable's relation (only for genuinely
 //!    disconnected atoms, e.g. the all-pairs comparisons under a pure ML
 //!    predicate — inherent, as the paper notes).
+//!
+//! Candidates are iterated as borrows of the index's postings storage and
+//! bindings live in a caller-provided [`EvalScratch`], so a warmed
+//! enumeration performs **no heap allocation** (asserted by the
+//! `eval_noalloc` integration test).
 //!
 //! Recursive predicates never bind values, but the sink is notified the
 //! moment both of their variables are bound so it can prune branches whose
 //! ML predicate is false *and can never become validated*.
 //!
-//! The same routine powers full enumeration (`Deduce`) and the seeded,
-//! update-driven re-evaluation of `IncDeduce`: seeds pre-bind variables.
+//! The same program powers full enumeration (`Deduce`) and the seeded,
+//! update-driven re-evaluation of `IncDeduce`: seeds pre-bind variables
+//! and their steps are skipped; probe options are resolved against
+//! whatever is bound at runtime, so a seed can enable a cheaper access
+//! path than the static order assumed.
 
 use crate::plan::{CompiledRule, RecPred};
+use crate::program::RuleProgram;
 use dcer_mrl::TupleVar;
-use dcer_relation::{Dataset, IndexSet, Tuple};
+use dcer_relation::{Dataset, IndexSet, Tuple, ValueDict};
 
 /// Receiver for enumeration events.
 pub trait ValuationSink {
@@ -45,9 +58,87 @@ pub trait ValuationSink {
     fn visit(&mut self, rows: &[u32]);
 }
 
+/// Sentinel for "variable not bound" in the scratch binding array.
+const UNBOUND: u32 = u32::MAX;
+
+/// One backtracking level: iterates the candidate rows of one program step.
+/// Plain data — frames live in the reusable scratch, never on the call
+/// stack and never owning borrowed postings.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    /// Index into [`RuleProgram::steps`].
+    step: u32,
+    /// Index slot whose flat postings array is being iterated (probe
+    /// frames only).
+    slot: u32,
+    /// Next candidate cursor: an absolute offset into the slot's postings
+    /// for probes, a row position for scans.
+    pos: u32,
+    /// End of the candidate range (exclusive).
+    end: u32,
+    /// `true` when candidates are row positions `pos..end` of the
+    /// relation itself (lazy scan — nothing is materialized).
+    scan: bool,
+}
+
+/// Reusable enumeration state: the binding array and the frame stack.
+///
+/// Create once, pass to every [`enumerate_with_program`] call; after the
+/// first call warms its capacity, subsequent enumerations of rules with no
+/// more variables allocate nothing.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    /// `rows[var]` = bound row position, or [`UNBOUND`].
+    rows: Vec<u32>,
+    /// Explicit descent stack, one frame per bound (non-seed) variable.
+    frames: Vec<Frame>,
+}
+
+impl EvalScratch {
+    /// Empty scratch.
+    pub fn new() -> EvalScratch {
+        EvalScratch::default()
+    }
+}
+
+/// Hot-path counters, accumulated locally and published to [`dcer_obs`]
+/// once per enumeration (`eval.*` series) so `experiments stats` shows
+/// where enumeration time goes.
+#[derive(Debug, Default, Clone, Copy)]
+struct EvalStats {
+    /// Edge probe options priced (index lookups by bound join key).
+    probes: u64,
+    /// Constant probe options priced.
+    const_probes: u64,
+    /// Candidate rows drawn from chosen probes.
+    probe_rows: u64,
+    /// Scan fallbacks taken.
+    scans: u64,
+    /// Candidate rows drawn from scans.
+    scan_rows: u64,
+}
+
+impl EvalStats {
+    fn publish(&self, valuations: u64) {
+        if !dcer_obs::enabled() {
+            return;
+        }
+        dcer_obs::counter_add("eval.probes", self.probes);
+        dcer_obs::counter_add("eval.const_probes", self.const_probes);
+        dcer_obs::counter_add("eval.probe_rows", self.probe_rows);
+        dcer_obs::counter_add("eval.scans", self.scans);
+        dcer_obs::counter_add("eval.scan_rows", self.scan_rows);
+        dcer_obs::counter_add("eval.valuations", valuations);
+    }
+}
+
 /// Enumerate all support valuations of `plan` in `dataset`, with variables
 /// in `seeds` pre-bound to the given rows. Returns the number of complete
 /// valuations visited.
+///
+/// Convenience wrapper: compiles a throwaway [`RuleProgram`] and scratch
+/// per call. Fixpoint loops should compile once and call
+/// [`enumerate_with_program`] to stay allocation-free.
 pub fn enumerate_valuations(
     plan: &CompiledRule,
     dataset: &Dataset,
@@ -55,188 +146,214 @@ pub fn enumerate_valuations(
     seeds: &[(TupleVar, u32)],
     sink: &mut dyn ValuationSink,
 ) -> u64 {
-    let n = plan.num_vars();
-    let mut rows: Vec<Option<u32>> = vec![None; n];
+    let program = RuleProgram::compile(plan, dataset, indexes);
+    let mut scratch = EvalScratch::new();
+    enumerate_with_program(&program, plan, dataset, indexes, seeds, &mut scratch, sink)
+}
 
-    // Pre-bind and validate seeds. (Seeds bypass `admit_row`: delta-driven
-    // re-evaluation must consider any locally hosted tuple.)
+/// Run a compiled `program` (from [`RuleProgram::compile`] against the
+/// same `dataset` / `indexes` generation) with `seeds` pre-bound. Returns
+/// the number of complete valuations visited.
+///
+/// Seeds bypass [`ValuationSink::admit_row`] — delta-driven re-evaluation
+/// must consider any locally hosted tuple — and are validated in a prelude
+/// (constant filters, fully seeded equality edges and recursive
+/// predicates) before enumeration starts.
+pub fn enumerate_with_program(
+    program: &RuleProgram,
+    plan: &CompiledRule,
+    dataset: &Dataset,
+    indexes: &IndexSet,
+    seeds: &[(TupleVar, u32)],
+    scratch: &mut EvalScratch,
+    sink: &mut dyn ValuationSink,
+) -> u64 {
+    if program.dead {
+        return 0;
+    }
+    let n = program.num_vars;
+    scratch.rows.clear();
+    scratch.rows.resize(n, UNBOUND);
+    scratch.frames.clear();
+
+    // Pre-bind and validate seeds.
     for &(v, row) in seeds {
-        let rel = plan.atoms[v.0 as usize];
-        if row as usize >= dataset.relation(rel).len() {
+        if row as usize >= dataset.relation(plan.atoms[v.0 as usize]).len() {
             return 0;
         }
-        rows[v.0 as usize] = Some(row);
+        scratch.rows[v.0 as usize] = row;
     }
+    let mut stats = EvalStats::default();
     for &(v, _) in seeds {
-        if !filters_hold(plan, dataset, &rows, v) {
-            return 0;
+        let step = &program.steps[program.step_of(v)];
+        let row = scratch.rows[v.0 as usize];
+        for c in &step.consts {
+            if indexes.at(c.slot).code_of_row(row) != c.code {
+                return 0;
+            }
         }
     }
-    // Check predicates already fully bound by seeds (equality + recursive).
-    for e in &plan.eq_edges {
-        if let (Some(lr), Some(rr)) = (rows[e.left.0 .0 as usize], rows[e.right.0 .0 as usize]) {
-            let lt = &dataset.relation(plan.atoms[e.left.0 .0 as usize]).tuples()[lr as usize];
-            let rt = &dataset.relation(plan.atoms[e.right.0 .0 as usize]).tuples()[rr as usize];
-            if !lt.get(e.left.1).sql_eq(rt.get(e.right.1)) {
+    // Equality edges and recursive predicates already fully bound by seeds.
+    for p in &program.eq_pairs {
+        let (lr, rr) = (scratch.rows[p.left_var as usize], scratch.rows[p.right_var as usize]);
+        if lr != UNBOUND && rr != UNBOUND {
+            let lc = indexes.at(p.left_slot).code_of_row(lr);
+            if lc == ValueDict::NULL || lc != indexes.at(p.right_slot).code_of_row(rr) {
                 return 0;
             }
         }
     }
     for p in &plan.rec_preds {
         let (l, r) = p.vars();
-        if let (Some(lr), Some(rr)) = (rows[l.0 as usize], rows[r.0 as usize]) {
-            let lt = dataset.relation(plan.atoms[l.0 as usize]).tuples()[lr as usize].clone();
-            let rt = dataset.relation(plan.atoms[r.0 as usize]).tuples()[rr as usize].clone();
-            if sink.prune_rec(p, &lt, &rt) {
+        let (lr, rr) = (scratch.rows[l.0 as usize], scratch.rows[r.0 as usize]);
+        if lr != UNBOUND && rr != UNBOUND {
+            let lt = &dataset.relation(plan.atoms[l.0 as usize]).tuples()[lr as usize];
+            let rt = &dataset.relation(plan.atoms[r.0 as usize]).tuples()[rr as usize];
+            if sink.prune_rec(p, lt, rt) {
                 return 0;
             }
         }
     }
 
-    let mut count = 0;
-    descend(plan, dataset, indexes, &mut rows, sink, &mut count);
+    let mut count = 0u64;
+    let Some(first) = next_unbound_step(program, &scratch.rows, 0) else {
+        // Everything seeded: the prelude validated the lone valuation.
+        sink.visit(&scratch.rows);
+        stats.publish(1);
+        return 1;
+    };
+    let frame = make_frame(program, dataset, indexes, &scratch.rows, first, &mut stats);
+    scratch.frames.push(frame);
+
+    while let Some(top) = scratch.frames.len().checked_sub(1) {
+        let f = scratch.frames[top];
+        let step = &program.steps[f.step as usize];
+        if f.pos >= f.end {
+            // Exhausted: unbind and backtrack.
+            scratch.rows[step.var as usize] = UNBOUND;
+            scratch.frames.pop();
+            continue;
+        }
+        scratch.frames[top].pos = f.pos + 1;
+        let row = if f.scan { f.pos } else { indexes.at(f.slot).rows()[f.pos as usize] };
+        if !sink.admit_row(TupleVar(step.var), row) {
+            continue;
+        }
+        scratch.rows[step.var as usize] = row;
+        if !candidate_passes(plan, dataset, indexes, &scratch.rows, step, row, sink) {
+            // Stale binding is fine: overwritten by the next candidate,
+            // cleared on frame exhaustion.
+            continue;
+        }
+        match next_unbound_step(program, &scratch.rows, f.step as usize + 1) {
+            Some(next) => {
+                let frame = make_frame(program, dataset, indexes, &scratch.rows, next, &mut stats);
+                scratch.frames.push(frame);
+            }
+            None => {
+                count += 1;
+                sink.visit(&scratch.rows);
+            }
+        }
+    }
+    stats.publish(count);
     count
 }
 
-/// All constant filters of variable `v` hold under the current binding.
-fn filters_hold(plan: &CompiledRule, dataset: &Dataset, rows: &[Option<u32>], v: TupleVar) -> bool {
-    let Some(row) = rows[v.0 as usize] else {
-        return true;
-    };
-    let t = &dataset.relation(plan.atoms[v.0 as usize]).tuples()[row as usize];
-    plan.const_filters[v.0 as usize].iter().all(|(a, c)| t.get(*a).sql_eq(c))
+/// First step at or after `from` whose variable is not already bound (the
+/// bound ones are seeds; frame-bound steps are always behind `from`).
+fn next_unbound_step(program: &RuleProgram, rows: &[u32], from: usize) -> Option<usize> {
+    (from..program.steps.len()).find(|&i| rows[program.steps[i].var as usize] == UNBOUND)
 }
 
-/// Candidate row source for the chosen variable.
-enum Access {
-    /// Probe rows from an index lookup (already materialized).
-    Probe(Vec<u32>),
-    /// Scan the whole relation.
-    Scan(u32),
+/// Price the step's available probe options and open a frame over the
+/// cheapest, falling back to a lazy scan when no option is usable.
+fn make_frame(
+    program: &RuleProgram,
+    dataset: &Dataset,
+    indexes: &IndexSet,
+    rows: &[u32],
+    step_idx: usize,
+    stats: &mut EvalStats,
+) -> Frame {
+    let step = &program.steps[step_idx];
+    let mut best: Option<(u32, u32, u32)> = None; // (slot, start, end)
+    for c in &step.consts {
+        stats.const_probes += 1;
+        let (s, e) = indexes.at(c.slot).bucket_range(c.code);
+        if best.is_none_or(|(_, bs, be)| e - s < be - bs) {
+            best = Some((c.slot, s, e));
+        }
+    }
+    for ep in &step.edges {
+        let src = rows[ep.src_var as usize];
+        if src == UNBOUND {
+            continue;
+        }
+        stats.probes += 1;
+        // A null join key yields `ValueDict::NULL`, whose bucket is empty:
+        // nulls never join.
+        let code = indexes.at(ep.src_slot).code_of_row(src);
+        let (s, e) = indexes.at(ep.slot).bucket_range(code);
+        if best.is_none_or(|(_, bs, be)| e - s < be - bs) {
+            best = Some((ep.slot, s, e));
+        }
+    }
+    match best {
+        Some((slot, s, e)) => {
+            stats.probe_rows += (e - s) as u64;
+            Frame { step: step_idx as u32, slot, pos: s, end: e, scan: false }
+        }
+        None => {
+            let len = dataset.relation(step.rel).len() as u32;
+            stats.scans += 1;
+            stats.scan_rows += len as u64;
+            Frame { step: step_idx as u32, slot: 0, pos: 0, end: len, scan: true }
+        }
+    }
 }
 
-fn descend(
+/// Run the step's checks against a freshly bound candidate, in the same
+/// order as the recursive enumerator did: constant filters, then equality
+/// edges, then recursive predicates.
+fn candidate_passes(
     plan: &CompiledRule,
     dataset: &Dataset,
-    indexes: &mut IndexSet,
-    rows: &mut Vec<Option<u32>>,
+    indexes: &IndexSet,
+    rows: &[u32],
+    step: &crate::program::Step,
+    row: u32,
     sink: &mut dyn ValuationSink,
-    count: &mut u64,
-) {
-    // Complete?
-    let Some(_) = rows.iter().position(Option::is_none) else {
-        *count += 1;
-        let full: Vec<u32> = rows.iter().map(|r| r.unwrap()).collect();
-        sink.visit(&full);
-        return;
-    };
-
-    // Pick the cheapest access path among unbound variables.
-    let mut best: Option<(TupleVar, usize, Access)> = None; // (var, cost, access)
-    for i in 0..plan.num_vars() {
-        if rows[i].is_some() {
-            continue;
-        }
-        let v = TupleVar(i as u16);
-        let rel = plan.atoms[i];
-        // Equality edges with the other side bound.
-        for e in &plan.eq_edges {
-            let probe = if e.left.0 == v {
-                rows[e.right.0 .0 as usize].map(|r| {
-                    let other =
-                        &dataset.relation(plan.atoms[e.right.0 .0 as usize]).tuples()[r as usize];
-                    (e.left.1, other.get(e.right.1).clone())
-                })
-            } else if e.right.0 == v {
-                rows[e.left.0 .0 as usize].map(|r| {
-                    let other =
-                        &dataset.relation(plan.atoms[e.left.0 .0 as usize]).tuples()[r as usize];
-                    (e.right.1, other.get(e.left.1).clone())
-                })
-            } else {
-                None
-            };
-            if let Some((attr, value)) = probe {
-                if value.is_null() {
-                    // Null never joins: this branch is dead for v.
-                    best = Some((v, 0, Access::Probe(Vec::new())));
-                    continue;
-                }
-                let postings = indexes.get(dataset, rel, attr).lookup(&value);
-                if best.as_ref().is_none_or(|(_, c, _)| postings.len() < *c) {
-                    best = Some((v, postings.len(), Access::Probe(postings.to_vec())));
-                }
-            }
-        }
-        // Constant filters as access paths.
-        for (attr, c) in &plan.const_filters[i] {
-            let postings = indexes.get(dataset, rel, *attr).lookup(c);
-            if best.as_ref().is_none_or(|(_, cost, _)| postings.len() < *cost) {
-                best = Some((v, postings.len(), Access::Probe(postings.to_vec())));
-            }
+) -> bool {
+    for c in &step.consts {
+        if indexes.at(c.slot).code_of_row(row) != c.code {
+            return false;
         }
     }
-    let (var, _, access) = match best {
-        Some(b) => b,
-        None => {
-            // No connected unbound variable: fall back to scanning the
-            // smallest-unbound relation (cartesian step).
-            let (i, rel) = (0..plan.num_vars())
-                .filter(|&i| rows[i].is_none())
-                .map(|i| (i, plan.atoms[i]))
-                .min_by_key(|&(_, rel)| dataset.relation(rel).len())
-                .expect("at least one unbound variable");
-            (TupleVar(i as u16), 0, Access::Scan(dataset.relation(rel).len() as u32))
-        }
-    };
-
-    let candidates: Vec<u32> = match access {
-        Access::Probe(rows) => rows,
-        Access::Scan(len) => (0..len).collect(),
-    };
-    'cands: for row in candidates {
-        if !sink.admit_row(var, row) {
+    for c in &step.eq_checks {
+        let other = rows[c.other_var as usize];
+        if other == UNBOUND {
             continue;
         }
-        rows[var.0 as usize] = Some(row);
-        // Constant filters.
-        if !filters_hold(plan, dataset, rows, var) {
-            rows[var.0 as usize] = None;
-            continue;
+        let code = indexes.at(c.slot).code_of_row(row);
+        if code == ValueDict::NULL || code != indexes.at(c.other_slot).code_of_row(other) {
+            return false;
         }
-        // All equality edges now fully bound and touching `var`.
-        for e in &plan.eq_edges {
-            if e.left.0 != var && e.right.0 != var {
-                continue;
-            }
-            if let (Some(lr), Some(rr)) = (rows[e.left.0 .0 as usize], rows[e.right.0 .0 as usize])
-            {
-                let lt = &dataset.relation(plan.atoms[e.left.0 .0 as usize]).tuples()[lr as usize];
-                let rt = &dataset.relation(plan.atoms[e.right.0 .0 as usize]).tuples()[rr as usize];
-                if !lt.get(e.left.1).sql_eq(rt.get(e.right.1)) {
-                    rows[var.0 as usize] = None;
-                    continue 'cands;
-                }
-            }
-        }
-        // Recursive predicates that just became fully bound.
-        for p in &plan.rec_preds {
-            let (l, r) = p.vars();
-            if l != var && r != var {
-                continue;
-            }
-            if let (Some(lr), Some(rr)) = (rows[l.0 as usize], rows[r.0 as usize]) {
-                let lt = dataset.relation(plan.atoms[l.0 as usize]).tuples()[lr as usize].clone();
-                let rt = dataset.relation(plan.atoms[r.0 as usize]).tuples()[rr as usize].clone();
-                if sink.prune_rec(p, &lt, &rt) {
-                    rows[var.0 as usize] = None;
-                    continue 'cands;
-                }
-            }
-        }
-        descend(plan, dataset, indexes, rows, sink, count);
-        rows[var.0 as usize] = None;
     }
+    for &pi in &step.rec_checks {
+        let p = &plan.rec_preds[pi as usize];
+        let (l, r) = p.vars();
+        let (lr, rr) = (rows[l.0 as usize], rows[r.0 as usize]);
+        if lr == UNBOUND || rr == UNBOUND {
+            continue;
+        }
+        let lt = &dataset.relation(plan.atoms[l.0 as usize]).tuples()[lr as usize];
+        let rt = &dataset.relation(plan.atoms[r.0 as usize]).tuples()[rr as usize];
+        if sink.prune_rec(p, lt, rt) {
+            return false;
+        }
+    }
+    true
 }
 
 #[cfg(test)]
@@ -323,6 +440,16 @@ mod tests {
     }
 
     #[test]
+    fn unmatchable_constant_short_circuits() {
+        let (plan, d) = compile(r#"match j: R(t), S(s), t.k = s.k, t.v = "zz" -> dummy(t.k, s.k)"#);
+        let mut idx = IndexSet::new();
+        let mut sink = Collect { all: vec![], prune_ml: false };
+        assert_eq!(enumerate_valuations(&plan, &d, &mut idx, &[], &mut sink), 0);
+        // Seeds can't resurrect a dead program either.
+        assert_eq!(enumerate_valuations(&plan, &d, &mut idx, &[(TupleVar(0), 0)], &mut sink), 0);
+    }
+
+    #[test]
     fn disconnected_atoms_cross_product() {
         let (plan, d) = compile("match j: R(t), S(s) -> dummy(t.k, s.k)");
         let mut idx = IndexSet::new();
@@ -351,6 +478,22 @@ mod tests {
         let n = enumerate_valuations(&plan, &d, &mut idx, &[(TupleVar(0), 1)], &mut sink);
         assert_eq!(n, 1);
         assert_eq!(sink.all, vec![vec![1, 0]]);
+    }
+
+    #[test]
+    fn fully_seeded_valuation_is_validated() {
+        let (plan, d) = compile("match j: R(t), S(s), t.k = s.k -> dummy(t.k, s.k)");
+        let mut idx = IndexSet::new();
+        let mut sink = Collect { all: vec![], prune_ml: false };
+        let n = enumerate_valuations(
+            &plan,
+            &d,
+            &mut idx,
+            &[(TupleVar(0), 0), (TupleVar(1), 0)],
+            &mut sink,
+        );
+        assert_eq!(n, 1);
+        assert_eq!(sink.all, vec![vec![0, 0]]);
     }
 
     #[test]
@@ -389,5 +532,29 @@ mod tests {
         let n = enumerate_valuations(&plan, &d, &mut idx, &[], &mut sink);
         // k=a: R{0,1} x S{0} x R{0,1} = 4; k=b: R{2} x S{1} x R{2} = 1.
         assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn program_reuse_with_scratch_matches_fresh_compile() {
+        let (plan, d) = compile("match j: R(t), S(s), t.k = s.k -> dummy(t.k, s.k)");
+        let mut idx = IndexSet::new();
+        let program = RuleProgram::compile(&plan, &d, &mut idx);
+        let mut scratch = EvalScratch::new();
+        for _ in 0..3 {
+            let mut sink = Collect { all: vec![], prune_ml: false };
+            let n = enumerate_with_program(&program, &plan, &d, &idx, &[], &mut scratch, &mut sink);
+            assert_eq!(n, 3);
+        }
+        let mut sink = Collect { all: vec![], prune_ml: false };
+        let n = enumerate_with_program(
+            &program,
+            &plan,
+            &d,
+            &idx,
+            &[(TupleVar(1), 0)],
+            &mut scratch,
+            &mut sink,
+        );
+        assert_eq!(n, 2); // R0 and R1 join S0.
     }
 }

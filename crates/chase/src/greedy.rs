@@ -1,0 +1,230 @@
+//! The original recursive valuation enumerator, kept as an oracle.
+//!
+//! Before the compiled [`RuleProgram`](crate::program::RuleProgram) path,
+//! enumeration greedily re-scored every access path at every recursion
+//! level, cloned the join-key `Value` for each probe, materialized
+//! postings with `to_vec()` and scans with `(0..len).collect()`, and
+//! cloned whole tuples for recursive-predicate checks. This module
+//! preserves that algorithm (ported onto the dictionary-encoded
+//! [`IndexSet`] API) for two jobs:
+//!
+//! 1. the `eval_equivalence` tests assert it visits exactly the same
+//!    valuation set as the compiled enumerator, seeded and unseeded;
+//! 2. the `chase_eval` benchmark uses it as the honest "before" baseline.
+//!
+//! Value-level probes go through the shared dictionary, so equality
+//! semantics ([`Value::sql_eq`]-like, nulls never join) match the compiled
+//! path exactly.
+
+use crate::plan::CompiledRule;
+use crate::ValuationSink;
+use dcer_mrl::TupleVar;
+use dcer_relation::{Dataset, IndexSet, Value};
+
+/// Enumerate all support valuations of `plan` the way the pre-compiled
+/// enumerator did: greedy per-level access-path selection, materialized
+/// candidate lists, recursive descent. Returns the number of complete
+/// valuations visited.
+pub fn enumerate_valuations_greedy(
+    plan: &CompiledRule,
+    dataset: &Dataset,
+    indexes: &mut IndexSet,
+    seeds: &[(TupleVar, u32)],
+    sink: &mut dyn ValuationSink,
+) -> u64 {
+    let n = plan.num_vars();
+    let mut rows: Vec<Option<u32>> = vec![None; n];
+
+    // Pre-bind and validate seeds. (Seeds bypass `admit_row`: delta-driven
+    // re-evaluation must consider any locally hosted tuple.)
+    for &(v, row) in seeds {
+        let rel = plan.atoms[v.0 as usize];
+        if row as usize >= dataset.relation(rel).len() {
+            return 0;
+        }
+        rows[v.0 as usize] = Some(row);
+    }
+    for &(v, _) in seeds {
+        if !filters_hold(plan, dataset, &rows, v) {
+            return 0;
+        }
+    }
+    // Check predicates already fully bound by seeds (equality + recursive).
+    for e in &plan.eq_edges {
+        if let (Some(lr), Some(rr)) = (rows[e.left.0 .0 as usize], rows[e.right.0 .0 as usize]) {
+            let lt = &dataset.relation(plan.atoms[e.left.0 .0 as usize]).tuples()[lr as usize];
+            let rt = &dataset.relation(plan.atoms[e.right.0 .0 as usize]).tuples()[rr as usize];
+            if !lt.get(e.left.1).sql_eq(rt.get(e.right.1)) {
+                return 0;
+            }
+        }
+    }
+    for p in &plan.rec_preds {
+        let (l, r) = p.vars();
+        if let (Some(lr), Some(rr)) = (rows[l.0 as usize], rows[r.0 as usize]) {
+            let lt = dataset.relation(plan.atoms[l.0 as usize]).tuples()[lr as usize].clone();
+            let rt = dataset.relation(plan.atoms[r.0 as usize]).tuples()[rr as usize].clone();
+            if sink.prune_rec(p, &lt, &rt) {
+                return 0;
+            }
+        }
+    }
+
+    let mut count = 0;
+    descend(plan, dataset, indexes, &mut rows, sink, &mut count);
+    count
+}
+
+/// All constant filters of variable `v` hold under the current binding.
+fn filters_hold(plan: &CompiledRule, dataset: &Dataset, rows: &[Option<u32>], v: TupleVar) -> bool {
+    let Some(row) = rows[v.0 as usize] else {
+        return true;
+    };
+    let t = &dataset.relation(plan.atoms[v.0 as usize]).tuples()[row as usize];
+    plan.const_filters[v.0 as usize].iter().all(|(a, c)| t.get(*a).sql_eq(c))
+}
+
+/// Value-level index probe (clones preserved: this is the baseline's cost
+/// model).
+fn lookup_rows(
+    indexes: &mut IndexSet,
+    dataset: &Dataset,
+    rel: dcer_relation::RelId,
+    attr: dcer_relation::AttrId,
+    value: &Value,
+) -> Vec<u32> {
+    let slot = indexes.slot_of(dataset, rel, attr);
+    indexes.at(slot).lookup(indexes.dict(), value).to_vec()
+}
+
+/// Candidate row source for the chosen variable.
+enum Access {
+    /// Probe rows from an index lookup (already materialized).
+    Probe(Vec<u32>),
+    /// Scan the whole relation.
+    Scan(u32),
+}
+
+fn descend(
+    plan: &CompiledRule,
+    dataset: &Dataset,
+    indexes: &mut IndexSet,
+    rows: &mut Vec<Option<u32>>,
+    sink: &mut dyn ValuationSink,
+    count: &mut u64,
+) {
+    // Complete?
+    let Some(_) = rows.iter().position(Option::is_none) else {
+        *count += 1;
+        let full: Vec<u32> = rows.iter().map(|r| r.unwrap()).collect();
+        sink.visit(&full);
+        return;
+    };
+
+    // Pick the cheapest access path among unbound variables.
+    let mut best: Option<(TupleVar, usize, Access)> = None; // (var, cost, access)
+    for i in 0..plan.num_vars() {
+        if rows[i].is_some() {
+            continue;
+        }
+        let v = TupleVar(i as u16);
+        let rel = plan.atoms[i];
+        // Equality edges with the other side bound.
+        for e in &plan.eq_edges {
+            let probe = if e.left.0 == v {
+                rows[e.right.0 .0 as usize].map(|r| {
+                    let other =
+                        &dataset.relation(plan.atoms[e.right.0 .0 as usize]).tuples()[r as usize];
+                    (e.left.1, other.get(e.right.1).clone())
+                })
+            } else if e.right.0 == v {
+                rows[e.left.0 .0 as usize].map(|r| {
+                    let other =
+                        &dataset.relation(plan.atoms[e.left.0 .0 as usize]).tuples()[r as usize];
+                    (e.right.1, other.get(e.left.1).clone())
+                })
+            } else {
+                None
+            };
+            if let Some((attr, value)) = probe {
+                if value.is_null() {
+                    // Null never joins: this branch is dead for v.
+                    best = Some((v, 0, Access::Probe(Vec::new())));
+                    continue;
+                }
+                let postings = lookup_rows(indexes, dataset, rel, attr, &value);
+                if best.as_ref().is_none_or(|(_, c, _)| postings.len() < *c) {
+                    best = Some((v, postings.len(), Access::Probe(postings)));
+                }
+            }
+        }
+        // Constant filters as access paths.
+        for (attr, c) in &plan.const_filters[i] {
+            let postings = lookup_rows(indexes, dataset, rel, *attr, c);
+            if best.as_ref().is_none_or(|(_, cost, _)| postings.len() < *cost) {
+                best = Some((v, postings.len(), Access::Probe(postings)));
+            }
+        }
+    }
+    let (var, _, access) = match best {
+        Some(b) => b,
+        None => {
+            // No connected unbound variable: fall back to scanning the
+            // smallest-unbound relation (cartesian step).
+            let (i, rel) = (0..plan.num_vars())
+                .filter(|&i| rows[i].is_none())
+                .map(|i| (i, plan.atoms[i]))
+                .min_by_key(|&(_, rel)| dataset.relation(rel).len())
+                .expect("at least one unbound variable");
+            (TupleVar(i as u16), 0, Access::Scan(dataset.relation(rel).len() as u32))
+        }
+    };
+
+    let candidates: Vec<u32> = match access {
+        Access::Probe(rows) => rows,
+        Access::Scan(len) => (0..len).collect(),
+    };
+    'cands: for row in candidates {
+        if !sink.admit_row(var, row) {
+            continue;
+        }
+        rows[var.0 as usize] = Some(row);
+        // Constant filters.
+        if !filters_hold(plan, dataset, rows, var) {
+            rows[var.0 as usize] = None;
+            continue;
+        }
+        // All equality edges now fully bound and touching `var`.
+        for e in &plan.eq_edges {
+            if e.left.0 != var && e.right.0 != var {
+                continue;
+            }
+            if let (Some(lr), Some(rr)) = (rows[e.left.0 .0 as usize], rows[e.right.0 .0 as usize])
+            {
+                let lt = &dataset.relation(plan.atoms[e.left.0 .0 as usize]).tuples()[lr as usize];
+                let rt = &dataset.relation(plan.atoms[e.right.0 .0 as usize]).tuples()[rr as usize];
+                if !lt.get(e.left.1).sql_eq(rt.get(e.right.1)) {
+                    rows[var.0 as usize] = None;
+                    continue 'cands;
+                }
+            }
+        }
+        // Recursive predicates that just became fully bound.
+        for p in &plan.rec_preds {
+            let (l, r) = p.vars();
+            if l != var && r != var {
+                continue;
+            }
+            if let (Some(lr), Some(rr)) = (rows[l.0 as usize], rows[r.0 as usize]) {
+                let lt = dataset.relation(plan.atoms[l.0 as usize]).tuples()[lr as usize].clone();
+                let rt = dataset.relation(plan.atoms[r.0 as usize]).tuples()[rr as usize].clone();
+                if sink.prune_rec(p, &lt, &rt) {
+                    rows[var.0 as usize] = None;
+                    continue 'cands;
+                }
+            }
+        }
+        descend(plan, dataset, indexes, rows, sink, count);
+        rows[var.0 as usize] = None;
+    }
+}

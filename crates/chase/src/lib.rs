@@ -27,15 +27,20 @@ pub mod deps;
 pub mod engine;
 pub mod eval;
 pub mod facts;
+pub mod greedy;
 pub mod naive;
 pub mod plan;
+pub mod program;
 pub mod soft;
 pub mod union_find;
 
 pub use batch::{BatchStats, DeltaBatch};
 pub use engine::{run_match, ChaseConfig, ChaseEngine, ChaseOutcome, ChaseStats};
+pub use eval::{enumerate_valuations, enumerate_with_program, EvalScratch, ValuationSink};
 pub use facts::{ChaseState, Fact, MlOracle, MlSigTable};
+pub use greedy::enumerate_valuations_greedy;
 pub use naive::naive_chase;
 pub use plan::{CompiledHead, CompiledRule, RecPred};
+pub use program::RuleProgram;
 pub use soft::{soft_chase, SoftFact, SoftOutcome};
 pub use union_find::MatchSet;

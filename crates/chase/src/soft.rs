@@ -26,9 +26,10 @@
 //! (naive-chase style), which is the right trade-off for the ranked-output
 //! use case: you run it once at the end, on the tuples you care about.
 
-use crate::eval::{enumerate_valuations, ValuationSink};
+use crate::eval::{enumerate_with_program, EvalScratch, ValuationSink};
 use crate::facts::MlSigTable;
 use crate::plan::{CompiledHead, CompiledRule, RecPred};
+use crate::program::RuleProgram;
 use dcer_ml::MlRegistry;
 use dcer_mrl::RuleSet;
 use dcer_relation::{Dataset, IndexSet, Tid, Tuple};
@@ -152,11 +153,17 @@ pub fn soft_chase(
     let mut confidence: HashMap<SoftFact, f64> = HashMap::new();
     let min_confidence = min_confidence.clamp(f64::MIN_POSITIVE, 1.0);
 
+    // The data never changes during the fixpoint, so each plan's access
+    // program is compiled exactly once and reused every round.
+    let programs: Vec<RuleProgram> =
+        plans.iter().map(|p| RuleProgram::compile(p, dataset, &mut indexes)).collect();
+    let mut scratch = EvalScratch::new();
+
     let mut rounds = 0;
     loop {
         rounds += 1;
         let mut changed = false;
-        for plan in &plans {
+        for (plan, program) in plans.iter().zip(&programs) {
             let mut sink = SoftSink {
                 plan,
                 dataset,
@@ -166,7 +173,7 @@ pub fn soft_chase(
                 min_confidence,
                 changed: &mut changed,
             };
-            enumerate_valuations(plan, dataset, &mut indexes, &[], &mut sink);
+            enumerate_with_program(program, plan, dataset, &indexes, &[], &mut scratch, &mut sink);
         }
         if !changed {
             break;

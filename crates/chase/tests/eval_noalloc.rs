@@ -1,0 +1,111 @@
+//! Asserts the enumerator's allocation-free hot path: once a
+//! [`RuleProgram`] is compiled and the [`EvalScratch`] warmed, a full
+//! `enumerate_with_program` run — index probes, candidate iteration,
+//! equality checks, visits — performs zero heap allocations.
+//!
+//! Lives in its own integration binary so the counting global allocator
+//! can't interact with other tests (same harness as
+//! `crates/obs/tests/noop_alloc.rs`).
+
+use dcer_chase::{
+    enumerate_with_program, CompiledRule, EvalScratch, MlSigTable, RecPred, RuleProgram,
+    ValuationSink,
+};
+use dcer_mrl::TupleVar;
+use dcer_relation::{Catalog, Dataset, IndexSet, RelationSchema, Tuple, ValueType};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Counts visits without storing them — the measured window must not be
+/// polluted by the sink's own bookkeeping.
+struct CountOnly {
+    visited: u64,
+}
+
+impl ValuationSink for CountOnly {
+    fn prune_rec(&mut self, _pred: &RecPred, _l: &Tuple, _r: &Tuple) -> bool {
+        false
+    }
+    fn visit(&mut self, rows: &[u32]) {
+        self.visited += rows.len() as u64;
+    }
+}
+
+fn setup() -> (Dataset, CompiledRule) {
+    let cat = Arc::new(
+        Catalog::from_schemas(vec![
+            RelationSchema::of("R", &[("k", ValueType::Str), ("v", ValueType::Str)]),
+            RelationSchema::of("S", &[("k", ValueType::Str), ("w", ValueType::Str)]),
+        ])
+        .unwrap(),
+    );
+    let mut d = Dataset::new(cat);
+    for i in 0..600 {
+        d.insert(0, vec![format!("key{}", i % 150).into(), format!("v{}", i % 7).into()]).unwrap();
+        d.insert(1, vec![format!("key{}", i % 200).into(), format!("w{i}").into()]).unwrap();
+    }
+    let rules = dcer_mrl::parse_rules(
+        d.catalog(),
+        r#"match j: R(t), S(s), R(u), t.k = s.k, s.k = u.k, t.v = "v3" -> t.id = u.id"#,
+    )
+    .unwrap();
+    let sigs = MlSigTable::build(&rules);
+    (d, CompiledRule::compile(&rules, &sigs, 0))
+}
+
+#[test]
+fn warmed_enumeration_does_not_allocate() {
+    assert!(!dcer_obs::enabled(), "test requires no recorder installed");
+    let (d, plan) = setup();
+    let mut indexes = IndexSet::new();
+    let program = RuleProgram::compile(&plan, &d, &mut indexes);
+    let mut scratch = EvalScratch::new();
+    let mut sink = CountOnly { visited: 0 };
+
+    // Warm-up: sizes the scratch buffers, touches every index path.
+    let warm = enumerate_with_program(&program, &plan, &d, &indexes, &[], &mut scratch, &mut sink);
+    assert!(warm > 0, "setup must produce valuations for the test to mean anything");
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    let unseeded =
+        enumerate_with_program(&program, &plan, &d, &indexes, &[], &mut scratch, &mut sink);
+    let seeded = enumerate_with_program(
+        &program,
+        &plan,
+        &d,
+        &indexes,
+        &[(TupleVar(1), 3)],
+        &mut scratch,
+        &mut sink,
+    );
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(unseeded, warm);
+    assert!(seeded > 0, "seeded run must also enumerate");
+    assert!(sink.visited > 0);
+    assert_eq!(after - before, 0, "warmed enumeration allocated {} times", after - before);
+}

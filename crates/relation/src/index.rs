@@ -1,9 +1,18 @@
-//! Secondary hash indexes (the paper's inverted indices, Section V-A).
+//! Secondary hash indexes (the paper's inverted indices, Section V-A),
+//! dictionary-encoded.
 //!
-//! [`HashIndex`] maps an attribute value to the tuples carrying that value;
-//! it backs equality predicates `t.A = s.B` and constant predicates
-//! `t.A = c` during chase evaluation. [`IndexSet`] lazily builds and caches
-//! one index per `(relation, attribute)` over a dataset or fragment.
+//! A [`ValueDict`] interns attribute values into dense `u32` codes at
+//! index-build time; every [`HashIndex`] of an [`IndexSet`] shares one
+//! dictionary, so a join key bound on one relation can be compared against
+//! another relation's rows *by code* — no `Value` clone, no string hashing
+//! per probe. [`HashIndex`] stores its postings in a CSR layout
+//! (`code -> [row positions]` as ranges into one flat array) plus a dense
+//! per-row code column, which is what makes the chase enumerator's probe
+//! path allocation-free: candidates are iterated as slice borrows and
+//! equality predicates reduce to `u32` comparisons.
+//!
+//! `Null` values are never indexed and receive the reserved code
+//! [`ValueDict::NULL`], which compares equal to nothing (SQL semantics).
 
 use crate::dataset::Dataset;
 use crate::schema::{AttrId, RelId};
@@ -11,43 +20,186 @@ use crate::tuple::Tid;
 use crate::value::Value;
 use std::collections::HashMap;
 
-/// Inverted index over one attribute of one relation instance:
-/// `value -> [row positions]`. `Null` values are never indexed (they cannot
-/// satisfy equality predicates).
+/// Shared interning dictionary: attribute [`Value`] → dense `u32` code.
+///
+/// Codes are assigned in first-intern order and are only meaningful within
+/// the dictionary that issued them (in practice: within one [`IndexSet`]).
+/// Numeric values are canonicalized before interning so that `Int(2)` and
+/// `Float(2.0)` — equal under [`Value::sql_eq`] — receive the same code;
+/// code equality on non-null values therefore coincides with predicate
+/// equality.
+#[derive(Debug, Clone, Default)]
+pub struct ValueDict {
+    codes: HashMap<Value, u32>,
+}
+
+impl ValueDict {
+    /// Reserved code for `Null` (and for "value never interned"): it never
+    /// compares equal to any row's code, including another `NULL`.
+    pub const NULL: u32 = u32::MAX;
+
+    /// Empty dictionary.
+    pub fn new() -> ValueDict {
+        ValueDict::default()
+    }
+
+    /// Canonical numeric form: integral floats collapse onto `Int` so that
+    /// `sql_eq`-equal numerics intern to one code. Returns `None` when the
+    /// value is already canonical.
+    fn canonical(value: &Value) -> Option<Value> {
+        match value {
+            Value::Float(f) if f.fract() == 0.0 && f.is_finite() && f.abs() < (i64::MAX as f64) => {
+                Some(Value::Int(*f as i64))
+            }
+            _ => None,
+        }
+    }
+
+    /// Intern `value`, assigning the next dense code on first sight.
+    /// `Null` maps to [`ValueDict::NULL`] without entering the table.
+    pub fn intern(&mut self, value: &Value) -> u32 {
+        if value.is_null() {
+            return ValueDict::NULL;
+        }
+        let canonical = ValueDict::canonical(value);
+        let key = canonical.as_ref().unwrap_or(value);
+        if let Some(&code) = self.codes.get(key) {
+            return code;
+        }
+        let code = self.codes.len() as u32;
+        debug_assert!(code < ValueDict::NULL, "dictionary exhausted u32 code space");
+        self.codes.insert(key.clone(), code);
+        code
+    }
+
+    /// Code of `value` if it was ever interned; `None` for `Null` and for
+    /// values no indexed row carries (such a value can match nothing).
+    pub fn code_of(&self, value: &Value) -> Option<u32> {
+        if value.is_null() {
+            return None;
+        }
+        let canonical = ValueDict::canonical(value);
+        self.codes.get(canonical.as_ref().unwrap_or(value)).copied()
+    }
+
+    /// Number of distinct interned values.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Whether no value has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+}
+
+/// Inverted index over one attribute of one relation instance, keyed by
+/// dictionary code.
+///
+/// Holds (a) a CSR postings table `code -> [row positions]` and (b) a dense
+/// code column `row -> code`, so the enumerator can translate a bound row
+/// into a probe key in O(1) without touching the underlying `Value`.
 #[derive(Debug, Clone, Default)]
 pub struct HashIndex {
-    map: HashMap<Value, Vec<u32>>,
+    /// `code -> [start, end)` range into `rows`.
+    buckets: HashMap<u32, (u32, u32)>,
+    /// Flat postings storage: row positions grouped by code, ascending
+    /// within each bucket.
+    rows: Vec<u32>,
+    /// Per-row code column ([`ValueDict::NULL`] for nulls).
+    row_codes: Vec<u32>,
     entries: usize,
 }
 
 impl HashIndex {
-    /// Build an index over attribute `attr` of relation `rel` in `dataset`.
-    /// Postings hold positions into `dataset.relation(rel).tuples()`.
-    pub fn build(dataset: &Dataset, rel: RelId, attr: AttrId) -> HashIndex {
+    /// Build an index over attribute `attr` of relation `rel` in `dataset`,
+    /// interning values into `dict`. Postings hold positions into
+    /// `dataset.relation(rel).tuples()`.
+    ///
+    /// Build time and cardinalities are published to the [`dcer_obs`]
+    /// registry (`index.build_ns`, `index.distinct`, `index.entries`) under
+    /// an `index.build` span, so traces show index construction per worker.
+    pub fn build(dataset: &Dataset, rel: RelId, attr: AttrId, dict: &mut ValueDict) -> HashIndex {
+        let _span = dcer_obs::span("index.build").with_arg("rel", rel as u64);
+        let start = std::time::Instant::now();
         let tuples = dataset.relation(rel).tuples();
-        let mut map: HashMap<Value, Vec<u32>> = HashMap::with_capacity(tuples.len());
-        let mut entries = 0;
-        for (pos, t) in tuples.iter().enumerate() {
-            let v = t.get(attr);
-            if !v.is_null() {
-                map.entry(v.clone()).or_default().push(pos as u32);
+
+        let mut row_codes = Vec::with_capacity(tuples.len());
+        let mut counts: HashMap<u32, u32> = HashMap::new();
+        let mut entries = 0usize;
+        for t in tuples {
+            let code = dict.intern(t.get(attr));
+            row_codes.push(code);
+            if code != ValueDict::NULL {
+                *counts.entry(code).or_insert(0) += 1;
                 entries += 1;
             }
         }
-        HashIndex { map, entries }
+
+        // Lay the postings out as CSR: one cursor pass reserves ranges, a
+        // second pass fills them in ascending row order.
+        let mut buckets: HashMap<u32, (u32, u32)> = HashMap::with_capacity(counts.len());
+        let mut offset = 0u32;
+        for (&code, &count) in &counts {
+            buckets.insert(code, (offset, offset));
+            offset += count;
+        }
+        let mut rows = vec![0u32; entries];
+        for (pos, &code) in row_codes.iter().enumerate() {
+            if code != ValueDict::NULL {
+                let range = buckets.get_mut(&code).expect("bucket reserved above");
+                rows[range.1 as usize] = pos as u32;
+                range.1 += 1;
+            }
+        }
+
+        if dcer_obs::enabled() {
+            dcer_obs::counter_add("index.build_ns", start.elapsed().as_nanos() as u64);
+            dcer_obs::counter_add("index.distinct", buckets.len() as u64);
+            dcer_obs::counter_add("index.entries", entries as u64);
+        }
+        HashIndex { buckets, rows, row_codes, entries }
     }
 
-    /// Row positions whose attribute equals `value` (empty for `Null`).
-    pub fn lookup(&self, value: &Value) -> &[u32] {
-        if value.is_null() {
-            return &[];
+    /// Row positions whose attribute has code `code` (empty for
+    /// [`ValueDict::NULL`] and unseen codes), ascending.
+    pub fn lookup_code(&self, code: u32) -> &[u32] {
+        let (start, end) = self.bucket_range(code);
+        &self.rows[start as usize..end as usize]
+    }
+
+    /// `[start, end)` range into [`HashIndex::rows`] for `code` (empty for
+    /// [`ValueDict::NULL`] and unseen codes).
+    pub fn bucket_range(&self, code: u32) -> (u32, u32) {
+        if code == ValueDict::NULL {
+            return (0, 0);
         }
-        self.map.get(value).map_or(&[], Vec::as_slice)
+        self.buckets.get(&code).copied().unwrap_or((0, 0))
+    }
+
+    /// The flat CSR postings array ([`HashIndex::bucket_range`] indexes
+    /// into it).
+    pub fn rows(&self) -> &[u32] {
+        &self.rows
+    }
+
+    /// Dictionary code of row `row` ([`ValueDict::NULL`] for nulls).
+    pub fn code_of_row(&self, row: u32) -> u32 {
+        self.row_codes[row as usize]
+    }
+
+    /// Value-level lookup through `dict` (empty for `Null` and for values
+    /// absent from the dictionary).
+    pub fn lookup<'a>(&'a self, dict: &ValueDict, value: &Value) -> &'a [u32] {
+        match dict.code_of(value) {
+            Some(code) => self.lookup_code(code),
+            None => &[],
+        }
     }
 
     /// Number of distinct indexed values.
     pub fn distinct(&self) -> usize {
-        self.map.len()
+        self.buckets.len()
     }
 
     /// Number of indexed (non-null) entries.
@@ -55,16 +207,33 @@ impl HashIndex {
         self.entries
     }
 
-    /// Iterate `(value, postings)`.
-    pub fn iter(&self) -> impl Iterator<Item = (&Value, &[u32])> {
-        self.map.iter().map(|(v, p)| (v, p.as_slice()))
+    /// Expected postings length of a probe (`entries / distinct`, rounded
+    /// up): the planner's static cost estimate for a hash-join access path.
+    pub fn avg_bucket(&self) -> u32 {
+        if self.buckets.is_empty() {
+            0
+        } else {
+            self.entries.div_ceil(self.buckets.len()) as u32
+        }
+    }
+
+    /// Iterate `(code, postings)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &[u32])> {
+        self.buckets.iter().map(move |(&code, &(s, e))| (code, &self.rows[s as usize..e as usize]))
     }
 }
 
-/// Lazily built cache of [`HashIndex`]es over one dataset.
+/// Lazily built cache of [`HashIndex`]es over one dataset, all sharing one
+/// [`ValueDict`].
+///
+/// Indexes live in dense *slots* so the chase's compiled access programs
+/// can address them by `u32` id — one bounds-checked array access per
+/// candidate instead of a `(rel, attr)` hash lookup.
 #[derive(Debug, Default)]
 pub struct IndexSet {
-    indexes: HashMap<(RelId, AttrId), HashIndex>,
+    dict: ValueDict,
+    slots: Vec<HashIndex>,
+    by_key: HashMap<(RelId, AttrId), u32>,
 }
 
 impl IndexSet {
@@ -75,27 +244,61 @@ impl IndexSet {
 
     /// Get (building on first use) the index for `(rel, attr)`.
     pub fn get(&mut self, dataset: &Dataset, rel: RelId, attr: AttrId) -> &HashIndex {
-        self.indexes.entry((rel, attr)).or_insert_with(|| HashIndex::build(dataset, rel, attr))
+        let slot = self.slot_of(dataset, rel, attr);
+        &self.slots[slot as usize]
+    }
+
+    /// Slot id of the `(rel, attr)` index, building it on first use. Slots
+    /// are stable until [`IndexSet::clear`].
+    pub fn slot_of(&mut self, dataset: &Dataset, rel: RelId, attr: AttrId) -> u32 {
+        if let Some(&slot) = self.by_key.get(&(rel, attr)) {
+            return slot;
+        }
+        let index = HashIndex::build(dataset, rel, attr, &mut self.dict);
+        let slot = self.slots.len() as u32;
+        self.slots.push(index);
+        self.by_key.insert((rel, attr), slot);
+        slot
+    }
+
+    /// Index at `slot` (panics on a stale slot; see [`IndexSet::slot_of`]).
+    pub fn at(&self, slot: u32) -> &HashIndex {
+        &self.slots[slot as usize]
     }
 
     /// Get the index if it was already built.
     pub fn peek(&self, rel: RelId, attr: AttrId) -> Option<&HashIndex> {
-        self.indexes.get(&(rel, attr))
+        self.by_key.get(&(rel, attr)).map(|&slot| &self.slots[slot as usize])
     }
 
-    /// Drop all cached indexes (after the underlying data changed).
+    /// The shared interning dictionary.
+    pub fn dict(&self) -> &ValueDict {
+        &self.dict
+    }
+
+    /// Code of `value` in the shared dictionary (`None` for `Null` and for
+    /// values no built index has seen — such values match no indexed row).
+    pub fn code_of(&self, value: &Value) -> Option<u32> {
+        self.dict.code_of(value)
+    }
+
+    /// Drop all cached indexes *and* the dictionary (after the underlying
+    /// data changed). Invalidates every slot id and interned code handed
+    /// out so far — compiled access programs must be recompiled.
     pub fn clear(&mut self) {
-        self.indexes.clear();
+        self.slots.clear();
+        self.by_key.clear();
+        self.dict = ValueDict::new();
     }
 
     /// Number of built indexes.
     pub fn len(&self) -> usize {
-        self.indexes.len()
+        self.slots.len()
     }
 
     /// Whether no index has been built.
     pub fn is_empty(&self) -> bool {
-        self.indexes.is_empty()
+        self.slots.is_empty()
     }
 }
 
@@ -155,31 +358,75 @@ mod tests {
     #[test]
     fn lookup_returns_all_matching_rows() {
         let d = dataset();
-        let idx = HashIndex::build(&d, 0, 0);
-        assert_eq!(idx.lookup(&Value::str("a")), &[0, 2]);
-        assert_eq!(idx.lookup(&Value::str("b")), &[1]);
-        assert!(idx.lookup(&Value::str("z")).is_empty());
+        let mut dict = ValueDict::new();
+        let idx = HashIndex::build(&d, 0, 0, &mut dict);
+        assert_eq!(idx.lookup(&dict, &Value::str("a")), &[0, 2]);
+        assert_eq!(idx.lookup(&dict, &Value::str("b")), &[1]);
+        assert!(idx.lookup(&dict, &Value::str("z")).is_empty());
         assert_eq!(idx.distinct(), 2);
         assert_eq!(idx.entries(), 3);
+        assert_eq!(idx.avg_bucket(), 2);
+    }
+
+    #[test]
+    fn code_column_matches_dictionary() {
+        let d = dataset();
+        let mut dict = ValueDict::new();
+        let idx = HashIndex::build(&d, 0, 0, &mut dict);
+        let a = dict.code_of(&Value::str("a")).unwrap();
+        assert_eq!(idx.code_of_row(0), a);
+        assert_eq!(idx.code_of_row(2), a);
+        assert_eq!(idx.code_of_row(3), ValueDict::NULL);
+        assert_eq!(idx.lookup_code(a), &[0, 2]);
+        assert!(idx.lookup_code(ValueDict::NULL).is_empty());
+        let total: usize = idx.iter().map(|(_, p)| p.len()).sum();
+        assert_eq!(total, idx.entries());
     }
 
     #[test]
     fn nulls_never_match() {
         let d = dataset();
-        let idx = HashIndex::build(&d, 0, 0);
-        assert!(idx.lookup(&Value::Null).is_empty());
+        let mut dict = ValueDict::new();
+        let idx = HashIndex::build(&d, 0, 0, &mut dict);
+        assert!(idx.lookup(&dict, &Value::Null).is_empty());
+        assert_eq!(dict.code_of(&Value::Null), None);
     }
 
     #[test]
-    fn index_set_caches() {
+    fn dictionary_canonicalizes_numerics() {
+        let mut dict = ValueDict::new();
+        let int_code = dict.intern(&Value::Int(2));
+        assert_eq!(dict.intern(&Value::Float(2.0)), int_code, "sql_eq-equal numerics share a code");
+        assert_eq!(dict.code_of(&Value::Float(2.0)), Some(int_code));
+        assert_ne!(dict.intern(&Value::Float(2.5)), int_code);
+        assert_eq!(dict.len(), 2);
+    }
+
+    #[test]
+    fn index_set_caches_and_slots_are_stable() {
         let d = dataset();
         let mut set = IndexSet::new();
         assert!(set.peek(0, 1).is_none());
-        let _ = set.get(&d, 0, 1);
+        let slot = set.slot_of(&d, 0, 1);
+        assert_eq!(set.slot_of(&d, 0, 1), slot, "repeat lookups reuse the slot");
         assert!(set.peek(0, 1).is_some());
+        assert_eq!(set.at(slot).entries(), 4);
         assert_eq!(set.len(), 1);
         set.clear();
         assert!(set.is_empty());
+        assert!(set.dict().is_empty(), "clear resets the dictionary");
+    }
+
+    #[test]
+    fn index_set_shares_one_dictionary() {
+        let d = dataset();
+        let mut set = IndexSet::new();
+        let _ = set.get(&d, 0, 0);
+        let before = set.dict().len();
+        let _ = set.get(&d, 0, 1);
+        assert!(set.dict().len() > before, "second index interns into the same dictionary");
+        assert!(set.code_of(&Value::str("a")).is_some());
+        assert_eq!(set.code_of(&Value::str("zz")), None);
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod value;
 
 pub use dataset::{Dataset, Relation};
 pub use error::{Error, Result};
-pub use index::{HashIndex, IndexSet, TidIndex};
+pub use index::{HashIndex, IndexSet, TidIndex, ValueDict};
 pub use schema::{AttrId, Attribute, Catalog, RelId, RelationSchema};
 pub use tuple::{Tid, Tuple};
 pub use value::{Value, ValueType};

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Guard committed benchmark claims against a fresh bench run.
+
+Asserts numeric values inside a bench-report JSON (as written by the
+criterion benches' ``write_report``) in two ways:
+
+* ``--require PATH>=VALUE`` (or ``<=``): absolute floor/ceiling on a
+  dotted-path value, e.g. ``equi_join.speedup>=1.5``. Use these for
+  machine-independent claims (speedup ratios) in CI.
+* ``--baseline FILE --compare PATH --tolerance FRAC``: the result's value
+  at PATH must be within ``FRAC`` relative deviation of the committed
+  baseline's value, e.g. ``--tolerance 0.75`` allows ±75%. Use these to
+  catch a committed baseline drifting away from what the code reproduces.
+
+Exits non-zero with a per-assertion report on any violation.
+
+Examples:
+    scripts/bench_guard.py results/BENCH_chase_eval_quick.json \
+        --require 'equi_join.speedup>=1.5' 'chain_join.speedup>=1.5'
+    scripts/bench_guard.py BENCH_bsp_exchange.json \
+        --require 'exchange_speedup>=100' 'route_speedup>=100'
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def lookup(doc, path):
+    node = doc
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            raise KeyError(f"path {path!r} not found (missing {part!r})")
+        node = node[part]
+    if not isinstance(node, (int, float)) or isinstance(node, bool):
+        raise TypeError(f"path {path!r} is not numeric: {node!r}")
+    return float(node)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("result", help="bench report JSON to check")
+    ap.add_argument(
+        "--require",
+        nargs="*",
+        default=[],
+        metavar="PATH{>=|<=}VALUE",
+        help="absolute assertions on dotted paths",
+    )
+    ap.add_argument("--baseline", help="committed baseline JSON to compare against")
+    ap.add_argument(
+        "--compare",
+        nargs="*",
+        default=[],
+        metavar="PATH",
+        help="dotted paths that must match the baseline within --tolerance",
+    )
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="max relative deviation for --compare (default 0.25)",
+    )
+    args = ap.parse_args()
+
+    with open(args.result) as f:
+        result = json.load(f)
+    baseline = None
+    if args.baseline:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    if args.compare and baseline is None:
+        ap.error("--compare needs --baseline")
+
+    failures = []
+    checks = 0
+
+    for expr in args.require:
+        m = re.fullmatch(r"\s*([\w.]+)\s*(>=|<=)\s*([-+0-9.eE]+)\s*", expr)
+        if not m:
+            ap.error(f"malformed --require expression {expr!r}")
+        path, op, bound = m.group(1), m.group(2), float(m.group(3))
+        checks += 1
+        try:
+            got = lookup(result, path)
+        except (KeyError, TypeError) as e:
+            failures.append(str(e))
+            continue
+        ok = got >= bound if op == ">=" else got <= bound
+        line = f"{path} = {got:.4g} {op} {bound:.4g}"
+        if ok:
+            print(f"ok: {line}")
+        else:
+            failures.append(f"FAIL: {line} violated")
+
+    for path in args.compare:
+        checks += 1
+        try:
+            got = lookup(result, path)
+            want = lookup(baseline, path)
+        except (KeyError, TypeError) as e:
+            failures.append(str(e))
+            continue
+        dev = abs(got - want) / abs(want) if want else float("inf")
+        line = f"{path} = {got:.4g} vs baseline {want:.4g} (deviation {dev:.1%}, tolerance {args.tolerance:.0%})"
+        if dev <= args.tolerance:
+            print(f"ok: {line}")
+        else:
+            failures.append(f"FAIL: {line}")
+
+    if not checks:
+        print("bench_guard: no assertions given", file=sys.stderr)
+        return 2
+    for f in failures:
+        print(f, file=sys.stderr)
+    if failures:
+        print(f"bench_guard: {len(failures)}/{checks} assertions failed", file=sys.stderr)
+        return 1
+    print(f"bench_guard: {checks} assertions passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
