@@ -23,10 +23,22 @@ struct Args {
     command: String,
     scale: f64,
     workers: usize,
+    /// Explicit fault plan for the `chaos` experiment (e.g.
+    /// `"crash 2@1; drop 0->1@1"`); seeded random plans when absent.
+    fault_plan: Option<String>,
+    fault_seed: u64,
+    fault_cells: usize,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { command: "all".into(), scale: 1.0, workers: 16 };
+    let mut args = Args {
+        command: "all".into(),
+        scale: 1.0,
+        workers: 16,
+        fault_plan: None,
+        fault_seed: 7,
+        fault_cells: 6,
+    };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
@@ -38,6 +50,18 @@ fn parse_args() -> Args {
             "--workers" => {
                 i += 1;
                 args.workers = argv[i].parse().expect("--workers <n>");
+            }
+            "--fault-plan" => {
+                i += 1;
+                args.fault_plan = Some(argv[i].clone());
+            }
+            "--fault-seed" => {
+                i += 1;
+                args.fault_seed = argv[i].parse().expect("--fault-seed <u64>");
+            }
+            "--fault-cells" => {
+                i += 1;
+                args.fault_cells = argv[i].parse().expect("--fault-cells <n>");
             }
             cmd if !cmd.starts_with('-') => args.command = cmd.to_string(),
             other => panic!("unknown flag {other}"),
@@ -570,6 +594,65 @@ fn trace_run(scale: f64, workers: usize) {
     println!("wrote results/metrics.json ({} bytes)", pretty.len());
 }
 
+/// Chaos harness: run DMatch on TPCH under injected faults (explicit
+/// `--fault-plan`, or a seeded matrix of random plans) with superstep
+/// checkpointing on, and verify every cell recovers to exactly the
+/// fault-free transitive closure (DESIGN.md §11).
+fn chaos(scale: f64, workers: usize, plan_arg: Option<&str>, seed: u64, cells: usize) {
+    use dcer_bsp::{FaultConfig, FaultPlan};
+    use serde_json::{to_value, Map, Value};
+
+    let w = tpch_workload(scale, 0.3);
+    let baseline = w.session.run_parallel(&w.data, &dcer_core::DmatchConfig::new(workers)).unwrap();
+    let mut expected_matches = baseline.outcome.matches.clone();
+    let expected = expected_matches.clusters();
+    let steps = baseline.bsp.supersteps.max(1) as u64;
+
+    let plans: Vec<FaultPlan> = match plan_arg {
+        Some(src) => {
+            vec![FaultPlan::parse(src).unwrap_or_else(|e| panic!("bad --fault-plan: {e}"))]
+        }
+        None => (0..cells).map(|i| FaultPlan::random(seed + i as u64, workers, steps, 2)).collect(),
+    };
+
+    println!(
+        "== Chaos: DMatch on TPCH under fault injection (n = {workers}, {steps} fault-free supersteps) =="
+    );
+    let mut rows = Vec::new();
+    for plan in &plans {
+        let cfg =
+            dcer_core::DmatchConfig::new(workers).with_faults(FaultConfig::with_plan(plan.clone()));
+        let mut report = w.session.run_parallel(&w.data, &cfg).unwrap();
+        let recovered = report.outcome.matches.clusters();
+        assert_eq!(recovered, expected, "plan `{plan}` diverged from the fault-free closure");
+        let r = report.bsp.recovery;
+        rows.push(vec![
+            Cell::Str(plan.to_string()),
+            Cell::from(r.crashes as i64),
+            Cell::from(r.recoveries as i64),
+            Cell::from(r.retries as i64),
+            Cell::from(r.replayed_batches as i64),
+            Cell::from(r.checkpoints as i64),
+            Cell::from(report.fault_reruns as i64),
+        ]);
+        let mut m = Map::new();
+        m.insert("experiment", Value::from("chaos"));
+        m.insert("dataset", Value::from("tpch"));
+        m.insert("workers", Value::from(workers));
+        m.insert("plan", Value::from(plan.to_string()));
+        m.insert("recovery", to_value(&r));
+        m.insert("fault_reruns", Value::from(report.fault_reruns as i64));
+        m.insert("closure_matches_baseline", Value::from(true));
+        archive(Value::Object(m));
+    }
+    emit(
+        "Chaos: recovery parity under injected faults",
+        &["plan", "crashes", "recoveries", "retries", "replayed", "ckpts", "reruns"],
+        rows,
+    );
+    println!("every cell recovered to the fault-free transitive closure.\n");
+}
+
 fn main() {
     let args = parse_args();
     let _ = std::fs::create_dir_all("results");
@@ -649,9 +732,21 @@ fn main() {
         trace_run(args.scale, args.workers);
         let _ = write!(ran, "trace ");
     }
+    // Deliberately not part of `all`: fault injection is its own harness
+    // (CI runs it as the `chaos-smoke` job).
+    if args.command == "chaos" {
+        chaos(
+            args.scale,
+            args.workers,
+            args.fault_plan.as_deref(),
+            args.fault_seed,
+            args.fault_cells,
+        );
+        let _ = write!(ran, "chaos ");
+    }
     if ran.is_empty() {
         eprintln!(
-            "unknown experiment `{}`; available: table5 table6 fig6a..fig6l partitioning case_study stats trace all",
+            "unknown experiment `{}`; available: table5 table6 fig6a..fig6l partitioning case_study stats trace chaos all",
             args.command
         );
         std::process::exit(2);

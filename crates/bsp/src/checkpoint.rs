@@ -1,0 +1,109 @@
+//! Superstep-boundary checkpoint storage.
+//!
+//! A [`CheckpointStore`] keeps the most recent `(superstep, snapshot)`
+//! pair per worker. Snapshots are whatever the [`crate::Worker`] returns
+//! from `snapshot()` — for DMatch shards that is a `DeltaBatch` carrying
+//! the validated-fact frontier plus one spanning `eq` fact per cluster
+//! member, which is enough to rebuild the union-find `E_id` state.
+//!
+//! Storage is in-memory (per-worker `Mutex` slots, lock-free between
+//! workers). When constructed with a directory and the message type
+//! implements [`crate::Message::encode`], every `put` also spills the
+//! snapshot to `<dir>/worker-<i>.ckpt` as an 8-byte little-endian
+//! superstep followed by the encoded payload, so a later process can
+//! [`CheckpointStore::load_from_disk`].
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use crate::{Message, WorkerId};
+
+/// Latest-checkpoint-per-worker store shared by all workers of one run.
+pub struct CheckpointStore<M> {
+    slots: Vec<Mutex<Option<(u64, M)>>>,
+    dir: Option<PathBuf>,
+}
+
+impl<M: Message> CheckpointStore<M> {
+    /// A store for `workers` workers. When `dir` is given it is created
+    /// eagerly; checkpoints spill there if the message type supports
+    /// encoding (I/O errors degrade to memory-only, never fail the run).
+    pub fn new(workers: usize, dir: Option<PathBuf>) -> CheckpointStore<M> {
+        if let Some(d) = &dir {
+            let _ = std::fs::create_dir_all(d);
+        }
+        CheckpointStore { slots: (0..workers).map(|_| Mutex::new(None)).collect(), dir }
+    }
+
+    fn path(&self, worker: WorkerId) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| d.join(format!("worker-{worker}.ckpt")))
+    }
+
+    /// Record `worker`'s snapshot at `step`, replacing any older one.
+    pub fn put(&self, worker: WorkerId, step: u64, snapshot: M) {
+        // `encode` must stay behind the `dir` check: it serializes the
+        // whole snapshot, which memory-only stores never pay for.
+        if let Some(path) = self.path(worker) {
+            if let Some(bytes) = snapshot.encode() {
+                let mut record = Vec::with_capacity(8 + bytes.len());
+                record.extend_from_slice(&step.to_le_bytes());
+                record.extend_from_slice(&bytes);
+                let _ = std::fs::write(path, record);
+            }
+        }
+        *self.slots[worker].lock().unwrap() = Some((step, snapshot));
+    }
+
+    /// The most recent checkpoint for `worker`, if any. Cloning is cheap
+    /// for `Arc`-backed messages such as `DeltaBatch`.
+    pub fn latest(&self, worker: WorkerId) -> Option<(u64, M)> {
+        self.slots[worker].lock().unwrap().clone()
+    }
+
+    /// The superstep of `worker`'s most recent checkpoint.
+    pub fn latest_step(&self, worker: WorkerId) -> Option<u64> {
+        self.slots[worker].lock().unwrap().as_ref().map(|(s, _)| *s)
+    }
+
+    /// Read `worker`'s spilled checkpoint back from disk (requires the
+    /// store to have a directory and the message type to decode).
+    pub fn load_from_disk(&self, worker: WorkerId) -> Option<(u64, M)> {
+        let bytes = std::fs::read(self.path(worker)?).ok()?;
+        let (head, payload) = bytes.split_first_chunk::<8>()?;
+        Some((u64::from_le_bytes(*head), M::decode(payload)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_latest_per_worker() {
+        let store: CheckpointStore<u64> = CheckpointStore::new(2, None);
+        assert!(store.latest(0).is_none());
+        store.put(0, 1, 10);
+        store.put(0, 3, 30);
+        store.put(1, 2, 20);
+        assert_eq!(store.latest(0), Some((3, 30)));
+        assert_eq!(store.latest(1), Some((2, 20)));
+        assert_eq!(store.latest_step(0), Some(3));
+    }
+
+    #[test]
+    fn spills_and_reloads_encodable_messages() {
+        let dir = std::env::temp_dir().join(format!("dcer-ckpt-{}", std::process::id()));
+        let store: CheckpointStore<u64> = CheckpointStore::new(1, Some(dir.clone()));
+        store.put(0, 5, 0xDEAD_BEEF);
+        let (step, value) = store.load_from_disk(0).expect("spilled checkpoint");
+        assert_eq!((step, value), (5, 0xDEAD_BEEF));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn memory_only_store_has_no_disk_side() {
+        let store: CheckpointStore<u64> = CheckpointStore::new(1, None);
+        store.put(0, 1, 7);
+        assert!(store.load_from_disk(0).is_none());
+    }
+}

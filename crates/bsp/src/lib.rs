@@ -28,6 +28,26 @@
 //!   configurable per-byte communication cost. This measures exactly the
 //!   quantities parallel scalability (Theorem 7) is about, independent of
 //!   how many physical cores the host has.
+//!
+//! ## Fault tolerance (see `DESIGN.md` §11)
+//!
+//! [`run_bsp_with`] accepts a [`FaultConfig`]: superstep-boundary
+//! checkpointing into a [`CheckpointStore`], a deterministic [`FaultPlan`]
+//! injector (crash / drop / delay / duplicate / stall), and a recovery path
+//! that restores a failed worker from its last checkpoint and replays the
+//! exchanges it missed from a per-recipient delivery log. Replay is
+//! idempotent for `DeltaBatch`-style canonical messages, so the recovered
+//! fixpoint equals the fault-free one (Church–Rosser). Both executors make
+//! every fault decision from the same `(worker, step)` / `(from, to, step)`
+//! keys, so [`RecoveryStats`] are identical across modes for a given plan.
+//! An inactive config (the default used by [`run_bsp`]) takes the legacy
+//! zero-overhead path.
+
+pub mod checkpoint;
+pub mod fault;
+
+pub use checkpoint::CheckpointStore;
+pub use fault::{EdgeFault, Fault, FaultConfig, FaultPlan, RecoveryStats};
 
 use serde::Serialize;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -48,6 +68,18 @@ pub trait Message: Send + Clone + 'static {
     fn unit_count(&self) -> usize {
         1
     }
+
+    /// Serialize the payload for on-disk checkpoint spill. `None` (the
+    /// default) keeps checkpoints of this message type memory-only.
+    fn encode(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Inverse of [`Message::encode`]; `None` on unsupported or malformed
+    /// input.
+    fn decode(_bytes: &[u8]) -> Option<Self> {
+        None
+    }
 }
 
 macro_rules! scalar_message {
@@ -55,6 +87,12 @@ macro_rules! scalar_message {
         impl Message for $t {
             fn size_bytes(&self) -> usize {
                 std::mem::size_of::<$t>()
+            }
+            fn encode(&self) -> Option<Vec<u8>> {
+                Some(self.to_le_bytes().to_vec())
+            }
+            fn decode(bytes: &[u8]) -> Option<$t> {
+                Some(<$t>::from_le_bytes(bytes.try_into().ok()?))
             }
         }
     )*};
@@ -83,6 +121,23 @@ pub trait Worker: Send {
     /// run for [`BspStats::deduped_facts`].
     fn absorbed_duplicates(&self) -> u64 {
         0
+    }
+
+    /// Capture the worker's durable state as one message for superstep
+    /// checkpointing. `None` (the default) opts this worker out of
+    /// checkpointing; recovery then rebuilds from immutable inputs alone.
+    fn snapshot(&mut self) -> Option<Self::Msg> {
+        None
+    }
+
+    /// Rebuild after a failure: discard in-memory state, reload from
+    /// `checkpoint` (the latest [`Worker::snapshot`], if any) and return
+    /// messages to route — the re-announcement of recovered state, which is
+    /// essential when the failure precedes `initial`. Workers that a
+    /// [`FaultPlan`] may crash must override this; the default keeps stale
+    /// state and announces nothing.
+    fn restore(&mut self, _checkpoint: Option<&Self::Msg>) -> Vec<(WorkerId, Self::Msg)> {
+        Vec::new()
     }
 }
 
@@ -148,6 +203,8 @@ pub struct BspStats {
     pub total_compute_secs: f64,
     /// Wall-clock time of the whole run.
     pub wall_secs: f64,
+    /// Fault-tolerance layer counters (all zero on fault-free runs).
+    pub recovery: RecoveryStats,
 }
 
 impl BspStats {
@@ -179,6 +236,7 @@ impl BspStats {
         for &m in &self.step_max_secs {
             dcer_obs::histogram_record("bsp.step_max_us", (m * 1e6) as u64);
         }
+        self.recovery.publish();
     }
 
     fn account_step(&mut self, cost: &CostModel, durations: &[f64], step_bytes: u64) {
@@ -195,6 +253,27 @@ impl BspStats {
     }
 }
 
+/// A BSP run that could not complete under its [`FaultConfig`]: a dropped
+/// delivery exhausted its retransmission budget. Carries the statistics of
+/// the aborted attempt so callers can degrade gracefully (rerun fault-free)
+/// while still reporting what the fault layer did.
+#[derive(Debug)]
+pub struct BspAbort {
+    /// Human-readable cause.
+    pub reason: String,
+    /// Statistics of the aborted attempt (recovery counters included).
+    /// Boxed: keeps the `Result` err variant small on the hot return path.
+    pub stats: Box<BspStats>,
+}
+
+impl std::fmt::Display for BspAbort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BSP run aborted: {}", self.reason)
+    }
+}
+
+impl std::error::Error for BspAbort {}
+
 /// Run a BSP computation to global quiescence. Returns the workers (with
 /// their final state) and the run statistics.
 pub fn run_bsp<W: Worker>(
@@ -202,18 +281,39 @@ pub fn run_bsp<W: Worker>(
     mode: ExecutionMode,
     cost: &CostModel,
 ) -> (Vec<W>, BspStats) {
+    match run_bsp_with(workers, mode, cost, &FaultConfig::none()) {
+        Ok(result) => result,
+        Err(_) => unreachable!("an inactive FaultConfig never aborts"),
+    }
+}
+
+/// Run a BSP computation to global quiescence under a fault-tolerance
+/// configuration. With an inactive config this is exactly [`run_bsp`]
+/// (zero overhead); with checkpointing and/or a [`FaultPlan`] the runtime
+/// checkpoints at superstep boundaries, injects the planned faults and
+/// recovers failed workers. Returns [`BspAbort`] when a dropped delivery
+/// exhausts its retransmission budget.
+pub fn run_bsp_with<W: Worker>(
+    workers: Vec<W>,
+    mode: ExecutionMode,
+    cost: &CostModel,
+    faults: &FaultConfig,
+) -> Result<(Vec<W>, BspStats), BspAbort> {
     if workers.is_empty() {
         // Without this, the simulated loop would still account one empty
         // superstep while the threaded path spawns nothing — the one stats
         // divergence between the executors.
-        return (workers, BspStats::new(0));
+        return Ok((workers, BspStats::new(0)));
     }
-    let (workers, stats) = match mode {
-        ExecutionMode::Simulated => run_simulated(workers, cost),
-        ExecutionMode::Threaded => run_threaded(workers, cost),
+    let ft = if faults.active() { Some(faults) } else { None };
+    let result = match mode {
+        ExecutionMode::Simulated => run_simulated(workers, cost, ft),
+        ExecutionMode::Threaded => run_threaded(workers, cost, ft),
     };
-    stats.publish();
-    (workers, stats)
+    if let Ok((_, stats)) = &result {
+        stats.publish();
+    }
+    result
 }
 
 /// The phase-span name for a superstep: superstep 0 runs the partial
@@ -226,10 +326,105 @@ fn step_span_name(first: bool) -> &'static str {
     }
 }
 
-fn run_simulated<W: Worker>(mut workers: Vec<W>, cost: &CostModel) -> (Vec<W>, BspStats) {
+/// A message held back by the injector: either a scheduled retransmission
+/// of a dropped delivery (`retry`) or a delayed delivery already past the
+/// injector. Due at the exchange of superstep `due`.
+struct PendingSend<M> {
+    from: WorkerId,
+    to: WorkerId,
+    msg: M,
+    attempts: u32,
+    due: u64,
+    retry: bool,
+}
+
+/// Injector verdict for one deposit attempt.
+enum SendOutcome {
+    Deliver,
+    DeliverTwice,
+    /// Deliver at the exchange of this later superstep.
+    Delayed(u64),
+    /// Retransmit (attempt count, due superstep).
+    Retry(u32, u64),
+    /// Retransmission budget exhausted — abort the run.
+    Exhausted,
+}
+
+/// Consult the plan for a deposit on `from -> to` at `step` (`attempts`
+/// prior drops of this message) and update the fault counters. Pure in the
+/// `(plan, edge, step, attempts)` key, so both executors agree.
+fn classify_send(
+    cfg: &FaultConfig,
+    from: WorkerId,
+    to: WorkerId,
+    step: u64,
+    attempts: u32,
+    rec: &mut RecoveryStats,
+) -> SendOutcome {
+    match cfg.plan.edge(from, to, step) {
+        EdgeFault::Deliver => SendOutcome::Deliver,
+        EdgeFault::Duplicate => {
+            rec.duplicated_batches += 1;
+            dcer_obs::instant("bsp.fault.dup");
+            SendOutcome::DeliverTwice
+        }
+        EdgeFault::Delay(d) => {
+            rec.delayed_batches += 1;
+            dcer_obs::instant("bsp.fault.delay");
+            SendOutcome::Delayed(step + d)
+        }
+        EdgeFault::Drop => {
+            rec.dropped_batches += 1;
+            dcer_obs::instant("bsp.fault.drop");
+            if attempts >= cfg.max_retries {
+                SendOutcome::Exhausted
+            } else {
+                // Exponential backoff: the r-th retry waits base << r steps.
+                SendOutcome::Retry(attempts + 1, step + (cfg.retry_backoff_steps << attempts))
+            }
+        }
+    }
+}
+
+fn exhausted_reason(from: WorkerId, to: WorkerId, attempts: u32, step: u64) -> String {
+    format!("delivery {from}->{to} dropped {} times by superstep {step}; retries exhausted", {
+        attempts + 1
+    })
+}
+
+/// Per-run fault-tolerance state of the simulated executor.
+struct SimFt<'a, M: Message> {
+    cfg: &'a FaultConfig,
+    store: CheckpointStore<M>,
+    /// Per-recipient delivery log: `(deposit superstep, message)`, appended
+    /// in step order, trimmed at each checkpoint. Only maintained when the
+    /// plan can actually fail a worker (`replayable`) — crashes come from
+    /// the plan alone, so an empty plan never replays.
+    logs: Vec<Vec<(u64, M)>>,
+    replayable: bool,
+    pending: Vec<PendingSend<M>>,
+    rec: RecoveryStats,
+}
+
+fn run_simulated<W: Worker>(
+    mut workers: Vec<W>,
+    cost: &CostModel,
+    faults: Option<&FaultConfig>,
+) -> Result<(Vec<W>, BspStats), BspAbort> {
     let n = workers.len();
     let wall = Instant::now();
     let mut stats = BspStats::new(n);
+    let mut ft: Option<SimFt<W::Msg>> = faults.map(|cfg| {
+        let replayable = !cfg.plan.is_empty();
+        SimFt {
+            cfg,
+            store: CheckpointStore::new(n, cfg.checkpoint_dir.clone()),
+            logs: if replayable { (0..n).map(|_| Vec::new()).collect() } else { Vec::new() },
+            replayable,
+            pending: Vec::new(),
+            rec: RecoveryStats::default(),
+        }
+    });
     // Virtual trace tracks: the simulated cluster runs on one OS thread,
     // but each worker still gets its own timeline in the exported trace.
     let tracks: Vec<dcer_obs::TrackId> = if dcer_obs::enabled() {
@@ -247,20 +442,179 @@ fn run_simulated<W: Worker>(mut workers: Vec<W>, cost: &CostModel) -> (Vec<W>, B
             let inbox = std::mem::take(&mut inboxes[i]);
             let span = dcer_obs::span_on(step_span_name(first), tracks[i]).with_arg("step", step);
             let t0 = Instant::now();
-            let out = if first { w.initial() } else { w.superstep(inbox) };
-            durations[i] = t0.elapsed().as_secs_f64();
+            let mut stall_secs = 0.0f64;
+            let out = if let Some(run) = ft.as_mut() {
+                let stall = run.cfg.plan.stall_millis(i, step);
+                let crashed = run.cfg.plan.crashed(i, step);
+                let failed =
+                    crashed || stall.is_some_and(|ms| ms as f64 / 1e3 > run.cfg.stall_timeout_secs);
+                if crashed {
+                    run.rec.crashes += 1;
+                    dcer_obs::instant("bsp.fault.crash");
+                }
+                if stall.is_some() {
+                    run.rec.stalls += 1;
+                    dcer_obs::instant("bsp.fault.stall");
+                }
+                if failed {
+                    // The worker's volatile state (and undrained inbox) is
+                    // lost; the log still holds everything since the last
+                    // checkpoint, including what was in the inbox.
+                    drop(inbox);
+                    let ckpt = run.store.latest(i);
+                    let mut out = w.restore(ckpt.as_ref().map(|(_, m)| m));
+                    let replay: Vec<W::Msg> = run.logs[i]
+                        .iter()
+                        .filter(|(s, _)| *s < step)
+                        .map(|(_, m)| m.clone())
+                        .collect();
+                    run.rec.replayed_batches += replay.len() as u64;
+                    run.rec.replayed_facts +=
+                        replay.iter().map(|m| m.unit_count() as u64).sum::<u64>();
+                    run.rec.recoveries += 1;
+                    dcer_obs::instant("bsp.recovery.restore");
+                    out.extend(w.superstep(replay));
+                    out
+                } else {
+                    let out = if first { w.initial() } else { w.superstep(inbox) };
+                    if let Some(ms) = stall {
+                        // Sub-timeout stall: virtual slowdown, no failure.
+                        stall_secs = ms as f64 / 1e3;
+                    }
+                    out
+                }
+            } else if first {
+                w.initial()
+            } else {
+                w.superstep(inbox)
+            };
+            // Checkpoint inside the timed window: its cost is part of the
+            // worker's step in the virtual makespan.
+            if let Some(run) = ft.as_mut() {
+                if run.cfg.checkpoint_interval > 0
+                    && step.is_multiple_of(run.cfg.checkpoint_interval)
+                {
+                    let c0 = dcer_obs::enabled().then(Instant::now);
+                    if let Some(snap) = w.snapshot() {
+                        run.rec.checkpoints += 1;
+                        run.rec.checkpoint_facts += snap.unit_count() as u64;
+                        run.rec.checkpoint_bytes += snap.size_bytes() as u64;
+                        run.store.put(i, step, snap);
+                        // Replay after a later failure starts from this
+                        // checkpoint: older log entries are covered by it.
+                        if run.replayable {
+                            run.logs[i].retain(|(s, _)| *s >= step);
+                        }
+                    }
+                    if let Some(c0) = c0 {
+                        dcer_obs::histogram_record(
+                            "bsp.checkpoint_ns",
+                            c0.elapsed().as_nanos() as u64,
+                        );
+                    }
+                }
+            }
+            durations[i] = t0.elapsed().as_secs_f64() + stall_secs;
             drop(span);
             routed.extend(out.into_iter().map(|(to, m)| (i, to, m)));
         }
         first = false;
         let exchange = dcer_obs::span("exchange").with_arg("step", step);
-        let mut step_bytes = 0u64;
-        let mut any = false;
-        for (from, to, msg) in routed {
-            if to == from {
-                continue; // self-routes are free and filtered
+        let mut deliveries: Vec<(WorkerId, W::Msg)> = Vec::new();
+        if let Some(run) = ft.as_mut() {
+            let mut due = Vec::new();
+            let mut later = Vec::new();
+            for p in run.pending.drain(..) {
+                if p.due <= step {
+                    due.push(p);
+                } else {
+                    later.push(p);
+                }
             }
-            assert!(to < n, "routed to nonexistent shard {to}");
+            run.pending = later;
+            for p in due {
+                if !p.retry {
+                    // A delayed delivery already passed the injector.
+                    deliveries.push((p.to, p.msg));
+                    continue;
+                }
+                run.rec.retries += 1;
+                match classify_send(run.cfg, p.from, p.to, step, p.attempts, &mut run.rec) {
+                    SendOutcome::Deliver => deliveries.push((p.to, p.msg)),
+                    SendOutcome::DeliverTwice => {
+                        deliveries.push((p.to, p.msg.clone()));
+                        deliveries.push((p.to, p.msg));
+                    }
+                    SendOutcome::Delayed(due) => run.pending.push(PendingSend {
+                        from: p.from,
+                        to: p.to,
+                        msg: p.msg,
+                        attempts: p.attempts,
+                        due,
+                        retry: false,
+                    }),
+                    SendOutcome::Retry(attempts, due) => run.pending.push(PendingSend {
+                        from: p.from,
+                        to: p.to,
+                        msg: p.msg,
+                        attempts,
+                        due,
+                        retry: true,
+                    }),
+                    SendOutcome::Exhausted => {
+                        stats.recovery = run.rec;
+                        stats.wall_secs = wall.elapsed().as_secs_f64();
+                        return Err(BspAbort {
+                            reason: exhausted_reason(p.from, p.to, p.attempts, step),
+                            stats: Box::new(stats),
+                        });
+                    }
+                }
+            }
+            for (from, to, msg) in routed {
+                if to == from {
+                    continue; // self-routes are free and filtered
+                }
+                assert!(to < n, "routed to nonexistent shard {to}");
+                match classify_send(run.cfg, from, to, step, 0, &mut run.rec) {
+                    SendOutcome::Deliver => deliveries.push((to, msg)),
+                    SendOutcome::DeliverTwice => {
+                        deliveries.push((to, msg.clone()));
+                        deliveries.push((to, msg));
+                    }
+                    SendOutcome::Delayed(due) => run.pending.push(PendingSend {
+                        from,
+                        to,
+                        msg,
+                        attempts: 0,
+                        due,
+                        retry: false,
+                    }),
+                    SendOutcome::Retry(attempts, due) => {
+                        run.pending.push(PendingSend { from, to, msg, attempts, due, retry: true })
+                    }
+                    SendOutcome::Exhausted => {
+                        stats.recovery = run.rec;
+                        stats.wall_secs = wall.elapsed().as_secs_f64();
+                        return Err(BspAbort {
+                            reason: exhausted_reason(from, to, 0, step),
+                            stats: Box::new(stats),
+                        });
+                    }
+                }
+            }
+        } else {
+            for (from, to, msg) in routed {
+                if to == from {
+                    continue; // self-routes are free and filtered
+                }
+                assert!(to < n, "routed to nonexistent shard {to}");
+                deliveries.push((to, msg));
+            }
+        }
+        let mut step_bytes = 0u64;
+        let mut delivered_now = 0u64;
+        for (to, msg) in deliveries {
             let b = msg.size_bytes() as u64;
             step_bytes += b;
             stats.bytes += b;
@@ -268,20 +622,32 @@ fn run_simulated<W: Worker>(mut workers: Vec<W>, cost: &CostModel) -> (Vec<W>, B
             stats.batches += 1;
             stats.messages += msg.unit_count() as u64;
             dcer_obs::histogram_record("bsp.batch_bytes", b);
+            if let Some(run) = ft.as_mut() {
+                if run.replayable {
+                    run.logs[to].push((step, msg.clone()));
+                }
+            }
             inboxes[to].push(msg);
-            any = true;
+            delivered_now += 1;
         }
         dcer_obs::histogram_record("bsp.step_bytes", step_bytes);
         drop(exchange);
         stats.account_step(cost, &durations, step_bytes);
         step += 1;
-        if !any {
+        // Quiescence must also wait out in-flight messages (scheduled
+        // retransmissions and delayed deliveries), otherwise a delayed
+        // batch would silently vanish and the fixpoint would be wrong.
+        let in_flight = ft.as_ref().map_or(0, |run| run.pending.len());
+        if delivered_now == 0 && in_flight == 0 {
             break;
         }
     }
     stats.deduped_facts = workers.iter().map(|w| w.absorbed_duplicates()).sum();
+    if let Some(run) = ft {
+        stats.recovery = run.rec;
+    }
     stats.wall_secs = wall.elapsed().as_secs_f64();
-    (workers, stats)
+    Ok((workers, stats))
 }
 
 /// Per-thread measurements, merged into [`BspStats`] after the join.
@@ -293,9 +659,63 @@ struct ShardLog {
     sent_batches: u64,
     sent_units: u64,
     absorbed: u64,
+    recovery: RecoveryStats,
 }
 
-fn run_threaded<W: Worker>(workers: Vec<W>, cost: &CostModel) -> (Vec<W>, BspStats) {
+/// Fault-tolerance state shared by all worker threads.
+struct ThreadedFt<'a, M: Message> {
+    cfg: &'a FaultConfig,
+    store: CheckpointStore<M>,
+    /// Per-recipient delivery log (same contract as the simulated one);
+    /// each recipient trims its own log at its checkpoints. Maintained
+    /// only when the plan can fail a worker (`replayable`).
+    logs: Vec<Mutex<Vec<(u64, M)>>>,
+    replayable: bool,
+    /// Global count of in-flight messages (retries + delayed) — the
+    /// quiescence leader must not halt while this is nonzero.
+    in_flight: AtomicU64,
+    aborted: AtomicBool,
+    abort_reason: Mutex<Option<String>>,
+}
+
+impl<M: Message> ThreadedFt<'_, M> {
+    fn flag_abort(&self, reason: String) {
+        let mut slot = self.abort_reason.lock().expect("abort slot poisoned");
+        if slot.is_none() {
+            *slot = Some(reason);
+        }
+        self.aborted.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Deposit one message into `to`'s mailbox with full accounting; appends to
+/// the recipient's delivery log when fault tolerance is active.
+fn deposit<M: Message>(
+    to: WorkerId,
+    msg: M,
+    step: u64,
+    log: &mut ShardLog,
+    mailboxes: &[Mutex<Vec<M>>],
+    ft: Option<&ThreadedFt<'_, M>>,
+    delivered: &AtomicU64,
+) {
+    log.sent_batches += 1;
+    log.sent_units += msg.unit_count() as u64;
+    dcer_obs::histogram_record("bsp.batch_bytes", msg.size_bytes() as u64);
+    delivered.fetch_add(1, Ordering::Relaxed);
+    if let Some(ft) = ft {
+        if ft.replayable {
+            ft.logs[to].lock().expect("delivery log poisoned").push((step, msg.clone()));
+        }
+    }
+    mailboxes[to].lock().expect("mailbox poisoned").push(msg);
+}
+
+fn run_threaded<W: Worker>(
+    workers: Vec<W>,
+    cost: &CostModel,
+    faults: Option<&FaultConfig>,
+) -> Result<(Vec<W>, BspStats), BspAbort> {
     let n = workers.len();
     let wall = Instant::now();
 
@@ -305,6 +725,22 @@ fn run_threaded<W: Worker>(workers: Vec<W>, cost: &CostModel) -> (Vec<W>, BspSta
     let barrier = Barrier::new(n);
     let delivered = AtomicU64::new(0);
     let halt = AtomicBool::new(false);
+    let ft_state: Option<ThreadedFt<W::Msg>> = faults.map(|cfg| {
+        let replayable = !cfg.plan.is_empty();
+        ThreadedFt {
+            cfg,
+            store: CheckpointStore::new(n, cfg.checkpoint_dir.clone()),
+            logs: if replayable {
+                (0..n).map(|_| Mutex::new(Vec::new())).collect()
+            } else {
+                Vec::new()
+            },
+            replayable,
+            in_flight: AtomicU64::new(0),
+            aborted: AtomicBool::new(false),
+            abort_reason: Mutex::new(None),
+        }
+    });
 
     let mut results: Vec<Option<(W, ShardLog)>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
@@ -314,35 +750,253 @@ fn run_threaded<W: Worker>(workers: Vec<W>, cost: &CostModel) -> (Vec<W>, BspSta
             let barrier = &barrier;
             let delivered = &delivered;
             let halt = &halt;
+            let ft = ft_state.as_ref();
             handles.push(scope.spawn(move || {
                 if dcer_obs::enabled() {
                     dcer_obs::name_current_track(&format!("worker-{me}"));
                 }
                 let mut log = ShardLog::default();
                 let mut inbox: Vec<W::Msg> = Vec::new();
+                // This thread's in-flight messages (it is the sender).
+                let mut pending: Vec<PendingSend<W::Msg>> = Vec::new();
                 let mut first = true;
                 let mut step = 0u64;
                 loop {
                     let span = dcer_obs::span(step_span_name(first)).with_arg("step", step);
                     let t0 = Instant::now();
-                    let out =
-                        if first { w.initial() } else { w.superstep(std::mem::take(&mut inbox)) };
+                    let mut stall_secs = 0.0f64;
+                    let out = if let Some(ft) = ft {
+                        let stall = ft.cfg.plan.stall_millis(me, step);
+                        let crashed = ft.cfg.plan.crashed(me, step);
+                        let failed = crashed
+                            || stall.is_some_and(|ms| ms as f64 / 1e3 > ft.cfg.stall_timeout_secs);
+                        if crashed {
+                            log.recovery.crashes += 1;
+                            dcer_obs::instant("bsp.fault.crash");
+                        }
+                        if stall.is_some() {
+                            log.recovery.stalls += 1;
+                            dcer_obs::instant("bsp.fault.stall");
+                        }
+                        if failed {
+                            inbox.clear(); // lost with the worker
+                            let ckpt = ft.store.latest(me);
+                            let mut out = w.restore(ckpt.as_ref().map(|(_, m)| m));
+                            // Peers may already be depositing for the
+                            // exchange of this very step; the `< step`
+                            // filter keeps those for normal consumption.
+                            let replay: Vec<W::Msg> = {
+                                let guard = ft.logs[me].lock().expect("delivery log poisoned");
+                                guard
+                                    .iter()
+                                    .filter(|(s, _)| *s < step)
+                                    .map(|(_, m)| m.clone())
+                                    .collect()
+                            };
+                            log.recovery.replayed_batches += replay.len() as u64;
+                            log.recovery.replayed_facts +=
+                                replay.iter().map(|m| m.unit_count() as u64).sum::<u64>();
+                            log.recovery.recoveries += 1;
+                            dcer_obs::instant("bsp.recovery.restore");
+                            out.extend(w.superstep(replay));
+                            out
+                        } else {
+                            let out = if first {
+                                w.initial()
+                            } else {
+                                w.superstep(std::mem::take(&mut inbox))
+                            };
+                            if let Some(ms) = stall {
+                                stall_secs = ms as f64 / 1e3;
+                            }
+                            out
+                        }
+                    } else if first {
+                        w.initial()
+                    } else {
+                        w.superstep(std::mem::take(&mut inbox))
+                    };
                     first = false;
-                    log.compute_secs.push(t0.elapsed().as_secs_f64());
+                    if let Some(ft) = ft {
+                        if ft.cfg.checkpoint_interval > 0
+                            && step.is_multiple_of(ft.cfg.checkpoint_interval)
+                        {
+                            let c0 = dcer_obs::enabled().then(Instant::now);
+                            if let Some(snap) = w.snapshot() {
+                                log.recovery.checkpoints += 1;
+                                log.recovery.checkpoint_facts += snap.unit_count() as u64;
+                                log.recovery.checkpoint_bytes += snap.size_bytes() as u64;
+                                ft.store.put(me, step, snap);
+                                if ft.replayable {
+                                    ft.logs[me]
+                                        .lock()
+                                        .expect("delivery log poisoned")
+                                        .retain(|(s, _)| *s >= step);
+                                }
+                            }
+                            if let Some(c0) = c0 {
+                                dcer_obs::histogram_record(
+                                    "bsp.checkpoint_ns",
+                                    c0.elapsed().as_nanos() as u64,
+                                );
+                            }
+                        }
+                    }
+                    log.compute_secs.push(t0.elapsed().as_secs_f64() + stall_secs);
                     drop(span);
                     // The exchange span covers deposit, barrier wait (time
                     // spent blocked on stragglers), and inbox drain.
                     let exchange = dcer_obs::span("exchange").with_arg("step", step);
-                    for (to, msg) in out {
-                        if to == me {
-                            continue; // self-routes are free and filtered
+                    if let Some(ft) = ft {
+                        let mut later = Vec::new();
+                        for p in pending.drain(..) {
+                            if p.due > step {
+                                later.push(p);
+                                continue;
+                            }
+                            ft.in_flight.fetch_sub(1, Ordering::Relaxed);
+                            if !p.retry {
+                                deposit(
+                                    p.to,
+                                    p.msg,
+                                    step,
+                                    &mut log,
+                                    mailboxes,
+                                    Some(ft),
+                                    delivered,
+                                );
+                                continue;
+                            }
+                            log.recovery.retries += 1;
+                            match classify_send(
+                                ft.cfg,
+                                p.from,
+                                p.to,
+                                step,
+                                p.attempts,
+                                &mut log.recovery,
+                            ) {
+                                SendOutcome::Deliver => deposit(
+                                    p.to,
+                                    p.msg,
+                                    step,
+                                    &mut log,
+                                    mailboxes,
+                                    Some(ft),
+                                    delivered,
+                                ),
+                                SendOutcome::DeliverTwice => {
+                                    deposit(
+                                        p.to,
+                                        p.msg.clone(),
+                                        step,
+                                        &mut log,
+                                        mailboxes,
+                                        Some(ft),
+                                        delivered,
+                                    );
+                                    deposit(
+                                        p.to,
+                                        p.msg,
+                                        step,
+                                        &mut log,
+                                        mailboxes,
+                                        Some(ft),
+                                        delivered,
+                                    );
+                                }
+                                SendOutcome::Delayed(due) => {
+                                    ft.in_flight.fetch_add(1, Ordering::Relaxed);
+                                    later.push(PendingSend {
+                                        from: p.from,
+                                        to: p.to,
+                                        msg: p.msg,
+                                        attempts: p.attempts,
+                                        due,
+                                        retry: false,
+                                    });
+                                }
+                                SendOutcome::Retry(attempts, due) => {
+                                    ft.in_flight.fetch_add(1, Ordering::Relaxed);
+                                    later.push(PendingSend {
+                                        from: p.from,
+                                        to: p.to,
+                                        msg: p.msg,
+                                        attempts,
+                                        due,
+                                        retry: true,
+                                    });
+                                }
+                                SendOutcome::Exhausted => {
+                                    ft.flag_abort(exhausted_reason(p.from, p.to, p.attempts, step));
+                                }
+                            }
                         }
-                        assert!(to < n, "routed to nonexistent shard {to}");
-                        log.sent_batches += 1;
-                        log.sent_units += msg.unit_count() as u64;
-                        dcer_obs::histogram_record("bsp.batch_bytes", msg.size_bytes() as u64);
-                        delivered.fetch_add(1, Ordering::Relaxed);
-                        mailboxes[to].lock().expect("mailbox poisoned").push(msg);
+                        pending = later;
+                        for (to, msg) in out {
+                            if to == me {
+                                continue; // self-routes are free and filtered
+                            }
+                            assert!(to < n, "routed to nonexistent shard {to}");
+                            match classify_send(ft.cfg, me, to, step, 0, &mut log.recovery) {
+                                SendOutcome::Deliver => {
+                                    deposit(to, msg, step, &mut log, mailboxes, Some(ft), delivered)
+                                }
+                                SendOutcome::DeliverTwice => {
+                                    deposit(
+                                        to,
+                                        msg.clone(),
+                                        step,
+                                        &mut log,
+                                        mailboxes,
+                                        Some(ft),
+                                        delivered,
+                                    );
+                                    deposit(
+                                        to,
+                                        msg,
+                                        step,
+                                        &mut log,
+                                        mailboxes,
+                                        Some(ft),
+                                        delivered,
+                                    );
+                                }
+                                SendOutcome::Delayed(due) => {
+                                    ft.in_flight.fetch_add(1, Ordering::Relaxed);
+                                    pending.push(PendingSend {
+                                        from: me,
+                                        to,
+                                        msg,
+                                        attempts: 0,
+                                        due,
+                                        retry: false,
+                                    });
+                                }
+                                SendOutcome::Retry(attempts, due) => {
+                                    ft.in_flight.fetch_add(1, Ordering::Relaxed);
+                                    pending.push(PendingSend {
+                                        from: me,
+                                        to,
+                                        msg,
+                                        attempts,
+                                        due,
+                                        retry: true,
+                                    });
+                                }
+                                SendOutcome::Exhausted => {
+                                    ft.flag_abort(exhausted_reason(me, to, 0, step));
+                                }
+                            }
+                        }
+                    } else {
+                        for (to, msg) in out {
+                            if to == me {
+                                continue; // self-routes are free and filtered
+                            }
+                            assert!(to < n, "routed to nonexistent shard {to}");
+                            deposit(to, msg, step, &mut log, mailboxes, None, delivered);
+                        }
                     }
                     barrier.wait(); // all deposits visible
 
@@ -352,8 +1006,14 @@ fn run_threaded<W: Worker>(workers: Vec<W>, cost: &CostModel) -> (Vec<W>, BspSta
                     log.recv_bytes += step_recv;
                     dcer_obs::histogram_record("bsp.worker_recv_bytes", step_recv);
                     if barrier.wait().is_leader() {
-                        // Coordinator duty: quiescence detection, nothing else.
-                        halt.store(delivered.swap(0, Ordering::Relaxed) == 0, Ordering::Relaxed);
+                        // Coordinator duty: quiescence detection, nothing
+                        // else. A superstep that delivered nothing does NOT
+                        // quiesce while retransmissions or delayed messages
+                        // are still in flight (a worker may be mid-recovery).
+                        let quiesced = delivered.swap(0, Ordering::Relaxed) == 0
+                            && ft.is_none_or(|f| f.in_flight.load(Ordering::Relaxed) == 0);
+                        let abort = ft.is_some_and(|f| f.aborted.load(Ordering::Relaxed));
+                        halt.store(abort || quiesced, Ordering::Relaxed);
                     }
                     barrier.wait(); // halt decision visible
                     drop(exchange);
@@ -393,9 +1053,21 @@ fn run_threaded<W: Worker>(workers: Vec<W>, cost: &CostModel) -> (Vec<W>, BspSta
         stats.bytes += log.recv_bytes;
         stats.shard_bytes[i] = log.recv_bytes;
         stats.deduped_facts += log.absorbed;
+        stats.recovery.add(&log.recovery);
     }
     stats.wall_secs = wall.elapsed().as_secs_f64();
-    (final_workers, stats)
+    if let Some(ft) = &ft_state {
+        if ft.aborted.load(Ordering::Relaxed) {
+            let reason = ft
+                .abort_reason
+                .lock()
+                .expect("abort slot poisoned")
+                .take()
+                .unwrap_or_else(|| "aborted".into());
+            return Err(BspAbort { reason, stats: Box::new(stats) });
+        }
+    }
+    Ok((final_workers, stats))
 }
 
 #[cfg(test)]
@@ -404,10 +1076,13 @@ mod tests {
 
     /// Toy computation: a "fact" spreads max values; workers emit to every
     /// peer when their local max increases. Converges to the global max
-    /// everywhere.
+    /// everywhere. `seed` is the worker's durable input: a crash resets
+    /// `local_max` to the latest checkpoint (or the seed).
+    #[derive(Debug)]
     struct MaxWorker {
         id: WorkerId,
         peers: usize,
+        seed: u64,
         local_max: u64,
     }
 
@@ -431,16 +1106,34 @@ mod tests {
                 Vec::new()
             }
         }
+        fn snapshot(&mut self) -> Option<u64> {
+            Some(self.local_max)
+        }
+        fn restore(&mut self, checkpoint: Option<&u64>) -> Vec<(WorkerId, u64)> {
+            self.local_max = checkpoint.copied().unwrap_or(self.seed);
+            self.broadcast()
+        }
     }
 
     fn fleet(maxes: &[u64]) -> Vec<MaxWorker> {
         let n = maxes.len();
-        maxes.iter().enumerate().map(|(id, &m)| MaxWorker { id, peers: n, local_max: m }).collect()
+        maxes
+            .iter()
+            .enumerate()
+            .map(|(id, &m)| MaxWorker { id, peers: n, seed: m, local_max: m })
+            .collect()
     }
 
     fn run(mode: ExecutionMode) -> (Vec<MaxWorker>, BspStats) {
         run_bsp(fleet(&[3, 17, 5, 11]), mode, &CostModel::default())
     }
+
+    fn run_faulty(mode: ExecutionMode, cfg: &FaultConfig) -> (Vec<MaxWorker>, BspStats) {
+        run_bsp_with(fleet(&[3, 17, 5, 11]), mode, &CostModel::default(), cfg)
+            .expect("run should not abort")
+    }
+
+    const MODES: [ExecutionMode; 2] = [ExecutionMode::Simulated, ExecutionMode::Threaded];
 
     #[test]
     fn simulated_converges_to_global_max() {
@@ -486,7 +1179,7 @@ mod tests {
                 unreachable!("never reached without messages")
             }
         }
-        for mode in [ExecutionMode::Simulated, ExecutionMode::Threaded] {
+        for mode in MODES {
             let (_, stats) = run_bsp(vec![Quiet, Quiet], mode, &CostModel::default());
             assert_eq!(stats.supersteps, 1, "{mode:?}");
             assert_eq!(stats.batches, 0, "{mode:?}");
@@ -508,7 +1201,7 @@ mod tests {
                 Vec::new()
             }
         }
-        for mode in [ExecutionMode::Simulated, ExecutionMode::Threaded] {
+        for mode in MODES {
             let (_, stats) =
                 run_bsp(vec![Selfish { id: 0 }, Selfish { id: 1 }], mode, &CostModel::default());
             assert_eq!(stats.batches, 0, "{mode:?}: self-deliveries never count");
@@ -531,5 +1224,126 @@ mod tests {
         let j = serde_json::to_value(&stats);
         assert_eq!(j["supersteps"], stats.supersteps);
         assert!(!j["shard_bytes"].is_null());
+        assert_eq!(j["recovery"]["crashes"], 0u64);
+    }
+
+    #[test]
+    fn checkpointing_only_run_matches_plain_stats() {
+        for mode in MODES {
+            let (_, plain) = run(mode);
+            let (workers, ckpt) = run_faulty(mode, &FaultConfig::checkpointing());
+            assert!(workers.iter().all(|w| w.local_max == 17), "{mode:?}");
+            assert_eq!(plain.supersteps, ckpt.supersteps, "{mode:?}");
+            assert_eq!(plain.batches, ckpt.batches, "{mode:?}");
+            assert_eq!(plain.bytes, ckpt.bytes, "{mode:?}");
+            assert_eq!(ckpt.recovery.checkpoints, 4 * ckpt.supersteps as u64, "{mode:?}");
+            assert_eq!(ckpt.recovery.crashes, 0, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn crash_recovers_from_checkpoint() {
+        for mode in MODES {
+            for step in 0..3 {
+                let cfg = FaultConfig::with_plan(FaultPlan::crash(1, step));
+                let (workers, stats) = run_faulty(mode, &cfg);
+                assert!(
+                    workers.iter().all(|w| w.local_max == 17),
+                    "{mode:?} crash 1@{step}: {:?}",
+                    workers.iter().map(|w| w.local_max).collect::<Vec<_>>()
+                );
+                assert_eq!(stats.recovery.crashes, 1, "{mode:?} crash 1@{step}");
+                assert_eq!(stats.recovery.recoveries, 1, "{mode:?} crash 1@{step}");
+            }
+        }
+    }
+
+    #[test]
+    fn dropped_delivery_is_retried_and_converges() {
+        let plan = FaultPlan::parse("drop 1->0@0").unwrap();
+        for mode in MODES {
+            let (workers, stats) = run_faulty(mode, &FaultConfig::with_plan(plan.clone()));
+            assert!(workers.iter().all(|w| w.local_max == 17), "{mode:?}");
+            assert_eq!(stats.recovery.dropped_batches, 1, "{mode:?}");
+            assert_eq!(stats.recovery.retries, 1, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn delayed_delivery_keeps_run_alive_until_it_lands() {
+        // Regression (quiescence vs in-flight messages): with only two
+        // workers and the one useful message delayed 3 steps, nothing is
+        // delivered at steps 1 and 2. The old halt rule (delivered == 0)
+        // would terminate there and worker 0 would finish with 3 ≠ 17.
+        let plan = FaultPlan::parse("delay 1->0@0+3").unwrap();
+        for mode in MODES {
+            let (workers, stats) = run_bsp_with(
+                fleet(&[3, 17]),
+                mode,
+                &CostModel::default(),
+                &FaultConfig::with_plan(plan.clone()),
+            )
+            .expect("run should not abort");
+            assert!(workers.iter().all(|w| w.local_max == 17), "{mode:?}");
+            assert!(stats.supersteps > 3, "{mode:?}: must outlive the delay window");
+            assert_eq!(stats.recovery.delayed_batches, 1, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn duplicate_delivery_counts_twice_and_converges() {
+        let plan = FaultPlan::parse("dup 1->0@0").unwrap();
+        for mode in MODES {
+            let (_, plain) = run(mode);
+            let (workers, stats) = run_faulty(mode, &FaultConfig::with_plan(plan.clone()));
+            assert!(workers.iter().all(|w| w.local_max == 17), "{mode:?}");
+            assert_eq!(stats.recovery.duplicated_batches, 1, "{mode:?}");
+            assert_eq!(stats.batches, plain.batches + 1, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn stall_within_timeout_only_slows_the_step() {
+        let plan = FaultPlan::parse("stall 1@1=10").unwrap();
+        for mode in MODES {
+            let (workers, stats) = run_faulty(mode, &FaultConfig::with_plan(plan.clone()));
+            assert!(workers.iter().all(|w| w.local_max == 17), "{mode:?}");
+            assert_eq!(stats.recovery.stalls, 1, "{mode:?}");
+            assert_eq!(stats.recovery.recoveries, 0, "{mode:?}: 10ms < 50ms timeout");
+            assert!(stats.step_max_secs[1] >= 0.01, "{mode:?}: stall enters busy time");
+        }
+    }
+
+    #[test]
+    fn stall_past_timeout_is_crash_equivalent() {
+        let plan = FaultPlan::parse("stall 1@1=200").unwrap();
+        for mode in MODES {
+            let (workers, stats) = run_faulty(mode, &FaultConfig::with_plan(plan.clone()));
+            assert!(workers.iter().all(|w| w.local_max == 17), "{mode:?}");
+            assert_eq!(stats.recovery.stalls, 1, "{mode:?}");
+            assert_eq!(stats.recovery.recoveries, 1, "{mode:?}: 200ms > 50ms timeout");
+            assert_eq!(stats.recovery.crashes, 0, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_abort_with_stats() {
+        // Backoff schedule for a message first dropped at step 0 with base
+        // 1: retries land at steps 1, 3, 7 — drop them all to exhaust the
+        // default budget of 3. The run must stay alive between retries
+        // (nothing else is in flight) and then abort, not hang.
+        let plan = FaultPlan::parse("drop 1->0@0; drop 1->0@1; drop 1->0@3; drop 1->0@7").unwrap();
+        for mode in MODES {
+            let err = run_bsp_with(
+                fleet(&[3, 17]),
+                mode,
+                &CostModel::default(),
+                &FaultConfig::with_plan(plan.clone()),
+            )
+            .expect_err("retry budget must exhaust");
+            assert!(err.reason.contains("retries exhausted"), "{mode:?}: {}", err.reason);
+            assert_eq!(err.stats.recovery.dropped_batches, 4, "{mode:?}");
+            assert_eq!(err.stats.recovery.retries, 3, "{mode:?}");
+        }
     }
 }

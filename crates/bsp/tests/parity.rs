@@ -68,6 +68,18 @@ impl Worker for GossipWorker {
     fn absorbed_duplicates(&self) -> u64 {
         self.absorbed
     }
+
+    fn snapshot(&mut self) -> Option<SetMsg> {
+        Some(SetMsg(Arc::new(self.known.iter().copied().collect())))
+    }
+
+    fn restore(&mut self, checkpoint: Option<&SetMsg>) -> Vec<(WorkerId, SetMsg)> {
+        self.known = match checkpoint {
+            Some(msg) => msg.0.iter().copied().collect(),
+            None => BTreeSet::from([self.id as u64]),
+        };
+        self.send_right()
+    }
 }
 
 fn ring(n: usize) -> Vec<GossipWorker> {
@@ -117,6 +129,56 @@ fn executors_agree_on_every_deterministic_stat() {
             (0..n as u64).map(|s| (s + 1).min(n as u64) * n as u64).sum::<u64>();
         assert_eq!(sim.messages, expected_units, "n={n}: unit count closed form");
     }
+}
+
+/// Fault-injection parity: under the same (non-aborting) `FaultPlan` —
+/// one crash, one crash-equivalent stall, a dropped edge, a delayed edge,
+/// a duplicated edge and a sub-timeout stall — both executors must report
+/// identical `BspStats` *including every recovery counter*, because all
+/// fault decisions are keyed deterministically by `(worker, step)` /
+/// `(from, to, step)`, never by scheduling.
+#[test]
+fn executors_agree_on_recovery_stats_under_the_same_fault_plan() {
+    use dcer_bsp::{run_bsp_with, FaultConfig, FaultPlan};
+    let n = 5;
+    // Every edge fault is placed on a step where the ring actually sends
+    // on that edge (worker 0 learns {4} at step 1, so 0->1 carries a batch
+    // at step 1 even though its step-0 batch was dropped).
+    let plan = FaultPlan::parse(
+        "crash 2@1; drop 0->1@0; delay 0->1@1+2; dup 3->4@0; stall 4@2=10; stall 1@3=500",
+    )
+    .unwrap();
+    let cfg = FaultConfig::with_plan(plan);
+    let run_ft = |mode| run_bsp_with(ring(n), mode, &CostModel::default(), &cfg).unwrap();
+    let (sim_workers, sim) = run_ft(ExecutionMode::Simulated);
+    let (thr_workers, thr) = run_ft(ExecutionMode::Threaded);
+
+    // Both still reach the gossip fixpoint despite the faults.
+    for w in sim_workers.iter().chain(thr_workers.iter()) {
+        assert_eq!(w.known.len(), n, "everyone learns everything despite faults");
+    }
+
+    assert_eq!(sim.recovery, thr.recovery, "recovery counters must be mode-independent");
+    assert_eq!(sim.recovery.crashes, 1);
+    assert_eq!(sim.recovery.stalls, 2, "one slowdown stall + one timeout stall");
+    assert_eq!(sim.recovery.recoveries, 2, "crash + past-timeout stall both restore");
+    assert_eq!(sim.recovery.dropped_batches, 1);
+    // Two delays: worker 0's fresh step-1 batch, plus the step-0 batch
+    // whose retransmission re-enters the injector at step 1 and is delayed
+    // again (retries are re-classified; delays are not).
+    assert_eq!(sim.recovery.delayed_batches, 2);
+    assert_eq!(sim.recovery.duplicated_batches, 1);
+    assert!(sim.recovery.retries >= 1, "the dropped batch must be retransmitted");
+    assert!(sim.recovery.checkpoints >= 5, "every worker checkpoints every superstep");
+    assert!(sim.recovery.replayed_batches >= 1, "recovery replays logged deliveries");
+
+    // The deterministic traffic stats still agree, faults and all.
+    assert_eq!(sim.supersteps, thr.supersteps);
+    assert_eq!(sim.batches, thr.batches);
+    assert_eq!(sim.messages, thr.messages);
+    assert_eq!(sim.bytes, thr.bytes);
+    assert_eq!(sim.shard_bytes, thr.shard_bytes);
+    assert_eq!(sim.deduped_facts, thr.deduped_facts);
 }
 
 #[test]

@@ -9,6 +9,7 @@
 //! the BSP cost model can account for bytes in `O(1)`.
 
 use crate::facts::Fact;
+use dcer_relation::Tid;
 use serde::Serialize;
 use std::sync::Arc;
 
@@ -180,6 +181,62 @@ impl dcer_bsp::Message for DeltaBatch {
 
     fn unit_count(&self) -> usize {
         self.len()
+    }
+
+    /// On-disk checkpoint format: per fact a tag byte (`0` = Id, `1` = Ml),
+    /// for Ml the `u16` signature, then both `Tid`s as `u16` rel + `u32`
+    /// row, all little-endian.
+    fn encode(&self) -> Option<Vec<u8>> {
+        fn push_tid(out: &mut Vec<u8>, t: Tid) {
+            out.extend_from_slice(&t.rel.to_le_bytes());
+            out.extend_from_slice(&t.row.to_le_bytes());
+        }
+        let mut out = Vec::with_capacity(self.facts.len() * (1 + 2 + 2 * 6));
+        for f in self.facts.iter() {
+            match *f {
+                Fact::Id(a, b) => {
+                    out.push(0);
+                    push_tid(&mut out, a);
+                    push_tid(&mut out, b);
+                }
+                Fact::Ml(sig, a, b) => {
+                    out.push(1);
+                    out.extend_from_slice(&sig.to_le_bytes());
+                    push_tid(&mut out, a);
+                    push_tid(&mut out, b);
+                }
+            }
+        }
+        Some(out)
+    }
+
+    fn decode(bytes: &[u8]) -> Option<DeltaBatch> {
+        fn take<const N: usize>(rest: &mut &[u8]) -> Option<[u8; N]> {
+            let (head, tail) = rest.split_first_chunk::<N>()?;
+            *rest = tail;
+            Some(*head)
+        }
+        fn take_tid(rest: &mut &[u8]) -> Option<Tid> {
+            let rel = u16::from_le_bytes(take::<2>(rest)?);
+            let row = u32::from_le_bytes(take::<4>(rest)?);
+            Some(Tid { rel, row })
+        }
+        let mut rest = bytes;
+        let mut facts = Vec::new();
+        while let Some([tag]) = take::<1>(&mut rest) {
+            let fact = match tag {
+                0 => Fact::Id(take_tid(&mut rest)?, take_tid(&mut rest)?),
+                1 => {
+                    let sig = u16::from_le_bytes(take::<2>(&mut rest)?);
+                    Fact::Ml(sig, take_tid(&mut rest)?, take_tid(&mut rest)?)
+                }
+                _ => return None,
+            };
+            facts.push(fact);
+        }
+        // `new` re-canonicalizes, so a decoded batch upholds the
+        // sorted+deduped invariant even on hand-crafted input.
+        Some(DeltaBatch::new(facts))
     }
 }
 

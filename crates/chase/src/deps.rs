@@ -119,6 +119,13 @@ impl DepStore {
     pub fn counters(&self) -> (u64, u64, u64) {
         (self.recorded, self.fired, self.dropped)
     }
+
+    /// Discard all live dependencies (crash recovery re-enumerates them
+    /// from scratch). Lifetime counters are kept — in particular `dropped`,
+    /// so [`DepStore::overflowed`] stays conservative across a recovery.
+    pub fn reset(&mut self) {
+        self.deps.clear();
+    }
 }
 
 #[cfg(test)]

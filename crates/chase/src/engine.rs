@@ -307,6 +307,33 @@ impl ChaseEngine {
         out
     }
 
+    /// Checkpoint the engine's durable deduction state as a canonical
+    /// batch: validated ML facts plus a spanning set of id facts (see
+    /// [`ChaseState::to_delta`]). Restoring via [`ChaseEngine::recover`]
+    /// yields the same `E_id` closure and validated set.
+    pub fn snapshot(&mut self) -> DeltaBatch {
+        self.state.to_delta()
+    }
+
+    /// Crash recovery: discard the volatile chase state (Γ, the dependency
+    /// store H, queued delta events) and rebuild by re-running the full
+    /// local fixpoint over the fragment — repopulating H, which a bare
+    /// state copy could not — then absorbing `checkpoint` (the last
+    /// [`ChaseEngine::snapshot`], empty when there is none). Compiled rule
+    /// programs, indexes and the ML oracle's memo survive: the fragment is
+    /// immutable and the oracle is a pure cache, so recovery costs no
+    /// classifier re-calls. Returns every fact the rebuilt engine deduces,
+    /// for re-announcement to peers.
+    pub fn recover(&mut self, checkpoint: &[Fact]) -> Vec<Fact> {
+        let _span = dcer_obs::span("chase.recover");
+        self.state = ChaseState::new();
+        self.deps.reset();
+        self.pending.clear();
+        let mut out = self.run_local_fixpoint();
+        out.extend(self.apply_delta(checkpoint));
+        out
+    }
+
     /// One full enumeration round over all rules (procedure `Deduce`).
     fn deduce_round(&mut self, out: &mut Vec<Fact>) {
         for pi in 0..self.plans.len() {

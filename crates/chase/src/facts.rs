@@ -238,6 +238,22 @@ impl ChaseState {
     pub fn fact_count(&mut self) -> usize {
         self.matches.num_pairs() + self.validated.len()
     }
+
+    /// The state as a canonical fact batch: every validated ML prediction
+    /// plus one spanning `eq(first, t)` fact per non-trivial cluster member
+    /// — the smallest set whose transitive closure rebuilds `E_id`. This is
+    /// both the checkpoint wire format (replay through [`ChaseState::apply`]
+    /// is idempotent) and what a static deducer announces to peers.
+    pub fn to_delta(&mut self) -> crate::DeltaBatch {
+        let mut facts: Vec<Fact> = self.validated.iter().copied().collect();
+        for cluster in self.matches.clusters() {
+            let first = cluster[0];
+            for &t in &cluster[1..] {
+                facts.push(Fact::id(first, t));
+            }
+        }
+        crate::DeltaBatch::new(facts)
+    }
 }
 
 /// Memoizing ML oracle: evaluates classifier predicates, caching one boolean

@@ -4,7 +4,7 @@
 //! global quiescence.
 
 use crate::pipeline::{run_pipeline, ExecutorKind, PipelineConfig, PipelineReport};
-use dcer_bsp::{BspStats, CostModel, ExecutionMode};
+use dcer_bsp::{BspStats, CostModel, ExecutionMode, FaultConfig};
 use dcer_chase::{BatchStats, ChaseConfig, ChaseOutcome, ChaseStats};
 use dcer_hypart::PartitionStats;
 use dcer_ml::MlRegistry;
@@ -27,6 +27,9 @@ pub struct DmatchConfig {
     pub cost: CostModel,
     /// Virtual-block factor for HyPart (default `workers`, i.e. `n²` cells).
     pub virtual_factor: Option<usize>,
+    /// Fault-tolerance configuration: superstep checkpointing, injected
+    /// faults, retry policy. Inactive (zero-overhead) by default.
+    pub faults: FaultConfig,
 }
 
 impl DmatchConfig {
@@ -39,12 +42,20 @@ impl DmatchConfig {
             chase: ChaseConfig::default(),
             cost: CostModel::default(),
             virtual_factor: None,
+            faults: FaultConfig::none(),
         }
     }
 
     /// Switch to threaded execution.
     pub fn threaded(mut self) -> DmatchConfig {
         self.execution = ExecutionMode::Threaded;
+        self
+    }
+
+    /// Run under a fault-tolerance configuration (checkpointing and/or an
+    /// injected fault plan).
+    pub fn with_faults(mut self, faults: FaultConfig) -> DmatchConfig {
+        self.faults = faults;
         self
     }
 
@@ -58,6 +69,7 @@ impl DmatchConfig {
             chase: self.chase.clone(),
             cost: self.cost,
             virtual_factor: self.virtual_factor,
+            faults: self.faults.clone(),
         }
     }
 }
@@ -83,6 +95,9 @@ pub struct DmatchReport {
     /// Simulated parallel ER time (partitioning excluded), i.e. the
     /// makespan a real `n`-worker cluster would see.
     pub simulated_er_secs: f64,
+    /// Fault-free reruns forced by exhausted delivery retries (graceful
+    /// degradation); `0` on every run that recovered in place.
+    pub fault_reruns: u32,
 }
 
 impl From<PipelineReport> for DmatchReport {
@@ -96,6 +111,7 @@ impl From<PipelineReport> for DmatchReport {
             partition_secs: r.partition_secs,
             er_secs: r.er_secs,
             simulated_er_secs: r.simulated_er_secs,
+            fault_reruns: r.fault_reruns,
         }
     }
 }

@@ -23,10 +23,12 @@
 //! `ChaseState` replica converges to the global `Γ` and the final outcome
 //! can be read off any shard.
 
-use dcer_bsp::{run_bsp, BspStats, CostModel, ExecutionMode, Worker, WorkerId};
+use dcer_bsp::{
+    run_bsp, run_bsp_with, BspStats, CostModel, ExecutionMode, FaultConfig, Worker, WorkerId,
+};
 use dcer_chase::{
     naive_chase, BatchStats, ChaseConfig, ChaseEngine, ChaseOutcome, ChaseState, ChaseStats,
-    DeltaBatch, Fact,
+    DeltaBatch,
 };
 use dcer_hypart::{partition, HyPartConfig, PartitionStats};
 use dcer_ml::MlRegistry;
@@ -51,6 +53,21 @@ pub trait Deducer: Send {
 
     /// Extract the final chase state (call once, after the run).
     fn take_state(&mut self) -> ChaseState;
+
+    /// Checkpoint the deducer's durable state as one canonical batch.
+    /// `None` (the default) opts the shard out of checkpointing.
+    fn snapshot(&mut self) -> Option<DeltaBatch> {
+        None
+    }
+
+    /// Crash recovery: discard volatile state, rebuild from the immutable
+    /// fragment plus `checkpoint` (the last snapshot, if any), and return
+    /// everything the rebuilt shard deduces — its re-announcement to peers.
+    /// The default keeps stale state and announces nothing; deducers run
+    /// under a fault plan must override it.
+    fn recover(&mut self, _checkpoint: Option<&DeltaBatch>) -> DeltaBatch {
+        DeltaBatch::empty()
+    }
 }
 
 /// The standard executor: a [`ChaseEngine`] (`Deduce` + dependency-driven
@@ -82,6 +99,14 @@ impl Deducer for EngineDeducer {
     fn take_state(&mut self) -> ChaseState {
         std::mem::replace(self.engine.state_mut(), ChaseState::new())
     }
+
+    fn snapshot(&mut self) -> Option<DeltaBatch> {
+        Some(self.engine.snapshot())
+    }
+
+    fn recover(&mut self, checkpoint: Option<&DeltaBatch>) -> DeltaBatch {
+        DeltaBatch::new(self.engine.recover(checkpoint.map_or(&[][..], |b| b.as_slice())))
+    }
 }
 
 /// Executor over a precomputed fixpoint (the naive reference chase):
@@ -90,20 +115,19 @@ impl Deducer for EngineDeducer {
 pub struct StaticDeducer {
     state: ChaseState,
     batch: DeltaBatch,
+    /// The frozen fixpoint's spanning batch, kept for crash recovery.
+    initial: DeltaBatch,
     stats: ChaseStats,
 }
 
 impl StaticDeducer {
     /// Freeze a chase state; the emitted batch carries the validated ML
     /// facts plus one spanning id fact per cluster edge (enough for any
-    /// recipient's union-find to reconstruct the equivalence classes).
+    /// recipient's union-find to reconstruct the equivalence classes) —
+    /// the [`ChaseState::to_delta`] checkpoint encoding.
     pub fn new(mut state: ChaseState) -> StaticDeducer {
-        let mut facts: Vec<Fact> = state.validated.iter().copied().collect();
-        for cluster in state.matches.clusters() {
-            let (first, rest) = cluster.split_first().expect("clusters are non-empty");
-            facts.extend(rest.iter().map(|&t| Fact::id(*first, t)));
-        }
-        StaticDeducer { state, batch: DeltaBatch::new(facts), stats: ChaseStats::default() }
+        let batch = state.to_delta();
+        StaticDeducer { state, initial: batch.clone(), batch, stats: ChaseStats::default() }
     }
 }
 
@@ -128,6 +152,25 @@ impl Deducer for StaticDeducer {
 
     fn take_state(&mut self) -> ChaseState {
         std::mem::replace(&mut self.state, ChaseState::new())
+    }
+
+    fn snapshot(&mut self) -> Option<DeltaBatch> {
+        Some(self.state.to_delta())
+    }
+
+    fn recover(&mut self, checkpoint: Option<&DeltaBatch>) -> DeltaBatch {
+        self.state = ChaseState::new();
+        let mut known = self.initial.to_vec();
+        if let Some(ckpt) = checkpoint {
+            known.extend(ckpt.iter().copied());
+        }
+        for &f in &known {
+            self.state.apply(f);
+        }
+        // Everything the rebuilt shard holds is its re-announcement; the
+        // pending `deduce` batch is superseded by it.
+        self.batch = DeltaBatch::empty();
+        self.state.to_delta()
     }
 }
 
@@ -177,6 +220,16 @@ impl<D: Deducer> Worker for ShardWorker<D> {
     fn absorbed_duplicates(&self) -> u64 {
         self.deducer.stats().facts_absorbed
     }
+
+    fn snapshot(&mut self) -> Option<DeltaBatch> {
+        self.deducer.snapshot()
+    }
+
+    fn restore(&mut self, checkpoint: Option<&DeltaBatch>) -> Vec<(WorkerId, DeltaBatch)> {
+        let out = self.deducer.recover(checkpoint);
+        self.batch_stats.record_build(out.len(), &out);
+        self.broadcast(out)
+    }
 }
 
 /// Which deduction strategy the pipeline runs.
@@ -211,6 +264,9 @@ pub struct PipelineConfig {
     /// Virtual-block factor for HyPart (default `workers`, i.e. `n²`
     /// cells).
     pub virtual_factor: Option<usize>,
+    /// Fault-tolerance configuration: superstep checkpointing, injected
+    /// faults, retry policy. Inactive (zero-overhead) by default.
+    pub faults: FaultConfig,
 }
 
 impl PipelineConfig {
@@ -223,6 +279,7 @@ impl PipelineConfig {
             chase: ChaseConfig::default(),
             cost: CostModel::default(),
             virtual_factor: None,
+            faults: FaultConfig::none(),
         }
     }
 
@@ -264,6 +321,9 @@ pub struct PipelineReport {
     /// Simulated parallel ER time (partitioning excluded), i.e. the
     /// makespan a real `n`-worker cluster would see.
     pub simulated_er_secs: f64,
+    /// Fault-free reruns forced by exhausted delivery retries (graceful
+    /// degradation); `0` on every run that recovered in place.
+    pub fault_reruns: u32,
 }
 
 /// Run the unified pipeline: build the configured shards, then drive them
@@ -276,12 +336,18 @@ pub fn run_pipeline(
 ) -> Result<PipelineReport, String> {
     match config.executor {
         ExecutorKind::Sequential => {
-            let engine = ChaseEngine::new(dataset.clone(), rules, registry, &config.chase)?;
-            drive(vec![EngineDeducer::new(engine)], None, 0.0, config)
+            let build = || -> Result<Vec<EngineDeducer>, String> {
+                let engine = ChaseEngine::new(dataset.clone(), rules, registry, &config.chase)?;
+                Ok(vec![EngineDeducer::new(engine)])
+            };
+            drive(build()?, Some(&build), None, 0.0, config)
         }
         ExecutorKind::Naive => {
             let state = naive_chase(dataset, rules, registry)?;
-            drive(vec![StaticDeducer::new(state)], None, 0.0, config)
+            let build = || -> Result<Vec<StaticDeducer>, String> {
+                Ok(vec![StaticDeducer::new(state.clone())])
+            };
+            drive(build()?, Some(&build), None, 0.0, config)
         }
         ExecutorKind::Parallel => {
             let t0 = Instant::now();
@@ -300,37 +366,81 @@ pub fn run_pipeline(
             // same predicate signature; the noMQO baseline pays per rule.
             let mut chase_cfg = config.chase.clone();
             chase_cfg.share_ml_across_rules = config.use_mqo;
-            let mut deducers = Vec::with_capacity(config.workers);
-            for (frag, masks) in part.fragments.into_iter().zip(part.rule_masks) {
-                let mut engine = ChaseEngine::new(frag, rules, registry, &chase_cfg)?;
-                // Scope each rule to the tuples HyPart distributed for it:
-                // the rule's own distribution covers all its valuations
-                // (Lemma 6), so skipping other rules' replicas removes only
-                // redundant work.
-                engine.set_rule_scope(std::sync::Arc::new(masks));
-                deducers.push(EngineDeducer::new(engine));
+            let rule_masks: Vec<std::sync::Arc<_>> =
+                part.rule_masks.into_iter().map(std::sync::Arc::new).collect();
+            if config.faults.active() {
+                // Degradation to a fault-free rerun must be able to rebuild
+                // the fleet, so fragments stay owned here and each build
+                // clones them. Fault-free runs below keep the move.
+                let fragments = part.fragments;
+                let build = || -> Result<Vec<EngineDeducer>, String> {
+                    fragments
+                        .iter()
+                        .zip(&rule_masks)
+                        .map(|(frag, masks)| {
+                            let mut engine =
+                                ChaseEngine::new(frag.clone(), rules, registry, &chase_cfg)?;
+                            engine.set_rule_scope(masks.clone());
+                            Ok(EngineDeducer::new(engine))
+                        })
+                        .collect()
+                };
+                drive(build()?, Some(&build), Some(part.stats), partition_secs, config)
+            } else {
+                let mut deducers = Vec::with_capacity(config.workers);
+                for (frag, masks) in part.fragments.into_iter().zip(rule_masks) {
+                    let mut engine = ChaseEngine::new(frag, rules, registry, &chase_cfg)?;
+                    // Scope each rule to the tuples HyPart distributed for
+                    // it: the rule's own distribution covers all its
+                    // valuations (Lemma 6), so skipping other rules'
+                    // replicas removes only redundant work.
+                    engine.set_rule_scope(masks);
+                    deducers.push(EngineDeducer::new(engine));
+                }
+                drive(deducers, None, Some(part.stats), partition_secs, config)
             }
-            drive(deducers, Some(part.stats), partition_secs, config)
         }
     }
 }
 
 /// The strategy-independent half of the pipeline: wrap each deducer in a
 /// [`ShardWorker`], run the BSP exchange to quiescence, fold the outcome.
+/// When the fault layer aborts (delivery retries exhausted), degrade
+/// gracefully: rebuild the fleet via `rebuild` and rerun fault-free; the
+/// report then carries `fault_reruns = 1` and the aborted attempt's
+/// recovery counters.
 fn drive<D: Deducer>(
     deducers: Vec<D>,
+    rebuild: Option<&dyn Fn() -> Result<Vec<D>, String>>,
     partition: Option<PartitionStats>,
     partition_secs: f64,
     config: &PipelineConfig,
 ) -> Result<PipelineReport, String> {
     let n = deducers.len();
-    let shards: Vec<ShardWorker<D>> =
-        deducers.into_iter().enumerate().map(|(i, d)| ShardWorker::new(i, n, d)).collect();
+    let wrap = |ds: Vec<D>| -> Vec<ShardWorker<D>> {
+        ds.into_iter().enumerate().map(|(i, d)| ShardWorker::new(i, n, d)).collect()
+    };
 
     let t0 = Instant::now();
+    let mut fault_reruns = 0u32;
     let (mut shards, bsp) = {
         let _span = dcer_obs::span("pipeline.er").with_arg("shards", n as u64);
-        run_bsp(shards, config.execution, &config.cost)
+        match run_bsp_with(wrap(deducers), config.execution, &config.cost, &config.faults) {
+            Ok(run) => run,
+            Err(abort) => {
+                let rebuild = rebuild.ok_or_else(|| {
+                    format!("BSP run aborted and no rebuild path exists: {}", abort.reason)
+                })?;
+                dcer_obs::instant("bsp.recovery.degraded_rerun");
+                dcer_obs::counter_add("bsp.recovery.degraded_reruns", 1);
+                fault_reruns = 1;
+                let (shards, mut bsp) = run_bsp(wrap(rebuild()?), config.execution, &config.cost);
+                // The clean rerun has nothing to recover; surface what the
+                // fault layer did on the aborted attempt instead.
+                bsp.recovery = abort.stats.recovery;
+                (shards, bsp)
+            }
+        }
     };
     let er_secs = t0.elapsed().as_secs_f64();
 
@@ -363,12 +473,14 @@ fn drive<D: Deducer>(
         partition_secs,
         er_secs,
         simulated_er_secs,
+        fault_reruns,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dcer_chase::Fact;
     use dcer_ml::EqualTextClassifier;
     use dcer_relation::{Catalog, RelationSchema, ValueType};
     use std::collections::BTreeSet;
@@ -451,6 +563,45 @@ mod tests {
         assert_eq!(report.bsp.batches % 3, 0);
         assert_eq!(report.bsp.shard_bytes.len(), 4);
         assert_eq!(report.bsp.shard_bytes.iter().sum::<u64>(), report.bsp.bytes);
+    }
+
+    #[test]
+    fn crashed_shard_recovers_to_the_same_fixpoint() {
+        use dcer_bsp::{ExecutionMode, FaultPlan};
+        let (data, rules, reg) = fixture();
+        let mut baseline =
+            run_pipeline(&data, &rules, &reg, &PipelineConfig::sequential()).unwrap();
+        let clusters = baseline.outcome.matches.clusters();
+        for mode in [ExecutionMode::Simulated, ExecutionMode::Threaded] {
+            let mut cfg = PipelineConfig::parallel(3);
+            cfg.execution = mode;
+            cfg.faults = FaultConfig::with_plan(FaultPlan::crash(1, 1));
+            let mut report = run_pipeline(&data, &rules, &reg, &cfg).unwrap();
+            assert_eq!(report.outcome.matches.clusters(), clusters, "{mode:?}");
+            assert_eq!(report.bsp.recovery.crashes, 1, "{mode:?}");
+            assert_eq!(report.bsp.recovery.recoveries, 1, "{mode:?}");
+            assert_eq!(report.fault_reruns, 0, "{mode:?}: recovery happened in place");
+            assert!(report.bsp.recovery.checkpoints > 0, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_degrade_to_a_fault_free_rerun() {
+        use dcer_bsp::FaultPlan;
+        let (data, rules, reg) = fixture();
+        let mut baseline =
+            run_pipeline(&data, &rules, &reg, &PipelineConfig::sequential()).unwrap();
+        let clusters = baseline.outcome.matches.clusters();
+        // Drop the 0->1 deposit of step 0 and every scheduled retry
+        // (backoff base 1: steps 1, 3, 7) — the run must abort and the
+        // pipeline must fall back to a clean rerun with the same answer.
+        let plan = FaultPlan::parse("drop 0->1@0; drop 0->1@1; drop 0->1@3; drop 0->1@7").unwrap();
+        let mut cfg = PipelineConfig::parallel(2);
+        cfg.faults = FaultConfig::with_plan(plan);
+        let mut report = run_pipeline(&data, &rules, &reg, &cfg).unwrap();
+        assert_eq!(report.fault_reruns, 1, "retry exhaustion must force the rerun");
+        assert_eq!(report.outcome.matches.clusters(), clusters);
+        assert_eq!(report.bsp.recovery.dropped_batches, 4, "aborted attempt's counters kept");
     }
 
     #[test]

@@ -74,6 +74,7 @@ pub use dcer_similarity as similarity;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
+    pub use dcer_bsp::{FaultConfig, FaultPlan, RecoveryStats};
     pub use dcer_chase::{ChaseOutcome, MatchSet};
     pub use dcer_core::{DcerSession, DmatchConfig, DmatchReport};
     pub use dcer_ml::MlRegistry;
