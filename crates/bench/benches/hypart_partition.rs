@@ -1,0 +1,157 @@
+//! HyPart partitioning benchmark: the sharded parallel distribution scan
+//! versus the sequential reference implementation.
+//!
+//! Three wall-clock measurements (sequential reference, the new code path
+//! pinned to one thread, the new code path at 8 threads) plus simulated
+//! 1- and 8-shard makespans from [`dcer_hypart::partition_timed`] in
+//! [`dcer_hypart::ShardExecution::Simulated`] mode, where each shard is
+//! timed uncontended and the makespan is what a machine with one core per
+//! shard would see.
+//!
+//! The headline `speedup_8t` uses the threaded wall-clock ratio when the
+//! host actually has ≥ 8 cores, and the simulated-makespan ratio otherwise
+//! (recorded honestly in `speedup_mode`/`cores`); `seq_regression` is the
+//! 1-thread new path over the reference — the refactor must not tax the
+//! sequential case. Results go to `BENCH_hypart_partition.json` at the
+//! workspace root (or, with `HYPART_PARTITION_QUICK` set, a reduced run to
+//! `results/BENCH_hypart_partition_quick.json` for the CI smoke job).
+
+use criterion::{black_box, Criterion};
+use dcer_hypart::{partition, partition_reference, partition_timed, HyPartConfig, ShardExecution};
+use dcer_mrl::{parse_rules, RuleSet};
+use dcer_relation::{Catalog, Dataset, RelationSchema, ValueType};
+use std::sync::Arc;
+
+/// `rows` tuples per relation over a moderately repetitive key space, with
+/// one mildly hot key (~3% of A) so the skew-refinement path stays honest
+/// without dominating the measurement.
+fn workload(rows: usize) -> (Dataset, RuleSet) {
+    let cat = Arc::new(
+        Catalog::from_schemas(vec![
+            RelationSchema::of("A", &[("k", ValueType::Str), ("v", ValueType::Str)]),
+            RelationSchema::of("B", &[("k", ValueType::Str), ("w", ValueType::Str)]),
+        ])
+        .unwrap(),
+    );
+    let mut d = Dataset::new(cat);
+    let keys = (rows / 8).max(1);
+    for i in 0..rows {
+        let k = if i % 37 == 0 { "hot".to_string() } else { format!("k{}", i % keys) };
+        d.insert(0, vec![k.into(), format!("v{}", i % 211).into()]).unwrap();
+        d.insert(1, vec![format!("k{}", i % keys).into(), format!("w{}", i % 97).into()]).unwrap();
+    }
+    let rules = parse_rules(
+        d.catalog(),
+        "match md: A(t), A(s), t.k = s.k -> t.id = s.id;
+         match coll: A(t), B(u), A(s), B(v), t.k = u.k, s.k = v.k, u.w = v.w -> t.id = s.id",
+    )
+    .unwrap();
+    (d, rules)
+}
+
+fn config(workers: usize, threads: usize, execution: ShardExecution) -> HyPartConfig {
+    let mut cfg = HyPartConfig::new(workers);
+    cfg.threads = threads;
+    cfg.execution = execution;
+    cfg
+}
+
+fn main() {
+    let quick = std::env::var_os("HYPART_PARTITION_QUICK").is_some();
+    let rows = if quick { 4_000 } else { 25_000 };
+    let samples = if quick { 10 } else { 15 };
+    let workers = 8;
+
+    let (d, rules) = workload(rows);
+
+    // Parity guard before timing anything: the parallel path must be
+    // bit-identical to the reference on the bench dataset.
+    let oracle = partition_reference(&d, &rules, &HyPartConfig::new(workers));
+    for threads in [1, 8] {
+        let p = partition(&d, &rules, &config(workers, threads, ShardExecution::Threaded));
+        assert_eq!(p.stats, oracle.stats, "parallel path diverged at {threads} threads");
+    }
+
+    let mut c = Criterion::default().sample_size(samples);
+    c.bench_function("partition/seq_reference", |b| {
+        b.iter(|| black_box(partition_reference(&d, &rules, &HyPartConfig::new(workers))))
+    });
+    c.bench_function("partition/par_1t", |b| {
+        b.iter(|| black_box(partition(&d, &rules, &config(workers, 1, ShardExecution::Threaded))))
+    });
+    c.bench_function("partition/par_8t", |b| {
+        b.iter(|| black_box(partition(&d, &rules, &config(workers, 8, ShardExecution::Threaded))))
+    });
+    c.report();
+
+    // Simulated makespans: shards run back to back, each timed without
+    // contention, so the ratio is core-count independent.
+    let sim_makespan = |threads: usize| -> f64 {
+        let runs = samples.min(10);
+        let mut total = 0u64;
+        for _ in 0..runs {
+            let (_, t) =
+                partition_timed(&d, &rules, &config(workers, threads, ShardExecution::Simulated));
+            total += t.makespan_ns();
+        }
+        total as f64 / runs as f64
+    };
+    let sim_1t = sim_makespan(1);
+    let sim_8t = sim_makespan(8);
+
+    write_report(&c, rows, workers, sim_1t, sim_8t, quick);
+}
+
+fn write_report(c: &Criterion, rows: usize, workers: usize, sim_1t: f64, sim_8t: f64, quick: bool) {
+    use serde_json::{Map, Value};
+
+    let mean = |id: &str| {
+        c.results()
+            .iter()
+            .find(|r| r.id == id)
+            .map(|r| r.mean_ns)
+            .unwrap_or_else(|| panic!("missing bench result {id}"))
+    };
+    let seq = mean("partition/seq_reference");
+    let par_1t = mean("partition/par_1t");
+    let par_8t = mean("partition/par_8t");
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let speedup_threaded = seq / par_8t;
+    let speedup_simulated = sim_1t / sim_8t;
+    // The threaded ratio is only meaningful with enough physical cores;
+    // otherwise report the simulated-makespan ratio and say so.
+    let (speedup_8t, mode) = if cores >= 8 {
+        (speedup_threaded, "threaded_wall")
+    } else {
+        (speedup_simulated, "simulated_makespan")
+    };
+
+    let mut root = Map::new();
+    root.insert("bench", Value::from("hypart_partition"));
+    root.insert("rows_per_relation", Value::from(rows));
+    root.insert("workers", Value::from(workers));
+    root.insert("quick", Value::from(quick));
+    root.insert("cores", Value::from(cores));
+    root.insert("seq_reference_ns", Value::from(seq));
+    root.insert("par_1t_ns", Value::from(par_1t));
+    root.insert("par_8t_ns", Value::from(par_8t));
+    root.insert("sim_makespan_1t_ns", Value::from(sim_1t));
+    root.insert("sim_makespan_8t_ns", Value::from(sim_8t));
+    root.insert("speedup_8t_threaded", Value::from(speedup_threaded));
+    root.insert("speedup_8t_simulated", Value::from(speedup_simulated));
+    root.insert("speedup_8t", Value::from(speedup_8t));
+    root.insert("speedup_mode", Value::from(mode));
+    root.insert("seq_regression", Value::from(par_1t / seq));
+
+    let path = if quick {
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+        std::fs::create_dir_all(dir).expect("create results dir");
+        format!("{dir}/BENCH_hypart_partition_quick.json")
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hypart_partition.json").to_string()
+    };
+    let body = serde_json::to_string_pretty(&Value::Object(root)).expect("render json");
+    std::fs::write(&path, body + "\n").expect("write hypart_partition report");
+    eprintln!("wrote {path}");
+}

@@ -231,6 +231,41 @@ impl ChaseEngine {
         self.rule_scope = Some(masks);
     }
 
+    /// Build every index the compiled rule programs will probe — derived in
+    /// exact compile order (per plan: constant filters, then equality
+    /// edges) — on up to `threads` scoped threads via
+    /// [`IndexSet::build_all`], then compile all programs eagerly.
+    ///
+    /// Calling this is purely a scheduling choice: slots, dictionary codes
+    /// and programs come out identical to the lazy per-`deduce` path, but
+    /// the hash-and-intern passes over the fragment run in parallel instead
+    /// of serially inside the first superstep.
+    pub fn prebuild_indexes(&mut self, threads: usize) {
+        let _span = dcer_obs::span("chase.prebuild_indexes");
+        let mut keys: Vec<(RelId, dcer_relation::AttrId)> = Vec::new();
+        for plan in &self.plans {
+            for (v, filters) in plan.const_filters.iter().enumerate() {
+                for (attr, _) in filters {
+                    keys.push((plan.atoms[v], *attr));
+                }
+            }
+            for e in &plan.eq_edges {
+                keys.push((plan.atoms[e.left.0 .0 as usize], e.left.1));
+                keys.push((plan.atoms[e.right.0 .0 as usize], e.right.1));
+            }
+        }
+        self.indexes.build_all(&self.dataset, &keys, threads);
+        for plan_idx in 0..self.plans.len() {
+            if self.programs[plan_idx].is_none() {
+                self.programs[plan_idx] = Some(RuleProgram::compile(
+                    &self.plans[plan_idx],
+                    &self.dataset,
+                    &mut self.indexes,
+                ));
+            }
+        }
+    }
+
     /// Current chase state (read access for inspection).
     pub fn state_mut(&mut self) -> &mut ChaseState {
         &mut self.state

@@ -30,6 +30,9 @@ pub struct DmatchConfig {
     /// Fault-tolerance configuration: superstep checkpointing, injected
     /// faults, retry policy. Inactive (zero-overhead) by default.
     pub faults: FaultConfig,
+    /// Thread count for the pre-BSP phases (HyPart scan, fleet build);
+    /// `0` = one per available core. Never changes results.
+    pub threads: usize,
 }
 
 impl DmatchConfig {
@@ -43,6 +46,7 @@ impl DmatchConfig {
             cost: CostModel::default(),
             virtual_factor: None,
             faults: FaultConfig::none(),
+            threads: 0,
         }
     }
 
@@ -70,6 +74,7 @@ impl DmatchConfig {
             cost: self.cost,
             virtual_factor: self.virtual_factor,
             faults: self.faults.clone(),
+            threads: self.threads,
         }
     }
 }

@@ -267,6 +267,11 @@ pub struct PipelineConfig {
     /// Fault-tolerance configuration: superstep checkpointing, injected
     /// faults, retry policy. Inactive (zero-overhead) by default.
     pub faults: FaultConfig,
+    /// Thread count for the pre-BSP phases — HyPart's sharded distribution
+    /// scan, per-worker fragment builds, engine/index construction. `0`
+    /// (default) means one per available core. Results are bit-identical at
+    /// every setting; only wall-clock changes.
+    pub threads: usize,
 }
 
 impl PipelineConfig {
@@ -280,6 +285,7 @@ impl PipelineConfig {
             cost: CostModel::default(),
             virtual_factor: None,
             faults: FaultConfig::none(),
+            threads: 0,
         }
     }
 
@@ -337,7 +343,9 @@ pub fn run_pipeline(
     match config.executor {
         ExecutorKind::Sequential => {
             let build = || -> Result<Vec<EngineDeducer>, String> {
-                let engine = ChaseEngine::new(dataset.clone(), rules, registry, &config.chase)?;
+                let mut engine = ChaseEngine::new(dataset.clone(), rules, registry, &config.chase)?;
+                // A single engine parallelizes *within* its index build.
+                engine.prebuild_indexes(effective_threads(config.threads));
                 Ok(vec![EngineDeducer::new(engine)])
             };
             drive(build()?, Some(&build), None, 0.0, config)
@@ -353,6 +361,7 @@ pub fn run_pipeline(
             let t0 = Instant::now();
             let mut hp = HyPartConfig::new(config.workers);
             hp.use_mqo = config.use_mqo;
+            hp.threads = config.threads;
             if let Some(v) = config.virtual_factor {
                 hp.virtual_factor = v;
             }
@@ -361,6 +370,7 @@ pub fn run_pipeline(
                 partition(dataset, rules, &hp)
             };
             let partition_secs = t0.elapsed().as_secs_f64();
+            let threads = effective_threads(config.threads);
 
             // MQO also shares ML classifier results across rules with the
             // same predicate signature; the noMQO baseline pays per rule.
@@ -374,33 +384,71 @@ pub fn run_pipeline(
                 // clones them. Fault-free runs below keep the move.
                 let fragments = part.fragments;
                 let build = || -> Result<Vec<EngineDeducer>, String> {
-                    fragments
-                        .iter()
-                        .zip(&rule_masks)
-                        .map(|(frag, masks)| {
-                            let mut engine =
-                                ChaseEngine::new(frag.clone(), rules, registry, &chase_cfg)?;
-                            engine.set_rule_scope(masks.clone());
-                            Ok(EngineDeducer::new(engine))
-                        })
-                        .collect()
+                    build_fleet(
+                        fragments.iter().cloned().zip(rule_masks.iter().cloned()).collect(),
+                        rules,
+                        registry,
+                        &chase_cfg,
+                        threads,
+                    )
                 };
                 drive(build()?, Some(&build), Some(part.stats), partition_secs, config)
             } else {
-                let mut deducers = Vec::with_capacity(config.workers);
-                for (frag, masks) in part.fragments.into_iter().zip(rule_masks) {
-                    let mut engine = ChaseEngine::new(frag, rules, registry, &chase_cfg)?;
-                    // Scope each rule to the tuples HyPart distributed for
-                    // it: the rule's own distribution covers all its
-                    // valuations (Lemma 6), so skipping other rules'
-                    // replicas removes only redundant work.
-                    engine.set_rule_scope(masks);
-                    deducers.push(EngineDeducer::new(engine));
-                }
+                let deducers = build_fleet(
+                    part.fragments.into_iter().zip(rule_masks).collect(),
+                    rules,
+                    registry,
+                    &chase_cfg,
+                    threads,
+                )?;
                 drive(deducers, None, Some(part.stats), partition_secs, config)
             }
         }
     }
+}
+
+/// Resolved pre-BSP thread count: the configured value, or one per
+/// available core.
+fn effective_threads(configured: usize) -> usize {
+    if configured > 0 {
+        configured
+    } else {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+}
+
+/// Build the per-fragment engine fleet — rule compilation, index
+/// construction, ML-oracle binding — with up to `threads` engine builds on
+/// concurrent scoped threads. Engines come out in fragment order and each
+/// eagerly prebuilds its indexes (single-threaded per engine: the fleet
+/// itself is the parallel axis here), so superstep 0 starts probe-ready.
+fn build_fleet(
+    shards: Vec<(Dataset, std::sync::Arc<std::collections::HashMap<dcer_relation::Tid, u128>>)>,
+    rules: &RuleSet,
+    registry: &MlRegistry,
+    chase_cfg: &ChaseConfig,
+    threads: usize,
+) -> Result<Vec<EngineDeducer>, String> {
+    let _span = dcer_obs::span("pipeline.build_fleet").with_arg("shards", shards.len() as u64);
+    // Scope each rule to the tuples HyPart distributed for it: the rule's
+    // own distribution covers all its valuations (Lemma 6), so skipping
+    // other rules' replicas removes only redundant work.
+    let unit = |(frag, masks): (Dataset, std::sync::Arc<_>)| {
+        let mut engine = ChaseEngine::new(frag, rules, registry, chase_cfg)?;
+        engine.set_rule_scope(masks);
+        engine.prebuild_indexes(1);
+        Ok(EngineDeducer::new(engine))
+    };
+    let built: Vec<Result<EngineDeducer, String>> = if threads > 1 && shards.len() > 1 {
+        std::thread::scope(|s| {
+            let handles: Vec<_> =
+                shards.into_iter().map(|pair| s.spawn(move || unit(pair))).collect();
+            handles.into_iter().map(|h| h.join().expect("fleet build thread panicked")).collect()
+        })
+    } else {
+        shards.into_iter().map(unit).collect()
+    };
+    built.into_iter().collect()
 }
 
 /// The strategy-independent half of the pipeline: wrap each deducer in a

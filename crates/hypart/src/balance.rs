@@ -31,6 +31,18 @@ pub fn makespan(loads: &[u64], assignment: &[usize], workers: usize) -> u64 {
     worker_load.into_iter().max().unwrap_or(0)
 }
 
+/// Balance quality of an assignment: makespan over the ideal (mean) worker
+/// load, `>= 1.0` (1.0 = perfectly even). Published by the partitioner as
+/// the `hypart.lpt.balance` gauge.
+pub fn balance_ratio(loads: &[u64], assignment: &[usize], workers: usize) -> f64 {
+    let total: u64 = loads.iter().sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let ideal = total as f64 / workers as f64;
+    makespan(loads, assignment, workers) as f64 / ideal
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -25,7 +25,10 @@ fn hash_value(seed: u64, v: &Value) -> u64 {
         Value::Float(f) if f.fract() == 0.0 && f.is_finite() && f.abs() < i64::MAX as f64 => {
             fnv1a(seed, &(*f as i64).to_le_bytes())
         }
-        Value::Float(f) => fnv1a(seed, &f.to_bits().to_le_bytes()),
+        // Non-integral floats must hash their *canonical* bits: raw
+        // `to_bits` would route `sql_eq`-equal NaN payloads to different
+        // cells, silently breaking Lemma 6 locality.
+        Value::Float(f) => fnv1a(seed, &Value::canonical_bits(*f).to_le_bytes()),
         Value::Str(s) => fnv1a(seed, s.as_bytes()),
     }
 }
@@ -125,6 +128,29 @@ mod tests {
         let mut m = HashMemo::new();
         let a = tuple(0, vec![Value::Int(7)]);
         let b = tuple(1, vec![Value::Float(7.0)]);
+        assert_eq!(m.hash(0, &a, &VarKey::Attr(0)), m.hash(0, &b, &VarKey::Attr(0)));
+    }
+
+    #[test]
+    fn nan_payloads_hash_to_one_coordinate() {
+        // Two distinct NaN bit patterns: the quiet NaN and one with a
+        // payload bit set. They are sql_eq-equal (Value collapses NaN), so
+        // they must land in the same hypercube coordinate.
+        let quiet = f64::NAN;
+        let payload = f64::from_bits(f64::NAN.to_bits() | 1);
+        assert_ne!(quiet.to_bits(), payload.to_bits(), "need two distinct bit patterns");
+        assert!(Value::Float(quiet).sql_eq(&Value::Float(payload)));
+        let mut m = HashMemo::new();
+        let a = tuple(0, vec![Value::Float(quiet)]);
+        let b = tuple(1, vec![Value::Float(payload)]);
+        assert_eq!(m.hash(0, &a, &VarKey::Attr(0)), m.hash(0, &b, &VarKey::Attr(0)));
+    }
+
+    #[test]
+    fn negative_zero_hashes_like_zero() {
+        let mut m = HashMemo::new();
+        let a = tuple(0, vec![Value::Float(-0.0)]);
+        let b = tuple(1, vec![Value::Float(0.0)]);
         assert_eq!(m.hash(0, &a, &VarKey::Attr(0)), m.hash(0, &b, &VarKey::Attr(0)));
     }
 

@@ -27,5 +27,8 @@ pub mod shares;
 
 pub use balance::lpt_assign;
 pub use hash::HashMemo;
-pub use partitioner::{partition, HyPartConfig, Partition, PartitionStats};
+pub use partitioner::{
+    partition, partition_reference, partition_timed, DistTimings, HyPartConfig, Partition,
+    PartitionStats, ShardExecution,
+};
 pub use shares::allocate_shares;

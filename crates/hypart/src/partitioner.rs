@@ -2,15 +2,51 @@
 //! fragments such that every valuation of every rule is fully contained in
 //! some fragment (Lemma 6), using MQO-shared hash functions, virtual blocks
 //! and LPT balancing.
+//!
+//! ## Parallel distribution
+//!
+//! The tuple-distribution scan — rules × roles × tuples × broadcast product
+//! — is sharded across [`std::thread::scope`] workers. Shard `s` of `T`
+//! owns a fixed row range of every relation (`[len·s/T, len·(s+1)/T)`), so
+//! a given tuple is always hashed by the same shard; each shard carries its
+//! own [`HashMemo`], which therefore sees exactly the lookups the single
+//! sequential memo would see for those rows, and the summed
+//! computed/hit counters are identical at every thread count. Shards emit
+//! `(cell, tid, rule mask)` runs pre-bucketed by `cell % T`; runs are
+//! merged per cell class in fixed shard order, and rule masks combine by
+//! bitwise OR, so the resulting [`Partition`] — fragments, rule masks,
+//! hosts, stats — is bit-identical to the sequential result at any thread
+//! count (see the `parallel_parity` proptest).
+//!
+//! Per-rule geometries are built once per *effective* cell count and reused
+//! across skew-refinement doublings: memoized hashes stay valid because a
+//! coordinate is `h % shares[d]` — only the modulus changes — and wide
+//! rules' reduced sub-grids do not change at all when the global cell count
+//! doubles.
 
-use crate::balance::lpt_assign;
+use crate::balance::{balance_ratio, lpt_assign};
 use crate::hash::HashMemo;
 use crate::shares::{allocate_shares, RoleCoverage};
 use dcer_mqo::{assign_hashes, MqoPlan, QueryPlan};
 use dcer_mrl::{Predicate, RuleSet, TupleVar, VarKey};
 use dcer_relation::{Dataset, Tid};
 use serde::Serialize;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// How the partitioner's shard closures execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardExecution {
+    /// Scoped OS threads, one per shard (the production mode).
+    #[default]
+    Threaded,
+    /// Run shards sequentially on the calling thread, timing each one — the
+    /// counterpart of the BSP layer's simulated executor: per-shard work is
+    /// measured without contention, so [`DistTimings::makespan_ns`] reports
+    /// the makespan an actually-parallel machine would see. Output is
+    /// identical to `Threaded`.
+    Simulated,
+}
 
 /// Partitioning configuration.
 #[derive(Debug, Clone)]
@@ -26,15 +62,23 @@ pub struct HyPartConfig {
     /// Upper bound on the cell count.
     pub max_cells: usize,
     /// Skew threshold: refine (double the cells) while the max cell load
-    /// exceeds `skew_threshold × average`, up to `max_refinements` times —
-    /// the heavy-block reduction of Section IV's remarks.
+    /// exceeds `skew_threshold × average non-empty cell load`, up to
+    /// `max_refinements` times — the heavy-block reduction of Section IV's
+    /// remarks.
     pub skew_threshold: f64,
     /// Maximum number of refinement rounds.
     pub max_refinements: u32,
+    /// Shard (thread) count for the distribution scan, merge and fragment
+    /// build. `0` means one per available core. The output is bit-identical
+    /// at every setting; only wall-clock changes.
+    pub threads: usize,
+    /// Shard execution mode (threaded vs. timing-accurate simulation).
+    pub execution: ShardExecution,
 }
 
 impl HyPartConfig {
-    /// Defaults for `n` workers: `n²` cells, MQO on.
+    /// Defaults for `n` workers: `n²` cells, MQO on, one scan shard per
+    /// available core.
     pub fn new(workers: usize) -> HyPartConfig {
         HyPartConfig {
             workers,
@@ -43,6 +87,17 @@ impl HyPartConfig {
             max_cells: 1 << 14,
             skew_threshold: 3.0,
             max_refinements: 2,
+            threads: 0,
+            execution: ShardExecution::Threaded,
+        }
+    }
+
+    /// Resolved shard count: `threads`, or one per available core.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
         }
     }
 }
@@ -72,17 +127,18 @@ pub fn rule_bit(rule_idx: usize) -> u128 {
 }
 
 /// Statistics of one partitioning run.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct PartitionStats {
     /// Physical workers.
     pub workers: usize,
     /// Virtual blocks used (after refinement).
     pub cells: usize,
-    /// `|H(Σ, D)|`: tuple replicas generated across rules (pre-dedup).
+    /// `|H(Σ, D)|`: tuple replicas generated across rules (pre-dedup),
+    /// taken from the winning refinement iteration.
     pub generated_tuples: u64,
-    /// Real hash computations performed.
+    /// Real hash computations performed (summed over scan shards).
     pub hash_computations: u64,
-    /// Hash computations avoided by the MQO memo.
+    /// Hash computations avoided by the MQO memo (summed over scan shards).
     pub hash_memo_hits: u64,
     /// Tuples per fragment (post-dedup).
     pub fragment_sizes: Vec<usize>,
@@ -118,6 +174,55 @@ impl PartitionStats {
     }
 }
 
+/// Per-region wall times of one [`partition_timed`] call. Parallel regions
+/// (scan, merge, fragment build) record one entry per unit; everything else
+/// — geometry, LPT, routing table, stats — is sequential residue.
+///
+/// In [`ShardExecution::Simulated`] mode the units run back to back on one
+/// thread, so each entry is an uncontended measurement and
+/// [`DistTimings::makespan_ns`] is the wall time a machine with one core
+/// per unit would see. In `Threaded` mode entries are wall times of
+/// concurrently running threads (contended on small machines) and the
+/// makespan is only a lower-bound estimate.
+#[derive(Debug, Clone, Default)]
+pub struct DistTimings {
+    /// Per scan shard, summed over refinement iterations.
+    pub scan_ns: Vec<u64>,
+    /// Per merge class (cell `% threads`), summed over iterations.
+    pub merge_ns: Vec<u64>,
+    /// Per output worker (fragment + rule-mask build).
+    pub fragment_ns: Vec<u64>,
+    /// Wall time of the whole `partition` call.
+    pub total_ns: u64,
+}
+
+impl DistTimings {
+    /// Simulated parallel wall time: sequential residue plus the longest
+    /// unit of each parallel region.
+    pub fn makespan_ns(&self) -> u64 {
+        let spent: u64 = self.scan_ns.iter().sum::<u64>()
+            + self.merge_ns.iter().sum::<u64>()
+            + self.fragment_ns.iter().sum::<u64>();
+        let residue = self.total_ns.saturating_sub(spent);
+        residue
+            + self.scan_ns.iter().copied().max().unwrap_or(0)
+            + self.merge_ns.iter().copied().max().unwrap_or(0)
+            + self.fragment_ns.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Publish per-region totals as `hypart.parallel.*` counters.
+    fn publish(&self, threads: usize) {
+        if !dcer_obs::enabled() {
+            return;
+        }
+        dcer_obs::gauge_set("hypart.parallel.threads", threads as f64);
+        dcer_obs::counter_add("hypart.parallel.scan_ns", self.scan_ns.iter().sum());
+        dcer_obs::counter_add("hypart.parallel.merge_ns", self.merge_ns.iter().sum());
+        dcer_obs::counter_add("hypart.parallel.fragment_ns", self.fragment_ns.iter().sum());
+        dcer_obs::counter_add("hypart.parallel.total_ns", self.total_ns);
+    }
+}
+
 /// Per-rule distribution geometry derived from the MQO assignment.
 struct RuleGeometry {
     /// Share per dimension (dimension order = `assignment.dim_order`).
@@ -136,24 +241,34 @@ struct RoleInfo {
     rel: dcer_relation::RelId,
     covered: Vec<(usize, usize, VarKey)>,
     const_filters: Vec<(u16, dcer_relation::Value)>,
+    /// Uncovered dimensions with share > 1 (the broadcast product), fixed
+    /// per role — precomputed so the scan does not rebuild it per tuple.
+    free: Vec<usize>,
 }
 
+/// Effective cell count for one rule: wide rules replicate as the product
+/// of their uncovered shares, which grows steeply with the cell count; give
+/// them a smaller sub-grid (still >= 2 cells per worker, so Lemma 6 and
+/// parallelism hold) and let narrow rules use the full virtual-block grid.
+fn effective_cells(rules: &RuleSet, rule_idx: usize, cells: usize, workers: usize) -> usize {
+    if rules.rules()[rule_idx].num_vars() > 3 {
+        cells.min((workers * 2).max(2))
+    } else {
+        cells
+    }
+}
+
+/// Build the geometry of `rule_idx` for an (already clamped) cell count.
 fn build_geometry(
     rules: &RuleSet,
     plan: &MqoPlan,
     rule_idx: usize,
     dataset: &Dataset,
     cells: usize,
-    workers: usize,
 ) -> RuleGeometry {
     let rule = &rules.rules()[rule_idx];
     let assignment = &plan.assignments[rule_idx];
     let dims = assignment.num_dims().max(1);
-    // Wide rules replicate as the product of their uncovered shares, which
-    // grows steeply with the cell count; give them a smaller sub-grid
-    // (still >= 2 cells per worker, so Lemma 6 and parallelism hold) and
-    // let narrow rules use the full virtual-block grid.
-    let cells = if rule.num_vars() > 3 { cells.min((workers * 2).max(2)) } else { cells };
 
     // Role coverage for share allocation: which dims each variable covers.
     let mut roles: Vec<RoleInfo> = Vec::with_capacity(rule.num_vars());
@@ -177,7 +292,7 @@ fn build_geometry(
                 _ => None,
             })
             .collect();
-        roles.push(RoleInfo { rel, covered, const_filters });
+        roles.push(RoleInfo { rel, covered, const_filters, free: Vec::new() });
     }
 
     let coverage: Vec<RoleCoverage> = roles
@@ -192,11 +307,301 @@ fn build_geometry(
     for d in 1..dims {
         strides[d] = strides[d - 1] * shares[d - 1];
     }
+    // The broadcast product of each role is fixed by its coverage.
+    for role in &mut roles {
+        role.free = (0..shares.len())
+            .filter(|d| !role.covered.iter().any(|&(cd, _, _)| cd == *d))
+            .filter(|&d| shares[d] > 1)
+            .collect();
+    }
     RuleGeometry { shares, strides, roles, offset: (rule_idx * 7919) }
+}
+
+/// Row range of shard `shard` of `shards` over a relation of `len` rows.
+/// The split depends only on `len`, so every rule/role scanning the same
+/// relation hands the same rows — and therefore the same memo keys — to the
+/// same shard.
+fn shard_range(len: usize, shard: usize, shards: usize) -> (usize, usize) {
+    (len * shard / shards, len * (shard + 1) / shards)
+}
+
+/// Scan shard `shard`'s row ranges for every rule/role, emitting one
+/// `(cell, tid, rule mask)` triple per generated replica, in a fixed
+/// (rule, role, row, broadcast-combo) order.
+fn scan_shard(
+    dataset: &Dataset,
+    geoms: &[&RuleGeometry],
+    cells: usize,
+    shard: usize,
+    shards: usize,
+    memo: &mut HashMemo,
+    emit: &mut impl FnMut(usize, Tid, u128),
+) {
+    let _span = dcer_obs::span("hypart.distribute.shard").with_arg("shard", shard as u64);
+    let mut fixed: Vec<(usize, usize)> = Vec::new();
+    let mut combo: Vec<usize> = Vec::new();
+    for (rule_idx, geom) in geoms.iter().enumerate() {
+        let mask = rule_bit(rule_idx);
+        for role in &geom.roles {
+            let tuples = dataset.relation(role.rel).tuples();
+            let (lo, hi) = shard_range(tuples.len(), shard, shards);
+            'tuples: for t in &tuples[lo..hi] {
+                for (attr, c) in &role.const_filters {
+                    if !t.get(*attr).sql_eq(c) {
+                        continue 'tuples;
+                    }
+                }
+                // Coordinates on covered dims; broadcast elsewhere.
+                fixed.clear();
+                for (dim, fn_id, key) in &role.covered {
+                    let h = memo.hash(*fn_id, t, key);
+                    fixed.push((*dim, (h % geom.shares[*dim] as u64) as usize));
+                }
+                // Enumerate the broadcast product.
+                let base: usize = fixed.iter().map(|&(d, coord)| coord * geom.strides[d]).sum();
+                combo.clear();
+                combo.resize(role.free.len(), 0);
+                loop {
+                    let cell: usize = (base
+                        + role
+                            .free
+                            .iter()
+                            .zip(&combo)
+                            .map(|(&d, &coord)| coord * geom.strides[d])
+                            .sum::<usize>()
+                        + geom.offset)
+                        % cells;
+                    emit(cell, t.tid, mask);
+                    // Advance the mixed-radix combo.
+                    let mut i = 0;
+                    loop {
+                        if i == role.free.len() {
+                            break;
+                        }
+                        combo[i] += 1;
+                        if combo[i] < geom.shares[role.free[i]] {
+                            break;
+                        }
+                        combo[i] = 0;
+                        i += 1;
+                    }
+                    if i == role.free.len() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Run a batch of closures — scoped threads when `parallel`, back to back
+/// on the calling thread otherwise — returning results in unit order and
+/// accumulating each unit's wall time into `times` (element-wise).
+fn run_units<'env, T, F>(units: Vec<F>, parallel: bool, times: &mut [u64]) -> Vec<T>
+where
+    T: Send + 'env,
+    F: FnOnce() -> T + Send + 'env,
+{
+    let timed = |f: F| {
+        let t0 = Instant::now();
+        let out = f();
+        (out, t0.elapsed().as_nanos() as u64)
+    };
+    let results: Vec<(T, u64)> = if parallel && units.len() > 1 {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = units.into_iter().map(|f| s.spawn(move || timed(f))).collect();
+            handles.into_iter().map(|h| h.join().expect("partition shard panicked")).collect()
+        })
+    } else {
+        units.into_iter().map(timed).collect()
+    };
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(i, (out, ns))| {
+            times[i] += ns;
+            out
+        })
+        .collect()
+}
+
+/// Skew check over *non-empty* cells: whether the max load exceeds the
+/// threshold times the average non-empty cell load. Averaging over all
+/// cells would let sparse grids deflate the average and trigger spurious
+/// refinements (each a full redistribution).
+fn is_skewed(cell_members: &[HashMap<Tid, u128>], threshold: f64) -> bool {
+    let mut total = 0u64;
+    let mut max = 0u64;
+    let mut nonempty = 0u64;
+    for c in cell_members {
+        let load = c.len() as u64;
+        total += load;
+        max = max.max(load);
+        nonempty += u64::from(load > 0);
+    }
+    if nonempty == 0 {
+        return false;
+    }
+    let avg = total as f64 / nonempty as f64;
+    max as f64 > threshold * avg
 }
 
 /// Partition `dataset` for `rules` into `config.workers` fragments.
 pub fn partition(dataset: &Dataset, rules: &RuleSet, config: &HyPartConfig) -> Partition {
+    partition_timed(dataset, rules, config).0
+}
+
+/// [`partition`] plus per-region [`DistTimings`] (used by the
+/// `hypart_partition` bench to report uncontended shard makespans).
+pub fn partition_timed(
+    dataset: &Dataset,
+    rules: &RuleSet,
+    config: &HyPartConfig,
+) -> (Partition, DistTimings) {
+    assert!(config.workers > 0);
+    let wall = Instant::now();
+    let qp = QueryPlan::build(rules);
+    let plan = assign_hashes(rules, &qp, config.use_mqo);
+
+    let shards = config.effective_threads().max(1);
+    let parallel = shards > 1 && config.execution == ShardExecution::Threaded;
+    let mut memos: Vec<HashMemo> = (0..shards).map(|_| HashMemo::new()).collect();
+    let mut geom_cache: HashMap<(usize, usize), RuleGeometry> = HashMap::new();
+    let mut timings = DistTimings {
+        scan_ns: vec![0; shards],
+        merge_ns: vec![0; shards],
+        fragment_ns: vec![0; config.workers],
+        total_ns: 0,
+    };
+
+    let mut cells = (config.workers * config.virtual_factor.max(1))
+        .clamp(config.workers, config.max_cells.max(config.workers));
+    let mut refinements = 0u32;
+
+    let (cell_members, cells, generated) = loop {
+        let _distribute = dcer_obs::span("hypart.distribute").with_arg("cells", cells as u64);
+        // Geometries are memoized per (rule, effective cell count): wide
+        // rules keep their reduced sub-grid across doublings, and narrow
+        // rules get exactly one build per cell count. Memoized hashes stay
+        // valid throughout — coordinates are `h % shares[d]`.
+        for rule_idx in 0..rules.len() {
+            let eff = effective_cells(rules, rule_idx, cells, config.workers);
+            geom_cache
+                .entry((rule_idx, eff))
+                .or_insert_with(|| build_geometry(rules, &plan, rule_idx, dataset, eff));
+        }
+        let geoms: Vec<&RuleGeometry> = (0..rules.len())
+            .map(|i| &geom_cache[&(i, effective_cells(rules, i, cells, config.workers))])
+            .collect();
+
+        let (cell_members, generated) = if shards == 1 {
+            // Single shard: emit straight into the cell table, exactly like
+            // the sequential reference.
+            let t0 = Instant::now();
+            let mut cm: Vec<HashMap<Tid, u128>> = vec![HashMap::new(); cells];
+            let mut generated = 0u64;
+            scan_shard(dataset, &geoms, cells, 0, 1, &mut memos[0], &mut |cell, tid, mask| {
+                *cm[cell].entry(tid).or_insert(0) |= mask;
+                generated += 1;
+            });
+            timings.scan_ns[0] += t0.elapsed().as_nanos() as u64;
+            (cm, generated)
+        } else {
+            // Sharded scan: each shard hashes a disjoint row range of every
+            // relation with its own memo, emitting runs pre-bucketed by
+            // merge class (`cell % shards`).
+            let geoms = &geoms;
+            let units: Vec<_> = memos
+                .iter_mut()
+                .enumerate()
+                .map(|(shard, memo)| {
+                    move || {
+                        let mut buckets: Vec<Vec<(usize, Tid, u128)>> = vec![Vec::new(); shards];
+                        scan_shard(dataset, geoms, cells, shard, shards, memo, &mut |c, t, m| {
+                            buckets[c % shards].push((c, t, m));
+                        });
+                        buckets
+                    }
+                })
+                .collect();
+            let mut runs = run_units(units, parallel, &mut timings.scan_ns);
+            let generated: u64 =
+                runs.iter().map(|r| r.iter().map(|b| b.len() as u64).sum::<u64>()).sum();
+
+            // Transpose to per-class columns (shard order preserved), then
+            // merge each class concurrently: class `k` owns the cells
+            // `≡ k (mod shards)`, so the merged maps are disjoint and the
+            // bitwise-OR accumulation is order-independent anyway.
+            let columns: Vec<Vec<Vec<(usize, Tid, u128)>>> = (0..shards)
+                .map(|class| runs.iter_mut().map(|r| std::mem::take(&mut r[class])).collect())
+                .collect();
+            let merge_units: Vec<_> = columns
+                .into_iter()
+                .enumerate()
+                .map(|(class, column)| {
+                    move || {
+                        let _span =
+                            dcer_obs::span("hypart.merge.class").with_arg("class", class as u64);
+                        let slots =
+                            if class < cells { (cells - class).div_ceil(shards) } else { 0 };
+                        let mut maps: Vec<HashMap<Tid, u128>> = vec![HashMap::new(); slots];
+                        for run in column {
+                            for (cell, tid, mask) in run {
+                                *maps[cell / shards].entry(tid).or_insert(0) |= mask;
+                            }
+                        }
+                        maps
+                    }
+                })
+                .collect();
+            let merged = run_units(merge_units, parallel, &mut timings.merge_ns);
+            let mut cm: Vec<HashMap<Tid, u128>> = vec![HashMap::new(); cells];
+            for (class, maps) in merged.into_iter().enumerate() {
+                for (slot, map) in maps.into_iter().enumerate() {
+                    cm[class + slot * shards] = map;
+                }
+            }
+            (cm, generated)
+        };
+
+        if refinements < config.max_refinements
+            && cells * 2 <= config.max_cells
+            && is_skewed(&cell_members, config.skew_threshold)
+        {
+            refinements += 1;
+            cells *= 2;
+            continue;
+        }
+        break (cell_members, cells, generated);
+    };
+
+    let hash_computations: u64 = memos.iter().map(HashMemo::computed).sum();
+    let hash_memo_hits: u64 = memos.iter().map(HashMemo::hits).sum();
+    let partition = assemble(
+        dataset,
+        &plan,
+        config,
+        cell_members,
+        cells,
+        refinements,
+        generated,
+        hash_computations,
+        hash_memo_hits,
+        parallel,
+        &mut timings,
+    );
+    timings.total_ns = wall.elapsed().as_nanos() as u64;
+    timings.publish(shards);
+    (partition, timings)
+}
+
+/// The sequential reference partitioner: the original single-threaded
+/// nested-loop implementation (geometry rebuilt every refinement
+/// iteration, one global memo, direct cell-table accumulation). Kept as
+/// the parity oracle for the `parallel_parity` proptests and as the
+/// baseline the `hypart_partition` bench measures `seq_regression`
+/// against. Produces a [`Partition`] bit-identical to [`partition`].
+pub fn partition_reference(dataset: &Dataset, rules: &RuleSet, config: &HyPartConfig) -> Partition {
     assert!(config.workers > 0);
     let qp = QueryPlan::build(rules);
     let plan = assign_hashes(rules, &qp, config.use_mqo);
@@ -205,137 +610,147 @@ pub fn partition(dataset: &Dataset, rules: &RuleSet, config: &HyPartConfig) -> P
         .clamp(config.workers, config.max_cells.max(config.workers));
     let mut refinements = 0u32;
     let mut memo = HashMemo::new();
-    #[allow(unused_assignments)]
-    let mut generated = 0u64;
 
-    let (cell_members, final_cells) = loop {
-        let _distribute = dcer_obs::span("hypart.distribute").with_arg("cells", cells as u64);
+    let (cell_members, final_cells, generated) = loop {
         let mut cell_members: Vec<HashMap<Tid, u128>> = vec![HashMap::new(); cells];
-        generated = 0;
-
+        let mut generated = 0u64;
         for rule_idx in 0..rules.len() {
-            let geom = build_geometry(rules, &plan, rule_idx, dataset, cells, config.workers);
-            for role in &geom.roles {
-                let tuples = dataset.relation(role.rel).tuples();
-                'tuples: for t in tuples {
-                    for (attr, c) in &role.const_filters {
-                        if !t.get(*attr).sql_eq(c) {
-                            continue 'tuples;
-                        }
-                    }
-                    // Coordinates on covered dims; broadcast elsewhere.
-                    let mut fixed: Vec<(usize, usize)> = Vec::with_capacity(role.covered.len());
-                    for (dim, fn_id, key) in &role.covered {
-                        let h = memo.hash(*fn_id, t, key);
-                        fixed.push((*dim, (h % geom.shares[*dim] as u64) as usize));
-                    }
-                    let free: Vec<usize> = (0..geom.shares.len())
-                        .filter(|d| !fixed.iter().any(|&(fd, _)| fd == *d))
-                        .filter(|&d| geom.shares[d] > 1)
-                        .collect();
-                    // Enumerate the broadcast product.
-                    let base: usize = fixed.iter().map(|&(d, coord)| coord * geom.strides[d]).sum();
-                    let mut combo = vec![0usize; free.len()];
-                    loop {
-                        let cell: usize = (base
-                            + free
-                                .iter()
-                                .zip(&combo)
-                                .map(|(&d, &coord)| coord * geom.strides[d])
-                                .sum::<usize>()
-                            + geom.offset)
-                            % cells;
-                        *cell_members[cell].entry(t.tid).or_insert(0) |= rule_bit(rule_idx);
-                        generated += 1;
-                        // Advance the mixed-radix combo.
-                        let mut i = 0;
-                        loop {
-                            if i == free.len() {
-                                break;
-                            }
-                            combo[i] += 1;
-                            if combo[i] < geom.shares[free[i]] {
-                                break;
-                            }
-                            combo[i] = 0;
-                            i += 1;
-                        }
-                        if i == free.len() {
-                            break;
-                        }
-                    }
-                }
-            }
+            let eff = effective_cells(rules, rule_idx, cells, config.workers);
+            let geom = build_geometry(rules, &plan, rule_idx, dataset, eff);
+            let geoms = [&geom];
+            // Reuse the shared scan body for one rule at a time so the
+            // reference exercises the identical emission order.
+            let mask_rule = rule_idx;
+            scan_shard(dataset, &geoms, cells, 0, 1, &mut memo, &mut |cell, tid, _| {
+                *cell_members[cell].entry(tid).or_insert(0) |= rule_bit(mask_rule);
+                generated += 1;
+            });
         }
-
-        // Skew check over non-empty cells.
-        let loads: Vec<u64> = cell_members.iter().map(|c| c.len() as u64).collect();
-        let total: u64 = loads.iter().sum();
-        let max = loads.iter().copied().max().unwrap_or(0);
-        let avg = total as f64 / cells as f64;
         if refinements < config.max_refinements
             && cells * 2 <= config.max_cells
-            && avg > 0.0
-            && (max as f64) > config.skew_threshold * avg
+            && is_skewed(&cell_members, config.skew_threshold)
         {
             refinements += 1;
             cells *= 2;
             continue;
         }
-        break (cell_members, cells);
+        break (cell_members, cells, generated);
     };
     let cells = final_cells;
 
+    let mut timings = DistTimings {
+        scan_ns: vec![0; 1],
+        merge_ns: vec![0; 1],
+        fragment_ns: vec![0; config.workers],
+        total_ns: 0,
+    };
+    assemble(
+        dataset,
+        &plan,
+        config,
+        cell_members,
+        cells,
+        refinements,
+        generated,
+        memo.computed(),
+        memo.hits(),
+        false,
+        &mut timings,
+    )
+}
+
+/// Shared back half of both partitioners: LPT cell assignment, per-worker
+/// fragment + rule-mask build (concurrent when `parallel`), routing table,
+/// orphan adoption, stats.
+#[allow(clippy::too_many_arguments)]
+fn assemble(
+    dataset: &Dataset,
+    plan: &MqoPlan,
+    config: &HyPartConfig,
+    cell_members: Vec<HashMap<Tid, u128>>,
+    cells: usize,
+    refinements: u32,
+    generated: u64,
+    hash_computations: u64,
+    hash_memo_hits: u64,
+    parallel: bool,
+    timings: &mut DistTimings,
+) -> Partition {
     let _assign = dcer_obs::span("hypart.assign").with_arg("cells", cells as u64);
     // LPT-assign cells to workers.
     let loads: Vec<u64> = cell_members.iter().map(|c| c.len() as u64).collect();
     let assignment = lpt_assign(&loads, config.workers);
+    if dcer_obs::enabled() {
+        dcer_obs::gauge_set(
+            "hypart.lpt.balance",
+            balance_ratio(&loads, &assignment, config.workers),
+        );
+    }
 
-    // Build fragments, per-fragment rule masks, and the routing table.
-    let mut fragments: Vec<Dataset> =
-        (0..config.workers).map(|_| Dataset::new(dataset.catalog().clone())).collect();
-    let mut rule_masks: Vec<HashMap<Tid, u128>> =
-        (0..config.workers).map(|_| HashMap::new()).collect();
-    let mut host_sets: HashMap<Tid, HashSet<u16>> = HashMap::new();
-    for (cell, members) in cell_members.iter().enumerate() {
-        let w = assignment[cell];
-        let mut sorted: Vec<(Tid, u128)> = members.iter().map(|(&t, &m)| (t, m)).collect();
-        sorted.sort_unstable_by_key(|&(t, _)| t);
-        for (tid, mask) in sorted {
-            let t = dataset.tuple(tid).expect("cell member exists in source");
-            fragments[w].insert_replica(t.clone());
-            *rule_masks[w].entry(tid).or_insert(0) |= mask;
-            host_sets.entry(tid).or_default().insert(w as u16);
+    // Build fragments and per-fragment rule masks, one worker per unit:
+    // each unit walks its cells in ascending order (members sorted by tid),
+    // reproducing the sequential insertion order exactly.
+    let cell_members = &cell_members;
+    let assignment = &assignment;
+    let units: Vec<_> = (0..config.workers)
+        .map(|w| {
+            move || {
+                let _span = dcer_obs::span("hypart.fragment").with_arg("worker", w as u64);
+                let mut fragment = Dataset::new(dataset.catalog().clone());
+                let mut masks: HashMap<Tid, u128> = HashMap::new();
+                for (cell, members) in cell_members.iter().enumerate() {
+                    if assignment[cell] != w {
+                        continue;
+                    }
+                    let mut sorted: Vec<(Tid, u128)> =
+                        members.iter().map(|(&t, &m)| (t, m)).collect();
+                    sorted.sort_unstable_by_key(|&(t, _)| t);
+                    for (tid, mask) in sorted {
+                        let t = dataset.tuple(tid).expect("cell member exists in source");
+                        fragment.insert_replica(t.clone());
+                        *masks.entry(tid).or_insert(0) |= mask;
+                    }
+                }
+                (fragment, masks)
+            }
+        })
+        .collect();
+    let built = run_units(units, parallel, &mut timings.fragment_ns);
+    let mut fragments: Vec<Dataset> = Vec::with_capacity(config.workers);
+    let mut rule_masks: Vec<HashMap<Tid, u128>> = Vec::with_capacity(config.workers);
+    for (fragment, masks) in built {
+        fragments.push(fragment);
+        rule_masks.push(masks);
+    }
+
+    // Routing table: each worker's mask keys are exactly its hosted tuples;
+    // visiting workers in ascending order keeps every host list sorted.
+    let mut hosts: HashMap<Tid, Vec<u16>> = HashMap::with_capacity(dataset.total_tuples());
+    for (w, masks) in rule_masks.iter().enumerate() {
+        for &tid in masks.keys() {
+            hosts.entry(tid).or_default().push(w as u16);
         }
     }
 
     // Tuples untouched by any rule still need a home for completeness
     // (mask 0: no rule evaluates them).
     for t in dataset.all_tuples() {
-        if !host_sets.contains_key(&t.tid) {
+        if let std::collections::hash_map::Entry::Vacant(e) = hosts.entry(t.tid) {
             let w = (t.tid.pack() % config.workers as u64) as usize;
             fragments[w].insert_replica(t.clone());
             rule_masks[w].insert(t.tid, 0);
-            host_sets.entry(t.tid).or_default().insert(w as u16);
+            e.insert(vec![w as u16]);
         }
     }
 
-    let hosts: HashMap<Tid, Vec<u16>> = host_sets
-        .into_iter()
-        .map(|(t, s)| {
-            let mut v: Vec<u16> = s.into_iter().collect();
-            v.sort_unstable();
-            (t, v)
-        })
-        .collect();
     let fragment_sizes: Vec<usize> = fragments.iter().map(Dataset::total_tuples).collect();
     let total_frag: usize = fragment_sizes.iter().sum();
     let stats = PartitionStats {
         workers: config.workers,
         cells,
         generated_tuples: generated,
-        hash_computations: memo.computed(),
-        hash_memo_hits: memo.hits(),
+        hash_computations,
+        hash_memo_hits,
         replication_factor: if dataset.total_tuples() == 0 {
             0.0
         } else {
@@ -442,6 +857,26 @@ mod tests {
         let _ = rules;
     }
 
+    /// Field-by-field partition equality (fragments compared by tuple
+    /// sequence, so row order differences would be caught too).
+    pub(crate) fn assert_partitions_identical(a: &Partition, b: &Partition) {
+        assert_eq!(a.fragments.len(), b.fragments.len());
+        for (fa, fb) in a.fragments.iter().zip(&b.fragments) {
+            for (ra, rb) in fa.relations().iter().zip(fb.relations()) {
+                assert_eq!(ra.tuples(), rb.tuples());
+            }
+        }
+        assert_eq!(a.hosts, b.hosts);
+        assert_eq!(a.rule_masks, b.rule_masks);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    fn with_threads(workers: usize, threads: usize) -> HyPartConfig {
+        let mut cfg = HyPartConfig::new(workers);
+        cfg.threads = threads;
+        cfg
+    }
+
     #[test]
     fn lemma6_locality_holds() {
         let d = dataset(12);
@@ -451,6 +886,90 @@ mod tests {
             assert_eq!(p.fragments.len(), workers);
             assert_locality(&d, &rs, &p);
         }
+    }
+
+    #[test]
+    fn parallel_output_matches_reference_at_every_thread_count() {
+        let d = dataset(30);
+        let rs = rules();
+        for workers in [1, 3, 4] {
+            let oracle = partition_reference(&d, &rs, &HyPartConfig::new(workers));
+            for threads in [1, 2, 4, 8] {
+                let p = partition(&d, &rs, &with_threads(workers, threads));
+                assert_partitions_identical(&p, &oracle);
+                let mut sim = with_threads(workers, threads);
+                sim.execution = ShardExecution::Simulated;
+                let (ps, timings) = partition_timed(&d, &rs, &sim);
+                assert_partitions_identical(&ps, &oracle);
+                assert!(timings.makespan_ns() <= timings.total_ns);
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_unskewed_grid_does_not_refine() {
+        // Regression for the skew-average bug: a mostly empty grid whose
+        // non-empty cells are balanced must not trigger refinement. With the
+        // average taken over *all* cells (old behavior), 4 tuples spread
+        // over a 64-cell grid deflate the average to ~0.6 and every run
+        // refines spuriously. Loads here are 1..=2 per non-empty cell, so
+        // max <= 3 <= threshold * avg(non-empty) and no doubling happens.
+        let mut d = Dataset::new(catalog());
+        for i in 0..4 {
+            d.insert(0, vec![format!("unique-key-{i}").into(), format!("x{i}").into()]).unwrap();
+        }
+        let rs = parse_rules(&catalog(), "match md: R(t), R(s), t.k = s.k -> t.id = s.id").unwrap();
+        let mut cfg = HyPartConfig::new(2);
+        cfg.virtual_factor = 32; // 64 cells for 4 tuples: mostly empty.
+        let p = partition(&d, &rs, &cfg);
+        assert_eq!(p.stats.refinements, 0, "sparse but unskewed grid must not refine");
+        assert_eq!(p.stats.cells, 64, "cell count must stay at the initial grid");
+    }
+
+    #[test]
+    fn genuinely_skewed_grid_still_refines() {
+        // Counterpart: a hot key concentrates load in a few cells, so the
+        // non-empty average is far below the max and refinement must fire.
+        let mut d = Dataset::new(catalog());
+        for i in 0..40 {
+            d.insert(0, vec!["hot".into(), format!("x{i}").into()]).unwrap();
+        }
+        for i in 0..40 {
+            d.insert(0, vec![format!("cold-{i}").into(), format!("y{i}").into()]).unwrap();
+        }
+        let rs = parse_rules(&catalog(), "match md: R(t), R(s), t.k = s.k -> t.id = s.id").unwrap();
+        let mut cfg = HyPartConfig::new(2);
+        cfg.virtual_factor = 16;
+        let p = partition(&d, &rs, &cfg);
+        assert!(p.stats.refinements > 0, "hot-key skew must trigger refinement");
+    }
+
+    #[test]
+    fn replicas_generated_comes_from_winning_iteration() {
+        // A refining run must report the generated count of the final
+        // (winning) iteration: rerunning the winning geometry standalone —
+        // same cell count, refinement disabled — must reproduce it.
+        let mut d = Dataset::new(catalog());
+        for i in 0..40 {
+            d.insert(0, vec!["hot".into(), format!("x{i}").into()]).unwrap();
+        }
+        for i in 0..40 {
+            d.insert(0, vec![format!("cold-{i}").into(), format!("y{i}").into()]).unwrap();
+        }
+        let rs = parse_rules(&catalog(), "match md: R(t), R(s), t.k = s.k -> t.id = s.id").unwrap();
+        let mut cfg = HyPartConfig::new(2);
+        cfg.virtual_factor = 16;
+        let p = partition(&d, &rs, &cfg);
+        assert!(p.stats.refinements > 0, "fixture must refine to be meaningful");
+        let mut replay = cfg.clone();
+        replay.virtual_factor = p.stats.cells / replay.workers;
+        replay.max_refinements = 0;
+        let q = partition(&d, &rs, &replay);
+        assert_eq!(q.stats.cells, p.stats.cells);
+        assert_eq!(
+            p.stats.generated_tuples, q.stats.generated_tuples,
+            "generated_tuples must reflect the winning iteration"
+        );
     }
 
     #[test]
@@ -534,9 +1053,20 @@ mod tests {
     #[test]
     fn empty_dataset_partitions_cleanly() {
         let d = Dataset::new(catalog());
-        let p = partition(&d, &rules(), &HyPartConfig::new(3));
-        assert_eq!(p.fragments.len(), 3);
-        assert!(p.hosts.is_empty());
-        assert_eq!(p.stats.replication_factor, 0.0);
+        for threads in [1, 4] {
+            let p = partition(&d, &rules(), &with_threads(3, threads));
+            assert_eq!(p.fragments.len(), 3);
+            assert!(p.hosts.is_empty());
+            assert_eq!(p.stats.replication_factor, 0.0);
+        }
+    }
+
+    #[test]
+    fn more_shards_than_cells_or_tuples_is_fine() {
+        let d = dataset(2);
+        let rs = rules();
+        let oracle = partition_reference(&d, &rs, &HyPartConfig::new(2));
+        let p = partition(&d, &rs, &with_threads(2, 16));
+        assert_partitions_identical(&p, &oracle);
     }
 }

@@ -82,6 +82,15 @@ impl ValueDict {
         self.codes.get(canonical.as_ref().unwrap_or(value)).copied()
     }
 
+    /// All interned values, ordered by code (i.e. first-intern order).
+    /// This is the replay order [`IndexSet::build_all`] uses to merge
+    /// thread-local dictionaries deterministically.
+    pub fn values_in_code_order(&self) -> Vec<Value> {
+        let mut pairs: Vec<(&Value, u32)> = self.codes.iter().map(|(v, &c)| (v, c)).collect();
+        pairs.sort_unstable_by_key(|&(_, c)| c);
+        pairs.into_iter().map(|(v, _)| v.clone()).collect()
+    }
+
     /// Number of distinct interned values.
     pub fn len(&self) -> usize {
         self.codes.len()
@@ -221,6 +230,20 @@ impl HashIndex {
     pub fn iter(&self) -> impl Iterator<Item = (u32, &[u32])> {
         self.buckets.iter().map(move |(&code, &(s, e))| (code, &self.rows[s as usize..e as usize]))
     }
+
+    /// Rewrite every code through `map` (`map[local] = global`). Used by
+    /// [`IndexSet::build_all`] to graft an index built against a
+    /// thread-local dictionary onto the shared one; postings and ranges are
+    /// untouched, only the key space changes.
+    fn translate_codes(&mut self, map: &[u32]) {
+        for code in &mut self.row_codes {
+            if *code != ValueDict::NULL {
+                *code = map[*code as usize];
+            }
+        }
+        self.buckets =
+            self.buckets.iter().map(|(&code, &range)| (map[code as usize], range)).collect();
+    }
 }
 
 /// Lazily built cache of [`HashIndex`]es over one dataset, all sharing one
@@ -259,6 +282,59 @@ impl IndexSet {
         self.slots.push(index);
         self.by_key.insert((rel, attr), slot);
         slot
+    }
+
+    /// Build the indexes for `keys` (first occurrence wins; already-built
+    /// keys are skipped), hashing each relation column on up to `threads`
+    /// scoped threads, then merge deterministically.
+    ///
+    /// Each thread builds against a *local* [`ValueDict`]; the indexes are
+    /// then grafted onto the shared dictionary in `keys` order by interning
+    /// each local dictionary's values in code order (= its first-sight
+    /// order) and rewriting codes through the resulting translation table.
+    /// Slots, codes, buckets and code columns come out identical to calling
+    /// [`IndexSet::slot_of`] sequentially in the same key order — the chase
+    /// compiler's slot ids and constant codes are unaffected by `threads`.
+    pub fn build_all(&mut self, dataset: &Dataset, keys: &[(RelId, AttrId)], threads: usize) {
+        let mut todo: Vec<(RelId, AttrId)> = Vec::new();
+        for &k in keys {
+            if !self.by_key.contains_key(&k) && !todo.contains(&k) {
+                todo.push(k);
+            }
+        }
+        if todo.is_empty() {
+            return;
+        }
+        let _span = dcer_obs::span("index.build_all").with_arg("keys", todo.len() as u64);
+        let build = |&(rel, attr): &(RelId, AttrId)| {
+            let mut dict = ValueDict::new();
+            let index = HashIndex::build(dataset, rel, attr, &mut dict);
+            (index, dict)
+        };
+        let built: Vec<(HashIndex, ValueDict)> = if threads > 1 && todo.len() > 1 {
+            // Contiguous chunks keep results in `todo` order when flattened.
+            let chunk = todo.len().div_ceil(threads);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = todo
+                    .chunks(chunk)
+                    .map(|keys| s.spawn(move || keys.iter().map(build).collect::<Vec<_>>()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("index build thread panicked"))
+                    .collect()
+            })
+        } else {
+            todo.iter().map(build).collect()
+        };
+        for (key, (mut index, local)) in todo.into_iter().zip(built) {
+            let map: Vec<u32> =
+                local.values_in_code_order().iter().map(|v| self.dict.intern(v)).collect();
+            index.translate_codes(&map);
+            let slot = self.slots.len() as u32;
+            self.slots.push(index);
+            self.by_key.insert(key, slot);
+        }
     }
 
     /// Index at `slot` (panics on a stale slot; see [`IndexSet::slot_of`]).
@@ -427,6 +503,45 @@ mod tests {
         assert!(set.dict().len() > before, "second index interns into the same dictionary");
         assert!(set.code_of(&Value::str("a")).is_some());
         assert_eq!(set.code_of(&Value::str("zz")), None);
+    }
+
+    #[test]
+    fn build_all_matches_sequential_at_every_thread_count() {
+        let d = dataset();
+        let keys = [(0u16, 0u16), (0u16, 1u16), (0u16, 0u16)]; // dup on purpose
+        let mut seq = IndexSet::new();
+        for &(rel, attr) in &keys {
+            seq.slot_of(&d, rel, attr);
+        }
+        for threads in [1, 2, 8] {
+            let mut par = IndexSet::new();
+            par.build_all(&d, &keys, threads);
+            assert_eq!(par.len(), seq.len());
+            assert_eq!(par.dict().len(), seq.dict().len());
+            for &(rel, attr) in &keys {
+                let (a, b) = (par.peek(rel, attr).unwrap(), seq.peek(rel, attr).unwrap());
+                assert_eq!(a.entries(), b.entries());
+                for row in 0..4u32 {
+                    assert_eq!(a.code_of_row(row), b.code_of_row(row), "threads={threads}");
+                }
+                for (code, postings) in b.iter() {
+                    assert_eq!(a.lookup_code(code), postings);
+                }
+            }
+            // Shared-dictionary codes line up too.
+            assert_eq!(par.code_of(&Value::str("a")), seq.code_of(&Value::str("a")));
+            assert_eq!(par.code_of(&Value::Int(1)), seq.code_of(&Value::Int(1)));
+        }
+    }
+
+    #[test]
+    fn build_all_skips_already_built_keys() {
+        let d = dataset();
+        let mut set = IndexSet::new();
+        let slot = set.slot_of(&d, 0, 1);
+        set.build_all(&d, &[(0, 1), (0, 0)], 4);
+        assert_eq!(set.slot_of(&d, 0, 1), slot, "existing slot survives build_all");
+        assert_eq!(set.len(), 2);
     }
 
     #[test]

@@ -170,8 +170,14 @@ impl Value {
         }
     }
 
-    /// Canonical bit pattern for float hashing (`NaN` collapsed, `-0.0 == 0.0`).
-    fn float_bits(f: f64) -> u64 {
+    /// Canonical bit pattern for float hashing and equality: every `NaN`
+    /// payload collapses to one pattern and `-0.0` collapses onto `0.0`, so
+    /// two floats that are equal under [`Value::sql_eq`] (or under the total
+    /// `Eq`) always share one bit pattern. Any code that hashes a float by
+    /// its bits — the container `Hash` impl here, HyPart's coordinate hash
+    /// functions — must route through this, or `sql_eq`-equal values can
+    /// diverge.
+    pub fn canonical_bits(f: f64) -> u64 {
         if f.is_nan() {
             f64::NAN.to_bits()
         } else if f == 0.0 {
@@ -199,7 +205,9 @@ impl PartialEq for Value {
             (Value::Null, Value::Null) => true,
             (Value::Bool(a), Value::Bool(b)) => a == b,
             (Value::Int(a), Value::Int(b)) => a == b,
-            (Value::Float(a), Value::Float(b)) => Value::float_bits(*a) == Value::float_bits(*b),
+            (Value::Float(a), Value::Float(b)) => {
+                Value::canonical_bits(*a) == Value::canonical_bits(*b)
+            }
             (Value::Str(a), Value::Str(b)) => a == b,
             _ => false,
         }
@@ -227,7 +235,7 @@ impl Hash for Value {
                 if f.fract() == 0.0 && f.is_finite() && (*f).abs() < (i64::MAX as f64) {
                     (*f as i64).hash(state);
                 } else {
-                    Value::float_bits(*f).hash(state);
+                    Value::canonical_bits(*f).hash(state);
                 }
             }
             Value::Str(s) => {
@@ -261,7 +269,8 @@ impl Ord for Value {
             (Value::Str(a), Value::Str(b)) => a.cmp(b),
             (a, b) if rank(a) == 2 && rank(b) == 2 => {
                 let (x, y) = (a.as_float().unwrap(), b.as_float().unwrap());
-                x.partial_cmp(&y).unwrap_or_else(|| Value::float_bits(x).cmp(&Value::float_bits(y)))
+                x.partial_cmp(&y)
+                    .unwrap_or_else(|| Value::canonical_bits(x).cmp(&Value::canonical_bits(y)))
             }
             (a, b) => rank(a).cmp(&rank(b)),
         }

@@ -3,7 +3,7 @@
 //! is fully contained in at least one fragment — for random data, random
 //! rules from a pool, any worker count, with and without MQO.
 
-use dcer_hypart::{partition, HyPartConfig};
+use dcer_hypart::{partition, partition_reference, HyPartConfig};
 use dcer_mrl::{parse_rules, Predicate, Rule, RuleSet, TupleVar};
 use dcer_relation::{Catalog, Dataset, RelationSchema, Tid, ValueType};
 use proptest::prelude::*;
@@ -88,6 +88,7 @@ proptest! {
         selection in proptest::sample::subsequence(vec![0usize, 1, 2, 3], 1..=4),
         workers in 1usize..6,
         use_mqo in any::<bool>(),
+        threads in proptest::sample::select(vec![1usize, 2, 4, 8]),
     ) {
         let mut d = Dataset::new(catalog());
         for &(k, v) in &rows_a {
@@ -99,9 +100,22 @@ proptest! {
         let rs = rules(&selection);
         let mut cfg = HyPartConfig::new(workers);
         cfg.use_mqo = use_mqo;
+        // Lemma 6 must hold under the sharded parallel scan too.
+        cfg.threads = threads;
         let p = partition(&d, &rs, &cfg);
         prop_assert_eq!(p.fragments.len(), workers);
         assert_locality(&d, &rs, &p.fragments);
+        // Parity with the sequential oracle at this thread count (the full
+        // determinism proptest lives in crates/hypart/tests/parallel_parity.rs).
+        let r = partition_reference(&d, &rs, &cfg);
+        prop_assert_eq!(&p.stats, &r.stats);
+        prop_assert_eq!(&p.hosts, &r.hosts);
+        prop_assert_eq!(&p.rule_masks, &r.rule_masks);
+        for (fa, fb) in p.fragments.iter().zip(&r.fragments) {
+            for (ra, rb) in fa.relations().iter().zip(fb.relations()) {
+                prop_assert_eq!(ra.tuples(), rb.tuples());
+            }
+        }
         // Routing table consistency.
         for t in d.all_tuples() {
             let hosts = p.hosts.get(&t.tid).expect("every tuple hosted");
