@@ -30,7 +30,8 @@ pub enum Pending {
 }
 
 impl Pending {
-    fn holds(&self, state: &mut ChaseState) -> bool {
+    /// Whether this instantiated predicate holds in `state`.
+    pub(crate) fn holds(&self, state: &mut ChaseState) -> bool {
         match *self {
             Pending::Id(a, b) => state.holds_id(a, b),
             Pending::Ml { sig, a, b, symmetric } => state.holds_ml(sig, a, b, symmetric),
@@ -40,8 +41,30 @@ impl Pending {
 
 #[derive(Debug, Clone)]
 struct Dep {
+    /// Antecedents still awaited — pruned destructively as they validate.
     antecedents: Vec<Pending>,
     head: Fact,
+    /// The support valuation's tuple identities, for provenance: when one
+    /// is deleted the dependency is meaningless and is purged.
+    support: Vec<Tid>,
+    /// Every state-dependent antecedent of the derivation (both the ones
+    /// awaited and the ones that already held at record time) — the
+    /// pruning above is destructive, so this immutable copy is what flows
+    /// into the support log when the head fires.
+    provenance: Vec<Pending>,
+}
+
+/// A dependency whose antecedents all became valid: the head to enforce,
+/// plus the provenance the support log needs (delete-and-rederive walks
+/// it to decide whether the fact survives a base deletion).
+#[derive(Debug, Clone)]
+pub struct Ready {
+    /// The fact to apply.
+    pub head: Fact,
+    /// Tuple identities of the support valuation.
+    pub support: Vec<Tid>,
+    /// Full antecedent list at record time (not the pruned remainder).
+    pub antecedents: Vec<Pending>,
 }
 
 /// The bounded store of dependencies.
@@ -60,25 +83,37 @@ impl DepStore {
         DepStore { deps: Vec::new(), capacity, recorded: 0, dropped: 0, fired: 0 }
     }
 
-    /// Record a dependency. Returns `false` (and counts a drop) when `H` is
-    /// full — the caller must then rely on update-driven re-evaluation.
-    pub fn record(&mut self, antecedents: Vec<Pending>, head: Fact) -> bool {
+    /// Record a dependency. `antecedents` are the still-unsatisfied
+    /// recursive predicates, `support` the valuation's tuple identities and
+    /// `held` the recursive predicates that already held at record time
+    /// (needed for complete provenance). Returns `false` (and counts a
+    /// drop) when `H` is full — the caller must then rely on update-driven
+    /// re-evaluation.
+    pub fn record(
+        &mut self,
+        antecedents: Vec<Pending>,
+        head: Fact,
+        support: Vec<Tid>,
+        held: Vec<Pending>,
+    ) -> bool {
         debug_assert!(!antecedents.is_empty(), "satisfied valuations fire directly");
         if self.deps.len() >= self.capacity {
             self.dropped += 1;
             return false;
         }
-        self.deps.push(Dep { antecedents, head });
+        let mut provenance = held;
+        provenance.extend(antecedents.iter().copied());
+        self.deps.push(Dep { antecedents, head, support, provenance });
         self.recorded += 1;
         true
     }
 
-    /// Collect the heads of all dependencies that became ready (every
-    /// antecedent valid), removing them; also removes dependencies whose
-    /// head already holds (the paper's rule: once `l` is validated, all
-    /// dependencies `… → l` are dropped). The caller applies the returned
-    /// facts and calls again until the result is empty.
-    pub fn collect_ready(&mut self, state: &mut ChaseState) -> Vec<Fact> {
+    /// Collect all dependencies that became ready (every antecedent valid),
+    /// removing them; also removes dependencies whose head already holds
+    /// (the paper's rule: once `l` is validated, all dependencies `… → l`
+    /// are dropped). The caller applies the returned heads and calls again
+    /// until the result is empty.
+    pub fn collect_ready(&mut self, state: &mut ChaseState) -> Vec<Ready> {
         let mut ready = Vec::new();
         self.deps.retain_mut(|dep| {
             let head_holds = match dep.head {
@@ -90,7 +125,11 @@ impl DepStore {
             }
             dep.antecedents.retain(|p| !p.holds(state));
             if dep.antecedents.is_empty() {
-                ready.push(dep.head);
+                ready.push(Ready {
+                    head: dep.head,
+                    support: std::mem::take(&mut dep.support),
+                    antecedents: std::mem::take(&mut dep.provenance),
+                });
                 false
             } else {
                 true
@@ -98,6 +137,21 @@ impl DepStore {
         });
         self.fired += ready.len() as u64;
         ready
+    }
+
+    /// Drop every dependency whose support valuation or head references a
+    /// deleted tuple: with its support gone the implication is vacuous, and
+    /// letting it fire later would resurrect a retracted derivation.
+    pub fn purge(&mut self, dead: &std::collections::HashSet<Tid>) {
+        if dead.is_empty() {
+            return;
+        }
+        self.deps.retain(|dep| {
+            let (a, b) = dep.head.tids();
+            !dead.contains(&a)
+                && !dead.contains(&b)
+                && !dep.support.iter().any(|t| dead.contains(t))
+        });
     }
 
     /// Whether any dependency was ever dropped for capacity.
@@ -136,17 +190,23 @@ mod tests {
         Tid::new(0, r)
     }
 
+    fn rec(h: &mut DepStore, antecedents: Vec<Pending>, head: Fact) -> bool {
+        h.record(antecedents, head, Vec::new(), Vec::new())
+    }
+
     #[test]
     fn fires_when_all_antecedents_hold() {
         let mut h = DepStore::new(10);
         let mut st = ChaseState::new();
-        h.record(vec![Pending::Id(t(1), t(2)), Pending::Id(t(3), t(4))], Fact::id(t(5), t(6)));
+        rec(&mut h, vec![Pending::Id(t(1), t(2)), Pending::Id(t(3), t(4))], Fact::id(t(5), t(6)));
         assert!(h.collect_ready(&mut st).is_empty());
         st.apply(Fact::id(t(1), t(2)));
         assert!(h.collect_ready(&mut st).is_empty(), "one antecedent left");
         assert_eq!(h.len(), 1);
         st.apply(Fact::id(t(3), t(4)));
-        assert_eq!(h.collect_ready(&mut st), vec![Fact::id(t(5), t(6))]);
+        let ready = h.collect_ready(&mut st);
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].head, Fact::id(t(5), t(6)));
         assert!(h.is_empty());
         assert_eq!(h.counters(), (1, 1, 0));
     }
@@ -155,7 +215,7 @@ mod tests {
     fn transitive_equivalence_satisfies_id_antecedents() {
         let mut h = DepStore::new(10);
         let mut st = ChaseState::new();
-        h.record(vec![Pending::Id(t(1), t(3))], Fact::id(t(8), t(9)));
+        rec(&mut h, vec![Pending::Id(t(1), t(3))], Fact::id(t(8), t(9)));
         st.apply(Fact::id(t(1), t(2)));
         st.apply(Fact::id(t(2), t(3)));
         assert_eq!(h.collect_ready(&mut st).len(), 1);
@@ -165,7 +225,8 @@ mod tests {
     fn ml_antecedent_requires_validation() {
         let mut h = DepStore::new(10);
         let mut st = ChaseState::new();
-        h.record(
+        rec(
+            &mut h,
             vec![Pending::Ml { sig: 3, a: t(2), b: t(1), symmetric: true }],
             Fact::id(t(5), t(6)),
         );
@@ -179,7 +240,7 @@ mod tests {
         let mut h = DepStore::new(10);
         let mut st = ChaseState::new();
         st.apply(Fact::id(t(5), t(6)));
-        h.record(vec![Pending::Id(t(1), t(2))], Fact::id(t(5), t(6)));
+        rec(&mut h, vec![Pending::Id(t(1), t(2))], Fact::id(t(5), t(6)));
         assert!(h.collect_ready(&mut st).is_empty());
         assert!(h.is_empty(), "head already holds — dropped, not fired");
     }
@@ -187,8 +248,8 @@ mod tests {
     #[test]
     fn capacity_overflow_reported() {
         let mut h = DepStore::new(1);
-        assert!(h.record(vec![Pending::Id(t(1), t(2))], Fact::id(t(3), t(4))));
-        assert!(!h.record(vec![Pending::Id(t(5), t(6))], Fact::id(t(7), t(8))));
+        assert!(rec(&mut h, vec![Pending::Id(t(1), t(2))], Fact::id(t(3), t(4))));
+        assert!(!rec(&mut h, vec![Pending::Id(t(5), t(6))], Fact::id(t(7), t(8))));
         assert!(h.overflowed());
         assert_eq!(h.counters().2, 1);
     }
@@ -197,11 +258,45 @@ mod tests {
     fn satisfied_antecedents_are_pruned_incrementally() {
         let mut h = DepStore::new(10);
         let mut st = ChaseState::new();
-        h.record(vec![Pending::Id(t(1), t(2)), Pending::Id(t(3), t(4))], Fact::id(t(5), t(6)));
+        rec(&mut h, vec![Pending::Id(t(1), t(2)), Pending::Id(t(3), t(4))], Fact::id(t(5), t(6)));
         st.apply(Fact::id(t(1), t(2)));
         h.collect_ready(&mut st);
         // Internal antecedent list shrank: satisfying the second now fires.
         st.apply(Fact::id(t(3), t(4)));
         assert_eq!(h.collect_ready(&mut st).len(), 1);
+    }
+
+    #[test]
+    fn ready_carries_full_provenance() {
+        let mut h = DepStore::new(10);
+        let mut st = ChaseState::new();
+        let held = vec![Pending::Id(t(7), t(8))];
+        h.record(
+            vec![Pending::Id(t(1), t(2))],
+            Fact::id(t(5), t(6)),
+            vec![t(1), t(2), t(7)],
+            held.clone(),
+        );
+        st.apply(Fact::id(t(1), t(2)));
+        let ready = h.collect_ready(&mut st);
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].support, vec![t(1), t(2), t(7)]);
+        // Provenance = held preds followed by the original antecedents.
+        assert_eq!(ready[0].antecedents, vec![Pending::Id(t(7), t(8)), Pending::Id(t(1), t(2))]);
+    }
+
+    #[test]
+    fn purge_drops_deps_touching_dead_tuples() {
+        let mut h = DepStore::new(10);
+        let mut st = ChaseState::new();
+        h.record(vec![Pending::Id(t(1), t(2))], Fact::id(t(5), t(6)), vec![t(9)], Vec::new());
+        h.record(vec![Pending::Id(t(1), t(2))], Fact::id(t(3), t(4)), vec![t(3)], Vec::new());
+        let dead: std::collections::HashSet<Tid> = [t(9)].into_iter().collect();
+        h.purge(&dead);
+        assert_eq!(h.len(), 1, "only the dep supported by a live valuation remains");
+        st.apply(Fact::id(t(1), t(2)));
+        let ready = h.collect_ready(&mut st);
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].head, Fact::id(t(3), t(4)));
     }
 }

@@ -22,11 +22,12 @@
 //! `ΔΓ` — exactly the two strategies of Fig. 4 (lines 2-3 vs lines 4-7).
 
 use crate::batch::DeltaBatch;
-use crate::deps::{DepStore, Pending};
+use crate::deps::{DepStore, Pending, Ready};
 use crate::eval::{enumerate_with_program, EvalScratch, ValuationSink};
 use crate::facts::{ChaseState, Fact, MlOracle, MlSigTable};
 use crate::plan::{CompiledHead, CompiledRule, RecPred};
 use crate::program::RuleProgram;
+use crate::support::{Provenance, SupportLog};
 use crate::union_find::MatchSet;
 use dcer_ml::MlRegistry;
 use dcer_mrl::{RuleSet, TupleVar};
@@ -110,9 +111,9 @@ impl ChaseStats {
         };
         add("chase.valuations", self.valuations);
         add("chase.facts_deduced", self.facts_deduced);
-        add("chase.deps_recorded", self.deps_recorded);
-        add("chase.deps_fired", self.deps_fired);
-        add("chase.deps_dropped", self.deps_dropped);
+        add("chase.deps.recorded", self.deps_recorded);
+        add("chase.deps.fired", self.deps_fired);
+        add("chase.deps.dropped", self.deps_dropped);
         add("chase.seeded_joins", self.seeded_joins);
         add("chase.ml_calls", self.ml_calls);
         add("chase.ml_cache_hits", self.ml_cache_hits);
@@ -142,6 +143,32 @@ struct DeltaEvent {
     side_b: Vec<Tid>,
 }
 
+/// What kind of re-derivation the next [`ChaseEngine::update_fixpoint`]
+/// must run for the changes staged so far.
+#[derive(Debug)]
+enum Dirty {
+    /// A retraction cascade dropped facts: the surviving dependency store
+    /// and delta queue can reference antecedents that no longer hold, so
+    /// both are discarded and a full `Deduce` round re-enumerates (already
+    /// known facts are absorbed as cheap no-ops; only facts with surviving
+    /// alternative support come back).
+    Full,
+    /// Only inserts happened: seed rule re-evaluation on the new rows.
+    Seeds(Vec<(RelId, u32)>),
+    /// Nothing staged.
+    None,
+}
+
+/// The fact-level effect of one [`ChaseEngine::apply_update`] call.
+#[derive(Debug, Default)]
+pub struct UpdateDelta {
+    /// Facts retracted by the deletion cascade and not rederived.
+    pub retracted: Vec<Fact>,
+    /// Facts newly deduced (including rederivations of over-deleted facts
+    /// that had surviving alternative support).
+    pub deduced: Vec<Fact>,
+}
+
 /// The `Match` engine over one dataset (or HyPart fragment).
 pub struct ChaseEngine {
     plans: Vec<CompiledRule>,
@@ -156,6 +183,11 @@ pub struct ChaseEngine {
     state: ChaseState,
     deps: DepStore,
     oracle: MlOracle,
+    /// Fire-ordered provenance of every fact in `state` (see
+    /// [`SupportLog`]); drives the deletion cascade.
+    log: SupportLog,
+    /// Re-derivation obligation accumulated by staged updates.
+    dirty: Dirty,
     pending: VecDeque<DeltaEvent>,
     /// rel -> [(plan, rec_pred index)] for body id predicates.
     id_pred_index: HashMap<RelId, Vec<(usize, usize)>>,
@@ -209,6 +241,8 @@ impl ChaseEngine {
             state: ChaseState::new(),
             deps: DepStore::new(capacity),
             oracle,
+            log: SupportLog::new(),
+            dirty: Dirty::None,
             pending: VecDeque::new(),
             id_pred_index,
             ml_pred_index,
@@ -229,6 +263,23 @@ impl ChaseEngine {
     /// Tuples absent from the map are admitted for every rule.
     pub fn set_rule_scope(&mut self, masks: std::sync::Arc<HashMap<Tid, u128>>) {
         self.rule_scope = Some(masks);
+    }
+
+    /// Extend the rule scope with masks for routed delta tuples (no-op on an
+    /// unscoped engine, which admits every tuple for every rule anyway).
+    /// Masks for already-scoped tuples are OR-ed in. A mask of `0` leaves the
+    /// tuple inert — the router found no rule geometry admitting it, so no
+    /// valuation here may bind it.
+    pub fn extend_rule_scope(&mut self, additions: &[(Tid, u128)]) {
+        if additions.is_empty() {
+            return;
+        }
+        if let Some(masks) = &mut self.rule_scope {
+            let map = std::sync::Arc::make_mut(masks);
+            for &(tid, mask) in additions {
+                *map.entry(tid).or_insert(0) |= mask;
+            }
+        }
     }
 
     /// Build every index the compiled rule programs will probe — derived in
@@ -331,6 +382,7 @@ impl ChaseEngine {
         self.stats.facts_received += received.len() as u64;
         for &f in received {
             if let Some((side_a, side_b)) = self.state.apply(f) {
+                self.log.push(f, Provenance::External);
                 self.pending.push_back(DeltaEvent { fact: f, side_a, side_b });
             } else {
                 self.stats.facts_absorbed += 1;
@@ -363,6 +415,8 @@ impl ChaseEngine {
         let _span = dcer_obs::span("chase.recover");
         self.state = ChaseState::new();
         self.deps.reset();
+        self.log.clear();
+        self.dirty = Dirty::None;
         self.pending.clear();
         let mut out = self.run_local_fixpoint();
         out.extend(self.apply_delta(checkpoint));
@@ -391,8 +445,8 @@ impl ChaseEngine {
                 if ready.is_empty() {
                     break;
                 }
-                for fact in ready {
-                    progressed |= self.commit(fact, out);
+                for dep in ready {
+                    progressed |= self.commit(dep, out);
                 }
             }
             // (2) Update-driven join re-evaluation, if `H` cannot be trusted
@@ -411,13 +465,18 @@ impl ChaseEngine {
         }
     }
 
-    /// Apply a fact; on novelty, report it and queue its delta event.
-    fn commit(&mut self, fact: Fact, out: &mut Vec<Fact>) -> bool {
-        match self.state.apply(fact) {
+    /// Apply a fired dependency's head; on novelty, log its provenance,
+    /// report it and queue its delta event.
+    fn commit(&mut self, dep: Ready, out: &mut Vec<Fact>) -> bool {
+        match self.state.apply(dep.head) {
             Some((side_a, side_b)) => {
                 self.stats.facts_deduced += 1;
-                out.push(fact);
-                self.pending.push_back(DeltaEvent { fact, side_a, side_b });
+                out.push(dep.head);
+                self.log.push(
+                    dep.head,
+                    Provenance::Local { support: dep.support, antecedents: dep.antecedents },
+                );
+                self.pending.push_back(DeltaEvent { fact: dep.head, side_a, side_b });
                 true
             }
             None => false,
@@ -445,6 +504,7 @@ impl ChaseEngine {
             state,
             deps,
             oracle,
+            log,
             stats,
             pending,
             rule_scope,
@@ -461,6 +521,7 @@ impl ChaseEngine {
             state,
             deps,
             oracle,
+            log,
             pending,
             out,
             scope: rule_scope.as_deref(),
@@ -536,49 +597,167 @@ impl ChaseEngine {
     }
 
     /// Incremental ER under data insertions — the `ΔD` extension sketched
-    /// in the paper's Section V-A remark (and listed as future work in its
-    /// conclusion): add new tuples, then deduce exactly the consequences
-    /// that involve them.
-    ///
-    /// Only valuations touching at least one new tuple can newly satisfy a
-    /// precondition (the old data's valuations were exhausted by earlier
-    /// rounds), so we re-enumerate each rule seeded on the new rows, then
-    /// run `IncDeduce` to propagate. Returns the newly deduced facts.
+    /// in the paper's Section V-A remark: add new tuples, then deduce
+    /// exactly the consequences that involve them. Equivalent to
+    /// [`ChaseEngine::apply_update`] with an empty delete set.
     pub fn insert_and_deduce(&mut self, tuples: Vec<dcer_relation::Tuple>) -> Vec<Fact> {
-        let mut new_rows: Vec<(RelId, u32)> = Vec::with_capacity(tuples.len());
-        for t in tuples {
+        self.stage_update(tuples, &[]);
+        self.update_fixpoint()
+    }
+
+    /// Stage a CDC batch: mutate the fragment (tombstoning deletes in
+    /// place), patch the inverted indices incrementally, invalidate only
+    /// the compiled programs whose atoms touch a changed relation, and run
+    /// the deletion cascade. Returns the facts retracted by the cascade
+    /// (over-deletions included; [`ChaseEngine::update_fixpoint`] rederives
+    /// the ones with surviving alternative support).
+    ///
+    /// Inserts replicating a tuple id already hosted — live *or*
+    /// tombstoned — are skipped: deleted identities are never resurrected,
+    /// new data must arrive under fresh ids.
+    pub fn stage_update(
+        &mut self,
+        inserts: Vec<dcer_relation::Tuple>,
+        deletes: &[Tid],
+    ) -> Vec<Fact> {
+        let mut changed: Vec<RelId> = Vec::new();
+        let mut new_rows: Vec<(RelId, u32)> = Vec::with_capacity(inserts.len());
+        let mut dead: HashSet<Tid> = HashSet::new();
+        for &tid in deletes {
+            if self.dataset.delete(tid) {
+                dead.insert(tid);
+                if !changed.contains(&tid.rel) {
+                    changed.push(tid.rel);
+                }
+            }
+        }
+        for t in inserts {
             let rel = t.tid.rel;
             if self.dataset.relation(rel).contains(t.tid) {
                 continue;
             }
             self.dataset.insert_replica(t);
             new_rows.push((rel, self.dataset.relation(rel).len() as u32 - 1));
-        }
-        if new_rows.is_empty() {
-            return Vec::new();
-        }
-        // Inverted indices are stale: rebuild lazily on next access. The
-        // compiled programs hold slots and codes of the old generation, so
-        // they go with them.
-        self.indexes.clear();
-        for p in &mut self.programs {
-            *p = None;
-        }
-        let mut out = Vec::new();
-        for pi in 0..self.plans.len() {
-            for v in 0..self.plans[pi].num_vars() {
-                let var = TupleVar(v as u16);
-                let rel = self.plans[pi].atoms[v];
-                for &(r, row) in &new_rows {
-                    if r == rel {
-                        self.stats.seeded_joins += 1;
-                        self.run_plan(pi, &[(var, row)], &mut out);
-                    }
-                }
+            if !changed.contains(&rel) {
+                changed.push(rel);
             }
         }
-        self.incdeduce_loop(&mut out);
+        if changed.is_empty() {
+            return Vec::new();
+        }
+        // Patch the existing index slots in place (dictionary codes and
+        // slot ids survive, so programs over *unchanged* relations stay
+        // compiled — a program compiled dead against an unchanged relation
+        // stays correct even if its constant is later interned by another
+        // relation's update, since the unchanged relation has no row with
+        // that value either way).
+        self.indexes.apply_update(&self.dataset, &changed);
+        for (pi, plan) in self.plans.iter().enumerate() {
+            if plan.atoms.iter().any(|r| changed.contains(r)) {
+                self.programs[pi] = None;
+            }
+        }
+        let mut retracted = Vec::new();
+        if !dead.is_empty() {
+            // Dependencies supported by a dead tuple are vacuous; drop them
+            // before they can fire, then cascade through the support log.
+            self.deps.purge(&dead);
+            retracted = self.cascade(&dead, &HashSet::new());
+        }
+        if !new_rows.is_empty() {
+            match &mut self.dirty {
+                Dirty::Full => {}
+                Dirty::Seeds(rows) => rows.extend(new_rows),
+                Dirty::None => self.dirty = Dirty::Seeds(new_rows),
+            }
+        }
+        retracted
+    }
+
+    /// Drive the staged updates to a new local fixpoint; returns the facts
+    /// newly deduced (rederivations of over-deleted facts included).
+    ///
+    /// Inserts-only batches re-enumerate each rule seeded on the new rows —
+    /// only valuations touching a new tuple can newly satisfy a
+    /// precondition, the old data's valuations were exhausted by earlier
+    /// rounds. After a retraction cascade the dependency store and delta
+    /// queue may reference antecedents that no longer hold, so both are
+    /// discarded and one full `Deduce` round re-enumerates (facts still in
+    /// `Γ` absorb as no-ops; `H` is repopulated).
+    pub fn update_fixpoint(&mut self) -> Vec<Fact> {
+        let mut out = Vec::new();
+        match std::mem::replace(&mut self.dirty, Dirty::None) {
+            Dirty::Full => {
+                let _span = dcer_obs::span("chase.rederive");
+                self.deps.reset();
+                self.pending.clear();
+                self.deduce_round(&mut out);
+                self.incdeduce_loop(&mut out);
+            }
+            Dirty::Seeds(rows) => {
+                let _span = dcer_obs::span("chase.seeded_update");
+                for pi in 0..self.plans.len() {
+                    for v in 0..self.plans[pi].num_vars() {
+                        let var = TupleVar(v as u16);
+                        let rel = self.plans[pi].atoms[v];
+                        for &(r, row) in &rows {
+                            if r == rel {
+                                self.stats.seeded_joins += 1;
+                                self.run_plan(pi, &[(var, row)], &mut out);
+                            }
+                        }
+                    }
+                }
+                self.incdeduce_loop(&mut out);
+            }
+            Dirty::None => {
+                self.incdeduce_loop(&mut out);
+            }
+        }
         out
+    }
+
+    /// Apply retraction notices from peers: facts another worker retracted
+    /// that this worker may hold via [`Provenance::External`]. Cascades
+    /// locally and returns the *additional* facts dropped here (the noticed
+    /// ones are already known to the sender). Callers must follow up with
+    /// [`ChaseEngine::update_fixpoint`] once the notice exchange reaches a
+    /// fixpoint.
+    pub fn retract_notices(&mut self, facts: &[Fact]) -> Vec<Fact> {
+        if facts.is_empty() {
+            return Vec::new();
+        }
+        let noticed: HashSet<Fact> = facts.iter().copied().collect();
+        let dropped = self.cascade(&HashSet::new(), &noticed);
+        dropped.into_iter().filter(|f| !noticed.contains(f)).collect()
+    }
+
+    /// Run the deletion cascade over the support log. On any drop the chase
+    /// state is replaced by the rebuilt survivor state and a full rederive
+    /// is scheduled (queued delta events may reference retracted facts, so
+    /// the queue is cleared with them).
+    fn cascade(&mut self, dead_tids: &HashSet<Tid>, dead_facts: &HashSet<Fact>) -> Vec<Fact> {
+        let _span = dcer_obs::span("chase.cascade");
+        let (state, dropped) = self.log.retract(dead_tids, dead_facts);
+        if !dropped.is_empty() {
+            self.state = state;
+            self.pending.clear();
+            self.dirty = Dirty::Full;
+        }
+        dropped
+    }
+
+    /// One CDC batch end to end: stage, cascade, rederive, fixpoint.
+    /// The closure after any sequence of `apply_update` calls is identical
+    /// to a from-scratch chase over the final dataset.
+    pub fn apply_update(
+        &mut self,
+        inserts: Vec<dcer_relation::Tuple>,
+        deletes: &[Tid],
+    ) -> UpdateDelta {
+        let retracted = self.stage_update(inserts, deletes);
+        let deduced = self.update_fixpoint();
+        UpdateDelta { retracted, deduced }
     }
 
     /// Consume the engine, producing the final `Γ`.
@@ -596,6 +775,7 @@ struct EngineSink<'a> {
     state: &'a mut ChaseState,
     deps: &'a mut DepStore,
     oracle: &'a mut MlOracle,
+    log: &'a mut SupportLog,
     pending: &'a mut VecDeque<DeltaEvent>,
     out: &'a mut Vec<Fact>,
     scope: Option<&'a HashMap<Tid, u128>>,
@@ -628,22 +808,31 @@ impl ValuationSink for EngineSink<'_> {
     }
 
     fn visit(&mut self, rows: &[u32]) {
-        // Evaluate recursive predicates; collect unsatisfied waitables.
+        // Evaluate recursive predicates; collect unsatisfied waitables and,
+        // separately, the state-dependent predicates that already hold —
+        // those are antecedents of the derivation and must flow into its
+        // provenance (an ML predicate satisfied by the oracle alone is
+        // purely data-dependent and needs no antecedent).
         let mut unsatisfied: Vec<Pending> = Vec::new();
+        let mut held: Vec<Pending> = Vec::new();
         for p in &self.plan.rec_preds {
             match *p {
                 RecPred::Id { left, right } => {
                     let (a, b) = (self.tuple(left, rows).tid, self.tuple(right, rows).tid);
-                    if !self.state.holds_id(a, b) {
+                    if self.state.holds_id(a, b) {
+                        held.push(Pending::Id(a, b));
+                    } else {
                         unsatisfied.push(Pending::Id(a, b));
                     }
                 }
                 RecPred::Ml { sig, left, right, symmetric, waitable } => {
                     let (lt, rt) =
                         (self.tuple(left, rows).clone(), self.tuple(right, rows).clone());
-                    if self.state.holds_ml(sig, lt.tid, rt.tid, symmetric)
-                        || self.oracle.predict(self.sigs, sig, &lt, &rt, self.ml_scope)
-                    {
+                    if self.state.holds_ml(sig, lt.tid, rt.tid, symmetric) {
+                        held.push(Pending::Ml { sig, a: lt.tid, b: rt.tid, symmetric });
+                        continue;
+                    }
+                    if self.oracle.predict(self.sigs, sig, &lt, &rt, self.ml_scope) {
                         continue;
                     }
                     if !waitable {
@@ -669,10 +858,13 @@ impl ValuationSink for EngineSink<'_> {
                 Fact::ml(sig, a, b, symmetric)
             }
         };
+        let support: Vec<Tid> =
+            (0..self.plan.num_vars()).map(|v| self.tuple(TupleVar(v as u16), rows).tid).collect();
         if unsatisfied.is_empty() {
             if let Some((side_a, side_b)) = self.state.apply(head) {
                 self.facts_deduced += 1;
                 self.out.push(head);
+                self.log.push(head, Provenance::Local { support, antecedents: held });
                 self.pending.push_back(DeltaEvent { fact: head, side_a, side_b });
             }
         } else {
@@ -682,7 +874,7 @@ impl ValuationSink for EngineSink<'_> {
                 Fact::Ml(..) => self.state.validated.contains(&head),
             };
             if !head_holds {
-                self.deps.record(unsatisfied, head);
+                self.deps.record(unsatisfied, head, support, held);
             }
         }
     }
@@ -914,6 +1106,121 @@ mod tests {
         assert!(engine.insert_and_deduce(Vec::new()).is_empty());
         let dup = d.tuple(a).unwrap().clone();
         assert!(engine.insert_and_deduce(vec![dup]).is_empty(), "replica ignored");
+    }
+
+    #[test]
+    fn delete_and_rederive_matches_full_rerun() {
+        // Deleting tuples must retract exactly the derivations they
+        // supported — including transitive consequences — while facts with
+        // alternative support survive (rederived if over-deleted).
+        let cat = catalog();
+        let mut d = Dataset::new(cat.clone());
+        let a = d.insert(0, vec!["k1".into(), "p".into()]).unwrap();
+        let b = d.insert(0, vec!["k1".into(), "q".into()]).unwrap();
+        let c = d.insert(0, vec!["k2".into(), "q".into()]).unwrap();
+        let e = d.insert(0, vec!["k2".into(), "r".into()]).unwrap();
+        let rules = dcer_mrl::parse_rules(
+            &cat,
+            "match base: R(t), R(s), t.k = s.k -> t.id = s.id;
+             match step: R(t), R(s), R(u), t.id = s.id, s.x = u.x -> t.id = u.id",
+        )
+        .unwrap();
+        let reg = registry();
+        for cfg in configs() {
+            let mut engine = ChaseEngine::new(d.clone(), &rules, &reg, &cfg).unwrap();
+            engine.run_local_fixpoint();
+            {
+                let mut pre = engine.state_mut();
+                assert!(pre.holds_id(a, b), "a~b via k1 before the delete");
+                assert!(pre.holds_id(a, c), "a~c via step before the delete");
+                let _ = &mut pre;
+            }
+
+            // Deleting b severs the only chain from a to c and e.
+            let delta = engine.apply_update(Vec::new(), &[b]);
+            assert!(!delta.retracted.is_empty(), "config {cfg:?}");
+
+            let mut shrunk = d.clone();
+            assert!(shrunk.delete(b));
+            let mut scratch = run_match(&shrunk, &rules, &reg, &cfg).unwrap();
+            let mut incremental = engine.into_outcome();
+            assert_eq!(
+                incremental.matches.clusters(),
+                scratch.matches.clusters(),
+                "config {cfg:?} diverged from from-scratch after delete"
+            );
+            assert!(!incremental.matches.are_matched(a, c), "config {cfg:?}");
+            assert!(incremental.matches.are_matched(c, e), "c~e via k2 survives, config {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn interleaved_insert_delete_batches_match_full_rerun() {
+        let cat = catalog();
+        let mut base = Dataset::new(cat.clone());
+        let a = base.insert(0, vec!["k1".into(), "p".into()]).unwrap();
+        let b = base.insert(0, vec!["k1".into(), "q".into()]).unwrap();
+        let rules = dcer_mrl::parse_rules(
+            &cat,
+            "match base: R(t), R(s), t.k = s.k -> t.id = s.id;
+             match step: R(t), R(s), R(u), t.id = s.id, s.x = u.x -> t.id = u.id",
+        )
+        .unwrap();
+        let reg = registry();
+        for cfg in configs() {
+            let mut engine = ChaseEngine::new(base.clone(), &rules, &reg, &cfg).unwrap();
+            engine.run_local_fixpoint();
+
+            // Batch 1: insert c (k1, so a~b~c) and delete a.
+            let mut full = base.clone();
+            let c = full.insert(0, vec!["k1".into(), "r".into()]).unwrap();
+            let c_tuple = full.tuple(c).unwrap().clone();
+            assert!(full.delete(a));
+            engine.apply_update(vec![c_tuple], &[a]);
+
+            // Batch 2: delete c again plus a no-op ghost delete.
+            assert!(full.delete(c));
+            let ghost = Tid::new(0, 999);
+            engine.apply_update(Vec::new(), &[c, ghost]);
+
+            let mut scratch = run_match(&full, &rules, &reg, &cfg).unwrap();
+            let mut incremental = engine.into_outcome();
+            assert_eq!(
+                incremental.matches.clusters(),
+                scratch.matches.clusters(),
+                "config {cfg:?} diverged after interleaved batches"
+            );
+            assert!(!incremental.matches.are_matched(b, c), "config {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn overflowed_store_falls_back_to_reevaluation_and_reports_it() {
+        // Satellite: when `K` is exhausted, deps are dropped (visible in
+        // stats) and correctness is carried by update-driven re-evaluation.
+        let cat = catalog();
+        let mut d = Dataset::new(cat.clone());
+        // "k4"/"zz" stays isolated: valuations binding it wait on id
+        // antecedents that never become true, so they must be recorded —
+        // and with K = 0, dropped.
+        for (k, x) in
+            [("k1", "p"), ("k1", "q"), ("k2", "q"), ("k2", "r"), ("k3", "r"), ("k4", "zz")]
+        {
+            d.insert(0, vec![k.into(), x.into()]).unwrap();
+        }
+        let rules = dcer_mrl::parse_rules(
+            &cat,
+            "match base: R(t), R(s), t.k = s.k -> t.id = s.id;
+             match step: R(t), R(s), R(u), t.id = s.id, s.x = u.x -> t.id = u.id",
+        )
+        .unwrap();
+        let reg = registry();
+        let tiny = ChaseConfig { dep_capacity: 0, use_dep_cache: true, ..Default::default() };
+        let mut reference = run_match(&d, &rules, &reg, &ChaseConfig::default()).unwrap();
+        let mut outcome = run_match(&d, &rules, &reg, &tiny).unwrap();
+        assert!(outcome.stats.deps_dropped > 0, "K=0 must overflow");
+        assert!(outcome.stats.seeded_joins > 0, "fallback re-evaluation ran");
+        assert_eq!(outcome.matches.clusters(), reference.matches.clusters());
     }
 
     #[test]

@@ -176,9 +176,10 @@ pub fn enumerate_with_program(
     scratch.rows.resize(n, UNBOUND);
     scratch.frames.clear();
 
-    // Pre-bind and validate seeds.
+    // Pre-bind and validate seeds (tombstoned rows support nothing).
     for &(v, row) in seeds {
-        if row as usize >= dataset.relation(plan.atoms[v.0 as usize]).len() {
+        let relation = dataset.relation(plan.atoms[v.0 as usize]);
+        if row as usize >= relation.len() || !relation.is_live(row) {
             return 0;
         }
         scratch.rows[v.0 as usize] = row;
@@ -236,6 +237,12 @@ pub fn enumerate_with_program(
         }
         scratch.frames[top].pos = f.pos + 1;
         let row = if f.scan { f.pos } else { indexes.at(f.slot).rows()[f.pos as usize] };
+        // Scans walk raw positions and must skip tombstones themselves;
+        // probed candidates self-filter (a tombstoned row's code column is
+        // NULL, so the probing edge's or constant's check rejects it).
+        if f.scan && !dataset.relation(step.rel).is_live(row) {
+            continue;
+        }
         if !sink.admit_row(TupleVar(step.var), row) {
             continue;
         }

@@ -38,8 +38,8 @@ pub fn enumerate_valuations_greedy(
     // Pre-bind and validate seeds. (Seeds bypass `admit_row`: delta-driven
     // re-evaluation must consider any locally hosted tuple.)
     for &(v, row) in seeds {
-        let rel = plan.atoms[v.0 as usize];
-        if row as usize >= dataset.relation(rel).len() {
+        let relation = dataset.relation(plan.atoms[v.0 as usize]);
+        if row as usize >= relation.len() || !relation.is_live(row) {
             return 0;
         }
         rows[v.0 as usize] = Some(row);
@@ -185,6 +185,11 @@ fn descend(
         Access::Scan(len) => (0..len).collect(),
     };
     'cands: for row in candidates {
+        // Probes never yield tombstoned rows (fresh index builds skip
+        // them), but scans walk raw positions and must check liveness.
+        if !dataset.relation(plan.atoms[var.0 as usize]).is_live(row) {
+            continue;
+        }
         if !sink.admit_row(var, row) {
             continue;
         }

@@ -32,10 +32,11 @@ pub mod naive;
 pub mod plan;
 pub mod program;
 pub mod soft;
+pub mod support;
 pub mod union_find;
 
 pub use batch::{BatchStats, DeltaBatch};
-pub use engine::{run_match, ChaseConfig, ChaseEngine, ChaseOutcome, ChaseStats};
+pub use engine::{run_match, ChaseConfig, ChaseEngine, ChaseOutcome, ChaseStats, UpdateDelta};
 pub use eval::{enumerate_valuations, enumerate_with_program, EvalScratch, ValuationSink};
 pub use facts::{ChaseState, Fact, MlOracle, MlSigTable};
 pub use greedy::enumerate_valuations_greedy;

@@ -74,8 +74,11 @@ fn brute(
         }
         return;
     }
-    let n = dataset.relation(plan.atoms[depth]).len() as u32;
-    for r in 0..n {
+    let relation = dataset.relation(plan.atoms[depth]);
+    for r in 0..relation.len() as u32 {
+        if !relation.is_live(r) {
+            continue;
+        }
         rows[depth] = r;
         brute(dataset, plan, sigs, oracle, state, rows, depth + 1, changed);
     }

@@ -1,0 +1,179 @@
+//! Provenance log for delete-and-rederive (DRed-style) maintenance.
+//!
+//! Every fact entering the chase state is logged once, in fire order, with
+//! the support valuation and recursive antecedents of its *first*
+//! derivation. Because a fact can only be derived from facts established
+//! strictly earlier, the log is acyclic in derivation order: a single
+//! in-order pass that rebuilds the state from surviving entries computes
+//! the complete deletion cascade — an entry whose support tuple died, or
+//! whose antecedents no longer hold in the rebuilt prefix state, is
+//! dropped, and everything that transitively depended on it fails its own
+//! antecedent check later in the same pass.
+//!
+//! Dropped facts are *over*-deleted: an alternative derivation may exist
+//! that the log never saw (only first derivations are recorded). The
+//! caller rederives by re-running rule evaluation after the cascade, which
+//! restores exactly the facts with surviving alternative support.
+
+use crate::deps::Pending;
+use crate::facts::{ChaseState, Fact};
+use dcer_relation::Tid;
+use std::collections::HashSet;
+
+/// Why a logged fact holds.
+#[derive(Debug, Clone)]
+pub enum Provenance {
+    /// Derived locally: the support valuation's tuple identities plus the
+    /// recursive predicates the derivation consumed (including those that
+    /// already held when the valuation was enumerated).
+    Local {
+        /// Tuple identities of the support valuation.
+        support: Vec<Tid>,
+        /// Recursive antecedents of the derivation.
+        antecedents: Vec<Pending>,
+    },
+    /// Received from another worker in a BSP exchange: locally unsupported,
+    /// survives unless its own tuples die or the sender retracts it.
+    External,
+}
+
+/// Append-only, fire-ordered log of `(fact, provenance)` pairs. Entries are
+/// unique per fact (callers log only on novelty).
+#[derive(Debug, Default)]
+pub struct SupportLog {
+    entries: Vec<(Fact, Provenance)>,
+}
+
+impl SupportLog {
+    /// Empty log.
+    pub fn new() -> SupportLog {
+        SupportLog::default()
+    }
+
+    /// Append a fact with its provenance. Callers must log in derivation
+    /// order and only for novel facts.
+    pub fn push(&mut self, fact: Fact, provenance: Provenance) {
+        self.entries.push((fact, provenance));
+    }
+
+    /// Number of logged facts.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Discard all entries (crash recovery rebuilds from a checkpoint).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Run the deletion cascade: drop every entry invalidated by the dead
+    /// base tuples in `dead_tids` or explicitly named in `dead_facts`
+    /// (retraction notices from other workers), plus everything downstream
+    /// of a dropped entry. Returns the state rebuilt from the surviving
+    /// entries and the facts that were dropped; the log retains only the
+    /// survivors.
+    pub fn retract(
+        &mut self,
+        dead_tids: &HashSet<Tid>,
+        dead_facts: &HashSet<Fact>,
+    ) -> (ChaseState, Vec<Fact>) {
+        let mut state = ChaseState::new();
+        let mut dropped = Vec::new();
+        let entries = std::mem::take(&mut self.entries);
+        for (fact, prov) in entries {
+            let (a, b) = fact.tids();
+            let survives = !dead_tids.contains(&a)
+                && !dead_tids.contains(&b)
+                && !dead_facts.contains(&fact)
+                && match &prov {
+                    Provenance::External => true,
+                    Provenance::Local { support, antecedents } => {
+                        support.iter().all(|t| !dead_tids.contains(t))
+                            && antecedents.iter().all(|p| p.holds(&mut state))
+                    }
+                };
+            if survives {
+                state.apply(fact);
+                self.entries.push((fact, prov));
+            } else {
+                dropped.push(fact);
+            }
+        }
+        (state, dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(r: u32) -> Tid {
+        Tid::new(0, r)
+    }
+
+    fn local(support: &[Tid], antecedents: Vec<Pending>) -> Provenance {
+        Provenance::Local { support: support.to_vec(), antecedents }
+    }
+
+    #[test]
+    fn deleting_support_cascades_through_dependents() {
+        let mut log = SupportLog::new();
+        // f1 from tuples {1,2}; f2 depends on f1 holding.
+        log.push(Fact::id(t(1), t(2)), local(&[t(1), t(2)], vec![]));
+        log.push(Fact::id(t(3), t(4)), local(&[t(3), t(4)], vec![Pending::Id(t(1), t(2))]));
+        // Independent fact.
+        log.push(Fact::id(t(5), t(6)), local(&[t(5), t(6)], vec![]));
+        let dead: HashSet<Tid> = [t(2)].into_iter().collect();
+        let (mut state, dropped) = log.retract(&dead, &HashSet::new());
+        assert_eq!(dropped, vec![Fact::id(t(1), t(2)), Fact::id(t(3), t(4))]);
+        assert!(!state.holds_id(t(3), t(4)), "cascade removed the dependent");
+        assert!(state.holds_id(t(5), t(6)), "independent fact survives");
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn transitively_implied_antecedents_keep_entries_alive() {
+        let mut log = SupportLog::new();
+        log.push(Fact::id(t(1), t(2)), local(&[t(1), t(2)], vec![]));
+        log.push(Fact::id(t(2), t(3)), local(&[t(2), t(3)], vec![]));
+        // Depends on 1~3, which holds only via transitivity of the first two.
+        log.push(Fact::id(t(5), t(6)), local(&[t(5), t(6)], vec![Pending::Id(t(1), t(3))]));
+        let (mut state, dropped) = log.retract(&HashSet::new(), &HashSet::new());
+        assert!(dropped.is_empty());
+        assert!(state.holds_id(t(5), t(6)));
+    }
+
+    #[test]
+    fn external_facts_survive_unless_named_or_tuple_dies() {
+        let mut log = SupportLog::new();
+        log.push(Fact::id(t(1), t(2)), Provenance::External);
+        log.push(Fact::id(t(3), t(4)), Provenance::External);
+        let dead_facts: HashSet<Fact> = [Fact::id(t(1), t(2))].into_iter().collect();
+        let (mut state, dropped) = log.retract(&HashSet::new(), &dead_facts);
+        assert_eq!(dropped, vec![Fact::id(t(1), t(2))]);
+        assert!(state.holds_id(t(3), t(4)));
+        let dead: HashSet<Tid> = [t(4)].into_iter().collect();
+        let (_, dropped) = log.retract(&dead, &HashSet::new());
+        assert_eq!(dropped, vec![Fact::id(t(3), t(4))]);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn ml_antecedents_participate_in_the_cascade() {
+        let mut log = SupportLog::new();
+        log.push(Fact::ml(2, t(1), t(2), true), local(&[t(1), t(2)], vec![]));
+        log.push(
+            Fact::id(t(3), t(4)),
+            local(&[t(3), t(4)], vec![Pending::Ml { sig: 2, a: t(1), b: t(2), symmetric: true }]),
+        );
+        let dead: HashSet<Tid> = [t(1)].into_iter().collect();
+        let (mut state, dropped) = log.retract(&dead, &HashSet::new());
+        assert_eq!(dropped.len(), 2);
+        assert!(!state.holds_id(t(3), t(4)));
+    }
+}

@@ -27,6 +27,7 @@
 pub mod dmatch;
 pub mod pipeline;
 pub mod session;
+pub mod update;
 
 pub use dmatch::{run_dmatch, DmatchConfig, DmatchReport};
 pub use pipeline::{
@@ -34,3 +35,4 @@ pub use pipeline::{
     ShardWorker, StaticDeducer,
 };
 pub use session::DcerSession;
+pub use update::{UpdateRunReport, UpdateSession};

@@ -81,6 +81,12 @@ impl EngineDeducer {
     pub fn new(engine: ChaseEngine) -> EngineDeducer {
         EngineDeducer { engine }
     }
+
+    /// Unwrap the engine (the update session keeps engines resident across
+    /// exchanges instead of consuming them in one run).
+    pub fn into_engine(self) -> ChaseEngine {
+        self.engine
+    }
 }
 
 impl Deducer for EngineDeducer {
@@ -187,6 +193,18 @@ impl<D: Deducer> ShardWorker<D> {
     /// Shard `id` of `shards`.
     pub fn new(id: WorkerId, shards: usize, deducer: D) -> ShardWorker<D> {
         ShardWorker { id, shards, deducer, batch_stats: BatchStats::default() }
+    }
+
+    /// Unwrap the shard, recovering its deducer (the update session runs
+    /// repeated exchanges over long-lived engines, wrapping and unwrapping
+    /// them around each [`run_bsp_with`] call).
+    pub fn into_deducer(self) -> D {
+        self.deducer
+    }
+
+    /// Batch construction/merge counters accumulated by this shard.
+    pub fn batch_stats(&self) -> &BatchStats {
+        &self.batch_stats
     }
 
     /// Route `batch` to every peer shard: `shards - 1` handle clones, zero
@@ -422,7 +440,7 @@ fn effective_threads(configured: usize) -> usize {
 /// concurrent scoped threads. Engines come out in fragment order and each
 /// eagerly prebuilds its indexes (single-threaded per engine: the fleet
 /// itself is the parallel axis here), so superstep 0 starts probe-ready.
-fn build_fleet(
+pub(crate) fn build_fleet(
     shards: Vec<(Dataset, std::sync::Arc<std::collections::HashMap<dcer_relation::Tid, u128>>)>,
     rules: &RuleSet,
     registry: &MlRegistry,

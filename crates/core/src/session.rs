@@ -88,6 +88,21 @@ impl DcerSession {
         dcer_chase::ChaseEngine::new(dataset.clone(), &self.rules, &self.registry, &self.chase)
     }
 
+    /// Build a resident incremental-maintenance session over `dataset`:
+    /// partition, build the engine fleet, run the initial fixpoint, then
+    /// feed CDC insert/delete batches through
+    /// [`crate::update::UpdateSession::run_update`] — the distributed
+    /// extension of [`DcerSession::incremental_engine`].
+    pub fn update_session(
+        &self,
+        dataset: &Dataset,
+        config: &DmatchConfig,
+    ) -> Result<crate::update::UpdateSession, String> {
+        let mut cfg = config.clone();
+        cfg.chase = self.chase.clone();
+        crate::update::UpdateSession::new(dataset, self.rules.clone(), self.registry.clone(), cfg)
+    }
+
     /// Parallel `DMatch` (Section V-B).
     pub fn run_parallel(
         &self,

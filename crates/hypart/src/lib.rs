@@ -28,7 +28,7 @@ pub mod shares;
 pub use balance::lpt_assign;
 pub use hash::HashMemo;
 pub use partitioner::{
-    partition, partition_reference, partition_timed, DistTimings, HyPartConfig, Partition,
-    PartitionStats, ShardExecution,
+    partition, partition_reference, partition_timed, partition_with_router, DeltaRouter,
+    DistTimings, HyPartConfig, Partition, PartitionStats, ShardExecution,
 };
 pub use shares::allocate_shares;

@@ -325,9 +325,71 @@ fn shard_range(len: usize, shard: usize, shards: usize) -> (usize, usize) {
     (len * shard / shards, len * (shard + 1) / shards)
 }
 
+/// Emit every `(cell, tid, mask)` replica of one tuple for one role of one
+/// rule's geometry — the per-tuple body shared by the full distribution
+/// scan and the [`DeltaRouter`]'s single-tuple routing, so routed deltas
+/// land in exactly the cells the full scan would choose.
+#[allow(clippy::too_many_arguments)]
+fn emit_role_cells(
+    geom: &RuleGeometry,
+    role: &RoleInfo,
+    mask: u128,
+    t: &dcer_relation::Tuple,
+    cells: usize,
+    memo: &mut HashMemo,
+    fixed: &mut Vec<(usize, usize)>,
+    combo: &mut Vec<usize>,
+    emit: &mut impl FnMut(usize, Tid, u128),
+) {
+    for (attr, c) in &role.const_filters {
+        if !t.get(*attr).sql_eq(c) {
+            return;
+        }
+    }
+    // Coordinates on covered dims; broadcast elsewhere.
+    fixed.clear();
+    for (dim, fn_id, key) in &role.covered {
+        let h = memo.hash(*fn_id, t, key);
+        fixed.push((*dim, (h % geom.shares[*dim] as u64) as usize));
+    }
+    // Enumerate the broadcast product.
+    let base: usize = fixed.iter().map(|&(d, coord)| coord * geom.strides[d]).sum();
+    combo.clear();
+    combo.resize(role.free.len(), 0);
+    loop {
+        let cell: usize = (base
+            + role
+                .free
+                .iter()
+                .zip(combo.iter())
+                .map(|(&d, &coord)| coord * geom.strides[d])
+                .sum::<usize>()
+            + geom.offset)
+            % cells;
+        emit(cell, t.tid, mask);
+        // Advance the mixed-radix combo.
+        let mut i = 0;
+        loop {
+            if i == role.free.len() {
+                break;
+            }
+            combo[i] += 1;
+            if combo[i] < geom.shares[role.free[i]] {
+                break;
+            }
+            combo[i] = 0;
+            i += 1;
+        }
+        if i == role.free.len() {
+            break;
+        }
+    }
+}
+
 /// Scan shard `shard`'s row ranges for every rule/role, emitting one
 /// `(cell, tid, rule mask)` triple per generated replica, in a fixed
-/// (rule, role, row, broadcast-combo) order.
+/// (rule, role, row, broadcast-combo) order. Tombstoned rows are skipped:
+/// deleted tuples generate no replicas.
 fn scan_shard(
     dataset: &Dataset,
     geoms: &[&RuleGeometry],
@@ -343,52 +405,14 @@ fn scan_shard(
     for (rule_idx, geom) in geoms.iter().enumerate() {
         let mask = rule_bit(rule_idx);
         for role in &geom.roles {
-            let tuples = dataset.relation(role.rel).tuples();
+            let relation = dataset.relation(role.rel);
+            let tuples = relation.tuples();
             let (lo, hi) = shard_range(tuples.len(), shard, shards);
-            'tuples: for t in &tuples[lo..hi] {
-                for (attr, c) in &role.const_filters {
-                    if !t.get(*attr).sql_eq(c) {
-                        continue 'tuples;
-                    }
+            for (off, t) in tuples[lo..hi].iter().enumerate() {
+                if !relation.is_live((lo + off) as u32) {
+                    continue;
                 }
-                // Coordinates on covered dims; broadcast elsewhere.
-                fixed.clear();
-                for (dim, fn_id, key) in &role.covered {
-                    let h = memo.hash(*fn_id, t, key);
-                    fixed.push((*dim, (h % geom.shares[*dim] as u64) as usize));
-                }
-                // Enumerate the broadcast product.
-                let base: usize = fixed.iter().map(|&(d, coord)| coord * geom.strides[d]).sum();
-                combo.clear();
-                combo.resize(role.free.len(), 0);
-                loop {
-                    let cell: usize = (base
-                        + role
-                            .free
-                            .iter()
-                            .zip(&combo)
-                            .map(|(&d, &coord)| coord * geom.strides[d])
-                            .sum::<usize>()
-                        + geom.offset)
-                        % cells;
-                    emit(cell, t.tid, mask);
-                    // Advance the mixed-radix combo.
-                    let mut i = 0;
-                    loop {
-                        if i == role.free.len() {
-                            break;
-                        }
-                        combo[i] += 1;
-                        if combo[i] < geom.shares[role.free[i]] {
-                            break;
-                        }
-                        combo[i] = 0;
-                        i += 1;
-                    }
-                    if i == role.free.len() {
-                        break;
-                    }
-                }
+                emit_role_cells(geom, role, mask, t, cells, memo, &mut fixed, &mut combo, emit);
             }
         }
     }
@@ -429,12 +453,11 @@ where
 /// threshold times the average non-empty cell load. Averaging over all
 /// cells would let sparse grids deflate the average and trigger spurious
 /// refinements (each a full redistribution).
-fn is_skewed(cell_members: &[HashMap<Tid, u128>], threshold: f64) -> bool {
+fn is_skewed_loads(loads: &[u64], threshold: f64) -> bool {
     let mut total = 0u64;
     let mut max = 0u64;
     let mut nonempty = 0u64;
-    for c in cell_members {
-        let load = c.len() as u64;
+    for &load in loads {
         total += load;
         max = max.max(load);
         nonempty += u64::from(load > 0);
@@ -444,6 +467,11 @@ fn is_skewed(cell_members: &[HashMap<Tid, u128>], threshold: f64) -> bool {
     }
     let avg = total as f64 / nonempty as f64;
     max as f64 > threshold * avg
+}
+
+fn is_skewed(cell_members: &[HashMap<Tid, u128>], threshold: f64) -> bool {
+    let loads: Vec<u64> = cell_members.iter().map(|c| c.len() as u64).collect();
+    is_skewed_loads(&loads, threshold)
 }
 
 /// Partition `dataset` for `rules` into `config.workers` fragments.
@@ -458,6 +486,29 @@ pub fn partition_timed(
     rules: &RuleSet,
     config: &HyPartConfig,
 ) -> (Partition, DistTimings) {
+    let (partition, timings, _) = partition_inner(dataset, rules, config, false);
+    (partition, timings)
+}
+
+/// [`partition`] plus a [`DeltaRouter`] frozen on the winning geometry:
+/// subsequent CDC inserts route through the exact per-rule grids, cell
+/// assignment and hash functions this partition used, so Lemma 6 extends
+/// to valuations mixing resident and routed tuples.
+pub fn partition_with_router(
+    dataset: &Dataset,
+    rules: &RuleSet,
+    config: &HyPartConfig,
+) -> (Partition, DeltaRouter) {
+    let (partition, _, router) = partition_inner(dataset, rules, config, true);
+    (partition, router.expect("router requested"))
+}
+
+fn partition_inner(
+    dataset: &Dataset,
+    rules: &RuleSet,
+    config: &HyPartConfig,
+    want_router: bool,
+) -> (Partition, DistTimings, Option<DeltaRouter>) {
     assert!(config.workers > 0);
     let wall = Instant::now();
     let qp = QueryPlan::build(rules);
@@ -581,7 +632,7 @@ pub fn partition_timed(
         dataset,
         &plan,
         config,
-        cell_members,
+        &cell_members,
         cells,
         refinements,
         generated,
@@ -590,9 +641,131 @@ pub fn partition_timed(
         parallel,
         &mut timings,
     );
+    let router = want_router.then(|| {
+        let loads: Vec<u64> = cell_members.iter().map(|c| c.len() as u64).collect();
+        let assignment = lpt_assign(&loads, config.workers);
+        let geoms: Vec<RuleGeometry> = (0..rules.len())
+            .map(|i| {
+                geom_cache
+                    .remove(&(i, effective_cells(rules, i, cells, config.workers)))
+                    .expect("winning geometry was built")
+            })
+            .collect();
+        DeltaRouter {
+            geoms,
+            cells,
+            workers: config.workers,
+            assignment,
+            loads,
+            skew_threshold: config.skew_threshold,
+            memo: HashMemo::new(),
+            routed_inserts: 0,
+            routed_deletes: 0,
+        }
+    });
     timings.total_ns = wall.elapsed().as_nanos() as u64;
     timings.publish(shards);
-    (partition, timings)
+    (partition, timings, router)
+}
+
+/// Routes CDC deltas through a frozen partition geometry, avoiding the
+/// full rules × roles × tuples redistribution scan per update batch.
+///
+/// The router replays, for one tuple at a time, exactly the per-rule grid
+/// walk [`partition`] ran over the whole dataset: same shares, strides,
+/// offsets, MQO hash functions and LPT cell assignment. A routed insert
+/// therefore lands on every worker the full scan would have chosen, which
+/// is what keeps Lemma 6 (valuation locality) true for valuations mixing
+/// resident and freshly routed tuples.
+///
+/// Per-cell loads are maintained across inserts and deletes; when churn
+/// concentrates on few cells, [`DeltaRouter::drifted`] reports that the
+/// frozen assignment has gone skewed and the caller should fall back to a
+/// full re-partition.
+pub struct DeltaRouter {
+    geoms: Vec<RuleGeometry>,
+    cells: usize,
+    workers: usize,
+    /// Frozen LPT cell → worker assignment.
+    assignment: Vec<usize>,
+    /// Live distinct-tuple load per cell, updated by every routed delta.
+    loads: Vec<u64>,
+    skew_threshold: f64,
+    memo: HashMemo,
+    routed_inserts: u64,
+    routed_deletes: u64,
+}
+
+impl DeltaRouter {
+    /// Route one inserted tuple: the sorted `(worker, rule mask)` list of
+    /// fragments that must host it. Tuples no rule distributes still get a
+    /// deterministic home (mask 0), mirroring the full scan's orphan
+    /// adoption. Updates per-cell loads.
+    pub fn route_insert(&mut self, t: &dcer_relation::Tuple) -> Vec<(u16, u128)> {
+        self.routed_inserts += 1;
+        let cell_masks = self.cells_of(t);
+        let mut per_worker: std::collections::BTreeMap<u16, u128> = Default::default();
+        for (&cell, &mask) in &cell_masks {
+            self.loads[cell] += 1;
+            *per_worker.entry(self.assignment[cell] as u16).or_insert(0) |= mask;
+        }
+        if per_worker.is_empty() {
+            per_worker.insert((t.tid.pack() % self.workers as u64) as u16, 0);
+        }
+        per_worker.into_iter().collect()
+    }
+
+    /// Record the deletion of a (previously routed or originally
+    /// partitioned) tuple, releasing its per-cell load. The hosts map —
+    /// not the router — decides which workers must tombstone it.
+    pub fn note_delete(&mut self, t: &dcer_relation::Tuple) {
+        self.routed_deletes += 1;
+        for &cell in self.cells_of(t).keys() {
+            self.loads[cell] = self.loads[cell].saturating_sub(1);
+        }
+    }
+
+    /// Whether accumulated churn skewed the frozen cell assignment past the
+    /// partitioner's refinement threshold — the signal to abandon delta
+    /// routing and re-partition from scratch.
+    pub fn drifted(&self) -> bool {
+        is_skewed_loads(&self.loads, self.skew_threshold)
+    }
+
+    /// `(inserts routed, deletes noted)` counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.routed_inserts, self.routed_deletes)
+    }
+
+    /// Distinct cells hosting `t`, with the union of rule masks per cell.
+    fn cells_of(&mut self, t: &dcer_relation::Tuple) -> HashMap<usize, u128> {
+        let mut cell_masks: HashMap<usize, u128> = HashMap::new();
+        let mut fixed: Vec<(usize, usize)> = Vec::new();
+        let mut combo: Vec<usize> = Vec::new();
+        let cells = self.cells;
+        for (rule_idx, geom) in self.geoms.iter().enumerate() {
+            let mask = rule_bit(rule_idx);
+            for role in &geom.roles {
+                if role.rel != t.tid.rel {
+                    continue;
+                }
+                emit_role_cells(
+                    geom,
+                    role,
+                    mask,
+                    t,
+                    cells,
+                    &mut self.memo,
+                    &mut fixed,
+                    &mut combo,
+                    &mut |cell, _, m| {
+                        *cell_masks.entry(cell).or_insert(0) |= m;
+                    },
+                );
+            }
+        }
+        cell_masks
+    }
 }
 
 /// The sequential reference partitioner: the original single-threaded
@@ -648,7 +821,7 @@ pub fn partition_reference(dataset: &Dataset, rules: &RuleSet, config: &HyPartCo
         dataset,
         &plan,
         config,
-        cell_members,
+        &cell_members,
         cells,
         refinements,
         generated,
@@ -667,7 +840,7 @@ fn assemble(
     dataset: &Dataset,
     plan: &MqoPlan,
     config: &HyPartConfig,
-    cell_members: Vec<HashMap<Tid, u128>>,
+    cell_members: &[HashMap<Tid, u128>],
     cells: usize,
     refinements: u32,
     generated: u64,
@@ -690,7 +863,6 @@ fn assemble(
     // Build fragments and per-fragment rule masks, one worker per unit:
     // each unit walks its cells in ascending order (members sorted by tid),
     // reproducing the sequential insertion order exactly.
-    let cell_members = &cell_members;
     let assignment = &assignment;
     let units: Vec<_> = (0..config.workers)
         .map(|w| {
@@ -732,9 +904,12 @@ fn assemble(
         }
     }
 
-    // Tuples untouched by any rule still need a home for completeness
-    // (mask 0: no rule evaluates them).
+    // Live tuples untouched by any rule still need a home for completeness
+    // (mask 0: no rule evaluates them); tombstoned tuples are not adopted.
     for t in dataset.all_tuples() {
+        if !dataset.is_live(t.tid) {
+            continue;
+        }
         if let std::collections::hash_map::Entry::Vacant(e) = hosts.entry(t.tid) {
             let w = (t.tid.pack() % config.workers as u64) as usize;
             fragments[w].insert_replica(t.clone());
@@ -751,10 +926,10 @@ fn assemble(
         generated_tuples: generated,
         hash_computations,
         hash_memo_hits,
-        replication_factor: if dataset.total_tuples() == 0 {
+        replication_factor: if dataset.total_live() == 0 {
             0.0
         } else {
-            total_frag as f64 / dataset.total_tuples() as f64
+            total_frag as f64 / dataset.total_live() as f64
         },
         fragment_sizes,
         refinements,
@@ -1059,6 +1234,111 @@ mod tests {
             assert!(p.hosts.is_empty());
             assert_eq!(p.stats.replication_factor, 0.0);
         }
+    }
+
+    #[test]
+    fn routed_inserts_preserve_valuation_locality() {
+        // Route new tuples through the frozen geometry, apply the routes to
+        // the fragments, and check Lemma 6 by brute force on the *combined*
+        // dataset: every valuation mixing resident and routed tuples must be
+        // co-located on some worker.
+        let base = dataset(12);
+        let rs = rules();
+        for workers in [2, 4] {
+            let (mut p, mut router) =
+                partition_with_router(&base, &rs, &HyPartConfig::new(workers));
+            let mut full = base.clone();
+            let mut fresh = Vec::new();
+            for i in 100..108 {
+                let tid = full
+                    .insert(0, vec![format!("k{}", i % 7).into(), format!("x{i}").into()])
+                    .unwrap();
+                fresh.push(full.tuple(tid).unwrap().clone());
+                let tid = full
+                    .insert(1, vec![format!("k{}", i % 7).into(), format!("y{}", i % 3).into()])
+                    .unwrap();
+                fresh.push(full.tuple(tid).unwrap().clone());
+            }
+            for t in &fresh {
+                let routes = router.route_insert(t);
+                assert!(!routes.is_empty(), "every tuple gets a home");
+                for &(w, mask) in &routes {
+                    p.fragments[w as usize].insert_replica(t.clone());
+                    *p.rule_masks[w as usize].entry(t.tid).or_insert(0) |= mask;
+                    p.hosts.entry(t.tid).or_default().push(w);
+                }
+            }
+            assert_locality(&full, &rs, &p);
+        }
+    }
+
+    #[test]
+    fn routing_matches_full_scan_cells_for_resident_tuples() {
+        // Routing a tuple that was already partitioned must pick exactly the
+        // workers that host it (same geometry, same hash functions).
+        let d = dataset(20);
+        let rs = rules();
+        let (p, mut router) = partition_with_router(&d, &rs, &HyPartConfig::new(3));
+        for t in d.all_tuples() {
+            let routes = router.route_insert(t);
+            let routed: Vec<u16> = routes.iter().map(|&(w, _)| w).collect();
+            assert_eq!(
+                &routed, &p.hosts[&t.tid],
+                "router and full scan disagree on hosts of {:?}",
+                t.tid
+            );
+        }
+    }
+
+    #[test]
+    fn delete_churn_releases_load_and_hot_inserts_drift() {
+        let d = dataset(30);
+        // A key-hash rule on a fine grid: every "hot"-keyed insert lands in
+        // the same cell, so concentration is observable. (On the default
+        // 4-cell grid, broadcast replication spreads load uniformly and no
+        // churn pattern can skew it.)
+        let rs = parse_rules(&catalog(), "match md: R(t), R(s), t.k = s.k -> t.id = s.id").unwrap();
+        let mut cfg = HyPartConfig::new(2);
+        cfg.virtual_factor = 16;
+        let (_, mut router) = partition_with_router(&d, &rs, &cfg);
+        assert!(!router.drifted(), "fresh partition starts balanced");
+        let baseline = router.loads.clone();
+
+        // Insert-then-delete is load-neutral.
+        let mut scratch = d.clone();
+        let tid = scratch.insert(0, vec!["k0".into(), "fresh".into()]).unwrap();
+        let t = scratch.tuple(tid).unwrap().clone();
+        router.route_insert(&t);
+        router.note_delete(&t);
+        assert_eq!(router.loads, baseline, "insert+delete must restore loads");
+
+        // A flood of hot-key inserts concentrates cells and trips the drift
+        // detector.
+        let mut hot = d.clone();
+        for i in 0..600 {
+            let tid = hot.insert(0, vec!["hot".into(), format!("h{i}").into()]).unwrap();
+            router.route_insert(&hot.tuple(tid).unwrap().clone());
+        }
+        assert!(router.drifted(), "hot-key churn must report drift");
+        assert_eq!(router.counters().0, 601);
+    }
+
+    #[test]
+    fn tombstoned_tuples_are_not_distributed() {
+        let mut d = dataset(10);
+        let rs = rules();
+        let victim = d.relation(0).tuples()[0].tid;
+        assert!(d.delete(victim));
+        for threads in [1, 4] {
+            let p = partition(&d, &rs, &with_threads(2, threads));
+            assert!(!p.hosts.contains_key(&victim), "dead tuple must not be hosted");
+            for f in &p.fragments {
+                assert!(!f.relation(victim.rel).contains(victim));
+            }
+        }
+        // Reference partitioner agrees.
+        let r = partition_reference(&d, &rs, &HyPartConfig::new(2));
+        assert!(!r.hosts.contains_key(&victim));
     }
 
     #[test]

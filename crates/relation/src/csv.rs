@@ -181,11 +181,12 @@ pub fn load_reader(dataset: &mut Dataset, rel: RelId, reader: &mut dyn BufRead) 
 }
 
 /// Serialize relation `rel` of `dataset` as CSV with a header row.
+/// Tombstoned tuples are not persisted: a reload sees the post-update data.
 pub fn dump_relation(dataset: &Dataset, rel: RelId) -> String {
     let schema: &RelationSchema = dataset.catalog().schema(rel);
-    let mut records = Vec::with_capacity(dataset.relation(rel).len() + 1);
+    let mut records = Vec::with_capacity(dataset.relation(rel).live_count() + 1);
     records.push(schema.attributes.iter().map(|a| a.name.clone()).collect::<Vec<_>>());
-    for t in dataset.relation(rel).tuples() {
+    for t in dataset.relation(rel).live_tuples() {
         records.push(
             (0..schema.arity() as AttrId)
                 .map(|a| match t.get(a) {

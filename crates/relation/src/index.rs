@@ -118,6 +118,14 @@ pub struct HashIndex {
     /// Per-row code column ([`ValueDict::NULL`] for nulls).
     row_codes: Vec<u32>,
     entries: usize,
+    /// Indexed rows tombstoned since the last CSR (re)build. Their stale
+    /// postings are self-filtering — the code column says `NULL`, so every
+    /// equality/constant check on a probed candidate fails — but they cost
+    /// probe time, so compaction triggers once they dominate.
+    tombstones: usize,
+    /// Rows appended since the last CSR (re)build: present in `row_codes`
+    /// but in no posting yet. [`HashIndex::integrate`] folds them in.
+    staged: usize,
 }
 
 impl HashIndex {
@@ -131,22 +139,50 @@ impl HashIndex {
     pub fn build(dataset: &Dataset, rel: RelId, attr: AttrId, dict: &mut ValueDict) -> HashIndex {
         let _span = dcer_obs::span("index.build").with_arg("rel", rel as u64);
         let start = std::time::Instant::now();
-        let tuples = dataset.relation(rel).tuples();
+        let relation = dataset.relation(rel);
+        let tuples = relation.tuples();
 
+        // Tombstoned rows get the NULL code: they keep their position in
+        // the code column (positions are stable identities) but enter no
+        // posting and match no predicate.
         let mut row_codes = Vec::with_capacity(tuples.len());
+        for (pos, t) in tuples.iter().enumerate() {
+            let code = if relation.is_live(pos as u32) {
+                dict.intern(t.get(attr))
+            } else {
+                ValueDict::NULL
+            };
+            row_codes.push(code);
+        }
+        let mut index = HashIndex {
+            buckets: HashMap::new(),
+            rows: Vec::new(),
+            row_codes,
+            ..Default::default()
+        };
+        index.rebuild_postings();
+
+        if dcer_obs::enabled() {
+            dcer_obs::counter_add("index.build_ns", start.elapsed().as_nanos() as u64);
+            dcer_obs::counter_add("index.distinct", index.buckets.len() as u64);
+            dcer_obs::counter_add("index.entries", index.entries as u64);
+        }
+        index
+    }
+
+    /// Re-derive the CSR postings from the code column alone — a `u32`
+    /// counting pass, no `Value` hashing. Lays the postings out with one
+    /// cursor pass reserving ranges and a second filling them in ascending
+    /// row order; tombstones (NULL codes) are compacted away for free.
+    fn rebuild_postings(&mut self) {
         let mut counts: HashMap<u32, u32> = HashMap::new();
         let mut entries = 0usize;
-        for t in tuples {
-            let code = dict.intern(t.get(attr));
-            row_codes.push(code);
+        for &code in &self.row_codes {
             if code != ValueDict::NULL {
                 *counts.entry(code).or_insert(0) += 1;
                 entries += 1;
             }
         }
-
-        // Lay the postings out as CSR: one cursor pass reserves ranges, a
-        // second pass fills them in ascending row order.
         let mut buckets: HashMap<u32, (u32, u32)> = HashMap::with_capacity(counts.len());
         let mut offset = 0u32;
         for (&code, &count) in &counts {
@@ -154,20 +190,53 @@ impl HashIndex {
             offset += count;
         }
         let mut rows = vec![0u32; entries];
-        for (pos, &code) in row_codes.iter().enumerate() {
+        for (pos, &code) in self.row_codes.iter().enumerate() {
             if code != ValueDict::NULL {
                 let range = buckets.get_mut(&code).expect("bucket reserved above");
                 rows[range.1 as usize] = pos as u32;
                 range.1 += 1;
             }
         }
+        self.buckets = buckets;
+        self.rows = rows;
+        self.entries = entries;
+        self.tombstones = 0;
+        self.staged = 0;
+    }
 
-        if dcer_obs::enabled() {
-            dcer_obs::counter_add("index.build_ns", start.elapsed().as_nanos() as u64);
-            dcer_obs::counter_add("index.distinct", buckets.len() as u64);
-            dcer_obs::counter_add("index.entries", entries as u64);
+    /// Tombstone row `pos`: its code column entry becomes NULL so every
+    /// probe that reaches the stale posting rejects it. O(1); postings are
+    /// compacted lazily by [`HashIndex::integrate`].
+    pub fn tombstone_row(&mut self, pos: u32) {
+        let slot = &mut self.row_codes[pos as usize];
+        if *slot != ValueDict::NULL {
+            *slot = ValueDict::NULL;
+            self.entries -= 1;
+            self.tombstones += 1;
         }
-        HashIndex { buckets, rows, row_codes, entries }
+    }
+
+    /// Stage newly appended rows of the underlying relation: extends the
+    /// code column (interning into `dict`) without touching the postings.
+    /// Rows must be appended in position order; callers must
+    /// [`HashIndex::integrate`] before the next probe.
+    pub fn append_row(&mut self, value: &Value, dict: &mut ValueDict) {
+        let code = dict.intern(value);
+        self.row_codes.push(code);
+        if code != ValueDict::NULL {
+            self.entries += 1;
+            self.staged += 1;
+        }
+    }
+
+    /// Fold staged appends into the postings and compact tombstones once
+    /// they outnumber half the live entries. Cheap relative to
+    /// [`HashIndex::build`]: it re-derives CSR from codes without touching
+    /// `Value`s or the dictionary.
+    pub fn integrate(&mut self) {
+        if self.staged > 0 || self.tombstones > self.entries / 2 {
+            self.rebuild_postings();
+        }
     }
 
     /// Row positions whose attribute has code `code` (empty for
@@ -361,10 +430,57 @@ impl IndexSet {
     /// Drop all cached indexes *and* the dictionary (after the underlying
     /// data changed). Invalidates every slot id and interned code handed
     /// out so far — compiled access programs must be recompiled.
+    ///
+    /// Prefer [`IndexSet::apply_update`] for incremental mutations: it
+    /// patches only the slots whose relation changed and keeps every slot
+    /// id and code valid.
     pub fn clear(&mut self) {
         self.slots.clear();
         self.by_key.clear();
         self.dict = ValueDict::new();
+    }
+
+    /// Patch built indexes in place after `dataset` was mutated: for every
+    /// slot over a relation named in `changed`, tombstone dead positions,
+    /// stage rows appended since the slot was built, and integrate.
+    ///
+    /// The dictionary only grows and no slot is dropped, so every slot id
+    /// and interned code handed out before the update stays valid —
+    /// compiled rule programs over *unchanged* relations need no
+    /// recompilation, and programs over changed relations only need one if
+    /// they were compiled `dead` (a constant they filter on may have been
+    /// interned by the new rows). Returns the slots that were patched.
+    pub fn apply_update(&mut self, dataset: &Dataset, changed: &[RelId]) -> Vec<u32> {
+        let mut patched = Vec::new();
+        for (&(rel, attr), &slot) in &self.by_key {
+            if !changed.contains(&rel) {
+                continue;
+            }
+            let relation = dataset.relation(rel);
+            let index = &mut self.slots[slot as usize];
+            // Tombstones: any previously indexed position that is no
+            // longer live. A u32/bool sweep — no Value access.
+            for pos in 0..index.row_codes.len() as u32 {
+                if !relation.is_live(pos) {
+                    index.tombstone_row(pos);
+                }
+            }
+            // Appends: positions the relation gained since this slot was
+            // built (or last patched). Rows already dead again (inserted
+            // and deleted between patches) enter as NULL.
+            for pos in index.row_codes.len()..relation.len() {
+                let t = &relation.tuples()[pos];
+                if relation.is_live(pos as u32) {
+                    index.append_row(t.get(attr), &mut self.dict);
+                } else {
+                    index.append_row(&Value::Null, &mut self.dict);
+                }
+            }
+            index.integrate();
+            patched.push(slot);
+        }
+        patched.sort_unstable();
+        patched
     }
 
     /// Number of built indexes.
@@ -542,6 +658,76 @@ mod tests {
         set.build_all(&d, &[(0, 1), (0, 0)], 4);
         assert_eq!(set.slot_of(&d, 0, 1), slot, "existing slot survives build_all");
         assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn tombstoned_rows_vanish_from_code_column_and_fresh_builds() {
+        let mut d = dataset();
+        let mut dict = ValueDict::new();
+        let mut idx = HashIndex::build(&d, 0, 0, &mut dict);
+        assert_eq!(idx.lookup(&dict, &Value::str("a")), &[0, 2]);
+        // Tombstone row 0: the stale posting remains but the code column
+        // rejects it, and entry counts drop immediately.
+        idx.tombstone_row(0);
+        idx.tombstone_row(0); // idempotent
+        assert_eq!(idx.code_of_row(0), ValueDict::NULL);
+        assert_eq!(idx.entries(), 2);
+        // Compaction (forced here via a staged append) drops the posting.
+        idx.append_row(&Value::str("c"), &mut dict);
+        idx.integrate();
+        assert_eq!(idx.lookup(&dict, &Value::str("a")), &[2]);
+        assert_eq!(idx.lookup(&dict, &Value::str("c")), &[4]);
+        // A fresh build over a tombstoned dataset never indexes dead rows.
+        d.delete(Tid::new(0, 0));
+        let mut dict2 = ValueDict::new();
+        let fresh = HashIndex::build(&d, 0, 0, &mut dict2);
+        assert_eq!(fresh.lookup(&dict2, &Value::str("a")), &[2]);
+        assert_eq!(fresh.code_of_row(0), ValueDict::NULL);
+    }
+
+    #[test]
+    fn index_set_apply_update_patches_only_changed_relations() {
+        let cat = Arc::new(
+            Catalog::from_schemas(vec![
+                RelationSchema::of("R", &[("k", ValueType::Str)]),
+                RelationSchema::of("S", &[("k", ValueType::Str)]),
+            ])
+            .unwrap(),
+        );
+        let mut d = Dataset::new(cat);
+        d.insert(0, vec![Value::str("a")]).unwrap();
+        d.insert(0, vec![Value::str("b")]).unwrap();
+        d.insert(1, vec![Value::str("a")]).unwrap();
+        let mut set = IndexSet::new();
+        let r_slot = set.slot_of(&d, 0, 0);
+        let s_slot = set.slot_of(&d, 1, 0);
+        let a_code = set.code_of(&Value::str("a")).unwrap();
+
+        d.delete(Tid::new(0, 0));
+        d.insert(0, vec![Value::str("c")]).unwrap();
+        let t = d.insert(0, vec![Value::str("z")]).unwrap();
+        d.delete(t); // inserted and deleted between patches
+        let patched = set.apply_update(&d, &[0]);
+        assert_eq!(patched, vec![r_slot], "only the changed relation's slot is touched");
+
+        // Slot ids and codes survive; postings reflect the mutation.
+        assert_eq!(set.code_of(&Value::str("a")), Some(a_code));
+        assert!(set.at(r_slot).lookup(set.dict(), &Value::str("a")).is_empty());
+        assert_eq!(set.at(r_slot).lookup(set.dict(), &Value::str("c")), &[2]);
+        assert_eq!(set.at(r_slot).code_of_row(3), ValueDict::NULL, "dead append stays out");
+        assert_eq!(set.at(s_slot).lookup(set.dict(), &Value::str("a")), &[0]);
+        // The patched slot agrees with a from-scratch build.
+        let mut fresh = IndexSet::new();
+        let f_slot = fresh.slot_of(&d, 0, 0);
+        for (code, postings) in fresh.at(f_slot).iter() {
+            let v = fresh
+                .dict()
+                .values_in_code_order()
+                .into_iter()
+                .nth(code as usize)
+                .expect("code in dict");
+            assert_eq!(set.at(r_slot).lookup(set.dict(), &v), postings);
+        }
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod schema;
 pub mod tuple;
 pub mod value;
 
-pub use dataset::{Dataset, Relation};
+pub use dataset::{Dataset, Relation, UpdateBatch, UpdateReport};
 pub use error::{Error, Result};
 pub use index::{HashIndex, IndexSet, TidIndex, ValueDict};
 pub use schema::{AttrId, Attribute, Catalog, RelId, RelationSchema};

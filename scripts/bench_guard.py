@@ -11,6 +11,10 @@ criterion benches' ``write_report``) in two ways:
   at PATH must be within ``FRAC`` relative deviation of the committed
   baseline's value, e.g. ``--tolerance 0.75`` allows ±75%. Use these to
   catch a committed baseline drifting away from what the code reproduces.
+* ``--report PATH``: print the value at PATH (with the baseline's value
+  alongside when one is given) without asserting anything. Use these to
+  surface machine-dependent numbers — e.g. the threaded speedup on a
+  2-core runner — in the CI log without making them gate the build.
 
 Exits non-zero with a per-assertion report on any violation.
 
@@ -62,6 +66,13 @@ def main():
         default=0.25,
         help="max relative deviation for --compare (default 0.25)",
     )
+    ap.add_argument(
+        "--report",
+        nargs="*",
+        default=[],
+        metavar="PATH",
+        help="dotted paths to print without asserting",
+    )
     args = ap.parse_args()
 
     with open(args.result) as f:
@@ -108,6 +119,22 @@ def main():
             print(f"ok: {line}")
         else:
             failures.append(f"FAIL: {line}")
+
+    for path in args.report:
+        try:
+            got = lookup(result, path)
+        except (KeyError, TypeError) as e:
+            failures.append(str(e))
+            checks += 1
+            continue
+        if baseline is not None:
+            try:
+                want = lookup(baseline, path)
+                print(f"report: {path} = {got:.4g} (baseline {want:.4g})")
+                continue
+            except (KeyError, TypeError):
+                pass
+        print(f"report: {path} = {got:.4g}")
 
     if not checks:
         print("bench_guard: no assertions given", file=sys.stderr)

@@ -1,0 +1,191 @@
+//! Incremental-maintenance equivalence on randomized CDC streams: after any
+//! interleaving of insert/delete batches — varying batch sizes, deletes of
+//! never-inserted ids, repeat deletes of already-dead tuples — the resident
+//! engines converge to the closure a from-scratch run computes over the
+//! final dataset. Pins both the distributed [`UpdateSession`] (worker
+//! counts 1/2/4/8: delta routing, retraction notices, rederive exchange)
+//! and the single-engine `incremental_engine` + `apply_update` path.
+
+use dcer::prelude::*;
+use dcer_ml::EqualTextClassifier;
+use dcer_relation::{Catalog, RelationSchema, ValueType};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+fn catalog() -> Arc<Catalog> {
+    Arc::new(
+        Catalog::from_schemas(vec![
+            RelationSchema::of(
+                "P",
+                &[("k", ValueType::Str), ("x", ValueType::Str), ("fk", ValueType::Str)],
+            ),
+            RelationSchema::of("Q", &[("fk", ValueType::Str), ("y", ValueType::Str)]),
+        ])
+        .unwrap(),
+    )
+}
+
+/// The full rule shape zoo: blocking, recursive (deep), collective across
+/// P/Q, and an ML predicate derived then consumed — retractions have to
+/// cascade through every kind of support.
+fn session() -> DcerSession {
+    let mut reg = MlRegistry::new();
+    reg.register("m", Arc::new(EqualTextClassifier));
+    DcerSession::from_source(
+        catalog(),
+        "match md: P(t), P(s), t.k = s.k -> t.id = s.id;
+         match deep: P(t), P(s), P(u), t.id = s.id, s.x = u.x -> t.id = u.id;
+         match coll: P(t), P(s), Q(a), Q(b), t.fk = a.fk, s.fk = b.fk, a.y = b.y -> t.id = s.id;
+         match val: P(t), P(s), t.x = s.x -> m(t.k, s.k);
+         match use: P(t), P(s), m(t.k, s.k) -> t.id = s.id",
+        reg,
+    )
+    .unwrap()
+}
+
+fn build(rows_p: &[(u8, u8, u8)], rows_q: &[(u8, u8)]) -> Dataset {
+    let mut d = Dataset::new(catalog());
+    for &(k, x, fk) in rows_p {
+        d.insert(
+            0,
+            vec![
+                format!("k{}", k % 5).into(),
+                format!("x{}", x % 4).into(),
+                format!("f{}", fk % 4).into(),
+            ],
+        )
+        .unwrap();
+    }
+    for &(fk, y) in rows_q {
+        d.insert(1, vec![format!("f{}", fk % 4).into(), format!("y{}", y % 3).into()]).unwrap();
+    }
+    d
+}
+
+/// One CDC operation, encoded as `(kind, a, b, c)` (the vendored proptest
+/// stub has no `prop_oneof`/`prop_map`, so ops are decoded from plain
+/// tuples): kinds 0-2 insert into P, 3-4 into Q, 5-7 delete an id drawn
+/// from *every tuple ever inserted* — base rows and batch inserts alike,
+/// so streams naturally contain repeat deletes of already-dead tuples —
+/// and kind 8 deletes a ghost id that never existed. Dead and ghost
+/// deletes must be tolerated no-ops.
+type Op = (u8, u8, u8, u8);
+
+/// Random batches of random sizes — including empty batches.
+fn stream_strategy() -> impl Strategy<Value = Vec<Vec<Op>>> {
+    prop::collection::vec(prop::collection::vec((0u8..9, 0u8..64, 0u8..64, 0u8..64), 0..6), 1..4)
+}
+
+/// Decode one batch against the ids allocated so far.
+fn to_batch(ops: &[Op], all: &[Tid]) -> UpdateBatch {
+    let mut batch = UpdateBatch::new();
+    for &(kind, a, b, c) in ops {
+        match kind {
+            0..=2 => {
+                batch.insert(
+                    0,
+                    vec![
+                        format!("k{}", a % 5).into(),
+                        format!("x{}", b % 4).into(),
+                        format!("f{}", c % 4).into(),
+                    ],
+                );
+            }
+            3..=4 => {
+                batch.insert(1, vec![format!("f{}", a % 4).into(), format!("y{}", b % 3).into()]);
+            }
+            5..=7 => {
+                if !all.is_empty() {
+                    batch.delete(all[a as usize % all.len()]);
+                }
+            }
+            _ => {
+                batch.delete(Tid::new(0, 50_000 + a as u32));
+            }
+        }
+    }
+    batch
+}
+
+fn validated_set(outcome: &ChaseOutcome) -> BTreeSet<dcer_chase::Fact> {
+    outcome.validated.iter().copied().collect()
+}
+
+/// Every tuple id in the freshly built base dataset (no tombstones yet).
+fn base_tids(d: &Dataset) -> Vec<Tid> {
+    (0..2).flat_map(|rel| d.relation(rel).tuples().iter().map(|t| t.tid)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Distributed path: an [`UpdateSession`] at every worker count stays
+    /// bit-identical to a from-scratch sequential run over its own master
+    /// dataset after every batch.
+    #[test]
+    fn update_session_matches_scratch_for_any_interleaving(
+        rows_p in prop::collection::vec((0u8..5, 0u8..4, 0u8..4), 2..7),
+        rows_q in prop::collection::vec((0u8..4, 0u8..3), 0..4),
+        stream in stream_strategy(),
+    ) {
+        let s = session();
+        for workers in [1usize, 2, 4, 8] {
+            let base = build(&rows_p, &rows_q);
+            let mut all: Vec<Tid> = base_tids(&base);
+            let mut us = s.update_session(&base, &DmatchConfig::new(workers)).unwrap();
+            for (bi, ops) in stream.iter().enumerate() {
+                let batch = to_batch(ops, &all);
+                let report = us.run_update(&batch).unwrap();
+                all.extend(report.inserted.iter().copied());
+                let mut got = us.outcome();
+                let mut want = s.run_sequential(us.dataset());
+                prop_assert_eq!(
+                    got.matches.clusters(), want.matches.clusters(),
+                    "clusters diverged: workers={} batch={}", workers, bi
+                );
+                prop_assert_eq!(
+                    validated_set(&got), validated_set(&want),
+                    "validated facts diverged: workers={} batch={}", workers, bi
+                );
+            }
+        }
+    }
+
+    /// Sequential path: a resident [`dcer_chase::ChaseEngine`] fed the same
+    /// batches through `apply_update` agrees with from-scratch, too.
+    #[test]
+    fn resident_engine_matches_scratch_for_any_interleaving(
+        rows_p in prop::collection::vec((0u8..5, 0u8..4, 0u8..4), 2..7),
+        rows_q in prop::collection::vec((0u8..4, 0u8..3), 0..4),
+        stream in stream_strategy(),
+    ) {
+        let s = session();
+        // The shadow dataset mirrors the engine's fragment and allocates
+        // the authoritative tuple ids for each batch's inserts.
+        let mut shadow = build(&rows_p, &rows_q);
+        let mut all: Vec<Tid> = base_tids(&shadow);
+        let mut engine = s.incremental_engine(&shadow).unwrap();
+        engine.run_local_fixpoint();
+        for (bi, ops) in stream.iter().enumerate() {
+            let batch = to_batch(ops, &all);
+            let report = shadow.apply_update(&batch).unwrap();
+            let inserts: Vec<Tuple> = report.inserted.iter()
+                .map(|&tid| shadow.tuple(tid).unwrap().clone()).collect();
+            all.extend(report.inserted.iter().copied());
+            engine.apply_update(inserts, &report.deleted);
+
+            let mut resident = engine.state_mut().clone();
+            let mut want = s.run_sequential(&shadow);
+            prop_assert_eq!(
+                resident.matches.clusters(), want.matches.clusters(),
+                "clusters diverged at batch {}", bi
+            );
+            prop_assert_eq!(
+                resident.validated.iter().copied().collect::<BTreeSet<_>>(),
+                validated_set(&want),
+                "validated facts diverged at batch {}", bi
+            );
+        }
+    }
+}
