@@ -1,0 +1,128 @@
+//! Observability overhead benchmark: the same parallel DMatch run with
+//! tracing disabled (no recorder installed — the single-relaxed-load
+//! fast path) versus enabled (an [`dcer_obs::InMemoryCollector`]
+//! receiving every span, flow edge and metric the pipeline emits).
+//!
+//! Unlike the Criterion benches, the two arms are measured *paired*: each
+//! round times one disabled run immediately followed by one enabled run,
+//! and the headline `enabled_overhead` is the ratio of the two *minimum*
+//! round times. The minimum over N rounds estimates the uncontended
+//! runtime of each arm — machine-level noise (a busy CI neighbor, thermal
+//! throttling) only ever adds time, so min/min is far more stable than
+//! mean/mean, which swings ±40% run to run on shared runners. The median
+//! per-round ratio is reported alongside as a cross-check.
+//!
+//! CI asserts `obs.enabled_overhead <= 1.10` via `scripts/bench_guard.py`,
+//! so instrumentation growth that taxes the hot path more than 10% fails
+//! the build. Results go to `BENCH_obs_overhead.json` at the workspace
+//! root (or, with `OBS_OVERHEAD_QUICK` set, a reduced run to
+//! `results/BENCH_obs_overhead_quick.json` for the CI smoke job).
+
+use dcer_bench::{tpch_workload, Workload};
+use dcer_core::DmatchConfig;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn run_disabled(w: &Workload, cfg: &DmatchConfig) -> u64 {
+    let t0 = Instant::now();
+    black_box(w.session.run_parallel(&w.data, cfg).unwrap());
+    t0.elapsed().as_nanos() as u64
+}
+
+fn run_enabled(w: &Workload, cfg: &DmatchConfig) -> u64 {
+    // A fresh collector per run so buffered spans from prior runs never
+    // skew push costs; install/uninstall are two RwLock writes, negligible
+    // against a full pipeline run and excluded from the timed window
+    // anyway (a real profiling session installs once, outside the run).
+    let collector = Arc::new(dcer_obs::InMemoryCollector::new());
+    dcer_obs::install(collector.clone());
+    let t0 = Instant::now();
+    black_box(w.session.run_parallel(&w.data, cfg).unwrap());
+    let dur = t0.elapsed().as_nanos() as u64;
+    dcer_obs::uninstall();
+    black_box(collector);
+    dur
+}
+
+fn main() {
+    let quick = std::env::var_os("OBS_OVERHEAD_QUICK").is_some();
+    let (scale, rounds) = if quick { (0.5, 11) } else { (1.0, 21) };
+    let workers = 8;
+
+    let w = tpch_workload(scale, 0.3);
+    let cfg = DmatchConfig::new(workers);
+
+    assert!(!dcer_obs::enabled(), "bench requires a recorder-free process at start");
+
+    // Warm both paths (page cache, allocator arenas, lazy statics) outside
+    // the measured rounds.
+    run_disabled(&w, &cfg);
+    run_enabled(&w, &cfg);
+
+    let mut disabled = Vec::with_capacity(rounds);
+    let mut enabled = Vec::with_capacity(rounds);
+    let mut ratios = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        let d = run_disabled(&w, &cfg);
+        let e = run_enabled(&w, &cfg);
+        disabled.push(d);
+        enabled.push(e);
+        ratios.push(e as f64 / d as f64);
+        eprintln!(
+            "round {round:2}: disabled {:9.3} ms  enabled {:9.3} ms  ratio {:.4}",
+            d as f64 / 1e6,
+            e as f64 / 1e6,
+            e as f64 / d as f64
+        );
+    }
+
+    let min = |v: &[u64]| *v.iter().min().expect("rounds > 0") as f64;
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    };
+    let (min_d, min_e) = (min(&disabled), min(&enabled));
+    let overhead = min_e / min_d;
+    let median_ratio = median(&mut ratios);
+    write_report(min_d, min_e, overhead, median_ratio, scale, workers, rounds, quick);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_report(
+    disabled_min_ns: f64,
+    enabled_min_ns: f64,
+    overhead: f64,
+    median_ratio: f64,
+    scale: f64,
+    workers: usize,
+    rounds: usize,
+    quick: bool,
+) {
+    use serde_json::{Map, Value};
+
+    let mut obs = Map::new();
+    obs.insert("disabled_min_ns", Value::from(disabled_min_ns));
+    obs.insert("enabled_min_ns", Value::from(enabled_min_ns));
+    obs.insert("enabled_overhead", Value::from(overhead));
+    obs.insert("median_round_ratio", Value::from(median_ratio));
+
+    let mut root = Map::new();
+    root.insert("bench", Value::from("obs_overhead"));
+    root.insert("scale", Value::from(scale));
+    root.insert("workers", Value::from(workers));
+    root.insert("rounds", Value::from(rounds));
+    root.insert("quick", Value::from(quick));
+    root.insert("obs", Value::Object(obs));
+
+    let path = if quick {
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
+        std::fs::create_dir_all(dir).expect("create results dir");
+        format!("{dir}/BENCH_obs_overhead_quick.json")
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs_overhead.json").to_string()
+    };
+    let body = serde_json::to_string_pretty(&Value::Object(root)).expect("render json");
+    std::fs::write(&path, body + "\n").expect("write obs_overhead report");
+    eprintln!("wrote {path}  (enabled_overhead = {overhead:.4})");
+}

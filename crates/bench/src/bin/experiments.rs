@@ -519,6 +519,12 @@ fn metrics_value(snapshot: &[(String, Option<u32>, dcer_obs::Metric)]) -> serde_
                 obj.insert("min", h.min().map_or(Value::Null, Value::from));
                 obj.insert("max", h.max().map_or(Value::Null, Value::from));
                 obj.insert("mean", h.mean().map_or(Value::Null, Value::from));
+                // Bucket-upper-bound estimates from the log2 histogram:
+                // each may overshoot the true quantile by up to 2x, never
+                // undershoots (see `Histogram::quantile`).
+                for (key, q) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)] {
+                    obj.insert(key, h.quantile(q).map_or(Value::Null, Value::from));
+                }
                 let buckets: Vec<Value> = h
                     .nonzero_buckets()
                     .into_iter()
@@ -592,6 +598,104 @@ fn trace_run(scale: f64, workers: usize) {
         trace.len()
     );
     println!("wrote results/metrics.json ({} bytes)", pretty.len());
+}
+
+/// Causal-profile harness: one DMatch run on TPCH with *threaded*
+/// executors (real OS threads, real barriers) under a live collector; the
+/// pipeline builds a [`dcer_obs::RunProfile`] from the span/flow graph and
+/// this writes it to `results/profile.json`, prints the makespan
+/// decomposition, per-worker utilization, straggler indices and the top-10
+/// critical-path spans, and asserts the two profile invariants CI relies
+/// on: the phase decomposition sums to within 5% of the measured wall
+/// time, and the critical path explains >= 80% of the span extent.
+fn profile_run(scale: f64, workers: usize) {
+    use std::sync::Arc;
+
+    let w = tpch_workload(scale, 0.3);
+    let cfg = dcer_core::DmatchConfig::new(workers).threaded();
+    let collector = Arc::new(dcer_obs::InMemoryCollector::new());
+    dcer_obs::install(collector.clone());
+    let report = w.session.run_parallel(&w.data, &cfg).unwrap();
+    dcer_obs::uninstall();
+
+    let profile = report.profile.as_ref().expect("profile built while collector installed");
+    let json = profile.to_json();
+    std::fs::write("results/profile.json", &json).expect("write results/profile.json");
+
+    let secs = |ns: u64| ns as f64 / 1e9;
+    println!("== Causal profile (one DMatch run on TPCH, n = {workers}, threaded) ==");
+    println!(
+        "wall {:.3}s  span extent {:.3}s  decomposition sum {:.3}s",
+        secs(profile.wall_ns),
+        secs(profile.extent_ns),
+        secs(profile.decomposition_sum_ns())
+    );
+    println!("makespan decomposition:");
+    for phase in dcer_obs::profile::PHASES {
+        let ns = profile.phase_ns.get(&phase).copied().unwrap_or(0);
+        if ns > 0 {
+            println!(
+                "  {:<12} {:>8.3}s  {:>5.1}%",
+                phase.name(),
+                secs(ns),
+                100.0 * ns as f64 / profile.extent_ns.max(1) as f64
+            );
+        }
+    }
+    for wp in &profile.workers {
+        println!(
+            "  {:<12} busy {:.3}s  wait {:.3}s  utilization {:.0}%",
+            wp.name,
+            secs(wp.busy_ns),
+            secs(wp.wait_ns),
+            100.0 * wp.utilization()
+        );
+    }
+    for sp in &profile.steps {
+        println!(
+            "  step {:<3} max {:.3}s  mean {:.3}s  straggler index {:.2}",
+            sp.step,
+            secs(sp.max_busy_ns),
+            secs(sp.mean_busy_ns),
+            sp.straggler_index()
+        );
+    }
+    let mut top: Vec<_> = profile.critical_path.nodes.iter().collect();
+    top.sort_by_key(|n| std::cmp::Reverse(n.dur_ns));
+    println!(
+        "critical path: {:.3}s over {} spans ({:.0}% of extent); top {}:",
+        secs(profile.critical_path.total_ns),
+        profile.critical_path.nodes.len(),
+        100.0 * profile.critical_coverage(),
+        top.len().min(10)
+    );
+    for n in top.iter().take(10) {
+        let arg = n.arg.map_or(String::new(), |(k, v)| format!("  {k}={v}"));
+        println!(
+            "  {:<18} track {:<3} {:<12} {:>8.3}s{arg}",
+            n.name,
+            n.track.0,
+            n.phase.name(),
+            secs(n.dur_ns)
+        );
+    }
+    println!("wrote results/profile.json ({} bytes)", json.len());
+
+    let wall = profile.wall_ns.max(1) as f64;
+    let deviation = (profile.decomposition_sum_ns() as f64 - wall).abs() / wall;
+    assert!(
+        deviation <= 0.05,
+        "decomposition ({:.3}s) deviates {:.1}% from wall ({:.3}s); budget is 5%",
+        secs(profile.decomposition_sum_ns()),
+        100.0 * deviation,
+        secs(profile.wall_ns)
+    );
+    let coverage = profile.critical_coverage();
+    assert!(
+        coverage >= 0.80,
+        "critical path explains only {:.1}% of the span extent; floor is 80%",
+        100.0 * coverage
+    );
 }
 
 /// Chaos harness: run DMatch on TPCH under injected faults (explicit
@@ -825,6 +929,12 @@ fn main() {
         trace_run(args.scale, args.workers);
         let _ = write!(ran, "trace ");
     }
+    // Not part of `all`: the profile harness re-runs work `trace` already
+    // covers (CI runs it as the `profile-smoke` job).
+    if args.command == "profile" {
+        profile_run(args.scale, args.workers);
+        let _ = write!(ran, "profile ");
+    }
     // Deliberately not part of `all`: fault injection is its own harness
     // (CI runs it as the `chaos-smoke` job).
     if args.command == "chaos" {
@@ -845,7 +955,7 @@ fn main() {
     }
     if ran.is_empty() {
         eprintln!(
-            "unknown experiment `{}`; available: table5 table6 fig6a..fig6l partitioning case_study stats trace chaos update all",
+            "unknown experiment `{}`; available: table5 table6 fig6a..fig6l partitioning case_study stats trace profile chaos update all",
             args.command
         );
         std::process::exit(2);

@@ -326,6 +326,22 @@ fn step_span_name(first: bool) -> &'static str {
     }
 }
 
+/// Deterministic id for the `bsp.send` flow edge of one batch handoff:
+/// derived from the routing coordinates `(exchange step, from, to)` so the
+/// threaded and simulated executors emit the *identical* edge set for the
+/// same run (pinned by `flow_parity` in `tests/flow_parity.rs`). Stays far
+/// below 2^53, so the id survives JSON number round-trips.
+fn bsp_flow_id(step: u64, from: WorkerId, to: WorkerId) -> u64 {
+    (step << 32) | ((from as u64) << 16) | to as u64
+}
+
+/// Deterministic id for the `bsp.spawn` flow edge linking the calling
+/// thread (which just partitioned and built the fleet) to each worker's
+/// first superstep. Namespaced above every possible [`bsp_flow_id`].
+fn spawn_flow_id(worker: WorkerId) -> u64 {
+    (1u64 << 50) | worker as u64
+}
+
 /// A message held back by the injector: either a scheduled retransmission
 /// of a dropped delivery (`retry`) or a delayed delivery already past the
 /// injector. Due at the exchange of superstep `due`.
@@ -432,6 +448,15 @@ fn run_simulated<W: Worker>(
     } else {
         vec![dcer_obs::TrackId::UNTRACKED; n]
     };
+    if dcer_obs::enabled() {
+        // Same causal edges the threaded executor emits at thread spawn:
+        // they link the partition/build work on the calling thread to each
+        // worker's first superstep.
+        for (i, &track) in tracks.iter().enumerate() {
+            dcer_obs::flow_begin("bsp.spawn", spawn_flow_id(i));
+            dcer_obs::flow_end_on("bsp.spawn", spawn_flow_id(i), track);
+        }
+    }
     let mut inboxes: Vec<Vec<W::Msg>> = (0..n).map(|_| Vec::new()).collect();
     let mut first = true;
     let mut step = 0u64;
@@ -520,7 +545,30 @@ fn run_simulated<W: Worker>(
         }
         first = false;
         let exchange = dcer_obs::span("exchange").with_arg("step", step);
-        let mut deliveries: Vec<(WorkerId, W::Msg)> = Vec::new();
+        if dcer_obs::enabled() {
+            // Synthesized per-worker barrier waits: no thread actually
+            // blocks here, but under the simulated cost model every worker
+            // except the straggler would have waited (step max busy − own
+            // busy) at the barrier. Recording that gap as an explicit
+            // `bsp.barrier_wait` span makes the virtual straggler cost
+            // visible to the same critical-path analysis the threaded
+            // executor feeds with real blocking time.
+            let max_busy = durations.iter().cloned().fold(0.0f64, f64::max);
+            let base = dcer_obs::now_ns();
+            for (i, &busy) in durations.iter().enumerate() {
+                let wait_ns = ((max_busy - busy) * 1e9) as u64;
+                if wait_ns > 0 {
+                    dcer_obs::record_span(
+                        "bsp.barrier_wait",
+                        tracks[i],
+                        base,
+                        wait_ns,
+                        Some(("step", step)),
+                    );
+                }
+            }
+        }
+        let mut deliveries: Vec<(WorkerId, WorkerId, W::Msg)> = Vec::new();
         if let Some(run) = ft.as_mut() {
             let mut due = Vec::new();
             let mut later = Vec::new();
@@ -535,15 +583,15 @@ fn run_simulated<W: Worker>(
             for p in due {
                 if !p.retry {
                     // A delayed delivery already passed the injector.
-                    deliveries.push((p.to, p.msg));
+                    deliveries.push((p.from, p.to, p.msg));
                     continue;
                 }
                 run.rec.retries += 1;
                 match classify_send(run.cfg, p.from, p.to, step, p.attempts, &mut run.rec) {
-                    SendOutcome::Deliver => deliveries.push((p.to, p.msg)),
+                    SendOutcome::Deliver => deliveries.push((p.from, p.to, p.msg)),
                     SendOutcome::DeliverTwice => {
-                        deliveries.push((p.to, p.msg.clone()));
-                        deliveries.push((p.to, p.msg));
+                        deliveries.push((p.from, p.to, p.msg.clone()));
+                        deliveries.push((p.from, p.to, p.msg));
                     }
                     SendOutcome::Delayed(due) => run.pending.push(PendingSend {
                         from: p.from,
@@ -577,10 +625,10 @@ fn run_simulated<W: Worker>(
                 }
                 assert!(to < n, "routed to nonexistent shard {to}");
                 match classify_send(run.cfg, from, to, step, 0, &mut run.rec) {
-                    SendOutcome::Deliver => deliveries.push((to, msg)),
+                    SendOutcome::Deliver => deliveries.push((from, to, msg)),
                     SendOutcome::DeliverTwice => {
-                        deliveries.push((to, msg.clone()));
-                        deliveries.push((to, msg));
+                        deliveries.push((from, to, msg.clone()));
+                        deliveries.push((from, to, msg));
                     }
                     SendOutcome::Delayed(due) => run.pending.push(PendingSend {
                         from,
@@ -609,12 +657,12 @@ fn run_simulated<W: Worker>(
                     continue; // self-routes are free and filtered
                 }
                 assert!(to < n, "routed to nonexistent shard {to}");
-                deliveries.push((to, msg));
+                deliveries.push((from, to, msg));
             }
         }
         let mut step_bytes = 0u64;
         let mut delivered_now = 0u64;
-        for (to, msg) in deliveries {
+        for (from, to, msg) in deliveries {
             let b = msg.size_bytes() as u64;
             step_bytes += b;
             stats.bytes += b;
@@ -622,6 +670,10 @@ fn run_simulated<W: Worker>(
             stats.batches += 1;
             stats.messages += msg.unit_count() as u64;
             dcer_obs::histogram_record("bsp.batch_bytes", b);
+            // One causal edge per delivered batch, sender timeline to
+            // recipient timeline, same id the threaded executor derives.
+            dcer_obs::flow_begin_on("bsp.send", bsp_flow_id(step, from, to), tracks[from]);
+            dcer_obs::flow_end_on("bsp.send", bsp_flow_id(step, from, to), tracks[to]);
             if let Some(run) = ft.as_mut() {
                 if run.replayable {
                     run.logs[to].push((step, msg.clone()));
@@ -688,27 +740,36 @@ impl<M: Message> ThreadedFt<'_, M> {
     }
 }
 
-/// Deposit one message into `to`'s mailbox with full accounting; appends to
-/// the recipient's delivery log when fault tolerance is active.
+/// One worker's inbound slot in the threaded executor: batches tagged with
+/// their sender so the drain can close each `bsp.send` flow edge.
+type Mailbox<M> = Mutex<Vec<(WorkerId, M)>>;
+
+/// Deposit one message from `from` into `to`'s mailbox with full
+/// accounting; appends to the recipient's delivery log when fault tolerance
+/// is active. Opens the `bsp.send` causal flow edge — the recipient closes
+/// it when it drains the batch after the barrier.
+#[allow(clippy::too_many_arguments)]
 fn deposit<M: Message>(
+    from: WorkerId,
     to: WorkerId,
     msg: M,
     step: u64,
     log: &mut ShardLog,
-    mailboxes: &[Mutex<Vec<M>>],
+    mailboxes: &[Mailbox<M>],
     ft: Option<&ThreadedFt<'_, M>>,
     delivered: &AtomicU64,
 ) {
     log.sent_batches += 1;
     log.sent_units += msg.unit_count() as u64;
     dcer_obs::histogram_record("bsp.batch_bytes", msg.size_bytes() as u64);
+    dcer_obs::flow_begin("bsp.send", bsp_flow_id(step, from, to));
     delivered.fetch_add(1, Ordering::Relaxed);
     if let Some(ft) = ft {
         if ft.replayable {
             ft.logs[to].lock().expect("delivery log poisoned").push((step, msg.clone()));
         }
     }
-    mailboxes[to].lock().expect("mailbox poisoned").push(msg);
+    mailboxes[to].lock().expect("mailbox poisoned").push((from, msg));
 }
 
 fn run_threaded<W: Worker>(
@@ -720,8 +781,9 @@ fn run_threaded<W: Worker>(
     let wall = Instant::now();
 
     // Sharded mailboxes: worker threads deposit directly into the
-    // recipient's slot — no coordinator touches payloads.
-    let mailboxes: Vec<Mutex<Vec<W::Msg>>> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
+    // recipient's slot — no coordinator touches payloads. Entries carry the
+    // sender so the drain can close each batch's `bsp.send` flow edge.
+    let mailboxes: Vec<Mailbox<W::Msg>> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
     let barrier = Barrier::new(n);
     let delivered = AtomicU64::new(0);
     let halt = AtomicBool::new(false);
@@ -751,10 +813,15 @@ fn run_threaded<W: Worker>(
             let delivered = &delivered;
             let halt = &halt;
             let ft = ft_state.as_ref();
-            handles.push(scope.spawn(move || {
-                if dcer_obs::enabled() {
-                    dcer_obs::name_current_track(&format!("worker-{me}"));
-                }
+            // Open the spawn flow edge on the calling thread's track: it
+            // links partitioning/fleet-building to each worker's first
+            // superstep in the span graph.
+            dcer_obs::flow_begin("bsp.spawn", spawn_flow_id(me));
+            let builder = std::thread::Builder::new().name(format!("worker-{me}"));
+            let handle = builder.spawn_scoped(scope, move || {
+                // The lazily-allocated obs track inherits this thread's
+                // `worker-{me}` OS name; close the spawn edge onto it.
+                dcer_obs::flow_end("bsp.spawn", spawn_flow_id(me));
                 let mut log = ShardLog::default();
                 let mut inbox: Vec<W::Msg> = Vec::new();
                 // This thread's in-flight messages (it is the sender).
@@ -857,6 +924,7 @@ fn run_threaded<W: Worker>(
                             ft.in_flight.fetch_sub(1, Ordering::Relaxed);
                             if !p.retry {
                                 deposit(
+                                    p.from,
                                     p.to,
                                     p.msg,
                                     step,
@@ -877,6 +945,7 @@ fn run_threaded<W: Worker>(
                                 &mut log.recovery,
                             ) {
                                 SendOutcome::Deliver => deposit(
+                                    p.from,
                                     p.to,
                                     p.msg,
                                     step,
@@ -887,6 +956,7 @@ fn run_threaded<W: Worker>(
                                 ),
                                 SendOutcome::DeliverTwice => {
                                     deposit(
+                                        p.from,
                                         p.to,
                                         p.msg.clone(),
                                         step,
@@ -896,6 +966,7 @@ fn run_threaded<W: Worker>(
                                         delivered,
                                     );
                                     deposit(
+                                        p.from,
                                         p.to,
                                         p.msg,
                                         step,
@@ -939,11 +1010,19 @@ fn run_threaded<W: Worker>(
                             }
                             assert!(to < n, "routed to nonexistent shard {to}");
                             match classify_send(ft.cfg, me, to, step, 0, &mut log.recovery) {
-                                SendOutcome::Deliver => {
-                                    deposit(to, msg, step, &mut log, mailboxes, Some(ft), delivered)
-                                }
+                                SendOutcome::Deliver => deposit(
+                                    me,
+                                    to,
+                                    msg,
+                                    step,
+                                    &mut log,
+                                    mailboxes,
+                                    Some(ft),
+                                    delivered,
+                                ),
                                 SendOutcome::DeliverTwice => {
                                     deposit(
+                                        me,
                                         to,
                                         msg.clone(),
                                         step,
@@ -953,6 +1032,7 @@ fn run_threaded<W: Worker>(
                                         delivered,
                                     );
                                     deposit(
+                                        me,
                                         to,
                                         msg,
                                         step,
@@ -995,17 +1075,33 @@ fn run_threaded<W: Worker>(
                                 continue; // self-routes are free and filtered
                             }
                             assert!(to < n, "routed to nonexistent shard {to}");
-                            deposit(to, msg, step, &mut log, mailboxes, None, delivered);
+                            deposit(me, to, msg, step, &mut log, mailboxes, None, delivered);
                         }
                     }
-                    barrier.wait(); // all deposits visible
+                    {
+                        // Real blocking time on stragglers — the span the
+                        // critical-path analyzer charges to barrier wait.
+                        let _bw = dcer_obs::span("bsp.barrier_wait").with_arg("step", step);
+                        barrier.wait(); // all deposits visible
+                    }
 
-                    inbox = std::mem::take(&mut *mailboxes[me].lock().expect("mailbox poisoned"));
+                    let received: Vec<(WorkerId, W::Msg)> =
+                        std::mem::take(&mut *mailboxes[me].lock().expect("mailbox poisoned"));
+                    inbox = Vec::with_capacity(received.len());
+                    for (from, msg) in received {
+                        // Close the causal edge the sender opened at deposit.
+                        dcer_obs::flow_end("bsp.send", bsp_flow_id(step, from, me));
+                        inbox.push(msg);
+                    }
                     let step_recv: u64 = inbox.iter().map(|m| m.size_bytes() as u64).sum();
                     log.recv_bytes_per_step.push(step_recv);
                     log.recv_bytes += step_recv;
                     dcer_obs::histogram_record("bsp.worker_recv_bytes", step_recv);
-                    if barrier.wait().is_leader() {
+                    let is_leader = {
+                        let _bw = dcer_obs::span("bsp.barrier_wait").with_arg("step", step);
+                        barrier.wait().is_leader()
+                    };
+                    if is_leader {
                         // Coordinator duty: quiescence detection, nothing
                         // else. A superstep that delivered nothing does NOT
                         // quiesce while retransmissions or delayed messages
@@ -1015,7 +1111,10 @@ fn run_threaded<W: Worker>(
                         let abort = ft.is_some_and(|f| f.aborted.load(Ordering::Relaxed));
                         halt.store(abort || quiesced, Ordering::Relaxed);
                     }
-                    barrier.wait(); // halt decision visible
+                    {
+                        let _bw = dcer_obs::span("bsp.barrier_wait").with_arg("step", step);
+                        barrier.wait(); // halt decision visible
+                    }
                     drop(exchange);
                     step += 1;
                     if halt.load(Ordering::Relaxed) {
@@ -1024,7 +1123,8 @@ fn run_threaded<W: Worker>(
                 }
                 log.absorbed = w.absorbed_duplicates();
                 (w, log)
-            }));
+            });
+            handles.push(handle.expect("spawn worker thread"));
         }
         for (i, h) in handles.into_iter().enumerate() {
             results[i] = Some(h.join().expect("worker thread panicked"));

@@ -1,0 +1,133 @@
+//! Cross-executor *causal edge* parity: for the same deterministic
+//! workload, the threaded and simulated executors must emit the identical
+//! multiset of flow endpoints — same names, same deterministically derived
+//! ids, same begin/end pairing. This is what makes profiles and critical
+//! paths comparable across execution modes: `bsp_flow_id` is pure in the
+//! routing coordinates `(step, from, to)`, never in scheduling.
+//!
+//! Lives in its own integration binary because it installs the process
+//! global recorder; sharing a binary with other bsp tests would let their
+//! concurrent runs leak flow events into the collector under test.
+
+use dcer_bsp::{
+    run_bsp_with, CostModel, ExecutionMode, FaultConfig, FaultPlan, Message, Worker, WorkerId,
+};
+use dcer_obs::{FlowDir, InMemoryCollector};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+#[derive(Clone)]
+struct SetMsg(Arc<Vec<u64>>);
+
+impl Message for SetMsg {
+    fn size_bytes(&self) -> usize {
+        self.0.len() * std::mem::size_of::<u64>()
+    }
+
+    fn unit_count(&self) -> usize {
+        self.0.len()
+    }
+}
+
+/// The gossip ring from `tests/parity.rs`: worker `i` forwards its known
+/// set to its right neighbor whenever it learns something, so the delivery
+/// schedule — and therefore the flow-edge set — is fully deterministic.
+struct GossipWorker {
+    id: WorkerId,
+    n: usize,
+    known: BTreeSet<u64>,
+}
+
+impl GossipWorker {
+    fn send_right(&self) -> Vec<(WorkerId, SetMsg)> {
+        let right = (self.id + 1) % self.n;
+        vec![(right, SetMsg(Arc::new(self.known.iter().copied().collect())))]
+    }
+}
+
+impl Worker for GossipWorker {
+    type Msg = SetMsg;
+
+    fn initial(&mut self) -> Vec<(WorkerId, SetMsg)> {
+        self.send_right()
+    }
+
+    fn superstep(&mut self, inbox: Vec<SetMsg>) -> Vec<(WorkerId, SetMsg)> {
+        let mut learned = false;
+        for msg in inbox {
+            for &v in msg.0.iter() {
+                learned |= self.known.insert(v);
+            }
+        }
+        if learned {
+            self.send_right()
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn snapshot(&mut self) -> Option<SetMsg> {
+        Some(SetMsg(Arc::new(self.known.iter().copied().collect())))
+    }
+
+    fn restore(&mut self, checkpoint: Option<&SetMsg>) -> Vec<(WorkerId, SetMsg)> {
+        self.known = match checkpoint {
+            Some(msg) => msg.0.iter().copied().collect(),
+            None => BTreeSet::from([self.id as u64]),
+        };
+        self.send_right()
+    }
+}
+
+fn ring(n: usize) -> Vec<GossipWorker> {
+    (0..n).map(|id| GossipWorker { id, n, known: BTreeSet::from([id as u64]) }).collect()
+}
+
+/// Run one mode under a fresh collector and return its flow endpoints as a
+/// sorted multiset of `(name, id, is_begin)` — track ids and timestamps are
+/// scheduling-dependent and deliberately excluded.
+fn collect_flows(n: usize, mode: ExecutionMode, cfg: &FaultConfig) -> Vec<(String, u64, bool)> {
+    let collector = Arc::new(InMemoryCollector::new());
+    dcer_obs::install(collector.clone());
+    let result = run_bsp_with(ring(n), mode, &CostModel::default(), cfg);
+    dcer_obs::uninstall();
+    result.expect("run must not abort");
+    let mut flows: Vec<(String, u64, bool)> = collector
+        .flows()
+        .iter()
+        .map(|f| (f.name.to_string(), f.id, f.dir == FlowDir::Begin))
+        .collect();
+    flows.sort();
+    flows
+}
+
+#[test]
+fn flow_parity() {
+    let n = 5;
+    let plain = FaultConfig::default();
+    // A non-aborting plan exercising delayed, duplicated and retried
+    // deposits — the paths where deposit-time step, not routing-time step,
+    // must key the flow id in both executors.
+    let faulted = FaultConfig::with_plan(
+        FaultPlan::parse("drop 0->1@0; delay 0->1@1+2; dup 3->4@0").expect("valid plan"),
+    );
+    for cfg in [&plain, &faulted] {
+        let sim = collect_flows(n, ExecutionMode::Simulated, cfg);
+        let thr = collect_flows(n, ExecutionMode::Threaded, cfg);
+        assert_eq!(sim, thr, "executors must emit the identical flow-edge multiset");
+
+        // Sanity on the shared set: one spawn edge per worker (begin on the
+        // caller, end on the worker), and every send edge begin/end paired.
+        let spawn_begins =
+            sim.iter().filter(|(name, _, begin)| name == "bsp.spawn" && *begin).count();
+        assert_eq!(spawn_begins, n, "one spawn-flow begin per worker");
+        let sends: Vec<&(String, u64, bool)> =
+            sim.iter().filter(|(name, _, _)| name == "bsp.send").collect();
+        assert!(!sends.is_empty(), "the gossip ring must exchange batches");
+        let begins: BTreeSet<u64> =
+            sends.iter().filter(|(_, _, b)| *b).map(|(_, id, _)| *id).collect();
+        let ends: BTreeSet<u64> =
+            sends.iter().filter(|(_, _, b)| !*b).map(|(_, id, _)| *id).collect();
+        assert_eq!(begins, ends, "every send edge must have both endpoints");
+    }
+}

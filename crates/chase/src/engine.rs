@@ -292,7 +292,9 @@ impl ChaseEngine {
     /// the hash-and-intern passes over the fragment run in parallel instead
     /// of serially inside the first superstep.
     pub fn prebuild_indexes(&mut self, threads: usize) {
-        let _span = dcer_obs::span("chase.prebuild_indexes");
+        // "chase.index_build" is the IndexBuild phase tag the causal
+        // profiler attributes separately from Deduce-phase chase spans.
+        let _span = dcer_obs::span("chase.index_build");
         let mut keys: Vec<(RelId, dcer_relation::AttrId)> = Vec::new();
         for plan in &self.plans {
             for (v, filters) in plan.const_filters.iter().enumerate() {

@@ -103,6 +103,8 @@ pub struct DmatchReport {
     /// Fault-free reruns forced by exhausted delivery retries (graceful
     /// degradation); `0` on every run that recovered in place.
     pub fault_reruns: u32,
+    /// Causal profile of the run (see [`PipelineReport::profile`]).
+    pub profile: Option<dcer_obs::RunProfile>,
 }
 
 impl From<PipelineReport> for DmatchReport {
@@ -117,6 +119,7 @@ impl From<PipelineReport> for DmatchReport {
             er_secs: r.er_secs,
             simulated_er_secs: r.simulated_er_secs,
             fault_reruns: r.fault_reruns,
+            profile: r.profile,
         }
     }
 }

@@ -348,6 +348,13 @@ pub struct PipelineReport {
     /// Fault-free reruns forced by exhausted delivery retries (graceful
     /// degradation); `0` on every run that recovered in place.
     pub fault_reruns: u32,
+    /// Causal profile of the run — makespan decomposition, per-worker
+    /// utilization, straggler indices and the critical path — built from
+    /// the installed [`dcer_obs::InMemoryCollector`]'s span graph. `None`
+    /// unless tracing into a collector is enabled for the run. Covers
+    /// everything the collector has seen since install, so install a fresh
+    /// collector per run for a per-run profile.
+    pub profile: Option<dcer_obs::RunProfile>,
 }
 
 /// Run the unified pipeline: build the configured shards, then drive them
@@ -360,20 +367,22 @@ pub fn run_pipeline(
 ) -> Result<PipelineReport, String> {
     match config.executor {
         ExecutorKind::Sequential => {
+            let started = Instant::now();
             let build = || -> Result<Vec<EngineDeducer>, String> {
                 let mut engine = ChaseEngine::new(dataset.clone(), rules, registry, &config.chase)?;
                 // A single engine parallelizes *within* its index build.
                 engine.prebuild_indexes(effective_threads(config.threads));
                 Ok(vec![EngineDeducer::new(engine)])
             };
-            drive(build()?, Some(&build), None, 0.0, config)
+            drive(build()?, Some(&build), None, 0.0, config, started)
         }
         ExecutorKind::Naive => {
+            let started = Instant::now();
             let state = naive_chase(dataset, rules, registry)?;
             let build = || -> Result<Vec<StaticDeducer>, String> {
                 Ok(vec![StaticDeducer::new(state.clone())])
             };
-            drive(build()?, Some(&build), None, 0.0, config)
+            drive(build()?, Some(&build), None, 0.0, config, started)
         }
         ExecutorKind::Parallel => {
             let t0 = Instant::now();
@@ -410,7 +419,7 @@ pub fn run_pipeline(
                         threads,
                     )
                 };
-                drive(build()?, Some(&build), Some(part.stats), partition_secs, config)
+                drive(build()?, Some(&build), Some(part.stats), partition_secs, config, t0)
             } else {
                 let deducers = build_fleet(
                     part.fragments.into_iter().zip(rule_masks).collect(),
@@ -419,7 +428,7 @@ pub fn run_pipeline(
                     &chase_cfg,
                     threads,
                 )?;
-                drive(deducers, None, Some(part.stats), partition_secs, config)
+                drive(deducers, None, Some(part.stats), partition_secs, config, t0)
             }
         }
     }
@@ -459,8 +468,16 @@ pub(crate) fn build_fleet(
     };
     let built: Vec<Result<EngineDeducer, String>> = if threads > 1 && shards.len() > 1 {
         std::thread::scope(|s| {
-            let handles: Vec<_> =
-                shards.into_iter().map(|pair| s.spawn(move || unit(pair))).collect();
+            let handles: Vec<_> = shards
+                .into_iter()
+                .enumerate()
+                .map(|(i, pair)| {
+                    std::thread::Builder::new()
+                        .name(format!("fleet-build-{i}"))
+                        .spawn_scoped(s, move || unit(pair))
+                        .expect("spawn fleet build thread")
+                })
+                .collect();
             handles.into_iter().map(|h| h.join().expect("fleet build thread panicked")).collect()
         })
     } else {
@@ -481,6 +498,7 @@ fn drive<D: Deducer>(
     partition: Option<PartitionStats>,
     partition_secs: f64,
     config: &PipelineConfig,
+    started: Instant,
 ) -> Result<PipelineReport, String> {
     let n = deducers.len();
     let wrap = |ds: Vec<D>| -> Vec<ShardWorker<D>> {
@@ -530,6 +548,11 @@ fn drive<D: Deducer>(
     // replica holds the global Γ — read it off shard 0.
     let state = shards[0].deducer.take_state();
     let simulated_er_secs = bsp.makespan_secs;
+    // Wall for the profile covers the whole run (partition, fleet build,
+    // ER), not just the two phase timers — the decomposition's 5% check
+    // compares against this.
+    let wall_ns = started.elapsed().as_nanos() as u64;
+    let profile = dcer_obs::with_collector(|c| dcer_obs::RunProfile::build(c, wall_ns));
     Ok(PipelineReport {
         outcome: ChaseOutcome { matches: state.matches, validated: state.validated, stats },
         partition,
@@ -540,6 +563,7 @@ fn drive<D: Deducer>(
         er_secs,
         simulated_er_secs,
         fault_reruns,
+        profile,
     })
 }
 

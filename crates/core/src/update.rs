@@ -40,6 +40,7 @@ use dcer_ml::MlRegistry;
 use dcer_mrl::RuleSet;
 use dcer_relation::{Dataset, Tid, Tuple, UpdateBatch};
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::time::Instant;
 
 /// A resident incremental-maintenance session over one dataset.
 pub struct UpdateSession {
@@ -85,6 +86,10 @@ pub struct UpdateRunReport {
     /// Statistics of the rederive exchange (or of the rebuilt fleet's full
     /// run, after a re-partition).
     pub bsp: BspStats,
+    /// Causal profile built from the installed collector's span graph
+    /// (see `PipelineReport::profile`); `None` unless tracing into a
+    /// collector is enabled.
+    pub profile: Option<dcer_obs::RunProfile>,
 }
 
 /// Per-shard deducer for update exchanges: superstep 0 drives the staged
@@ -253,6 +258,7 @@ impl UpdateSession {
 
     /// Apply one CDC batch and drive the fleet to the new global fixpoint.
     pub fn run_update(&mut self, batch: &UpdateBatch) -> Result<UpdateRunReport, String> {
+        let wall = Instant::now();
         let _span = dcer_obs::span("update.run").with_arg("run", self.updates_applied);
         dcer_obs::counter_add("update.runs", 1);
         let report = self.master.apply_update(batch).map_err(|e| e.to_string())?;
@@ -287,6 +293,9 @@ impl UpdateSession {
             dcer_obs::counter_add("update.repartitions", 1);
             self.repartitions += 1;
             let bsp = self.bootstrap()?;
+            let profile = dcer_obs::with_collector(|c| {
+                dcer_obs::RunProfile::build(c, wall.elapsed().as_nanos() as u64)
+            });
             return Ok(UpdateRunReport {
                 outcome: self.outcome(),
                 inserted: report.inserted,
@@ -297,6 +306,7 @@ impl UpdateSession {
                 notice_rounds: 0,
                 repartitioned: true,
                 bsp,
+                profile,
             });
         }
 
@@ -335,6 +345,9 @@ impl UpdateSession {
         dcer_obs::histogram_record("update.retracted", retracted.len() as u64);
         dcer_obs::histogram_record("update.deduced", deduced.len() as u64);
 
+        let profile = dcer_obs::with_collector(|c| {
+            dcer_obs::RunProfile::build(c, wall.elapsed().as_nanos() as u64)
+        });
         Ok(UpdateRunReport {
             outcome: self.outcome(),
             inserted: report.inserted,
@@ -345,6 +358,7 @@ impl UpdateSession {
             notice_rounds,
             repartitioned: false,
             bsp,
+            profile,
         })
     }
 

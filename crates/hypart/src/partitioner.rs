@@ -418,10 +418,27 @@ fn scan_shard(
     }
 }
 
+/// Deterministic id for the `hypart.handoff` flow edge carrying scan shard
+/// `shard`'s bucket for merge class `class` in refinement round `round`.
+/// Namespaced at bit 49, disjoint from the BSP runtime's `bsp.send`
+/// (`step << 32 | …`) and `bsp.spawn` (bit 50) id spaces, so edges from
+/// different subsystems never mispair in one trace. Stays below 2^53 for
+/// JSON round-trips.
+fn hypart_flow_id(round: u32, shard: usize, class: usize) -> u64 {
+    (1u64 << 49) | ((round as u64) << 40) | ((shard as u64) << 20) | class as u64
+}
+
 /// Run a batch of closures — scoped threads when `parallel`, back to back
 /// on the calling thread otherwise — returning results in unit order and
-/// accumulating each unit's wall time into `times` (element-wise).
-fn run_units<'env, T, F>(units: Vec<F>, parallel: bool, times: &mut [u64]) -> Vec<T>
+/// accumulating each unit's wall time into `times` (element-wise). Spawned
+/// threads are OS-named `{name}-{index}`, which is also the label their
+/// lazily-allocated trace tracks inherit.
+fn run_units<'env, T, F>(
+    units: Vec<F>,
+    parallel: bool,
+    name: &'static str,
+    times: &mut [u64],
+) -> Vec<T>
 where
     T: Send + 'env,
     F: FnOnce() -> T + Send + 'env,
@@ -433,7 +450,16 @@ where
     };
     let results: Vec<(T, u64)> = if parallel && units.len() > 1 {
         std::thread::scope(|s| {
-            let handles: Vec<_> = units.into_iter().map(|f| s.spawn(move || timed(f))).collect();
+            let handles: Vec<_> = units
+                .into_iter()
+                .enumerate()
+                .map(|(i, f)| {
+                    std::thread::Builder::new()
+                        .name(format!("{name}-{i}"))
+                        .spawn_scoped(s, move || timed(f))
+                        .expect("spawn partition unit")
+                })
+                .collect();
             handles.into_iter().map(|h| h.join().expect("partition shard panicked")).collect()
         })
     } else {
@@ -571,11 +597,21 @@ fn partition_inner(
                         scan_shard(dataset, geoms, cells, shard, shards, memo, &mut |c, t, m| {
                             buckets[c % shards].push((c, t, m));
                         });
+                        // Open the shard→merge handoff edge for every
+                        // non-empty bucket; the owning merge unit closes it.
+                        for (class, bucket) in buckets.iter().enumerate() {
+                            if !bucket.is_empty() {
+                                dcer_obs::flow_begin(
+                                    "hypart.handoff",
+                                    hypart_flow_id(refinements, shard, class),
+                                );
+                            }
+                        }
                         buckets
                     }
                 })
                 .collect();
-            let mut runs = run_units(units, parallel, &mut timings.scan_ns);
+            let mut runs = run_units(units, parallel, "hypart-scan", &mut timings.scan_ns);
             let generated: u64 =
                 runs.iter().map(|r| r.iter().map(|b| b.len() as u64).sum::<u64>()).sum();
 
@@ -593,6 +629,14 @@ fn partition_inner(
                     move || {
                         let _span =
                             dcer_obs::span("hypart.merge.class").with_arg("class", class as u64);
+                        for (shard, run) in column.iter().enumerate() {
+                            if !run.is_empty() {
+                                dcer_obs::flow_end(
+                                    "hypart.handoff",
+                                    hypart_flow_id(refinements, shard, class),
+                                );
+                            }
+                        }
                         let slots =
                             if class < cells { (cells - class).div_ceil(shards) } else { 0 };
                         let mut maps: Vec<HashMap<Tid, u128>> = vec![HashMap::new(); slots];
@@ -605,7 +649,7 @@ fn partition_inner(
                     }
                 })
                 .collect();
-            let merged = run_units(merge_units, parallel, &mut timings.merge_ns);
+            let merged = run_units(merge_units, parallel, "hypart-merge", &mut timings.merge_ns);
             let mut cm: Vec<HashMap<Tid, u128>> = vec![HashMap::new(); cells];
             for (class, maps) in merged.into_iter().enumerate() {
                 for (slot, map) in maps.into_iter().enumerate() {
@@ -887,7 +931,7 @@ fn assemble(
             }
         })
         .collect();
-    let built = run_units(units, parallel, &mut timings.fragment_ns);
+    let built = run_units(units, parallel, "hypart-frag", &mut timings.fragment_ns);
     let mut fragments: Vec<Dataset> = Vec::with_capacity(config.workers);
     let mut rule_masks: Vec<HashMap<Tid, u128>> = Vec::with_capacity(config.workers);
     for (fragment, masks) in built {

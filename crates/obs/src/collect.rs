@@ -3,7 +3,7 @@
 
 use crate::export;
 use crate::metrics::{Metric, MetricsRegistry};
-use crate::recorder::{Label, Recorder};
+use crate::recorder::{FlowDir, Label, Recorder};
 use crate::span::TrackId;
 use std::collections::BTreeMap;
 use std::sync::Mutex;
@@ -36,16 +36,35 @@ pub struct InstantEvent {
     pub ts_ns: u64,
 }
 
+/// One endpoint of a causal flow edge as captured by
+/// [`InMemoryCollector`]. Endpoints with the same `id` belong to the same
+/// edge: [`FlowDir::Begin`] on the sending track, [`FlowDir::End`] on the
+/// receiving one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowEvent {
+    /// Edge name (`"bsp.send"`, `"hypart.handoff"`, …).
+    pub name: &'static str,
+    /// Caller-chosen edge id pairing begin with end.
+    pub id: u64,
+    /// The track this endpoint sits on.
+    pub track: TrackId,
+    /// Timestamp in monotonic nanoseconds since the process trace epoch.
+    pub ts_ns: u64,
+    /// Which endpoint this is.
+    pub dir: FlowDir,
+}
+
 /// A [`Recorder`] that keeps everything in memory for post-run export.
 ///
-/// Spans and instants are appended to locked vectors (completion order);
-/// metrics aggregate into an embedded [`MetricsRegistry`]. Export with
-/// [`chrome_trace`](Self::chrome_trace) (Perfetto / `about:tracing`) and
-/// [`metrics_json`](Self::metrics_json).
+/// Spans, instants and flow endpoints are appended to locked vectors
+/// (completion order); metrics aggregate into an embedded
+/// [`MetricsRegistry`]. Export with [`chrome_trace`](Self::chrome_trace)
+/// (Perfetto / `about:tracing`) and [`metrics_json`](Self::metrics_json).
 #[derive(Debug, Default)]
 pub struct InMemoryCollector {
     spans: Mutex<Vec<SpanEvent>>,
     instants: Mutex<Vec<InstantEvent>>,
+    flows: Mutex<Vec<FlowEvent>>,
     track_names: Mutex<BTreeMap<TrackId, String>>,
     registry: MetricsRegistry,
 }
@@ -64,6 +83,11 @@ impl InMemoryCollector {
     /// All captured instantaneous events, in emission order.
     pub fn instants(&self) -> Vec<InstantEvent> {
         self.instants.lock().expect("collector lock poisoned").clone()
+    }
+
+    /// All captured flow endpoints, in emission order.
+    pub fn flows(&self) -> Vec<FlowEvent> {
+        self.flows.lock().expect("collector lock poisoned").clone()
     }
 
     /// Registered track names, keyed by track id.
@@ -92,7 +116,7 @@ impl InMemoryCollector {
 
     /// Render everything as Chrome trace-event JSON (see [`export`]).
     pub fn chrome_trace(&self) -> String {
-        export::chrome_trace(&self.spans(), &self.instants(), &self.track_names())
+        export::chrome_trace(&self.spans(), &self.instants(), &self.flows(), &self.track_names())
     }
 
     /// Render the metric snapshot as a flat JSON object (see [`export`]).
@@ -144,6 +168,20 @@ impl Recorder for InMemoryCollector {
     fn name_track(&self, track: TrackId, name: &str) {
         self.track_names.lock().expect("collector lock poisoned").insert(track, name.to_string());
     }
+
+    fn flow(&self, name: &'static str, id: u64, track: TrackId, ts_ns: u64, dir: FlowDir) {
+        self.flows.lock().expect("collector lock poisoned").push(FlowEvent {
+            name,
+            id,
+            track,
+            ts_ns,
+            dir,
+        });
+    }
+
+    fn as_collector(&self) -> Option<&InMemoryCollector> {
+        Some(self)
+    }
 }
 
 #[cfg(test)]
@@ -159,8 +197,12 @@ mod tests {
         c.counter_add("c", None, 2);
         c.gauge_set("g", Some(0), 0.5);
         c.histogram_record("h", None, 9);
+        c.flow("edge", 7, TrackId(1), 11, FlowDir::Begin);
+        c.flow("edge", 7, TrackId(1), 13, FlowDir::End);
         assert_eq!(c.spans().len(), 1);
         assert_eq!(c.instants().len(), 1);
+        assert_eq!(c.flows().len(), 2);
+        assert!(c.as_collector().is_some());
         assert_eq!(c.track_names().get(&TrackId(1)).map(String::as_str), Some("main"));
         assert_eq!(c.metrics().len(), 3);
         assert_eq!(c.span_names(), vec!["phase"]);

@@ -5,22 +5,26 @@
 //! plain JSON; numbers use decimal notation only (non-finite gauges render
 //! as `null`) so any standards-compliant parser accepts the output.
 
-use crate::collect::{InstantEvent, SpanEvent};
+use crate::collect::{FlowEvent, InstantEvent, SpanEvent};
 use crate::metrics::{Histogram, Metric};
-use crate::recorder::Label;
+use crate::recorder::{FlowDir, Label};
 use crate::span::TrackId;
 use std::collections::BTreeMap;
 use std::fmt::Write;
 
-/// Render spans, instants, and track names as Chrome trace-event JSON.
+/// Render spans, instants, flow edges, and track names as Chrome
+/// trace-event JSON.
 ///
 /// Layout: one process (`pid` 0); each [`TrackId`] becomes a `tid` with a
 /// `thread_name` metadata record; spans are complete (`"ph":"X"`) events
 /// with microsecond `ts`/`dur` and their depth plus optional argument under
-/// `args`; instants are thread-scoped (`"ph":"i"`) events.
+/// `args`; instants are thread-scoped (`"ph":"i"`) events; flow endpoints
+/// are `"ph":"s"` / `"ph":"f"` pairs sharing an `id` (finish events bind to
+/// the enclosing slice, `"bp":"e"`), which Perfetto draws as arrows.
 pub fn chrome_trace(
     spans: &[SpanEvent],
     instants: &[InstantEvent],
+    flows: &[FlowEvent],
     track_names: &BTreeMap<TrackId, String>,
 ) -> String {
     let mut out = String::with_capacity(64 + 160 * (spans.len() + instants.len()));
@@ -69,6 +73,25 @@ pub fn chrome_trace(
             micros(i.ts_ns)
         );
     }
+    for f in flows {
+        sep(&mut out, &mut first);
+        let (ph, bind) = match f.dir {
+            FlowDir::Begin => ("s", ""),
+            // Bind the finish endpoint to its enclosing slice so the arrow
+            // lands on the receiving span rather than the next one to open.
+            FlowDir::End => ("f", ",\"bp\":\"e\""),
+        };
+        let _ = write!(
+            out,
+            "{{\"name\":{},\"cat\":\"flow\",\"ph\":\"{}\",\"pid\":0,\"tid\":{},\"ts\":{},\"id\":{}{}}}",
+            json_string(f.name),
+            ph,
+            f.track.0,
+            micros(f.ts_ns),
+            f.id,
+            bind
+        );
+    }
     out.push_str("]}");
     out
 }
@@ -77,8 +100,9 @@ pub fn chrome_trace(
 /// [`MetricsRegistry::snapshot`](crate::MetricsRegistry::snapshot)) as one
 /// flat JSON object. Labeled series render as `"name[label]"`; counters
 /// and gauges become numbers, histograms become summary objects with
-/// `count`/`sum`/`min`/`max`/`mean` and their non-empty `[lo, hi, count)`
-/// buckets.
+/// `count`/`sum`/`min`/`max`/`mean`, `p50`/`p95`/`p99` quantile estimates
+/// (log₂-bucket upper bounds clamped to the observed max — see
+/// [`Histogram::quantile`]), and their non-empty `[lo, hi, count)` buckets.
 pub fn metrics_json(snapshot: &[(String, Label, Metric)]) -> String {
     let mut out = String::with_capacity(32 + 48 * snapshot.len());
     out.push('{');
@@ -106,12 +130,15 @@ fn histogram_json(h: &Histogram) -> String {
     let mut out = String::from("{");
     let _ = write!(
         out,
-        "\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"buckets\":[",
+        "\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[",
         h.count(),
         h.sum(),
         h.min().unwrap_or(0),
         h.max().unwrap_or(0),
-        json_f64(h.mean().unwrap_or(0.0))
+        json_f64(h.mean().unwrap_or(0.0)),
+        h.quantile(0.5).unwrap_or(0),
+        h.quantile(0.95).unwrap_or(0),
+        h.quantile(0.99).unwrap_or(0)
     );
     let mut first = true;
     for (lo, hi, count) in h.nonzero_buckets() {
@@ -122,7 +149,7 @@ fn histogram_json(h: &Histogram) -> String {
     out
 }
 
-fn sep(out: &mut String, first: &mut bool) {
+pub(crate) fn sep(out: &mut String, first: &mut bool) {
     if *first {
         *first = false;
     } else {
@@ -136,7 +163,7 @@ fn micros(ns: u64) -> String {
     format!("{}.{:03}", ns / 1000, ns % 1000)
 }
 
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         // Rust's Display for f64 never emits exponent notation or
         // NaN/inf here, so the result is always a valid JSON number.
@@ -151,7 +178,7 @@ fn json_f64(v: f64) -> String {
     }
 }
 
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -188,7 +215,23 @@ mod tests {
             arg: Some(("step", 3)),
         }];
         let instants = vec![InstantEvent { name: "barrier", track: TrackId(1), ts_ns: 4000 }];
-        let json = chrome_trace(&spans, &instants, &names);
+        let flows = vec![
+            FlowEvent {
+                name: "bsp.send",
+                id: 9,
+                track: TrackId(1),
+                ts_ns: 2000,
+                dir: FlowDir::Begin,
+            },
+            FlowEvent {
+                name: "bsp.send",
+                id: 9,
+                track: TrackId(2),
+                ts_ns: 3500,
+                dir: FlowDir::End,
+            },
+        ];
+        let json = chrome_trace(&spans, &instants, &flows, &names);
         assert!(json.starts_with("{\"traceEvents\":["));
         assert!(json.ends_with("]}"));
         assert!(json.contains("\"thread_name\""));
@@ -196,6 +239,10 @@ mod tests {
         assert!(json.contains("\"ts\":1.500,\"dur\":2.500"));
         assert!(json.contains("\"step\":3"));
         assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"ph\":\"s\",\"pid\":0,\"tid\":1,\"ts\":2.000,\"id\":9"));
+        assert!(
+            json.contains("\"ph\":\"f\",\"pid\":0,\"tid\":2,\"ts\":3.500,\"id\":9,\"bp\":\"e\"")
+        );
     }
 
     #[test]
@@ -212,6 +259,7 @@ mod tests {
         assert!(json.contains("\"bsp.bytes\":128"));
         assert!(json.contains("\"busy_secs[2]\":0.5"));
         assert!(json.contains("\"count\":2,\"sum\":5"));
+        assert!(json.contains("\"p50\":0,\"p95\":5,\"p99\":5"));
         assert!(json.contains("[0,1,1]"));
         assert!(json.contains("[4,8,1]"));
     }

@@ -47,12 +47,15 @@
 pub mod collect;
 pub mod export;
 pub mod metrics;
+pub mod profile;
 pub mod recorder;
 pub mod span;
 
-pub use collect::{InMemoryCollector, SpanEvent};
+pub use collect::{FlowEvent, InMemoryCollector, InstantEvent, SpanEvent};
 pub use metrics::{Histogram, Metric, MetricsRegistry};
-pub use recorder::{enabled, install, uninstall, Label, NoopRecorder, Recorder};
+pub use profile::{CriticalPath, Phase, RunProfile};
+pub use recorder::FlowDir;
+pub use recorder::{enabled, install, uninstall, with_collector, Label, NoopRecorder, Recorder};
 pub use span::{alloc_track, current_track, name_current_track, span, span_depth, span_on};
 pub use span::{SpanGuard, TrackId};
 
@@ -114,4 +117,79 @@ pub fn instant(name: &'static str) {
         let track = current_track();
         with(|r| r.instant(name, track, recorder::now_ns()));
     }
+}
+
+/// Mark the *send* endpoint of causal flow edge `id` on the current
+/// thread's track, now. The matching [`flow_end`] (any track, same `id`)
+/// completes the edge; Perfetto renders it as an arrow between the spans
+/// enclosing the two endpoints.
+///
+/// Ids are caller-chosen; derive them deterministically from routing
+/// coordinates (e.g. `(step, from, to)`) so both BSP executors emit the
+/// identical edge set for the same run. Keep ids below 2^53 so they
+/// survive JSON number round-trips.
+#[inline]
+pub fn flow_begin(name: &'static str, id: u64) {
+    if enabled() {
+        let track = current_track();
+        with(|r| r.flow(name, id, track, recorder::now_ns(), FlowDir::Begin));
+    }
+}
+
+/// Mark the *receive* endpoint of flow edge `id` on the current thread's
+/// track, now. See [`flow_begin`].
+#[inline]
+pub fn flow_end(name: &'static str, id: u64) {
+    if enabled() {
+        let track = current_track();
+        with(|r| r.flow(name, id, track, recorder::now_ns(), FlowDir::End));
+    }
+}
+
+/// [`flow_begin`] on an explicit track — how the simulated BSP executor
+/// stamps send endpoints onto virtual worker timelines. No-op for
+/// [`TrackId::UNTRACKED`].
+#[inline]
+pub fn flow_begin_on(name: &'static str, id: u64, track: TrackId) {
+    if enabled() && track != TrackId::UNTRACKED {
+        with(|r| r.flow(name, id, track, recorder::now_ns(), FlowDir::Begin));
+    }
+}
+
+/// [`flow_end`] on an explicit track. No-op for [`TrackId::UNTRACKED`].
+#[inline]
+pub fn flow_end_on(name: &'static str, id: u64, track: TrackId) {
+    if enabled() && track != TrackId::UNTRACKED {
+        with(|r| r.flow(name, id, track, recorder::now_ns(), FlowDir::End));
+    }
+}
+
+/// Record an already-measured span directly, bypassing the RAII guard:
+/// `name` ran on `track` from `start_ns` for `dur_ns` (both in the
+/// [`recorder::now_ns`] epoch), at depth 0 with an optional argument.
+///
+/// This is for *synthesized* intervals the caller computes rather than
+/// measures in place — e.g. the simulated BSP executor's per-worker
+/// `bsp.barrier_wait` spans, whose duration is the step's straggler gap
+/// (max busy − own busy) even though no thread actually blocked. No-op
+/// while tracing is off or for [`TrackId::UNTRACKED`].
+#[inline]
+pub fn record_span(
+    name: &'static str,
+    track: TrackId,
+    start_ns: u64,
+    dur_ns: u64,
+    arg: Option<(&'static str, u64)>,
+) {
+    if enabled() && track != TrackId::UNTRACKED {
+        with(|r| r.span(name, track, start_ns, dur_ns, 0, arg));
+    }
+}
+
+/// The current monotonic timestamp spans and flows are stamped with —
+/// exposed so callers can place [`record_span`] intervals on the same
+/// clock.
+#[inline]
+pub fn now_ns() -> u64 {
+    recorder::now_ns()
 }

@@ -104,6 +104,32 @@ impl Histogram {
         &self.buckets
     }
 
+    /// Approximate `q`-quantile (`0.0 < q <= 1.0`) of the recorded samples.
+    ///
+    /// Log₂ buckets only know which power-of-two range a sample fell into,
+    /// so the estimate is the **upper bound** of the bucket holding the
+    /// `ceil(q·count)`-th sample (clamped to the observed max — the true
+    /// quantile can never exceed it). The estimate therefore overshoots by
+    /// at most 2x, never undershoots. Returns `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                if i == 0 {
+                    return Some(0);
+                }
+                let (lo, hi) = Self::bucket_range(i);
+                return Some((hi - 1).clamp(lo, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
     /// Non-empty buckets as `(lo, hi, count)` ranges, for compact export.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
         self.buckets
@@ -232,6 +258,37 @@ mod tests {
         reg.gauge_set("x", None, 9.0);
         reg.counter_add("x", None, 4);
         assert_eq!(reg.get("x", None), Some(Metric::Counter(4)));
+    }
+
+    #[test]
+    fn quantiles_use_bucket_upper_bounds() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        for v in [0u64, 0, 1, 3, 3, 3, 100, 100, 100, 1000] {
+            h.record(v);
+        }
+        // 10 samples: p20 lands in the zero bucket, p50 in [2,4) → upper
+        // bound 3, p90 in [64,128) → 127, p100 clamps to the observed max.
+        assert_eq!(h.quantile(0.2), Some(0));
+        assert_eq!(h.quantile(0.5), Some(3));
+        assert_eq!(h.quantile(0.9), Some(127));
+        assert_eq!(h.quantile(1.0), Some(1000));
+    }
+
+    #[test]
+    fn quantile_never_undershoots_sorted_rank() {
+        let mut h = Histogram::new();
+        let samples: Vec<u64> = (0..100).map(|i| i * 37 % 1024).collect();
+        for &v in &samples {
+            h.record(v);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.5f64, 0.95, 0.99] {
+            let rank = ((q * 100.0).ceil() as usize).clamp(1, 100) - 1;
+            let est = h.quantile(q).unwrap();
+            assert!(est >= sorted[rank], "q={q}: est {est} < true {}", sorted[rank]);
+        }
     }
 
     #[test]

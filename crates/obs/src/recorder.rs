@@ -7,6 +7,7 @@
 //! thread-local, or the recorder lock. With no recorder installed, tracing
 //! therefore compiles down to "load, branch, return".
 
+use crate::collect::InMemoryCollector;
 use crate::span::TrackId;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
@@ -15,6 +16,21 @@ use std::time::Instant;
 /// Optional numeric label on a metric — by convention a worker/shard index.
 /// `None` is the unlabeled (global) series.
 pub type Label = Option<u32>;
+
+/// Which endpoint of a causal flow edge an event marks.
+///
+/// A flow edge links a *send* point on one track to a *receive* point on
+/// another; both endpoints carry the same caller-chosen `id`. In the Chrome
+/// trace export [`Begin`](FlowDir::Begin) becomes a `"ph":"s"` event and
+/// [`End`](FlowDir::End) a `"ph":"f"` event, which Perfetto renders as an
+/// arrow between the slices enclosing the two timestamps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlowDir {
+    /// The sending (source) endpoint.
+    Begin,
+    /// The receiving (sink) endpoint.
+    End,
+}
 
 /// A sink for spans, instants and metric updates.
 ///
@@ -51,6 +67,22 @@ pub trait Recorder: Send + Sync {
     /// Associate a human-readable name with a track (thread or virtual
     /// worker timeline).
     fn name_track(&self, track: TrackId, name: &str);
+
+    /// One endpoint of a causal flow edge: `dir` says whether `ts_ns` on
+    /// `track` is the send ([`FlowDir::Begin`]) or receive
+    /// ([`FlowDir::End`]) side; endpoints pair up by `id`. Default is a
+    /// no-op so sinks that only aggregate metrics need not care.
+    fn flow(&self, name: &'static str, id: u64, track: TrackId, ts_ns: u64, dir: FlowDir) {
+        let _ = (name, id, track, ts_ns, dir);
+    }
+
+    /// Downcast hook: the installed recorder as an [`InMemoryCollector`],
+    /// if that is what it is. Lets `run_pipeline`/`run_update` build a
+    /// `RunProfile` from the collected span graph without the caller
+    /// threading a concrete collector type through every layer.
+    fn as_collector(&self) -> Option<&InMemoryCollector> {
+        None
+    }
 }
 
 /// The recorder that drops everything — the semantic default. Installing it
@@ -111,6 +143,19 @@ pub(crate) fn with(f: impl FnOnce(&dyn Recorder)) {
     }
 }
 
+/// Run `f` against the installed recorder *if* it is an
+/// [`InMemoryCollector`] (via [`Recorder::as_collector`]); `None` when
+/// tracing is off or a different sink is installed. This is how the
+/// pipeline attaches a `RunProfile` to its report without knowing at the
+/// call site which recorder the host process installed.
+pub fn with_collector<T>(f: impl FnOnce(&InMemoryCollector) -> T) -> Option<T> {
+    if !enabled() {
+        return None;
+    }
+    let guard = RECORDER.read().expect("recorder lock poisoned");
+    guard.as_ref().and_then(|r| r.as_collector()).map(f)
+}
+
 /// Monotonic nanoseconds since the first observation in this process.
 /// All spans and instants share this epoch, so timestamps from different
 /// threads interleave correctly in the exported trace.
@@ -140,5 +185,8 @@ mod tests {
         r.gauge_set("g", Some(3), 1.5);
         r.histogram_record("h", None, 7);
         r.name_track(TrackId(1), "t");
+        r.flow("f", 42, TrackId(1), 0, FlowDir::Begin);
+        r.flow("f", 42, TrackId(1), 5, FlowDir::End);
+        assert!(r.as_collector().is_none());
     }
 }

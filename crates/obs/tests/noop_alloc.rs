@@ -50,6 +50,11 @@ fn disabled_instrumentation_does_not_allocate() {
         dcer_obs::histogram_record("h", i);
         dcer_obs::histogram_record_labeled("hl", 3, i);
         dcer_obs::instant("tick");
+        dcer_obs::flow_begin("edge", i);
+        dcer_obs::flow_end("edge", i);
+        dcer_obs::flow_begin_on("edge", i, dcer_obs::TrackId(7));
+        dcer_obs::flow_end_on("edge", i, dcer_obs::TrackId(7));
+        dcer_obs::record_span("synthetic", dcer_obs::TrackId(7), i, 10, Some(("step", i)));
     }
     let after = ALLOCATIONS.load(Ordering::Relaxed);
     assert_eq!(after - before, 0, "disabled instrumentation allocated {} times", after - before);
