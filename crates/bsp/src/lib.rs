@@ -299,6 +299,34 @@ pub fn run_bsp_with<W: Worker>(
     cost: &CostModel,
     faults: &FaultConfig,
 ) -> Result<(Vec<W>, BspStats), BspAbort> {
+    run_bsp_inner(workers, mode, cost, faults, None)
+}
+
+/// Like [`run_bsp_with`], but the threaded executor runs its workers as
+/// *resident* tasks on the shared [`dcer_pool::WorkPool`] instead of
+/// spawning fresh scoped threads — one worker per pool lane (the caller
+/// included), with temporary overflow threads beyond the pool size. The
+/// simulated executor is inherently sequential and ignores the pool.
+/// Superstep semantics, stats and emitted flow edges are identical to the
+/// scoped-thread path; each worker redirects its spans onto a dedicated
+/// `worker-{k}` track so profiles look the same across dispatch modes.
+pub fn run_bsp_on<W: Worker>(
+    pool: &dcer_pool::WorkPool,
+    workers: Vec<W>,
+    mode: ExecutionMode,
+    cost: &CostModel,
+    faults: &FaultConfig,
+) -> Result<(Vec<W>, BspStats), BspAbort> {
+    run_bsp_inner(workers, mode, cost, faults, Some(pool))
+}
+
+fn run_bsp_inner<W: Worker>(
+    workers: Vec<W>,
+    mode: ExecutionMode,
+    cost: &CostModel,
+    faults: &FaultConfig,
+    pool: Option<&dcer_pool::WorkPool>,
+) -> Result<(Vec<W>, BspStats), BspAbort> {
     if workers.is_empty() {
         // Without this, the simulated loop would still account one empty
         // superstep while the threaded path spawns nothing — the one stats
@@ -308,7 +336,7 @@ pub fn run_bsp_with<W: Worker>(
     let ft = if faults.active() { Some(faults) } else { None };
     let result = match mode {
         ExecutionMode::Simulated => run_simulated(workers, cost, ft),
-        ExecutionMode::Threaded => run_threaded(workers, cost, ft),
+        ExecutionMode::Threaded => run_threaded(workers, cost, ft, pool),
     };
     if let Ok((_, stats)) = &result {
         stats.publish();
@@ -776,6 +804,7 @@ fn run_threaded<W: Worker>(
     workers: Vec<W>,
     cost: &CostModel,
     faults: Option<&FaultConfig>,
+    pool: Option<&dcer_pool::WorkPool>,
 ) -> Result<(Vec<W>, BspStats), BspAbort> {
     let n = workers.len();
     let wall = Instant::now();
@@ -804,10 +833,10 @@ fn run_threaded<W: Worker>(
         }
     });
 
-    let mut results: Vec<Option<(W, ShardLog)>> = (0..n).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(n);
-        for (me, mut w) in workers.into_iter().enumerate() {
+    let worker_tasks: Vec<_> = workers
+        .into_iter()
+        .enumerate()
+        .map(|(me, mut w)| {
             let mailboxes = &mailboxes;
             let barrier = &barrier;
             let delivered = &delivered;
@@ -817,10 +846,14 @@ fn run_threaded<W: Worker>(
             // links partitioning/fleet-building to each worker's first
             // superstep in the span graph.
             dcer_obs::flow_begin("bsp.spawn", spawn_flow_id(me));
-            let builder = std::thread::Builder::new().name(format!("worker-{me}"));
-            let handle = builder.spawn_scoped(scope, move || {
-                // The lazily-allocated obs track inherits this thread's
-                // `worker-{me}` OS name; close the spawn edge onto it.
+            move || {
+                // On the pool the OS thread is a reused `pool-{i}` (or the
+                // caller itself); redirect this worker's events onto a
+                // dedicated `worker-{me}` track so the profile renders one
+                // row per logical worker in every dispatch mode. Close the
+                // spawn edge onto that track.
+                let _track =
+                    dcer_obs::redirect_thread_track(dcer_obs::alloc_track(&format!("worker-{me}")));
                 dcer_obs::flow_end("bsp.spawn", spawn_flow_id(me));
                 let mut log = ShardLog::default();
                 let mut inbox: Vec<W::Msg> = Vec::new();
@@ -1123,17 +1156,33 @@ fn run_threaded<W: Worker>(
                 }
                 log.absorbed = w.absorbed_duplicates();
                 (w, log)
+            }
+        })
+        .collect();
+
+    let results: Vec<(W, ShardLog)> = match pool {
+        // Barrier-coupled workers must all run concurrently, so they go to
+        // the pool as a resident group: one worker per lane (the caller
+        // included), overflow on temporary threads.
+        Some(pool) => pool.run_resident(worker_tasks),
+        None => {
+            let mut slots: Vec<Option<(W, ShardLog)>> = (0..n).map(|_| None).collect();
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(n);
+                for (me, task) in worker_tasks.into_iter().enumerate() {
+                    let builder = std::thread::Builder::new().name(format!("worker-{me}"));
+                    handles.push(builder.spawn_scoped(scope, task).expect("spawn worker thread"));
+                }
+                for (i, h) in handles.into_iter().enumerate() {
+                    slots[i] = Some(h.join().expect("worker thread panicked"));
+                }
             });
-            handles.push(handle.expect("spawn worker thread"));
+            slots.into_iter().map(|r| r.expect("worker result")).collect()
         }
-        for (i, h) in handles.into_iter().enumerate() {
-            results[i] = Some(h.join().expect("worker thread panicked"));
-        }
-    });
+    };
 
     let (mut final_workers, mut logs) = (Vec::with_capacity(n), Vec::with_capacity(n));
-    for r in results {
-        let (w, log) = r.expect("worker result");
+    for (w, log) in results {
         final_workers.push(w);
         logs.push(log);
     }

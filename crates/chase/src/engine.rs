@@ -292,6 +292,20 @@ impl ChaseEngine {
     /// the hash-and-intern passes over the fragment run in parallel instead
     /// of serially inside the first superstep.
     pub fn prebuild_indexes(&mut self, threads: usize) {
+        self.prebuild_on(|indexes, dataset, keys| indexes.build_all(dataset, keys, threads));
+    }
+
+    /// [`ChaseEngine::prebuild_indexes`] on a shared [`dcer_pool::WorkPool`]
+    /// instead of a transient one — the path the pipeline uses so every
+    /// index build reuses the session's pool threads.
+    pub fn prebuild_indexes_on(&mut self, pool: &dcer_pool::WorkPool) {
+        self.prebuild_on(|indexes, dataset, keys| indexes.build_all_on(dataset, keys, pool));
+    }
+
+    fn prebuild_on(
+        &mut self,
+        build: impl FnOnce(&mut IndexSet, &Dataset, &[(RelId, dcer_relation::AttrId)]),
+    ) {
         // "chase.index_build" is the IndexBuild phase tag the causal
         // profiler attributes separately from Deduce-phase chase spans.
         let _span = dcer_obs::span("chase.index_build");
@@ -307,7 +321,7 @@ impl ChaseEngine {
                 keys.push((plan.atoms[e.right.0 .0 as usize], e.right.1));
             }
         }
-        self.indexes.build_all(&self.dataset, &keys, threads);
+        build(&mut self.indexes, &self.dataset, &keys);
         for plan_idx in 0..self.plans.len() {
             if self.programs[plan_idx].is_none() {
                 self.programs[plan_idx] = Some(RuleProgram::compile(

@@ -30,9 +30,14 @@ pub struct DmatchConfig {
     /// Fault-tolerance configuration: superstep checkpointing, injected
     /// faults, retry policy. Inactive (zero-overhead) by default.
     pub faults: FaultConfig,
-    /// Thread count for the pre-BSP phases (HyPart scan, fleet build);
-    /// `0` = one per available core. Never changes results.
+    /// Thread count for every parallel region (HyPart scan, fleet build,
+    /// threaded BSP workers); `0` = one per available core. Never changes
+    /// results.
     pub threads: usize,
+    /// Shared work-stealing pool to run all of those regions on; `None`
+    /// (default) creates a transient pool per run. Its size supersedes
+    /// `threads` when set. See [`PipelineConfig::pool`].
+    pub pool: Option<std::sync::Arc<dcer_pool::WorkPool>>,
 }
 
 impl DmatchConfig {
@@ -47,6 +52,7 @@ impl DmatchConfig {
             virtual_factor: None,
             faults: FaultConfig::none(),
             threads: 0,
+            pool: None,
         }
     }
 
@@ -75,6 +81,7 @@ impl DmatchConfig {
             virtual_factor: self.virtual_factor,
             faults: self.faults.clone(),
             threads: self.threads,
+            pool: self.pool.clone(),
         }
     }
 }

@@ -23,9 +23,7 @@
 //! `ChaseState` replica converges to the global `Γ` and the final outcome
 //! can be read off any shard.
 
-use dcer_bsp::{
-    run_bsp, run_bsp_with, BspStats, CostModel, ExecutionMode, FaultConfig, Worker, WorkerId,
-};
+use dcer_bsp::{run_bsp_on, BspStats, CostModel, ExecutionMode, FaultConfig, Worker, WorkerId};
 use dcer_chase::{
     naive_chase, BatchStats, ChaseConfig, ChaseEngine, ChaseOutcome, ChaseState, ChaseStats,
     DeltaBatch,
@@ -33,7 +31,9 @@ use dcer_chase::{
 use dcer_hypart::{partition, HyPartConfig, PartitionStats};
 use dcer_ml::MlRegistry;
 use dcer_mrl::RuleSet;
+use dcer_pool::WorkPool;
 use dcer_relation::Dataset;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The per-shard deduction strategy the pipeline drives.
@@ -197,7 +197,7 @@ impl<D: Deducer> ShardWorker<D> {
 
     /// Unwrap the shard, recovering its deducer (the update session runs
     /// repeated exchanges over long-lived engines, wrapping and unwrapping
-    /// them around each [`run_bsp_with`] call).
+    /// them around each [`dcer_bsp::run_bsp_on`] call).
     pub fn into_deducer(self) -> D {
         self.deducer
     }
@@ -285,11 +285,18 @@ pub struct PipelineConfig {
     /// Fault-tolerance configuration: superstep checkpointing, injected
     /// faults, retry policy. Inactive (zero-overhead) by default.
     pub faults: FaultConfig,
-    /// Thread count for the pre-BSP phases — HyPart's sharded distribution
-    /// scan, per-worker fragment builds, engine/index construction. `0`
-    /// (default) means one per available core. Results are bit-identical at
-    /// every setting; only wall-clock changes.
+    /// Thread count for every parallel region of the run — HyPart's
+    /// sharded distribution scan, fragment/host-table builds, engine/index
+    /// construction, and the threaded BSP workers. `0` (default) means one
+    /// per available core. Results are bit-identical at every setting;
+    /// only wall-clock changes.
     pub threads: usize,
+    /// The shared work-stealing pool all of those regions execute on.
+    /// `None` (default) creates one transient pool of `threads` lanes per
+    /// run; sessions thread their long-lived pool through here so every
+    /// run reuses one set of worker threads. When set, the pool's size
+    /// supersedes `threads`.
+    pub pool: Option<Arc<WorkPool>>,
 }
 
 impl PipelineConfig {
@@ -304,6 +311,7 @@ impl PipelineConfig {
             virtual_factor: None,
             faults: FaultConfig::none(),
             threads: 0,
+            pool: None,
         }
     }
 
@@ -365,16 +373,24 @@ pub fn run_pipeline(
     registry: &MlRegistry,
     config: &PipelineConfig,
 ) -> Result<PipelineReport, String> {
+    // One work-stealing pool for the whole run: the session's long-lived
+    // pool when the config carries one, a transient pool otherwise. Every
+    // parallel region below — the HyPart scan/merge/assemble, index and
+    // fleet builds, the threaded BSP workers — executes on it.
+    let pool = match &config.pool {
+        Some(p) => Arc::clone(p),
+        None => Arc::new(WorkPool::new(effective_threads(config.threads))),
+    };
     match config.executor {
         ExecutorKind::Sequential => {
             let started = Instant::now();
             let build = || -> Result<Vec<EngineDeducer>, String> {
                 let mut engine = ChaseEngine::new(dataset.clone(), rules, registry, &config.chase)?;
                 // A single engine parallelizes *within* its index build.
-                engine.prebuild_indexes(effective_threads(config.threads));
+                engine.prebuild_indexes_on(&pool);
                 Ok(vec![EngineDeducer::new(engine)])
             };
-            drive(build()?, Some(&build), None, 0.0, config, started)
+            drive(build()?, Some(&build), None, 0.0, config, started, &pool)
         }
         ExecutorKind::Naive => {
             let started = Instant::now();
@@ -382,13 +398,14 @@ pub fn run_pipeline(
             let build = || -> Result<Vec<StaticDeducer>, String> {
                 Ok(vec![StaticDeducer::new(state.clone())])
             };
-            drive(build()?, Some(&build), None, 0.0, config, started)
+            drive(build()?, Some(&build), None, 0.0, config, started, &pool)
         }
         ExecutorKind::Parallel => {
             let t0 = Instant::now();
             let mut hp = HyPartConfig::new(config.workers);
             hp.use_mqo = config.use_mqo;
-            hp.threads = config.threads;
+            hp.threads = pool.size();
+            hp.pool = Some(Arc::clone(&pool));
             if let Some(v) = config.virtual_factor {
                 hp.virtual_factor = v;
             }
@@ -397,14 +414,12 @@ pub fn run_pipeline(
                 partition(dataset, rules, &hp)
             };
             let partition_secs = t0.elapsed().as_secs_f64();
-            let threads = effective_threads(config.threads);
 
             // MQO also shares ML classifier results across rules with the
             // same predicate signature; the noMQO baseline pays per rule.
             let mut chase_cfg = config.chase.clone();
             chase_cfg.share_ml_across_rules = config.use_mqo;
-            let rule_masks: Vec<std::sync::Arc<_>> =
-                part.rule_masks.into_iter().map(std::sync::Arc::new).collect();
+            let rule_masks: Vec<Arc<_>> = part.rule_masks.into_iter().map(Arc::new).collect();
             if config.faults.active() {
                 // Degradation to a fault-free rerun must be able to rebuild
                 // the fleet, so fragments stay owned here and each build
@@ -416,19 +431,19 @@ pub fn run_pipeline(
                         rules,
                         registry,
                         &chase_cfg,
-                        threads,
+                        &pool,
                     )
                 };
-                drive(build()?, Some(&build), Some(part.stats), partition_secs, config, t0)
+                drive(build()?, Some(&build), Some(part.stats), partition_secs, config, t0, &pool)
             } else {
                 let deducers = build_fleet(
                     part.fragments.into_iter().zip(rule_masks).collect(),
                     rules,
                     registry,
                     &chase_cfg,
-                    threads,
+                    &pool,
                 )?;
-                drive(deducers, None, Some(part.stats), partition_secs, config, t0)
+                drive(deducers, None, Some(part.stats), partition_secs, config, t0, &pool)
             }
         }
     }
@@ -445,44 +460,32 @@ fn effective_threads(configured: usize) -> usize {
 }
 
 /// Build the per-fragment engine fleet — rule compilation, index
-/// construction, ML-oracle binding — with up to `threads` engine builds on
-/// concurrent scoped threads. Engines come out in fragment order and each
-/// eagerly prebuilds its indexes (single-threaded per engine: the fleet
-/// itself is the parallel axis here), so superstep 0 starts probe-ready.
+/// construction, ML-oracle binding — as one weighted batch on the shared
+/// pool. Engines come out in fragment order and each eagerly prebuilds its
+/// indexes (single-threaded per engine: the fleet itself is the parallel
+/// axis here), so superstep 0 starts probe-ready.
 pub(crate) fn build_fleet(
-    shards: Vec<(Dataset, std::sync::Arc<std::collections::HashMap<dcer_relation::Tid, u128>>)>,
+    shards: Vec<(Dataset, Arc<std::collections::HashMap<dcer_relation::Tid, u128>>)>,
     rules: &RuleSet,
     registry: &MlRegistry,
     chase_cfg: &ChaseConfig,
-    threads: usize,
+    pool: &WorkPool,
 ) -> Result<Vec<EngineDeducer>, String> {
     let _span = dcer_obs::span("pipeline.build_fleet").with_arg("shards", shards.len() as u64);
     // Scope each rule to the tuples HyPart distributed for it: the rule's
     // own distribution covers all its valuations (Lemma 6), so skipping
     // other rules' replicas removes only redundant work.
-    let unit = |(frag, masks): (Dataset, std::sync::Arc<_>)| {
+    let unit = |(frag, masks): (Dataset, Arc<_>)| {
         let mut engine = ChaseEngine::new(frag, rules, registry, chase_cfg)?;
         engine.set_rule_scope(masks);
         engine.prebuild_indexes(1);
         Ok(EngineDeducer::new(engine))
     };
-    let built: Vec<Result<EngineDeducer, String>> = if threads > 1 && shards.len() > 1 {
-        std::thread::scope(|s| {
-            let handles: Vec<_> = shards
-                .into_iter()
-                .enumerate()
-                .map(|(i, pair)| {
-                    std::thread::Builder::new()
-                        .name(format!("fleet-build-{i}"))
-                        .spawn_scoped(s, move || unit(pair))
-                        .expect("spawn fleet build thread")
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("fleet build thread panicked")).collect()
-        })
-    } else {
-        shards.into_iter().map(unit).collect()
-    };
+    // Engine-build time is dominated by index construction, linear in the
+    // fragment — so fragment size is the batch's cost model.
+    let weights: Vec<u64> = shards.iter().map(|(frag, _)| frag.total_tuples() as u64).collect();
+    let built: Vec<Result<EngineDeducer, String>> =
+        pool.run(shards.into_iter().map(|pair| move || unit(pair)).collect(), Some(&weights));
     built.into_iter().collect()
 }
 
@@ -499,6 +502,7 @@ fn drive<D: Deducer>(
     partition_secs: f64,
     config: &PipelineConfig,
     started: Instant,
+    pool: &WorkPool,
 ) -> Result<PipelineReport, String> {
     let n = deducers.len();
     let wrap = |ds: Vec<D>| -> Vec<ShardWorker<D>> {
@@ -509,7 +513,7 @@ fn drive<D: Deducer>(
     let mut fault_reruns = 0u32;
     let (mut shards, bsp) = {
         let _span = dcer_obs::span("pipeline.er").with_arg("shards", n as u64);
-        match run_bsp_with(wrap(deducers), config.execution, &config.cost, &config.faults) {
+        match run_bsp_on(pool, wrap(deducers), config.execution, &config.cost, &config.faults) {
             Ok(run) => run,
             Err(abort) => {
                 let rebuild = rebuild.ok_or_else(|| {
@@ -518,7 +522,16 @@ fn drive<D: Deducer>(
                 dcer_obs::instant("bsp.recovery.degraded_rerun");
                 dcer_obs::counter_add("bsp.recovery.degraded_reruns", 1);
                 fault_reruns = 1;
-                let (shards, mut bsp) = run_bsp(wrap(rebuild()?), config.execution, &config.cost);
+                let (shards, mut bsp) = match run_bsp_on(
+                    pool,
+                    wrap(rebuild()?),
+                    config.execution,
+                    &config.cost,
+                    &FaultConfig::none(),
+                ) {
+                    Ok(run) => run,
+                    Err(_) => unreachable!("an inactive FaultConfig never aborts"),
+                };
                 // The clean rerun has nothing to recover; surface what the
                 // fault layer did on the aborted attempt instead.
                 bsp.recovery = abort.stats.recovery;

@@ -8,6 +8,7 @@ use crate::pipeline::{run_pipeline, PipelineConfig};
 use dcer_chase::{ChaseConfig, ChaseOutcome};
 use dcer_ml::MlRegistry;
 use dcer_mrl::RuleSet;
+use dcer_pool::WorkPool;
 use dcer_relation::{Catalog, Dataset};
 use std::sync::Arc;
 
@@ -18,12 +19,23 @@ pub struct DcerSession {
     rules: RuleSet,
     registry: MlRegistry,
     chase: ChaseConfig,
+    /// The session's work-stealing pool (one lane per available core),
+    /// threaded through every run so partitioning, index/fleet builds and
+    /// threaded BSP workers all share one set of threads. Clones share it.
+    pool: Arc<WorkPool>,
 }
 
 impl DcerSession {
     /// Create a session. The rule set must be defined over `catalog`.
     pub fn new(catalog: Arc<Catalog>, rules: RuleSet, registry: MlRegistry) -> DcerSession {
-        DcerSession { catalog, rules, registry, chase: ChaseConfig::default() }
+        let lanes = std::thread::available_parallelism().map_or(1, |n| n.get());
+        DcerSession {
+            catalog,
+            rules,
+            registry,
+            chase: ChaseConfig::default(),
+            pool: Arc::new(WorkPool::new(lanes)),
+        }
     }
 
     /// Parse rules from MRL source text and create a session.
@@ -51,6 +63,11 @@ impl DcerSession {
         &self.registry
     }
 
+    /// The session's shared work-stealing pool.
+    pub fn pool(&self) -> &Arc<WorkPool> {
+        &self.pool
+    }
+
     /// Override the chase configuration.
     pub fn with_chase_config(mut self, chase: ChaseConfig) -> DcerSession {
         self.chase = chase;
@@ -69,6 +86,7 @@ impl DcerSession {
         let _span = dcer_obs::span("session.sequential");
         let mut cfg = PipelineConfig::sequential();
         cfg.chase = self.chase.clone();
+        cfg.pool = Some(Arc::clone(&self.pool));
         run_pipeline(dataset, &self.rules, &self.registry, &cfg).map(|r| r.outcome)
     }
 
@@ -76,8 +94,9 @@ impl DcerSession {
     /// replayed through the same pipeline.
     pub fn run_naive(&self, dataset: &Dataset) -> Result<ChaseOutcome, String> {
         let _span = dcer_obs::span("session.naive");
-        run_pipeline(dataset, &self.rules, &self.registry, &PipelineConfig::naive())
-            .map(|r| r.outcome)
+        let mut cfg = PipelineConfig::naive();
+        cfg.pool = Some(Arc::clone(&self.pool));
+        run_pipeline(dataset, &self.rules, &self.registry, &cfg).map(|r| r.outcome)
     }
 
     /// Build a long-lived incremental engine over `dataset`: run
@@ -100,6 +119,7 @@ impl DcerSession {
     ) -> Result<crate::update::UpdateSession, String> {
         let mut cfg = config.clone();
         cfg.chase = self.chase.clone();
+        cfg.pool.get_or_insert_with(|| Arc::clone(&self.pool));
         crate::update::UpdateSession::new(dataset, self.rules.clone(), self.registry.clone(), cfg)
     }
 
@@ -112,6 +132,7 @@ impl DcerSession {
         let _span = dcer_obs::span("session.parallel");
         let mut cfg = config.clone();
         cfg.chase = self.chase.clone();
+        cfg.pool.get_or_insert_with(|| Arc::clone(&self.pool));
         run_dmatch(dataset, &self.rules, &self.registry, &cfg)
     }
 

@@ -33,13 +33,15 @@
 
 use crate::dmatch::DmatchConfig;
 use crate::pipeline::{build_fleet, Deducer, ShardWorker};
-use dcer_bsp::{run_bsp_with, BspStats};
+use dcer_bsp::{run_bsp_on, BspStats};
 use dcer_chase::{ChaseEngine, ChaseOutcome, ChaseState, ChaseStats, DeltaBatch, Fact};
 use dcer_hypart::{partition_with_router, DeltaRouter, HyPartConfig};
 use dcer_ml::MlRegistry;
 use dcer_mrl::RuleSet;
+use dcer_pool::WorkPool;
 use dcer_relation::{Dataset, Tid, Tuple, UpdateBatch};
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A resident incremental-maintenance session over one dataset.
@@ -50,6 +52,9 @@ pub struct UpdateSession {
     /// The authoritative full dataset (tombstones retained: a delete's
     /// routing geometry needs the dead tuple's values).
     master: Dataset,
+    /// The session's work-stealing pool, reused across every re-partition,
+    /// fleet rebuild and exchange.
+    pool: Arc<WorkPool>,
     engines: Vec<ChaseEngine>,
     router: DeltaRouter,
     /// Which workers host each live tuple — the master's routing table,
@@ -155,12 +160,22 @@ impl UpdateSession {
         config: DmatchConfig,
     ) -> Result<UpdateSession, String> {
         let _span = dcer_obs::span("update.bootstrap").with_arg("workers", config.workers as u64);
-        let (engines, router, hosts) = Self::materialize(dataset, &rules, &registry, &config)?;
+        let pool = match &config.pool {
+            Some(p) => Arc::clone(p),
+            None => Arc::new(WorkPool::new(if config.threads > 0 {
+                config.threads
+            } else {
+                std::thread::available_parallelism().map_or(1, |n| n.get())
+            })),
+        };
+        let (engines, router, hosts) =
+            Self::materialize(dataset, &rules, &registry, &config, &pool)?;
         let mut session = UpdateSession {
             rules,
             registry,
             config,
             master: dataset.clone(),
+            pool,
             engines,
             router,
             hosts,
@@ -175,7 +190,7 @@ impl UpdateSession {
     /// partition with a router, build engines, run the full fixpoint.
     fn bootstrap(&mut self) -> Result<BspStats, String> {
         let (engines, router, hosts) =
-            Self::materialize(&self.master, &self.rules, &self.registry, &self.config)?;
+            Self::materialize(&self.master, &self.rules, &self.registry, &self.config, &self.pool)?;
         self.engines = engines;
         self.router = router;
         self.hosts = hosts;
@@ -191,10 +206,12 @@ impl UpdateSession {
         rules: &RuleSet,
         registry: &MlRegistry,
         config: &DmatchConfig,
+        pool: &Arc<WorkPool>,
     ) -> Result<(Vec<ChaseEngine>, DeltaRouter, HashMap<Tid, Vec<u16>>), String> {
         let mut hp = HyPartConfig::new(config.workers);
         hp.use_mqo = config.use_mqo;
-        hp.threads = config.threads;
+        hp.threads = pool.size();
+        hp.pool = Some(Arc::clone(pool));
         if let Some(v) = config.virtual_factor {
             hp.virtual_factor = v;
         }
@@ -204,17 +221,9 @@ impl UpdateSession {
         };
         let mut chase_cfg = config.chase.clone();
         chase_cfg.share_ml_across_rules = config.use_mqo;
-        let threads = if config.threads > 0 {
-            config.threads
-        } else {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
-        };
-        let shards = part
-            .fragments
-            .into_iter()
-            .zip(part.rule_masks.into_iter().map(std::sync::Arc::new))
-            .collect();
-        let engines = build_fleet(shards, rules, registry, &chase_cfg, threads)?
+        let shards =
+            part.fragments.into_iter().zip(part.rule_masks.into_iter().map(Arc::new)).collect();
+        let engines = build_fleet(shards, rules, registry, &chase_cfg, pool)?
             .into_iter()
             .map(|d| d.into_engine())
             .collect();
@@ -239,11 +248,14 @@ impl UpdateSession {
                 ShardWorker::new(i, n, UpdateDeducer { engine, initial, emitted: Vec::new() })
             })
             .collect();
-        let (shards, bsp) =
-            run_bsp_with(workers, self.config.execution, &self.config.cost, &self.config.faults)
-                .map_err(|abort| {
-                    format!("update exchange aborted, session lost: {}", abort.reason)
-                })?;
+        let (shards, bsp) = run_bsp_on(
+            &self.pool,
+            workers,
+            self.config.execution,
+            &self.config.cost,
+            &self.config.faults,
+        )
+        .map_err(|abort| format!("update exchange aborted, session lost: {}", abort.reason))?;
         let mut deduced = BTreeSet::new();
         self.engines = shards
             .into_iter()

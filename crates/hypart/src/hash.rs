@@ -94,6 +94,16 @@ impl HashMemo {
     pub fn hits(&self) -> u64 {
         self.hits
     }
+
+    /// Account `n` lookups that were answered from a cached emission
+    /// instead of re-entering the memo. A selective rescan that replays a
+    /// rule's cached raw hash values skips `n` `hash()` calls which would
+    /// all have been memo hits (the memo persists across refinement
+    /// iterations and its keys do not involve the cell count); crediting
+    /// them keeps the computed/hit counters identical to a full rescan.
+    pub fn credit_hits(&mut self, n: u64) {
+        self.hits += n;
+    }
 }
 
 #[cfg(test)]

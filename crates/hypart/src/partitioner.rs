@@ -6,32 +6,43 @@
 //! ## Parallel distribution
 //!
 //! The tuple-distribution scan — rules × roles × tuples × broadcast product
-//! — is sharded across [`std::thread::scope`] workers. Shard `s` of `T`
-//! owns a fixed row range of every relation (`[len·s/T, len·(s+1)/T)`), so
-//! a given tuple is always hashed by the same shard; each shard carries its
-//! own [`HashMemo`], which therefore sees exactly the lookups the single
-//! sequential memo would see for those rows, and the summed
-//! computed/hit counters are identical at every thread count. Shards emit
-//! `(cell, tid, rule mask)` runs pre-bucketed by `cell % T`; runs are
-//! merged per cell class in fixed shard order, and rule masks combine by
-//! bitwise OR, so the resulting [`Partition`] — fragments, rule masks,
-//! hosts, stats — is bit-identical to the sequential result at any thread
-//! count (see the `parallel_parity` proptest).
+//! — is split into cost-model-sized tasks executed on the shared
+//! [`WorkPool`] (the session-wide pool when [`HyPartConfig::pool`] is set,
+//! a transient one otherwise). Task `s` of `T` owns a fixed row range of
+//! every relation (`[len·s/T, len·(s+1)/T)`), so a given tuple is always
+//! hashed by the same task; each task carries its own [`HashMemo`], which
+//! therefore sees exactly the lookups the single sequential memo would see
+//! for those rows, and the summed computed/hit counters are identical at
+//! every thread count. Tasks emit `(cell, tid, rule mask)` runs
+//! pre-bucketed by `cell % classes`; runs are merged per cell class in
+//! fixed task order, and rule masks combine by bitwise OR, so the
+//! resulting [`Partition`] — fragments, rule masks, hosts, stats — is
+//! bit-identical to the sequential result at any thread count (see the
+//! `parallel_parity` proptest).
+//!
+//! The task count oversubscribes the lane count by the modeled per-row
+//! cost variance (wide rules' broadcast products dominate), giving the
+//! pool's work stealing room to absorb whatever the contiguous
+//! weight-balanced split misses.
 //!
 //! Per-rule geometries are built once per *effective* cell count and reused
 //! across skew-refinement doublings: memoized hashes stay valid because a
 //! coordinate is `h % shares[d]` — only the modulus changes — and wide
 //! rules' reduced sub-grids do not change at all when the global cell count
-//! doubles.
+//! doubles. Once a rule's grid saturates, a doubling only changes the
+//! final `% cells`, so refinement iterations replay the rule's cached raw
+//! emissions instead of re-walking its rows (see `CachedRule`).
 
 use crate::balance::{balance_ratio, lpt_assign};
 use crate::hash::HashMemo;
 use crate::shares::{allocate_shares, RoleCoverage};
 use dcer_mqo::{assign_hashes, MqoPlan, QueryPlan};
 use dcer_mrl::{Predicate, RuleSet, TupleVar, VarKey};
+use dcer_pool::WorkPool;
 use dcer_relation::{Dataset, Tid};
 use serde::Serialize;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// How the partitioner's shard closures execute.
@@ -74,6 +85,11 @@ pub struct HyPartConfig {
     pub threads: usize,
     /// Shard execution mode (threaded vs. timing-accurate simulation).
     pub execution: ShardExecution,
+    /// The shared work-stealing pool every parallel region runs on. `None`
+    /// creates a transient pool of [`Self::effective_threads`] lanes per
+    /// `partition` call; sessions thread one pool through here so the
+    /// whole pipeline reuses the same threads.
+    pub pool: Option<Arc<WorkPool>>,
 }
 
 impl HyPartConfig {
@@ -89,6 +105,7 @@ impl HyPartConfig {
             max_refinements: 2,
             threads: 0,
             execution: ShardExecution::Threaded,
+            pool: None,
         }
     }
 
@@ -186,12 +203,14 @@ impl PartitionStats {
 /// makespan is only a lower-bound estimate.
 #[derive(Debug, Clone, Default)]
 pub struct DistTimings {
-    /// Per scan shard, summed over refinement iterations.
+    /// Per scan task, summed over refinement iterations.
     pub scan_ns: Vec<u64>,
     /// Per merge class (cell `% threads`), summed over iterations.
     pub merge_ns: Vec<u64>,
     /// Per output worker (fragment + rule-mask build).
     pub fragment_ns: Vec<u64>,
+    /// Per host-table bucket (routing-table build).
+    pub assemble_ns: Vec<u64>,
     /// Wall time of the whole `partition` call.
     pub total_ns: u64,
 }
@@ -202,12 +221,14 @@ impl DistTimings {
     pub fn makespan_ns(&self) -> u64 {
         let spent: u64 = self.scan_ns.iter().sum::<u64>()
             + self.merge_ns.iter().sum::<u64>()
-            + self.fragment_ns.iter().sum::<u64>();
+            + self.fragment_ns.iter().sum::<u64>()
+            + self.assemble_ns.iter().sum::<u64>();
         let residue = self.total_ns.saturating_sub(spent);
         residue
             + self.scan_ns.iter().copied().max().unwrap_or(0)
             + self.merge_ns.iter().copied().max().unwrap_or(0)
             + self.fragment_ns.iter().copied().max().unwrap_or(0)
+            + self.assemble_ns.iter().copied().max().unwrap_or(0)
     }
 
     /// Publish per-region totals as `hypart.parallel.*` counters.
@@ -219,6 +240,7 @@ impl DistTimings {
         dcer_obs::counter_add("hypart.parallel.scan_ns", self.scan_ns.iter().sum());
         dcer_obs::counter_add("hypart.parallel.merge_ns", self.merge_ns.iter().sum());
         dcer_obs::counter_add("hypart.parallel.fragment_ns", self.fragment_ns.iter().sum());
+        dcer_obs::counter_add("hypart.parallel.assemble_ns", self.assemble_ns.iter().sum());
         dcer_obs::counter_add("hypart.parallel.total_ns", self.total_ns);
     }
 }
@@ -325,21 +347,19 @@ fn shard_range(len: usize, shard: usize, shards: usize) -> (usize, usize) {
     (len * shard / shards, len * (shard + 1) / shards)
 }
 
-/// Emit every `(cell, tid, mask)` replica of one tuple for one role of one
-/// rule's geometry — the per-tuple body shared by the full distribution
-/// scan and the [`DeltaRouter`]'s single-tuple routing, so routed deltas
-/// land in exactly the cells the full scan would choose.
-#[allow(clippy::too_many_arguments)]
-fn emit_role_cells(
+/// Emit every *raw* (pre-modulus) replica value of one tuple for one role:
+/// `base + Σ combo·stride + offset`, before the final `% cells`. Raw values
+/// depend only on the rule's geometry — not on the global cell count — which
+/// is what makes them cacheable across skew-refinement doublings for rules
+/// whose effective grid has saturated.
+fn emit_role_raw(
     geom: &RuleGeometry,
     role: &RoleInfo,
-    mask: u128,
     t: &dcer_relation::Tuple,
-    cells: usize,
     memo: &mut HashMemo,
     fixed: &mut Vec<(usize, usize)>,
     combo: &mut Vec<usize>,
-    emit: &mut impl FnMut(usize, Tid, u128),
+    emit: &mut impl FnMut(u64, Tid),
 ) {
     for (attr, c) in &role.const_filters {
         if !t.get(*attr).sql_eq(c) {
@@ -357,16 +377,15 @@ fn emit_role_cells(
     combo.clear();
     combo.resize(role.free.len(), 0);
     loop {
-        let cell: usize = (base
+        let raw: usize = base
             + role
                 .free
                 .iter()
                 .zip(combo.iter())
                 .map(|(&d, &coord)| coord * geom.strides[d])
                 .sum::<usize>()
-            + geom.offset)
-            % cells;
-        emit(cell, t.tid, mask);
+            + geom.offset;
+        emit(raw as u64, t.tid);
         // Advance the mixed-radix combo.
         let mut i = 0;
         loop {
@@ -384,6 +403,88 @@ fn emit_role_cells(
             break;
         }
     }
+}
+
+/// Emit every `(cell, tid, mask)` replica of one tuple for one role of one
+/// rule's geometry — the per-tuple body shared by the full distribution
+/// scan and the [`DeltaRouter`]'s single-tuple routing, so routed deltas
+/// land in exactly the cells the full scan would choose.
+#[allow(clippy::too_many_arguments)]
+fn emit_role_cells(
+    geom: &RuleGeometry,
+    role: &RoleInfo,
+    mask: u128,
+    t: &dcer_relation::Tuple,
+    cells: usize,
+    memo: &mut HashMemo,
+    fixed: &mut Vec<(usize, usize)>,
+    combo: &mut Vec<usize>,
+    emit: &mut impl FnMut(usize, Tid, u128),
+) {
+    emit_role_raw(geom, role, t, memo, fixed, combo, &mut |raw, tid| {
+        emit((raw % cells as u64) as usize, tid, mask);
+    });
+}
+
+/// Per-row scan cost of one role: one memoized hash lookup per covered
+/// dimension plus one emission per broadcast combination.
+fn role_cost(geom: &RuleGeometry, role: &RoleInfo) -> u64 {
+    let bcast: u64 = role.free.iter().map(|&d| geom.shares[d] as u64).product();
+    role.covered.len() as u64 + bcast
+}
+
+/// Cost-model weights of the `tasks` scan tasks: each task owns a fixed
+/// row range of every relation, weighted by the per-row cost of every
+/// (rule, role) scanning it — wide rules' broadcast products dominate, so
+/// the pool's weight-balanced split gives their rows narrower lanes.
+fn scan_task_weights(dataset: &Dataset, geoms: &[&RuleGeometry], tasks: usize) -> Vec<u64> {
+    let mut weights = vec![0u64; tasks];
+    for geom in geoms {
+        for role in &geom.roles {
+            let cost = role_cost(geom, role);
+            let len = dataset.relation(role.rel).len();
+            for (task, w) in weights.iter_mut().enumerate() {
+                let (lo, hi) = shard_range(len, task, tasks);
+                *w += (hi - lo) as u64 * cost;
+            }
+        }
+    }
+    weights
+}
+
+/// Scan-task oversubscription factor for the threaded path: the average
+/// modeled cost per scanned row — a proxy for how much per-row cost varies
+/// across the rule set — clamped to `[2, 8]`. More tasks than lanes gives
+/// stealing room to absorb what the contiguous split misses. A pure
+/// function of the initial geometry, so the task count — and with it each
+/// per-task memo's row ranges — stays fixed across refinement doublings
+/// (the counter-parity invariant).
+fn oversubscription(dataset: &Dataset, geoms: &[&RuleGeometry]) -> usize {
+    let mut cost = 0u64;
+    let mut rows = 0u64;
+    for geom in geoms {
+        for role in &geom.roles {
+            let len = dataset.relation(role.rel).len() as u64;
+            cost += len * role_cost(geom, role);
+            rows += len;
+        }
+    }
+    cost.checked_div(rows).map_or(2, |per_row| (per_row as usize).clamp(2, 8))
+}
+
+/// Cached raw emissions of one rule for one scan task, filled once the
+/// rule's effective grid saturates (`effective_cells < cells`) and another
+/// refinement is still possible. On a doubling only the final `% cells`
+/// changes for such a rule, so the next iteration replays `raw % cells`
+/// instead of re-walking rows. `lookups` is the number of memoized hash
+/// lookups the replaced walk performed — on a real rescan they would all
+/// be memo hits (the memo persists across iterations and its keys do not
+/// involve the cell count), so replaying credits them via
+/// [`HashMemo::credit_hits`], keeping the stats counters bit-identical to
+/// a full rescan.
+struct CachedRule {
+    raws: Vec<(u64, Tid)>,
+    lookups: u64,
 }
 
 /// Scan shard `shard`'s row ranges for every rule/role, emitting one
@@ -428,15 +529,26 @@ fn hypart_flow_id(round: u32, shard: usize, class: usize) -> u64 {
     (1u64 << 49) | ((round as u64) << 40) | ((shard as u64) << 20) | class as u64
 }
 
-/// Run a batch of closures — scoped threads when `parallel`, back to back
-/// on the calling thread otherwise — returning results in unit order and
-/// accumulating each unit's wall time into `times` (element-wise). Spawned
-/// threads are OS-named `{name}-{index}`, which is also the label their
-/// lazily-allocated trace tracks inherit.
+/// How a batch of partition units executes.
+#[derive(Clone, Copy)]
+enum Exec<'a> {
+    /// Back to back on the calling thread — sequential runs and the
+    /// [`ShardExecution::Simulated`] mode, whose per-unit timings must be
+    /// uncontended measurements.
+    Seq,
+    /// On the shared work-stealing pool (the caller participates as lane
+    /// 0; `weights` drives the contiguous weight-balanced distribution).
+    Pool(&'a WorkPool),
+}
+
+/// Run a batch of closures on `exec`, returning results in unit order and
+/// accumulating each unit's wall time into `times` (element-wise). The
+/// pool's ordered result slots make the output identical to the
+/// sequential path regardless of which lane executed what.
 fn run_units<'env, T, F>(
     units: Vec<F>,
-    parallel: bool,
-    name: &'static str,
+    exec: Exec<'_>,
+    weights: Option<&[u64]>,
     times: &mut [u64],
 ) -> Vec<T>
 where
@@ -448,22 +560,11 @@ where
         let out = f();
         (out, t0.elapsed().as_nanos() as u64)
     };
-    let results: Vec<(T, u64)> = if parallel && units.len() > 1 {
-        std::thread::scope(|s| {
-            let handles: Vec<_> = units
-                .into_iter()
-                .enumerate()
-                .map(|(i, f)| {
-                    std::thread::Builder::new()
-                        .name(format!("{name}-{i}"))
-                        .spawn_scoped(s, move || timed(f))
-                        .expect("spawn partition unit")
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("partition shard panicked")).collect()
-        })
-    } else {
-        units.into_iter().map(timed).collect()
+    let results: Vec<(T, u64)> = match exec {
+        Exec::Pool(pool) if units.len() > 1 => {
+            pool.run(units.into_iter().map(|f| move || timed(f)).collect(), weights)
+        }
+        _ => units.into_iter().map(timed).collect(),
     };
     results
         .into_iter()
@@ -540,14 +641,29 @@ fn partition_inner(
     let qp = QueryPlan::build(rules);
     let plan = assign_hashes(rules, &qp, config.use_mqo);
 
-    let shards = config.effective_threads().max(1);
-    let parallel = shards > 1 && config.execution == ShardExecution::Threaded;
-    let mut memos: Vec<HashMemo> = (0..shards).map(|_| HashMemo::new()).collect();
+    let threads = config.effective_threads().max(1);
+    let parallel = threads > 1 && config.execution == ShardExecution::Threaded;
+    // Every parallel region runs on one pool: the session-wide one when the
+    // caller threaded it through the config, a transient one otherwise.
+    let transient = (parallel && config.pool.is_none()).then(|| Arc::new(WorkPool::new(threads)));
+    let pool: Option<&WorkPool> =
+        if parallel { config.pool.as_deref().or(transient.as_deref()) } else { None };
+    let exec = match pool {
+        Some(p) => Exec::Pool(p),
+        None => Exec::Seq,
+    };
+
+    // Merge classes (and host-table buckets) match the lane count; the scan
+    // task count is set on the first iteration from the cost model.
+    let classes = threads;
+    let mut memos: Vec<HashMemo> = Vec::new();
+    let mut caches: Vec<HashMap<usize, CachedRule>> = Vec::new();
     let mut geom_cache: HashMap<(usize, usize), RuleGeometry> = HashMap::new();
     let mut timings = DistTimings {
-        scan_ns: vec![0; shards],
-        merge_ns: vec![0; shards],
+        scan_ns: Vec::new(), // sized once the scan task count is known
+        merge_ns: vec![0; classes],
         fragment_ns: vec![0; config.workers],
+        assemble_ns: vec![0; classes],
         total_ns: 0,
     };
 
@@ -571,8 +687,21 @@ fn partition_inner(
             .map(|i| &geom_cache[&(i, effective_cells(rules, i, cells, config.workers))])
             .collect();
 
-        let (cell_members, generated) = if shards == 1 {
-            // Single shard: emit straight into the cell table, exactly like
+        // Scan task count: lanes × cost-model oversubscription when
+        // threaded, one per lane otherwise. Fixed on the first iteration —
+        // per-task memos (and raw caches) must keep their row ranges across
+        // refinement doublings for counter parity.
+        if memos.is_empty() {
+            let tasks =
+                if parallel { threads * oversubscription(dataset, &geoms) } else { threads };
+            memos = (0..tasks).map(|_| HashMemo::new()).collect();
+            caches = (0..tasks).map(|_| HashMap::new()).collect();
+            timings.scan_ns = vec![0; tasks];
+        }
+        let tasks = memos.len();
+
+        let (cell_members, generated) = if tasks == 1 {
+            // Single task: emit straight into the cell table, exactly like
             // the sequential reference.
             let t0 = Instant::now();
             let mut cm: Vec<HashMap<Tid, u128>> = vec![HashMap::new(); cells];
@@ -584,26 +713,80 @@ fn partition_inner(
             timings.scan_ns[0] += t0.elapsed().as_nanos() as u64;
             (cm, generated)
         } else {
-            // Sharded scan: each shard hashes a disjoint row range of every
-            // relation with its own memo, emitting runs pre-bucketed by
-            // merge class (`cell % shards`).
+            // Task-sharded scan: each task hashes a disjoint row range of
+            // every relation with its own memo, emitting runs pre-bucketed
+            // by merge class (`cell % classes`). Rules whose effective grid
+            // has saturated replay their cached raw emissions on refinement
+            // iterations instead of re-walking rows; candidates cache their
+            // raw values while another refinement is still possible.
+            let fill_ok = refinements < config.max_refinements && cells * 2 <= config.max_cells;
+            let cacheable: Vec<bool> = (0..rules.len())
+                .map(|i| fill_ok && effective_cells(rules, i, cells, config.workers) < cells)
+                .collect();
+            let weights = scan_task_weights(dataset, &geoms, tasks);
             let geoms = &geoms;
+            let cacheable = &cacheable;
             let units: Vec<_> = memos
                 .iter_mut()
+                .zip(caches.iter_mut())
                 .enumerate()
-                .map(|(shard, memo)| {
+                .map(|(task, (memo, cache))| {
                     move || {
-                        let mut buckets: Vec<Vec<(usize, Tid, u128)>> = vec![Vec::new(); shards];
-                        scan_shard(dataset, geoms, cells, shard, shards, memo, &mut |c, t, m| {
-                            buckets[c % shards].push((c, t, m));
-                        });
-                        // Open the shard→merge handoff edge for every
+                        let _span = dcer_obs::span("hypart.distribute.shard")
+                            .with_arg("shard", task as u64);
+                        let mut buckets: Vec<Vec<(usize, Tid, u128)>> = vec![Vec::new(); classes];
+                        let mut fixed: Vec<(usize, usize)> = Vec::new();
+                        let mut combo: Vec<usize> = Vec::new();
+                        for (rule_idx, geom) in geoms.iter().enumerate() {
+                            let mask = rule_bit(rule_idx);
+                            if let Some(cached) = cache.get(&rule_idx) {
+                                memo.credit_hits(cached.lookups);
+                                for &(raw, tid) in &cached.raws {
+                                    let cell = (raw % cells as u64) as usize;
+                                    buckets[cell % classes].push((cell, tid, mask));
+                                }
+                                continue;
+                            }
+                            let fill = cacheable[rule_idx];
+                            let before = memo.computed() + memo.hits();
+                            let mut raws: Vec<(u64, Tid)> = Vec::new();
+                            for role in &geom.roles {
+                                let relation = dataset.relation(role.rel);
+                                let tuples = relation.tuples();
+                                let (lo, hi) = shard_range(tuples.len(), task, tasks);
+                                for (off, t) in tuples[lo..hi].iter().enumerate() {
+                                    if !relation.is_live((lo + off) as u32) {
+                                        continue;
+                                    }
+                                    emit_role_raw(
+                                        geom,
+                                        role,
+                                        t,
+                                        memo,
+                                        &mut fixed,
+                                        &mut combo,
+                                        &mut |raw, tid| {
+                                            let cell = (raw % cells as u64) as usize;
+                                            buckets[cell % classes].push((cell, tid, mask));
+                                            if fill {
+                                                raws.push((raw, tid));
+                                            }
+                                        },
+                                    );
+                                }
+                            }
+                            if fill {
+                                let lookups = memo.computed() + memo.hits() - before;
+                                cache.insert(rule_idx, CachedRule { raws, lookups });
+                            }
+                        }
+                        // Open the task→merge handoff edge for every
                         // non-empty bucket; the owning merge unit closes it.
                         for (class, bucket) in buckets.iter().enumerate() {
                             if !bucket.is_empty() {
                                 dcer_obs::flow_begin(
                                     "hypart.handoff",
-                                    hypart_flow_id(refinements, shard, class),
+                                    hypart_flow_id(refinements, task, class),
                                 );
                             }
                         }
@@ -611,17 +794,19 @@ fn partition_inner(
                     }
                 })
                 .collect();
-            let mut runs = run_units(units, parallel, "hypart-scan", &mut timings.scan_ns);
+            let mut runs = run_units(units, exec, Some(&weights), &mut timings.scan_ns);
             let generated: u64 =
                 runs.iter().map(|r| r.iter().map(|b| b.len() as u64).sum::<u64>()).sum();
 
-            // Transpose to per-class columns (shard order preserved), then
+            // Transpose to per-class columns (task order preserved), then
             // merge each class concurrently: class `k` owns the cells
-            // `≡ k (mod shards)`, so the merged maps are disjoint and the
+            // `≡ k (mod classes)`, so the merged maps are disjoint and the
             // bitwise-OR accumulation is order-independent anyway.
-            let columns: Vec<Vec<Vec<(usize, Tid, u128)>>> = (0..shards)
+            let columns: Vec<Vec<Vec<(usize, Tid, u128)>>> = (0..classes)
                 .map(|class| runs.iter_mut().map(|r| std::mem::take(&mut r[class])).collect())
                 .collect();
+            let merge_weights: Vec<u64> =
+                columns.iter().map(|col| col.iter().map(|run| run.len() as u64).sum()).collect();
             let merge_units: Vec<_> = columns
                 .into_iter()
                 .enumerate()
@@ -629,31 +814,31 @@ fn partition_inner(
                     move || {
                         let _span =
                             dcer_obs::span("hypart.merge.class").with_arg("class", class as u64);
-                        for (shard, run) in column.iter().enumerate() {
+                        for (task, run) in column.iter().enumerate() {
                             if !run.is_empty() {
                                 dcer_obs::flow_end(
                                     "hypart.handoff",
-                                    hypart_flow_id(refinements, shard, class),
+                                    hypart_flow_id(refinements, task, class),
                                 );
                             }
                         }
                         let slots =
-                            if class < cells { (cells - class).div_ceil(shards) } else { 0 };
+                            if class < cells { (cells - class).div_ceil(classes) } else { 0 };
                         let mut maps: Vec<HashMap<Tid, u128>> = vec![HashMap::new(); slots];
                         for run in column {
                             for (cell, tid, mask) in run {
-                                *maps[cell / shards].entry(tid).or_insert(0) |= mask;
+                                *maps[cell / classes].entry(tid).or_insert(0) |= mask;
                             }
                         }
                         maps
                     }
                 })
                 .collect();
-            let merged = run_units(merge_units, parallel, "hypart-merge", &mut timings.merge_ns);
+            let merged = run_units(merge_units, exec, Some(&merge_weights), &mut timings.merge_ns);
             let mut cm: Vec<HashMap<Tid, u128>> = vec![HashMap::new(); cells];
             for (class, maps) in merged.into_iter().enumerate() {
                 for (slot, map) in maps.into_iter().enumerate() {
-                    cm[class + slot * shards] = map;
+                    cm[class + slot * classes] = map;
                 }
             }
             (cm, generated)
@@ -682,7 +867,7 @@ fn partition_inner(
         generated,
         hash_computations,
         hash_memo_hits,
-        parallel,
+        exec,
         &mut timings,
     );
     let router = want_router.then(|| {
@@ -708,7 +893,7 @@ fn partition_inner(
         }
     });
     timings.total_ns = wall.elapsed().as_nanos() as u64;
-    timings.publish(shards);
+    timings.publish(threads);
     (partition, timings, router)
 }
 
@@ -859,6 +1044,7 @@ pub fn partition_reference(dataset: &Dataset, rules: &RuleSet, config: &HyPartCo
         scan_ns: vec![0; 1],
         merge_ns: vec![0; 1],
         fragment_ns: vec![0; config.workers],
+        assemble_ns: vec![0; 1],
         total_ns: 0,
     };
     assemble(
@@ -871,13 +1057,13 @@ pub fn partition_reference(dataset: &Dataset, rules: &RuleSet, config: &HyPartCo
         generated,
         memo.computed(),
         memo.hits(),
-        false,
+        Exec::Seq,
         &mut timings,
     )
 }
 
 /// Shared back half of both partitioners: LPT cell assignment, per-worker
-/// fragment + rule-mask build (concurrent when `parallel`), routing table,
+/// fragment + rule-mask build, routing-table build (both on `exec`),
 /// orphan adoption, stats.
 #[allow(clippy::too_many_arguments)]
 fn assemble(
@@ -890,7 +1076,7 @@ fn assemble(
     generated: u64,
     hash_computations: u64,
     hash_memo_hits: u64,
-    parallel: bool,
+    exec: Exec<'_>,
     timings: &mut DistTimings,
 ) -> Partition {
     let _assign = dcer_obs::span("hypart.assign").with_arg("cells", cells as u64);
@@ -906,8 +1092,18 @@ fn assemble(
 
     // Build fragments and per-fragment rule masks, one worker per unit:
     // each unit walks its cells in ascending order (members sorted by tid),
-    // reproducing the sequential insertion order exactly.
+    // reproducing the sequential insertion order exactly. Units are
+    // weighted by their worker's LPT-assigned load, and additionally bucket
+    // their hosted tuples by `tid % T` for the routing-table build below.
     let assignment = &assignment;
+    let frag_weights: Vec<u64> = {
+        let mut w = vec![0u64; config.workers];
+        for (cell, &a) in assignment.iter().enumerate() {
+            w[a] += loads[cell];
+        }
+        w
+    };
+    let host_tasks = timings.assemble_ns.len().max(1);
     let units: Vec<_> = (0..config.workers)
         .map(|w| {
             move || {
@@ -927,25 +1123,49 @@ fn assemble(
                         *masks.entry(tid).or_insert(0) |= mask;
                     }
                 }
-                (fragment, masks)
+                let mut key_buckets: Vec<Vec<Tid>> = vec![Vec::new(); host_tasks];
+                for &tid in masks.keys() {
+                    key_buckets[(tid.pack() % host_tasks as u64) as usize].push(tid);
+                }
+                (fragment, masks, key_buckets)
             }
         })
         .collect();
-    let built = run_units(units, parallel, "hypart-frag", &mut timings.fragment_ns);
-    let mut fragments: Vec<Dataset> = Vec::with_capacity(config.workers);
-    let mut rule_masks: Vec<HashMap<Tid, u128>> = Vec::with_capacity(config.workers);
-    for (fragment, masks) in built {
-        fragments.push(fragment);
-        rule_masks.push(masks);
+    let built = run_units(units, exec, Some(&frag_weights), &mut timings.fragment_ns);
+
+    // Routing table: each worker's mask keys are exactly its hosted
+    // tuples. Bucket `k` owns the tuples with `tid % T == k`, so the
+    // partial maps are disjoint and merge by plain extension; each bucket
+    // visits workers in ascending order, keeping every host list sorted —
+    // the same content the old sequential loop produced.
+    let built_ref = &built;
+    let host_units: Vec<_> = (0..host_tasks)
+        .map(|k| {
+            move || {
+                let _span = dcer_obs::span("hypart.hosts").with_arg("bucket", k as u64);
+                let mut part: HashMap<Tid, Vec<u16>> = HashMap::new();
+                for (w, (_, _, key_buckets)) in built_ref.iter().enumerate() {
+                    for &tid in &key_buckets[k] {
+                        part.entry(tid).or_default().push(w as u16);
+                    }
+                }
+                part
+            }
+        })
+        .collect();
+    let host_weights: Vec<u64> =
+        (0..host_tasks).map(|k| built.iter().map(|(_, _, kb)| kb[k].len() as u64).sum()).collect();
+    let parts = run_units(host_units, exec, Some(&host_weights), &mut timings.assemble_ns);
+    let mut hosts: HashMap<Tid, Vec<u16>> = HashMap::with_capacity(dataset.total_tuples());
+    for part in parts {
+        hosts.extend(part);
     }
 
-    // Routing table: each worker's mask keys are exactly its hosted tuples;
-    // visiting workers in ascending order keeps every host list sorted.
-    let mut hosts: HashMap<Tid, Vec<u16>> = HashMap::with_capacity(dataset.total_tuples());
-    for (w, masks) in rule_masks.iter().enumerate() {
-        for &tid in masks.keys() {
-            hosts.entry(tid).or_default().push(w as u16);
-        }
+    let mut fragments: Vec<Dataset> = Vec::with_capacity(config.workers);
+    let mut rule_masks: Vec<HashMap<Tid, u128>> = Vec::with_capacity(config.workers);
+    for (fragment, masks, _) in built {
+        fragments.push(fragment);
+        rule_masks.push(masks);
     }
 
     // Live tuples untouched by any rule still need a home for completeness

@@ -77,6 +77,13 @@ proptest! {
             let p = partition(&d, &rs, &cfg);
             assert_identical(&p, &oracle, &format!("threaded, threads={threads}"));
 
+            // A caller-provided shared pool must be just as invisible to
+            // the output as the transient per-call pool.
+            cfg.pool = Some(Arc::new(dcer_pool::WorkPool::new(threads)));
+            let pp = partition(&d, &rs, &cfg);
+            assert_identical(&pp, &oracle, &format!("shared pool, lanes={threads}"));
+            cfg.pool = None;
+
             cfg.execution = ShardExecution::Simulated;
             let (ps, timings) = partition_timed(&d, &rs, &cfg);
             assert_identical(&ps, &oracle, &format!("simulated, threads={threads}"));

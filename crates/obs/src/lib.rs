@@ -57,7 +57,7 @@ pub use profile::{CriticalPath, Phase, RunProfile};
 pub use recorder::FlowDir;
 pub use recorder::{enabled, install, uninstall, with_collector, Label, NoopRecorder, Recorder};
 pub use span::{alloc_track, current_track, name_current_track, span, span_depth, span_on};
-pub use span::{SpanGuard, TrackId};
+pub use span::{redirect_thread_track, SpanGuard, TrackId, TrackRedirectGuard};
 
 use recorder::with;
 

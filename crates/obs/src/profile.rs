@@ -72,12 +72,17 @@ pub enum Phase {
     Assemble,
     /// Checkpoint restore and exchange-log replay after injected faults.
     Recovery,
+    /// Work-stealing pool idle time: a worker parked while a batch was
+    /// still in flight on other lanes (`pool.park`). Charged only when no
+    /// other phase runs anywhere, so it surfaces genuine scheduler idle
+    /// gaps instead of being lumped into barrier-wait or `Other`.
+    Scheduler,
     /// Time inside the profiled extent not covered by any phase span.
     Other,
 }
 
 /// Every phase, in JSON/display order.
-pub const PHASES: [Phase; 8] = [
+pub const PHASES: [Phase; 9] = [
     Phase::Partition,
     Phase::IndexBuild,
     Phase::Deduce,
@@ -85,6 +90,7 @@ pub const PHASES: [Phase; 8] = [
     Phase::BarrierWait,
     Phase::Assemble,
     Phase::Recovery,
+    Phase::Scheduler,
     Phase::Other,
 ];
 
@@ -99,6 +105,7 @@ impl Phase {
             Phase::BarrierWait => "barrier_wait",
             Phase::Assemble => "assemble",
             Phase::Recovery => "recovery",
+            Phase::Scheduler => "scheduler",
             Phase::Other => "other",
         }
     }
@@ -116,8 +123,9 @@ impl Phase {
             n if n.starts_with("chase.") => Phase::Deduce,
             "exchange" => Phase::Exchange,
             "bsp.barrier_wait" => Phase::BarrierWait,
-            "hypart.fragment" => Phase::Assemble,
+            "hypart.fragment" | "hypart.hosts" => Phase::Assemble,
             n if n.starts_with("bsp.recovery") => Phase::Recovery,
+            "pool.park" => Phase::Scheduler,
             _ => return None,
         })
     }
@@ -128,13 +136,14 @@ impl Phase {
     /// only charged when every active track is blocked.
     fn priority(self) -> u8 {
         match self {
-            Phase::Deduce => 8,
-            Phase::IndexBuild => 7,
-            Phase::Partition => 6,
-            Phase::Assemble => 5,
-            Phase::Recovery => 4,
-            Phase::Exchange => 3,
-            Phase::BarrierWait => 2,
+            Phase::Deduce => 9,
+            Phase::IndexBuild => 8,
+            Phase::Partition => 7,
+            Phase::Assemble => 6,
+            Phase::Recovery => 5,
+            Phase::Exchange => 4,
+            Phase::BarrierWait => 3,
+            Phase::Scheduler => 2,
             Phase::Other => 1,
         }
     }

@@ -72,6 +72,45 @@ pub fn name_current_track(name: &str) {
     }
 }
 
+/// Temporarily redirect the calling thread's *implicit* track: until the
+/// returned guard drops, [`span`], [`crate::flow_begin`] and friends stamp
+/// their events onto `track` instead of the thread's own timeline.
+///
+/// This is how pool threads lend themselves to logical workers: a reused
+/// `pool-{i}` thread running BSP worker `k` redirects to a fresh
+/// `worker-{k}` track for the duration of the task, so the profiler sees
+/// per-worker timelines while earlier spans on the thread's own track keep
+/// their label (renaming via [`name_current_track`] would retroactively
+/// relabel them). Guards nest; each restores the previous redirection.
+/// Redirecting to [`TrackId::UNTRACKED`] (e.g. the result of
+/// [`alloc_track`] while tracing is off) is a no-op.
+#[must_use = "the redirection ends when the guard drops"]
+pub fn redirect_thread_track(track: TrackId) -> TrackRedirectGuard {
+    if track == TrackId::UNTRACKED {
+        return TrackRedirectGuard { prev: None };
+    }
+    let prev = THREAD_TRACK.with(|t| {
+        let prev = t.get();
+        t.set(track.0);
+        prev
+    });
+    TrackRedirectGuard { prev: Some(prev) }
+}
+
+/// Restores the thread's previous implicit track on drop. See
+/// [`redirect_thread_track`].
+pub struct TrackRedirectGuard {
+    prev: Option<u64>,
+}
+
+impl Drop for TrackRedirectGuard {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev {
+            THREAD_TRACK.with(|t| t.set(prev));
+        }
+    }
+}
+
 /// Current nesting depth of the calling thread's span stack.
 pub fn span_depth() -> u32 {
     SPAN_DEPTH.with(Cell::get)

@@ -55,6 +55,16 @@ fn disabled_instrumentation_does_not_allocate() {
         dcer_obs::flow_begin_on("edge", i, dcer_obs::TrackId(7));
         dcer_obs::flow_end_on("edge", i, dcer_obs::TrackId(7));
         dcer_obs::record_span("synthetic", dcer_obs::TrackId(7), i, 10, Some(("step", i)));
+        // Pool instrumentation added with the unified scheduler: counters,
+        // the per-lane queue-depth gauge, park spans, and track redirection
+        // (alloc_track returns UNTRACKED while disabled, so the redirect
+        // guard must be inert).
+        dcer_obs::counter_add("pool.task", 1);
+        dcer_obs::counter_add("pool.steal", 1);
+        dcer_obs::counter_add("pool.park", 1);
+        dcer_obs::gauge_set_labeled("pool.queue_depth", 0, i as f64);
+        let _park = dcer_obs::span("pool.park");
+        let _redirect = dcer_obs::redirect_thread_track(dcer_obs::alloc_track("worker-0"));
     }
     let after = ALLOCATIONS.load(Ordering::Relaxed);
     assert_eq!(after - before, 0, "disabled instrumentation allocated {} times", after - before);

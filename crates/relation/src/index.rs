@@ -353,18 +353,35 @@ impl IndexSet {
         slot
     }
 
+    /// Build the indexes for `keys` on a transient pool of `threads` lanes
+    /// — see [`IndexSet::build_all_on`]. Callers holding a session-wide
+    /// [`dcer_pool::WorkPool`] should pass it to `build_all_on` instead so no extra
+    /// threads are spawned.
+    pub fn build_all(&mut self, dataset: &Dataset, keys: &[(RelId, AttrId)], threads: usize) {
+        if keys.iter().all(|k| self.by_key.contains_key(k)) {
+            return;
+        }
+        self.build_all_on(dataset, keys, &dcer_pool::WorkPool::new(threads));
+    }
+
     /// Build the indexes for `keys` (first occurrence wins; already-built
-    /// keys are skipped), hashing each relation column on up to `threads`
-    /// scoped threads, then merge deterministically.
+    /// keys are skipped) on `pool` — one task per key, weighted by relation
+    /// size — then merge deterministically.
     ///
-    /// Each thread builds against a *local* [`ValueDict`]; the indexes are
+    /// Each task builds against a *local* [`ValueDict`]; the indexes are
     /// then grafted onto the shared dictionary in `keys` order by interning
     /// each local dictionary's values in code order (= its first-sight
     /// order) and rewriting codes through the resulting translation table.
     /// Slots, codes, buckets and code columns come out identical to calling
     /// [`IndexSet::slot_of`] sequentially in the same key order — the chase
-    /// compiler's slot ids and constant codes are unaffected by `threads`.
-    pub fn build_all(&mut self, dataset: &Dataset, keys: &[(RelId, AttrId)], threads: usize) {
+    /// compiler's slot ids and constant codes are unaffected by the pool
+    /// size.
+    pub fn build_all_on(
+        &mut self,
+        dataset: &Dataset,
+        keys: &[(RelId, AttrId)],
+        pool: &dcer_pool::WorkPool,
+    ) {
         let mut todo: Vec<(RelId, AttrId)> = Vec::new();
         for &k in keys {
             if !self.by_key.contains_key(&k) && !todo.contains(&k) {
@@ -375,27 +392,19 @@ impl IndexSet {
             return;
         }
         let _span = dcer_obs::span("index.build_all").with_arg("keys", todo.len() as u64);
-        let build = |&(rel, attr): &(RelId, AttrId)| {
-            let mut dict = ValueDict::new();
-            let index = HashIndex::build(dataset, rel, attr, &mut dict);
-            (index, dict)
-        };
-        let built: Vec<(HashIndex, ValueDict)> = if threads > 1 && todo.len() > 1 {
-            // Contiguous chunks keep results in `todo` order when flattened.
-            let chunk = todo.len().div_ceil(threads);
-            std::thread::scope(|s| {
-                let handles: Vec<_> = todo
-                    .chunks(chunk)
-                    .map(|keys| s.spawn(move || keys.iter().map(build).collect::<Vec<_>>()))
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("index build thread panicked"))
-                    .collect()
+        let weights: Vec<u64> =
+            todo.iter().map(|&(rel, _)| dataset.relation(rel).len() as u64).collect();
+        let tasks: Vec<_> = todo
+            .iter()
+            .map(|&(rel, attr)| {
+                move || {
+                    let mut dict = ValueDict::new();
+                    let index = HashIndex::build(dataset, rel, attr, &mut dict);
+                    (index, dict)
+                }
             })
-        } else {
-            todo.iter().map(build).collect()
-        };
+            .collect();
+        let built: Vec<(HashIndex, ValueDict)> = pool.run(tasks, Some(&weights));
         for (key, (mut index, local)) in todo.into_iter().zip(built) {
             let map: Vec<u32> =
                 local.values_in_code_order().iter().map(|v| self.dict.intern(v)).collect();

@@ -15,6 +15,13 @@ criterion benches' ``write_report``) in two ways:
   alongside when one is given) without asserting anything. Use these to
   surface machine-dependent numbers — e.g. the threaded speedup on a
   2-core runner — in the CI log without making them gate the build.
+* ``--require-if COND REQ...``: like ``--require``, but the assertions
+  only apply when COND (same ``PATH{>=|<=}VALUE`` syntax, evaluated
+  against the result JSON) holds; otherwise each REQ is printed as a
+  documented skip. Use for floors that only make sense on big-enough
+  hardware, e.g. ``--require-if 'cores>=8' 'speedup_8t_threaded>=2.0'``
+  — a 2-core runner cannot exhibit an 8-lane threaded speedup, and a
+  silently failing floor there would teach people to ignore the guard.
 
 Exits non-zero with a per-assertion report on any violation.
 
@@ -52,6 +59,15 @@ def main():
         metavar="PATH{>=|<=}VALUE",
         help="absolute assertions on dotted paths",
     )
+    ap.add_argument(
+        "--require-if",
+        action="append",
+        nargs="+",
+        default=[],
+        metavar="EXPR",
+        help="first EXPR is a condition on the result JSON; the remaining "
+        "EXPRs are asserted only when it holds, else reported as skipped",
+    )
     ap.add_argument("--baseline", help="committed baseline JSON to compare against")
     ap.add_argument(
         "--compare",
@@ -87,23 +103,51 @@ def main():
     failures = []
     checks = 0
 
-    for expr in args.require:
+    def parse_expr(expr, flag):
         m = re.fullmatch(r"\s*([\w.]+)\s*(>=|<=)\s*([-+0-9.eE]+)\s*", expr)
         if not m:
-            ap.error(f"malformed --require expression {expr!r}")
-        path, op, bound = m.group(1), m.group(2), float(m.group(3))
+            ap.error(f"malformed {flag} expression {expr!r}")
+        return m.group(1), m.group(2), float(m.group(3))
+
+    def check_require(expr, flag):
+        nonlocal checks
+        path, op, bound = parse_expr(expr, flag)
         checks += 1
         try:
             got = lookup(result, path)
         except (KeyError, TypeError) as e:
             failures.append(str(e))
-            continue
+            return
         ok = got >= bound if op == ">=" else got <= bound
         line = f"{path} = {got:.4g} {op} {bound:.4g}"
         if ok:
             print(f"ok: {line}")
         else:
             failures.append(f"FAIL: {line} violated")
+
+    for expr in args.require:
+        check_require(expr, "--require")
+
+    for group in args.require_if:
+        if len(group) < 2:
+            ap.error("--require-if needs a condition plus at least one assertion")
+        cond, reqs = group[0], group[1:]
+        path, op, bound = parse_expr(cond, "--require-if")
+        checks += 1
+        try:
+            got = lookup(result, path)
+        except (KeyError, TypeError) as e:
+            failures.append(str(e))
+            continue
+        holds = got >= bound if op == ">=" else got <= bound
+        if holds:
+            print(f"condition holds: {path} = {got:.4g} {op} {bound:.4g}")
+            for expr in reqs:
+                check_require(expr, "--require-if")
+        else:
+            print(f"condition false: {path} = {got:.4g} (wanted {op} {bound:.4g})")
+            for expr in reqs:
+                print(f"skip: {expr} (condition {cond!r} not met on this host)")
 
     for path in args.compare:
         checks += 1

@@ -17,6 +17,7 @@
 //! | [`mrl`] | the MRL rule language: AST, parser, analysis |
 //! | [`chase`] | sequential `Match`: `Deduce` + `IncDeduce` fixpoint engine |
 //! | [`mqo`] | multi-query-optimized plan and shared hash assignment |
+//! | [`pool`] | the work-stealing thread pool shared by every parallel phase |
 //! | [`hypart`] | Hypercube partitioning with virtual blocks & balancing |
 //! | [`bsp`] | master/worker BSP cluster runtime (threaded & simulated) |
 //! | [`core`] | the parallel `DMatch` algorithm and high-level session API |
@@ -69,6 +70,7 @@ pub use dcer_hypart as hypart;
 pub use dcer_ml as ml;
 pub use dcer_mqo as mqo;
 pub use dcer_mrl as mrl;
+pub use dcer_pool as pool;
 pub use dcer_relation as relation;
 pub use dcer_similarity as similarity;
 
@@ -79,6 +81,7 @@ pub mod prelude {
     pub use dcer_core::{DcerSession, DmatchConfig, DmatchReport, UpdateRunReport, UpdateSession};
     pub use dcer_ml::MlRegistry;
     pub use dcer_mrl::{parse_rules, Rule, RuleSet};
+    pub use dcer_pool::WorkPool;
     pub use dcer_relation::{
         Catalog, Dataset, RelationSchema, Tid, Tuple, UpdateBatch, Value, ValueType,
     };
