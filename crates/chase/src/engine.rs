@@ -23,7 +23,9 @@
 
 use crate::batch::DeltaBatch;
 use crate::deps::{DepStore, Pending, Ready};
-use crate::eval::{enumerate_with_program, EvalScratch, ValuationSink};
+use crate::eval::{
+    enumerate_with_program, enumerate_with_program_batched, EvalScratch, ValuationSink,
+};
 use crate::facts::{ChaseState, Fact, MlOracle, MlSigTable};
 use crate::plan::{CompiledHead, CompiledRule, RecPred};
 use crate::program::RuleProgram;
@@ -43,15 +45,31 @@ pub struct ChaseConfig {
     /// When `false`, skip `H` entirely and always use update-driven join
     /// re-evaluation (used to cross-validate the two `IncDeduce` paths).
     pub use_dep_cache: bool,
-    /// Share ML classifier results across rules with the same predicate
-    /// signature (an MQO-style evaluation sharing). `false` reproduces the
-    /// per-rule evaluation of `DMatch_noMQO`.
+    /// Share one ML memo scope across every rule (and every evaluation
+    /// path — scalar probes and batched windows hit the same cache), so
+    /// rules with the same predicate signature never re-score a pair (an
+    /// MQO-style evaluation sharing). `false` reproduces the per-rule
+    /// evaluation of `DMatch_noMQO`.
     pub share_ml_across_rules: bool,
+    /// Evaluate ML and id predicates over columnar candidate windows
+    /// ([`crate::eval::enumerate_with_program_batched`]) instead of
+    /// per-candidate probes. Bit-identical outcomes, counters included;
+    /// `false` forces the scalar path.
+    pub use_batching: bool,
+    /// Candidate window width for batched evaluation (clamped to ≥ 1;
+    /// ignored when `use_batching` is off).
+    pub batch_size: usize,
 }
 
 impl Default for ChaseConfig {
     fn default() -> ChaseConfig {
-        ChaseConfig { dep_capacity: 1 << 20, use_dep_cache: true, share_ml_across_rules: true }
+        ChaseConfig {
+            dep_capacity: 1 << 20,
+            use_dep_cache: true,
+            share_ml_across_rules: true,
+            use_batching: true,
+            batch_size: 1024,
+        }
     }
 }
 
@@ -195,6 +213,17 @@ pub struct ChaseEngine {
     ml_pred_index: HashMap<u16, Vec<(usize, usize)>>,
     use_dep_cache: bool,
     share_ml_across_rules: bool,
+    /// Candidate window width for batched evaluation; `None` = scalar path.
+    batch: Option<usize>,
+    /// Pool for chunking large classifier miss-batches (see
+    /// [`MlOracle::predict_batch`]); absent = score inline.
+    pool: Option<std::sync::Arc<dcer_pool::WorkPool>>,
+    /// Observed `(checked, pruned)` per plan per recursive predicate,
+    /// accumulated by the sink's prune paths — the selectivity input to
+    /// [`RuleProgram::reorder_rec_checks`]. Identical for scalar and
+    /// batched evaluation (same probe multisets), so both orderings evolve
+    /// in lockstep.
+    rec_stats: Vec<Vec<(u64, u64)>>,
     /// Per-tuple rule masks from HyPart: when set, rule `i` only binds
     /// tuples whose mask has bit `min(i, 127)`.
     rule_scope: Option<std::sync::Arc<HashMap<Tid, u128>>>,
@@ -231,6 +260,7 @@ impl ChaseEngine {
             }
         }
         let capacity = if config.use_dep_cache { config.dep_capacity } else { 0 };
+        let rec_stats = plans.iter().map(|p| vec![(0, 0); p.rec_preds.len()]).collect();
         Ok(ChaseEngine {
             programs: vec![None; plans.len()],
             scratch: EvalScratch::new(),
@@ -248,9 +278,20 @@ impl ChaseEngine {
             ml_pred_index,
             use_dep_cache: config.use_dep_cache,
             share_ml_across_rules: config.share_ml_across_rules,
+            batch: config.use_batching.then_some(config.batch_size.max(1)),
+            pool: None,
+            rec_stats,
             rule_scope: None,
             stats: ChaseStats::default(),
         })
+    }
+
+    /// Let batched predicate evaluation chunk large classifier
+    /// miss-batches across this pool's threads. Purely a scheduling choice:
+    /// answers, memo contents and counters are identical with or without a
+    /// pool (chunk boundaries are fixed, not pool-derived).
+    pub fn set_pool(&mut self, pool: std::sync::Arc<dcer_pool::WorkPool>) {
+        self.pool = Some(pool);
     }
 
     /// The fragment this engine operates on.
@@ -441,10 +482,35 @@ impl ChaseEngine {
 
     /// One full enumeration round over all rules (procedure `Deduce`).
     fn deduce_round(&mut self, out: &mut Vec<Fact>) {
+        self.reorder_rec_checks();
         for pi in 0..self.plans.len() {
             let _rule =
                 dcer_obs::span("chase.rule").with_arg("rule", self.plans[pi].rule_idx as u64);
             self.run_plan(pi, &[], out);
+        }
+    }
+
+    /// Refresh each compiled program's recursive-check order from observed
+    /// selectivity × model cost: rank a pruning (unwaitable ML) predicate
+    /// by `cost_hint × (checked + 1) / (pruned + 1)` — expected cost paid
+    /// per candidate eliminated — and keep non-pruning predicates (id, and
+    /// waitable ML, whose falsity is not final) last in plan order. Called
+    /// once per `Deduce` round, never mid-enumeration, so a round sees one
+    /// consistent order; programs not yet compiled keep plan order until
+    /// the next round.
+    fn reorder_rec_checks(&mut self) {
+        for (pi, program) in self.programs.iter_mut().enumerate() {
+            let Some(program) = program else { continue };
+            let plan = &self.plans[pi];
+            let counters = &self.rec_stats[pi];
+            program.reorder_rec_checks(|p| match plan.rec_preds[p as usize] {
+                RecPred::Ml { sig, waitable: false, .. } => {
+                    let (checked, pruned) = counters[p as usize];
+                    self.oracle.model_cost(&self.sigs, sig) * (checked + 1) as f64
+                        / (pruned + 1) as f64
+                }
+                _ => f64::INFINITY,
+            });
         }
     }
 
@@ -510,6 +576,7 @@ impl ChaseEngine {
         // Split borrows: the sink needs the mutable state/oracle/deps while
         // the enumerator walks dataset/indexes.
         let share_ml = self.share_ml_across_rules;
+        let batch = self.batch;
         let ChaseEngine {
             plans,
             programs,
@@ -524,6 +591,8 @@ impl ChaseEngine {
             stats,
             pending,
             rule_scope,
+            pool,
+            rec_stats,
             ..
         } = self;
         let plan = &plans[plan_idx];
@@ -543,10 +612,18 @@ impl ChaseEngine {
             scope: rule_scope.as_deref(),
             rule_mask,
             ml_scope,
+            pool: pool.as_deref(),
+            rec_stats: &mut rec_stats[plan_idx],
             facts_deduced: 0,
         };
-        let visited =
-            enumerate_with_program(program, plan, dataset, indexes, seeds, scratch, &mut sink);
+        let visited = match batch {
+            Some(width) => enumerate_with_program_batched(
+                program, plan, dataset, indexes, seeds, scratch, &mut sink, width,
+            ),
+            None => {
+                enumerate_with_program(program, plan, dataset, indexes, seeds, scratch, &mut sink)
+            }
+        };
         let newly = sink.facts_deduced;
         stats.valuations += visited;
         stats.facts_deduced += newly;
@@ -797,6 +874,9 @@ struct EngineSink<'a> {
     scope: Option<&'a HashMap<Tid, u128>>,
     rule_mask: u128,
     ml_scope: u16,
+    pool: Option<&'a dcer_pool::WorkPool>,
+    /// This plan's `(checked, pruned)` per recursive predicate.
+    rec_stats: &'a mut [(u64, u64)],
     facts_deduced: u64,
 }
 
@@ -804,26 +884,34 @@ impl EngineSink<'_> {
     fn tuple(&self, v: TupleVar, rows: &[u32]) -> &Tuple {
         &self.dataset.relation(self.plan.atoms[v.0 as usize]).tuples()[rows[v.0 as usize] as usize]
     }
-}
 
-impl ValuationSink for EngineSink<'_> {
-    fn admit_row(&mut self, var: TupleVar, row: u32) -> bool {
-        let Some(scope) = self.scope else { return true };
-        let tid = self.dataset.relation(self.plan.atoms[var.0 as usize]).tuples()[row as usize].tid;
-        scope.get(&tid).is_none_or(|m| m & self.rule_mask != 0)
+    /// Index of `pred` within this plan's `rec_preds`. The enumerator only
+    /// ever hands out references into that very slice, so pointer offset
+    /// recovers the index without a search; out-of-slice references (a
+    /// foreign sink's pred) fall out of bounds and are reported as `None`.
+    fn pred_index(&self, pred: &RecPred) -> Option<usize> {
+        let base = self.plan.rec_preds.as_ptr() as usize;
+        let off = (pred as *const RecPred as usize).checked_sub(base)?;
+        let idx = off / std::mem::size_of::<RecPred>();
+        (off % std::mem::size_of::<RecPred>() == 0 && idx < self.plan.rec_preds.len())
+            .then_some(idx)
     }
 
-    fn prune_rec(&mut self, pred: &RecPred, left: &Tuple, right: &Tuple) -> bool {
-        // Only an unwaitable false ML predicate is final — prune there.
-        if let RecPred::Ml { sig, symmetric, waitable: false, .. } = *pred {
-            !self.state.holds_ml(sig, left.tid, right.tid, symmetric)
-                && !self.oracle.predict(self.sigs, sig, left, right, self.ml_scope)
-        } else {
-            false
+    /// Record `checked` probes and `pruned` eliminations against `pred`.
+    fn count_rec(&mut self, pred: &RecPred, checked: u64, pruned: u64) {
+        if let Some(i) = self.pred_index(pred) {
+            self.rec_stats[i].0 += checked;
+            self.rec_stats[i].1 += pruned;
         }
     }
 
-    fn visit(&mut self, rows: &[u32]) {
+    /// [`EngineSink::visit`] with optionally precomputed id-predicate
+    /// answers: `id_hints = (pred_indices, answers)` substitutes
+    /// `answers[j]` for the `holds_id` probe of predicate
+    /// `pred_indices[j]`. Hints must reflect the *current* union-find
+    /// state — [`EngineSink::visit_batch`] recomputes them whenever a
+    /// visit merges classes.
+    fn visit_inner(&mut self, rows: &[u32], id_hints: Option<(&[usize], &[bool])>) {
         // Evaluate recursive predicates; collect unsatisfied waitables and,
         // separately, the state-dependent predicates that already hold —
         // those are antecedents of the derivation and must flow into its
@@ -831,11 +919,17 @@ impl ValuationSink for EngineSink<'_> {
         // purely data-dependent and needs no antecedent).
         let mut unsatisfied: Vec<Pending> = Vec::new();
         let mut held: Vec<Pending> = Vec::new();
-        for p in &self.plan.rec_preds {
+        for (pi, p) in self.plan.rec_preds.iter().enumerate() {
             match *p {
                 RecPred::Id { left, right } => {
                     let (a, b) = (self.tuple(left, rows).tid, self.tuple(right, rows).tid);
-                    if self.state.holds_id(a, b) {
+                    let holds = match id_hints.and_then(|(preds, ans)| {
+                        preds.iter().position(|&x| x == pi).map(|j| ans[j])
+                    }) {
+                        Some(h) => h,
+                        None => self.state.holds_id(a, b),
+                    };
+                    if holds {
                         held.push(Pending::Id(a, b));
                     } else {
                         unsatisfied.push(Pending::Id(a, b));
@@ -892,6 +986,110 @@ impl ValuationSink for EngineSink<'_> {
             if !head_holds {
                 self.deps.record(unsatisfied, head, support, held);
             }
+        }
+    }
+}
+
+impl ValuationSink for EngineSink<'_> {
+    fn admit_row(&mut self, var: TupleVar, row: u32) -> bool {
+        let Some(scope) = self.scope else { return true };
+        let tid = self.dataset.relation(self.plan.atoms[var.0 as usize]).tuples()[row as usize].tid;
+        scope.get(&tid).is_none_or(|m| m & self.rule_mask != 0)
+    }
+
+    fn prune_rec(&mut self, pred: &RecPred, left: &Tuple, right: &Tuple) -> bool {
+        // Only an unwaitable false ML predicate is final — prune there.
+        let prune = if let RecPred::Ml { sig, symmetric, waitable: false, .. } = *pred {
+            !self.state.holds_ml(sig, left.tid, right.tid, symmetric)
+                && !self.oracle.predict(self.sigs, sig, left, right, self.ml_scope)
+        } else {
+            false
+        };
+        self.count_rec(pred, 1, prune as u64);
+        prune
+    }
+
+    fn prune_rec_batch(&mut self, pred: &RecPred, pairs: &[(&Tuple, &Tuple)], out: &mut Vec<bool>) {
+        let RecPred::Ml { sig, symmetric, waitable: false, .. } = *pred else {
+            // Id and waitable ML predicates never prune at bind time — and
+            // are not probed here, mirroring the scalar early-out.
+            out.clear();
+            out.resize(pairs.len(), false);
+            self.count_rec(pred, pairs.len() as u64, 0);
+            return;
+        };
+        // Mirror the scalar short-circuit exactly: a pair whose prediction
+        // is already validated is not probed (for unwaitable signatures
+        // that never happens — only head signatures get validated — but
+        // probe-multiset fidelity is the contract, so keep the guard).
+        out.clear();
+        out.resize(pairs.len(), false);
+        let mut probe_idx: Vec<usize> = Vec::with_capacity(pairs.len());
+        let mut probes: Vec<(&Tuple, &Tuple)> = Vec::with_capacity(pairs.len());
+        for (i, &(l, r)) in pairs.iter().enumerate() {
+            if !self.state.holds_ml(sig, l.tid, r.tid, symmetric) {
+                probe_idx.push(i);
+                probes.push((l, r));
+            }
+        }
+        let mut answers = Vec::new();
+        self.oracle.predict_batch(self.sigs, sig, &probes, self.ml_scope, self.pool, &mut answers);
+        let mut pruned = 0u64;
+        for (i, v) in probe_idx.into_iter().zip(answers) {
+            out[i] = !v;
+            pruned += !v as u64;
+        }
+        self.count_rec(pred, pairs.len() as u64, pruned);
+    }
+
+    fn visit(&mut self, rows: &[u32]) {
+        self.visit_inner(rows, None);
+    }
+
+    fn visit_batch(&mut self, rows: &mut [u32], var: TupleVar, candidates: &[u32]) {
+        // Which recursive predicates are id probes? Those are answered for
+        // the whole window in one union-find pass.
+        let id_preds: Vec<usize> = self
+            .plan
+            .rec_preds
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| matches!(p, RecPred::Id { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        if id_preds.is_empty() {
+            for &c in candidates {
+                rows[var.0 as usize] = c;
+                self.visit_inner(rows, None);
+            }
+            return;
+        }
+        let k = id_preds.len();
+        let mut pairs: Vec<(Tid, Tid)> = Vec::with_capacity(candidates.len() * k);
+        for &c in candidates {
+            rows[var.0 as usize] = c;
+            for &pi in &id_preds {
+                let RecPred::Id { left, right } = self.plan.rec_preds[pi] else { unreachable!() };
+                pairs.push((self.tuple(left, rows).tid, self.tuple(right, rows).tid));
+            }
+        }
+        // Snapshot answers; a visit that merges classes (visible as a
+        // merge_count bump) invalidates them, so recompute the remaining
+        // suffix — each visit then sees answers identical to what scalar
+        // `holds_id` probes would return at that moment.
+        let mut answers = Vec::new();
+        self.state.matches.are_matched_batch(&pairs, &mut answers);
+        let mut version = self.state.matches.merge_count();
+        let mut base = 0usize;
+        for (i, &c) in candidates.iter().enumerate() {
+            if self.state.matches.merge_count() != version {
+                self.state.matches.are_matched_batch(&pairs[i * k..], &mut answers);
+                version = self.state.matches.merge_count();
+                base = i;
+            }
+            rows[var.0 as usize] = c;
+            let hints = &answers[(i - base) * k..(i - base + 1) * k];
+            self.visit_inner(rows, Some((&id_preds, hints)));
         }
     }
 }
@@ -1237,6 +1435,77 @@ mod tests {
         assert!(outcome.stats.deps_dropped > 0, "K=0 must overflow");
         assert!(outcome.stats.seeded_joins > 0, "fallback re-evaluation ran");
         assert_eq!(outcome.matches.clusters(), reference.matches.clusters());
+    }
+
+    /// Tentpole pin: batched evaluation is bit-identical to scalar — same
+    /// clusters, same validated set, and the same *full* [`ChaseStats`]
+    /// (ml_calls / ml_cache_hits included) at every window width. The
+    /// workload exercises every batched surface: an unwaitable ML predicate
+    /// over a cross product (windowed classifier prune), a waitable ML
+    /// predicate (deferred, never batch-pruned), an id predicate
+    /// (union-find window probe in `visit_batch`), and recursion.
+    #[test]
+    fn batching_is_invariant_in_width_and_matches_scalar() {
+        let cat = catalog();
+        let mut d = Dataset::new(cat.clone());
+        for (k, x) in [
+            ("k1", "alpha"),
+            ("k1", "beta"),
+            ("k2", "beta"),
+            ("k2", "gamma"),
+            ("k3", "alphaz"),
+            ("k4", "alpha"),
+            ("k5", "zzz"),
+        ] {
+            d.insert(0, vec![k.into(), x.into()]).unwrap();
+        }
+        let rules = dcer_mrl::parse_rules(
+            &cat,
+            "match validate: R(t), R(s), t.k = s.k -> m(t.x, s.x);
+             match use: R(t), R(s), m(t.x, s.x) -> t.id = s.id;
+             match uw: R(t), R(s), sim(t.x, s.x) -> t.id = s.id;
+             match deep: R(t), R(s), R(u), t.id = s.id, s.k = u.k -> t.id = u.id",
+        )
+        .unwrap();
+        let reg = registry();
+        let scalar_cfg = ChaseConfig { use_batching: false, ..Default::default() };
+        let mut want = run_match(&d, &rules, &reg, &scalar_cfg).unwrap();
+        assert!(want.stats.ml_calls > 0, "workload must exercise the oracle");
+        for width in [1usize, 7, 64, 4096] {
+            let cfg = ChaseConfig { use_batching: true, batch_size: width, ..Default::default() };
+            let mut got = run_match(&d, &rules, &reg, &cfg).unwrap();
+            assert_eq!(got.matches.clusters(), want.matches.clusters(), "width {width}");
+            assert_eq!(got.validated, want.validated, "width {width}");
+            assert_eq!(got.stats, want.stats, "stats diverged at width {width}");
+        }
+    }
+
+    /// Waitable deferral is identical with batching on and off: a pair the
+    /// classifier rejects must still match once a rule head validates its
+    /// prediction — batched windows only ever prune unwaitable predicates.
+    /// (Referenced by `facts::tests::waitable_sigs_answer_identically_in_batch`.)
+    #[test]
+    fn batching_defers_waitable_identically() {
+        let cat = catalog();
+        let mut d = Dataset::new(cat.clone());
+        let a = d.insert(0, vec!["k1".into(), "p".into()]).unwrap();
+        let b = d.insert(0, vec!["k1".into(), "q".into()]).unwrap();
+        let c = d.insert(0, vec!["k9".into(), "r".into()]).unwrap();
+        let rules = dcer_mrl::parse_rules(
+            &cat,
+            "match validate: R(t), R(s), t.k = s.k -> m(t.x, s.x);
+             match use: R(t), R(s), m(t.x, s.x) -> t.id = s.id",
+        )
+        .unwrap();
+        let reg = registry();
+        for (use_batching, batch_size) in [(false, 0), (true, 1), (true, 1024)] {
+            let cfg = ChaseConfig { use_batching, batch_size, ..Default::default() };
+            let mut outcome = run_match(&d, &rules, &reg, &cfg).unwrap();
+            // m("p", "q") is false at the oracle, yet `validate` validates
+            // it (k1 = k1), so `use` must still fire.
+            assert!(outcome.matches.are_matched(a, b), "batching={use_batching}/{batch_size}");
+            assert!(!outcome.matches.are_matched(a, c));
+        }
     }
 
     #[test]

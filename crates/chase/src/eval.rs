@@ -53,9 +53,34 @@ pub trait ValuationSink {
     /// is final).
     fn prune_rec(&mut self, pred: &RecPred, left: &Tuple, right: &Tuple) -> bool;
 
+    /// Batched [`ValuationSink::prune_rec`]: one recursive predicate
+    /// against a whole candidate window. Overwrites `out` with one verdict
+    /// per pair (`true` = prune). The default is the scalar loop; the
+    /// engine overrides it to score the window through one memoized
+    /// classifier batch. Overrides must return the same verdicts the
+    /// scalar loop would.
+    fn prune_rec_batch(&mut self, pred: &RecPred, pairs: &[(&Tuple, &Tuple)], out: &mut Vec<bool>) {
+        out.clear();
+        for &(l, r) in pairs {
+            out.push(self.prune_rec(pred, l, r));
+        }
+    }
+
     /// A complete support valuation; `rows[i]` is the row (within the
     /// dataset's relation instance) bound to tuple variable `i`.
     fn visit(&mut self, rows: &[u32]);
+
+    /// Batched [`ValuationSink::visit`]: the final step's surviving
+    /// candidates, visited in window order with `rows[var]` bound to each
+    /// in turn. The default is the scalar loop; the engine overrides it to
+    /// answer id predicates for the whole window in one union-find pass.
+    /// Overrides must visit every candidate, in order.
+    fn visit_batch(&mut self, rows: &mut [u32], var: TupleVar, candidates: &[u32]) {
+        for &c in candidates {
+            rows[var.0 as usize] = c;
+            self.visit(rows);
+        }
+    }
 }
 
 /// Sentinel for "variable not bound" in the scratch binding array.
@@ -81,17 +106,32 @@ struct Frame {
     scan: bool,
 }
 
+/// A per-depth columnar candidate window for batched enumeration: the
+/// candidate rows of one frame that survived the step's row-local checks
+/// and the batched recursive-predicate pass, drained in order.
+#[derive(Debug, Default)]
+struct BatchWindow {
+    /// Surviving candidate rows (window order = scalar candidate order).
+    cands: Vec<u32>,
+    /// Next survivor to drain into a descent.
+    cursor: usize,
+}
+
 /// Reusable enumeration state: the binding array and the frame stack.
 ///
 /// Create once, pass to every [`enumerate_with_program`] call; after the
 /// first call warms its capacity, subsequent enumerations of rules with no
-/// more variables allocate nothing.
+/// more variables allocate nothing. The batched enumerator additionally
+/// keeps one candidate window per descent depth (unused — and untouched —
+/// by the scalar path).
 #[derive(Debug, Default)]
 pub struct EvalScratch {
     /// `rows[var]` = bound row position, or [`UNBOUND`].
     rows: Vec<u32>,
     /// Explicit descent stack, one frame per bound (non-seed) variable.
     frames: Vec<Frame>,
+    /// Candidate windows, parallel to `frames` (batched enumeration only).
+    windows: Vec<BatchWindow>,
 }
 
 impl EvalScratch {
@@ -116,6 +156,12 @@ struct EvalStats {
     scans: u64,
     /// Candidate rows drawn from scans.
     scan_rows: u64,
+    /// Candidate windows filled (batched enumeration only).
+    batch_windows: u64,
+    /// Candidates admitted into windows (batched enumeration only).
+    batch_candidates: u64,
+    /// Window candidates pruned by batched recursive checks.
+    batch_pruned: u64,
 }
 
 impl EvalStats {
@@ -129,6 +175,11 @@ impl EvalStats {
         dcer_obs::counter_add("eval.scans", self.scans);
         dcer_obs::counter_add("eval.scan_rows", self.scan_rows);
         dcer_obs::counter_add("eval.valuations", valuations);
+        if self.batch_windows > 0 {
+            dcer_obs::counter_add("eval.batch.windows", self.batch_windows);
+            dcer_obs::counter_add("eval.batch.candidates", self.batch_candidates);
+            dcer_obs::counter_add("eval.batch.pruned", self.batch_pruned);
+        }
     }
 }
 
@@ -168,61 +219,16 @@ pub fn enumerate_with_program(
     scratch: &mut EvalScratch,
     sink: &mut dyn ValuationSink,
 ) -> u64 {
-    if program.dead {
-        return 0;
-    }
-    let n = program.num_vars;
-    scratch.rows.clear();
-    scratch.rows.resize(n, UNBOUND);
-    scratch.frames.clear();
-
-    // Pre-bind and validate seeds (tombstoned rows support nothing).
-    for &(v, row) in seeds {
-        let relation = dataset.relation(plan.atoms[v.0 as usize]);
-        if row as usize >= relation.len() || !relation.is_live(row) {
-            return 0;
-        }
-        scratch.rows[v.0 as usize] = row;
-    }
     let mut stats = EvalStats::default();
-    for &(v, _) in seeds {
-        let step = &program.steps[program.step_of(v)];
-        let row = scratch.rows[v.0 as usize];
-        for c in &step.consts {
-            if indexes.at(c.slot).code_of_row(row) != c.code {
-                return 0;
-            }
+    let first = match seed_prelude(program, plan, dataset, indexes, seeds, scratch, sink) {
+        Prelude::Rejected => return 0,
+        Prelude::Done => {
+            stats.publish(1);
+            return 1;
         }
-    }
-    // Equality edges and recursive predicates already fully bound by seeds.
-    for p in &program.eq_pairs {
-        let (lr, rr) = (scratch.rows[p.left_var as usize], scratch.rows[p.right_var as usize]);
-        if lr != UNBOUND && rr != UNBOUND {
-            let lc = indexes.at(p.left_slot).code_of_row(lr);
-            if lc == ValueDict::NULL || lc != indexes.at(p.right_slot).code_of_row(rr) {
-                return 0;
-            }
-        }
-    }
-    for p in &plan.rec_preds {
-        let (l, r) = p.vars();
-        let (lr, rr) = (scratch.rows[l.0 as usize], scratch.rows[r.0 as usize]);
-        if lr != UNBOUND && rr != UNBOUND {
-            let lt = &dataset.relation(plan.atoms[l.0 as usize]).tuples()[lr as usize];
-            let rt = &dataset.relation(plan.atoms[r.0 as usize]).tuples()[rr as usize];
-            if sink.prune_rec(p, lt, rt) {
-                return 0;
-            }
-        }
-    }
-
-    let mut count = 0u64;
-    let Some(first) = next_unbound_step(program, &scratch.rows, 0) else {
-        // Everything seeded: the prelude validated the lone valuation.
-        sink.visit(&scratch.rows);
-        stats.publish(1);
-        return 1;
+        Prelude::Open(first) => first,
     };
+    let mut count = 0u64;
     let frame = make_frame(program, dataset, indexes, &scratch.rows, first, &mut stats);
     scratch.frames.push(frame);
 
@@ -265,6 +271,252 @@ pub fn enumerate_with_program(
     }
     stats.publish(count);
     count
+}
+
+/// Run a compiled `program` over columnar candidate windows of up to
+/// `batch_size` rows: semantically identical to [`enumerate_with_program`]
+/// (same visits, in the same order, with the same per-predicate probe
+/// multisets), but recursive predicates are evaluated predicate-major over
+/// each window through [`ValuationSink::prune_rec_batch`], and final-step
+/// survivors are delivered en masse through [`ValuationSink::visit_batch`].
+///
+/// The equivalence argument: a window collects the candidates of one frame
+/// that pass the row-local checks (liveness, admission, constants, equality
+/// edges) — none of which read the candidate binding of any *other*
+/// candidate — then shrinks it predicate by predicate, so recursive
+/// predicate `j` sees exactly the candidates the scalar short-circuit would
+/// have reached it with. Batching predicate probes ahead of the descent is
+/// sound because only predicates with *final* falsity may prune
+/// ([`ValuationSink::prune_rec`]'s contract), making the verdicts pure in
+/// the pair. Survivors then drain in candidate order, so descent, visit
+/// order and frame statistics match the scalar enumeration exactly.
+#[allow(clippy::too_many_arguments)]
+pub fn enumerate_with_program_batched(
+    program: &RuleProgram,
+    plan: &CompiledRule,
+    dataset: &Dataset,
+    indexes: &IndexSet,
+    seeds: &[(TupleVar, u32)],
+    scratch: &mut EvalScratch,
+    sink: &mut dyn ValuationSink,
+    batch_size: usize,
+) -> u64 {
+    let batch_size = batch_size.max(1);
+    let mut stats = EvalStats::default();
+    let first = match seed_prelude(program, plan, dataset, indexes, seeds, scratch, sink) {
+        Prelude::Rejected => return 0,
+        Prelude::Done => {
+            stats.publish(1);
+            return 1;
+        }
+        Prelude::Open(first) => first,
+    };
+    let EvalScratch { rows, frames, windows } = scratch;
+    let frame = make_frame(program, dataset, indexes, rows, first, &mut stats);
+    frames.push(frame);
+    reset_window(windows, 0);
+
+    let mut count = 0u64;
+    // Reusable per-window buffers; `pairs` borrows the dataset's tuple
+    // storage for the duration of this enumeration.
+    let mut pairs: Vec<(&Tuple, &Tuple)> = Vec::new();
+    let mut verdicts: Vec<bool> = Vec::new();
+
+    while let Some(top) = frames.len().checked_sub(1) {
+        let f = frames[top];
+        let step = &program.steps[f.step as usize];
+
+        // Drain one surviving candidate into a descent (non-final steps
+        // only; final-step windows are visited en masse at fill time).
+        if windows[top].cursor < windows[top].cands.len() {
+            let w = &mut windows[top];
+            let row = w.cands[w.cursor];
+            w.cursor += 1;
+            rows[step.var as usize] = row;
+            let next = next_unbound_step(program, rows, f.step as usize + 1)
+                .expect("final-step windows are never drained");
+            let frame = make_frame(program, dataset, indexes, rows, next, &mut stats);
+            frames.push(frame);
+            reset_window(windows, top + 1);
+            continue;
+        }
+
+        if f.pos >= f.end {
+            // Candidate source exhausted: unbind and backtrack.
+            rows[step.var as usize] = UNBOUND;
+            frames.pop();
+            continue;
+        }
+
+        // Fill: gather up to `batch_size` candidates passing the row-local
+        // checks. None of these read the candidate binding itself, so they
+        // run before `rows[step.var]` is touched.
+        let mut cands = std::mem::take(&mut windows[top].cands);
+        cands.clear();
+        windows[top].cursor = 0;
+        {
+            let fm = &mut frames[top];
+            while cands.len() < batch_size && fm.pos < fm.end {
+                let pos = fm.pos;
+                fm.pos += 1;
+                let row = if f.scan { pos } else { indexes.at(f.slot).rows()[pos as usize] };
+                if f.scan && !dataset.relation(step.rel).is_live(row) {
+                    continue;
+                }
+                if !sink.admit_row(TupleVar(step.var), row) {
+                    continue;
+                }
+                if !nonrec_checks_pass(indexes, rows, step, row) {
+                    continue;
+                }
+                cands.push(row);
+            }
+        }
+        stats.batch_windows += 1;
+        stats.batch_candidates += cands.len() as u64;
+
+        // Columnar recursive pass, predicate-major with a shrinking
+        // survivor set — the batched image of the scalar short-circuit:
+        // predicate `j` sees exactly the candidates still alive after
+        // predicates `0..j`.
+        for &pi in &step.rec_checks {
+            if cands.is_empty() {
+                break;
+            }
+            let p = &plan.rec_preds[pi as usize];
+            let (l, r) = p.vars();
+            let (lv, rv) = (l.0 as usize, r.0 as usize);
+            let var = step.var as usize;
+            // An endpoint that is not this step's variable must already be
+            // bound, or the check is skipped wholesale — candidate-
+            // independent, exactly where the scalar loop `continue`s.
+            if (lv != var && rows[lv] == UNBOUND) || (rv != var && rows[rv] == UNBOUND) {
+                continue;
+            }
+            let l_tuples = dataset.relation(plan.atoms[lv]).tuples();
+            let r_tuples = dataset.relation(plan.atoms[rv]).tuples();
+            pairs.clear();
+            for &c in &cands {
+                let lr = if lv == var { c } else { rows[lv] };
+                let rr = if rv == var { c } else { rows[rv] };
+                pairs.push((&l_tuples[lr as usize], &r_tuples[rr as usize]));
+            }
+            sink.prune_rec_batch(p, &pairs, &mut verdicts);
+            let mut keep = 0;
+            for i in 0..cands.len() {
+                if !verdicts[i] {
+                    cands[keep] = cands[i];
+                    keep += 1;
+                }
+            }
+            stats.batch_pruned += (cands.len() - keep) as u64;
+            cands.truncate(keep);
+        }
+
+        // Whether this is the final step is candidate-independent: later
+        // steps bind different variables. Visit final-step survivors en
+        // masse; otherwise leave the window for the drain branch above.
+        if next_unbound_step(program, rows, f.step as usize + 1).is_none() {
+            count += cands.len() as u64;
+            if !cands.is_empty() {
+                sink.visit_batch(rows, TupleVar(step.var), &cands);
+            }
+            cands.clear();
+        }
+        windows[top].cands = cands;
+    }
+    stats.publish(count);
+    count
+}
+
+/// Outcome of the shared seed prelude.
+enum Prelude {
+    /// Dead program, invalid seed, or a seed-falsified precondition: zero
+    /// valuations.
+    Rejected,
+    /// Every variable was seeded; the lone valuation was validated and
+    /// visited.
+    Done,
+    /// Enumeration proper starts at this step index.
+    Open(usize),
+}
+
+/// Pre-bind and validate `seeds` (constant filters, fully seeded equality
+/// edges and recursive predicates), shared verbatim by the scalar and
+/// batched enumerators.
+fn seed_prelude(
+    program: &RuleProgram,
+    plan: &CompiledRule,
+    dataset: &Dataset,
+    indexes: &IndexSet,
+    seeds: &[(TupleVar, u32)],
+    scratch: &mut EvalScratch,
+    sink: &mut dyn ValuationSink,
+) -> Prelude {
+    if program.dead {
+        return Prelude::Rejected;
+    }
+    let n = program.num_vars;
+    scratch.rows.clear();
+    scratch.rows.resize(n, UNBOUND);
+    scratch.frames.clear();
+
+    // Pre-bind and validate seeds (tombstoned rows support nothing).
+    for &(v, row) in seeds {
+        let relation = dataset.relation(plan.atoms[v.0 as usize]);
+        if row as usize >= relation.len() || !relation.is_live(row) {
+            return Prelude::Rejected;
+        }
+        scratch.rows[v.0 as usize] = row;
+    }
+    for &(v, _) in seeds {
+        let step = &program.steps[program.step_of(v)];
+        let row = scratch.rows[v.0 as usize];
+        for c in &step.consts {
+            if indexes.at(c.slot).code_of_row(row) != c.code {
+                return Prelude::Rejected;
+            }
+        }
+    }
+    // Equality edges and recursive predicates already fully bound by seeds.
+    for p in &program.eq_pairs {
+        let (lr, rr) = (scratch.rows[p.left_var as usize], scratch.rows[p.right_var as usize]);
+        if lr != UNBOUND && rr != UNBOUND {
+            let lc = indexes.at(p.left_slot).code_of_row(lr);
+            if lc == ValueDict::NULL || lc != indexes.at(p.right_slot).code_of_row(rr) {
+                return Prelude::Rejected;
+            }
+        }
+    }
+    for p in &plan.rec_preds {
+        let (l, r) = p.vars();
+        let (lr, rr) = (scratch.rows[l.0 as usize], scratch.rows[r.0 as usize]);
+        if lr != UNBOUND && rr != UNBOUND {
+            let lt = &dataset.relation(plan.atoms[l.0 as usize]).tuples()[lr as usize];
+            let rt = &dataset.relation(plan.atoms[r.0 as usize]).tuples()[rr as usize];
+            if sink.prune_rec(p, lt, rt) {
+                return Prelude::Rejected;
+            }
+        }
+    }
+    match next_unbound_step(program, &scratch.rows, 0) {
+        None => {
+            // Everything seeded: the prelude validated the lone valuation.
+            sink.visit(&scratch.rows);
+            Prelude::Done
+        }
+        Some(first) => Prelude::Open(first),
+    }
+}
+
+/// Clear (lazily growing) the candidate window at `depth`.
+fn reset_window(windows: &mut Vec<BatchWindow>, depth: usize) {
+    if windows.len() <= depth {
+        windows.resize_with(depth + 1, BatchWindow::default);
+    }
+    let w = &mut windows[depth];
+    w.cands.clear();
+    w.cursor = 0;
 }
 
 /// First step at or after `from` whose variable is not already bound (the
@@ -332,20 +584,8 @@ fn candidate_passes(
     row: u32,
     sink: &mut dyn ValuationSink,
 ) -> bool {
-    for c in &step.consts {
-        if indexes.at(c.slot).code_of_row(row) != c.code {
-            return false;
-        }
-    }
-    for c in &step.eq_checks {
-        let other = rows[c.other_var as usize];
-        if other == UNBOUND {
-            continue;
-        }
-        let code = indexes.at(c.slot).code_of_row(row);
-        if code == ValueDict::NULL || code != indexes.at(c.other_slot).code_of_row(other) {
-            return false;
-        }
+    if !nonrec_checks_pass(indexes, rows, step, row) {
+        return false;
     }
     for &pi in &step.rec_checks {
         let p = &plan.rec_preds[pi as usize];
@@ -357,6 +597,36 @@ fn candidate_passes(
         let lt = &dataset.relation(plan.atoms[l.0 as usize]).tuples()[lr as usize];
         let rt = &dataset.relation(plan.atoms[r.0 as usize]).tuples()[rr as usize];
         if sink.prune_rec(p, lt, rt) {
+            return false;
+        }
+    }
+    true
+}
+
+/// The candidate checks that read only the candidate row and *other*
+/// variables' bindings: constant filters, then equality edges. A self-edge
+/// (`other_var == step.var`) compares the candidate against itself, so the
+/// batched fill — which runs before the candidate is bound — resolves it
+/// to `row` explicitly (the scalar path binds first, making the two
+/// resolutions identical).
+fn nonrec_checks_pass(
+    indexes: &IndexSet,
+    rows: &[u32],
+    step: &crate::program::Step,
+    row: u32,
+) -> bool {
+    for c in &step.consts {
+        if indexes.at(c.slot).code_of_row(row) != c.code {
+            return false;
+        }
+    }
+    for c in &step.eq_checks {
+        let other = if c.other_var == step.var { row } else { rows[c.other_var as usize] };
+        if other == UNBOUND {
+            continue;
+        }
+        let code = indexes.at(c.slot).code_of_row(row);
+        if code == ValueDict::NULL || code != indexes.at(c.other_slot).code_of_row(other) {
             return false;
         }
     }
@@ -539,6 +809,61 @@ mod tests {
         let n = enumerate_valuations(&plan, &d, &mut idx, &[], &mut sink);
         // k=a: R{0,1} x S{0} x R{0,1} = 4; k=b: R{2} x S{1} x R{2} = 1.
         assert_eq!(n, 5);
+    }
+
+    /// The batched enumerator is a drop-in for the scalar one: same
+    /// valuations, in the same order, at every batch size — including 1
+    /// (pure overhead) and sizes far beyond any window.
+    #[test]
+    fn batched_enumeration_matches_scalar_across_sizes() {
+        let rules = [
+            "match j: R(t), S(s), t.k = s.k -> dummy(t.k, s.k)",
+            "match j: R(t), R(s), t.k = s.k -> t.id = s.id",
+            "match j: R(t), S(s) -> dummy(t.k, s.k)",
+            "match j: R(t), S(s), m(t.k, s.k) -> dummy(t.k, s.k)",
+            "match j: R(t), S(s), R(u), t.k = s.k, s.k = u.k -> t.id = u.id",
+            r#"match j: R(t), S(s), t.k = s.k, t.v = "r2" -> dummy(t.k, s.k)"#,
+        ];
+        let seed_sets: [&[(TupleVar, u32)]; 3] =
+            [&[], &[(TupleVar(0), 1)], &[(TupleVar(0), 0), (TupleVar(1), 0)]];
+        for src in rules {
+            let (plan, d) = compile(src);
+            let mut idx = IndexSet::new();
+            let program = RuleProgram::compile(&plan, &d, &mut idx);
+            for prune_ml in [false, true] {
+                for seeds in seed_sets {
+                    let mut scalar = Collect { all: vec![], prune_ml };
+                    let mut scratch = EvalScratch::new();
+                    let want = enumerate_with_program(
+                        &program,
+                        &plan,
+                        &d,
+                        &idx,
+                        seeds,
+                        &mut scratch,
+                        &mut scalar,
+                    );
+                    for batch in [1usize, 2, 7, 4096] {
+                        let mut batched = Collect { all: vec![], prune_ml };
+                        let got = enumerate_with_program_batched(
+                            &program,
+                            &plan,
+                            &d,
+                            &idx,
+                            seeds,
+                            &mut scratch,
+                            &mut batched,
+                            batch,
+                        );
+                        assert_eq!(got, want, "{src} batch={batch} seeds={seeds:?}");
+                        assert_eq!(
+                            batched.all, scalar.all,
+                            "visit order diverged: {src} batch={batch} seeds={seeds:?}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -256,6 +256,12 @@ impl ChaseState {
     }
 }
 
+/// Miss-batch chunk size for pool-dispatched classifier scoring. Fixed (not
+/// derived from pool size) so chunk boundaries — and therefore any
+/// per-batch caches inside vectorized models — are identical at every pool
+/// size.
+const ORACLE_CHUNK: usize = 512;
+
 /// Memoizing ML oracle: evaluates classifier predicates, caching one boolean
 /// per `(signature, tuple pair)` — the paper's inverted index on ML
 /// predicates (Section V-A, structure (1b)).
@@ -323,6 +329,94 @@ impl MlOracle {
         self.calls += 1;
         self.cache.insert(key, v);
         v
+    }
+
+    /// Score a whole batch of candidate pairs for one signature, memoized —
+    /// the batch counterpart of [`MlOracle::predict`], with identical
+    /// counter semantics for any probe multiset.
+    ///
+    /// One probe pass partitions the batch: cached keys resolve as hits;
+    /// the *first* occurrence of an unseen canonical key becomes a miss;
+    /// later duplicates of a pending miss count as hits (the scalar loop
+    /// would have inserted the first answer before re-probing). The misses
+    /// are then scored as one [`dcer_ml::MlModel::classify_batch`] call —
+    /// chunked across `pool` when large enough, with chunk boundaries
+    /// independent of pool size so results are reproducible — inserted
+    /// into the memo, and fanned back out to every waiting batch position.
+    ///
+    /// `waitable` semantics live in the caller (a false answer for a
+    /// waitable signature defers finality rather than pruning); the oracle
+    /// answers identically either way.
+    pub fn predict_batch(
+        &mut self,
+        table: &MlSigTable,
+        sig_id: u16,
+        pairs: &[(&Tuple, &Tuple)],
+        scope: u16,
+        pool: Option<&dcer_pool::WorkPool>,
+        out: &mut Vec<bool>,
+    ) {
+        out.clear();
+        out.resize(pairs.len(), false);
+        let sig = table.sig(sig_id);
+        let sig_key = sig_id ^ (scope << 8);
+        let symmetric = sig.is_symmetric();
+        let mut pending: HashMap<(u16, Tid, Tid), usize> = HashMap::new();
+        let mut miss_keys: Vec<(u16, Tid, Tid)> = Vec::new();
+        let mut miss_waiters: Vec<Vec<usize>> = Vec::new();
+        let mut miss_inputs: Vec<(Vec<Value>, Vec<Value>)> = Vec::new();
+        for (i, &(left, right)) in pairs.iter().enumerate() {
+            let key = if symmetric && right.tid < left.tid {
+                (sig_key, right.tid, left.tid)
+            } else {
+                (sig_key, left.tid, right.tid)
+            };
+            if let Some(&v) = self.cache.get(&key) {
+                self.hits += 1;
+                out[i] = v;
+            } else if let Some(&mi) = pending.get(&key) {
+                self.hits += 1;
+                miss_waiters[mi].push(i);
+            } else {
+                pending.insert(key, miss_keys.len());
+                // Extract attribute vectors in the canonical orientation,
+                // exactly as the scalar path recomputes.
+                let (l, r) = if key.1 == left.tid { (left, right) } else { (right, left) };
+                let lv: Vec<Value> = sig.left.1.iter().map(|&a| l.get(a).clone()).collect();
+                let rv: Vec<Value> = sig.right.1.iter().map(|&a| r.get(a).clone()).collect();
+                miss_keys.push(key);
+                miss_waiters.push(vec![i]);
+                miss_inputs.push((lv, rv));
+            }
+        }
+        self.calls += miss_keys.len() as u64;
+        let model = &self.models[sig.model as usize];
+        let answers: Vec<bool> = match pool {
+            Some(pool) if pool.size() > 1 && miss_inputs.len() > ORACLE_CHUNK => {
+                let tasks: Vec<_> = miss_inputs
+                    .chunks(ORACLE_CHUNK)
+                    .map(|chunk| {
+                        let model = Arc::clone(model);
+                        move || model.classify_batch(chunk)
+                    })
+                    .collect();
+                pool.run(tasks, None).into_iter().flatten().collect()
+            }
+            _ => model.classify_batch(&miss_inputs),
+        };
+        for ((key, waiters), v) in miss_keys.into_iter().zip(miss_waiters).zip(answers) {
+            self.cache.insert(key, v);
+            for i in waiters {
+                out[i] = v;
+            }
+        }
+    }
+
+    /// Relative per-prediction cost of the model behind a signature
+    /// ([`dcer_ml::MlModel::cost_hint`]) — input to selectivity × cost
+    /// predicate ordering.
+    pub fn model_cost(&self, table: &MlSigTable, sig_id: u16) -> f64 {
+        self.models[table.sig(sig_id).model as usize].cost_hint()
     }
 
     /// Number of real classifier invocations.
@@ -423,5 +517,147 @@ mod tests {
         let (_, rules) = setup();
         let reg = MlRegistry::new();
         assert!(MlOracle::new(&rules, &reg).unwrap_err().contains('m'));
+    }
+
+    /// Shared fixture for the batch tests: oracle + sig table + a handful
+    /// of R(a, b) tuples with colliding `a` values.
+    fn batch_setup() -> (RuleSet, MlSigTable, MlOracle, Vec<Tuple>) {
+        let (cat, rules) = setup();
+        let table = MlSigTable::build(&rules);
+        let mut reg = MlRegistry::new();
+        reg.register("m", Arc::new(EqualTextClassifier));
+        let oracle = MlOracle::new(&rules, &reg).unwrap();
+        let mut ds = Dataset::new(cat);
+        let texts = ["x", "x", "y", "z", "x"];
+        let tuples: Vec<Tuple> = texts
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let tid = ds.insert(0, vec![(*a).into(), format!("b{i}").into()]).unwrap();
+                ds.tuple(tid).unwrap().clone()
+            })
+            .collect();
+        (rules, table, oracle, tuples)
+    }
+
+    /// A batch with duplicate pairs, symmetric flips and already-memoized
+    /// pairs spends exactly one classifier call per distinct unordered
+    /// pair; everything else is a hit.
+    #[test]
+    fn batch_dedups_duplicates_symmetric_and_memoized_pairs() {
+        let (rules, table, mut oracle, ts) = batch_setup();
+        let sig = table.sig_id(&rules, "m", 0, &[0], 0, &[0]).unwrap();
+        assert!(table.sig(sig).is_symmetric());
+
+        // Pre-memoize (t0, t1) through the scalar path.
+        assert!(oracle.predict(&table, sig, &ts[0], &ts[1], 0));
+        assert_eq!((oracle.calls(), oracle.hits()), (1, 0));
+
+        // Batch: a memoized pair, its symmetric flip, a fresh pair twice
+        // (once flipped), and one more fresh pair. Distinct unordered
+        // fresh pairs: {t2,t3} and {t0,t4} -> exactly 2 new calls.
+        let pairs: Vec<(&Tuple, &Tuple)> = vec![
+            (&ts[0], &ts[1]), // memo hit
+            (&ts[1], &ts[0]), // memo hit (symmetric canonical key)
+            (&ts[2], &ts[3]), // miss
+            (&ts[3], &ts[2]), // duplicate of the pending miss -> hit
+            (&ts[2], &ts[3]), // duplicate again -> hit
+            (&ts[0], &ts[4]), // miss
+        ];
+        let mut got = Vec::new();
+        oracle.predict_batch(&table, sig, &pairs, 0, None, &mut got);
+        assert_eq!(got, vec![true, true, false, false, false, true]);
+        assert_eq!(oracle.calls(), 3, "one call per distinct unordered pair");
+        assert_eq!(oracle.hits(), 4, "6 probes - 2 fresh misses = 4 hits");
+
+        // Scalar re-probes of everything the batch computed are pure hits.
+        assert!(!oracle.predict(&table, sig, &ts[3], &ts[2], 0));
+        assert_eq!((oracle.calls(), oracle.hits()), (3, 5));
+    }
+
+    /// Batch and scalar agree on answers *and* counters for the same probe
+    /// multiset, including asymmetric signatures and separate memo scopes.
+    #[test]
+    fn batch_counters_match_scalar_for_same_multiset() {
+        let (rules, table, mut batch_oracle, ts) = batch_setup();
+        let (_, _, mut scalar_oracle, _) = batch_setup();
+        let sig_a = table.sig_id(&rules, "m", 0, &[0], 0, &[0]).unwrap();
+        let sig_b = table.sig_id(&rules, "m", 0, &[1], 0, &[1]).unwrap();
+        for sig in [sig_a, sig_b] {
+            for scope in [0u16, 3] {
+                let mut pairs: Vec<(&Tuple, &Tuple)> = Vec::new();
+                for l in &ts {
+                    for r in &ts {
+                        pairs.push((l, r));
+                        if l.tid.row % 2 == 0 {
+                            pairs.push((r, l));
+                        }
+                    }
+                }
+                let scalar: Vec<bool> = pairs
+                    .iter()
+                    .map(|&(l, r)| scalar_oracle.predict(&table, sig, l, r, scope))
+                    .collect();
+                let mut batch = Vec::new();
+                batch_oracle.predict_batch(&table, sig, &pairs, scope, None, &mut batch);
+                assert_eq!(batch, scalar);
+                assert_eq!(batch_oracle.calls(), scalar_oracle.calls());
+                assert_eq!(batch_oracle.hits(), scalar_oracle.hits());
+            }
+        }
+    }
+
+    /// Pool-dispatched scoring (miss count above the chunk size) returns
+    /// the same answers and counters as inline scoring.
+    #[test]
+    fn pooled_batch_matches_inline_batch() {
+        let (cat, rules) = setup();
+        let table = MlSigTable::build(&rules);
+        let mut reg = MlRegistry::new();
+        reg.register("m", Arc::new(EqualTextClassifier));
+        let mut inline_oracle = MlOracle::new(&rules, &reg).unwrap();
+        let mut pooled_oracle = MlOracle::new(&rules, &reg).unwrap();
+        let mut ds = Dataset::new(cat);
+        let tuples: Vec<Tuple> = (0..40)
+            .map(|i| {
+                let tid = ds
+                    .insert(0, vec![format!("a{}", i % 7).into(), format!("b{i}").into()])
+                    .unwrap();
+                ds.tuple(tid).unwrap().clone()
+            })
+            .collect();
+        let sig = table.sig_id(&rules, "m", 0, &[0], 0, &[0]).unwrap();
+        // 40 x 40 = 1600 probes, 820 distinct unordered pairs > ORACLE_CHUNK.
+        let pairs: Vec<(&Tuple, &Tuple)> =
+            tuples.iter().flat_map(|l| tuples.iter().map(move |r| (l, r))).collect();
+        let pool = dcer_pool::WorkPool::new(4);
+        let (mut inline_out, mut pooled_out) = (Vec::new(), Vec::new());
+        inline_oracle.predict_batch(&table, sig, &pairs, 0, None, &mut inline_out);
+        pooled_oracle.predict_batch(&table, sig, &pairs, 0, Some(&pool), &mut pooled_out);
+        assert_eq!(inline_out, pooled_out);
+        assert_eq!(inline_oracle.calls(), pooled_oracle.calls());
+        assert_eq!(inline_oracle.hits(), pooled_oracle.hits());
+        assert_eq!(inline_oracle.calls(), 820);
+    }
+
+    /// The oracle itself is waitability-agnostic: a waitable signature
+    /// (here `m(t.a, s.a)`, validated by r2's head) gets the same answers
+    /// and counters through the batch interface as through scalar probes.
+    /// Deferral of false answers is the *caller's* contract — the engine
+    /// only batch-prunes unwaitable signatures (see `EngineSink`), pinned
+    /// end-to-end by `engine::tests::batching_defers_waitable_identically`.
+    #[test]
+    fn waitable_sigs_answer_identically_in_batch() {
+        let (rules, table, mut oracle, ts) = batch_setup();
+        let sig_a = table.sig_id(&rules, "m", 0, &[0], 0, &[0]).unwrap();
+        assert!(table.is_waitable(sig_a));
+        let pairs: Vec<(&Tuple, &Tuple)> = vec![(&ts[0], &ts[1]), (&ts[0], &ts[2])];
+        let mut batch = Vec::new();
+        oracle.predict_batch(&table, sig_a, &pairs, 0, None, &mut batch);
+        let mut fresh = batch_setup().2;
+        let scalar: Vec<bool> =
+            pairs.iter().map(|&(l, r)| fresh.predict(&table, sig_a, l, r, 0)).collect();
+        assert_eq!(batch, scalar);
+        assert_eq!(oracle.calls(), fresh.calls());
     }
 }

@@ -250,6 +250,26 @@ impl RuleProgram {
     pub fn step_of(&self, var: TupleVar) -> usize {
         self.step_of_var[var.0 as usize] as usize
     }
+
+    /// Re-sort every step's recursive checks by `rank` (ascending — run
+    /// the cheapest-and-most-selective predicates first, so their prunes
+    /// short-circuit the expensive ones). Ties keep plan order, making the
+    /// result deterministic for any rank function; the engine feeds
+    /// observed selectivity × model cost and refreshes once per `Deduce`
+    /// round, so scalar and batched evaluation of the same program see
+    /// identical predicate streams.
+    pub fn reorder_rec_checks(&mut self, rank: impl Fn(u16) -> f64) {
+        for step in &mut self.steps {
+            if step.rec_checks.len() > 1 {
+                step.rec_checks.sort_by(|&a, &b| {
+                    rank(a)
+                        .partial_cmp(&rank(b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                });
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -305,6 +325,29 @@ mod tests {
         let mut idx = IndexSet::new();
         assert!(RuleProgram::compile(&plans[1], &d, &mut idx).dead, "\"zzz\" appears nowhere");
         assert!(!RuleProgram::compile(&plans[2], &d, &mut idx).dead, "\"r1\" is a live constant");
+    }
+
+    #[test]
+    fn reorder_rec_checks_sorts_by_rank_with_stable_ties() {
+        let (d, _) = setup();
+        let rules = dcer_mrl::parse_rules(
+            d.catalog(),
+            "match j: R(t), S(s), m(t.k, s.k), n(t.v, s.w), m(t.v, s.w) -> dummy(t.k, s.k)",
+        )
+        .unwrap();
+        let sigs = MlSigTable::build(&rules);
+        let plan = CompiledRule::compile(&rules, &sigs, 0);
+        let mut idx = IndexSet::new();
+        let mut prog = RuleProgram::compile(&plan, &d, &mut idx);
+        let step = prog.steps.iter().position(|s| s.rec_checks.len() == 3).unwrap();
+        assert_eq!(prog.steps[step].rec_checks, vec![0, 1, 2], "compile order is plan order");
+        // Rank pred 2 cheapest, 0 and 1 tied: ties keep plan order.
+        prog.reorder_rec_checks(|pi| if pi == 2 { 1.0 } else { f64::INFINITY });
+        assert_eq!(prog.steps[step].rec_checks, vec![2, 0, 1]);
+        // The result is a pure function of the rank, not of the current
+        // order: a constant rank restores canonical plan order.
+        prog.reorder_rec_checks(|_| 1.0);
+        assert_eq!(prog.steps[step].rec_checks, vec![0, 1, 2]);
     }
 
     #[test]

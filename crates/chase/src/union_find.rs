@@ -90,6 +90,34 @@ impl MatchSet {
         }
     }
 
+    /// Batched [`MatchSet::are_matched`]: answer many probes in one pass,
+    /// resolving each distinct tid's root once (probe batches from join
+    /// windows share tids heavily, so this saves repeated find walks).
+    /// Answers are a snapshot — a subsequent [`MatchSet::merge`] (visible
+    /// as a [`MatchSet::merge_count`] bump) can invalidate them.
+    pub fn are_matched_batch(&mut self, pairs: &[(Tid, Tid)], out: &mut Vec<bool>) {
+        out.clear();
+        out.reserve(pairs.len());
+        let mut roots: HashMap<Tid, Option<u32>> = HashMap::with_capacity(pairs.len().min(64));
+        for &(a, b) in pairs {
+            if a == b {
+                out.push(true);
+                continue;
+            }
+            let mut root_of = |uf: &mut MatchSet, t: Tid| -> Option<u32> {
+                if let Some(&r) = roots.get(&t) {
+                    return r;
+                }
+                let r = uf.slots.get(&t).copied().map(|s| uf.find(s));
+                roots.insert(t, r);
+                r
+            };
+            let ra = root_of(self, a);
+            let rb = root_of(self, b);
+            out.push(matches!((ra, rb), (Some(x), Some(y)) if x == y));
+        }
+    }
+
     /// All members of the class of `t` (including `t`); just `[t]` if `t`
     /// was never merged.
     pub fn class_of(&mut self, t: Tid) -> Vec<Tid> {
@@ -206,6 +234,29 @@ mod tests {
         assert_eq!(clusters, vec![vec![t(1), t(2), t(3)], vec![t(7), t(8)]]);
         assert_eq!(m.num_pairs(), 4);
         assert_eq!(m.all_pairs(), vec![(t(1), t(2)), (t(1), t(3)), (t(2), t(3)), (t(7), t(8))]);
+    }
+
+    #[test]
+    fn batch_probe_matches_scalar_probe() {
+        let mut m = MatchSet::new();
+        m.merge(t(1), t(2));
+        m.merge(t(2), t(3));
+        m.merge(t(7), t(8));
+        let pairs: Vec<(Tid, Tid)> = (0..10)
+            .flat_map(|i| (0..10).map(move |j| (t(i), t(j))))
+            .chain([(t(1), t(3)), (t(1), t(3))]) // repeated probes share root lookups
+            .collect();
+        let mut batch = Vec::new();
+        m.are_matched_batch(&pairs, &mut batch);
+        assert_eq!(batch.len(), pairs.len());
+        for (&(a, b), &got) in pairs.iter().zip(&batch) {
+            assert_eq!(got, m.are_matched(a, b), "{a:?} vs {b:?}");
+        }
+        // A later merge invalidates the snapshot, flagged by merge_count.
+        let before = m.merge_count();
+        m.merge(t(3), t(7));
+        assert_ne!(m.merge_count(), before);
+        assert!(m.are_matched(t(1), t(8)));
     }
 
     #[test]

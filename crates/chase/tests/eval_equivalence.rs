@@ -1,14 +1,18 @@
 //! Equivalence of the compiled-program enumerator with the original greedy
-//! enumerator: for every rule shape, dataset, and seeding, both must visit
-//! exactly the same valuation set (and count), because the valuation set of
-//! a precondition is a property of the data, not of the join order.
+//! enumerator — and of the batched enumerator with both: for every rule
+//! shape, dataset, seeding, and batch width, all paths must visit exactly
+//! the same valuation set (and count), because the valuation set of a
+//! precondition is a property of the data, not of the join order or of the
+//! window width. The batched path must additionally preserve the scalar
+//! DFS *visit order* (windows drain in candidate order), which the scalar
+//! paths only promise up to reordering.
 //!
 //! Covers the fixed shapes of `eval.rs`'s unit tests plus a proptest over
 //! random small datasets (with nulls), rules, and seeds.
 
 use dcer_chase::{
-    enumerate_valuations, enumerate_valuations_greedy, CompiledRule, MlSigTable, RecPred,
-    ValuationSink,
+    enumerate_valuations, enumerate_valuations_greedy, enumerate_with_program_batched,
+    CompiledRule, EvalScratch, MlSigTable, RecPred, RuleProgram, ValuationSink,
 };
 use dcer_mrl::TupleVar;
 use dcer_relation::{Catalog, Dataset, IndexSet, RelationSchema, Tuple, Value, ValueType};
@@ -79,7 +83,13 @@ fn build_dataset(rows_r: &[(u8, u8, u8)], rows_s: &[(u8, u8)]) -> Dataset {
     d
 }
 
-/// Run both enumerators and assert identical valuation sets and counts.
+/// Batch widths exercised everywhere: degenerate (1), odd (7), typical
+/// (64), and larger-than-any-candidate-list (4096).
+const BATCH_WIDTHS: [usize; 4] = [1, 7, 64, 4096];
+
+/// Run all three enumerators and assert identical valuation sets and
+/// counts; the batched path must match the compiled scalar path's visit
+/// order exactly, at every window width.
 fn assert_equivalent(
     plan: &CompiledRule,
     d: &Dataset,
@@ -93,6 +103,28 @@ fn assert_equivalent(
     let mut compiled_sink = Collect { all: vec![], prune_ml };
     let mut compiled_idx = IndexSet::new();
     let cn = enumerate_valuations(plan, d, &mut compiled_idx, seeds, &mut compiled_sink);
+
+    let program = RuleProgram::compile(plan, d, &mut compiled_idx);
+    for width in BATCH_WIDTHS {
+        let mut batched_sink = Collect { all: vec![], prune_ml };
+        let mut scratch = EvalScratch::new();
+        let bn = enumerate_with_program_batched(
+            &program,
+            plan,
+            d,
+            &compiled_idx,
+            seeds,
+            &mut scratch,
+            &mut batched_sink,
+            width,
+        );
+        assert_eq!(bn, cn, "batched count diverged for `{}` width {width}", plan.name);
+        assert_eq!(
+            batched_sink.all, compiled_sink.all,
+            "batched visit order diverged for rule `{}` seeds {seeds:?} width {width}",
+            plan.name
+        );
+    }
 
     assert_eq!(gn, greedy_sink.all.len() as u64);
     assert_eq!(cn, compiled_sink.all.len() as u64);

@@ -386,7 +386,9 @@ pub fn run_pipeline(
             let started = Instant::now();
             let build = || -> Result<Vec<EngineDeducer>, String> {
                 let mut engine = ChaseEngine::new(dataset.clone(), rules, registry, &config.chase)?;
-                // A single engine parallelizes *within* its index build.
+                // A single engine parallelizes *within* its index build and
+                // its batched oracle scoring.
+                engine.set_pool(Arc::clone(&pool));
                 engine.prebuild_indexes_on(&pool);
                 Ok(vec![EngineDeducer::new(engine)])
             };
@@ -469,7 +471,7 @@ pub(crate) fn build_fleet(
     rules: &RuleSet,
     registry: &MlRegistry,
     chase_cfg: &ChaseConfig,
-    pool: &WorkPool,
+    pool: &Arc<WorkPool>,
 ) -> Result<Vec<EngineDeducer>, String> {
     let _span = dcer_obs::span("pipeline.build_fleet").with_arg("shards", shards.len() as u64);
     // Scope each rule to the tuples HyPart distributed for it: the rule's
@@ -478,6 +480,10 @@ pub(crate) fn build_fleet(
     let unit = |(frag, masks): (Dataset, Arc<_>)| {
         let mut engine = ChaseEngine::new(frag, rules, registry, chase_cfg)?;
         engine.set_rule_scope(masks);
+        // Batched oracle scoring may fan out to the shared pool (nested
+        // `run` is supported); chunk boundaries are pool-size-independent,
+        // so this does not perturb determinism.
+        engine.set_pool(Arc::clone(pool));
         engine.prebuild_indexes(1);
         Ok(EngineDeducer::new(engine))
     };

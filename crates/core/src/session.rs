@@ -104,7 +104,14 @@ impl DcerSession {
     /// insertions through [`dcer_chase::ChaseEngine::insert_and_deduce`] —
     /// the ΔD extension of Section V-A's remark.
     pub fn incremental_engine(&self, dataset: &Dataset) -> Result<dcer_chase::ChaseEngine, String> {
-        dcer_chase::ChaseEngine::new(dataset.clone(), &self.rules, &self.registry, &self.chase)
+        let mut engine = dcer_chase::ChaseEngine::new(
+            dataset.clone(),
+            &self.rules,
+            &self.registry,
+            &self.chase,
+        )?;
+        engine.set_pool(Arc::clone(&self.pool));
+        Ok(engine)
     }
 
     /// Build a resident incremental-maintenance session over `dataset`:

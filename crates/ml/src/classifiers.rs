@@ -1,11 +1,27 @@
 //! Concrete [`MlModel`] implementations.
 
 use crate::embed::HashedNgramEmbedder;
-use crate::features::pair_features;
+use crate::features::{pair_features, pair_features_cached, FeatureSide};
 use crate::logistic::LogisticRegression;
 use crate::model::{values_to_text, MlModel};
 use dcer_relation::Value;
-use dcer_similarity::ngram_cosine;
+use dcer_similarity::{ngram_cosine, profile_cosine, NgramProfile};
+use std::collections::HashMap;
+
+/// Build one cache entry per *distinct* rendered side text in a batch —
+/// the shared shape of every vectorized `classify_batch` below.
+fn per_side_cache<T>(
+    pairs: &[(Vec<Value>, Vec<Value>)],
+    build: impl Fn(&str) -> T,
+) -> HashMap<String, T> {
+    let mut cache: HashMap<String, T> = HashMap::new();
+    for (l, r) in pairs {
+        for side in [l, r] {
+            cache.entry(values_to_text(side)).or_insert_with_key(|t| build(t));
+        }
+    }
+    cache
+}
 
 /// Thresholded character-3-gram cosine over the concatenated text — a cheap,
 /// calibration-free semantic-similarity predicate for long text such as
@@ -28,6 +44,23 @@ impl MlModel for NgramCosineClassifier {
     }
     fn threshold(&self) -> f64 {
         self.threshold
+    }
+    /// Vectorized batch: extract the 3-gram profile of each *distinct* text
+    /// once, then score every pair from the cached profiles. On batches
+    /// where one side is shared (the fixed outer tuple of a join window)
+    /// this amortizes the dominant gram-extraction cost across the batch.
+    fn classify_batch(&self, pairs: &[(Vec<Value>, Vec<Value>)]) -> Vec<bool> {
+        let profiles = per_side_cache(pairs, |t| NgramProfile::of(t, 3));
+        pairs
+            .iter()
+            .map(|(l, r)| {
+                let (pl, pr) = (&profiles[&values_to_text(l)], &profiles[&values_to_text(r)]);
+                profile_cosine(pl, pr) >= self.threshold
+            })
+            .collect()
+    }
+    fn cost_hint(&self) -> f64 {
+        5.0
     }
     fn describe(&self) -> String {
         format!("ngram-cosine(3) >= {}", self.threshold)
@@ -61,6 +94,22 @@ impl MlModel for EmbeddingCosineClassifier {
     }
     fn threshold(&self) -> f64 {
         self.threshold
+    }
+    /// Vectorized batch: embed each *distinct* text once; pair scoring is a
+    /// dense dot product over the cached vectors, bit-identical to the
+    /// scalar path (index-order arithmetic).
+    fn classify_batch(&self, pairs: &[(Vec<Value>, Vec<Value>)]) -> Vec<bool> {
+        let embeddings = per_side_cache(pairs, |t| self.embedder.embed_text(t));
+        pairs
+            .iter()
+            .map(|(l, r)| {
+                let (vl, vr) = (&embeddings[&values_to_text(l)], &embeddings[&values_to_text(r)]);
+                self.embedder.cosine_embedded(vl, vr) >= self.threshold
+            })
+            .collect()
+    }
+    fn cost_hint(&self) -> f64 {
+        3.0
     }
     fn describe(&self) -> String {
         format!("embedding-cosine(d={}) >= {}", self.embedder.dims(), self.threshold)
@@ -110,6 +159,30 @@ impl MlModel for TrainedPairClassifier {
     fn threshold(&self) -> f64 {
         self.threshold
     }
+    /// Vectorized batch: the side-local feature inputs (text rendering,
+    /// n-gram profiles, embeddings) are computed once per *distinct* side,
+    /// the per-pair metrics fill a feature matrix, and the logistic model
+    /// scores the whole matrix in one pass.
+    fn classify_batch(&self, pairs: &[(Vec<Value>, Vec<Value>)]) -> Vec<bool> {
+        let mut sides: HashMap<String, FeatureSide> = HashMap::new();
+        for (l, r) in pairs {
+            for side in [l, r] {
+                let text = values_to_text(side);
+                sides.entry(text).or_insert_with(|| FeatureSide::of(&self.embedder, side));
+            }
+        }
+        let matrix: Vec<Vec<f64>> = pairs
+            .iter()
+            .map(|(l, r)| {
+                let (ls, rs) = (&sides[&values_to_text(l)], &sides[&values_to_text(r)]);
+                pair_features_cached(l, r, ls, rs)
+            })
+            .collect();
+        self.model.predict_proba_batch(&matrix).iter().map(|&p| p >= self.threshold).collect()
+    }
+    fn cost_hint(&self) -> f64 {
+        20.0
+    }
     fn describe(&self) -> String {
         format!("trained-pair-classifier >= {}", self.threshold)
     }
@@ -135,6 +208,9 @@ impl MlModel for JaroWinklerClassifier {
     }
     fn threshold(&self) -> f64 {
         self.threshold
+    }
+    fn cost_hint(&self) -> f64 {
+        2.0
     }
     fn describe(&self) -> String {
         format!("jaro-winkler >= {}", self.threshold)
@@ -163,6 +239,9 @@ impl MlModel for LevenshteinClassifier {
     fn threshold(&self) -> f64 {
         self.threshold
     }
+    fn cost_hint(&self) -> f64 {
+        4.0
+    }
     fn describe(&self) -> String {
         format!("levenshtein >= {}", self.threshold)
     }
@@ -189,6 +268,9 @@ impl MlModel for MongeElkanClassifier {
     fn threshold(&self) -> f64 {
         self.threshold
     }
+    fn cost_hint(&self) -> f64 {
+        3.0
+    }
     fn describe(&self) -> String {
         format!("monge-elkan >= {}", self.threshold)
     }
@@ -203,6 +285,9 @@ impl MlModel for EqualTextClassifier {
     fn probability(&self, left: &[Value], right: &[Value]) -> f64 {
         let (a, b) = (values_to_text(left), values_to_text(right));
         f64::from(!a.trim().is_empty() && a == b)
+    }
+    fn cost_hint(&self) -> f64 {
+        0.1
     }
     fn describe(&self) -> String {
         "equal-text".to_string()
@@ -294,6 +379,53 @@ mod tests {
         assert!(!strict.predict(&v("thinkpad x1"), &v("thinkpad x2")));
         let lax = ThresholdClassifier::new(NgramCosineClassifier::new(0.99), 0.1);
         assert!(lax.predict(&v("thinkpad x1"), &v("thinkpad x2")));
+    }
+
+    /// Every vectorized `classify_batch` override must make the same
+    /// decisions as the scalar `predict` loop — per-side caching is an
+    /// evaluation strategy, not a semantic change.
+    #[test]
+    fn batch_overrides_match_scalar_decisions() {
+        let texts = [
+            "ThinkPad X1 Carbon 7th Gen : 14-Inch, 16GB RAM, 512GB Nvme SSD",
+            "ThinkPad X1 Carbon 7th Gen 14\" - 16 GB RAM - 512 GB SSD",
+            "Apple MacBook Air (13-inch, 8GB RAM, 256GB SSD)",
+            "Argentina",
+            "Argenztina",
+            "",
+        ];
+        let mut pairs = Vec::new();
+        for a in &texts {
+            for b in &texts {
+                pairs.push((v(a), v(b)));
+            }
+        }
+        // Duplicate a pair: caches must not conflate occurrences.
+        pairs.push((v(texts[0]), v(texts[1])));
+
+        let models: Vec<Box<dyn MlModel>> = vec![
+            Box::new(NgramCosineClassifier::new(0.5)),
+            Box::new(EmbeddingCosineClassifier::new(0.5)),
+            Box::new(TrainedPairClassifier::from_model(
+                LogisticRegression::new(vec![0.5, 1.0, -0.3, 0.8, 1.2, 0.1, 0.4, 0.9, 0.0], -1.5),
+                0.5,
+            )),
+            Box::new(EqualTextClassifier),
+        ];
+        for m in &models {
+            let batch = m.classify_batch(&pairs);
+            assert_eq!(batch.len(), pairs.len(), "{}", m.describe());
+            for ((l, r), got) in pairs.iter().zip(&batch) {
+                assert_eq!(*got, m.predict(l, r), "{}: {l:?} vs {r:?}", m.describe());
+            }
+        }
+    }
+
+    #[test]
+    fn cost_hints_order_cheap_before_expensive() {
+        assert!(EqualTextClassifier.cost_hint() < NgramCosineClassifier::new(0.5).cost_hint());
+        let trained = TrainedPairClassifier::from_model(LogisticRegression::new(vec![], 0.0), 0.5);
+        assert!(NgramCosineClassifier::new(0.5).cost_hint() < trained.cost_hint());
     }
 
     #[test]

@@ -83,8 +83,15 @@ impl HashedNgramEmbedder {
     /// Cosine similarity of the embeddings of two texts, clamped to `[0,1]`
     /// (negative cosine — anti-correlated hash noise — counts as 0).
     pub fn cosine(&self, a: &str, b: &str) -> f64 {
-        let (va, vb) = (self.embed_text(a), self.embed_text(b));
-        dot(&va, &vb).clamp(0.0, 1.0)
+        self.cosine_embedded(&self.embed_text(a), &self.embed_text(b))
+    }
+
+    /// Cosine of two precomputed [`HashedNgramEmbedder::embed_text`]
+    /// vectors — the batch entry point: embed each distinct text once, then
+    /// score every pair. Bit-identical to [`HashedNgramEmbedder::cosine`]
+    /// (a dense dot product in index order).
+    pub fn cosine_embedded(&self, va: &[f64], vb: &[f64]) -> f64 {
+        dot(va, vb).clamp(0.0, 1.0)
     }
 }
 

@@ -5,7 +5,8 @@ use crate::embed::HashedNgramEmbedder;
 use crate::model::values_to_text;
 use dcer_relation::Value;
 use dcer_similarity::{
-    jaccard_tokens, jaro_winkler, levenshtein_similarity, monge_elkan, ngram_cosine, ngram_jaccard,
+    jaccard_tokens, jaro_winkler, levenshtein_similarity, monge_elkan, profile_cosine,
+    profile_jaccard, NgramProfile,
 };
 
 /// Names of the features produced by [`pair_features`], in order.
@@ -27,7 +28,49 @@ pub const FEATURE_NAMES: [&str; 9] = [
 /// feature averages relative closeness over positions where both sides are
 /// numeric (1 when equal, decaying with relative difference).
 pub fn pair_features(embedder: &HashedNgramEmbedder, left: &[Value], right: &[Value]) -> Vec<f64> {
-    let (a, b) = (values_to_text(left), values_to_text(right));
+    pair_features_cached(
+        left,
+        right,
+        &FeatureSide::of(embedder, left),
+        &FeatureSide::of(embedder, right),
+    )
+}
+
+/// The per-side inputs of [`pair_features`] that depend only on one
+/// attribute vector: its rendered text, n-gram profile and embedding.
+/// Batch featurization builds one `FeatureSide` per *distinct* side and
+/// reuses it across every pair it participates in.
+#[derive(Debug, Clone)]
+pub struct FeatureSide {
+    /// `values_to_text` rendering of the attribute vector.
+    pub text: String,
+    /// Character-3-gram profile of the text.
+    pub profile: NgramProfile,
+    /// Hashed-n-gram embedding of the text.
+    pub embedding: Vec<f64>,
+}
+
+impl FeatureSide {
+    /// Precompute the side-local inputs for one attribute vector.
+    pub fn of(embedder: &HashedNgramEmbedder, values: &[Value]) -> FeatureSide {
+        let text = values_to_text(values);
+        let profile = NgramProfile::of(&text, 3);
+        let embedding = embedder.embed_text(&text);
+        FeatureSide { text, profile, embedding }
+    }
+}
+
+/// [`pair_features`] with the side-local work (text rendering, n-gram
+/// profiles, embeddings) precomputed. The whole-pair metrics (edit
+/// distance, token overlap, Monge-Elkan, numeric closeness) still run per
+/// pair — they have no per-side decomposition.
+pub fn pair_features_cached(
+    left: &[Value],
+    right: &[Value],
+    ls: &FeatureSide,
+    rs: &FeatureSide,
+) -> Vec<f64> {
+    let (a, b) = (ls.text.as_str(), rs.text.as_str());
     let exact = f64::from(!a.is_empty() && a == b);
     let mut numeric_sum = 0.0;
     let mut numeric_cnt = 0usize;
@@ -44,15 +87,19 @@ pub fn pair_features(embedder: &HashedNgramEmbedder, left: &[Value], right: &[Va
     } else {
         numeric_sum / numeric_cnt as f64
     };
+    // Clamp like `HashedNgramEmbedder::cosine` (the embeddings are already
+    // unit-norm or zero, so the dot *is* the cosine).
+    let embed_cos =
+        ls.embedding.iter().zip(&rs.embedding).map(|(x, y)| x * y).sum::<f64>().clamp(0.0, 1.0);
     vec![
         exact,
-        levenshtein_similarity(&a, &b),
-        jaro_winkler(&a, &b, 0.1),
-        ngram_jaccard(&a, &b, 3),
-        ngram_cosine(&a, &b, 3),
-        jaccard_tokens(&a, &b),
-        monge_elkan(&a, &b),
-        embedder.cosine(&a, &b),
+        levenshtein_similarity(a, b),
+        jaro_winkler(a, b, 0.1),
+        profile_jaccard(&ls.profile, &rs.profile),
+        profile_cosine(&ls.profile, &rs.profile),
+        jaccard_tokens(a, b),
+        monge_elkan(a, b),
+        embed_cos,
         numeric,
     ]
 }
@@ -110,5 +157,28 @@ mod tests {
     fn empty_strings_do_not_count_as_exact_match() {
         let f = pair_features(&embedder(), &[Value::Null], &[Value::Null]);
         assert_eq!(f[0], 0.0);
+    }
+
+    #[test]
+    fn cached_sides_reproduce_pair_features() {
+        let e = embedder();
+        let rows = [
+            vec![Value::str("ThinkPad X1"), Value::Int(2000)],
+            vec![Value::str("thinkpad x1 carbon"), Value::Int(1999)],
+            vec![Value::Null, Value::Float(0.0)],
+        ];
+        let sides: Vec<FeatureSide> = rows.iter().map(|r| FeatureSide::of(&e, r)).collect();
+        for (l, ls) in rows.iter().zip(&sides) {
+            for (r, rs) in rows.iter().zip(&sides) {
+                // The deterministic features (everything except the
+                // HashMap-iteration-order ulps of ngram_cosine3) must be
+                // exactly equal; ngram_cosine3 within 1e-12.
+                let scalar = pair_features(&e, l, r);
+                let cached = pair_features_cached(l, r, ls, rs);
+                for (i, (x, y)) in scalar.iter().zip(&cached).enumerate() {
+                    assert!((x - y).abs() < 1e-12, "{}: {x} vs {y}", FEATURE_NAMES[i]);
+                }
+            }
+        }
     }
 }

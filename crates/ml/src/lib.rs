@@ -34,7 +34,7 @@ pub use classifiers::{
     MongeElkanClassifier, NgramCosineClassifier, ThresholdClassifier, TrainedPairClassifier,
 };
 pub use embed::HashedNgramEmbedder;
-pub use features::{pair_features, FEATURE_NAMES};
+pub use features::{pair_features, pair_features_cached, FeatureSide, FEATURE_NAMES};
 pub use logistic::LogisticRegression;
 pub use model::{values_to_text, MlModel};
 pub use registry::MlRegistry;

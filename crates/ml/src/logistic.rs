@@ -68,6 +68,13 @@ impl LogisticRegression {
         self.predict_proba(features) >= 0.5
     }
 
+    /// Probabilities for a whole feature matrix (row-major) at once — one
+    /// pass over the weight vector per row, identical arithmetic to calling
+    /// [`LogisticRegression::predict_proba`] row by row.
+    pub fn predict_proba_batch(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        rows.iter().map(|x| self.predict_proba(x)).collect()
+    }
+
     /// Classification accuracy on a labeled set.
     pub fn accuracy(&self, examples: &[(Vec<f64>, bool)]) -> f64 {
         if examples.is_empty() {
@@ -109,6 +116,17 @@ mod tests {
         let a = LogisticRegression::train(&ex, 200, 0.5, 1e-4);
         let b = LogisticRegression::train(&ex, 200, 0.5, 1e-4);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batch_proba_matches_scalar() {
+        let m = LogisticRegression::new(vec![0.7, -1.3], 0.2);
+        let rows = vec![vec![0.1, 0.9], vec![1.0, 0.0], vec![0.5, 0.5]];
+        let batch = m.predict_proba_batch(&rows);
+        for (row, p) in rows.iter().zip(&batch) {
+            assert_eq!(*p, m.predict_proba(row));
+        }
+        assert!(m.predict_proba_batch(&[]).is_empty());
     }
 
     #[test]

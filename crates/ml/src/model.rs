@@ -23,6 +23,26 @@ pub trait MlModel: Send + Sync {
         self.probability(left, right) >= self.threshold()
     }
 
+    /// Boolean predictions for a whole batch of candidate pairs at once.
+    ///
+    /// The default is the scalar loop, so every model supports batching for
+    /// free; vectorized implementations override this to amortize per-call
+    /// work across the batch (shared feature extraction, one matrix pass,
+    /// per-distinct-text caches). Overrides must return the same *decisions*
+    /// the scalar [`MlModel::predict`] would — batching is an evaluation
+    /// strategy, never a semantic change.
+    fn classify_batch(&self, pairs: &[(Vec<Value>, Vec<Value>)]) -> Vec<bool> {
+        pairs.iter().map(|(l, r)| self.predict(l, r)).collect()
+    }
+
+    /// Relative cost of one prediction, in arbitrary units (an exact string
+    /// compare ≈ 0.1, a trained feature-vector classifier ≈ 20). The chase
+    /// uses `cost × observed selectivity` to order predicates within a rule
+    /// so cheap selective checks run before expensive ones.
+    fn cost_hint(&self) -> f64 {
+        1.0
+    }
+
     /// Human-readable description for logs and case studies.
     fn describe(&self) -> String {
         "ml-model".to_string()
@@ -59,6 +79,15 @@ mod tests {
         assert!(Always(0.5).predict(&[], &[]));
         assert!(Always(0.9).predict(&[], &[]));
         assert!(!Always(0.49).predict(&[], &[]));
+    }
+
+    #[test]
+    fn default_batch_is_the_scalar_loop() {
+        let pairs = vec![(vec![], vec![]), (vec![Value::Int(1)], vec![Value::Int(2)])];
+        assert_eq!(Always(0.7).classify_batch(&pairs), vec![true, true]);
+        assert_eq!(Always(0.2).classify_batch(&pairs), vec![false, false]);
+        assert_eq!(Always(0.2).classify_batch(&[]), Vec::<bool>::new());
+        assert_eq!(Always(0.2).cost_hint(), 1.0);
     }
 
     #[test]

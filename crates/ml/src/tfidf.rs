@@ -101,6 +101,14 @@ impl TfIdfVectorizer {
     /// other side (both sides derive the same synthetic index from the
     /// union of the two texts' tokens).
     pub fn cosine(&self, a: &str, b: &str) -> f64 {
+        self.cosine_tokens(&tokenize(a), &tokenize(b))
+    }
+
+    /// Cosine of two *pre-tokenized* texts — the batch entry point: callers
+    /// scoring many pairs tokenize each distinct text once and reuse the
+    /// token lists here. Same joint-OOV arithmetic as
+    /// [`TfIdfVectorizer::cosine`].
+    pub fn cosine_tokens(&self, a: &[String], b: &[String]) -> f64 {
         let va = self.vector_joint(a, b, true);
         let vb = self.vector_joint(a, b, false);
         let dot: f64 = va.iter().filter_map(|(k, x)| vb.get(k).map(|y| x * y)).sum();
@@ -109,26 +117,26 @@ impl TfIdfVectorizer {
 
     /// Vector of `a` (or `b`) with OOV indices assigned consistently from
     /// the union of both texts' tokens.
-    fn vector_joint(&self, a: &str, b: &str, first: bool) -> HashMap<u32, f64> {
-        let mut oov: HashMap<String, u32> = HashMap::new();
+    fn vector_joint(&self, a: &[String], b: &[String], first: bool) -> HashMap<u32, f64> {
+        let mut oov: HashMap<&str, u32> = HashMap::new();
         let mut next = self.vocab.len() as u32;
-        for tok in tokenize(a).into_iter().chain(tokenize(b)) {
-            if !self.vocab.contains_key(&tok) && !oov.contains_key(&tok) {
+        for tok in a.iter().chain(b) {
+            if !self.vocab.contains_key(tok.as_str()) && !oov.contains_key(tok.as_str()) {
                 oov.insert(tok, next);
                 next += 1;
             }
         }
-        let text = if first { a } else { b };
+        let tokens = if first { a } else { b };
         let oov_idf = ((1.0 + self.documents as f64) / 1.0).ln() + 1.0;
-        let mut tf: HashMap<String, u32> = HashMap::new();
-        for t in tokenize(text) {
+        let mut tf: HashMap<&str, u32> = HashMap::new();
+        for t in tokens {
             *tf.entry(t).or_insert(0) += 1;
         }
         let mut v: HashMap<u32, f64> = HashMap::new();
         for (tok, count) in tf {
-            let (idx, idf) = match self.vocab.get(&tok) {
+            let (idx, idf) = match self.vocab.get(tok) {
                 Some(&(i, idf)) => (i, idf),
-                None => (oov[&tok], oov_idf),
+                None => (oov[tok], oov_idf),
             };
             v.insert(idx, count as f64 * idf);
         }
@@ -162,6 +170,26 @@ impl MlModel for TfIdfClassifier {
     }
     fn threshold(&self) -> f64 {
         self.threshold
+    }
+    /// Vectorized batch: tokenize each *distinct* text once for the whole
+    /// batch; the per-pair joint-OOV cosine arithmetic is unchanged.
+    fn classify_batch(&self, pairs: &[(Vec<Value>, Vec<Value>)]) -> Vec<bool> {
+        let mut tokens: HashMap<String, Vec<String>> = HashMap::new();
+        for (l, r) in pairs {
+            for side in [l, r] {
+                tokens.entry(values_to_text(side)).or_insert_with_key(|t| tokenize(t));
+            }
+        }
+        pairs
+            .iter()
+            .map(|(l, r)| {
+                let (tl, tr) = (&tokens[&values_to_text(l)], &tokens[&values_to_text(r)]);
+                self.vectorizer.cosine_tokens(tl, tr) >= self.threshold
+            })
+            .collect()
+    }
+    fn cost_hint(&self) -> f64 {
+        6.0
     }
     fn describe(&self) -> String {
         format!(
@@ -232,6 +260,23 @@ mod tests {
         );
         assert!(!c.predict(&[Value::str("thinkpad")], &[Value::str("macbook")]));
         assert!(c.describe().contains("tfidf"));
+    }
+
+    #[test]
+    fn batch_decisions_match_scalar() {
+        let c = TfIdfClassifier::new(corpus(), 0.5);
+        let texts =
+            ["thinkpad 16gb ram", "thinkpad 16gb ram ssd", "macbook", "thinkpad", "zebrafish", ""];
+        let mut pairs = Vec::new();
+        for a in &texts {
+            for b in &texts {
+                pairs.push((vec![Value::str(a)], vec![Value::str(b)]));
+            }
+        }
+        let batch = c.classify_batch(&pairs);
+        for ((l, r), got) in pairs.iter().zip(&batch) {
+            assert_eq!(*got, c.predict(l, r), "{l:?} vs {r:?}");
+        }
     }
 
     #[test]

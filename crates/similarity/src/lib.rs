@@ -18,7 +18,9 @@ pub mod token;
 
 pub use edit::{damerau_levenshtein, levenshtein, levenshtein_bounded, levenshtein_similarity};
 pub use jaro::{jaro, jaro_winkler};
-pub use ngram::{ngram_cosine, ngram_jaccard, ngrams};
+pub use ngram::{
+    ngram_cosine, ngram_jaccard, ngrams, profile_cosine, profile_jaccard, NgramProfile,
+};
 pub use phonetic::soundex;
 pub use token::{
     cosine_token_counts, dice_coefficient, jaccard_tokens, monge_elkan, overlap_coefficient,

@@ -39,19 +39,65 @@ pub fn ngram_jaccard(a: &str, b: &str, n: usize) -> f64 {
 
 /// Cosine similarity of the n-gram *count vectors* of `a` and `b`.
 pub fn ngram_cosine(a: &str, b: &str, n: usize) -> f64 {
-    let ga = ngrams(a, n);
-    let gb = ngrams(b, n);
-    if ga.is_empty() && gb.is_empty() {
+    profile_cosine(&NgramProfile::of(a, n), &NgramProfile::of(b, n))
+}
+
+/// A precomputed n-gram count vector with its cached L2 norm — the batch
+/// entry point for cosine scoring: build one profile per *distinct* text,
+/// then score every pair of profiles without re-extracting grams.
+#[derive(Debug, Clone)]
+pub struct NgramProfile {
+    grams: HashMap<String, u32>,
+    norm: f64,
+}
+
+impl NgramProfile {
+    /// Extract the n-gram profile of `s` (same grams as [`ngrams`]).
+    pub fn of(s: &str, n: usize) -> NgramProfile {
+        let grams = ngrams(s, n);
+        let norm = grams.values().map(|&c| (c as f64).powi(2)).sum::<f64>().sqrt();
+        NgramProfile { grams, norm }
+    }
+
+    /// Number of distinct grams in the profile.
+    pub fn len(&self) -> usize {
+        self.grams.len()
+    }
+
+    /// True when the text produced no grams at all.
+    pub fn is_empty(&self) -> bool {
+        self.grams.is_empty()
+    }
+}
+
+/// Jaccard similarity of two precomputed [`NgramProfile`]s — equivalent to
+/// [`ngram_jaccard`] on the underlying texts.
+pub fn profile_jaccard(a: &NgramProfile, b: &NgramProfile) -> f64 {
+    if a.grams.is_empty() && b.grams.is_empty() {
+        return 1.0;
+    }
+    let inter = a.grams.keys().filter(|k| b.grams.contains_key(*k)).count();
+    let union = a.grams.len() + b.grams.len() - inter;
+    if union == 0 {
+        1.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Cosine similarity of two precomputed [`NgramProfile`]s. Equivalent to
+/// [`ngram_cosine`] on the underlying texts (same arithmetic, with the
+/// norms computed once at profile-build time).
+pub fn profile_cosine(a: &NgramProfile, b: &NgramProfile) -> f64 {
+    if a.grams.is_empty() && b.grams.is_empty() {
         return 1.0;
     }
     let dot: f64 =
-        ga.iter().filter_map(|(k, &ca)| gb.get(k).map(|&cb| ca as f64 * cb as f64)).sum();
-    let na: f64 = ga.values().map(|&c| (c as f64).powi(2)).sum::<f64>().sqrt();
-    let nb: f64 = gb.values().map(|&c| (c as f64).powi(2)).sum::<f64>().sqrt();
-    if na == 0.0 || nb == 0.0 {
+        a.grams.iter().filter_map(|(k, &ca)| b.grams.get(k).map(|&cb| ca as f64 * cb as f64)).sum();
+    if a.norm == 0.0 || b.norm == 0.0 {
         return 0.0;
     }
-    (dot / (na * nb)).clamp(0.0, 1.0)
+    (dot / (a.norm * b.norm)).clamp(0.0, 1.0)
 }
 
 #[cfg(test)]
@@ -105,5 +151,33 @@ mod tests {
     #[test]
     fn n_is_clamped_to_at_least_one() {
         assert_eq!(ngram_jaccard("ab", "ab", 0), 1.0);
+    }
+
+    #[test]
+    fn profile_cosine_matches_text_cosine() {
+        let pairs = [
+            ("ThinkPad X1 Carbon", "ThinkPad X1 Carbon 7th Gen"),
+            ("", ""),
+            ("", "abc"),
+            ("abc", "abc"),
+            ("aaaa", "zzzz"),
+        ];
+        for (a, b) in pairs {
+            let pa = NgramProfile::of(a, 3);
+            let pb = NgramProfile::of(b, 3);
+            // ngram_cosine builds fresh gram maps whose iteration order (and
+            // hence float summation order) varies per HashMap instance, so
+            // cosine agreement is ulp-approximate; the same profiles always
+            // reproduce the same value exactly.
+            let pc = profile_cosine(&pa, &pb);
+            assert!((pc - ngram_cosine(a, b, 3)).abs() < 1e-12, "{a:?} vs {b:?}");
+            assert_eq!(pc, profile_cosine(&pa, &pb));
+            assert_eq!(profile_jaccard(&pa, &pb), ngram_jaccard(a, b, 3), "{a:?} vs {b:?}");
+        }
+        // With n=3 even "" produces sentinel grams ("###"); only n=1 on an
+        // empty string yields a truly empty profile.
+        assert!(NgramProfile::of("", 1).is_empty());
+        assert!(!NgramProfile::of("", 3).is_empty());
+        assert_eq!(NgramProfile::of("aa", 2).len(), 3);
     }
 }

@@ -118,7 +118,7 @@ proptest! {
     }
 
     #[test]
-    fn dep_cache_settings_do_not_change_gamma(
+    fn dep_cache_and_batching_settings_do_not_change_gamma(
         rows_p in prop::collection::vec((0u8..4, 0u8..3, 0u8..3), 2..8),
     ) {
         let d = build(&rows_p, &[]);
@@ -127,6 +127,9 @@ proptest! {
         for chase in [
             ChaseConfig { dep_capacity: 0, use_dep_cache: false, ..Default::default() },
             ChaseConfig { dep_capacity: 1, use_dep_cache: true, ..Default::default() },
+            ChaseConfig { use_batching: false, ..Default::default() },
+            ChaseConfig { use_batching: true, batch_size: 1, ..Default::default() },
+            ChaseConfig { use_batching: false, dep_capacity: 1, ..Default::default() },
         ] {
             let s2 = session().with_chase_config(chase.clone());
             prop_assert_eq!(&s2.run_sequential(&d).matches.clusters(), &expected, "{:?}", chase);

@@ -5,6 +5,10 @@
 //! final dataset. Pins both the distributed [`UpdateSession`] (worker
 //! counts 1/2/4/8: delta routing, retraction notices, rederive exchange)
 //! and the single-engine `incremental_engine` + `apply_update` path.
+//! Each case also picks a predicate-batching setting (off / width 7 /
+//! width 1024) for the resident engines, while the from-scratch oracle
+//! always runs scalar — so incremental maintenance over batched windows
+//! is cross-pinned against the scalar closure.
 
 use dcer::prelude::*;
 use dcer_ml::EqualTextClassifier;
@@ -24,6 +28,17 @@ fn catalog() -> Arc<Catalog> {
         ])
         .unwrap(),
     )
+}
+
+/// Predicate-batching settings exercised by the matrix: scalar, a
+/// degenerate window, and the default-sized window.
+fn batch_configs() -> [dcer_chase::ChaseConfig; 3] {
+    use dcer_chase::ChaseConfig;
+    [
+        ChaseConfig { use_batching: false, ..Default::default() },
+        ChaseConfig { use_batching: true, batch_size: 7, ..Default::default() },
+        ChaseConfig { use_batching: true, batch_size: 1024, ..Default::default() },
+    ]
 }
 
 /// The full rule shape zoo: blocking, recursive (deep), collective across
@@ -128,8 +143,12 @@ proptest! {
         rows_p in prop::collection::vec((0u8..5, 0u8..4, 0u8..4), 2..7),
         rows_q in prop::collection::vec((0u8..4, 0u8..3), 0..4),
         stream in stream_strategy(),
+        batch_sel in 0usize..3,
     ) {
-        let s = session();
+        // Resident engines carry this case's batching setting; the
+        // from-scratch oracle always runs scalar.
+        let s = session().with_chase_config(batch_configs()[batch_sel].clone());
+        let s_scalar = session().with_chase_config(batch_configs()[0].clone());
         for workers in [1usize, 2, 4, 8] {
             let base = build(&rows_p, &rows_q);
             let mut all: Vec<Tid> = base_tids(&base);
@@ -139,7 +158,7 @@ proptest! {
                 let report = us.run_update(&batch).unwrap();
                 all.extend(report.inserted.iter().copied());
                 let mut got = us.outcome();
-                let mut want = s.run_sequential(us.dataset());
+                let mut want = s_scalar.run_sequential(us.dataset());
                 prop_assert_eq!(
                     got.matches.clusters(), want.matches.clusters(),
                     "clusters diverged: workers={} batch={}", workers, bi
@@ -159,8 +178,10 @@ proptest! {
         rows_p in prop::collection::vec((0u8..5, 0u8..4, 0u8..4), 2..7),
         rows_q in prop::collection::vec((0u8..4, 0u8..3), 0..4),
         stream in stream_strategy(),
+        batch_sel in 0usize..3,
     ) {
-        let s = session();
+        let s = session().with_chase_config(batch_configs()[batch_sel].clone());
+        let s_scalar = session().with_chase_config(batch_configs()[0].clone());
         // The shadow dataset mirrors the engine's fragment and allocates
         // the authoritative tuple ids for each batch's inserts.
         let mut shadow = build(&rows_p, &rows_q);
@@ -176,7 +197,7 @@ proptest! {
             engine.apply_update(inserts, &report.deleted);
 
             let mut resident = engine.state_mut().clone();
-            let mut want = s.run_sequential(&shadow);
+            let mut want = s_scalar.run_sequential(&shadow);
             prop_assert_eq!(
                 resident.matches.clusters(), want.matches.clusters(),
                 "clusters diverged at batch {}", bi

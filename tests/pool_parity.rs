@@ -3,7 +3,10 @@
 //! output (clusters, validated ML facts, exact partition counters) across
 //! work-stealing pool sizes {1, 2, 4, 8}, in both execution modes, with
 //! and without an explicitly shared pool, and agrees with the sequential
-//! `Match` oracle.
+//! `Match` oracle. Each case also picks a predicate-batching setting
+//! (off / width 7 / width 1024) for the session under test while the
+//! oracle always runs scalar, so batched evaluation is cross-pinned
+//! against scalar at every pool size.
 
 use dcer::ml::EqualTextClassifier;
 use dcer::prelude::*;
@@ -24,6 +27,17 @@ fn catalog() -> Arc<Catalog> {
         ])
         .unwrap(),
     )
+}
+
+/// Predicate-batching settings exercised by the parity matrix: scalar,
+/// a degenerate window, and the default-sized window.
+fn batch_configs() -> [dcer_chase::ChaseConfig; 3] {
+    use dcer_chase::ChaseConfig;
+    [
+        ChaseConfig { use_batching: false, ..Default::default() },
+        ChaseConfig { use_batching: true, batch_size: 7, ..Default::default() },
+        ChaseConfig { use_batching: true, batch_size: 1024, ..Default::default() },
+    ]
 }
 
 /// Deep (recursive), collective (cross-relation) and ML-validating rules,
@@ -56,8 +70,12 @@ proptest! {
         rows_p in prop::collection::vec((0u8..5, 0u8..4, 0u8..6), 1..24),
         rows_q in prop::collection::vec((0u8..6, 0u8..3), 0..12),
         workers in 1usize..5,
+        batch_sel in 0usize..3,
     ) {
-        let s = session();
+        // Session under test carries this case's batching setting; the
+        // sequential oracle below always runs scalar.
+        let s = session().with_chase_config(batch_configs()[batch_sel].clone());
+        let s_scalar = session().with_chase_config(batch_configs()[0].clone());
         let mut d = Dataset::new(s.catalog().clone());
         for &(k, x, fk) in &rows_p {
             d.insert(0, vec![format!("k{k}").into(), format!("x{x}").into(), format!("f{fk}").into()])
@@ -67,9 +85,19 @@ proptest! {
             d.insert(1, vec![format!("f{fk}").into(), format!("y{y}").into()]).unwrap();
         }
 
-        // Oracle: the sequential Match (single-shard pipeline).
-        let mut seq = s.run_sequential(&d);
+        // Oracle: the *scalar* sequential Match (single-shard pipeline).
+        let mut seq = s_scalar.run_sequential(&d);
         let expected_clusters = seq.matches.clusters();
+
+        // The batched sequential engine agrees with the scalar oracle
+        // before any parallelism enters the picture.
+        let mut batched_seq = s.run_sequential(&d);
+        prop_assert_eq!(
+            batched_seq.matches.clusters(),
+            expected_clusters.clone(),
+            "batched sequential vs scalar oracle (batch_sel={})",
+            batch_sel
+        );
 
         // Baseline parallel run: a pool with no extra threads at all.
         let mut base_cfg = DmatchConfig::new(workers);
