@@ -37,6 +37,15 @@ impl Pending {
             Pending::Ml { sig, a, b, symmetric } => state.holds_ml(sig, a, b, symmetric),
         }
     }
+
+    /// The canonical [`Fact`] this predicate awaits — the form provenance
+    /// exports use, so antecedents can be checked against a fact set.
+    pub fn to_fact(&self) -> Fact {
+        match *self {
+            Pending::Id(a, b) => Fact::id(a, b),
+            Pending::Ml { sig, a, b, symmetric } => Fact::ml(sig, a, b, symmetric),
+        }
+    }
 }
 
 #[derive(Debug, Clone)]

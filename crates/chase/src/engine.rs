@@ -379,6 +379,15 @@ impl ChaseEngine {
         &mut self.state
     }
 
+    /// Read-only view of the fire-ordered support log — the provenance of
+    /// every fact currently in the chase state (first derivations only,
+    /// `External` for facts received in a BSP exchange). The serving layer
+    /// exports this per snapshot so `explain` answers never touch the
+    /// live engine.
+    pub fn support_log(&self) -> &crate::support::SupportLog {
+        &self.log
+    }
+
     /// Snapshot of the counters (classifier counters refreshed).
     pub fn stats(&self) -> ChaseStats {
         let mut s = self.stats;

@@ -46,5 +46,7 @@ pub use greedy::enumerate_valuations_greedy;
 pub use naive::naive_chase;
 pub use plan::{CompiledHead, CompiledRule, RecPred};
 pub use program::RuleProgram;
+pub use deps::Pending;
 pub use soft::{soft_chase, SoftFact, SoftOutcome};
+pub use support::{Provenance, SupportLog};
 pub use union_find::MatchSet;

@@ -71,6 +71,13 @@ impl SupportLog {
         self.entries.clear();
     }
 
+    /// Read-only view of the fire-ordered `(fact, provenance)` entries —
+    /// the serving layer exports these at snapshot-publish time so readers
+    /// can answer `explain` without ever touching the live engine.
+    pub fn entries(&self) -> &[(Fact, Provenance)] {
+        &self.entries
+    }
+
     /// Run the deletion cascade: drop every entry invalidated by the dead
     /// base tuples in `dead_tids` or explicitly named in `dead_facts`
     /// (retraction notices from other workers), plus everything downstream

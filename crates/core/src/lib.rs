@@ -26,6 +26,7 @@
 
 pub mod dmatch;
 pub mod pipeline;
+pub mod serve;
 pub mod session;
 pub mod update;
 
@@ -33,6 +34,9 @@ pub use dmatch::{run_dmatch, DmatchConfig, DmatchReport};
 pub use pipeline::{
     run_pipeline, Deducer, EngineDeducer, ExecutorKind, PipelineConfig, PipelineReport,
     ShardWorker, StaticDeducer,
+};
+pub use serve::{
+    AdmitReport, ExplainStep, ProvEntry, ResidentResolver, ServeRegistry, Snapshot, Tenant,
 };
 pub use session::DcerSession;
 pub use update::{UpdateRunReport, UpdateSession};

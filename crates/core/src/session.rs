@@ -130,6 +130,20 @@ impl DcerSession {
         crate::update::UpdateSession::new(dataset, self.rules.clone(), self.registry.clone(), cfg)
     }
 
+    /// Boot a resident serving resolver over `dataset`: build an
+    /// [`crate::update::UpdateSession`], publish its fixpoint as the
+    /// epoch-0 snapshot and hand the session to a dedicated writer thread
+    /// that drains admitted CDC batches — the serving extension of
+    /// [`DcerSession::update_session`]. Readers query the returned
+    /// [`crate::serve::ResidentResolver`] concurrently and lock-free.
+    pub fn resident(
+        &self,
+        dataset: &Dataset,
+        config: &DmatchConfig,
+    ) -> Result<crate::serve::ResidentResolver, String> {
+        Ok(crate::serve::ResidentResolver::start(self.update_session(dataset, config)?))
+    }
+
     /// Parallel `DMatch` (Section V-B).
     pub fn run_parallel(
         &self,

@@ -411,6 +411,12 @@ impl UpdateSession {
     pub fn router_counters(&self) -> (u64, u64) {
         self.router.counters()
     }
+
+    /// The resident engine fleet, in worker order — the serving layer
+    /// reads each worker's support log off these at snapshot-publish time.
+    pub(crate) fn engines(&self) -> &[ChaseEngine] {
+        &self.engines
+    }
 }
 
 #[cfg(test)]

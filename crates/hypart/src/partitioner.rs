@@ -890,6 +890,7 @@ fn partition_inner(
             memo: HashMemo::new(),
             routed_inserts: 0,
             routed_deletes: 0,
+            deleted: Default::default(),
         }
     });
     timings.total_ns = wall.elapsed().as_nanos() as u64;
@@ -923,6 +924,12 @@ pub struct DeltaRouter {
     memo: HashMemo,
     routed_inserts: u64,
     routed_deletes: u64,
+    /// Tids whose deletion has already been noted: repeat (and ghost)
+    /// deletes must be no-ops, or each replay keeps draining the victim's
+    /// cells and the drift accounting a long-lived router depends on
+    /// corrupts — lowered cells shrink the mean load until `drifted()`
+    /// flips spuriously. A re-insert of the same tid re-arms it.
+    deleted: std::collections::HashSet<u64>,
 }
 
 impl DeltaRouter {
@@ -932,6 +939,7 @@ impl DeltaRouter {
     /// adoption. Updates per-cell loads.
     pub fn route_insert(&mut self, t: &dcer_relation::Tuple) -> Vec<(u16, u128)> {
         self.routed_inserts += 1;
+        self.deleted.remove(&t.tid.pack());
         let cell_masks = self.cells_of(t);
         let mut per_worker: std::collections::BTreeMap<u16, u128> = Default::default();
         for (&cell, &mask) in &cell_masks {
@@ -947,8 +955,16 @@ impl DeltaRouter {
     /// Record the deletion of a (previously routed or originally
     /// partitioned) tuple, releasing its per-cell load. The hosts map —
     /// not the router — decides which workers must tombstone it.
+    ///
+    /// Idempotent per tid: ghost and repeat deletes (which the CDC apply
+    /// path tolerates upstream) are counted-but-ignored here, so a
+    /// delete storm replaying one victim cannot drain its cells below
+    /// reality. Loads still saturate at zero as a second line of defense.
     pub fn note_delete(&mut self, t: &dcer_relation::Tuple) {
         self.routed_deletes += 1;
+        if !self.deleted.insert(t.tid.pack()) {
+            return; // already noted: repeat/ghost delete
+        }
         for &cell in self.cells_of(t).keys() {
             self.loads[cell] = self.loads[cell].saturating_sub(1);
         }
@@ -1585,6 +1601,49 @@ mod tests {
         }
         assert!(router.drifted(), "hot-key churn must report drift");
         assert_eq!(router.counters().0, 601);
+    }
+
+    #[test]
+    fn ghost_delete_storm_leaves_loads_and_drift_stable() {
+        let d = dataset(30);
+        let rs = parse_rules(&catalog(), "match md: R(t), R(s), t.k = s.k -> t.id = s.id").unwrap();
+        let mut cfg = HyPartConfig::new(2);
+        cfg.virtual_factor = 16;
+        let (_, mut router) = partition_with_router(&d, &rs, &cfg);
+        assert!(!router.drifted(), "fresh partition starts balanced");
+
+        // One real delete releases the victim's load exactly once...
+        let victim = d.relation(0).tuples()[0].clone();
+        router.note_delete(&victim);
+        let after_first = router.loads.clone();
+
+        // ...and a storm of repeats of the same tombstone (the shape a
+        // CDC replay or an at-least-once delivery produces) is a no-op:
+        // without the per-tid guard each repeat kept draining the
+        // victim's cells, skewing the mean until `drifted()` flipped.
+        for _ in 0..10_000 {
+            router.note_delete(&victim);
+        }
+        assert_eq!(router.loads, after_first, "repeat deletes must not drain loads");
+        assert!(!router.drifted(), "ghost-delete storm must not report drift");
+
+        // A ghost delete — a tuple that was never partitioned or routed —
+        // saturates at zero instead of underflowing and is likewise
+        // idempotent.
+        let mut scratch = d.clone();
+        let tid = scratch.insert(0, vec!["zz".into(), "ghost".into()]).unwrap();
+        let ghost = scratch.tuple(tid).unwrap().clone();
+        for _ in 0..1_000 {
+            router.note_delete(&ghost);
+        }
+        assert!(!router.drifted(), "ghost deletes must not report drift");
+
+        // Re-inserting the victim re-arms its delete: the cycle stays
+        // load-neutral.
+        let loads_before = router.loads.clone();
+        router.route_insert(&victim);
+        router.note_delete(&victim);
+        assert_eq!(router.loads, loads_before, "insert+delete stays neutral after re-arm");
     }
 
     #[test]

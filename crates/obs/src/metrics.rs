@@ -104,6 +104,21 @@ impl Histogram {
         &self.buckets
     }
 
+    /// Fold another histogram's samples into this one. Lets per-thread
+    /// histograms be recorded contention-free and combined at the end.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (b, &c) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += c;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// Approximate `q`-quantile (`0.0 < q <= 1.0`) of the recorded samples.
     ///
     /// Log₂ buckets only know which power-of-two range a sample fell into,

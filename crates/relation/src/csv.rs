@@ -98,13 +98,26 @@ fn utf8_len(first_byte: u8) -> usize {
 
 /// Parse a full CSV document into records.
 pub fn parse(input: &str) -> Result<Vec<Vec<String>>> {
+    Ok(parse_with_lines(input)?.into_iter().map(|(_, fields)| fields).collect())
+}
+
+/// Parse a full CSV document into `(starting line, record)` pairs. The
+/// 1-based line number is where the record *begins* in the source text —
+/// quoted fields may span further lines, and skipped blank lines advance
+/// it — so error messages can point at the real offending line rather
+/// than the record's index.
+pub fn parse_with_lines(input: &str) -> Result<Vec<(usize, Vec<String>)>> {
     let mut records = Vec::new();
     let mut pos = 0;
     let mut line = 1;
-    while let Some((fields, next)) = parse_record(input, pos, &mut line)? {
+    loop {
+        let start_line = line;
+        let Some((fields, next)) = parse_record(input, pos, &mut line)? else {
+            break;
+        };
         // Skip fully empty trailing lines.
         if !(fields.len() == 1 && fields[0].is_empty()) {
-            records.push(fields);
+            records.push((start_line, fields));
         }
         pos = next;
     }
@@ -147,8 +160,8 @@ pub fn to_string(records: &[Vec<String>]) -> String {
 /// any order. Returns the number of tuples loaded.
 pub fn load_into(dataset: &mut Dataset, rel: RelId, input: &str) -> Result<usize> {
     let schema = dataset.catalog().schema(rel).clone();
-    let records = parse(input)?;
-    let Some((header, rows)) = records.split_first() else {
+    let records = parse_with_lines(input)?;
+    let Some(((_, header), rows)) = records.split_first() else {
         return Ok(0);
     };
     let mut order = Vec::with_capacity(header.len());
@@ -156,10 +169,10 @@ pub fn load_into(dataset: &mut Dataset, rel: RelId, input: &str) -> Result<usize
         order.push(schema.attr(name)?);
     }
     let mut count = 0;
-    for (i, row) in rows.iter().enumerate() {
+    for (line, row) in rows {
         if row.len() != order.len() {
             return Err(Error::Csv {
-                line: i + 2,
+                line: *line,
                 message: format!("expected {} fields, found {}", order.len(), row.len()),
             });
         }
@@ -260,6 +273,26 @@ mod tests {
         let mut d = dataset();
         assert!(load_into(&mut d, 0, "pno,price,desc\na,1\n").is_err());
         assert!(load_into(&mut d, 0, "pno,cost,desc\na,1,x\n").is_err());
+    }
+
+    #[test]
+    fn ragged_row_error_reports_the_real_source_line() {
+        let mut d = dataset();
+        // Record 2 starts on line 3 (its quoted desc spans lines 3-4), so
+        // the ragged record 3 starts on source line 5 — not "record index
+        // + 2", which would misreport it as line 4.
+        let input = "pno,price,desc\np1,1,x\np2,2,\"two\nlines\"\np3,3\n";
+        let err = load_into(&mut d, 0, input).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 5"), "error must name source line 5: {msg}");
+        assert!(msg.contains("expected 3 fields, found 2"), "bad message: {msg}");
+    }
+
+    #[test]
+    fn parse_with_lines_tracks_multiline_records() {
+        let recs = parse_with_lines("a,b\nc,\"d\ne\"\nf,g\n").unwrap();
+        let lines: Vec<usize> = recs.iter().map(|(l, _)| *l).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
     }
 
     #[test]

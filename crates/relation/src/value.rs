@@ -104,12 +104,14 @@ impl Value {
     }
 
     /// Predicate equality: SQL-style, `Null` compares unequal to everything.
-    /// Numeric values compare across `Int`/`Float`.
+    /// Numeric values compare across `Int`/`Float`, losslessly: `Int(2⁵³+1)`
+    /// is *not* equal to `Float(2⁵³)` even though the `f64` cast rounds onto
+    /// it.
     pub fn sql_eq(&self, other: &Value) -> bool {
         match (self, other) {
             (Value::Null, _) | (_, Value::Null) => false,
             (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
-                (*a as f64) == *b
+                cmp_int_float(*a, *b) == Ordering::Equal
             }
             _ => self == other,
         }
@@ -199,6 +201,45 @@ impl Value {
     }
 }
 
+/// Lossless comparison of an `i64` against an `f64`, the shared kernel of
+/// the numeric arms of `Ord`, `Eq` and [`Value::sql_eq`]. Widening the int
+/// with `as f64` loses precision above 2⁵³, so instead the float's integer
+/// part is compared exactly in `i64` space and ties break on the fractional
+/// part. The canonical `NaN` sorts above every other numeric (consistent
+/// with [`total_float_cmp`]).
+fn cmp_int_float(i: i64, f: f64) -> Ordering {
+    if f.is_nan() {
+        return Ordering::Less; // every int < NaN
+    }
+    // 2⁶³ is exactly representable; every finite float ≥ it (or < -2⁶³)
+    // is outside i64 range, as is ±∞.
+    const TWO_63: f64 = 9_223_372_036_854_775_808.0;
+    if f >= TWO_63 {
+        return Ordering::Less;
+    }
+    if f < -TWO_63 {
+        return Ordering::Greater;
+    }
+    // Now f ∈ [-2⁶³, 2⁶³): trunc() is integral and in-range, so the cast
+    // below is exact.
+    let t = f.trunc();
+    match i.cmp(&(t as i64)) {
+        Ordering::Equal if f > t => Ordering::Less,
+        Ordering::Equal if f < t => Ordering::Greater,
+        o => o,
+    }
+}
+
+/// Total order over floats used by the container `Ord`: canonicalize
+/// (`-0.0 → 0.0`, every `NaN` → the canonical positive `NaN`) then IEEE
+/// `total_cmp`, so `NaN` sorts above `+∞` and the order is transitive even
+/// with `NaN`s in the mix (raw `partial_cmp`-with-bit-fallback was not:
+/// it put `NaN` between the positives and the negatives).
+fn total_float_cmp(a: f64, b: f64) -> Ordering {
+    let canon = |f: f64| f64::from_bits(Value::canonical_bits(f));
+    canon(a).total_cmp(&canon(b))
+}
+
 impl PartialEq for Value {
     fn eq(&self, other: &Self) -> bool {
         match (self, other) {
@@ -207,6 +248,12 @@ impl PartialEq for Value {
             (Value::Int(a), Value::Int(b)) => a == b,
             (Value::Float(a), Value::Float(b)) => {
                 Value::canonical_bits(*a) == Value::canonical_bits(*b)
+            }
+            // Cross-type numeric equality mirrors `Ord::cmp == Equal` (the
+            // Ord contract) and the hash impl, which already collides
+            // `Int(2)` with `Float(2.0)`.
+            (Value::Int(a), Value::Float(b)) | (Value::Float(b), Value::Int(a)) => {
+                cmp_int_float(*a, *b) == Ordering::Equal
             }
             (Value::Str(a), Value::Str(b)) => a == b,
             _ => false,
@@ -231,8 +278,16 @@ impl Hash for Value {
                 i.hash(state);
             }
             Value::Float(f) => {
-                state.write_u8(2 + u8::from(f.fract() != 0.0 || f.is_nan()));
-                if f.fract() == 0.0 && f.is_finite() && (*f).abs() < (i64::MAX as f64) {
+                // A float is hashed like the equal Int exactly when one
+                // exists: integral and within i64 range (`< 2⁶³` — the
+                // upper bound itself is out of range; `-2⁶³` is in). The
+                // tag and the payload must branch on the *same* predicate
+                // or `Eq`-equal values hash apart.
+                let as_int = f.fract() == 0.0
+                    && *f >= -9_223_372_036_854_775_808.0
+                    && *f < 9_223_372_036_854_775_808.0;
+                state.write_u8(2 + u8::from(!as_int));
+                if as_int {
                     (*f as i64).hash(state);
                 } else {
                     Value::canonical_bits(*f).hash(state);
@@ -267,11 +322,12 @@ impl Ord for Value {
             (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
             (Value::Int(a), Value::Int(b)) => a.cmp(b),
             (Value::Str(a), Value::Str(b)) => a.cmp(b),
-            (a, b) if rank(a) == 2 && rank(b) == 2 => {
-                let (x, y) = (a.as_float().unwrap(), b.as_float().unwrap());
-                x.partial_cmp(&y)
-                    .unwrap_or_else(|| Value::canonical_bits(x).cmp(&Value::canonical_bits(y)))
-            }
+            (Value::Float(a), Value::Float(b)) => total_float_cmp(*a, *b),
+            // Mixed Int/Float compares losslessly: widening the int with
+            // `as f64` rounds above 2⁵³ and ordered distinct facts as
+            // `Equal`, which sort+dedup then silently dropped.
+            (Value::Int(a), Value::Float(b)) => cmp_int_float(*a, *b),
+            (Value::Float(a), Value::Int(b)) => cmp_int_float(*b, *a).reverse(),
             (a, b) => rank(a).cmp(&rank(b)),
         }
     }
@@ -380,6 +436,64 @@ mod tests {
         assert_eq!(vs[3], Value::Int(3));
         assert_eq!(vs[4], Value::str("a"));
         assert_eq!(vs[5], Value::str("b"));
+    }
+
+    #[test]
+    fn large_int_float_cmp_is_lossless_at_the_2_53_boundary() {
+        const P53: i64 = 1 << 53; // 9007199254740992: last exactly-representable run
+        let f = Value::Float(P53 as f64);
+        // 2⁵³ + 1 rounds onto 2⁵³ under `as f64`; the old lossy arm ordered
+        // these Equal and sort+dedup could drop one.
+        assert_eq!(Value::Int(P53 + 1).cmp(&f), Ordering::Greater);
+        assert_eq!(f.cmp(&Value::Int(P53 + 1)), Ordering::Less);
+        assert_eq!(Value::Int(P53).cmp(&f), Ordering::Equal);
+        assert_eq!(Value::Int(P53 - 1).cmp(&f), Ordering::Less);
+        assert!(!Value::Int(P53 + 1).sql_eq(&f));
+        assert!(Value::Int(P53).sql_eq(&f));
+        // Extremes: every int is below +∞/NaN and above -∞ / out-of-range
+        // magnitudes.
+        assert_eq!(Value::Int(i64::MAX).cmp(&Value::Float(f64::INFINITY)), Ordering::Less);
+        assert_eq!(Value::Int(i64::MIN).cmp(&Value::Float(f64::NEG_INFINITY)), Ordering::Greater);
+        assert_eq!(Value::Int(i64::MAX).cmp(&Value::Float(1e300)), Ordering::Less);
+        assert_eq!(Value::Int(i64::MAX).cmp(&Value::Float(f64::NAN)), Ordering::Less);
+        // Fractional ties around the integer part.
+        assert_eq!(Value::Int(3).cmp(&Value::Float(3.5)), Ordering::Less);
+        assert_eq!(Value::Int(3).cmp(&Value::Float(2.5)), Ordering::Greater);
+        assert_eq!(Value::Int(-3).cmp(&Value::Float(-3.5)), Ordering::Greater);
+        // -2⁶³ is exactly representable and in range.
+        let min = Value::Float(-9_223_372_036_854_775_808.0);
+        assert_eq!(Value::Int(i64::MIN).cmp(&min), Ordering::Equal);
+        assert_eq!(Value::Int(i64::MIN), min);
+        assert_eq!(hash_of(&Value::Int(i64::MIN)), hash_of(&min));
+    }
+
+    #[test]
+    fn sorted_dedup_keeps_distinct_large_ints() {
+        const P53: i64 = 1 << 53;
+        let mut vs = vec![Value::Int(P53 + 1), Value::Float(P53 as f64), Value::Int(P53)];
+        vs.sort();
+        vs.dedup();
+        // Float(2⁵³) == Int(2⁵³) dedups; Int(2⁵³+1) must survive.
+        assert_eq!(vs, vec![Value::Int(P53), Value::Int(P53 + 1)]);
+    }
+
+    #[test]
+    fn float_order_is_transitive_with_nan_and_negatives() {
+        // The old bit-pattern fallback ordered NaN below negative floats but
+        // above positive ones — an intransitive "total" order.
+        let mut vs = [
+            Value::Float(f64::NAN),
+            Value::Float(-1.0),
+            Value::Float(1.0),
+            Value::Int(-2),
+            Value::Float(f64::INFINITY),
+        ];
+        vs.sort();
+        assert_eq!(vs[0], Value::Int(-2));
+        assert_eq!(vs[1], Value::Float(-1.0));
+        assert_eq!(vs[2], Value::Float(1.0));
+        assert_eq!(vs[3], Value::Float(f64::INFINITY));
+        assert!(matches!(vs[4], Value::Float(f) if f.is_nan()));
     }
 
     #[test]

@@ -81,11 +81,12 @@ fn run(args: Vec<String>) -> Result<(), String> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err(usage());
     };
-    let cli = Cli::parse(rest)?;
+    let cli = Cli::parse(rest).map_err(|e| format!("{e}\n{}", usage()))?;
     match cmd.as_str() {
         "match" => cmd_match(&cli),
         "discover" => cmd_discover(&cli),
         "check" => cmd_check(&cli),
+        "serve" => cmd_serve(&cli),
         "--help" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -100,8 +101,20 @@ fn usage() -> String {
      [--sequential] [--output F]\n  \
      dcer check    --schema F --rules F\n  \
      dcer discover --schema F --data REL=CSV --relation R --labels CSV \
-     [--min-support N] [--min-confidence P] [--max-preds N]"
+     [--min-support N] [--min-confidence P] [--max-preds N]\n  \
+     dcer serve    --schema F --data REL=CSV... --rules F [--workers N] \
+     [--tenant NAME]  (newline-delimited JSON requests on stdin)"
         .to_string()
+}
+
+/// Parse and validate a `--workers` value (the partitioner asserts on 0,
+/// so reject it here with a usage error instead).
+fn parse_workers(raw: &str) -> Result<usize, String> {
+    let n: usize = raw.parse().map_err(|_| format!("--workers must be a number, got `{raw}`"))?;
+    if n == 0 {
+        return Err("--workers must be at least 1".to_string());
+    }
+    Ok(n)
 }
 
 /// Parse the schema file: one `Name(attr: type, ...)` per line.
@@ -116,7 +129,13 @@ fn load_schema(path: &str) -> Result<Arc<Catalog>, String> {
         let err = |m: &str| format!("{path}:{}: {m}", lineno + 1);
         let open = line.find('(').ok_or_else(|| err("expected `Name(...)`"))?;
         let close = line.rfind(')').ok_or_else(|| err("missing `)`"))?;
+        if close < open {
+            return Err(err("malformed declaration: `)` before `(`"));
+        }
         let name = line[..open].trim();
+        if name.is_empty() {
+            return Err(err("missing relation name before `(`"));
+        }
         let mut attrs = Vec::new();
         for field in line[open + 1..close].split(',') {
             let field = field.trim();
@@ -216,8 +235,7 @@ fn cmd_match(cli: &Cli) -> Result<(), String> {
         eprintln!("running sequential Match over {} tuples", data.total_tuples());
         session.try_run_sequential(&data)?
     } else {
-        let workers: usize =
-            cli.one("workers")?.parse().map_err(|_| "--workers must be a number")?;
+        let workers = parse_workers(cli.one("workers")?)?;
         eprintln!("running DMatch with {workers} workers over {} tuples", data.total_tuples());
         let report = session.run_parallel(&data, &DmatchConfig::new(workers))?;
         eprintln!(
@@ -252,6 +270,257 @@ fn cmd_match(cli: &Cli) -> Result<(), String> {
         outcome.validated.len()
     );
     Ok(())
+}
+
+/// `dcer serve`: boot a resident resolver and answer newline-delimited
+/// JSON requests on stdin, one response object per line on stdout.
+///
+/// Requests (`tenant` optional everywhere; defaults to the sole tenant):
+///
+/// ```json
+/// {"op":"lookup","rel":"R","row":3}
+/// {"op":"explain","a":{"rel":"R","row":3},"b":{"rel":"R","row":7}}
+/// {"op":"admit","insert":[{"rel":"R","values":["a","1"]}],
+///               "delete":[{"rel":"R","row":3}]}
+/// {"op":"stats"}  {"op":"tenants"}  {"op":"shutdown"}
+/// ```
+///
+/// Responses carry `"ok":true` plus the payload, or `"ok":false` with an
+/// `"error"` string (the loop keeps serving after an error).
+fn cmd_serve(cli: &Cli) -> Result<(), String> {
+    let catalog = load_schema(cli.one("schema")?)?;
+    let data = load_data(&catalog, cli.many("data"))?;
+    let src = std::fs::read_to_string(cli.one("rules")?).map_err(|e| e.to_string())?;
+    let rules = dcer::mrl::parse_rules(&catalog, &src).map_err(|e| e.to_string())?;
+    let registry = registry_for(&rules)?;
+    let session = DcerSession::new(catalog.clone(), rules, registry);
+    let workers = match cli.opt("workers") {
+        Some(raw) => parse_workers(raw)?,
+        None => 2,
+    };
+    let tenant_name = cli.opt("tenant").unwrap_or("default").to_string();
+
+    let tenants = ServeRegistry::new();
+    tenants.register(&tenant_name, session, &data, &DmatchConfig::new(workers))?;
+    eprintln!(
+        "serving tenant `{tenant_name}` ({} live tuples, {workers} workers); \
+         NDJSON requests on stdin",
+        data.total_live()
+    );
+
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match std::io::BufRead::read_line(&mut stdin.lock(), &mut line) {
+            Ok(0) => return Ok(()), // EOF
+            Ok(_) => {}
+            Err(e) => return Err(e.to_string()),
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = serve_request(&tenants, &tenant_name, line.trim());
+        println!("{response}");
+        if shutdown {
+            return Ok(());
+        }
+    }
+}
+
+/// Handle one serve request line; returns `(response json, shutdown?)`.
+fn serve_request(
+    tenants: &ServeRegistry,
+    default_tenant: &str,
+    line: &str,
+) -> (serde_json::Value, bool) {
+    match serve_request_inner(tenants, default_tenant, line) {
+        Ok((v, shutdown)) => (v, shutdown),
+        Err(e) => (json_obj(&[("ok", false.into()), ("error", e.into())]), false),
+    }
+}
+
+type Json = serde_json::Value;
+
+fn json_obj(fields: &[(&str, Json)]) -> Json {
+    Json::Object(fields.iter().map(|(k, v)| (k.to_string(), v.clone())).collect())
+}
+
+fn tid_json(catalog: &Catalog, t: Tid) -> Json {
+    json_obj(&[("rel", catalog.schema(t.rel).name.as_str().into()), ("row", (t.row as i64).into())])
+}
+
+fn tid_from_json(catalog: &Catalog, v: &Json) -> Result<Tid, String> {
+    let rel_name = v.get("rel").and_then(Json::as_str).ok_or("tuple ref needs `rel`")?;
+    let rel = catalog.rel(rel_name).map_err(|e| e.to_string())?;
+    let row = v.get("row").and_then(Json::as_i64).ok_or("tuple ref needs `row`")?;
+    let row = u32::try_from(row).map_err(|_| format!("bad row `{row}`"))?;
+    Ok(Tid::new(rel, row))
+}
+
+fn fact_json(catalog: &Catalog, f: dcer::chase::Fact) -> Json {
+    match f {
+        dcer::chase::Fact::Id(a, b) => json_obj(&[
+            ("kind", "id".into()),
+            ("a", tid_json(catalog, a)),
+            ("b", tid_json(catalog, b)),
+        ]),
+        dcer::chase::Fact::Ml(sig, a, b) => json_obj(&[
+            ("kind", "ml".into()),
+            ("sig", (sig as i64).into()),
+            ("a", tid_json(catalog, a)),
+            ("b", tid_json(catalog, b)),
+        ]),
+    }
+}
+
+fn serve_request_inner(
+    tenants: &ServeRegistry,
+    default_tenant: &str,
+    line: &str,
+) -> Result<(Json, bool), String> {
+    let req = serde_json::from_str(line).map_err(|e| e.to_string())?;
+    let op = req.get("op").and_then(Json::as_str).ok_or("request needs an `op` string")?;
+    if op == "tenants" {
+        let names: Vec<Json> = tenants.names().into_iter().map(Json::from).collect();
+        return Ok((json_obj(&[("ok", true.into()), ("tenants", Json::Array(names))]), false));
+    }
+    if op == "shutdown" {
+        return Ok((json_obj(&[("ok", true.into())]), true));
+    }
+    let name = req.get("tenant").and_then(Json::as_str).unwrap_or(default_tenant);
+    let tenant = tenants.get(name).ok_or_else(|| format!("unknown tenant `{name}`"))?;
+    let catalog = tenant.session.catalog();
+    match op {
+        "lookup" => {
+            let tid = tid_from_json(catalog, &req)?;
+            let snap = tenant.resolver.snapshot();
+            let (cluster, members): (Json, Vec<Tid>) = match snap.cluster_of(tid) {
+                Some(c) => ((c as i64).into(), snap.members(c).to_vec()),
+                None => (Json::Null, vec![tid]),
+            };
+            let members: Vec<Json> = members.into_iter().map(|t| tid_json(catalog, t)).collect();
+            Ok((
+                json_obj(&[
+                    ("ok", true.into()),
+                    ("epoch", (snap.epoch() as i64).into()),
+                    ("cluster", cluster),
+                    ("members", Json::Array(members)),
+                ]),
+                false,
+            ))
+        }
+        "explain" => {
+            let a = tid_from_json(catalog, &req["a"]).map_err(|e| format!("a: {e}"))?;
+            let b = tid_from_json(catalog, &req["b"]).map_err(|e| format!("b: {e}"))?;
+            let snap = tenant.resolver.snapshot();
+            let steps = snap.explain(a, b);
+            let same = steps.is_some();
+            let steps: Vec<Json> = steps
+                .unwrap_or_default()
+                .into_iter()
+                .map(|s| {
+                    json_obj(&[
+                        ("order", (s.order as i64).into()),
+                        ("fact", fact_json(catalog, s.fact)),
+                        ("external", s.external.into()),
+                        (
+                            "support",
+                            Json::Array(
+                                s.support.iter().map(|&t| tid_json(catalog, t)).collect(),
+                            ),
+                        ),
+                        (
+                            "antecedents",
+                            Json::Array(
+                                s.antecedents.iter().map(|&f| fact_json(catalog, f)).collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect();
+            Ok((
+                json_obj(&[
+                    ("ok", true.into()),
+                    ("epoch", (snap.epoch() as i64).into()),
+                    ("same_entity", same.into()),
+                    ("steps", Json::Array(steps)),
+                ]),
+                false,
+            ))
+        }
+        "admit" => {
+            let mut batch = UpdateBatch::new();
+            if let Json::Array(items) = &req["insert"] {
+                for item in items {
+                    let rel_name =
+                        item.get("rel").and_then(Json::as_str).ok_or("insert needs `rel`")?;
+                    let rel = catalog.rel(rel_name).map_err(|e| e.to_string())?;
+                    let schema = catalog.schema(rel);
+                    let Json::Array(raw) = &item["values"] else {
+                        return Err("insert needs a `values` array".to_string());
+                    };
+                    if raw.len() != schema.arity() {
+                        return Err(format!(
+                            "{rel_name} expects {} values, got {}",
+                            schema.arity(),
+                            raw.len()
+                        ));
+                    }
+                    let values: Vec<Value> = raw
+                        .iter()
+                        .enumerate()
+                        .map(|(i, v)| {
+                            let ty = schema.attr_type(i as dcer::relation::AttrId);
+                            match v {
+                                Json::Null => Value::Null,
+                                Json::String(s) => Value::parse_typed(s, ty),
+                                other => Value::parse_typed(&other.to_string(), ty),
+                            }
+                        })
+                        .collect();
+                    batch.insert(rel, values);
+                }
+            }
+            if let Json::Array(items) = &req["delete"] {
+                for item in items {
+                    batch.delete(tid_from_json(catalog, item)?);
+                }
+            }
+            let report = tenant.resolver.admit(batch)?;
+            let tids =
+                |ts: &[Tid]| Json::Array(ts.iter().map(|&t| tid_json(catalog, t)).collect());
+            Ok((
+                json_obj(&[
+                    ("ok", true.into()),
+                    ("epoch", (report.epoch as i64).into()),
+                    ("inserted", tids(&report.inserted)),
+                    ("deleted", tids(&report.deleted)),
+                    ("retracted", report.retracted.into()),
+                    ("deduced", report.deduced.into()),
+                    ("repartitioned", report.repartitioned.into()),
+                ]),
+                false,
+            ))
+        }
+        "stats" => {
+            let snap = tenant.resolver.snapshot();
+            Ok((
+                json_obj(&[
+                    ("ok", true.into()),
+                    ("epoch", (snap.epoch() as i64).into()),
+                    ("live_tuples", snap.live_tuples().into()),
+                    ("clusters", snap.clusters().len().into()),
+                    ("validated", snap.validated().len().into()),
+                    ("updates_applied", (snap.updates_applied() as i64).into()),
+                    ("repartitions", (snap.repartitions() as i64).into()),
+                    ("serving", tenant.resolver.is_serving().into()),
+                ]),
+                false,
+            ))
+        }
+        other => Err(format!("unknown op `{other}`")),
+    }
 }
 
 fn cmd_discover(cli: &Cli) -> Result<(), String> {

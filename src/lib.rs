@@ -78,7 +78,10 @@ pub use dcer_similarity as similarity;
 pub mod prelude {
     pub use dcer_bsp::{FaultConfig, FaultPlan, RecoveryStats};
     pub use dcer_chase::{ChaseOutcome, MatchSet};
-    pub use dcer_core::{DcerSession, DmatchConfig, DmatchReport, UpdateRunReport, UpdateSession};
+    pub use dcer_core::{
+        AdmitReport, DcerSession, DmatchConfig, DmatchReport, ExplainStep, ProvEntry,
+        ResidentResolver, ServeRegistry, Snapshot, Tenant, UpdateRunReport, UpdateSession,
+    };
     pub use dcer_ml::MlRegistry;
     pub use dcer_mrl::{parse_rules, Rule, RuleSet};
     pub use dcer_pool::WorkPool;

@@ -171,3 +171,131 @@ fn helpful_errors() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("trivial"));
 }
+
+/// Every malformed invocation must exit 2 with usage text on stderr —
+/// never panic (exit 101) and never hang.
+#[test]
+fn bad_invocations_print_usage_and_exit_nonzero() {
+    let f = Fixture::new("badargs");
+    let cases: Vec<Vec<String>> = vec![
+        vec![],                                     // no subcommand
+        vec!["frobnicate".into()],                  // unknown subcommand
+        vec!["match".into(), "stray".into()],       // positional arg
+        vec!["match".into(), "--schema".into()],    // flag without value
+        vec![
+            // --workers must be numeric and nonzero
+            "match".into(),
+            "--schema".into(),
+            f.path("schema.txt"),
+            "--data".into(),
+            format!("Person={}", f.path("person.csv")),
+            "--rules".into(),
+            f.path("rules.mrl"),
+            "--workers".into(),
+            "0".into(),
+        ],
+        vec![
+            "serve".into(), // serve with a missing required flag
+            "--schema".into(),
+            f.path("schema.txt"),
+        ],
+    ];
+    for args in cases {
+        let out = bin().args(&args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "args {args:?}: {out:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("usage") || stderr.contains("--") || stderr.contains("needs"),
+            "args {args:?}: unhelpful stderr:\n{stderr}"
+        );
+        assert!(!stderr.contains("panicked"), "args {args:?} panicked:\n{stderr}");
+    }
+}
+
+/// Historical panic: a schema line with `)` before `(` sliced with
+/// `begin > end`. Must now be a plain error.
+#[test]
+fn malformed_schema_is_an_error_not_a_panic() {
+    let f = Fixture::new("badschema");
+    for bad in [")Person(\n", "(pid: str)\n"] {
+        f.write("bad_schema.txt", bad);
+        let out = bin()
+            .args(["check", "--schema", &f.path("bad_schema.txt"), "--rules", &f.path("rules.mrl")])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(2), "schema {bad:?}: {out:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(!stderr.contains("panicked"), "schema {bad:?} panicked:\n{stderr}");
+        assert!(stderr.contains("malformed") || stderr.contains("missing"), "{stderr}");
+    }
+}
+
+/// Drive `dcer serve` over its NDJSON stdin/stdout protocol: lookups and
+/// explains answer from the resident snapshot, admits advance the epoch,
+/// request errors are per-line (the loop keeps serving), and `shutdown`
+/// exits cleanly.
+#[test]
+fn serve_answers_ndjson_requests_over_stdin() {
+    use std::io::Write;
+
+    let f = Fixture::new("serve");
+    let mut child = bin()
+        .args([
+            "serve",
+            "--schema",
+            &f.path("schema.txt"),
+            "--data",
+            &format!("Person={}", f.path("person.csv")),
+            "--data",
+            &format!("Account={}", f.path("account.csv")),
+            "--rules",
+            &f.path("rules.mrl"),
+            "--workers",
+            "2",
+        ])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+
+    let requests = [
+        r#"{"op":"lookup","rel":"Person","row":0}"#,
+        r#"{"op":"explain","a":{"rel":"Person","row":0},"b":{"rel":"Person","row":2}}"#,
+        r#"{"op":"admit","insert":[{"rel":"Person","values":["p5","Ada Lovelace","ada@calc.org"]}],"delete":[{"rel":"Person","row":3}]}"#,
+        r#"{"op":"lookup","rel":"Person","row":4}"#,
+        r#"{"op":"lookup","rel":"Nope","row":0}"#,
+        r#"this is not json"#,
+        r#"{"op":"stats"}"#,
+        r#"{"op":"shutdown"}"#,
+    ];
+    let mut stdin = child.stdin.take().unwrap();
+    for r in requests {
+        writeln!(stdin, "{r}").unwrap();
+    }
+    drop(stdin);
+
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), requests.len(), "one response per request:\n{stdout}");
+
+    // p1's cluster holds the Ada trio at epoch 0.
+    assert!(lines[0].contains(r#""ok":true"#) && lines[0].contains(r#""epoch":0"#), "{}", lines[0]);
+    assert!(lines[0].matches(r#""rel":"Person""#).count() == 3, "{}", lines[0]);
+    // explain returns a nonempty support chain.
+    assert!(lines[1].contains(r#""same_entity":true"#), "{}", lines[1]);
+    assert!(lines[1].contains(r#""support""#), "{}", lines[1]);
+    // admit bumps the epoch and reports the delta.
+    assert!(lines[2].contains(r#""epoch":1"#) && lines[2].contains(r#""inserted""#), "{}", lines[2]);
+    // the inserted p5 joins the Ada cluster in the new snapshot.
+    assert!(lines[3].contains(r#""epoch":1"#) && lines[3].contains(r#""cluster":"#), "{}", lines[3]);
+    assert!(lines[3].matches(r#""rel":"Person""#).count() >= 4, "{}", lines[3]);
+    // bad relation and bad JSON are per-request errors, not crashes.
+    assert!(lines[4].contains(r#""ok":false"#), "{}", lines[4]);
+    assert!(lines[5].contains(r#""ok":false"#) && lines[5].contains("parse"), "{}", lines[5]);
+    // the loop kept serving after the errors.
+    assert!(lines[6].contains(r#""updates_applied":1"#), "{}", lines[6]);
+    assert!(lines[7].contains(r#""ok":true"#), "{}", lines[7]);
+}

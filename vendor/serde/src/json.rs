@@ -254,7 +254,11 @@ impl PartialEq<i64> for Value {
 
 impl PartialEq<u64> for Value {
     fn eq(&self, other: &u64) -> bool {
-        self.as_i64().and_then(|v| u64::try_from(v).ok()) == Some(*other)
+        match self {
+            Value::Number(Number::Int(v)) => u64::try_from(*v).ok() == Some(*other),
+            Value::Number(Number::UInt(v)) => v == other,
+            _ => false,
+        }
     }
 }
 
@@ -333,6 +337,249 @@ impl From<Vec<Value>> for Value {
 impl From<Map> for Value {
     fn from(m: Map) -> Value {
         Value::Object(m)
+    }
+}
+
+impl Value {
+    /// Parse a JSON document. Accepts exactly one value (surrounding
+    /// whitespace allowed); trailing garbage is an error. Errors carry a
+    /// byte offset and a short description.
+    pub fn parse(input: &str) -> Result<Value, ParseError> {
+        let mut p = Parser { bytes: input.as_bytes(), input, pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after value"));
+        }
+        Ok(v)
+    }
+}
+
+/// Where and why [`Value::parse`] rejected its input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the offending character.
+    pub offset: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Recursive-descent JSON parser (RFC 8259 subset: no `\uXXXX` surrogate
+/// pairs are *combined* lazily — they are, via `char::from_u32` pairing).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError { offset: self.pos, message: message.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, ParseError> {
+        if self.input[self.pos..].starts_with(word) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected `{}`", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Copy unescaped runs wholesale (UTF-8 passes through).
+            while let Some(c) = self.peek() {
+                if c == b'"' || c == b'\\' || c < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(&self.input[start..self.pos]);
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if !self.input[self.pos..].starts_with("\\u") {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid unicode escape"))?,
+                            );
+                        }
+                        c => return Err(self.err(format!("invalid escape `\\{}`", c as char))),
+                    }
+                }
+                Some(_) => return Err(self.err("control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated unicode escape"));
+        }
+        let v = u32::from_str_radix(&self.input[self.pos..end], 16)
+            .map_err(|_| self.err("invalid unicode escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = &self.input[start..self.pos];
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::Int(i)));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::UInt(u)));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(f) if f.is_finite() => Ok(Value::Number(Number::Float(f))),
+            _ => Err(ParseError { offset: start, message: format!("invalid number `{text}`") }),
+        }
     }
 }
 
@@ -418,5 +665,38 @@ mod tests {
         assert_eq!(Value::from(2.5f64).to_string(), "2.5");
         assert_eq!(Value::from(2.0f64).to_string(), "2.0");
         assert_eq!(Value::from(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn parse_roundtrips_rendered_values() {
+        let src = r#"{"op":"admit","rows":[[1,-2.5,true],["x","y\n\"z\""]],"t":null}"#;
+        let v = Value::parse(src).unwrap();
+        assert_eq!(v["op"], "admit");
+        assert_eq!(v["rows"][0][0], 1);
+        assert_eq!(v["rows"][0][1], -2.5);
+        assert_eq!(v["rows"][0][2], true);
+        assert_eq!(v["rows"][1][1], "y\n\"z\"");
+        assert!(v["t"].is_null());
+        assert_eq!(Value::parse(&v.to_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn parse_handles_escapes_and_unicode() {
+        assert_eq!(Value::parse(r#""éA""#).unwrap(), "éA");
+        assert_eq!(Value::parse(r#""😀""#).unwrap(), "😀");
+        assert_eq!(Value::parse("  [ ]  ").unwrap(), Value::Array(vec![]));
+        assert_eq!(Value::parse("{ }").unwrap(), Value::Object(Map::new()));
+        // Beyond i64: parsed as an unsigned number, not silently floated.
+        assert_eq!(Value::parse("12345678901234567890").unwrap().as_i64(), None);
+        assert_eq!(Value::parse("12345678901234567890").unwrap(), 12345678901234567890u64);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in ["", "{", "[1,", "tru", "\"open", "{\"a\":}", "1 2", "{'a':1}", r#""\ud800x""#] {
+            assert!(Value::parse(bad).is_err(), "must reject {bad:?}");
+        }
+        let err = Value::parse("[1, oops]").unwrap_err();
+        assert!(err.to_string().contains("byte 4"), "offset in message: {err}");
     }
 }

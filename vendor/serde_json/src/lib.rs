@@ -2,10 +2,16 @@
 //!
 //! [`Value`], [`Number`] and [`Map`] live in the vendored `serde` (they are
 //! its serialization data model) and are re-exported here under the upstream
-//! names, together with [`to_value`] / [`to_string`] / [`to_string_pretty`].
-//! There is no parser: no workspace code deserializes JSON.
+//! names, together with [`to_value`] / [`to_string`] / [`to_string_pretty`]
+//! and the tree-level [`from_str`] parser the NDJSON serving protocol uses.
 
-pub use serde::json::{Map, Number, Value};
+pub use serde::json::{Map, Number, ParseError, Value};
+
+/// Parse JSON text into a [`Value`] tree. Unlike upstream's generic
+/// deserializer this targets `Value` only — callers destructure the tree.
+pub fn from_str(input: &str) -> Result<Value, ParseError> {
+    Value::parse(input)
+}
 
 /// Serialize any [`serde::Serialize`] into a [`Value`].
 pub fn to_value<T: serde::Serialize>(value: &T) -> Value {
